@@ -1,0 +1,114 @@
+// Ablation A3 — matrix-free vs assembled (Sec. II-A motivation).
+//
+// "The main advantages of the matrix-free approach are 1) to reduce the
+// memory requirements by removing the need to store the full Jacobian
+// matrix, and 2) to speedup the computations by removing the need to fill
+// the global sparse Jacobian matrix."
+//
+// Measured on the host across mesh sizes: CSR storage vs problem data,
+// assembly wall time, and per-apply wall time for both operators.
+
+#include <chrono>
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "fv/assembled.hpp"
+#include "fv/operator.hpp"
+#include "fv/problem.hpp"
+#include "gpu/kernels.hpp"
+#include "perf/analytic.hpp"
+
+using namespace fvdf;
+
+namespace {
+
+f64 seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<f64>(std::chrono::steady_clock::now() - start).count();
+}
+
+template <typename Fn> f64 time_best_of(int reps, Fn&& fn) {
+  f64 best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    best = std::min(best, seconds_since(start));
+  }
+  return best;
+}
+
+} // namespace
+
+int main() {
+  std::cout << "=== bench/ablation_matrixfree — matrix-free vs assembled CSR ===\n\n";
+
+  Table table("Host comparison (f32, one Jx application, best of 5)");
+  table.set_header({"mesh", "cells", "problem data", "CSR bytes", "CSR/data",
+                    "assembly [ms]", "CSR apply [ms]", "matrix-free apply [ms]"});
+
+  for (const i64 dim : {16, 24, 32, 48}) {
+    const auto problem = FlowProblem::quarter_five_spot(dim, dim, dim, 7);
+    const auto sys = problem.discretize<f32>();
+    const auto n = static_cast<std::size_t>(sys.cell_count());
+
+    const MatrixFreeOperator<f32> mf(sys);
+
+    const auto t_assembly_start = std::chrono::steady_clock::now();
+    const AssembledOperator<f32> csr(sys);
+    const f64 t_assembly = seconds_since(t_assembly_start);
+
+    Rng rng(1);
+    std::vector<f32> x(n), y(n);
+    for (auto& v : x) v = static_cast<f32>(rng.uniform(-1, 1));
+
+    const f64 t_csr = time_best_of(5, [&] { csr.apply(x.data(), y.data()); });
+    const f64 t_mf = time_best_of(5, [&] { mf.apply(x.data(), y.data()); });
+
+    table.add_row({std::to_string(dim) + "^3", fmt_count(static_cast<u64>(n)),
+                   fmt_bytes(static_cast<f64>(sys.data_bytes())),
+                   fmt_bytes(static_cast<f64>(csr.matrix_bytes())),
+                   fmt_fixed(static_cast<f64>(csr.matrix_bytes()) /
+                                 static_cast<f64>(sys.data_bytes()),
+                             2) +
+                       "x",
+                   fmt_fixed(t_assembly * 1e3, 3), fmt_fixed(t_csr * 1e3, 3),
+                   fmt_fixed(t_mf * 1e3, 3)});
+  }
+  std::cout << table << '\n';
+
+  // GPU-model comparison: memory-bound devices pay for every byte, so the
+  // traffic ratio *is* the per-apply time ratio.
+  {
+    const GpuAnalyticModel model(GpuSpec::a100());
+    Table gpu_table("GPU (A100 traffic model): matrix-free vs CSR per apply");
+    gpu_table.set_header({"mesh", "MF bytes/cell", "CSR bytes/cell",
+                          "CSR/MF traffic", "assembly amortization (applies)"});
+    for (const i64 dim : {16, 32}) {
+      const auto problem = FlowProblem::quarter_five_spot(dim, dim, dim, 7);
+      const auto sys = problem.discretize<f32>();
+      gpu::CudaDevice device(GpuSpec::a100(), 1);
+      const auto dev_sys = gpu::DeviceSystem::upload(device, sys);
+      const gpu::DeviceCsr csr = gpu::assemble_csr(device, sys);
+      const f64 cells = static_cast<f64>(sys.cell_count());
+      const f64 mf = static_cast<f64>(gpu::nominal_jx_traffic(dev_sys)) / cells;
+      const f64 sp = static_cast<f64>(gpu::nominal_spmv_traffic(csr)) / cells;
+      const f64 fill = static_cast<f64>(csr.bytes() + sys.data_bytes()) / cells;
+      gpu_table.add_row({std::to_string(dim) + "^3", fmt_fixed(mf, 1),
+                         fmt_fixed(sp, 1), fmt_fixed(sp / mf, 2) + "x",
+                         // applies until the fill pass is paid back by the
+                         // (non-existent) per-apply advantage: effectively
+                         // never, since CSR also costs more per apply.
+                         fmt_fixed(fill / std::max(sp - mf, 1e-9), 1)});
+    }
+    std::cout << gpu_table << '\n';
+  }
+
+  std::cout
+      << "Reading: the assembled Jacobian costs several times the problem\n"
+         "data in storage plus a fill pass per Newton step — the memory/fill\n"
+         "overheads the matrix-free formulation removes. On a 48 KiB-per-PE\n"
+         "dataflow device the CSR variant would not fit at all, which is why\n"
+         "the paper's device implementation is matrix-free by construction.\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Ablation A2 — asynchronous communications (Sec. III-E2).
+//
+// "non-blocking communications enable the overlapping of transfers with
+// useful computations, effectively hiding associated overheads."
+//
+// The device kernel starts the halo exchange and computes the z-dimension
+// fluxes while the fabric moves data; each lateral face's flux fires the
+// moment its halo lands. We quantify what that buys: for each
+// configuration measure
+//   t_full     — the real event-driven run (overlapped),
+//   t_compute  — the same run with free communication (hop latency 0,
+//                infinite link rate): pure compute time,
+//   t_comm     — the run with compute_scale = 0: pure communication time.
+// A perfectly serialized implementation would take ~ t_compute + t_comm;
+// the overlap benefit is (t_compute + t_comm - t_full) / t_full.
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/solver.hpp"
+#include "fv/problem.hpp"
+
+using namespace fvdf;
+
+namespace {
+
+struct Times {
+  f64 full, compute, comm;
+};
+
+Times measure(i64 dim, i64 nz, u64 iters) {
+  const auto problem = FlowProblem::homogeneous_column(dim, dim, nz);
+  auto run = [&](core::DataflowConfig config) {
+    config.jx_only = true;
+    config.max_iterations = iters;
+    return core::solve_dataflow(problem, config).device_seconds;
+  };
+
+  core::DataflowConfig full;
+  const f64 t_full = run(full);
+
+  core::DataflowConfig free_comm;
+  free_comm.timing.hop_latency_cycles = 0.0;
+  free_comm.timing.words_per_cycle_link = 1e9;
+  free_comm.timing.send_setup_cycles = 0.0;
+  const f64 t_compute = run(free_comm);
+
+  core::DataflowConfig no_compute;
+  no_compute.timing.compute_scale = 0.0;
+  const f64 t_comm = run(no_compute);
+
+  return {t_full, t_compute, t_comm};
+}
+
+} // namespace
+
+int main() {
+  std::cout << "=== bench/ablation_overlap — Sec. III-E2 comm/compute overlap ===\n\n";
+
+  Table table("Overlap effectiveness (12x12 fabric, 10 Jx iterations)");
+  table.set_header({"Nz", "t_full [ms]", "t_compute [ms]", "t_comm [ms]",
+                    "serialized est. [ms]", "hidden", "overlap benefit"});
+  for (const i64 nz : {8, 32, 96, 192}) {
+    const Times t = measure(12, nz, 10);
+    const f64 serialized = t.compute + t.comm;
+    table.add_row({std::to_string(nz), fmt_fixed(t.full * 1e3, 4),
+                   fmt_fixed(t.compute * 1e3, 4), fmt_fixed(t.comm * 1e3, 4),
+                   fmt_fixed(serialized * 1e3, 4),
+                   fmt_percent((serialized - t.full) / t.comm),
+                   fmt_percent(serialized / t.full - 1.0)});
+  }
+  std::cout << table << '\n';
+  std::cout
+      << "Reading: t_full < t_compute + t_comm because the z-flux runs while\n"
+         "halos are in flight and each face's flux fires on arrival\n"
+         "(Sec. III-B's event-driven design). With deep columns the compute\n"
+         "term dominates and communication hides almost entirely — the\n"
+         "regime the paper's Table IV reports (6.27% visible comm).\n";
+  return 0;
+}

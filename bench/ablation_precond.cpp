@@ -1,0 +1,83 @@
+// Ablation A4 (extension) — Jacobi preconditioning on the dataflow device.
+//
+// The paper runs plain CG and notes the linear systems are
+// "complex, ill-conditioned" (Sec. II-A). Jacobi PCG reuses every device
+// mechanism (same halo exchange, same all-reduce count per iteration) and
+// adds one element-wise scaling plus one extra column of PE memory — this
+// bench quantifies the trade across permeability contrast:
+// iterations-to-tolerance, simulated device time, and the PE-memory cost.
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/mapping.hpp"
+#include "core/solver.hpp"
+#include "fv/problem.hpp"
+
+using namespace fvdf;
+
+int main() {
+  std::cout << "=== bench/ablation_precond — plain CG vs Jacobi PCG on the "
+               "device ===\n\n";
+
+  Table table("10x10x4 injector/producer problem, tolerance 1e-12 on the\n"
+              "global convergence scalar, vs permeability contrast "
+              "(log-normal sigma)");
+  table.set_header({"log sigma", "CG iters", "PCG iters", "iter ratio",
+                    "CG device [ms]", "PCG device [ms]", "time ratio"});
+
+  for (const f64 sigma : {0.5, 1.5, 2.5, 3.5}) {
+    const auto problem = FlowProblem::quarter_five_spot(10, 10, 4, /*seed=*/7, sigma);
+    core::DataflowConfig plain;
+    plain.tolerance = 1e-12f;
+    plain.max_iterations = 20'000;
+    const auto cg = core::solve_dataflow(problem, plain);
+
+    core::DataflowConfig pcg = plain;
+    pcg.jacobi_precondition = true;
+    const auto jacobi = core::solve_dataflow(problem, pcg);
+
+    table.add_row({fmt_fixed(sigma, 1), std::to_string(cg.iterations),
+                   std::to_string(jacobi.iterations),
+                   fmt_fixed(static_cast<f64>(jacobi.iterations) /
+                                 static_cast<f64>(cg.iterations),
+                             2),
+                   fmt_fixed(cg.device_seconds * 1e3, 3),
+                   fmt_fixed(jacobi.device_seconds * 1e3, 3),
+                   fmt_fixed(jacobi.device_seconds / cg.device_seconds, 2)});
+  }
+  std::cout << table << '\n';
+
+  // Memory cost of the PCG buffers (minv + z, two columns).
+  const u64 capacity = 48 * 1024, reserve = 2048;
+  auto max_nz_pcg = [&](bool jacobi) {
+    u32 lo = 1, hi = 4096;
+    auto fits = [&](u32 nz) {
+      try {
+        wse::PeMemory probe(capacity, reserve);
+        (void)core::PeLayout::plan(probe, nz, core::FluxMode::Fused, 0, jacobi);
+        (void)probe.alloc_f32("allreduce.value", 1);
+        (void)probe.alloc_f32("allreduce.in", 1);
+        return true;
+      } catch (const Error&) {
+        return false;
+      }
+    };
+    while (lo + 1 < hi) {
+      const u32 mid = (lo + hi) / 2;
+      (fits(mid) ? lo : hi) = mid;
+    }
+    return lo;
+  };
+  Table memory("PE-memory cost of preconditioning (48 KiB PE)");
+  memory.set_header({"kernel", "max Nz"});
+  memory.add_row({"plain CG (fused)", std::to_string(max_nz_pcg(false))});
+  memory.add_row({"Jacobi PCG (fused)", std::to_string(max_nz_pcg(true))});
+  std::cout << memory << '\n';
+  std::cout << "Reading: on high-contrast fields Jacobi PCG cuts iterations\n"
+               "(and device time nearly proportionally — the per-iteration\n"
+               "overhead is one fmuls per column) at the cost of two extra\n"
+               "columns of PE memory, shrinking the reachable Nz.\n";
+  return 0;
+}

@@ -1,0 +1,218 @@
+// google-benchmark micro-kernels: host flux apply (serial/threaded),
+// assembled SpMV, BLAS-1, dense oracle, fabric primitives (halo exchange,
+// all-reduce), full dataflow CG iterations, and the CUDA-model kernel.
+// These track the emulation substrate's own performance (host wall time),
+// complementing the simulated-device times of the table benches.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "core/solver.hpp"
+#include "fv/assembled.hpp"
+#include "fv/operator.hpp"
+#include "fv/problem.hpp"
+#include "gpu/gpu_solver.hpp"
+#include "multiphase/impes.hpp"
+#include "solver/blas.hpp"
+#include "solver/cg.hpp"
+#include "solver/chebyshev.hpp"
+#include "umesh/fabric_map.hpp"
+#include "umesh/usolve.hpp"
+
+namespace {
+
+using namespace fvdf;
+
+const FlowProblem& cached_problem() {
+  static const FlowProblem problem = FlowProblem::quarter_five_spot(24, 24, 24, 3);
+  return problem;
+}
+
+void BM_HostMatrixFreeApply(benchmark::State& state) {
+  const auto sys = cached_problem().discretize<f32>();
+  const MatrixFreeOperator<f32> op(sys);
+  const auto n = static_cast<std::size_t>(sys.cell_count());
+  std::vector<f32> x(n, 1.0f), y(n);
+  for (auto _ : state) {
+    op.apply(x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(n));
+}
+BENCHMARK(BM_HostMatrixFreeApply);
+
+void BM_AssembledCsrApply(benchmark::State& state) {
+  const auto sys = cached_problem().discretize<f32>();
+  const AssembledOperator<f32> op(sys);
+  const auto n = static_cast<std::size_t>(sys.cell_count());
+  std::vector<f32> x(n, 1.0f), y(n);
+  for (auto _ : state) {
+    op.apply(x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(n));
+}
+BENCHMARK(BM_AssembledCsrApply);
+
+void BM_BlasDot(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<f32> a(n, 1.5f), b(n, 2.5f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(blas::dot(a.data(), b.data(), n));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(n));
+}
+BENCHMARK(BM_BlasDot)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_BlasAxpy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<f32> x(n, 1.0f), y(n, 0.0f);
+  for (auto _ : state) {
+    blas::axpy(0.5f, x.data(), y.data(), n);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(n));
+}
+BENCHMARK(BM_BlasAxpy)->Arg(1 << 14);
+
+void BM_HostCgIteration(benchmark::State& state) {
+  const auto sys = cached_problem().discretize<f64>();
+  const MatrixFreeOperator<f64> op(sys);
+  const auto n = static_cast<std::size_t>(sys.cell_count());
+  std::vector<f64> b(n, 0.0), y(n);
+  b[n / 2] = 1.0;
+  for (auto _ : state) {
+    CgOptions options;
+    options.max_iterations = 10;
+    options.tolerance = 0.0;
+    const auto result = conjugate_gradient<f64>(
+        [&](const f64* in, f64* out) { op.apply(in, out); }, b.data(), y.data(), n,
+        options);
+    benchmark::DoNotOptimize(result.final_rr);
+  }
+  // 10 CG iterations per benchmark iteration.
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * 10);
+}
+BENCHMARK(BM_HostCgIteration);
+
+void BM_FabricHaloJxRound(benchmark::State& state) {
+  // Host cost of simulating one halo+flux round (events/s of the event
+  // engine) on a dim x dim fabric.
+  const i64 dim = state.range(0);
+  const auto problem = FlowProblem::homogeneous_column(dim, dim, 16);
+  for (auto _ : state) {
+    core::DataflowConfig config;
+    config.jx_only = true;
+    config.max_iterations = 1;
+    const auto result = core::solve_dataflow(problem, config);
+    benchmark::DoNotOptimize(result.device_cycles);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * dim * dim);
+}
+BENCHMARK(BM_FabricHaloJxRound)->Arg(8)->Arg(16);
+
+void BM_FabricCgIteration(benchmark::State& state) {
+  const auto problem = FlowProblem::homogeneous_column(8, 8, 16);
+  for (auto _ : state) {
+    core::DataflowConfig config;
+    config.tolerance = 0.0f;
+    config.max_iterations = 5;
+    const auto result = core::solve_dataflow(problem, config);
+    benchmark::DoNotOptimize(result.device_cycles);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * 5);
+}
+BENCHMARK(BM_FabricCgIteration);
+
+void BM_UnstructuredApply(benchmark::State& state) {
+  const CartesianMesh3D mesh(20, 20, 10);
+  const auto field = perm::homogeneous(mesh, 1.0);
+  const auto umesh_geom = umesh::UnstructuredMesh::from_cartesian(mesh, field);
+  std::vector<f64> mobility(static_cast<std::size_t>(umesh_geom.cell_count()), 1.0);
+  DirichletSet bc;
+  bc.pin(0, 1.0);
+  const umesh::UFlowProblem problem(umesh_geom, std::move(mobility), std::move(bc));
+  const umesh::UMatrixFreeOperator op(problem);
+  const auto n = static_cast<std::size_t>(op.size());
+  std::vector<f64> x(n, 1.0), y(n);
+  for (auto _ : state) {
+    op.apply(x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * static_cast<i64>(n));
+}
+BENCHMARK(BM_UnstructuredApply);
+
+void BM_ImpesStep(benchmark::State& state) {
+  const CartesianMesh3D mesh(16, 16, 1);
+  const auto perm_field = perm::homogeneous(mesh, 1.0);
+  const auto bc = DirichletSet::injector_producer(mesh, 2.0, 0.0);
+  multiphase::ImpesOptions options;
+  options.steps = 1;
+  options.dt = 0.1;
+  options.cg.tolerance = 1e-16;
+  for (auto _ : state) {
+    const auto result = multiphase::run_impes(mesh, perm_field, bc,
+                                              {mesh.index(0, 0, 0)}, options);
+    benchmark::DoNotOptimize(result.injected);
+  }
+}
+BENCHMARK(BM_ImpesStep);
+
+void BM_HostChebyshevIteration(benchmark::State& state) {
+  const auto sys = cached_problem().discretize<f64>();
+  const MatrixFreeOperator<f64> op(sys);
+  const auto n = static_cast<std::size_t>(sys.cell_count());
+  const auto apply = [&](const f64* in, f64* out) { op.apply(in, out); };
+  static const SpectralBounds bounds = estimate_spectral_bounds<f64>(apply, n);
+  std::vector<f64> b(n, 0.0), y(n);
+  b[n / 3] = 1.0;
+  for (auto _ : state) {
+    ChebyshevOptions options;
+    options.max_iterations = 10;
+    options.tolerance = 0.0;
+    const auto result =
+        chebyshev_solve<f64>(apply, b.data(), y.data(), n, bounds, options);
+    benchmark::DoNotOptimize(result.final_rr);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * 10);
+}
+BENCHMARK(BM_HostChebyshevIteration);
+
+void BM_MortonMapping(benchmark::State& state) {
+  const CartesianMesh3D mesh(32, 32, 8);
+  const auto field = perm::homogeneous(mesh, 1.0);
+  const auto umesh_geom = umesh::UnstructuredMesh::from_cartesian(mesh, field);
+  umesh::MappingOptions options;
+  options.fabric_width = 8;
+  options.fabric_height = 8;
+  for (auto _ : state) {
+    const auto mapping =
+        umesh::map_cells(umesh_geom, umesh::MappingStrategy::MortonSfc, options);
+    benchmark::DoNotOptimize(mapping.pe_of_cell.data());
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          umesh_geom.cell_count());
+}
+BENCHMARK(BM_MortonMapping);
+
+void BM_GpuModelJxKernel(benchmark::State& state) {
+  const auto& problem = cached_problem();
+  gpu::GpuFvSolver solver(problem, GpuSpec::a100(), 0);
+  for (auto _ : state) {
+    const auto result = solver.run_jx_only(1);
+    benchmark::DoNotOptimize(result.kernel_launches);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          problem.mesh().cell_count());
+}
+BENCHMARK(BM_GpuModelJxKernel);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+// Table II reproduction: kernel time on CS-2 vs NVIDIA A100/H100 for the
+// 750x994x922 mesh, 225 CG iterations, fp32.
+//
+// Two sections:
+//  1. Paper scale via the calibrated analytic models (the packet-level
+//     simulator cannot hold 687M cells — see DESIGN.md): our modeled
+//     Avg/S.D. next to the paper's measurements, plus the derived
+//     speedups (paper: 427.82x vs A100, 209.68x vs H100).
+//  2. Reduced scale, *measured*: the same solve run functionally on the
+//     packet-level fabric simulator and the CUDA-model emulator, averaged
+//     over repeated runs (deterministic simulation -> S.D. = 0), showing
+//     that the same code path the model describes actually executes.
+
+#include <iostream>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/solver.hpp"
+#include "fv/problem.hpp"
+#include "gpu/gpu_solver.hpp"
+#include "perf/analytic.hpp"
+
+using namespace fvdf;
+
+namespace {
+
+struct PaperRow {
+  const char* arch;
+  f64 avg;
+  f64 sd;
+};
+constexpr PaperRow kPaper[] = {
+    {"Dataflow/CSL", 0.0542, 0.000014},
+    {"A100/CUDA", 23.1879, 0.123267},
+    {"H100/CUDA", 11.3861, 0.222566},
+};
+
+void paper_scale_section() {
+  const i64 nx = 750, ny = 994, nz = 922;
+  const u64 cells = static_cast<u64>(nx) * ny * nz;
+  const u64 iters = 225;
+
+  const Cs2AnalyticModel cs2;
+  const GpuAnalyticModel a100(GpuSpec::a100());
+  const GpuAnalyticModel h100(GpuSpec::h100());
+
+  const f64 t_cs2 = cs2.alg1_time(nx, ny, nz, iters);
+  const f64 t_a100 = a100.alg1_time(cells, iters);
+  const f64 t_h100 = h100.alg1_time(cells, iters);
+
+  Table table("Table II — time for 225 CG iterations on a 750x994x922 mesh (fp32)");
+  table.set_header({"Arch/lang", "Ours Avg [s]", "Ours S.D.", "Paper Avg [s]",
+                    "Paper S.D.", "ratio ours/paper"});
+  const f64 ours[] = {t_cs2, t_a100, t_h100};
+  for (int i = 0; i < 3; ++i) {
+    table.add_row({kPaper[i].arch, fmt_fixed(ours[i], 4),
+                   "0.0000 (model)", fmt_fixed(kPaper[i].avg, 4),
+                   fmt_fixed(kPaper[i].sd, 6), fmt_fixed(ours[i] / kPaper[i].avg, 3)});
+  }
+  std::cout << table << '\n';
+
+  Table speedups("Headline speedups (paper Sec. V-C: 427.82x vs A100, 209.68x vs H100)");
+  speedups.set_header({"comparison", "ours", "paper"});
+  speedups.add_row({"CS-2 vs A100", fmt_fixed(t_a100 / t_cs2, 2) + "x", "427.82x"});
+  speedups.add_row({"CS-2 vs H100", fmt_fixed(t_h100 / t_cs2, 2) + "x", "209.68x"});
+  std::cout << speedups << '\n';
+}
+
+void reduced_scale_section() {
+  // Small enough to simulate packet-by-packet, large enough to be
+  // non-trivial: 16x14 fabric, 32-deep columns, 60 fixed iterations.
+  const i64 nx = 16, ny = 14, nz = 32;
+  const u64 iters = 60;
+  const auto problem = FlowProblem::quarter_five_spot(nx, ny, nz, /*seed=*/7, 0.6);
+
+  RunningStats dataflow_stats, gpu_stats;
+  constexpr int kRuns = 3;
+  for (int run = 0; run < kRuns; ++run) {
+    core::DataflowConfig config;
+    config.jx_only = false;
+    config.tolerance = 0.0f; // fixed-iteration run like the paper's timing
+    config.max_iterations = iters;
+    const auto result = core::solve_dataflow(problem, config);
+    dataflow_stats.add(result.device_seconds);
+
+    gpu::GpuFvSolver solver(problem, GpuSpec::a100(), 1);
+    gpu::GpuSolveConfig gpu_config;
+    gpu_config.tolerance = 0.0;
+    gpu_config.max_iterations = iters;
+    const auto gpu_result = solver.solve(gpu_config);
+    gpu_stats.add(gpu_result.modeled_seconds);
+  }
+
+  Table table("Reduced-scale measured run — " + std::to_string(nx) + "x" +
+              std::to_string(ny) + "x" + std::to_string(nz) + ", " +
+              std::to_string(iters) + " iterations, " + std::to_string(kRuns) +
+              " runs (simulation is deterministic, so S.D. = 0)");
+  table.set_header({"Arch (simulated)", "Avg [s]", "S.D."});
+  table.add_row({"Dataflow fabric (packet-level sim)",
+                 fmt_sci(dataflow_stats.mean(), 4), fmt_sci(dataflow_stats.stddev(), 2)});
+  table.add_row({"A100 (CUDA-model + traffic model)", fmt_sci(gpu_stats.mean(), 4),
+                 fmt_sci(gpu_stats.stddev(), 2)});
+  std::cout << table << '\n';
+  std::cout << "Reduced-scale dataflow advantage: "
+            << fmt_fixed(gpu_stats.mean() / dataflow_stats.mean(), 2)
+            << "x (small problems under-fill the GPU, so the gap exceeds the\n"
+               "paper-scale ratio; Table III's small grids show the same effect)\n\n";
+}
+
+} // namespace
+
+int main() {
+  std::cout << "=== bench/table2_timing — paper Table II ===\n\n";
+  paper_scale_section();
+  reduced_scale_section();
+  return 0;
+}

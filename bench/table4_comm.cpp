@@ -1,0 +1,91 @@
+// Table IV reproduction: time distribution between data movement and
+// computation on the dataflow device.
+//
+// The paper modified its kernel to "exclude all floating-point
+// operations" and re-ran the largest mesh for the same 225 steps. The
+// simulator reproduces that experiment literally with
+// TimingParams::compute_scale = 0 (DSD ops execute functionally but cost
+// zero cycles): what remains is data movement. We measure the split at
+// several column depths on the packet-level simulator and print the
+// paper's 750x994x922 row next to the analytic-model estimate.
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/solver.hpp"
+#include "fv/problem.hpp"
+#include "perf/analytic.hpp"
+
+using namespace fvdf;
+
+namespace {
+
+struct Split {
+  f64 total;
+  f64 comm;
+};
+
+Split measure(i64 dim, i64 nz, u64 iters) {
+  const auto problem = FlowProblem::homogeneous_column(dim, dim, nz);
+  core::DataflowConfig full;
+  full.tolerance = 0.0f;
+  full.max_iterations = iters;
+  const auto total = core::solve_dataflow(problem, full);
+
+  core::DataflowConfig comm = full;
+  comm.timing.compute_scale = 0.0;
+  const auto comm_only = core::solve_dataflow(problem, comm);
+  return {total.device_seconds, comm_only.device_seconds};
+}
+
+} // namespace
+
+int main() {
+  std::cout << "=== bench/table4_comm — paper Table IV ===\n\n";
+
+  // Paper values at 750x994x922, 225 steps.
+  Table paper("Paper Table IV (750x994x922, 225 steps)");
+  paper.set_header({"component", "time [s]", "share"});
+  paper.add_row({"Data movement", "0.0034", "6.27%"});
+  paper.add_row({"Computation", "0.0508 - 0.0542", "93.73 - 100%"});
+  paper.add_row({"Total", "0.0542", "100%"});
+  std::cout << paper << '\n';
+
+  // Analytic-model estimate at paper scale: the model's allreduce +
+  // fabric terms vs its compute terms.
+  {
+    const Cs2AnalyticModel model;
+    const f64 total = model.alg1_time(750, 994, 922, 225);
+    const f64 comm = model.comm_time(750, 994, 225);
+    Table table("Analytic model at paper scale (comm = pure wavelet transit,\n"
+                "calibrated to the paper's FLOP-free run; halo transfers overlap\n"
+                "with the z-flux and are hidden)");
+    table.set_header({"component", "time [s]", "share"});
+    table.add_row({"Data movement", fmt_fixed(comm, 4), fmt_percent(comm / total)});
+    table.add_row({"Computation", fmt_fixed(total - comm, 4),
+                   fmt_percent((total - comm) / total)});
+    table.add_row({"Total", fmt_fixed(total, 4), "100.00%"});
+    std::cout << table << '\n';
+  }
+
+  // Measured on the packet-level simulator across column depths: deeper
+  // columns amortize communication, pushing the split toward the paper's.
+  Table measured("Measured on the simulator (12x12 fabric, 20 CG iterations):\n"
+                 "communication share shrinks as columns deepen");
+  measured.set_header({"Nz", "total [ms]", "comm-only [ms]", "comm share",
+                       "compute share"});
+  for (const i64 nz : {4, 16, 64, 128}) {
+    const Split split = measure(12, nz, 20);
+    measured.add_row({std::to_string(nz), fmt_fixed(split.total * 1e3, 4),
+                      fmt_fixed(split.comm * 1e3, 4),
+                      fmt_percent(split.comm / split.total),
+                      fmt_percent(1.0 - split.comm / split.total)});
+  }
+  std::cout << measured << '\n';
+  std::cout << "Reading: the paper's 6.27% figure is the Nz=922 extreme of this\n"
+               "trend — at the reduced depths the simulator can hold, the share\n"
+               "is larger but decreases monotonically with Nz, matching the\n"
+               "design argument of Sec. III-A (whole Z column per PE).\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Scaling study: sweep fabric sizes and column depths on the simulated
+// dataflow device, report device time / throughput / communication share,
+// and extrapolate to CS-2 scale with the analytic model — a user-facing
+// version of the Table III / Table IV experiments with CSV output for
+// plotting.
+//
+//   ./examples/scaling_study [--max-dim 20 --nz 32 --iters 15 --csv out.csv]
+
+#include <fstream>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/solver.hpp"
+#include "fv/problem.hpp"
+#include "perf/analytic.hpp"
+
+using namespace fvdf;
+
+int main(int argc, char** argv) {
+  i64 max_dim = 20, nz = 32, iters = 15;
+  std::string csv_path;
+  CliParser cli("scaling_study",
+                "weak-scaling sweep on the simulated fabric + CS-2 extrapolation");
+  cli.add_i64("max-dim", &max_dim, "largest fabric edge to sweep");
+  cli.add_i64("nz", &nz, "column depth per PE");
+  cli.add_i64("iters", &iters, "fixed CG iterations per run");
+  cli.add_string("csv", &csv_path, "optional CSV output path");
+  if (!cli.parse(argc, argv)) return 0;
+
+  Table table("Weak scaling on the simulated fabric (Nz=" + std::to_string(nz) +
+              ", " + std::to_string(iters) + " iterations)");
+  table.set_header({"fabric", "cells", "Alg1 device", "thr [cell/s]",
+                    "comm share", "msgs", "flops"});
+
+  for (i64 dim = 4; dim <= max_dim; dim += 4) {
+    const auto problem = FlowProblem::homogeneous_column(dim, dim, nz);
+    core::DataflowConfig config;
+    config.tolerance = 0.0f;
+    config.max_iterations = static_cast<u64>(iters);
+    const auto full = core::solve_dataflow(problem, config);
+
+    core::DataflowConfig comm_config = config;
+    comm_config.timing.compute_scale = 0.0;
+    const auto comm = core::solve_dataflow(problem, comm_config);
+
+    const u64 cells = static_cast<u64>(dim) * dim * nz;
+    const f64 throughput =
+        static_cast<f64>(cells) * static_cast<f64>(iters) / full.device_seconds;
+    table.add_row({std::to_string(dim) + "x" + std::to_string(dim), fmt_count(cells),
+                   fmt_seconds(full.device_seconds),
+                   fmt_fixed(throughput / 1e6, 1) + " Mcell/s",
+                   fmt_percent(comm.device_cycles / full.device_cycles),
+                   fmt_count(full.fabric.messages_sent),
+                   fmt_count(full.counters.total_flops())});
+  }
+  std::cout << table << '\n';
+
+  // CS-2-scale extrapolation.
+  const Cs2AnalyticModel model;
+  Table extrapolation("Extrapolation to CS-2 scale (analytic model, Nz=922)");
+  extrapolation.set_header({"fabric", "Alg1 [s/225 iters]", "throughput"});
+  for (const auto& [w, h] : {std::pair<i64, i64>{200, 200}, {400, 400},
+                            {750, 994}}) {
+    const f64 t = model.alg1_time(w, h, 922, 225);
+    const u64 cells = static_cast<u64>(w) * h * 922;
+    extrapolation.add_row({std::to_string(w) + "x" + std::to_string(h),
+                           fmt_fixed(t, 4),
+                           fmt_gcells(Cs2AnalyticModel::throughput(cells, 225, t))});
+  }
+  std::cout << extrapolation << '\n';
+
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path);
+    out << table.to_csv();
+    std::cout << "wrote " << csv_path << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Unstructured near-well study (paper future work, Sec. VI): a radial grid
+// around an injection well — genuinely non-Cartesian topology (periodic in
+// theta, radius-dependent volumes) — solved with the same matrix-free
+// CG/PCG machinery, compared against the analytic log(r) steady profile,
+// and mapped onto a PE fabric with the placement planner.
+//
+//   ./examples/unstructured_well [--nr 32 --ntheta 32 --nz 2
+//                                 --r0 0.5 --r1 20 --fabric 8]
+
+#include <cmath>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "umesh/fabric_map.hpp"
+#include "umesh/mesh.hpp"
+#include "umesh/usolve.hpp"
+
+using namespace fvdf;
+using namespace fvdf::umesh;
+
+int main(int argc, char** argv) {
+  i64 nr = 32, ntheta = 32, nz = 2, fabric = 8;
+  f64 r0 = 0.5, r1 = 20.0;
+  CliParser cli("unstructured_well",
+                "radial near-well flow on an unstructured FV mesh");
+  cli.add_i64("nr", &nr, "radial shells");
+  cli.add_i64("ntheta", &ntheta, "angular sectors");
+  cli.add_i64("nz", &nz, "vertical layers");
+  cli.add_i64("fabric", &fabric, "fabric edge for the mapping study");
+  cli.add_f64("r0", &r0, "well radius");
+  cli.add_f64("r1", &r1, "outer boundary radius");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto ring = UnstructuredMesh::radial_sector(nr, ntheta, nz, r0, r1, 1.0, 1.0);
+  std::cout << "mesh: " << ring.cell_count() << " cells, " << ring.faces().size()
+            << " faces, max degree " << ring.max_degree()
+            << (ring.connected() ? ", connected" : ", DISCONNECTED") << "\n\n";
+
+  // Well at the inner shell (p=1), far-field boundary at the outer (p=0).
+  DirichletSet bc;
+  for (i64 iz = 0; iz < nz; ++iz)
+    for (i64 it = 0; it < ntheta; ++it) {
+      bc.pin((iz * ntheta + it) * nr + 0, 1.0);
+      bc.pin((iz * ntheta + it) * nr + nr - 1, 0.0);
+    }
+  std::vector<f64> mobility(static_cast<std::size_t>(ring.cell_count()), 1.0);
+  const UFlowProblem problem(ring, std::move(mobility), std::move(bc));
+
+  CgOptions options;
+  options.tolerance = 1e-24;
+  const auto result = solve_pressure_unstructured(problem, options);
+  std::cout << "solve: " << result.cg.iterations << " PCG iterations, residual "
+            << result.final_residual_norm << "\n\n";
+
+  // Radial profile vs the analytic log solution.
+  const f64 dr = (r1 - r0) / static_cast<f64>(nr);
+  const f64 r_in = r0 + 0.5 * dr, r_out = r1 - 0.5 * dr;
+  Table profile("Radial pressure profile vs analytic 1 - log(r/r_in)/log(r_out/r_in)");
+  profile.set_header({"shell", "r", "p (numeric)", "p (analytic)", "error"});
+  for (i64 ir = 0; ir < nr; ir += std::max<i64>(1, nr / 8)) {
+    const f64 r_mid = r0 + (static_cast<f64>(ir) + 0.5) * dr;
+    const f64 analytic =
+        ir == 0 ? 1.0
+                : std::clamp(1.0 - std::log(r_mid / r_in) / std::log(r_out / r_in),
+                             0.0, 1.0);
+    const f64 numeric = result.pressure[static_cast<std::size_t>(ir)];
+    profile.add_row({std::to_string(ir), fmt_fixed(r_mid, 2), fmt_fixed(numeric, 4),
+                     fmt_fixed(analytic, 4), fmt_fixed(std::fabs(numeric - analytic), 4)});
+  }
+  std::cout << profile << '\n';
+
+  // Fabric-mapping study for this topology.
+  MappingOptions mapping_options;
+  mapping_options.fabric_width = fabric;
+  mapping_options.fabric_height = fabric;
+  Table mapping_table("Mapping onto a " + std::to_string(fabric) + "x" +
+                      std::to_string(fabric) + " fabric");
+  mapping_table.set_header({"strategy", "cut faces", "hop weight", "max remote PEs"});
+  for (MappingStrategy strategy :
+       {MappingStrategy::IndexBlocks, MappingStrategy::MortonSfc,
+        MappingStrategy::Random}) {
+    const auto report = evaluate_mapping(
+        ring, map_cells(ring, strategy, mapping_options), mapping_options);
+    mapping_table.add_row({to_string(strategy), fmt_count(report.cut_faces),
+                           fmt_count(report.total_hop_weight),
+                           std::to_string(report.max_remote_neighbors)});
+  }
+  std::cout << mapping_table;
+  return result.cg.converged ? 0 : 1;
+}

@@ -1,0 +1,127 @@
+// Two-phase waterflood (IMPES) — the nonlinear multiphase system the
+// paper's single-phase kernel is the "key preliminary step" towards
+// (Sec. II-A): supercritical-CO2/water-analogue injection sweeping a
+// heterogeneous quarter-five-spot pattern. Every outer step solves the
+// paper's implicit pressure system (with saturation-dependent mobility)
+// and advances the saturation explicitly with upwind fractional flow.
+//
+//   ./examples/waterflood [--n 32 --steps 20 --dt 0.4 --mu-ratio 2
+//                          --sigma 1.0 --out flood]
+
+#include <cmath>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/image.hpp"
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+#include "common/table.hpp"
+#include "multiphase/impes.hpp"
+
+using namespace fvdf;
+using namespace fvdf::multiphase;
+
+namespace {
+
+ScalarImage field_image(const CartesianMesh3D& mesh, const std::vector<f64>& field) {
+  ScalarImage image;
+  image.nx = mesh.nx();
+  image.ny = mesh.ny();
+  image.values.assign(field.begin(),
+                      field.begin() + static_cast<std::ptrdiff_t>(image.nx * image.ny));
+  return image;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  i64 n = 32, steps = 20, seed = 3;
+  f64 dt = 0.4, mu_ratio = 2.0, sigma = 1.0;
+  std::string out = "flood";
+  CliParser cli("waterflood", "two-phase IMPES waterflood on a heterogeneous "
+                              "quarter five-spot");
+  cli.add_i64("n", &n, "lateral cells (n x n, single layer)");
+  cli.add_i64("steps", &steps, "outer (pressure) steps");
+  cli.add_i64("seed", &seed, "permeability seed");
+  cli.add_f64("dt", &dt, "outer step size");
+  cli.add_f64("mu-ratio", &mu_ratio, "resident/injected viscosity ratio");
+  cli.add_f64("sigma", &sigma, "log-permeability standard deviation");
+  std::string save_path, load_path;
+  cli.add_string("out", &out, "artifact prefix");
+  cli.add_string("save", &save_path, "write a restart checkpoint here");
+  cli.add_string("load", &load_path, "resume the saturation from this checkpoint");
+  if (!cli.parse(argc, argv)) return 0;
+
+  CartesianMesh3D mesh(n, n, 1);
+  Rng rng(static_cast<u64>(seed));
+  const auto perm = perm::lognormal(mesh, rng, 0.0, sigma);
+  auto bc = DirichletSet::injector_producer(mesh, 10.0, 0.0);
+
+  ImpesOptions options;
+  options.dt = dt;
+  options.steps = steps;
+  options.fluids.mu_n = mu_ratio;
+  options.relperm.srw = 0.1;
+  options.relperm.srn = 0.1;
+  options.cg.tolerance = 1e-20;
+  options.record_history = true;
+
+  std::vector<f64> initial_sw;
+  if (!load_path.empty()) {
+    const auto checkpoint = load_checkpoint(load_path);
+    FVDF_CHECK_MSG(checkpoint.nx == n && checkpoint.ny == n,
+                   "checkpoint grid mismatch");
+    initial_sw = checkpoint.field("saturation");
+    std::cout << "resumed saturation from " << load_path << "\n";
+  }
+
+  const auto result =
+      run_impes(mesh, perm, bc, {mesh.index(0, 0, 0)}, options, std::move(initial_sw));
+
+  if (!save_path.empty()) {
+    FieldCheckpoint checkpoint;
+    checkpoint.nx = n;
+    checkpoint.ny = n;
+    checkpoint.nz = 1;
+    checkpoint.fields["saturation"] = result.saturation;
+    checkpoint.fields["pressure"] = result.pressure;
+    save_checkpoint(save_path, checkpoint);
+    std::cout << "checkpoint written to " << save_path << "\n";
+  }
+
+  std::cout << "waterflood: " << mesh.describe() << ", viscosity ratio M="
+            << mu_ratio << "\n"
+            << "pressure solves: " << result.pressure_iterations.size()
+            << " (CG iterations first/last: " << result.pressure_iterations.front()
+            << "/" << result.pressure_iterations.back() << ")\n"
+            << "saturation sub-steps: " << result.total_substeps << "\n"
+            << "injected " << result.injected << ", produced " << result.produced
+            << ", mass-balance error " << result.mass_balance_error << "\n\n";
+
+  // Breakthrough diagnostics: water cut at the producer-adjacent cell.
+  Table history("Sweep history");
+  history.set_header({"step", "time", "mean Sw", "front extent (Sw>0.3 cells)"});
+  for (std::size_t s = 0; s < result.saturation_history.size();
+       s += std::max<std::size_t>(1, result.saturation_history.size() / 8)) {
+    const auto& sw = result.saturation_history[s];
+    f64 mean = 0;
+    u64 swept = 0;
+    for (f64 v : sw) {
+      mean += v;
+      if (v > 0.3) ++swept;
+    }
+    history.add_row({std::to_string(s), fmt_fixed(static_cast<f64>(s) * dt, 2),
+                     fmt_fixed(mean / static_cast<f64>(sw.size()), 4),
+                     std::to_string(swept)});
+  }
+  std::cout << history << '\n';
+
+  const ScalarImage sw_image = field_image(mesh, result.saturation);
+  write_ppm(sw_image, out + "_saturation.ppm");
+  write_ppm(field_image(mesh, result.pressure), out + "_pressure.ppm");
+  std::cout << "final water saturation (injector upper-left):\n"
+            << ascii_heatmap(sw_image, 48, 20) << '\n'
+            << "artifacts: " << out << "_saturation.ppm, " << out
+            << "_pressure.ppm\n";
+  return result.all_converged && result.mass_balance_error < 1e-8 ? 0 : 1;
+}

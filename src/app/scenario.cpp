@@ -1,0 +1,221 @@
+#include "app/scenario.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/image.hpp"
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+#include "core/solver.hpp"
+#include "fv/residual.hpp"
+#include "mesh/vtk.hpp"
+#include "solver/blas.hpp"
+#include "solver/pressure_solve.hpp"
+#include "solver/transient.hpp"
+
+namespace fvdf::app {
+
+const char* to_string(Backend backend) {
+  switch (backend) {
+  case Backend::HostCg: return "host CG (f64)";
+  case Backend::HostPcg: return "host Jacobi-PCG (f64)";
+  case Backend::Dataflow: return "simulated dataflow device (fp32)";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::set<std::string> kKnownKeys = {
+    "mesh.nx", "mesh.ny", "mesh.nz", "mesh.dx", "mesh.dy", "mesh.dz",
+    "perm.kind", "perm.value", "perm.low", "perm.high", "perm.thickness",
+    "perm.sigma", "perm.seed", "perm.smoothing", "perm.background",
+    "perm.channel", "perm.count",
+    "wells.injector_pressure", "wells.producer_pressure",
+    "wells.injector_kind", "wells.rate",
+    "solver.backend", "solver.tolerance", "solver.max_iterations",
+    "transient.enabled", "transient.dt", "transient.steps",
+    "transient.porosity", "transient.compressibility",
+    "output.vtk", "output.checkpoint", "output.heatmap",
+};
+
+CellField<f64> build_permeability(const Config& config, const CartesianMesh3D& mesh) {
+  const std::string kind = config.get_string("perm.kind", "homogeneous");
+  Rng rng(static_cast<u64>(config.get_i64("perm.seed", 1)));
+  if (kind == "homogeneous")
+    return perm::homogeneous(mesh, config.get_f64("perm.value", 1.0));
+  if (kind == "layered")
+    return perm::layered(mesh, config.get_f64("perm.low", 1.0),
+                         config.get_f64("perm.high", 100.0),
+                         config.get_i64("perm.thickness", 2));
+  if (kind == "lognormal")
+    return perm::lognormal(mesh, rng, 0.0, config.get_f64("perm.sigma", 1.0),
+                           static_cast<int>(config.get_i64("perm.smoothing", 2)));
+  if (kind == "channelized")
+    return perm::channelized(mesh, rng, config.get_f64("perm.background", 1.0),
+                             config.get_f64("perm.channel", 500.0),
+                             static_cast<int>(config.get_i64("perm.count", 3)));
+  throw Error("perm.kind: unknown geomodel '" + kind + "'");
+}
+
+ScalarImage top_layer(const CartesianMesh3D& mesh, const std::vector<f64>& field) {
+  ScalarImage image;
+  image.nx = mesh.nx();
+  image.ny = mesh.ny();
+  image.values.assign(field.begin(),
+                      field.begin() + static_cast<std::ptrdiff_t>(image.nx * image.ny));
+  return image;
+}
+
+} // namespace
+
+Scenario scenario_from_config(const Config& config) {
+  for (const std::string& key : config.keys())
+    FVDF_CHECK_MSG(kKnownKeys.count(key) != 0, "unknown config key '" << key << "'");
+
+  CartesianMesh3D mesh(config.get_i64("mesh.nx", 8), config.get_i64("mesh.ny", 8),
+                       config.get_i64("mesh.nz", 8), config.get_f64("mesh.dx", 1.0),
+                       config.get_f64("mesh.dy", 1.0), config.get_f64("mesh.dz", 1.0));
+  auto permeability = build_permeability(config, mesh);
+  const std::string injector_kind =
+      config.get_string("wells.injector_kind", "pressure");
+
+  Scenario scenario;
+  if (injector_kind == "pressure") {
+    auto bc = DirichletSet::injector_producer(
+        mesh, config.get_f64("wells.injector_pressure", 1.0),
+        config.get_f64("wells.producer_pressure", 0.0));
+    scenario.problem = std::make_unique<FlowProblem>(mesh, std::move(permeability),
+                                                     /*viscosity=*/1.0, std::move(bc));
+  } else if (injector_kind == "rate") {
+    // Rate-controlled injector column at (0,0); only the producer column is
+    // pressure-pinned. The total rate is distributed evenly over the column.
+    DirichletSet bc;
+    for (i64 z = 0; z < mesh.nz(); ++z)
+      bc.pin(mesh, {mesh.nx() - 1, mesh.ny() - 1, z},
+             config.get_f64("wells.producer_pressure", 0.0));
+    scenario.problem = std::make_unique<FlowProblem>(mesh, std::move(permeability),
+                                                     /*viscosity=*/1.0, std::move(bc));
+    const f64 rate = config.get_f64("wells.rate", 1.0);
+    for (i64 z = 0; z < mesh.nz(); ++z)
+      scenario.problem->add_source(mesh.index(0, 0, z),
+                                   rate / static_cast<f64>(mesh.nz()));
+  } else {
+    throw Error("wells.injector_kind: expected 'pressure' or 'rate', got '" +
+                injector_kind + "'");
+  }
+
+  const std::string backend = config.get_string("solver.backend", "host-pcg");
+  if (backend == "host") {
+    scenario.backend = Backend::HostCg;
+  } else if (backend == "host-pcg") {
+    scenario.backend = Backend::HostPcg;
+  } else if (backend == "dataflow") {
+    scenario.backend = Backend::Dataflow;
+  } else {
+    throw Error("solver.backend: unknown backend '" + backend + "'");
+  }
+  scenario.tolerance = config.get_f64("solver.tolerance", 1e-18);
+  FVDF_CHECK_MSG(scenario.tolerance >= 0, "solver.tolerance must be >= 0");
+  scenario.max_iterations =
+      static_cast<u64>(config.get_i64("solver.max_iterations", 100'000));
+
+  scenario.transient = config.get_bool("transient.enabled", false);
+  scenario.dt = config.get_f64("transient.dt", 1.0);
+  scenario.steps = config.get_i64("transient.steps", 10);
+  scenario.porosity = config.get_f64("transient.porosity", 0.2);
+  scenario.compressibility = config.get_f64("transient.compressibility", 1e-2);
+  FVDF_CHECK_MSG(!scenario.transient || (scenario.dt > 0 && scenario.steps >= 1),
+                 "transient.dt/steps invalid");
+
+  scenario.vtk_path = config.get_string("output.vtk", "");
+  scenario.checkpoint_path = config.get_string("output.checkpoint", "");
+  scenario.heatmap = config.get_bool("output.heatmap", false);
+  return scenario;
+}
+
+ScenarioOutcome run_scenario(const Scenario& scenario, std::ostream& log) {
+  FVDF_CHECK(scenario.problem != nullptr);
+  const FlowProblem& problem = *scenario.problem;
+  const auto& mesh = problem.mesh();
+  log << "scenario: " << mesh.describe() << ", backend " << to_string(scenario.backend)
+      << (scenario.transient ? " (transient)" : " (steady)") << '\n';
+
+  ScenarioOutcome outcome;
+  if (scenario.transient && scenario.backend == Backend::Dataflow) {
+    core::DataflowConfig config;
+    config.tolerance = static_cast<f32>(scenario.tolerance);
+    config.max_iterations = scenario.max_iterations;
+    config.jacobi_precondition = true;
+    const auto result = core::solve_transient_dataflow(
+        problem, scenario.dt, scenario.steps, scenario.porosity,
+        scenario.compressibility, config);
+    outcome.converged = result.all_converged;
+    for (u64 iters : result.iterations_per_step) outcome.iterations += iters;
+    outcome.pressure.assign(result.pressure.begin(), result.pressure.end());
+    log << "device time across steps: " << result.total_device_seconds << " s (simulated)\n";
+  } else if (scenario.transient) {
+    TransientOptions options;
+    options.dt = scenario.dt;
+    options.steps = scenario.steps;
+    options.porosity = scenario.porosity;
+    options.total_compressibility = scenario.compressibility;
+    options.cg.tolerance = scenario.tolerance;
+    options.cg.max_iterations = scenario.max_iterations;
+    options.jacobi = scenario.backend == Backend::HostPcg;
+    const auto result = solve_transient_host(problem, options);
+    outcome.converged = result.all_converged;
+    for (u64 iters : result.iterations_per_step) outcome.iterations += iters;
+    outcome.pressure = result.pressure;
+  } else if (scenario.backend == Backend::Dataflow) {
+    core::DataflowConfig config;
+    config.tolerance = static_cast<f32>(scenario.tolerance);
+    config.max_iterations = scenario.max_iterations;
+    const auto result = core::solve_dataflow(problem, config);
+    outcome.converged = result.converged;
+    outcome.iterations = result.iterations;
+    outcome.pressure.assign(result.pressure.begin(), result.pressure.end());
+    log << "device: " << result.device_seconds << " s (simulated), "
+        << result.fabric.messages_sent << " messages\n";
+  } else {
+    CgOptions options;
+    options.tolerance = scenario.tolerance;
+    options.max_iterations = scenario.max_iterations;
+    const auto result = scenario.backend == Backend::HostPcg
+                            ? solve_pressure_host_jacobi(problem, options)
+                            : solve_pressure_host(problem, options);
+    outcome.converged = result.cg.converged;
+    outcome.iterations = result.cg.iterations;
+    outcome.pressure = result.pressure;
+  }
+
+  const auto residual =
+      compute_residual(problem, outcome.pressure);
+  outcome.residual_norm = blas::norm2(residual.data(), residual.size());
+  log << "iterations: " << outcome.iterations << ", Eq.(3) residual norm "
+      << outcome.residual_norm << (outcome.converged ? "" : "  [NOT CONVERGED]")
+      << '\n';
+
+  if (!scenario.vtk_path.empty()) {
+    write_vtk(scenario.vtk_path, mesh,
+              {{"pressure", &outcome.pressure},
+               {"permeability", &problem.permeability().data()}});
+    log << "wrote " << scenario.vtk_path << '\n';
+  }
+  if (!scenario.checkpoint_path.empty()) {
+    FieldCheckpoint checkpoint;
+    checkpoint.nx = mesh.nx();
+    checkpoint.ny = mesh.ny();
+    checkpoint.nz = mesh.nz();
+    checkpoint.fields["pressure"] = outcome.pressure;
+    save_checkpoint(scenario.checkpoint_path, checkpoint);
+    log << "wrote " << scenario.checkpoint_path << '\n';
+  }
+  if (scenario.heatmap)
+    log << "pressure, top layer:\n" << ascii_heatmap(top_layer(mesh, outcome.pressure));
+  return outcome;
+}
+
+} // namespace fvdf::app

@@ -1,0 +1,70 @@
+#pragma once
+// Config-driven simulation scenarios: the glue between an INI file and the
+// solver stack, used by the production-style driver (tools/fvdf_sim) and
+// unit-tested directly. A scenario describes mesh, geomodel, wells, solver
+// backend (host CG / host Jacobi-PCG / simulated dataflow device), an
+// optional backward-Euler transient schedule, and output artifacts
+// (VTK, checkpoint, terminal heatmap).
+//
+// Schema (all keys, defaults in parentheses):
+//   [mesh]      nx, ny, nz (8); dx, dy, dz (1.0)
+//   [perm]      kind = homogeneous|layered|lognormal|channelized
+//               value (1.0) | low/high/thickness | sigma/seed/smoothing |
+//               background/channel/count/seed
+//   [wells]     injector_kind = pressure|rate (pressure);
+//               injector_pressure (1.0), producer_pressure (0.0);
+//               rate (1.0, total over the injector column, rate kind only)
+//   [solver]    backend = host|host-pcg|dataflow (host-pcg),
+//               tolerance (1e-18), max_iterations (100000)
+//   [transient] enabled (false), dt (1.0), steps (10),
+//               porosity (0.2), compressibility (1e-2)
+//   [output]    vtk (unset), checkpoint (unset), heatmap (false)
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "fv/problem.hpp"
+
+namespace fvdf::app {
+
+enum class Backend : u8 { HostCg, HostPcg, Dataflow };
+
+const char* to_string(Backend backend);
+
+struct Scenario {
+  std::unique_ptr<FlowProblem> problem;
+
+  Backend backend = Backend::HostPcg;
+  f64 tolerance = 1e-18;
+  u64 max_iterations = 100'000;
+
+  bool transient = false;
+  f64 dt = 1.0;
+  i64 steps = 10;
+  f64 porosity = 0.2;
+  f64 compressibility = 1e-2;
+
+  std::string vtk_path;
+  std::string checkpoint_path;
+  bool heatmap = false;
+};
+
+/// Builds a scenario from a parsed config. Throws fvdf::Error with the
+/// offending key on any invalid setting; rejects unknown keys (typos must
+/// not silently fall back to defaults).
+Scenario scenario_from_config(const Config& config);
+
+struct ScenarioOutcome {
+  bool converged = false;
+  u64 iterations = 0; // total across steps for transient runs
+  f64 residual_norm = 0;
+  std::vector<f64> pressure;
+};
+
+/// Runs the scenario, writes its artifacts, and logs a human summary.
+ScenarioOutcome run_scenario(const Scenario& scenario, std::ostream& log);
+
+} // namespace fvdf::app

@@ -1,0 +1,122 @@
+#include "common/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace fvdf {
+
+namespace {
+std::string trim(const std::string& text) {
+  std::size_t begin = 0, end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+  return text.substr(begin, end - begin);
+}
+} // namespace
+
+Config Config::parse_string(const std::string& text) {
+  Config config;
+  std::istringstream in(text);
+  std::string line, section;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments (# or ;) and whitespace.
+    const auto comment = line.find_first_of("#;");
+    if (comment != std::string::npos) line = line.substr(0, comment);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      FVDF_CHECK_MSG(line.back() == ']' && line.size() > 2,
+                     "config line " << line_no << ": malformed section header");
+      section = trim(line.substr(1, line.size() - 2));
+      FVDF_CHECK_MSG(!section.empty(), "config line " << line_no << ": empty section");
+      continue;
+    }
+    const auto eq = line.find('=');
+    FVDF_CHECK_MSG(eq != std::string::npos,
+                   "config line " << line_no << ": expected key = value");
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    FVDF_CHECK_MSG(!key.empty(), "config line " << line_no << ": empty key");
+    const std::string full = section.empty() ? key : section + "." + key;
+    FVDF_CHECK_MSG(config.values_.emplace(full, value).second,
+                   "config line " << line_no << ": duplicate key '" << full << "'");
+  }
+  return config;
+}
+
+Config Config::parse_file(const std::string& path) {
+  std::ifstream in(path);
+  FVDF_CHECK_MSG(in.good(), "cannot open config " << path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_string(buffer.str());
+}
+
+bool Config::has(const std::string& key) const { return values_.count(key) != 0; }
+
+std::string Config::get_string(const std::string& key) const {
+  const auto it = values_.find(key);
+  FVDF_CHECK_MSG(it != values_.end(), "missing config key '" << key << "'");
+  return it->second;
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& fallback) const {
+  return has(key) ? get_string(key) : fallback;
+}
+
+i64 Config::get_i64(const std::string& key) const {
+  const std::string value = get_string(key);
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value.c_str(), &end, 10);
+  FVDF_CHECK_MSG(end && *end == '\0' && !value.empty(),
+                 "config key '" << key << "': not an integer: " << value);
+  return parsed;
+}
+
+i64 Config::get_i64(const std::string& key, i64 fallback) const {
+  return has(key) ? get_i64(key) : fallback;
+}
+
+f64 Config::get_f64(const std::string& key) const {
+  const std::string value = get_string(key);
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  FVDF_CHECK_MSG(end && *end == '\0' && !value.empty(),
+                 "config key '" << key << "': not a number: " << value);
+  return parsed;
+}
+
+f64 Config::get_f64(const std::string& key, f64 fallback) const {
+  return has(key) ? get_f64(key) : fallback;
+}
+
+bool Config::get_bool(const std::string& key) const {
+  std::string value = get_string(key);
+  std::transform(value.begin(), value.end(), value.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (value == "true" || value == "yes" || value == "on" || value == "1") return true;
+  if (value == "false" || value == "no" || value == "off" || value == "0") return false;
+  throw Error("config key '" + key + "': not a boolean: " + value);
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  return has(key) ? get_bool(key) : fallback;
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [key, value] : values_) out.push_back(key);
+  return out;
+}
+
+} // namespace fvdf

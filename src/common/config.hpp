@@ -1,0 +1,41 @@
+#pragma once
+// Minimal INI-style configuration for the simulation driver
+// (tools/fvdf_sim): `[section]` headers, `key = value` pairs, `#`/`;`
+// comments. Keys are addressed as "section.key". Unknown keys are the
+// caller's business (the driver validates against its schema); malformed
+// lines are errors here.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fvdf {
+
+class Config {
+public:
+  static Config parse_string(const std::string& text);
+  static Config parse_file(const std::string& path);
+
+  bool has(const std::string& key) const;
+
+  /// Typed getters. The `fallback` overloads return it when the key is
+  /// absent; the overloads without it throw.
+  std::string get_string(const std::string& key) const;
+  std::string get_string(const std::string& key, const std::string& fallback) const;
+  i64 get_i64(const std::string& key) const;
+  i64 get_i64(const std::string& key, i64 fallback) const;
+  f64 get_f64(const std::string& key) const;
+  f64 get_f64(const std::string& key, f64 fallback) const;
+  bool get_bool(const std::string& key) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// All keys, sorted (schema validation / diagnostics).
+  std::vector<std::string> keys() const;
+
+private:
+  std::map<std::string, std::string> values_;
+};
+
+} // namespace fvdf

@@ -1,0 +1,47 @@
+#pragma once
+// Error handling helpers.
+//
+// FVDF_CHECK is used for conditions that indicate a programming error or a
+// violated invariant (analogous to contract assertions in the C++ Core
+// Guidelines sense). It is always on, including in release builds: the
+// simulator must never silently produce wrong physics.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fvdf {
+
+/// Exception thrown on violated invariants and invalid configuration.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+} // namespace detail
+
+} // namespace fvdf
+
+#define FVDF_CHECK(expr)                                                      \
+  do {                                                                        \
+    if (!(expr))                                                              \
+      ::fvdf::detail::throw_check_failure(#expr, __FILE__, __LINE__, "");     \
+  } while (0)
+
+#define FVDF_CHECK_MSG(expr, msg)                                             \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      std::ostringstream fvdf_os_;                                            \
+      fvdf_os_ << msg;                                                        \
+      ::fvdf::detail::throw_check_failure(#expr, __FILE__, __LINE__,          \
+                                          fvdf_os_.str());                    \
+    }                                                                         \
+  } while (0)

@@ -1,0 +1,105 @@
+#include "common/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace fvdf {
+
+namespace {
+struct Rgb {
+  f64 r, g, b;
+};
+
+// Five-stop approximation of viridis; linear interpolation between stops.
+constexpr Rgb kStops[] = {{0.267, 0.005, 0.329},
+                          {0.229, 0.322, 0.546},
+                          {0.127, 0.566, 0.551},
+                          {0.369, 0.789, 0.383},
+                          {0.993, 0.906, 0.144}};
+
+void min_max(const ScalarImage& image, f64& lo, f64& hi) {
+  FVDF_CHECK(!image.values.empty());
+  lo = hi = image.values.front();
+  for (f64 value : image.values) {
+    lo = std::min(lo, value);
+    hi = std::max(hi, value);
+  }
+  if (hi == lo) hi = lo + 1.0; // constant field renders as the low color
+}
+} // namespace
+
+void colormap(f64 t, u8& r, u8& g, u8& b) {
+  t = std::clamp(t, 0.0, 1.0);
+  constexpr int kSegments = static_cast<int>(std::size(kStops)) - 1;
+  const f64 scaled = t * kSegments;
+  const int seg = std::min(kSegments - 1, static_cast<int>(scaled));
+  const f64 frac = scaled - seg;
+  auto lerp = [&](f64 a, f64 c) { return a + (c - a) * frac; };
+  r = static_cast<u8>(std::lround(255.0 * lerp(kStops[seg].r, kStops[seg + 1].r)));
+  g = static_cast<u8>(std::lround(255.0 * lerp(kStops[seg].g, kStops[seg + 1].g)));
+  b = static_cast<u8>(std::lround(255.0 * lerp(kStops[seg].b, kStops[seg + 1].b)));
+}
+
+void write_ppm(const ScalarImage& image, const std::string& path) {
+  FVDF_CHECK(image.nx > 0 && image.ny > 0);
+  FVDF_CHECK(static_cast<std::size_t>(image.nx * image.ny) == image.values.size());
+  f64 lo, hi;
+  min_max(image, lo, hi);
+
+  std::ofstream out(path, std::ios::binary);
+  FVDF_CHECK_MSG(out.good(), "cannot open " << path);
+  out << "P6\n" << image.nx << ' ' << image.ny << "\n255\n";
+  for (i64 y = 0; y < image.ny; ++y) {
+    for (i64 x = 0; x < image.nx; ++x) {
+      const f64 t = (image.at(x, y) - lo) / (hi - lo);
+      u8 r, g, b;
+      colormap(t, r, g, b);
+      out.put(static_cast<char>(r)).put(static_cast<char>(g)).put(static_cast<char>(b));
+    }
+  }
+  FVDF_CHECK_MSG(out.good(), "write failed: " << path);
+}
+
+void write_csv(const ScalarImage& image, const std::string& path) {
+  std::ofstream out(path);
+  FVDF_CHECK_MSG(out.good(), "cannot open " << path);
+  out << "x,y,value\n";
+  for (i64 y = 0; y < image.ny; ++y)
+    for (i64 x = 0; x < image.nx; ++x)
+      out << x << ',' << y << ',' << image.at(x, y) << '\n';
+  FVDF_CHECK_MSG(out.good(), "write failed: " << path);
+}
+
+std::string ascii_heatmap(const ScalarImage& image, i64 max_cols, i64 max_rows) {
+  FVDF_CHECK(image.nx > 0 && image.ny > 0 && max_cols > 0 && max_rows > 0);
+  f64 lo, hi;
+  min_max(image, lo, hi);
+  static const char kRamp[] = " .:-=+*#%@";
+  constexpr int kRampLen = static_cast<int>(sizeof(kRamp)) - 2;
+
+  const i64 cols = std::min(max_cols, image.nx);
+  const i64 rows = std::min(max_rows, image.ny);
+  std::ostringstream os;
+  for (i64 row = 0; row < rows; ++row) {
+    for (i64 col = 0; col < cols; ++col) {
+      // Box-average the source region mapped to this character cell.
+      const i64 x0 = col * image.nx / cols, x1 = std::max(x0 + 1, (col + 1) * image.nx / cols);
+      const i64 y0 = row * image.ny / rows, y1 = std::max(y0 + 1, (row + 1) * image.ny / rows);
+      f64 sum = 0.0;
+      for (i64 y = y0; y < y1; ++y)
+        for (i64 x = x0; x < x1; ++x) sum += image.at(x, y);
+      const f64 avg = sum / static_cast<f64>((x1 - x0) * (y1 - y0));
+      const f64 t = (avg - lo) / (hi - lo);
+      const int idx = std::clamp(static_cast<int>(t * kRampLen + 0.5), 0, kRampLen);
+      os << kRamp[idx];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+} // namespace fvdf

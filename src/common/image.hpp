@@ -1,0 +1,38 @@
+#pragma once
+// Scalar-field visualization used to reproduce Figure 5 (pressure
+// propagation from injector to producer): PPM raster output with a
+// perceptually ordered colormap, plus an ASCII heatmap for terminals.
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fvdf {
+
+/// A row-major 2D scalar field (ny rows of nx values).
+struct ScalarImage {
+  i64 nx = 0;
+  i64 ny = 0;
+  std::vector<f64> values; // size nx*ny
+
+  f64 at(i64 x, i64 y) const { return values[static_cast<std::size_t>(y * nx + x)]; }
+};
+
+/// Writes a binary PPM (P6) using the viridis-like colormap, min/max scaled.
+/// Throws fvdf::Error on I/O failure.
+void write_ppm(const ScalarImage& image, const std::string& path);
+
+/// Writes "x,y,value" CSV rows with a header.
+void write_csv(const ScalarImage& image, const std::string& path);
+
+/// Renders an ASCII heatmap (downsampled to at most max_cols x max_rows)
+/// using a density ramp; used by bench/fig5 so the artifact is visible in
+/// plain terminal logs.
+std::string ascii_heatmap(const ScalarImage& image, i64 max_cols = 72,
+                          i64 max_rows = 28);
+
+/// Maps t in [0,1] to an RGB triple of the built-in colormap.
+void colormap(f64 t, u8& r, u8& g, u8& b);
+
+} // namespace fvdf

@@ -1,0 +1,54 @@
+#include "common/log.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <iostream>
+#include <mutex>
+
+#include "common/error.hpp"
+
+namespace fvdf {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Info};
+std::mutex g_emit_mutex;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+  case LogLevel::Trace: return "TRACE";
+  case LogLevel::Debug: return "DEBUG";
+  case LogLevel::Info: return "INFO ";
+  case LogLevel::Warn: return "WARN ";
+  case LogLevel::ErrorLvl: return "ERROR";
+  case LogLevel::Off: return "OFF  ";
+  }
+  return "?????";
+}
+} // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+LogLevel parse_log_level(const std::string& name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "trace") return LogLevel::Trace;
+  if (lower == "debug") return LogLevel::Debug;
+  if (lower == "info") return LogLevel::Info;
+  if (lower == "warn") return LogLevel::Warn;
+  if (lower == "error") return LogLevel::ErrorLvl;
+  if (lower == "off") return LogLevel::Off;
+  throw Error("unknown log level: " + name);
+}
+
+namespace detail {
+void emit(LogLevel level, const std::string& line) {
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::ostream& out = (level >= LogLevel::Warn) ? std::cerr : std::clog;
+  out << '[' << level_tag(level) << "] " << line << '\n';
+}
+} // namespace detail
+
+} // namespace fvdf

@@ -1,0 +1,46 @@
+#pragma once
+// Minimal leveled logger. Single-threaded use is lock-free; concurrent use
+// serializes line emission so interleaved output stays readable.
+
+#include <sstream>
+#include <string>
+
+namespace fvdf {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, ErrorLvl = 4, Off = 5 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Parse "trace|debug|info|warn|error|off" (case-insensitive).
+LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+void emit(LogLevel level, const std::string& line);
+}
+
+/// Stream-style log statement: LOG(Info) << "solved in " << n << " iters";
+class LogLine {
+public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { detail::emit(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T> LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+} // namespace fvdf
+
+#define FVDF_LOG(lvl)                                                         \
+  if (::fvdf::LogLevel::lvl < ::fvdf::log_level()) {                          \
+  } else                                                                      \
+    ::fvdf::LogLine(::fvdf::LogLevel::lvl)

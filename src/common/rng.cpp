@@ -1,0 +1,90 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace fvdf {
+
+namespace {
+u64 splitmix64(u64& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  u64 z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+} // namespace
+
+Rng::Rng(u64 seed) {
+  u64 s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+u64 Rng::next_u64() {
+  const u64 result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const u64 t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+f64 Rng::uniform() {
+  // 53 top bits -> double in [0,1).
+  return static_cast<f64>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+f64 Rng::uniform(f64 lo, f64 hi) { return lo + (hi - lo) * uniform(); }
+
+u64 Rng::uniform_index(u64 n) {
+  FVDF_CHECK(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const u64 threshold = (~u64{0} - n + 1) % n;
+  for (;;) {
+    const u64 r = next_u64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+f64 Rng::normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  f64 u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const f64 u2 = uniform();
+  const f64 radius = std::sqrt(-2.0 * std::log(u1));
+  const f64 angle = 2.0 * M_PI * u2;
+  cached_normal_ = radius * std::sin(angle);
+  have_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+f64 Rng::normal(f64 mean, f64 stddev) { return mean + stddev * normal(); }
+
+f64 Rng::lognormal(f64 mu, f64 sigma) { return std::exp(normal(mu, sigma)); }
+
+void Rng::jump() {
+  static constexpr u64 kJump[] = {0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+                                  0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+  std::array<u64, 4> acc{};
+  for (u64 word : kJump) {
+    for (int bit = 0; bit < 64; ++bit) {
+      if (word & (u64{1} << bit)) {
+        for (int i = 0; i < 4; ++i) acc[i] ^= state_[i];
+      }
+      next_u64();
+    }
+  }
+  state_ = acc;
+  have_cached_normal_ = false;
+}
+
+} // namespace fvdf

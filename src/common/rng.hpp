@@ -1,0 +1,53 @@
+#pragma once
+// Deterministic pseudo-random number generation.
+//
+// xoshiro256++ is used instead of std::mt19937 because (a) it is much
+// faster, (b) the stream is reproducible across standard libraries, which
+// matters for tests that pin expected values, and (c) `jump()` gives
+// cheap independent streams for parallel field generation.
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace fvdf {
+
+/// xoshiro256++ by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+public:
+  /// Seeds the full 256-bit state from a 64-bit seed via splitmix64.
+  explicit Rng(u64 seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  u64 next_u64();
+
+  /// Uniform in [0, 1).
+  f64 uniform();
+
+  /// Uniform in [lo, hi).
+  f64 uniform(f64 lo, f64 hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  u64 uniform_index(u64 n);
+
+  /// Standard normal via Box–Muller (cached second value).
+  f64 normal();
+
+  /// Normal with given mean and standard deviation.
+  f64 normal(f64 mean, f64 stddev);
+
+  /// Log-normal: exp(normal(mu, sigma)). Common model for permeability.
+  f64 lognormal(f64 mu, f64 sigma);
+
+  /// Advances the state by 2^128 steps: yields a stream independent from
+  /// the original for any realistic consumption.
+  void jump();
+
+private:
+  std::array<u64, 4> state_{};
+  bool have_cached_normal_ = false;
+  f64 cached_normal_ = 0.0;
+};
+
+} // namespace fvdf

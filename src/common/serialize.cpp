@@ -1,0 +1,92 @@
+#include "common/serialize.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace fvdf {
+
+namespace {
+constexpr char kMagic[4] = {'F', 'V', 'D', 'F'};
+constexpr u32 kVersion = 1;
+
+template <typename T> void write_pod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T> T read_pod(std::ifstream& in, const char* what) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  FVDF_CHECK_MSG(in.good(), "checkpoint truncated while reading " << what);
+  return value;
+}
+} // namespace
+
+const std::vector<f64>& FieldCheckpoint::field(const std::string& name) const {
+  const auto it = fields.find(name);
+  FVDF_CHECK_MSG(it != fields.end(), "checkpoint has no field '" << name << "'");
+  return it->second;
+}
+
+void save_checkpoint(const std::string& path, const FieldCheckpoint& checkpoint) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    FVDF_CHECK_MSG(out.good(), "cannot open " << tmp);
+    out.write(kMagic, 4);
+    write_pod(out, kVersion);
+    write_pod(out, checkpoint.nx);
+    write_pod(out, checkpoint.ny);
+    write_pod(out, checkpoint.nz);
+    write_pod(out, static_cast<u32>(checkpoint.fields.size()));
+    for (const auto& [name, data] : checkpoint.fields) {
+      write_pod(out, static_cast<u32>(name.size()));
+      out.write(name.data(), static_cast<std::streamsize>(name.size()));
+      write_pod(out, static_cast<u64>(data.size()));
+      out.write(reinterpret_cast<const char*>(data.data()),
+                static_cast<std::streamsize>(data.size() * sizeof(f64)));
+    }
+    FVDF_CHECK_MSG(out.good(), "write failed: " << tmp);
+  }
+  FVDF_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
+                 "rename to " << path << " failed");
+}
+
+FieldCheckpoint load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  FVDF_CHECK_MSG(in.good(), "cannot open checkpoint " << path);
+
+  char magic[4];
+  in.read(magic, 4);
+  FVDF_CHECK_MSG(in.good() && std::memcmp(magic, kMagic, 4) == 0,
+                 path << " is not an FVDF checkpoint");
+  const u32 version = read_pod<u32>(in, "version");
+  FVDF_CHECK_MSG(version == kVersion,
+                 "unsupported checkpoint version " << version);
+
+  FieldCheckpoint checkpoint;
+  checkpoint.nx = read_pod<i64>(in, "nx");
+  checkpoint.ny = read_pod<i64>(in, "ny");
+  checkpoint.nz = read_pod<i64>(in, "nz");
+  const u32 field_count = read_pod<u32>(in, "field count");
+  FVDF_CHECK_MSG(field_count < 1024, "implausible field count " << field_count);
+  for (u32 f = 0; f < field_count; ++f) {
+    const u32 name_len = read_pod<u32>(in, "name length");
+    FVDF_CHECK_MSG(name_len < 4096, "implausible field-name length");
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    FVDF_CHECK_MSG(in.good(), "checkpoint truncated in field name");
+    const u64 size = read_pod<u64>(in, "field size");
+    FVDF_CHECK_MSG(size < (1ull << 32), "implausible field size");
+    std::vector<f64> data(size);
+    in.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(size * sizeof(f64)));
+    FVDF_CHECK_MSG(in.good(), "checkpoint truncated in field '" << name << "'");
+    checkpoint.fields.emplace(std::move(name), std::move(data));
+  }
+  return checkpoint;
+}
+
+} // namespace fvdf

@@ -1,0 +1,31 @@
+#pragma once
+// Binary field checkpointing: save/restore named f64 fields with grid
+// metadata, so long simulations (transient, IMPES) can stop and resume.
+// Format: magic "FVDF", format version, grid dims, then length-prefixed
+// (name, data) records. Loading validates magic, version and sizes and
+// throws fvdf::Error on any mismatch or truncation — a corrupt checkpoint
+// must never load as silently-wrong data.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fvdf {
+
+struct FieldCheckpoint {
+  i64 nx = 0, ny = 0, nz = 0; // grid shape the fields belong to
+  std::map<std::string, std::vector<f64>> fields;
+
+  /// Convenience accessor that throws if the field is missing.
+  const std::vector<f64>& field(const std::string& name) const;
+};
+
+/// Writes the checkpoint atomically-ish (temp file + rename).
+void save_checkpoint(const std::string& path, const FieldCheckpoint& checkpoint);
+
+/// Reads and validates a checkpoint.
+FieldCheckpoint load_checkpoint(const std::string& path);
+
+} // namespace fvdf

@@ -1,0 +1,47 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace fvdf {
+
+void RunningStats::add(f64 value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const f64 delta = value - mean_;
+  mean_ += delta / static_cast<f64>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+f64 RunningStats::stddev() const {
+  if (count_ < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<f64>(count_ - 1));
+}
+
+f64 RunningStats::variance() const {
+  if (count_ == 0) return 0.0;
+  return m2_ / static_cast<f64>(count_);
+}
+
+void RunningStats::clear() { *this = RunningStats{}; }
+
+f64 percentile(std::vector<f64> samples, f64 p) {
+  FVDF_CHECK(!samples.empty());
+  FVDF_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() == 1) return samples.front();
+  const f64 rank = p / 100.0 * static_cast<f64>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const f64 frac = rank - static_cast<f64>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+} // namespace fvdf

@@ -1,0 +1,40 @@
+#pragma once
+// Streaming statistics (Welford) used for timing measurements: the paper
+// reports "average kernel time and standard deviation ... from multiple
+// runs" (Table II), so every timed experiment carries a RunningStats.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fvdf {
+
+/// Numerically stable streaming mean / variance / min / max.
+class RunningStats {
+public:
+  void add(f64 value);
+
+  std::size_t count() const { return count_; }
+  f64 mean() const { return mean_; }
+  /// Sample standard deviation (n-1 denominator); 0 for n < 2.
+  f64 stddev() const;
+  /// Population variance helper for tests.
+  f64 variance() const;
+  f64 min() const { return min_; }
+  f64 max() const { return max_; }
+
+  void clear();
+
+private:
+  std::size_t count_ = 0;
+  f64 mean_ = 0.0;
+  f64 m2_ = 0.0;
+  f64 min_ = 0.0;
+  f64 max_ = 0.0;
+};
+
+/// Exact percentile (linear interpolation) over a copy of the samples.
+f64 percentile(std::vector<f64> samples, f64 p);
+
+} // namespace fvdf

@@ -1,0 +1,48 @@
+#pragma once
+// Column-aligned table rendering used by every bench harness so reproduced
+// tables look like the paper's (fixed columns, one row per configuration).
+// Also emits CSV for downstream plotting.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fvdf {
+
+class Table {
+public:
+  explicit Table(std::string title = "");
+
+  /// Sets the header row. Must be called before add_row.
+  void set_header(std::vector<std::string> columns);
+
+  /// Appends a data row; must match the header's column count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience for mixed cell types already formatted by the caller.
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return header_.size(); }
+  const std::string& cell(std::size_t row, std::size_t col) const;
+
+  /// Renders with box-drawing-free ASCII (pipe-separated, padded).
+  std::string to_string() const;
+
+  /// Renders as RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  std::string to_csv() const;
+
+  /// Prints to_string() to the stream.
+  friend std::ostream& operator<<(std::ostream& os, const Table& table);
+
+private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision float formatting helper ("%.*f").
+std::string fmt_fixed(double value, int digits);
+
+/// Scientific formatting helper ("%.*e").
+std::string fmt_sci(double value, int digits);
+
+} // namespace fvdf

@@ -1,0 +1,26 @@
+#pragma once
+// Fundamental scalar and index types shared across the project.
+//
+// The paper's experiments use 32-bit floats everywhere ("For all
+// architectures, all floating-point numbers used in the experiments are
+// 32-bit"), so the simulated device code uses `f32`. Host-side oracles may
+// use f64 where double precision is needed for validation.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fvdf {
+
+using f32 = float;
+using f64 = double;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+
+/// Linear index into a global 3D mesh (can exceed 2^31 cells at paper scale).
+using CellIndex = i64;
+
+} // namespace fvdf

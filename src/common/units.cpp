@@ -1,0 +1,73 @@
+#include "common/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace fvdf {
+
+namespace {
+std::string fmt_with_suffix(f64 value, const char* suffix) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.4g %s", value, suffix);
+  return buf;
+}
+} // namespace
+
+std::string fmt_seconds(f64 seconds) {
+  const f64 abs_val = std::fabs(seconds);
+  if (abs_val == 0.0) return "0 s";
+  if (abs_val < 1e-6) return fmt_with_suffix(seconds * 1e9, "ns");
+  if (abs_val < 1e-3) return fmt_with_suffix(seconds * 1e6, "us");
+  if (abs_val < 1.0) return fmt_with_suffix(seconds * 1e3, "ms");
+  return fmt_with_suffix(seconds, "s");
+}
+
+std::string fmt_bytes(f64 bytes) {
+  static const char* kPrefix[] = {"B", "KiB", "MiB", "GiB", "TiB", "PiB"};
+  int idx = 0;
+  f64 value = bytes;
+  while (std::fabs(value) >= 1024.0 && idx < 5) {
+    value /= 1024.0;
+    ++idx;
+  }
+  return fmt_with_suffix(value, kPrefix[idx]);
+}
+
+std::string fmt_flops(f64 flops_per_sec) {
+  static const char* kPrefix[] = {"FLOP/s",  "kFLOP/s", "MFLOP/s",
+                                  "GFLOP/s", "TFLOP/s", "PFLOP/s"};
+  int idx = 0;
+  f64 value = flops_per_sec;
+  while (std::fabs(value) >= 1000.0 && idx < 5) {
+    value /= 1000.0;
+    ++idx;
+  }
+  return fmt_with_suffix(value, kPrefix[idx]);
+}
+
+std::string fmt_gcells(f64 cells_per_sec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2f Gcell/s", cells_per_sec / 1e9);
+  return buf;
+}
+
+std::string fmt_percent(f64 ratio) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f%%", ratio * 100.0);
+  return buf;
+}
+
+std::string fmt_count(u64 value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  std::size_t lead = digits.size() % 3;
+  if (lead == 0) lead = 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i + 3 - lead) % 3 == 0) out += ',';
+    out += digits[i];
+  }
+  return out;
+}
+
+} // namespace fvdf

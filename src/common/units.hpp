@@ -1,0 +1,29 @@
+#pragma once
+// Human-readable unit formatting for bench output: seconds, bytes, FLOP/s,
+// cell throughput (the paper reports Gcell/s), and percentages.
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace fvdf {
+
+/// "1.23 ns" / "45.6 us" / "0.0542 s" style.
+std::string fmt_seconds(f64 seconds);
+
+/// "48.0 KiB" / "1.5 MiB" binary-prefixed bytes.
+std::string fmt_bytes(f64 bytes);
+
+/// "1.217 PFLOP/s" decimal-prefixed rate.
+std::string fmt_flops(f64 flops_per_sec);
+
+/// "2,855.48 Gcell/s" — paper's throughput unit (decimal giga).
+std::string fmt_gcells(f64 cells_per_sec);
+
+/// "68.18%" from a ratio in [0, inf).
+std::string fmt_percent(f64 ratio);
+
+/// Thousands separators for big integer counts: "687,351,000".
+std::string fmt_count(u64 value);
+
+} // namespace fvdf

@@ -1,0 +1,144 @@
+#include "core/chebyshev_program.hpp"
+
+#include "common/error.hpp"
+#include "core/flux_kernels.hpp"
+
+namespace fvdf::core {
+
+using wse::Color;
+using wse::Dir;
+using wse::dsd;
+using wse::PeContext;
+
+ChebyshevPeProgram::ChebyshevPeProgram(ChebyshevPeConfig config)
+    : config_(std::move(config)) {
+  FVDF_CHECK(config_.nz >= 1);
+  FVDF_CHECK_MSG(config_.lambda_max > config_.lambda_min && config_.lambda_min > 0,
+                 "Chebyshev needs valid spectral bounds");
+  FVDF_CHECK(config_.check_every >= 1);
+  theta_ = 0.5f * (config_.lambda_max + config_.lambda_min);
+  delta_ = 0.5f * (config_.lambda_max - config_.lambda_min);
+  sigma_ = theta_ / delta_;
+  rho_ = 1.0f / sigma_;
+}
+
+void ChebyshevPeProgram::on_start(PeContext& ctx) {
+  layout_ = PeLayout::plan(ctx.memory(), config_.nz, config_.mode,
+                           static_cast<u32>(config_.init.dirichlet_z.size()),
+                           /*jacobi=*/false, !config_.init.source.empty());
+  halo_.configure(ctx);
+  reduce_.configure(ctx);
+  upload_pe_init(ctx, layout_, config_.init, config_.mode, /*jacobi=*/false);
+
+  if (config_.mode == FluxMode::OnTheFly) {
+    halo_.start(ctx, dsd(layout_.lambda), dsd(layout_.lh_w), dsd(layout_.lh_e),
+                dsd(layout_.lh_s), dsd(layout_.lh_n), nullptr,
+                [this](PeContext& c) { start_halo_jx(c); });
+    return;
+  }
+  start_halo_jx(ctx);
+}
+
+void ChebyshevPeProgram::on_task(PeContext& ctx, Color color) {
+  if (halo_.handles(color)) {
+    halo_.on_task(ctx, color);
+    return;
+  }
+  if (reduce_.handles(color)) {
+    reduce_.on_task(ctx, color);
+    return;
+  }
+  throw Error("Chebyshev program: unexpected task color " + std::to_string(color));
+}
+
+void ChebyshevPeProgram::start_halo_jx(PeContext& ctx) {
+  halo_.start(
+      ctx, dsd(layout_.x), dsd(layout_.halo_w), dsd(layout_.halo_e),
+      dsd(layout_.halo_s), dsd(layout_.halo_n),
+      [this](PeContext& c, Dir dir) { compute_face_flux(c, layout_, config_.mode, dir); },
+      [this](PeContext& c) {
+        if (init_pass_) {
+          after_init_flux(c);
+        } else {
+          after_iter_flux(c);
+        }
+      });
+  compute_z_flux(ctx, layout_, config_.mode);
+}
+
+void ChebyshevPeProgram::after_init_flux(PeContext& ctx) {
+  init_pass_ = false;
+  auto& e = ctx.dsd();
+  fix_dirichlet_rows(ctx, layout_);
+  // r0 = q_src - J p0 on interior rows, 0 on Dirichlet rows.
+  e.fnegs(dsd(layout_.r), dsd(layout_.q));
+  if (layout_.source.length != 0)
+    e.fadds(dsd(layout_.r), dsd(layout_.r), dsd(layout_.source));
+  zero_dirichlet_entries(ctx, layout_, layout_.r);
+  // d0 = r0 / theta, living in the x buffer (it is what halos exchange).
+  e.fmuls_imm(dsd(layout_.x), dsd(layout_.r), 1.0f / theta_);
+
+  // Initial residual probe: establishes rr0 for the divergence guard.
+  const f32 rr_local = e.fdots(dsd(layout_.r), dsd(layout_.r));
+  reduce_.start(ctx, rr_local, [this](PeContext& c, f32 total) {
+    rr0_ = total;
+    rr_ = total;
+    if (rr_ < config_.tolerance || rr_ == 0.0f) {
+      finish(c, /*converged=*/true);
+      return;
+    }
+    start_halo_jx(c); // first iteration's halo of d
+  });
+}
+
+void ChebyshevPeProgram::after_iter_flux(PeContext& ctx) {
+  auto& e = ctx.dsd();
+  // q = J d (+ the backward-Euler shift), Dirichlet rows identity.
+  if (config_.diagonal_shift != 0.0f)
+    e.fmacs_imm(dsd(layout_.q), dsd(layout_.q), dsd(layout_.x),
+                config_.diagonal_shift);
+  fix_dirichlet_rows(ctx, layout_);
+
+  // y += d;  r -= q;  d = (rho' rho) d + (2 rho'/delta) r.
+  e.fadds(dsd(layout_.ysol), dsd(layout_.ysol), dsd(layout_.x));
+  e.fmacs_imm(dsd(layout_.r), dsd(layout_.r), dsd(layout_.q), -1.0f);
+  const f32 rho_next = 1.0f / (e.fmuls_scalar(2.0f, sigma_) - rho_);
+  e.fmuls_imm(dsd(layout_.x), dsd(layout_.x), rho_next * rho_);
+  e.fmacs_imm(dsd(layout_.x), dsd(layout_.x), dsd(layout_.r),
+              2.0f * rho_next / delta_);
+  rho_ = rho_next;
+  ++k_;
+  next_or_probe(ctx);
+}
+
+void ChebyshevPeProgram::next_or_probe(PeContext& ctx) {
+  const bool probe =
+      (k_ % config_.check_every == 0) || k_ >= config_.max_iterations;
+  if (!probe) {
+    start_halo_jx(ctx);
+    return;
+  }
+  const f32 rr_local = ctx.dsd().fdots(dsd(layout_.r), dsd(layout_.r));
+  reduce_.start(ctx, rr_local, [this](PeContext& c, f32 total) {
+    rr_ = total;
+    if (rr_ < config_.tolerance || rr_ == 0.0f) {
+      finish(c, /*converged=*/true);
+      return;
+    }
+    if (k_ >= config_.max_iterations || rr_ > config_.divergence_factor * rr0_) {
+      finish(c, /*converged=*/false);
+      return;
+    }
+    start_halo_jx(c);
+  });
+}
+
+void ChebyshevPeProgram::finish(PeContext& ctx, bool converged) {
+  auto& mem = ctx.memory();
+  mem.store(layout_.result.offset_words + 0, static_cast<f32>(k_));
+  mem.store(layout_.result.offset_words + 1, converged ? 1.0f : 0.0f);
+  mem.store(layout_.result.offset_words + 2, rr_);
+  ctx.halt();
+}
+
+} // namespace fvdf::core

@@ -1,0 +1,61 @@
+#pragma once
+// The Chebyshev-iteration device program: the reduction-free alternative
+// to the CG state machine (see solver/chebyshev.hpp for the motivation —
+// Table III's perimeter-proportional all-reduce cost disappears because
+// the recurrence coefficients are precomputed scalars every PE evaluates
+// identically; the all-reduce only runs for the periodic convergence
+// probe).
+//
+// States: INIT (upload, r0 = q_src - J p0 via the shared flux path,
+// d0 = r0 / theta), then an ITERATE loop of halo(d) -> q = J d -> y += d,
+// r -= q, d-recurrence, with a REDUCE_RR probe every `check_every`
+// iterations, then DONE.
+
+#include "core/mapping.hpp"
+#include "csl/allreduce.hpp"
+#include "csl/halo.hpp"
+#include "wse/program.hpp"
+
+namespace fvdf::core {
+
+struct ChebyshevPeConfig {
+  u32 nz = 1;
+  FluxMode mode = FluxMode::Fused;
+  u64 max_iterations = 50'000;
+  f32 tolerance = 0.0f;       // epsilon vs the global r^T r at probes
+  u32 check_every = 16;       // iterations between convergence probes
+  f32 lambda_min = 0.0f;      // spectral bounds (host-estimated)
+  f32 lambda_max = 0.0f;
+  f32 divergence_factor = 1e8f;
+  f32 diagonal_shift = 0.0f;  // backward-Euler accumulation term
+  PeInit init;
+};
+
+class ChebyshevPeProgram final : public wse::PeProgram {
+public:
+  explicit ChebyshevPeProgram(ChebyshevPeConfig config);
+
+  void on_start(wse::PeContext& ctx) override;
+  void on_task(wse::PeContext& ctx, wse::Color color) override;
+
+private:
+  void start_halo_jx(wse::PeContext& ctx);
+  void after_init_flux(wse::PeContext& ctx);
+  void after_iter_flux(wse::PeContext& ctx);
+  void next_or_probe(wse::PeContext& ctx);
+  void finish(wse::PeContext& ctx, bool converged);
+
+  ChebyshevPeConfig config_;
+  PeLayout layout_;
+  csl::HaloExchange halo_;
+  csl::AllReduce reduce_;
+
+  bool init_pass_ = true;
+  u64 k_ = 0;
+  f32 rr0_ = 0.0f;
+  f32 rr_ = 0.0f;
+  // Recurrence scalars (identical on every PE, no communication needed).
+  f32 theta_ = 0, delta_ = 0, sigma_ = 0, rho_ = 0;
+};
+
+} // namespace fvdf::core

@@ -1,0 +1,19 @@
+#include "core/multiphase_backend.hpp"
+
+namespace fvdf::core {
+
+multiphase::PressureBackend make_dataflow_pressure_backend(
+    DataflowConfig config, f64* total_device_seconds) {
+  return [config, total_device_seconds](
+             const FlowProblem& problem) -> multiphase::PressureStepResult {
+    const DataflowResult solve = solve_dataflow(problem, config);
+    if (total_device_seconds) *total_device_seconds += solve.device_seconds;
+    multiphase::PressureStepResult result;
+    result.pressure.assign(solve.pressure.begin(), solve.pressure.end());
+    result.iterations = solve.iterations;
+    result.converged = solve.converged;
+    return result;
+  };
+}
+
+} // namespace fvdf::core

@@ -1,0 +1,22 @@
+#pragma once
+// Bridges the two-phase IMPES outer loop to the simulated dataflow device:
+// every time step's implicit pressure system — the linear solve the paper
+// accelerates — runs on the wafer-scale fabric, with the
+// saturation-dependent total mobility folded into the per-PE coefficients.
+// This is the full workflow the paper's conclusion points to ("adapting
+// the complete set of discretized nonlinear multiphase flow equations to
+// the dataflow model").
+
+#include "core/solver.hpp"
+#include "multiphase/impes.hpp"
+
+namespace fvdf::core {
+
+/// Returns a PressureBackend that solves each IMPES pressure step with
+/// solve_dataflow under `config` (tolerance, flux mode, preconditioning,
+/// timing model all apply). `total_device_seconds`, if non-null,
+/// accumulates the simulated device time across steps.
+multiphase::PressureBackend make_dataflow_pressure_backend(
+    DataflowConfig config, f64* total_device_seconds = nullptr);
+
+} // namespace fvdf::core

@@ -1,0 +1,245 @@
+#include "core/pe_program.hpp"
+
+#include "common/error.hpp"
+#include "core/flux_kernels.hpp"
+
+namespace fvdf::core {
+
+using wse::Color;
+using wse::Dir;
+using wse::Dsd;
+using wse::dsd;
+using wse::PeContext;
+
+const char* to_string(CgState state) {
+  switch (state) {
+  case CgState::Init: return "INIT";
+  case CgState::HaloExchange: return "HALO_EXCHANGE";
+  case CgState::ComputeJx: return "COMPUTE_JX";
+  case CgState::InitResidual: return "INIT_RESIDUAL";
+  case CgState::ReduceRr0: return "REDUCE_RR0";
+  case CgState::IterCheck: return "ITER_CHECK";
+  case CgState::FinalizeJx: return "FINALIZE_JX";
+  case CgState::ReduceXjx: return "REDUCE_XJX";
+  case CgState::UpdateSolution: return "UPDATE_SOLUTION";
+  case CgState::ReduceRr: return "REDUCE_RR";
+  case CgState::ThresCheck: return "THRES_CHECK";
+  case CgState::UpdateDirection: return "UPDATE_DIRECTION";
+  case CgState::LoopIncrement: return "LOOP_INCREMENT";
+  case CgState::Done: return "DONE";
+  }
+  return "?";
+}
+
+CgPeProgram::CgPeProgram(CgPeConfig config) : config_(std::move(config)) {
+  FVDF_CHECK(config_.nz >= 1);
+  FVDF_CHECK(config_.init.p0.size() == config_.nz);
+}
+
+Dsd CgPeProgram::z_view() const {
+  return config_.jacobi ? dsd(layout_.z) : dsd(layout_.r);
+}
+
+void CgPeProgram::apply_preconditioner(PeContext& ctx) {
+  if (config_.jacobi) ctx.dsd().fmuls(dsd(layout_.z), dsd(layout_.minv), dsd(layout_.r));
+}
+
+void CgPeProgram::on_start(PeContext& ctx) {
+  state_ = CgState::Init;
+  layout_ = PeLayout::plan(ctx.memory(), config_.nz, config_.mode,
+                           static_cast<u32>(config_.init.dirichlet_z.size()),
+                           config_.jacobi, !config_.init.source.empty());
+  halo_.configure(ctx);
+  reduce_.configure(ctx);
+  upload(ctx);
+
+  // OnTheFly mode first shares the mobility columns with the four
+  // neighbors (one extra exchange, amortized over the whole solve).
+  if (config_.mode == FluxMode::OnTheFly) {
+    lambda_pass_ = true;
+    state_ = CgState::HaloExchange;
+    halo_.start(
+        ctx, dsd(layout_.lambda), dsd(layout_.lh_w), dsd(layout_.lh_e),
+        dsd(layout_.lh_s), dsd(layout_.lh_n), nullptr,
+        [this](PeContext& c) {
+          lambda_pass_ = false;
+          start_halo_jx(c, /*init_pass=*/true);
+        });
+    return;
+  }
+  start_halo_jx(ctx, /*init_pass=*/true);
+}
+
+void CgPeProgram::on_task(PeContext& ctx, Color color) {
+  if (halo_.handles(color)) {
+    halo_.on_task(ctx, color);
+    return;
+  }
+  if (reduce_.handles(color)) {
+    reduce_.on_task(ctx, color);
+    return;
+  }
+  throw Error("CG program: unexpected task color " + std::to_string(color));
+}
+
+void CgPeProgram::upload(PeContext& ctx) {
+  // Host-side memcpy into the arena (not charged cycles or counts).
+  upload_pe_init(ctx, layout_, config_.init, config_.mode, config_.jacobi);
+}
+
+void CgPeProgram::start_halo_jx(PeContext& ctx, bool init_pass) {
+  init_pass_ = init_pass;
+  state_ = CgState::HaloExchange;
+  // Start the asynchronous exchange of the active column (p0 in the INIT
+  // pass, the search direction x afterwards), then compute the
+  // z-dimension fluxes while the fabric moves data (Sec. III-E2 overlap).
+  halo_.start(
+      ctx, dsd(layout_.x), dsd(layout_.halo_w), dsd(layout_.halo_e),
+      dsd(layout_.halo_s), dsd(layout_.halo_n),
+      [this](PeContext& c, Dir dir) {
+        state_ = CgState::ComputeJx;
+        compute_face_flux(c, dir);
+      },
+      [this](PeContext& c) {
+        if (config_.jx_only) {
+          ++k_;
+          iter_check(c);
+        } else if (init_pass_) {
+          init_residual(c);
+        } else {
+          finalize_jx(c);
+        }
+      });
+  compute_z_flux(ctx);
+}
+
+void CgPeProgram::compute_z_flux(PeContext& ctx) {
+  core::compute_z_flux(ctx, layout_, config_.mode);
+}
+
+void CgPeProgram::compute_face_flux(PeContext& ctx, Dir dir) {
+  core::compute_face_flux(ctx, layout_, config_.mode, dir);
+}
+
+void CgPeProgram::fix_dirichlet_rows(PeContext& ctx) {
+  core::fix_dirichlet_rows(ctx, layout_);
+}
+
+void CgPeProgram::init_residual(PeContext& ctx) {
+  state_ = CgState::InitResidual;
+  auto& e = ctx.dsd();
+  fix_dirichlet_rows(ctx);
+  // Algorithm 1 line 1: r0 = q_src - J p0 on interior rows (the Newton RHS
+  // with rate-well sources), exactly 0 on Dirichlet rows (p0 satisfies the
+  // BCs by construction).
+  e.fnegs(dsd(layout_.r), dsd(layout_.q));
+  if (layout_.source.length != 0)
+    e.fadds(dsd(layout_.r), dsd(layout_.r), dsd(layout_.source));
+  zero_dirichlet_entries(ctx, layout_, layout_.r);
+  // Line 2: x0 = r0 (or M^-1 r0 under Jacobi preconditioning).
+  apply_preconditioner(ctx);
+  e.fmovs(dsd(layout_.x), z_view());
+
+  state_ = CgState::ReduceRr0;
+  const f32 rr_local = e.fdots(dsd(layout_.r), z_view());
+  reduce_.start(ctx, rr_local, [this](PeContext& c, f32 total) {
+    rr_ = total;
+    iter_check(c);
+  });
+}
+
+void CgPeProgram::iter_check(PeContext& ctx) {
+  state_ = CgState::IterCheck;
+  if (config_.jx_only) {
+    if (k_ >= config_.max_iterations) {
+      finish(ctx, /*converged=*/false);
+    } else {
+      start_halo_jx(ctx, /*init_pass=*/false);
+    }
+    return;
+  }
+  // rr == 0 is exact convergence regardless of the tolerance (a further
+  // step would divide by zero curvature).
+  if (rr_ < config_.tolerance || rr_ == 0.0f) {
+    finish(ctx, /*converged=*/true);
+    return;
+  }
+  if (k_ >= config_.max_iterations) {
+    finish(ctx, /*converged=*/false);
+    return;
+  }
+  start_halo_jx(ctx, /*init_pass=*/false);
+}
+
+void CgPeProgram::finalize_jx(PeContext& ctx) {
+  state_ = CgState::FinalizeJx;
+  auto& e = ctx.dsd();
+  // Backward-Euler accumulation term (transient extension): interior rows
+  // of the Jacobian carry an extra shift*I. Dirichlet rows are restored to
+  // identity by the fix-up right after.
+  if (config_.diagonal_shift != 0.0f)
+    e.fmacs_imm(dsd(layout_.q), dsd(layout_.q), dsd(layout_.x),
+                config_.diagonal_shift);
+  fix_dirichlet_rows(ctx);
+  const f32 xjx_local = e.fdots(dsd(layout_.x), dsd(layout_.q));
+  state_ = CgState::ReduceXjx;
+  reduce_.start(ctx, xjx_local,
+                [this](PeContext& c, f32 xjx) { update_solution(c, xjx); });
+}
+
+void CgPeProgram::update_solution(PeContext& ctx, f32 xjx) {
+  state_ = CgState::UpdateSolution;
+  auto& e = ctx.dsd();
+  // Line 5: alpha = (r,r) / (x, Jx). A non-positive curvature here means
+  // the operator lost definiteness (a programming error, not a data case).
+  FVDF_CHECK_MSG(xjx > 0.0f, "x^T Jx = " << xjx << " is not positive");
+  const f32 alpha = e.fmuls_scalar(rr_, 1.0f / xjx);
+  // Line 6: y += alpha x; line 7: r -= alpha Jx.
+  e.fmacs_imm(dsd(layout_.ysol), dsd(layout_.ysol), dsd(layout_.x), alpha);
+  e.fmacs_imm(dsd(layout_.r), dsd(layout_.r), dsd(layout_.q), -alpha);
+  apply_preconditioner(ctx);
+
+  state_ = CgState::ReduceRr;
+  const f32 rr_local = e.fdots(dsd(layout_.r), z_view());
+  reduce_.start(ctx, rr_local, [this](PeContext& c, f32 total) {
+    rr_new_ = total;
+    thres_check(c, total);
+  });
+}
+
+void CgPeProgram::thres_check(PeContext& ctx, f32 rr_new) {
+  state_ = CgState::ThresCheck;
+  if (rr_new < config_.tolerance || rr_new == 0.0f) { // Algorithm 1 line 8
+    rr_ = rr_new;
+    ++k_;
+    finish(ctx, /*converged=*/true);
+    return;
+  }
+  update_direction(ctx);
+}
+
+void CgPeProgram::update_direction(PeContext& ctx) {
+  state_ = CgState::UpdateDirection;
+  auto& e = ctx.dsd();
+  // Line 9: beta = (r_{k+1}, r_{k+1}) / (r_k, r_k).
+  const f32 beta = e.fmuls_scalar(rr_new_, 1.0f / rr_);
+  // Line 10: x = r + beta x (z replaces r under preconditioning).
+  e.fmuls_imm(dsd(layout_.x), dsd(layout_.x), beta);
+  e.fadds(dsd(layout_.x), dsd(layout_.x), z_view());
+
+  state_ = CgState::LoopIncrement;
+  rr_ = rr_new_;
+  ++k_; // line 11
+  iter_check(ctx);
+}
+
+void CgPeProgram::finish(PeContext& ctx, bool converged) {
+  state_ = CgState::Done;
+  auto& mem = ctx.memory();
+  mem.store(layout_.result.offset_words + 0, static_cast<f32>(k_));
+  mem.store(layout_.result.offset_words + 1, converged ? 1.0f : 0.0f);
+  mem.store(layout_.result.offset_words + 2, rr_);
+  ctx.halt();
+}
+
+} // namespace fvdf::core

@@ -1,0 +1,96 @@
+#pragma once
+// The matrix-free FV + conjugate-gradient PE program (Sec. III-D).
+//
+// "Unlike the conventional approach, our implementation of the conjugate
+// gradient algorithm on a dataflow architecture utilizes a state machine.
+// We have devised 14 states to orchestrate the various steps involved."
+// The 14 states here mirror that structure; every conditional of
+// Algorithm 1 (the while of line 4 and the if of line 8) is a state
+// transition, and all data movement is asynchronous: the flux of a face is
+// computed the moment its halo lands (Sec. III-B), and the dot products go
+// through the whole-fabric all-reduce (Sec. III-C).
+
+#include "core/mapping.hpp"
+#include "csl/allreduce.hpp"
+#include "csl/halo.hpp"
+#include "wse/program.hpp"
+
+namespace fvdf::core {
+
+/// The 14 states of the device CG driver.
+enum class CgState : u8 {
+  Init = 0,        //  1. upload + component setup, kick off r0 = -J p0
+  HaloExchange,    //  2. Table-I exchange of the active column (p0 or x)
+  ComputeJx,       //  3. event-driven flux accumulation (z first, faces on arrival)
+  InitResidual,    //  4. r0 = -q, Dirichlet zeros, x0 = r0  (Alg. 1 lines 1-2)
+  ReduceRr0,       //  5. all-reduce of r0^T r0
+  IterCheck,       //  6. k < k_max?                          (Alg. 1 line 4)
+  FinalizeJx,      //  7. Dirichlet rows of q, local x^T Jx
+  ReduceXjx,       //  8. all-reduce of x^T Jx                (denominator of line 5)
+  UpdateSolution,  //  9. alpha; y += alpha x; r -= alpha Jx  (lines 5-7)
+  ReduceRr,        // 10. all-reduce of r^T r
+  ThresCheck,      // 11. r^T r < eps?                        (line 8)
+  UpdateDirection, // 12. beta; x = r + beta x                (lines 9-10)
+  LoopIncrement,   // 13. k = k + 1                           (line 11)
+  Done             // 14. publish results, halt
+};
+constexpr int kNumCgStates = 14;
+const char* to_string(CgState state);
+
+/// Per-PE program configuration (identical across PEs except `init`).
+struct CgPeConfig {
+  u32 nz = 1;
+  FluxMode mode = FluxMode::Fused;
+  u64 max_iterations = 10'000; // k_max
+  f32 tolerance = 0.0f;        // epsilon vs the global r^T r (or r^T z for PCG)
+  bool jx_only = false;        // Alg. 2 scaling mode: halo+flux loop only
+  // Extensions over the paper's plain-CG kernel:
+  bool jacobi = false;         // Jacobi (diagonal) preconditioning
+  f32 diagonal_shift = 0.0f;   // adds shift*x to interior rows of Jx — the
+                               // accumulation term of a backward-Euler step
+  PeInit init;                 // this PE's column data
+};
+
+class CgPeProgram final : public wse::PeProgram {
+public:
+  explicit CgPeProgram(CgPeConfig config);
+
+  void on_start(wse::PeContext& ctx) override;
+  void on_task(wse::PeContext& ctx, wse::Color color) override;
+
+  CgState state() const { return state_; }
+  const PeLayout& layout() const { return layout_; }
+
+private:
+  void upload(wse::PeContext& ctx);
+  void start_halo_jx(wse::PeContext& ctx, bool init_pass);
+  void compute_z_flux(wse::PeContext& ctx);
+  void compute_face_flux(wse::PeContext& ctx, wse::Dir dir);
+  void fix_dirichlet_rows(wse::PeContext& ctx);
+  void init_residual(wse::PeContext& ctx);
+  void iter_check(wse::PeContext& ctx);
+  void finalize_jx(wse::PeContext& ctx);
+  void update_solution(wse::PeContext& ctx, f32 xjx);
+  void thres_check(wse::PeContext& ctx, f32 rr_new);
+  void update_direction(wse::PeContext& ctx);
+  void finish(wse::PeContext& ctx, bool converged);
+
+  CgPeConfig config_;
+  PeLayout layout_;
+  csl::HaloExchange halo_;
+  csl::AllReduce reduce_;
+
+  // The preconditioned residual's view: z when PCG is on, r itself in
+  // plain CG (both dots and the direction update read through it).
+  wse::Dsd z_view() const;
+  void apply_preconditioner(wse::PeContext& ctx);
+
+  CgState state_ = CgState::Init;
+  u64 k_ = 0;
+  f32 rr_ = 0.0f;     // current global r^T r (r^T z under PCG)
+  f32 rr_new_ = 0.0f; // pending value for the k+1 iterate
+  bool init_pass_ = true;
+  bool lambda_pass_ = false; // OnTheFly: first halo carries mobilities
+};
+
+} // namespace fvdf::core

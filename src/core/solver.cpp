@@ -1,0 +1,253 @@
+#include "core/solver.hpp"
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "core/chebyshev_program.hpp"
+#include "core/pe_program.hpp"
+#include "fv/diagonal.hpp"
+
+namespace fvdf::core {
+
+namespace {
+
+// Face coefficient for cell (x,y,z) toward the given fabric direction:
+// Upsilon (raw) or Upsilon * lambda_avg (fused). Fabric directions:
+// West = x-1, East = x+1, South = y+1, North = y-1 (paper orientation).
+struct CoefBuilder {
+  const DiscreteSystem<f32>& sys;
+  FluxMode mode;
+
+  f32 lateral(i64 x, i64 y, i64 z, i64 dx, i64 dy) const {
+    const i64 nx = sys.nx, ny = sys.ny;
+    const i64 xn = x + dx, yn = y + dy;
+    if (xn < 0 || xn >= nx || yn < 0 || yn >= ny) return 0.0f;
+    f32 ups;
+    if (dx != 0) {
+      const i64 lo_x = std::min(x, xn);
+      ups = sys.tx[static_cast<std::size_t>((z * ny + y) * (nx - 1) + lo_x)];
+    } else {
+      const i64 lo_y = std::min(y, yn);
+      ups = sys.ty[static_cast<std::size_t>((z * (ny - 1) + lo_y) * nx + x)];
+    }
+    if (mode == FluxMode::OnTheFly) return ups;
+    const auto k = static_cast<std::size_t>((z * ny + y) * nx + x);
+    const auto l = static_cast<std::size_t>((z * ny + yn) * nx + xn);
+    return ups * 0.5f * (sys.lambda[k] + sys.lambda[l]);
+  }
+
+  f32 vertical(i64 x, i64 y, i64 z) const {
+    // Between (x,y,z) and (x,y,z+1).
+    const i64 nx = sys.nx, ny = sys.ny;
+    const f32 ups = sys.tz[static_cast<std::size_t>((z * ny + y) * nx + x)];
+    if (mode == FluxMode::OnTheFly) return ups;
+    const auto k = static_cast<std::size_t>((z * ny + y) * nx + x);
+    const auto l = static_cast<std::size_t>(((z + 1) * ny + y) * nx + x);
+    return ups * 0.5f * (sys.lambda[k] + sys.lambda[l]);
+  }
+};
+
+} // namespace
+
+PeInit build_pe_init(const FlowProblem& problem, const DiscreteSystem<f32>& sys,
+                     i64 x, i64 y, FluxMode mode, const std::vector<f32>* minv,
+                     const std::vector<f64>* p0_override) {
+  const i64 nx = sys.nx, ny = sys.ny, nz = sys.nz;
+  FVDF_CHECK(x >= 0 && x < nx && y >= 0 && y < ny);
+  const CoefBuilder coef{sys, mode};
+
+  PeInit init;
+  init.cw.resize(static_cast<std::size_t>(nz));
+  init.ce.resize(static_cast<std::size_t>(nz));
+  init.cs.resize(static_cast<std::size_t>(nz));
+  init.cn.resize(static_cast<std::size_t>(nz));
+  if (nz > 1) init.cz.resize(static_cast<std::size_t>(nz - 1));
+  init.p0.resize(static_cast<std::size_t>(nz));
+  if (mode == FluxMode::OnTheFly) init.lambda.resize(static_cast<std::size_t>(nz));
+  if (minv) init.minv.resize(static_cast<std::size_t>(nz));
+  if (!sys.source.empty()) init.source.resize(static_cast<std::size_t>(nz));
+
+  const std::vector<f64> p0 =
+      p0_override ? *p0_override : problem.initial_pressure();
+  FVDF_CHECK(p0.size() == static_cast<std::size_t>(sys.cell_count()));
+  for (i64 z = 0; z < nz; ++z) {
+    const auto zi = static_cast<std::size_t>(z);
+    const auto k = static_cast<std::size_t>((z * ny + y) * nx + x);
+    init.cw[zi] = coef.lateral(x, y, z, -1, 0);
+    init.ce[zi] = coef.lateral(x, y, z, +1, 0);
+    init.cs[zi] = coef.lateral(x, y, z, 0, +1); // fabric south = y+1
+    init.cn[zi] = coef.lateral(x, y, z, 0, -1); // fabric north = y-1
+    if (z < nz - 1) init.cz[zi] = coef.vertical(x, y, z);
+    init.p0[zi] = static_cast<f32>(p0[k]);
+    if (mode == FluxMode::OnTheFly) init.lambda[zi] = sys.lambda[k];
+    if (minv) init.minv[zi] = (*minv)[k];
+    if (!sys.source.empty()) init.source[zi] = sys.source[k];
+    if (sys.dirichlet[k]) init.dirichlet_z.push_back(static_cast<u16>(z));
+  }
+  return init;
+}
+
+namespace {
+
+// Shared host-side readback: walks every PE, re-plans its layout, and
+// copies the solution delta + result scalars out of the arena.
+DataflowResult read_back(wse::Fabric& fabric, const wse::Fabric::RunResult& run,
+                         const FlowProblem& problem, const DiscreteSystem<f32>& sys,
+                         FluxMode flux_mode, bool jacobi,
+                         const wse::PeMemoryParams& mem_params,
+                         const std::vector<f64>& initial_field) {
+  const auto& mesh = problem.mesh();
+  const i64 nx = mesh.nx(), ny = mesh.ny(), nz = mesh.nz();
+
+  DataflowResult result;
+  result.device_cycles = run.cycles;
+  result.device_seconds = fabric.seconds(run.cycles);
+  result.fabric = fabric.stats();
+  result.counters = fabric.total_counters();
+
+  const auto n = static_cast<std::size_t>(mesh.cell_count());
+  result.delta.assign(n, 0.0f);
+  result.pressure.assign(n, 0.0f);
+  const std::vector<f64> p0 =
+      initial_field.empty() ? problem.initial_pressure() : initial_field;
+
+  bool first = true;
+  for (i64 y = 0; y < ny; ++y) {
+    for (i64 x = 0; x < nx; ++x) {
+      u32 dcount = 0;
+      for (i64 z = 0; z < nz; ++z)
+        if (sys.dirichlet[static_cast<std::size_t>((z * ny + y) * nx + x)]) ++dcount;
+      wse::PeMemory probe(mem_params.capacity_bytes, mem_params.reserved_bytes);
+      const PeLayout layout = PeLayout::plan(probe, static_cast<u32>(nz), flux_mode,
+                                             dcount, jacobi, !sys.source.empty());
+
+      auto& mem = fabric.pe_memory(x, y);
+      for (i64 z = 0; z < nz; ++z) {
+        const auto k = static_cast<std::size_t>((z * ny + y) * nx + x);
+        const f32 dz = mem.load(layout.ysol.offset_words + static_cast<u32>(z));
+        result.delta[k] = dz;
+        result.pressure[k] = static_cast<f32>(p0[k]) + dz;
+      }
+      if (first) {
+        result.iterations = static_cast<u64>(mem.load(layout.result.offset_words));
+        result.converged = mem.load(layout.result.offset_words + 1) != 0.0f;
+        result.final_rr = mem.load(layout.result.offset_words + 2);
+        first = false;
+      }
+    }
+  }
+  return result;
+}
+
+} // namespace
+
+DataflowResult solve_dataflow(const FlowProblem& problem, const DataflowConfig& config) {
+  const auto& mesh = problem.mesh();
+  const i64 nx = mesh.nx(), ny = mesh.ny(), nz = mesh.nz();
+  FVDF_CHECK_MSG(nz <= 0xffff, "column depth exceeds u16 Dirichlet index range");
+
+  const auto sys = problem.discretize<f32>();
+
+  // Jacobi preconditioner diagonal, with the backward-Euler shift folded
+  // in (Dirichlet rows have diag 1 and take no shift).
+  std::vector<f32> minv;
+  if (config.jacobi_precondition) {
+    minv = jacobian_diagonal(sys);
+    for (std::size_t i = 0; i < minv.size(); ++i) {
+      if (!sys.dirichlet[i]) minv[i] += config.diagonal_shift;
+      FVDF_CHECK_MSG(minv[i] > 0.0f, "non-positive diagonal at cell " << i);
+      minv[i] = 1.0f / minv[i];
+    }
+  }
+
+  wse::Fabric fabric(nx, ny, config.timing, config.memory);
+  fabric.load([&](wse::PeCoord coord) {
+    CgPeConfig pe_config;
+    pe_config.nz = static_cast<u32>(nz);
+    pe_config.mode = config.flux_mode;
+    pe_config.max_iterations = config.max_iterations;
+    pe_config.tolerance = config.tolerance;
+    pe_config.jx_only = config.jx_only;
+    pe_config.jacobi = config.jacobi_precondition;
+    pe_config.diagonal_shift = config.diagonal_shift;
+    pe_config.init = build_pe_init(problem, sys, coord.x, coord.y, config.flux_mode,
+                                   config.jacobi_precondition ? &minv : nullptr,
+                                   config.initial_field.empty()
+                                       ? nullptr
+                                       : &config.initial_field);
+    return std::make_unique<CgPeProgram>(std::move(pe_config));
+  });
+
+  const auto run = fabric.run(config.max_cycles);
+  FVDF_CHECK_MSG(run.all_halted,
+                 "dataflow solve did not complete: " << (run.hit_cycle_limit
+                                                             ? "cycle limit hit"
+                                                             : "fabric deadlocked"));
+
+  DataflowResult result =
+      read_back(fabric, run, problem, sys, config.flux_mode,
+                config.jacobi_precondition, config.memory, config.initial_field);
+  FVDF_LOG(Debug) << "dataflow solve: " << result.iterations << " iterations, "
+                  << (result.converged ? "converged" : "NOT converged")
+                  << ", device time " << result.device_seconds << " s";
+  return result;
+}
+
+DataflowResult solve_dataflow_chebyshev(const FlowProblem& problem,
+                                        const ChebyshevDeviceConfig& config) {
+  const auto& mesh = problem.mesh();
+  FVDF_CHECK_MSG(mesh.nz() <= 0xffff, "column depth exceeds u16 index range");
+  const auto sys = problem.discretize<f32>();
+
+  wse::Fabric fabric(mesh.nx(), mesh.ny(), config.timing, config.memory);
+  fabric.load([&](wse::PeCoord coord) {
+    ChebyshevPeConfig pe_config;
+    pe_config.nz = static_cast<u32>(mesh.nz());
+    pe_config.mode = config.flux_mode;
+    pe_config.max_iterations = config.max_iterations;
+    pe_config.tolerance = config.tolerance;
+    pe_config.check_every = config.check_every;
+    pe_config.lambda_min = static_cast<f32>(config.bounds.lambda_min);
+    pe_config.lambda_max = static_cast<f32>(config.bounds.lambda_max);
+    pe_config.diagonal_shift = config.diagonal_shift;
+    pe_config.init = build_pe_init(problem, sys, coord.x, coord.y, config.flux_mode,
+                                   nullptr,
+                                   config.initial_field.empty()
+                                       ? nullptr
+                                       : &config.initial_field);
+    return std::make_unique<ChebyshevPeProgram>(std::move(pe_config));
+  });
+
+  const auto run = fabric.run(config.max_cycles);
+  FVDF_CHECK_MSG(run.all_halted, "Chebyshev device solve did not complete");
+  return read_back(fabric, run, problem, sys, config.flux_mode, /*jacobi=*/false,
+                   config.memory, config.initial_field);
+}
+
+DataflowTransientResult solve_transient_dataflow(const FlowProblem& problem,
+                                                 f64 dt, i64 steps, f64 porosity,
+                                                 f64 total_compressibility,
+                                                 DataflowConfig config) {
+  FVDF_CHECK(dt > 0 && steps >= 1);
+  const f64 sigma =
+      porosity * total_compressibility * problem.mesh().cell_volume() / dt;
+  config.diagonal_shift = static_cast<f32>(sigma);
+  config.jx_only = false;
+
+  DataflowTransientResult result;
+  std::vector<f64> state = config.initial_field.empty()
+                               ? problem.initial_pressure()
+                               : config.initial_field;
+  for (i64 step = 0; step < steps; ++step) {
+    config.initial_field = state;
+    const DataflowResult solve = solve_dataflow(problem, config);
+    result.iterations_per_step.push_back(solve.iterations);
+    result.all_converged = result.all_converged && solve.converged;
+    result.total_device_seconds += solve.device_seconds;
+    for (std::size_t i = 0; i < state.size(); ++i)
+      state[i] = static_cast<f64>(solve.pressure[i]);
+    result.pressure = solve.pressure;
+  }
+  return result;
+}
+
+} // namespace fvdf::core

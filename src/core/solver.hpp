@@ -1,0 +1,105 @@
+#pragma once
+// Host-side driver for the dataflow FV solver: builds a simulated fabric
+// shaped like the mesh's X-Y footprint (one PE per column, Sec. III-A),
+// marshals the per-PE columns, runs the fabric to completion, and reads
+// the solution back — the moral equivalent of the SDK host program that
+// schedules work on the CS-2 ("the server is only used to schedule the
+// workload", Sec. V-A).
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/mapping.hpp"
+#include "fv/problem.hpp"
+#include "perf/opcount.hpp"
+#include "solver/chebyshev.hpp"
+#include "wse/fabric.hpp"
+
+namespace fvdf::core {
+
+struct DataflowConfig {
+  FluxMode flux_mode = FluxMode::Fused;
+  u64 max_iterations = 10'000;
+  f32 tolerance = 0.0f; // epsilon on the global r^T r (0 = run to max)
+  bool jx_only = false; // Algorithm-2 scaling mode (halo + flux only)
+  // Extensions over the paper's plain-CG kernel:
+  bool jacobi_precondition = false; // device-side Jacobi PCG
+  f32 diagonal_shift = 0.0f;        // backward-Euler accumulation term
+  // Per-cell initial pressure (global layout) overriding the problem's
+  // uniform interior guess — the previous time level in transient solves.
+  // Must satisfy the Dirichlet values. Empty = use problem defaults.
+  std::vector<f64> initial_field;
+  wse::TimingParams timing{};
+  wse::PeMemoryParams memory{};
+  f64 max_cycles = 1e15; // simulation safety net
+};
+
+struct DataflowResult {
+  // Global-layout fields (X innermost, Z outermost), one entry per cell.
+  std::vector<f32> delta;    // CG solution (pressure update)
+  std::vector<f32> pressure; // p0 + delta
+
+  u64 iterations = 0;
+  bool converged = false;
+  f32 final_rr = 0.0f;
+
+  f64 device_cycles = 0;
+  f64 device_seconds = 0;
+  wse::FabricStats fabric;
+  OpCounters counters; // aggregated over all PEs
+};
+
+/// Runs the full device solve. Fabric dimensions = (mesh.nx, mesh.ny);
+/// column depth = mesh.nz. Throws fvdf::Error if the column does not fit
+/// in PE memory (see core/mapping.hpp for the layout budget).
+DataflowResult solve_dataflow(const FlowProblem& problem,
+                              const DataflowConfig& config = {});
+
+/// Chebyshev iteration on the device (extension; see solver/chebyshev.hpp):
+/// no per-iteration all-reduce — the whole-fabric reduction runs only at
+/// the periodic convergence probes, removing the perimeter-proportional
+/// cost Table III attributes to CG's dot products. `bounds` must bracket
+/// the operator spectrum (host-estimated via estimate_spectral_bounds).
+struct ChebyshevDeviceConfig {
+  FluxMode flux_mode = FluxMode::Fused;
+  u64 max_iterations = 50'000;
+  f32 tolerance = 0.0f;
+  u32 check_every = 16;
+  SpectralBounds bounds{};
+  f32 diagonal_shift = 0.0f;
+  std::vector<f64> initial_field;
+  wse::TimingParams timing{};
+  wse::PeMemoryParams memory{};
+  f64 max_cycles = 1e15;
+};
+
+DataflowResult solve_dataflow_chebyshev(const FlowProblem& problem,
+                                        const ChebyshevDeviceConfig& config);
+
+/// Transient backward-Euler simulation with every linear solve executed on
+/// the simulated dataflow device (one `solve_dataflow` per step, with the
+/// accumulation term as the device kernel's diagonal shift). Extension
+/// over the paper; see solver/transient.hpp for the formulation and the
+/// host reference this is validated against.
+struct DataflowTransientResult {
+  std::vector<f32> pressure;            // final field
+  std::vector<u64> iterations_per_step; // device CG iterations per step
+  bool all_converged = true;
+  f64 total_device_seconds = 0;
+};
+
+DataflowTransientResult solve_transient_dataflow(const FlowProblem& problem,
+                                                 f64 dt, i64 steps, f64 porosity,
+                                                 f64 total_compressibility,
+                                                 DataflowConfig config = {});
+
+/// Builds the per-PE init data for PE (x, y) — exposed for tests. `minv`
+/// is the global inverse-diagonal array when Jacobi preconditioning is on
+/// (nullptr otherwise). `diagonal_shift` folds the backward-Euler
+/// accumulation term into the preconditioner diagonal.
+PeInit build_pe_init(const FlowProblem& problem, const DiscreteSystem<f32>& sys,
+                     i64 x, i64 y, FluxMode mode,
+                     const std::vector<f32>* minv = nullptr,
+                     const std::vector<f64>* p0_override = nullptr);
+
+} // namespace fvdf::core

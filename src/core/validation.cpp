@@ -1,0 +1,58 @@
+#include "core/validation.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "fv/residual.hpp"
+#include "solver/blas.hpp"
+#include "solver/pressure_solve.hpp"
+
+namespace fvdf::core {
+
+std::string ValidationReport::summary() const {
+  std::ostringstream os;
+  os << "device vs host: max|dp|=" << max_abs_error << ", rel L2=" << rel_l2_error
+     << ", device residual (Eq.3) norm=" << host_residual_norm << ", iterations "
+     << device_iterations << " (device) / " << host_iterations << " (host)"
+     << (device_converged ? "" : " [device NOT converged]");
+  return os.str();
+}
+
+ValidationReport compare_with_host(const FlowProblem& problem,
+                                   const DataflowResult& device,
+                                   f64 host_tolerance) {
+  CgOptions options;
+  options.tolerance = host_tolerance;
+  const PressureSolveResult host = solve_pressure_host(problem, options);
+
+  ValidationReport report;
+  report.device_iterations = device.iterations;
+  report.host_iterations = host.cg.iterations;
+  report.device_converged = device.converged;
+
+  const std::size_t n = host.pressure.size();
+  f64 num = 0, den = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const f64 diff = static_cast<f64>(device.pressure[i]) - host.pressure[i];
+    report.max_abs_error = std::max(report.max_abs_error, std::fabs(diff));
+    num += diff * diff;
+    den += host.pressure[i] * host.pressure[i];
+  }
+  report.rel_l2_error = den > 0 ? std::sqrt(num / den) : std::sqrt(num);
+
+  // Independent check: plug the *device* pressure into Eq. (3).
+  std::vector<f64> device_pressure(device.pressure.begin(), device.pressure.end());
+  const auto residual =
+      compute_residual(problem, device_pressure);
+  report.host_residual_norm = blas::norm2(residual.data(), residual.size());
+  return report;
+}
+
+ValidationReport validate_against_host(const FlowProblem& problem,
+                                       const DataflowConfig& config,
+                                       f64 host_tolerance) {
+  const DataflowResult device = solve_dataflow(problem, config);
+  return compare_with_host(problem, device, host_tolerance);
+}
+
+} // namespace fvdf::core

@@ -1,0 +1,36 @@
+#pragma once
+// Numerical-integrity harness (Sec. V-B): compares the dataflow solution
+// against the double-precision host oracle and reports error norms — the
+// "compare and numerically validate" step of the paper's evaluation.
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/solver.hpp"
+#include "fv/problem.hpp"
+
+namespace fvdf::core {
+
+struct ValidationReport {
+  f64 max_abs_error = 0;     // vs f64 host pressure
+  f64 rel_l2_error = 0;      // ||p_df - p_host||_2 / ||p_host||_2
+  f64 host_residual_norm = 0; // Eq. (3) residual of the *device* pressure
+  u64 device_iterations = 0;
+  u64 host_iterations = 0;
+  bool device_converged = false;
+  std::string summary() const;
+};
+
+/// Solves on both the simulated device and the f64 host and compares.
+/// `tolerance` is the CG epsilon used for both solves.
+ValidationReport validate_against_host(const FlowProblem& problem,
+                                       const DataflowConfig& config,
+                                       f64 host_tolerance);
+
+/// Compares an already-computed device result against the host oracle.
+ValidationReport compare_with_host(const FlowProblem& problem,
+                                   const DataflowResult& device,
+                                   f64 host_tolerance);
+
+} // namespace fvdf::core

@@ -1,0 +1,72 @@
+#pragma once
+// Whole-fabric all-reduce (Sec. III-C), the operator behind the dot
+// products of CG's alpha and beta:
+//
+//  1) every row reduces left -> right (parity-alternating chain colors);
+//     the right-most PE of each row holds the row sum;
+//  2) the right-most column reduces top -> bottom; the bottom-right PE
+//     holds the fabric total;
+//  3) the bottom-right PE broadcasts up the right-most column, and each
+//     right-column PE broadcasts west across its row; every PE ends with
+//     the total.
+//
+// Implemented as an asynchronous task chain: start() contributes this PE's
+// value and registers the receives; the DoneCallback fires (with the
+// fabric-wide sum) once the broadcast reaches this PE.
+
+#include <functional>
+
+#include "csl/colors.hpp"
+#include "wse/program.hpp"
+
+namespace fvdf::csl {
+
+using wse::Dsd;
+using wse::PeContext;
+
+class AllReduce {
+public:
+  struct Colors {
+    Color row_a = kReduceRowA; // driven by even-x PEs
+    Color row_b = kReduceRowB; // driven by odd-x PEs
+    Color col_a = kReduceColA; // right column, even-y senders
+    Color col_b = kReduceColB; // right column, odd-y senders
+    Color bcast_col = kBcastCol;
+    Color bcast_row = kBcastRow;
+    Color row_done = kReduceRowDone;   // local
+    Color col_done = kReduceColDone;   // local
+    Color bcast_col_done = kBcastColDone; // local
+    Color bcast_row_done = kBcastRowDone; // local
+  };
+
+  using DoneCallback = std::function<void(PeContext&, f32)>;
+
+  AllReduce();
+  explicit AllReduce(Colors colors);
+
+  /// Installs static routes and allocates the scalar slots this component
+  /// needs in PE memory. Call from on_start.
+  void configure(PeContext& ctx);
+
+  /// Contributes `value` and arms the reduction. `on_done` fires exactly
+  /// once on this PE with the fabric-wide sum. Reentrant after completion
+  /// (CG runs two all-reduces per iteration).
+  void start(PeContext& ctx, f32 value, DoneCallback on_done);
+
+  bool handles(Color color) const;
+  void on_task(PeContext& ctx, Color color);
+
+private:
+  void row_phase_done(PeContext& ctx, f32 row_sum);
+  void column_phase_done(PeContext& ctx, f32 total);
+  void finish(PeContext& ctx);
+
+  Colors colors_;
+  wse::MemSpan slot_value_{}; // this PE's running partial / final result
+  wse::MemSpan slot_in_{};    // incoming partial (row or column)
+  DoneCallback on_done_;
+  bool active_ = false;
+  f32 row_sum_ = 0.0f; // right-column PEs keep their row sum for phase 2
+};
+
+} // namespace fvdf::csl

@@ -1,0 +1,101 @@
+#include "csl/any_source.hpp"
+
+#include "common/error.hpp"
+#include "wse/router.hpp"
+
+namespace fvdf::csl {
+
+using wse::ColorConfig;
+using wse::Dir;
+using wse::DirMask;
+using wse::SwitchPosition;
+
+namespace {
+ColorConfig route(DirMask rx, DirMask tx) {
+  ColorConfig config;
+  config.positions = {SwitchPosition{rx, tx}};
+  return config;
+}
+} // namespace
+
+AnySourceBroadcast::AnySourceBroadcast() : AnySourceBroadcast(Colors{}) {}
+AnySourceBroadcast::AnySourceBroadcast(Colors colors) : colors_(colors) {}
+
+bool AnySourceBroadcast::is_source(const PeContext& ctx) const {
+  return ctx.coord() == source_;
+}
+
+bool AnySourceBroadcast::on_source_row(const PeContext& ctx) const {
+  return ctx.coord().y == source_.y;
+}
+
+void AnySourceBroadcast::configure(PeContext& ctx, PeCoord source) {
+  FVDF_CHECK(source.x >= 0 && source.x < ctx.fabric_width());
+  FVDF_CHECK(source.y >= 0 && source.y < ctx.fabric_height());
+  source_ = source;
+  const i64 x = ctx.coord().x;
+  const i64 y = ctx.coord().y;
+
+  // Phase 1 — row flood (only the source row carries this color).
+  if (y == source.y) {
+    if (x == source.x) {
+      // One injection fans into both row directions.
+      ctx.configure_router(colors_.row,
+                           route(DirMask::of(Dir::Ramp), DirMask::of(Dir::East, Dir::West)));
+    } else if (x < source.x) {
+      ctx.configure_router(colors_.row,
+                           route(DirMask::of(Dir::East), DirMask::of(Dir::Ramp, Dir::West)));
+    } else {
+      ctx.configure_router(colors_.row,
+                           route(DirMask::of(Dir::West), DirMask::of(Dir::Ramp, Dir::East)));
+    }
+  }
+
+  // Phase 2 — column fan-out from every source-row PE.
+  if (y == source.y) {
+    ctx.configure_router(colors_.col,
+                         route(DirMask::of(Dir::Ramp), DirMask::of(Dir::North, Dir::South)));
+  } else if (y < source.y) {
+    // Data travels north: arrives from the South link.
+    ctx.configure_router(colors_.col,
+                         route(DirMask::of(Dir::South), DirMask::of(Dir::Ramp, Dir::North)));
+  } else {
+    ctx.configure_router(colors_.col,
+                         route(DirMask::of(Dir::North), DirMask::of(Dir::Ramp, Dir::South)));
+  }
+}
+
+void AnySourceBroadcast::start(PeContext& ctx, Dsd block, DoneCallback on_done) {
+  FVDF_CHECK_MSG(!active_, "any-source broadcast already running");
+  FVDF_CHECK(block.length > 0);
+  active_ = true;
+  block_ = block;
+  on_done_ = std::move(on_done);
+
+  if (is_source(ctx)) {
+    // Publish along the row, then immediately down/up the own column; the
+    // local copy is already in place.
+    if (ctx.fabric_width() > 1) ctx.send(colors_.row, block_);
+    if (ctx.fabric_height() > 1) ctx.send(colors_.col, block_);
+    ctx.activate(colors_.done);
+    return;
+  }
+  // Everyone else waits for the block on their phase's color.
+  ctx.recv(on_source_row(ctx) ? colors_.row : colors_.col, block_, colors_.done);
+}
+
+void AnySourceBroadcast::on_task(PeContext& ctx, Color color) {
+  FVDF_CHECK(color == colors_.done);
+  FVDF_CHECK_MSG(active_, "broadcast callback while idle");
+  // Source-row relays republish into their columns before finishing.
+  if (!is_source(ctx) && on_source_row(ctx) && ctx.fabric_height() > 1)
+    ctx.send(colors_.col, block_);
+  active_ = false;
+  if (on_done_) {
+    DoneCallback done = std::move(on_done_);
+    on_done_ = nullptr;
+    done(ctx);
+  }
+}
+
+} // namespace fvdf::csl

@@ -1,0 +1,65 @@
+#pragma once
+// Any-source whole-fabric broadcast — the data-movement primitive named in
+// the paper's future work: "we also need to develop data broadcasting
+// strategies to support data movement from any cell in the
+// arbitrary-shaped mesh."
+//
+// Two-phase flood from an arbitrary source PE (sx, sy):
+//  1. the source transmits its block east AND west along its own row in a
+//     single send (the router fans one injection into both links); every
+//     row PE taps the block and forwards it outward;
+//  2. every PE of the source row (including the source) retransmits the
+//     block north and south along its column; column PEs tap and forward.
+// Every PE receives the block exactly once; the hop count from the source
+// to PE (x, y) is the Manhattan distance — the fabric-optimal broadcast
+// tree rooted anywhere.
+
+#include <functional>
+
+#include "csl/colors.hpp"
+#include "wse/program.hpp"
+
+namespace fvdf::csl {
+
+using wse::Dsd;
+using wse::PeContext;
+using wse::PeCoord;
+
+class AnySourceBroadcast {
+public:
+  struct Colors {
+    Color row = kBcastAnyRow;
+    Color col = kBcastAnyCol;
+    Color done = kBcastAnyDone; // local
+  };
+
+  using DoneCallback = std::function<void(PeContext&)>;
+
+  AnySourceBroadcast();
+  explicit AnySourceBroadcast(Colors colors);
+
+  /// Installs routes for a broadcast rooted at `source`. Call in on_start;
+  /// the root is a layout-time parameter, exactly like a CSL layout block.
+  void configure(PeContext& ctx, PeCoord source);
+
+  /// Starts one broadcast round. On the source PE, `block` is the payload
+  /// to publish; on every other PE it is the destination buffer. `on_done`
+  /// fires once the block is locally available (and, on relay PEs, after
+  /// the column retransmission has been issued).
+  void start(PeContext& ctx, Dsd block, DoneCallback on_done);
+
+  bool handles(Color color) const { return color == colors_.done; }
+  void on_task(PeContext& ctx, Color color);
+
+private:
+  bool is_source(const PeContext& ctx) const;
+  bool on_source_row(const PeContext& ctx) const;
+
+  Colors colors_;
+  PeCoord source_{};
+  Dsd block_{};
+  DoneCallback on_done_;
+  bool active_ = false;
+};
+
+} // namespace fvdf::csl

@@ -1,0 +1,62 @@
+#pragma once
+// The eastward localized broadcast of Figure 4 / Listing 1: every PE in a
+// row exchanges data with its neighbors over a *single* color by
+// alternating two router switch positions with ring_mode:
+//
+//   sending position:   { rx = RAMP, tx = EAST }   (broadcast root)
+//   receiving position: { rx = WEST, tx = RAMP }
+//
+// Initially even-x PEs are Sending and odd-x PEs Receiving. A sender
+// transmits its data followed by a control wavelet that advances the
+// color's switch position in its own router and its neighbor's — the
+// Sending PE becomes Receiving and vice versa (Fig. 4b). The new senders
+// transmit in step 2, and ring_mode returns every router to its initial
+// position. After two steps each PE has sent its block east and received
+// its western neighbor's block.
+//
+// This component exercises the switch-position machinery in isolation
+// (tests, fabric_explorer example); the solver's 4-step halo exchange
+// (csl/halo.hpp) generalizes the same mechanism to four directions.
+
+#include <functional>
+
+#include "csl/colors.hpp"
+#include "wse/program.hpp"
+
+namespace fvdf::csl {
+
+using wse::Dsd;
+using wse::PeContext;
+
+class EastwardExchange {
+public:
+  struct Colors {
+    Color data = kExchangeX;
+    Color done = kExchangeDone; // local
+  };
+
+  using DoneCallback = std::function<void(PeContext&)>;
+
+  EastwardExchange();
+  explicit EastwardExchange(Colors colors);
+
+  /// Installs the two-position ring route (Listing 1). Call from on_start.
+  void configure(PeContext& ctx);
+
+  /// Starts the two-step exchange: `mine` is sent east; `from_west`
+  /// receives the western neighbor's data (untouched on the x=0 PE, which
+  /// has no western neighbor).
+  void start(PeContext& ctx, Dsd mine, Dsd from_west, DoneCallback on_done);
+
+  bool handles(Color color) const { return color == colors_.done; }
+  void on_task(PeContext& ctx, Color color);
+
+private:
+  Colors colors_;
+  int phase_ = 0; // 0 idle; 1 first action outstanding; 2 second action
+  Dsd mine_{};
+  Dsd from_west_{};
+  DoneCallback on_done_;
+};
+
+} // namespace fvdf::csl

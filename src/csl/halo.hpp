@@ -1,0 +1,90 @@
+#pragma once
+// The four-step halo exchange of Table I.
+//
+// Each PE sends its local column to its four cardinal neighbors and
+// receives theirs, using two colors per dimension and router switch
+// positions that alternate the send direction (east in steps 1-2, west in
+// steps 3-4; north then south on the Y dimension). Every data message
+// trails a control wavelet that advances the switch positions of its own
+// color in every router it passes — Listing 1's mechanism — so sender and
+// receiver configurations stay in lock-step, and ring_mode returns them to
+// the initial position for the next iteration.
+//
+// Faithful details:
+//  * odd-index PEs send first on C1/C3, even-index PEs on C2/C4 (Table I);
+//  * the X and Y actions of a step run concurrently, and progression to
+//    the next step waits for the step's completion callbacks;
+//  * a received face triggers an immediate callback so the caller can
+//    compute that face's flux while other transfers are still in flight
+//    (Sec. III-B's event-driven overlap);
+//  * PEs on the fabric edge skip actions whose partner does not exist and
+//    advance their own router locally (the fabric_control write of
+//    Listing 1) to stay in phase.
+
+#include <array>
+#include <functional>
+
+#include "csl/colors.hpp"
+#include "wse/program.hpp"
+
+namespace fvdf::csl {
+
+using wse::Dir;
+using wse::Dsd;
+using wse::PeContext;
+
+class HaloExchange {
+public:
+  struct Colors {
+    Color c1 = kHaloC1;
+    Color c2 = kHaloC2;
+    Color c3 = kHaloC3;
+    Color c4 = kHaloC4;
+    Color done_x = kHaloDoneX; // local: X action of current step finished
+    Color done_y = kHaloDoneY; // local: Y action of current step finished
+  };
+
+  /// Called when the halo from neighbor `dir` has fully landed.
+  using FaceCallback = std::function<void(PeContext&, Dir)>;
+  /// Called when all four steps completed on this PE.
+  using DoneCallback = std::function<void(PeContext&)>;
+
+  HaloExchange();
+  explicit HaloExchange(Colors colors);
+
+  /// Installs the parity-dependent router configurations. Call from
+  /// on_start, once per PE.
+  void configure(PeContext& ctx);
+
+  /// Begins one exchange: sends `column` to all four neighbors and fills
+  /// the halo buffers (each must hold column.length words). Buffers of
+  /// non-existent neighbors are left untouched.
+  void start(PeContext& ctx, Dsd column, Dsd halo_west, Dsd halo_east,
+             Dsd halo_south, Dsd halo_north, FaceCallback on_face,
+             DoneCallback on_done);
+
+  bool handles(Color color) const;
+  void on_task(PeContext& ctx, Color color);
+
+  /// Words this PE sent during exchanges so far (diagnostics).
+  u64 words_sent() const { return words_sent_; }
+
+private:
+  void launch_step(PeContext& ctx);
+  void action_done(PeContext& ctx, bool x_dim);
+
+  Colors colors_;
+  Dsd column_{};
+  std::array<Dsd, 4> halo_{}; // indexed by step semantics, see launch_step
+  FaceCallback on_face_;
+  DoneCallback on_done_;
+  int step_ = 0;     // 1..4 while active, 0 idle
+  int pending_ = 0;  // outstanding actions in the current step
+  bool x_recv_pending_ = false; // current step's X action is a receive
+  bool y_recv_pending_ = false;
+  Dir x_face_ = Dir::West; // face being received on X this step
+  Dir y_face_ = Dir::South;
+  u64 words_sent_ = 0;
+};
+
+} // namespace fvdf::csl

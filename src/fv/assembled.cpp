@@ -1,0 +1,84 @@
+#include "fv/assembled.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+
+namespace fvdf {
+
+template <typename Real>
+AssembledOperator<Real>::AssembledOperator(const DiscreteSystem<Real>& sys)
+    : n_(sys.cell_count()) {
+  const i64 nx = sys.nx, ny = sys.ny, nz = sys.nz;
+  const i64 plane = nx * ny;
+  row_ptr_.reserve(static_cast<std::size_t>(n_) + 1);
+  row_ptr_.push_back(0);
+  const Real half = Real(0.5);
+
+  // Per-row scratch: (column, value) entries in ascending column order.
+  for (CellIndex k = 0; k < n_; ++k) {
+    if (sys.dirichlet[static_cast<std::size_t>(k)]) {
+      col_idx_.push_back(k);
+      values_.push_back(Real(1));
+      row_ptr_.push_back(static_cast<CellIndex>(col_idx_.size()));
+      continue;
+    }
+    const i64 cx = k % nx;
+    const i64 cy = (k / nx) % ny;
+    const i64 cz = k / plane;
+
+    struct Entry {
+      CellIndex col;
+      Real value;
+    };
+    std::array<Entry, 7> entries;
+    std::size_t count = 0;
+    Real diag = Real(0);
+    auto add = [&](CellIndex l, Real ups) {
+      const Real w = ups * half *
+                     (sys.lambda[static_cast<std::size_t>(k)] +
+                      sys.lambda[static_cast<std::size_t>(l)]);
+      entries[count++] = {l, -w};
+      diag += w;
+    };
+    // Ascending column order: -plane, -nx, -1, (diag later), +1, +nx, +plane.
+    if (cz > 0) add(k - plane, sys.tz[static_cast<std::size_t>(((cz - 1) * ny + cy) * nx + cx)]);
+    if (cy > 0) add(k - nx, sys.ty[static_cast<std::size_t>((cz * (ny - 1) + (cy - 1)) * nx + cx)]);
+    if (cx > 0) add(k - 1, sys.tx[static_cast<std::size_t>((cz * ny + cy) * (nx - 1) + (cx - 1))]);
+    const std::size_t diag_slot = count;
+    entries[count++] = {k, Real(0)}; // placeholder, filled after all faces
+    if (cx < nx - 1) add(k + 1, sys.tx[static_cast<std::size_t>((cz * ny + cy) * (nx - 1) + cx)]);
+    if (cy < ny - 1) add(k + nx, sys.ty[static_cast<std::size_t>((cz * (ny - 1) + cy) * nx + cx)]);
+    if (cz < nz - 1) add(k + plane, sys.tz[static_cast<std::size_t>((cz * ny + cy) * nx + cx)]);
+    entries[diag_slot].value = diag;
+
+    for (std::size_t i = 0; i < count; ++i) {
+      col_idx_.push_back(entries[i].col);
+      values_.push_back(entries[i].value);
+    }
+    row_ptr_.push_back(static_cast<CellIndex>(col_idx_.size()));
+  }
+}
+
+template <typename Real>
+void AssembledOperator<Real>::apply(const Real* x, Real* y) const {
+  for (CellIndex row = 0; row < n_; ++row) {
+    Real acc = Real(0);
+    for (CellIndex e = row_ptr_[static_cast<std::size_t>(row)];
+         e < row_ptr_[static_cast<std::size_t>(row) + 1]; ++e) {
+      acc += values_[static_cast<std::size_t>(e)] *
+             x[col_idx_[static_cast<std::size_t>(e)]];
+    }
+    y[row] = acc;
+  }
+}
+
+template <typename Real> u64 AssembledOperator<Real>::matrix_bytes() const {
+  return values_.size() * sizeof(Real) + col_idx_.size() * sizeof(CellIndex) +
+         row_ptr_.size() * sizeof(CellIndex);
+}
+
+template class AssembledOperator<f32>;
+template class AssembledOperator<f64>;
+
+} // namespace fvdf

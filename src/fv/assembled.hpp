@@ -1,0 +1,45 @@
+#pragma once
+// Matrix-*based* baseline: the Jacobian assembled into CSR, used by the
+// matrix-free-vs-assembled ablation (Sec. II-A motivates matrix-free by
+// the memory and fill costs this class makes measurable).
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "fv/problem.hpp"
+
+namespace fvdf {
+
+/// Compressed-sparse-row Jacobian with the same SPD convention as
+/// MatrixFreeOperator, assembled once at construction.
+template <typename Real> class AssembledOperator {
+public:
+  explicit AssembledOperator(const DiscreteSystem<Real>& sys);
+
+  CellIndex size() const { return n_; }
+
+  /// y = Jx via standard CSR SpMV.
+  void apply(const Real* x, Real* y) const;
+
+  /// Bytes held by the CSR structure (values + column indices + row
+  /// pointers) — the storage the matrix-free approach avoids.
+  u64 matrix_bytes() const;
+
+  u64 nonzeros() const { return values_.size(); }
+
+  // Raw CSR access for tests (symmetry checks, row sums).
+  const std::vector<CellIndex>& row_ptr() const { return row_ptr_; }
+  const std::vector<CellIndex>& col_idx() const { return col_idx_; }
+  const std::vector<Real>& values() const { return values_; }
+
+private:
+  CellIndex n_ = 0;
+  std::vector<CellIndex> row_ptr_;
+  std::vector<CellIndex> col_idx_;
+  std::vector<Real> values_;
+};
+
+extern template class AssembledOperator<f32>;
+extern template class AssembledOperator<f64>;
+
+} // namespace fvdf

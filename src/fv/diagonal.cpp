@@ -1,0 +1,55 @@
+#include "fv/diagonal.hpp"
+
+#include "common/error.hpp"
+
+namespace fvdf {
+
+template <typename Real>
+std::vector<Real> jacobian_diagonal(const DiscreteSystem<Real>& sys) {
+  const i64 nx = sys.nx, ny = sys.ny, nz = sys.nz;
+  const i64 plane = nx * ny;
+  std::vector<Real> diag(static_cast<std::size_t>(sys.cell_count()), Real(0));
+  const Real half = Real(0.5);
+
+  for (CellIndex k = 0; k < sys.cell_count(); ++k) {
+    if (sys.dirichlet[static_cast<std::size_t>(k)]) {
+      diag[static_cast<std::size_t>(k)] = Real(1);
+      continue;
+    }
+    const i64 cx = k % nx;
+    const i64 cy = (k / nx) % ny;
+    const i64 cz = k / plane;
+    const Real lk = sys.lambda[static_cast<std::size_t>(k)];
+    Real acc = Real(0);
+    auto face = [&](CellIndex l, Real ups) {
+      acc += ups * half * (lk + sys.lambda[static_cast<std::size_t>(l)]);
+    };
+    if (cx > 0) face(k - 1, sys.tx[static_cast<std::size_t>((cz * ny + cy) * (nx - 1) + cx - 1)]);
+    if (cx < nx - 1) face(k + 1, sys.tx[static_cast<std::size_t>((cz * ny + cy) * (nx - 1) + cx)]);
+    if (cy > 0) face(k - nx, sys.ty[static_cast<std::size_t>((cz * (ny - 1) + cy - 1) * nx + cx)]);
+    if (cy < ny - 1) face(k + nx, sys.ty[static_cast<std::size_t>((cz * (ny - 1) + cy) * nx + cx)]);
+    if (cz > 0) face(k - plane, sys.tz[static_cast<std::size_t>(((cz - 1) * ny + cy) * nx + cx)]);
+    if (cz < nz - 1) face(k + plane, sys.tz[static_cast<std::size_t>((cz * ny + cy) * nx + cx)]);
+    diag[static_cast<std::size_t>(k)] = acc;
+  }
+  return diag;
+}
+
+template <typename Real>
+std::vector<Real> jacobi_inverse_diagonal(const DiscreteSystem<Real>& sys) {
+  std::vector<Real> diag = jacobian_diagonal(sys);
+  for (std::size_t i = 0; i < diag.size(); ++i) {
+    FVDF_CHECK_MSG(diag[i] > Real(0),
+                   "non-positive Jacobian diagonal at cell " << i
+                       << " (isolated cell with no active faces?)");
+    diag[i] = Real(1) / diag[i];
+  }
+  return diag;
+}
+
+template std::vector<f32> jacobian_diagonal<f32>(const DiscreteSystem<f32>&);
+template std::vector<f64> jacobian_diagonal<f64>(const DiscreteSystem<f64>&);
+template std::vector<f32> jacobi_inverse_diagonal<f32>(const DiscreteSystem<f32>&);
+template std::vector<f64> jacobi_inverse_diagonal<f64>(const DiscreteSystem<f64>&);
+
+} // namespace fvdf

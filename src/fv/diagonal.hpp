@@ -1,0 +1,29 @@
+#pragma once
+// Diagonal of the (SPD-convention) Jacobian, extracted matrix-free:
+//   diag_K = sum_faces Upsilon * lambda_avg     for interior cells
+//   diag_K = 1                                  for Dirichlet cells.
+// Used by the Jacobi preconditioner (an extension over the paper: plain CG
+// is what the paper runs; PCG reuses all of its machinery and adds one
+// element-wise scaling per iteration).
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "fv/problem.hpp"
+
+namespace fvdf {
+
+template <typename Real>
+std::vector<Real> jacobian_diagonal(const DiscreteSystem<Real>& sys);
+
+/// Element-wise inverse (1 / diag), the Jacobi preconditioner application
+/// vector. Throws if any interior diagonal is non-positive.
+template <typename Real>
+std::vector<Real> jacobi_inverse_diagonal(const DiscreteSystem<Real>& sys);
+
+extern template std::vector<f32> jacobian_diagonal<f32>(const DiscreteSystem<f32>&);
+extern template std::vector<f64> jacobian_diagonal<f64>(const DiscreteSystem<f64>&);
+extern template std::vector<f32> jacobi_inverse_diagonal<f32>(const DiscreteSystem<f32>&);
+extern template std::vector<f64> jacobi_inverse_diagonal<f64>(const DiscreteSystem<f64>&);
+
+} // namespace fvdf

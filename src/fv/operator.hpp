@@ -1,0 +1,49 @@
+#pragma once
+// The matrix-free Jacobian application of Eq. (6) / Algorithm 2 on the host.
+//
+// Sign convention (see DESIGN.md): we apply the SPD form
+//   (Jx)_K = sum_L Upsilon_KL * lambda_KL * (x_K - x_L)   for K not in T^D
+//   (Jx)_K = x_K                                           for K in T^D,
+// i.e. Eq. (6) negated on interior rows, which is the positive-definite
+// operator CG actually needs. lambda_KL is the arithmetic mean of the cell
+// mobilities (Eq. 4). Local assembly and mat-vec are fused: no global
+// matrix is ever formed.
+
+#include <cstddef>
+
+#include "common/thread_pool.hpp"
+#include "common/types.hpp"
+#include "fv/problem.hpp"
+
+namespace fvdf {
+
+template <typename Real> class MatrixFreeOperator {
+public:
+  /// Keeps a reference to `sys`; the system must outlive the operator.
+  explicit MatrixFreeOperator(const DiscreteSystem<Real>& sys);
+
+  CellIndex size() const { return sys_.cell_count(); }
+
+  /// y = Jx, serial sweep (Algorithm 2's loop nest).
+  void apply(const Real* x, Real* y) const;
+
+  /// y = Jx with the outer cell loop split across a thread pool.
+  void apply_threaded(const Real* x, Real* y, ThreadPool& pool) const;
+
+  /// FLOPs per full application, using the paper's accounting (Sec. V-D):
+  /// each interior cell does 14 FLOPs per neighbor face present.
+  u64 flop_count() const;
+
+  const DiscreteSystem<Real>& system() const { return sys_; }
+
+private:
+  // Computes y over cells with linear indices in [begin, end).
+  void apply_range(const Real* x, Real* y, CellIndex begin, CellIndex end) const;
+
+  const DiscreteSystem<Real>& sys_;
+};
+
+extern template class MatrixFreeOperator<f32>;
+extern template class MatrixFreeOperator<f64>;
+
+} // namespace fvdf

@@ -1,0 +1,96 @@
+#include "fv/problem.hpp"
+
+#include "common/rng.hpp"
+
+namespace fvdf {
+
+template <typename Real> u64 DiscreteSystem<Real>::data_bytes() const {
+  return sizeof(Real) * (lambda.size() + tx.size() + ty.size() + tz.size() +
+                         dirichlet_value.size()) +
+         sizeof(u8) * dirichlet.size();
+}
+
+FlowProblem::FlowProblem(CartesianMesh3D mesh, CellField<f64> permeability,
+                         f64 viscosity, DirichletSet bc)
+    : FlowProblem(mesh, std::move(permeability), constant_mobility(mesh, viscosity),
+                  std::move(bc)) {}
+
+FlowProblem::FlowProblem(CartesianMesh3D mesh, CellField<f64> permeability,
+                         CellField<f64> mobility, DirichletSet bc)
+    : mesh_(mesh), permeability_(std::move(permeability)),
+      mobility_(std::move(mobility)),
+      trans_(compute_transmissibility(mesh, permeability_)), bc_(std::move(bc)) {
+  FVDF_CHECK(permeability_.size() == static_cast<std::size_t>(mesh_.cell_count()));
+  FVDF_CHECK(mobility_.size() == static_cast<std::size_t>(mesh_.cell_count()));
+  for (f64 m : mobility_.data()) FVDF_CHECK_MSG(m > 0, "mobility must be positive");
+  source_.assign(static_cast<std::size_t>(mesh_.cell_count()), 0.0);
+}
+
+void FlowProblem::add_source(CellIndex cell, f64 rate) {
+  FVDF_CHECK(cell >= 0 && cell < mesh_.cell_count());
+  FVDF_CHECK_MSG(!bc_.contains(cell),
+                 "cell " << cell << " is Dirichlet; a pressure-controlled well "
+                            "cannot also be rate-controlled");
+  source_[static_cast<std::size_t>(cell)] += rate;
+  has_sources_ = true;
+}
+
+template <typename Real> DiscreteSystem<Real> FlowProblem::discretize() const {
+  DiscreteSystem<Real> sys;
+  sys.nx = mesh_.nx();
+  sys.ny = mesh_.ny();
+  sys.nz = mesh_.nz();
+  const auto n = static_cast<std::size_t>(mesh_.cell_count());
+
+  sys.lambda.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    sys.lambda[i] = static_cast<Real>(mobility_.data()[i]);
+
+  auto narrow = [](const std::vector<f64>& src, std::vector<Real>& dst) {
+    dst.resize(src.size());
+    for (std::size_t i = 0; i < src.size(); ++i) dst[i] = static_cast<Real>(src[i]);
+  };
+  narrow(trans_.x_faces, sys.tx);
+  narrow(trans_.y_faces, sys.ty);
+  narrow(trans_.z_faces, sys.tz);
+
+  sys.dirichlet.assign(n, 0);
+  sys.dirichlet_value.assign(n, Real{0});
+  for (const auto& [idx, value] : bc_.sorted()) {
+    FVDF_CHECK(idx < mesh_.cell_count());
+    sys.dirichlet[static_cast<std::size_t>(idx)] = 1;
+    sys.dirichlet_value[static_cast<std::size_t>(idx)] = static_cast<Real>(value);
+  }
+  if (has_sources_) narrow(source_, sys.source);
+  return sys;
+}
+
+std::vector<f64> FlowProblem::initial_pressure(f64 interior_value) const {
+  std::vector<f64> p(static_cast<std::size_t>(mesh_.cell_count()), interior_value);
+  for (const auto& [idx, value] : bc_.sorted())
+    p[static_cast<std::size_t>(idx)] = value;
+  return p;
+}
+
+FlowProblem FlowProblem::quarter_five_spot(i64 nx, i64 ny, i64 nz, u64 seed,
+                                           f64 log_sigma) {
+  CartesianMesh3D mesh(nx, ny, nz);
+  Rng rng(seed);
+  auto perm = perm::lognormal(mesh, rng, /*log_mean=*/0.0, log_sigma);
+  auto bc = DirichletSet::injector_producer(mesh, /*injector=*/1.0, /*producer=*/0.0);
+  return FlowProblem(mesh, std::move(perm), /*viscosity=*/1.0, std::move(bc));
+}
+
+FlowProblem FlowProblem::homogeneous_column(i64 nx, i64 ny, i64 nz) {
+  CartesianMesh3D mesh(nx, ny, nz);
+  auto perm = perm::homogeneous(mesh, 1.0);
+  auto bc = DirichletSet::injector_producer(mesh, 1.0, 0.0);
+  return FlowProblem(mesh, std::move(perm), 1.0, std::move(bc));
+}
+
+template struct DiscreteSystem<f32>;
+template struct DiscreteSystem<f64>;
+template DiscreteSystem<f32> FlowProblem::discretize<f32>() const;
+template DiscreteSystem<f64> FlowProblem::discretize<f64>() const;
+
+} // namespace fvdf

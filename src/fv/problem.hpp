@@ -1,0 +1,90 @@
+#pragma once
+// FlowProblem bundles everything that defines one single-phase
+// incompressible flow instance (Sec. II-A): mesh, permeability, constant
+// fluid mobility, Dirichlet set. `discretize<Real>()` lowers it to the
+// flat, device-layout arrays consumed by all three implementations (host
+// oracle, simulated-GPU kernel, dataflow PE programs) so they provably
+// solve the same discrete system.
+
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mesh/bc.hpp"
+#include "mesh/cartesian.hpp"
+#include "mesh/fields.hpp"
+#include "mesh/transmissibility.hpp"
+
+namespace fvdf {
+
+/// Flat arrays in the paper's memory layout (X innermost, Z outermost).
+template <typename Real> struct DiscreteSystem {
+  i64 nx = 0, ny = 0, nz = 0;
+
+  std::vector<Real> lambda;          // cell mobility, size n
+  std::vector<Real> tx, ty, tz;      // face transmissibilities per axis
+  std::vector<u8> dirichlet;         // 1 where the cell is in T^D, size n
+  std::vector<Real> dirichlet_value; // p^D where pinned, 0 elsewhere, size n
+  std::vector<Real> source;          // volumetric rate q per cell (may be empty)
+
+  CellIndex cell_count() const { return nx * ny * nz; }
+
+  /// Bytes of problem data (used by the matrix-free-vs-assembled ablation).
+  u64 data_bytes() const;
+};
+
+class FlowProblem {
+public:
+  /// Takes ownership of the field data. Transmissibilities are computed
+  /// here once (they are part of the *problem*, not of any implementation).
+  FlowProblem(CartesianMesh3D mesh, CellField<f64> permeability, f64 viscosity,
+              DirichletSet bc);
+
+  /// Variant with a per-cell mobility field (lambda = k_r / mu), the form
+  /// multiphase outer loops need: total mobility varies with saturation.
+  FlowProblem(CartesianMesh3D mesh, CellField<f64> permeability,
+              CellField<f64> mobility, DirichletSet bc);
+
+  const CartesianMesh3D& mesh() const { return mesh_; }
+  const CellField<f64>& permeability() const { return permeability_; }
+  const CellField<f64>& mobility() const { return mobility_; }
+  const FaceTransmissibility& transmissibility() const { return trans_; }
+  const DirichletSet& bc() const { return bc_; }
+
+  /// Rate-controlled wells: adds a volumetric source `rate` (positive =
+  /// injection) at `cell`. Sources enter the residual only (the Jacobian
+  /// is unchanged), so every solver path supports them. The cell must not
+  /// be Dirichlet. The system needs at least one Dirichlet cell to stay
+  /// non-singular; with none, rates must balance and pressure is defined
+  /// up to a constant — the constructor does not arbitrate that, solvers
+  /// will report loss of definiteness.
+  void add_source(CellIndex cell, f64 rate);
+  void add_source(const CellCoord& c, f64 rate) { add_source(mesh_.index(c), rate); }
+  const std::vector<f64>& sources() const { return source_; }
+  bool has_sources() const { return has_sources_; }
+
+  /// Lowers to flat arrays of the requested precision.
+  template <typename Real> DiscreteSystem<Real> discretize() const;
+
+  /// Initial pressure: Dirichlet values at pinned cells, `interior_value`
+  /// elsewhere. This satisfies the BCs exactly, which makes the Dirichlet
+  /// entries of the initial residual zero — the property that keeps CG on
+  /// the (identity ++ SPD-interior) Jacobian consistent (see DESIGN.md).
+  std::vector<f64> initial_pressure(f64 interior_value = 0.0) const;
+
+  /// Canonical test problems.
+  static FlowProblem quarter_five_spot(i64 nx, i64 ny, i64 nz, u64 seed,
+                                       f64 log_sigma = 1.0);
+  static FlowProblem homogeneous_column(i64 nx, i64 ny, i64 nz);
+
+private:
+  CartesianMesh3D mesh_;
+  CellField<f64> permeability_;
+  CellField<f64> mobility_;
+  FaceTransmissibility trans_;
+  DirichletSet bc_;
+  std::vector<f64> source_; // per cell, zero-initialized
+  bool has_sources_ = false;
+};
+
+} // namespace fvdf

@@ -1,0 +1,58 @@
+#include "fv/residual.hpp"
+
+#include "common/error.hpp"
+#include "fv/problem.hpp"
+
+namespace fvdf {
+
+f64 interfacial_flux(const CartesianMesh3D& mesh, const FaceTransmissibility& trans,
+                     const CellField<f64>& mobility, const std::vector<f64>& p,
+                     const CellCoord& c, Face face) {
+  const auto nb = mesh.neighbor(c, face);
+  if (!nb) return 0.0;
+  const f64 ups = trans.at(mesh, c, face);
+  const f64 lambda =
+      0.5 * (mobility.at(c.x, c.y, c.z) + mobility.at(nb->x, nb->y, nb->z));
+  const CellIndex k = mesh.index(c);
+  const CellIndex l = mesh.index(*nb);
+  return ups * lambda *
+         (p[static_cast<std::size_t>(l)] - p[static_cast<std::size_t>(k)]);
+}
+
+std::vector<f64> compute_residual(const CartesianMesh3D& mesh,
+                                  const FaceTransmissibility& trans,
+                                  const CellField<f64>& mobility,
+                                  const DirichletSet& bc,
+                                  const std::vector<f64>& p) {
+  FVDF_CHECK(p.size() == static_cast<std::size_t>(mesh.cell_count()));
+  std::vector<f64> r(p.size(), 0.0);
+  for (i64 z = 0; z < mesh.nz(); ++z)
+    for (i64 y = 0; y < mesh.ny(); ++y)
+      for (i64 x = 0; x < mesh.nx(); ++x) {
+        const CellCoord c{x, y, z};
+        const CellIndex k = mesh.index(c);
+        if (bc.contains(k)) {
+          r[static_cast<std::size_t>(k)] = p[static_cast<std::size_t>(k)] - bc.value(k);
+          continue;
+        }
+        f64 sum = 0.0;
+        for (Face face : kAllFaces)
+          sum += interfacial_flux(mesh, trans, mobility, p, c, face);
+        r[static_cast<std::size_t>(k)] = sum;
+      }
+  return r;
+}
+
+std::vector<f64> compute_residual(const FlowProblem& problem,
+                                  const std::vector<f64>& p) {
+  std::vector<f64> r = compute_residual(problem.mesh(), problem.transmissibility(),
+                                        problem.mobility(), problem.bc(), p);
+  if (problem.has_sources()) {
+    const auto& source = problem.sources();
+    for (std::size_t i = 0; i < r.size(); ++i)
+      if (!problem.bc().contains(static_cast<CellIndex>(i))) r[i] += source[i];
+  }
+  return r;
+}
+
+} // namespace fvdf

@@ -1,0 +1,38 @@
+#pragma once
+// The FV residual of Eq. (3):
+//   r_K = sum_{L in adj(K)} f_KL            for K not in T^D
+//   r_K = p_K - p_K^D                        for Dirichlet cells,
+// with the TPFA interfacial flux of Eq. (4):
+//   f_KL = Upsilon_KL * lambda_KL * (p_L - p_K),
+// lambda_KL being the arithmetic average of the cell mobilities.
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "mesh/bc.hpp"
+#include "mesh/cartesian.hpp"
+#include "mesh/fields.hpp"
+#include "mesh/transmissibility.hpp"
+
+namespace fvdf {
+
+/// Computes the residual vector for pressure field `p` (size = cell count).
+std::vector<f64> compute_residual(const CartesianMesh3D& mesh,
+                                  const FaceTransmissibility& trans,
+                                  const CellField<f64>& mobility,
+                                  const DirichletSet& bc,
+                                  const std::vector<f64>& p);
+
+/// Residual of a FlowProblem, including its rate-well sources:
+/// r_K = sum_L f_KL + q_K on interior rows (mass balance with injection).
+class FlowProblem;
+std::vector<f64> compute_residual(const FlowProblem& problem,
+                                  const std::vector<f64>& p);
+
+/// Single interfacial flux f_KL (Eq. 4) for cell c across `face`; 0 at
+/// domain boundaries. Exposed for unit tests and examples.
+f64 interfacial_flux(const CartesianMesh3D& mesh, const FaceTransmissibility& trans,
+                     const CellField<f64>& mobility, const std::vector<f64>& p,
+                     const CellCoord& c, Face face);
+
+} // namespace fvdf

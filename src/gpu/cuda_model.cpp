@@ -1,0 +1,59 @@
+#include "gpu/cuda_model.hpp"
+
+#include "common/error.hpp"
+
+namespace fvdf::gpu {
+
+Dim3 grid_for(i64 nx, i64 ny, i64 nz, Dim3 block) {
+  FVDF_CHECK(nx >= 1 && ny >= 1 && nz >= 1);
+  FVDF_CHECK(block.count() >= 1 && block.count() <= 1024);
+  Dim3 grid;
+  grid.x = static_cast<u32>((nx + block.x - 1) / block.x);
+  grid.y = static_cast<u32>((ny + block.y - 1) / block.y);
+  grid.z = static_cast<u32>((nz + block.z - 1) / block.z);
+  return grid;
+}
+
+CudaDevice::CudaDevice(GpuSpec spec, std::size_t host_threads)
+    : spec_(std::move(spec)), pool_(host_threads) {}
+
+void CudaDevice::launch(Dim3 grid, Dim3 block, u64 traffic_bytes,
+                        const std::function<void(const ThreadCtx&)>& body) {
+  FVDF_CHECK_MSG(block.count() <= 1024,
+                 "threadblock exceeds the 1024-thread limit: " << block.count());
+  ++launches_;
+  hbm_bytes_ += traffic_bytes;
+
+  const u64 blocks = grid.count();
+  // One pool task per block; threads within a block run sequentially.
+  pool_.parallel_for(0, static_cast<std::size_t>(blocks), [&](std::size_t begin,
+                                                              std::size_t end) {
+    for (std::size_t flat = begin; flat < end; ++flat) {
+      ThreadCtx ctx;
+      ctx.block_dim = block;
+      ctx.grid_dim = grid;
+      ctx.block_idx.x = static_cast<u32>(flat % grid.x);
+      ctx.block_idx.y = static_cast<u32>((flat / grid.x) % grid.y);
+      ctx.block_idx.z = static_cast<u32>(flat / (static_cast<u64>(grid.x) * grid.y));
+      for (u32 tz = 0; tz < block.z; ++tz)
+        for (u32 ty = 0; ty < block.y; ++ty)
+          for (u32 tx = 0; tx < block.x; ++tx) {
+            ctx.thread_idx = Dim3{tx, ty, tz};
+            body(ctx);
+          }
+    }
+  });
+}
+
+f64 CudaDevice::modeled_seconds(const GpuAnalyticModel& model, u64 cells) const {
+  return static_cast<f64>(launches_) * model.params().launch_overhead_s +
+         static_cast<f64>(hbm_bytes_) / model.effective_bandwidth(cells);
+}
+
+void CudaDevice::reset_accounting() {
+  launches_ = 0;
+  hbm_bytes_ = 0;
+  memcpy_bytes_ = 0;
+}
+
+} // namespace fvdf::gpu

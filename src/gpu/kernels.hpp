@@ -1,0 +1,82 @@
+#pragma once
+// The CUDA-style kernels of the reference implementation (Sec. IV): a
+// matrix-free FV flux kernel where each thread handles one cell of the
+// nx x ny x nz box, plus the BLAS-1 kernels and the two-stage dot-product
+// reduction CG needs. All kernels follow the paper's memory layout
+// (X innermost, Z outermost).
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "fv/problem.hpp"
+#include "gpu/cuda_model.hpp"
+
+namespace fvdf::gpu {
+
+/// Problem arrays resident "on the device".
+struct DeviceSystem {
+  i64 nx = 0, ny = 0, nz = 0;
+  std::vector<f32> lambda;
+  std::vector<f32> tx, ty, tz;
+  std::vector<u8> dirichlet;
+  std::vector<f32> source; // rate-well column (may be empty)
+
+  u64 cells() const { return static_cast<u64>(nx) * ny * nz; }
+  static DeviceSystem upload(CudaDevice& device, const DiscreteSystem<f32>& sys);
+};
+
+/// q = J x (same SPD convention as the host operator): each thread fetches
+/// its cell and its six neighbors, accumulates the TPFA fluxes, and writes
+/// one output (Algorithm 2's loop nest with the outer loop mapped to the
+/// thread grid).
+void launch_jx(CudaDevice& device, const DeviceSystem& sys, const f32* x, f32* q);
+
+/// r = q_src - J p with exact zeros on Dirichlet rows — the residual
+/// kernel that seeds CG (Algorithm 1 line 1), including rate-well sources.
+void launch_initial_residual(CudaDevice& device, const DeviceSystem& sys,
+                             const f32* p, f32* r);
+
+/// y += a * x.
+void launch_axpy(CudaDevice& device, f32 a, const f32* x, f32* y, u64 n);
+
+/// x = r + b * x.
+void launch_xpby(CudaDevice& device, const f32* r, f32 b, f32* x, u64 n);
+
+/// Two-stage dot product: per-block partials (stage 1) reduced in a final
+/// pass (stage 2). fp32 partials, f64 final accumulation — the usual CUDA
+/// reduction structure.
+f64 launch_dot(CudaDevice& device, const f32* a, const f32* b, u64 n);
+
+/// Nominal (ideal-cache) HBM traffic of one Jx launch, used for the
+/// device-side accounting. The *timing* model's calibrated bytes/cell is
+/// larger; see EXPERIMENTS.md.
+u64 nominal_jx_traffic(const DeviceSystem& sys);
+
+/// The matrix-*based* baseline (Sec. II-A's contrast): the Jacobian
+/// assembled to CSR on the device, applied with one row per thread. Used
+/// by the matrix-free ablation to quantify what assembly + explicit
+/// storage cost on a GPU.
+struct DeviceCsr {
+  CellIndex rows = 0;
+  std::vector<CellIndex> row_ptr;
+  std::vector<CellIndex> col_idx;
+  std::vector<f32> values;
+
+  u64 bytes() const {
+    return values.size() * sizeof(f32) + col_idx.size() * sizeof(CellIndex) +
+           row_ptr.size() * sizeof(CellIndex);
+  }
+};
+
+/// Assembles the CSR Jacobian on the "device" (charges the fill traffic —
+/// the cost the matrix-free approach removes every Newton step).
+DeviceCsr assemble_csr(CudaDevice& device, const DiscreteSystem<f32>& sys);
+
+/// y = A x via CSR SpMV, one row per thread.
+void launch_spmv(CudaDevice& device, const DeviceCsr& csr, const f32* x, f32* q);
+
+/// Nominal HBM traffic of one SpMV: stream values + column indices +
+/// row pointers, gather x, write y.
+u64 nominal_spmv_traffic(const DeviceCsr& csr);
+
+} // namespace fvdf::gpu

@@ -1,0 +1,41 @@
+#include "mesh/bc.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace fvdf {
+
+void DirichletSet::pin(CellIndex idx, f64 value) {
+  FVDF_CHECK(idx >= 0);
+  values_[idx] = value;
+}
+
+void DirichletSet::pin(const CartesianMesh3D& mesh, const CellCoord& c, f64 value) {
+  pin(mesh.index(c), value);
+}
+
+f64 DirichletSet::value(CellIndex idx) const {
+  auto it = values_.find(idx);
+  FVDF_CHECK_MSG(it != values_.end(), "cell " << idx << " is not Dirichlet");
+  return it->second;
+}
+
+std::vector<std::pair<CellIndex, f64>> DirichletSet::sorted() const {
+  std::vector<std::pair<CellIndex, f64>> out(values_.begin(), values_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+DirichletSet DirichletSet::injector_producer(const CartesianMesh3D& mesh,
+                                             f64 injector_pressure,
+                                             f64 producer_pressure) {
+  DirichletSet set;
+  for (i64 z = 0; z < mesh.nz(); ++z) {
+    set.pin(mesh, {0, 0, z}, injector_pressure);
+    set.pin(mesh, {mesh.nx() - 1, mesh.ny() - 1, z}, producer_pressure);
+  }
+  return set;
+}
+
+} // namespace fvdf

@@ -1,0 +1,43 @@
+#pragma once
+// Dirichlet boundary conditions — the set T^D of Eq. (3). In the CCS
+// scenario of Fig. 5 the injector (source) and producer are modeled as
+// Dirichlet pressure cells.
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mesh/cartesian.hpp"
+
+namespace fvdf {
+
+/// Sparse set of cells with fixed pressure values.
+class DirichletSet {
+public:
+  /// Pins cell `idx` to pressure `value`. Re-pinning overwrites.
+  void pin(CellIndex idx, f64 value);
+  void pin(const CartesianMesh3D& mesh, const CellCoord& c, f64 value);
+
+  bool contains(CellIndex idx) const { return values_.count(idx) != 0; }
+  /// Fixed pressure for a pinned cell; throws if not pinned.
+  f64 value(CellIndex idx) const;
+
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  /// Deterministically ordered (by index) list of pinned cells, for
+  /// device upload and reproducible iteration.
+  std::vector<std::pair<CellIndex, f64>> sorted() const;
+
+  /// Fig. 5 scenario: injector column at (0, 0) pinned high, producer column
+  /// at (nx-1, ny-1) pinned low, across all z (a vertical well in each
+  /// corner of the model).
+  static DirichletSet injector_producer(const CartesianMesh3D& mesh,
+                                        f64 injector_pressure,
+                                        f64 producer_pressure);
+
+private:
+  std::unordered_map<CellIndex, f64> values_;
+};
+
+} // namespace fvdf

@@ -1,0 +1,98 @@
+#include "mesh/cartesian.hpp"
+
+#include <sstream>
+
+namespace fvdf {
+
+Face opposite(Face face) {
+  switch (face) {
+  case Face::West: return Face::East;
+  case Face::East: return Face::West;
+  case Face::South: return Face::North;
+  case Face::North: return Face::South;
+  case Face::Down: return Face::Up;
+  case Face::Up: return Face::Down;
+  }
+  throw Error("invalid face");
+}
+
+const char* to_string(Face face) {
+  switch (face) {
+  case Face::West: return "West";
+  case Face::East: return "East";
+  case Face::South: return "South";
+  case Face::North: return "North";
+  case Face::Down: return "Down";
+  case Face::Up: return "Up";
+  }
+  return "?";
+}
+
+CartesianMesh3D::CartesianMesh3D(i64 nx, i64 ny, i64 nz, f64 dx, f64 dy, f64 dz)
+    : nx_(nx), ny_(ny), nz_(nz), dx_(dx), dy_(dy), dz_(dz) {
+  FVDF_CHECK_MSG(nx >= 1 && ny >= 1 && nz >= 1,
+                 "mesh dims must be positive: " << nx << "x" << ny << "x" << nz);
+  FVDF_CHECK_MSG(dx > 0 && dy > 0 && dz > 0, "cell sizes must be positive");
+}
+
+std::optional<CellCoord> CartesianMesh3D::neighbor(const CellCoord& c, Face face) const {
+  CellCoord n = c;
+  switch (face) {
+  case Face::West: n.x -= 1; break;
+  case Face::East: n.x += 1; break;
+  case Face::South: n.y -= 1; break;
+  case Face::North: n.y += 1; break;
+  case Face::Down: n.z -= 1; break;
+  case Face::Up: n.z += 1; break;
+  }
+  if (!contains(n.x, n.y, n.z)) return std::nullopt;
+  return n;
+}
+
+f64 CartesianMesh3D::face_area(Face face) const {
+  switch (face) {
+  case Face::West:
+  case Face::East: return dy_ * dz_;
+  case Face::South:
+  case Face::North: return dx_ * dz_;
+  case Face::Down:
+  case Face::Up: return dx_ * dy_;
+  }
+  throw Error("invalid face");
+}
+
+f64 CartesianMesh3D::center_distance(Face face) const {
+  switch (face) {
+  case Face::West:
+  case Face::East: return dx_;
+  case Face::South:
+  case Face::North: return dy_;
+  case Face::Down:
+  case Face::Up: return dz_;
+  }
+  throw Error("invalid face");
+}
+
+CellIndex CartesianMesh3D::x_face_index(i64 x, i64 y, i64 z) const {
+  FVDF_CHECK(x >= 0 && x < nx_ - 1 && y >= 0 && y < ny_ && z >= 0 && z < nz_);
+  return (z * ny_ + y) * (nx_ - 1) + x;
+}
+
+CellIndex CartesianMesh3D::y_face_index(i64 x, i64 y, i64 z) const {
+  FVDF_CHECK(x >= 0 && x < nx_ && y >= 0 && y < ny_ - 1 && z >= 0 && z < nz_);
+  return (z * (ny_ - 1) + y) * nx_ + x;
+}
+
+CellIndex CartesianMesh3D::z_face_index(i64 x, i64 y, i64 z) const {
+  FVDF_CHECK(x >= 0 && x < nx_ && y >= 0 && y < ny_ && z >= 0 && z < nz_ - 1);
+  return (z * ny_ + y) * nx_ + x;
+}
+
+std::string CartesianMesh3D::describe() const {
+  std::ostringstream os;
+  os << nx_ << "x" << ny_ << "x" << nz_ << " cells (" << cell_count()
+     << " total), spacing " << dx_ << "x" << dy_ << "x" << dz_ << " m";
+  return os.str();
+}
+
+} // namespace fvdf

@@ -1,0 +1,97 @@
+#pragma once
+// 3D Cartesian mesh with the paper's memory layout: "the X-dimension as the
+// innermost dimension and Z-dimension as the outermost dimension" (Sec. IV).
+// Each interior cell has six neighbors (the 7-point stencil of Fig. 1).
+
+#include <array>
+#include <optional>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace fvdf {
+
+/// Face/neighbor direction of the 7-point stencil. The X-Y cardinal
+/// directions mirror the fabric link names used in Table I; Up/Down are the
+/// Z-dimension neighbors that live in the same PE column.
+enum class Face : u8 { West = 0, East = 1, South = 2, North = 3, Down = 4, Up = 5 };
+
+constexpr std::array<Face, 6> kAllFaces = {Face::West, Face::East, Face::South,
+                                           Face::North, Face::Down, Face::Up};
+
+/// Opposite face (West<->East, South<->North, Down<->Up).
+Face opposite(Face face);
+
+/// Human-readable name for diagnostics.
+const char* to_string(Face face);
+
+/// Structured cell coordinate.
+struct CellCoord {
+  i64 x = 0, y = 0, z = 0;
+  bool operator==(const CellCoord&) const = default;
+};
+
+class CartesianMesh3D {
+public:
+  /// Dimensions in cells and uniform cell sizes in meters.
+  CartesianMesh3D(i64 nx, i64 ny, i64 nz, f64 dx = 1.0, f64 dy = 1.0, f64 dz = 1.0);
+
+  i64 nx() const { return nx_; }
+  i64 ny() const { return ny_; }
+  i64 nz() const { return nz_; }
+  f64 dx() const { return dx_; }
+  f64 dy() const { return dy_; }
+  f64 dz() const { return dz_; }
+
+  CellIndex cell_count() const { return nx_ * ny_ * nz_; }
+  f64 cell_volume() const { return dx_ * dy_ * dz_; }
+
+  /// Linear index with X innermost, Z outermost.
+  CellIndex index(i64 x, i64 y, i64 z) const {
+    FVDF_CHECK(contains(x, y, z));
+    return (z * ny_ + y) * nx_ + x;
+  }
+  CellIndex index(const CellCoord& c) const { return index(c.x, c.y, c.z); }
+
+  CellCoord coord(CellIndex idx) const {
+    FVDF_CHECK(idx >= 0 && idx < cell_count());
+    CellCoord c;
+    c.x = idx % nx_;
+    c.y = (idx / nx_) % ny_;
+    c.z = idx / (nx_ * ny_);
+    return c;
+  }
+
+  bool contains(i64 x, i64 y, i64 z) const {
+    return x >= 0 && x < nx_ && y >= 0 && y < ny_ && z >= 0 && z < nz_;
+  }
+
+  /// Neighbor cell across `face`, or nullopt at the domain boundary
+  /// (no-flow boundaries: missing neighbors simply contribute no flux).
+  std::optional<CellCoord> neighbor(const CellCoord& c, Face face) const;
+
+  /// Face area and center distance used by the TPFA geometric factor.
+  f64 face_area(Face face) const;
+  f64 center_distance(Face face) const;
+
+  /// Number of interior faces along each axis (for face-array sizing):
+  /// X-faces: (nx-1)*ny*nz, Y-faces: nx*(ny-1)*nz, Z-faces: nx*ny*(nz-1).
+  CellIndex x_face_count() const { return (nx_ - 1) * ny_ * nz_; }
+  CellIndex y_face_count() const { return nx_ * (ny_ - 1) * nz_; }
+  CellIndex z_face_count() const { return nx_ * ny_ * (nz_ - 1); }
+
+  /// Linear face indices. The x-face between (x,y,z) and (x+1,y,z) is
+  /// indexed by the lower cell's coordinate in a (nx-1, ny, nz) box, etc.
+  CellIndex x_face_index(i64 x, i64 y, i64 z) const;
+  CellIndex y_face_index(i64 x, i64 y, i64 z) const;
+  CellIndex z_face_index(i64 x, i64 y, i64 z) const;
+
+  std::string describe() const;
+
+private:
+  i64 nx_, ny_, nz_;
+  f64 dx_, dy_, dz_;
+};
+
+} // namespace fvdf

@@ -1,0 +1,89 @@
+#include "mesh/fields.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fvdf {
+namespace perm {
+
+CellField<f64> homogeneous(const CartesianMesh3D& mesh, f64 value) {
+  FVDF_CHECK(value > 0);
+  return CellField<f64>(mesh, value);
+}
+
+CellField<f64> layered(const CartesianMesh3D& mesh, f64 low, f64 high,
+                       i64 layer_thickness) {
+  FVDF_CHECK(low > 0 && high > 0 && layer_thickness > 0);
+  CellField<f64> field(mesh);
+  for (i64 z = 0; z < mesh.nz(); ++z) {
+    const f64 value = ((z / layer_thickness) % 2 == 0) ? low : high;
+    for (i64 y = 0; y < mesh.ny(); ++y)
+      for (i64 x = 0; x < mesh.nx(); ++x) field.at(x, y, z) = value;
+  }
+  return field;
+}
+
+namespace {
+// One pass of a 7-point box filter with reflective boundaries; preserves the
+// mean while introducing short-range spatial correlation.
+void smooth_once(const CartesianMesh3D& mesh, CellField<f64>& field) {
+  CellField<f64> out(mesh);
+  for (i64 z = 0; z < mesh.nz(); ++z)
+    for (i64 y = 0; y < mesh.ny(); ++y)
+      for (i64 x = 0; x < mesh.nx(); ++x) {
+        f64 sum = field.at(x, y, z);
+        int n = 1;
+        const CellCoord c{x, y, z};
+        for (Face face : kAllFaces) {
+          if (auto nb = mesh.neighbor(c, face)) {
+            sum += field.at(nb->x, nb->y, nb->z);
+            ++n;
+          }
+        }
+        out.at(x, y, z) = sum / n;
+      }
+  field = std::move(out);
+}
+} // namespace
+
+CellField<f64> lognormal(const CartesianMesh3D& mesh, Rng& rng, f64 log_mean,
+                         f64 log_sigma, int smoothing) {
+  FVDF_CHECK(log_sigma >= 0 && smoothing >= 0);
+  CellField<f64> field(mesh);
+  for (auto& value : field.data()) value = rng.normal(log_mean, log_sigma);
+  for (int pass = 0; pass < smoothing; ++pass) smooth_once(mesh, field);
+  for (auto& value : field.data()) value = std::exp(value);
+  return field;
+}
+
+CellField<f64> channelized(const CartesianMesh3D& mesh, Rng& rng, f64 background,
+                           f64 channel, int channel_count) {
+  FVDF_CHECK(background > 0 && channel > 0 && channel_count >= 0);
+  CellField<f64> field(mesh, background);
+  for (int ch = 0; ch < channel_count; ++ch) {
+    // Each channel is a random walk in y as x advances, at a random depth
+    // band, with a half-width of 1-2 cells.
+    f64 y_pos = rng.uniform(0.0, static_cast<f64>(mesh.ny()));
+    const i64 z0 = static_cast<i64>(rng.uniform_index(static_cast<u64>(mesh.nz())));
+    const i64 z1 = std::min<i64>(mesh.nz(), z0 + 1 + static_cast<i64>(rng.uniform_index(3)));
+    const i64 half_width = 1 + static_cast<i64>(rng.uniform_index(2));
+    for (i64 x = 0; x < mesh.nx(); ++x) {
+      y_pos += rng.normal(0.0, 0.75);
+      y_pos = std::clamp(y_pos, 0.0, static_cast<f64>(mesh.ny() - 1));
+      const i64 yc = static_cast<i64>(y_pos);
+      for (i64 y = std::max<i64>(0, yc - half_width);
+           y <= std::min<i64>(mesh.ny() - 1, yc + half_width); ++y)
+        for (i64 z = z0; z < z1; ++z) field.at(x, y, z) = channel;
+    }
+  }
+  return field;
+}
+
+} // namespace perm
+
+CellField<f64> constant_mobility(const CartesianMesh3D& mesh, f64 viscosity) {
+  FVDF_CHECK(viscosity > 0);
+  return CellField<f64>(mesh, 1.0 / viscosity);
+}
+
+} // namespace fvdf

@@ -1,0 +1,65 @@
+#include "mesh/transmissibility.hpp"
+
+namespace fvdf {
+
+f64 harmonic_mean(f64 a, f64 b) {
+  FVDF_CHECK(a >= 0 && b >= 0);
+  if (a == 0.0 || b == 0.0) return 0.0;
+  return 2.0 * a * b / (a + b);
+}
+
+f64 FaceTransmissibility::at(const CartesianMesh3D& mesh, const CellCoord& c,
+                             Face face) const {
+  switch (face) {
+  case Face::West:
+    return c.x > 0 ? x_faces[static_cast<std::size_t>(mesh.x_face_index(c.x - 1, c.y, c.z))] : 0.0;
+  case Face::East:
+    return c.x < mesh.nx() - 1
+               ? x_faces[static_cast<std::size_t>(mesh.x_face_index(c.x, c.y, c.z))]
+               : 0.0;
+  case Face::South:
+    return c.y > 0 ? y_faces[static_cast<std::size_t>(mesh.y_face_index(c.x, c.y - 1, c.z))] : 0.0;
+  case Face::North:
+    return c.y < mesh.ny() - 1
+               ? y_faces[static_cast<std::size_t>(mesh.y_face_index(c.x, c.y, c.z))]
+               : 0.0;
+  case Face::Down:
+    return c.z > 0 ? z_faces[static_cast<std::size_t>(mesh.z_face_index(c.x, c.y, c.z - 1))] : 0.0;
+  case Face::Up:
+    return c.z < mesh.nz() - 1
+               ? z_faces[static_cast<std::size_t>(mesh.z_face_index(c.x, c.y, c.z))]
+               : 0.0;
+  }
+  throw Error("invalid face");
+}
+
+FaceTransmissibility compute_transmissibility(const CartesianMesh3D& mesh,
+                                              const CellField<f64>& permeability) {
+  FVDF_CHECK(permeability.size() == static_cast<std::size_t>(mesh.cell_count()));
+  FaceTransmissibility trans;
+  trans.x_faces.resize(static_cast<std::size_t>(mesh.x_face_count()));
+  trans.y_faces.resize(static_cast<std::size_t>(mesh.y_face_count()));
+  trans.z_faces.resize(static_cast<std::size_t>(mesh.z_face_count()));
+
+  const f64 gx = mesh.face_area(Face::East) / mesh.center_distance(Face::East);
+  const f64 gy = mesh.face_area(Face::North) / mesh.center_distance(Face::North);
+  const f64 gz = mesh.face_area(Face::Up) / mesh.center_distance(Face::Up);
+
+  for (i64 z = 0; z < mesh.nz(); ++z)
+    for (i64 y = 0; y < mesh.ny(); ++y)
+      for (i64 x = 0; x < mesh.nx(); ++x) {
+        const f64 k = permeability.at(x, y, z);
+        if (x < mesh.nx() - 1)
+          trans.x_faces[static_cast<std::size_t>(mesh.x_face_index(x, y, z))] =
+              gx * harmonic_mean(k, permeability.at(x + 1, y, z));
+        if (y < mesh.ny() - 1)
+          trans.y_faces[static_cast<std::size_t>(mesh.y_face_index(x, y, z))] =
+              gy * harmonic_mean(k, permeability.at(x, y + 1, z));
+        if (z < mesh.nz() - 1)
+          trans.z_faces[static_cast<std::size_t>(mesh.z_face_index(x, y, z))] =
+              gz * harmonic_mean(k, permeability.at(x, y, z + 1));
+      }
+  return trans;
+}
+
+} // namespace fvdf

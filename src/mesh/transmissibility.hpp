@@ -1,0 +1,42 @@
+#pragma once
+// TPFA transmissibilities (the Upsilon_KL coefficient of Eq. 4).
+//
+// For a face between cells K and L, the two-point flux approximation gives
+//   Upsilon_KL = harmonic(k_K, k_L) * A / d
+// where A is the face area, d the center distance, and harmonic() the
+// harmonic mean of the two cell permeabilities (the standard choice: it is
+// exact for serial flow across a layered medium and guarantees Upsilon -> 0
+// when either side is impermeable).
+//
+// Transmissibilities are stored per *face*, one array per axis, so each
+// value is stored once and shared by both adjacent cells — the same
+// symmetry the dataflow implementation exploits to fit 48 KiB per PE.
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "mesh/cartesian.hpp"
+#include "mesh/fields.hpp"
+
+namespace fvdf {
+
+/// Face-centered transmissibility arrays for a Cartesian mesh.
+struct FaceTransmissibility {
+  std::vector<f64> x_faces; // between (x,y,z) and (x+1,y,z)
+  std::vector<f64> y_faces; // between (x,y,z) and (x,y+1,z)
+  std::vector<f64> z_faces; // between (x,y,z) and (x,y,z+1)
+
+  /// Transmissibility across `face` of cell c, or 0 at domain boundaries
+  /// (no-flow). Keeping the boundary as a zero coefficient lets kernels use
+  /// a branch-free 6-neighbor loop, mirroring the device implementation.
+  f64 at(const CartesianMesh3D& mesh, const CellCoord& c, Face face) const;
+};
+
+/// Builds TPFA transmissibilities from a cell permeability field.
+FaceTransmissibility compute_transmissibility(const CartesianMesh3D& mesh,
+                                              const CellField<f64>& permeability);
+
+/// Harmonic mean helper (exposed for unit tests).
+f64 harmonic_mean(f64 a, f64 b);
+
+} // namespace fvdf

@@ -1,0 +1,41 @@
+#include "mesh/vtk.hpp"
+
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace fvdf {
+
+void write_vtk(const std::string& path, const CartesianMesh3D& mesh,
+               const std::vector<VtkField>& fields, const std::string& title) {
+  FVDF_CHECK_MSG(!fields.empty(), "write_vtk: no fields");
+  for (const auto& [name, data] : fields) {
+    FVDF_CHECK(data != nullptr);
+    FVDF_CHECK_MSG(data->size() == static_cast<std::size_t>(mesh.cell_count()),
+                   "field '" << name << "' has " << data->size() << " values, mesh has "
+                             << mesh.cell_count() << " cells");
+    FVDF_CHECK_MSG(!name.empty() && name.find(' ') == std::string::npos,
+                   "VTK scalar names must be non-empty and space-free");
+  }
+
+  std::ofstream out(path);
+  FVDF_CHECK_MSG(out.good(), "cannot open " << path);
+  // STRUCTURED_POINTS dimensions are *points*; cells are dims-1, so a mesh
+  // of nx x ny x nz cells needs (nx+1, ny+1, nz+1) points.
+  out << "# vtk DataFile Version 3.0\n"
+      << title << '\n'
+      << "ASCII\n"
+      << "DATASET STRUCTURED_POINTS\n"
+      << "DIMENSIONS " << mesh.nx() + 1 << ' ' << mesh.ny() + 1 << ' '
+      << mesh.nz() + 1 << '\n'
+      << "ORIGIN 0 0 0\n"
+      << "SPACING " << mesh.dx() << ' ' << mesh.dy() << ' ' << mesh.dz() << '\n'
+      << "CELL_DATA " << mesh.cell_count() << '\n';
+  for (const auto& [name, data] : fields) {
+    out << "SCALARS " << name << " double 1\nLOOKUP_TABLE default\n";
+    for (f64 value : *data) out << value << '\n';
+  }
+  FVDF_CHECK_MSG(out.good(), "write failed: " << path);
+}
+
+} // namespace fvdf

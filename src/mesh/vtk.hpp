@@ -1,0 +1,26 @@
+#pragma once
+// Legacy-VTK output (STRUCTURED_POINTS + CELL_DATA) so fields open
+// directly in ParaView/VisIt — the de-facto interchange format for FV
+// simulation results. ASCII for diffability; cell data written in the
+// solver's native layout (X innermost, Z outermost), which matches VTK's
+// ordering convention.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mesh/cartesian.hpp"
+
+namespace fvdf {
+
+/// Named cell-centered scalar field to export (size = mesh.cell_count()).
+using VtkField = std::pair<std::string, const std::vector<f64>*>;
+
+/// Writes a legacy ASCII .vtk file with one SCALARS section per field.
+/// Throws fvdf::Error on I/O failure or size mismatch.
+void write_vtk(const std::string& path, const CartesianMesh3D& mesh,
+               const std::vector<VtkField>& fields,
+               const std::string& title = "fvdf output");
+
+} // namespace fvdf

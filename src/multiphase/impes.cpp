@@ -1,0 +1,179 @@
+#include "multiphase/impes.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "fv/problem.hpp"
+#include "solver/pressure_solve.hpp"
+
+namespace fvdf::multiphase {
+
+namespace {
+
+/// One interior face with its geometric transmissibility and cell pair,
+/// gathered once (the face list view of the Cartesian mesh).
+struct FaceRef {
+  CellIndex a, b; // flux positive a -> b
+  f64 trans;
+};
+
+std::vector<FaceRef> gather_faces(const CartesianMesh3D& mesh,
+                                  const FaceTransmissibility& trans) {
+  std::vector<FaceRef> faces;
+  faces.reserve(static_cast<std::size_t>(mesh.x_face_count() + mesh.y_face_count() +
+                                         mesh.z_face_count()));
+  for (i64 z = 0; z < mesh.nz(); ++z)
+    for (i64 y = 0; y < mesh.ny(); ++y)
+      for (i64 x = 0; x < mesh.nx(); ++x) {
+        const CellIndex k = mesh.index(x, y, z);
+        if (x < mesh.nx() - 1)
+          faces.push_back({k, mesh.index(x + 1, y, z),
+                           trans.x_faces[static_cast<std::size_t>(
+                               mesh.x_face_index(x, y, z))]});
+        if (y < mesh.ny() - 1)
+          faces.push_back({k, mesh.index(x, y + 1, z),
+                           trans.y_faces[static_cast<std::size_t>(
+                               mesh.y_face_index(x, y, z))]});
+        if (z < mesh.nz() - 1)
+          faces.push_back({k, mesh.index(x, y, z + 1),
+                           trans.z_faces[static_cast<std::size_t>(
+                               mesh.z_face_index(x, y, z))]});
+      }
+  return faces;
+}
+
+} // namespace
+
+ImpesResult run_impes(const CartesianMesh3D& mesh, const CellField<f64>& permeability,
+                      const DirichletSet& pressure_bc,
+                      const std::vector<CellIndex>& injector_cells,
+                      const ImpesOptions& options, std::vector<f64> initial_sw) {
+  FVDF_CHECK(options.steps >= 1 && options.dt > 0 && options.porosity > 0);
+  FVDF_CHECK(options.max_cfl > 0 && options.max_cfl <= 1.0);
+  const auto n = static_cast<std::size_t>(mesh.cell_count());
+  const f64 flooded = 1.0 - options.relperm.srn;
+  const f64 pore_volume = options.porosity * mesh.cell_volume();
+
+  ImpesResult result;
+  result.saturation = initial_sw.empty()
+                          ? std::vector<f64>(n, options.relperm.srw)
+                          : std::move(initial_sw);
+  FVDF_CHECK(result.saturation.size() == n);
+  for (CellIndex k : injector_cells) {
+    FVDF_CHECK_MSG(pressure_bc.contains(k), "injector cells must be Dirichlet");
+    result.saturation[static_cast<std::size_t>(k)] = flooded;
+  }
+  std::vector<u8> is_injector(n, 0), is_well(n, 0);
+  for (CellIndex k : injector_cells) is_injector[static_cast<std::size_t>(k)] = 1;
+  for (const auto& [idx, value] : pressure_bc.sorted())
+    is_well[static_cast<std::size_t>(idx)] = 1;
+
+  if (options.record_history) result.saturation_history.push_back(result.saturation);
+
+  const f64 s_max_wave = max_wave_speed(options.relperm, options.fluids);
+  const f64 initial_water = [&] {
+    f64 total = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      if (!is_well[i]) total += result.saturation[i];
+    return total * pore_volume;
+  }();
+
+  std::vector<f64> total_flux;       // per face, positive a -> b
+  std::vector<f64> out_magnitude(n); // CFL bookkeeping
+
+  for (i64 step = 0; step < options.steps; ++step) {
+    // --- 1. mobility field from the current saturation ---
+    CellField<f64> lambda_t(mesh);
+    for (std::size_t i = 0; i < n; ++i)
+      lambda_t.data()[i] =
+          mobilities(options.relperm, options.fluids, result.saturation[i]).total();
+
+    // --- 2. implicit pressure (the paper's linear system, per step) ---
+    const FlowProblem problem(mesh, permeability, lambda_t, pressure_bc);
+    PressureStepResult solve;
+    if (options.backend) {
+      solve = options.backend(problem);
+    } else {
+      const auto host = options.jacobi
+                            ? solve_pressure_host_jacobi(problem, options.cg)
+                            : solve_pressure_host(problem, options.cg);
+      solve = PressureStepResult{host.pressure, host.cg.iterations,
+                                 host.cg.converged};
+    }
+    result.pressure_iterations.push_back(solve.iterations);
+    result.all_converged = result.all_converged && solve.converged;
+    result.pressure = std::move(solve.pressure);
+
+    // --- 3. total Darcy fluxes, consistent with the pressure operator's
+    //        arithmetic mobility averaging ---
+    const auto faces = gather_faces(mesh, problem.transmissibility());
+    total_flux.assign(faces.size(), 0.0);
+    std::fill(out_magnitude.begin(), out_magnitude.end(), 0.0);
+    for (std::size_t f = 0; f < faces.size(); ++f) {
+      const FaceRef& face = faces[f];
+      const f64 lambda_face = 0.5 * (lambda_t.data()[static_cast<std::size_t>(face.a)] +
+                                     lambda_t.data()[static_cast<std::size_t>(face.b)]);
+      const f64 q = face.trans * lambda_face *
+                    (result.pressure[static_cast<std::size_t>(face.a)] -
+                     result.pressure[static_cast<std::size_t>(face.b)]);
+      total_flux[f] = q;
+      out_magnitude[static_cast<std::size_t>(q > 0 ? face.a : face.b)] += std::fabs(q);
+    }
+
+    // --- 4. CFL-limited explicit saturation sub-steps ---
+    f64 max_rate = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      if (!is_well[i]) max_rate = std::max(max_rate, out_magnitude[i]);
+    const f64 dt_stable = max_rate > 0
+                              ? options.max_cfl * pore_volume /
+                                    (max_rate * std::max(s_max_wave, 1e-12))
+                              : options.dt;
+    const auto substeps =
+        static_cast<i64>(std::ceil(options.dt / std::max(dt_stable, 1e-30)));
+    const f64 dt_sub = options.dt / static_cast<f64>(substeps);
+    result.total_substeps += static_cast<u64>(substeps);
+
+    for (i64 sub = 0; sub < substeps; ++sub) {
+      for (std::size_t f = 0; f < faces.size(); ++f) {
+        const FaceRef& face = faces[f];
+        const f64 q = total_flux[f];
+        if (q == 0.0) continue;
+        // Donor-cell upwinding of the fractional flow.
+        const CellIndex donor = q > 0 ? face.a : face.b;
+        const f64 fw = mobilities(options.relperm, options.fluids,
+                                  result.saturation[static_cast<std::size_t>(donor)])
+                           .fw();
+        const f64 water = fw * q * dt_sub; // signed a -> b
+        // Update interior cells; flux across well faces books in/out flow.
+        if (!is_well[static_cast<std::size_t>(face.a)])
+          result.saturation[static_cast<std::size_t>(face.a)] -= water / pore_volume;
+        else if (water > 0)
+          result.injected += water;
+        else
+          result.produced -= water;
+        if (!is_well[static_cast<std::size_t>(face.b)])
+          result.saturation[static_cast<std::size_t>(face.b)] += water / pore_volume;
+        else if (water > 0)
+          result.produced += water;
+        else
+          result.injected -= water;
+      }
+      // Injector cells stay flooded (their saturation is a boundary value).
+      for (CellIndex k : injector_cells)
+        result.saturation[static_cast<std::size_t>(k)] = flooded;
+    }
+    if (options.record_history)
+      result.saturation_history.push_back(result.saturation);
+  }
+
+  f64 final_water = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    if (!is_well[i]) final_water += result.saturation[i];
+  final_water *= pore_volume;
+  result.mass_balance_error =
+      std::fabs((final_water - initial_water) - (result.injected - result.produced));
+  return result;
+}
+
+} // namespace fvdf::multiphase

@@ -1,0 +1,50 @@
+#include "multiphase/relperm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace fvdf::multiphase {
+
+f64 CoreyRelPerm::effective(f64 sw) const {
+  const f64 mobile = 1.0 - srw - srn;
+  FVDF_CHECK_MSG(mobile > 0, "residual saturations leave no mobile range");
+  return std::clamp((sw - srw) / mobile, 0.0, 1.0);
+}
+
+f64 CoreyRelPerm::krw(f64 sw) const {
+  return krw_max * std::pow(effective(sw), exponent_w);
+}
+
+f64 CoreyRelPerm::krn(f64 sw) const {
+  return krn_max * std::pow(1.0 - effective(sw), exponent_n);
+}
+
+Mobilities mobilities(const CoreyRelPerm& relperm, const Fluids& fluids, f64 sw) {
+  FVDF_CHECK(fluids.mu_w > 0 && fluids.mu_n > 0);
+  return Mobilities{relperm.krw(sw) / fluids.mu_w, relperm.krn(sw) / fluids.mu_n};
+}
+
+f64 fractional_flow_derivative(const CoreyRelPerm& relperm, const Fluids& fluids,
+                               f64 sw, f64 eps) {
+  const f64 lo = std::max(relperm.srw, sw - eps);
+  const f64 hi = std::min(1.0 - relperm.srn, sw + eps);
+  if (hi <= lo) return 0.0;
+  const f64 f_hi = mobilities(relperm, fluids, hi).fw();
+  const f64 f_lo = mobilities(relperm, fluids, lo).fw();
+  return (f_hi - f_lo) / (hi - lo);
+}
+
+f64 max_wave_speed(const CoreyRelPerm& relperm, const Fluids& fluids, int samples) {
+  FVDF_CHECK(samples >= 2);
+  f64 best = 0;
+  for (int i = 0; i <= samples; ++i) {
+    const f64 sw = relperm.srw + (1.0 - relperm.srw - relperm.srn) *
+                                     static_cast<f64>(i) / samples;
+    best = std::max(best, std::fabs(fractional_flow_derivative(relperm, fluids, sw)));
+  }
+  return best;
+}
+
+} // namespace fvdf::multiphase

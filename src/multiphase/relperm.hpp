@@ -1,0 +1,58 @@
+#pragma once
+// Two-phase relative permeability and fractional flow — the constitutive
+// relations of the "complete set of discretized nonlinear multiphase flow
+// equations" the paper names as the goal its single-phase kernel is the
+// "key preliminary step" towards (Sec. II-A).
+//
+// Corey-type power-law curves over the mobile-saturation range:
+//   se  = (sw - srw) / (1 - srw - srn)          (effective saturation)
+//   krw = krw_max * se^nw,  krn = krn_max * (1 - se)^nn
+// Wetting phase = injected water/CO2-analogue; non-wetting = resident.
+
+#include "common/types.hpp"
+
+namespace fvdf::multiphase {
+
+struct CoreyRelPerm {
+  f64 exponent_w = 2.0;
+  f64 exponent_n = 2.0;
+  f64 srw = 0.0;      // residual wetting saturation
+  f64 srn = 0.0;      // residual non-wetting saturation
+  f64 krw_max = 1.0;
+  f64 krn_max = 1.0;
+
+  /// Effective (normalized mobile) saturation, clamped to [0, 1].
+  f64 effective(f64 sw) const;
+  /// Wetting-phase relative permeability at saturation sw.
+  f64 krw(f64 sw) const;
+  /// Non-wetting-phase relative permeability at saturation sw.
+  f64 krn(f64 sw) const;
+};
+
+struct Fluids {
+  f64 mu_w = 1.0; // wetting viscosity
+  f64 mu_n = 1.0; // non-wetting viscosity
+};
+
+/// Phase and total mobilities at a saturation.
+struct Mobilities {
+  f64 lambda_w = 0;
+  f64 lambda_n = 0;
+  f64 total() const { return lambda_w + lambda_n; }
+  /// Fractional flow of the wetting phase, f_w = lambda_w / lambda_t.
+  f64 fw() const { return lambda_w / (lambda_w + lambda_n); }
+};
+
+Mobilities mobilities(const CoreyRelPerm& relperm, const Fluids& fluids, f64 sw);
+
+/// d f_w / d sw by central difference — the wave speed of the
+/// Buckley-Leverett equation, used for the CFL limit.
+f64 fractional_flow_derivative(const CoreyRelPerm& relperm, const Fluids& fluids,
+                               f64 sw, f64 eps = 1e-6);
+
+/// Maximum of |df_w/dsw| over the mobile range (sampled), a conservative
+/// global CFL constant.
+f64 max_wave_speed(const CoreyRelPerm& relperm, const Fluids& fluids,
+                   int samples = 256);
+
+} // namespace fvdf::multiphase

@@ -1,0 +1,73 @@
+#include "perf/analytic.hpp"
+
+#include "common/error.hpp"
+
+namespace fvdf {
+
+Cs2AnalyticModel::Cs2AnalyticModel(Cs2Spec spec, Cs2ModelParams params)
+    : spec_(std::move(spec)), params_(params) {
+  FVDF_CHECK(params_.cycles_per_cell_jx > 0);
+}
+
+f64 Cs2AnalyticModel::alg2_time(i64 nz, u64 iters) const {
+  FVDF_CHECK(nz > 0);
+  return static_cast<f64>(iters) * static_cast<f64>(nz) * params_.cycles_per_cell_jx /
+         spec_.clock_hz;
+}
+
+f64 Cs2AnalyticModel::alg1_time(i64 width, i64 height, i64 nz, u64 iters) const {
+  FVDF_CHECK(width > 0 && height > 0 && nz > 0);
+  const f64 per_iter_cycles =
+      static_cast<f64>(nz) * (params_.cycles_per_cell_jx + params_.cycles_per_cell_vec) +
+      params_.cycles_per_hop_allreduce * static_cast<f64>(width + height);
+  return static_cast<f64>(iters) * per_iter_cycles / spec_.clock_hz;
+}
+
+f64 Cs2AnalyticModel::comm_time(i64 width, i64 height, u64 iters) const {
+  FVDF_CHECK(width > 0 && height > 0);
+  return static_cast<f64>(iters) * params_.cycles_per_hop_transit *
+         static_cast<f64>(width + height) / spec_.clock_hz;
+}
+
+f64 Cs2AnalyticModel::throughput(u64 cells, u64 iters, f64 seconds) {
+  FVDF_CHECK(seconds > 0);
+  return static_cast<f64>(cells) * static_cast<f64>(iters) / seconds;
+}
+
+f64 Cs2AnalyticModel::paper_convention_pflops(i64 width, i64 height, i64 nz,
+                                              u64 iters) const {
+  const f64 total_flops = 96.0 * static_cast<f64>(width) * static_cast<f64>(height) *
+                          static_cast<f64>(nz) * static_cast<f64>(iters);
+  return total_flops / alg2_time(nz, iters);
+}
+
+GpuAnalyticModel::GpuAnalyticModel(GpuSpec spec, GpuModelParams params)
+    : spec_(std::move(spec)), params_(params) {
+  FVDF_CHECK(spec_.mem_bw_bytes > 0);
+}
+
+f64 GpuAnalyticModel::occupancy(u64 cells) const {
+  const f64 n = static_cast<f64>(cells);
+  return n / (n + params_.half_saturation_cells);
+}
+
+f64 GpuAnalyticModel::effective_bandwidth(u64 cells) const {
+  return spec_.mem_bw_bytes * spec_.achievable_bw_fraction * occupancy(cells);
+}
+
+f64 GpuAnalyticModel::alg2_time(u64 cells, u64 iters) const {
+  const f64 per_iter = params_.launch_overhead_s +
+                       static_cast<f64>(cells) * params_.bytes_per_cell_jx /
+                           effective_bandwidth(cells);
+  return static_cast<f64>(iters) * per_iter;
+}
+
+f64 GpuAnalyticModel::alg1_time(u64 cells, u64 iters) const {
+  const f64 bytes_per_cell = params_.bytes_per_cell_jx + params_.bytes_per_cell_cg_extra;
+  const f64 per_iter =
+      params_.launches_per_iter_alg1 * params_.launch_overhead_s +
+      static_cast<f64>(cells) * bytes_per_cell / effective_bandwidth(cells);
+  return static_cast<f64>(iters) * per_iter;
+}
+
+} // namespace fvdf

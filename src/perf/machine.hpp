@@ -1,0 +1,46 @@
+#pragma once
+// Machine descriptions for the performance models: the Cerebras CS-2
+// (WSE-2) as characterized in the paper and its cited prior work, and the
+// NVIDIA GPUs used for the reference implementation.
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace fvdf {
+
+/// CS-2 / WSE-2 constants. Peak figures are calibrated so the paper's own
+/// arithmetic is reproduced: 1.217 PFLOP/s reported as 68.18% of peak
+/// implies a fabric-wide fp32 peak of ~1.785 PFLOP/s over the usable
+/// 750x994 PE grid.
+struct Cs2Spec {
+  std::string name = "Cerebras CS-2 (WSE-2)";
+  i64 fabric_width = 750;   // usable PEs in X (SDK reserves a boundary layer)
+  i64 fabric_height = 994;  // usable PEs in Y
+  f64 clock_hz = 1.1e9;
+  u64 pe_memory_bytes = 48 * 1024;
+  f64 peak_flops_fp32 = 1.785e15;      // whole usable fabric
+  f64 peak_mem_bw_bytes = 20.0e15;     // aggregate SRAM bandwidth
+  f64 peak_fabric_bw_bytes = 6.25e15;  // aggregate injection bandwidth
+
+  i64 usable_pes() const { return fabric_width * fabric_height; }
+  f64 per_pe_peak_flops() const { return peak_flops_fp32 / static_cast<f64>(usable_pes()); }
+  f64 per_pe_mem_bw() const { return peak_mem_bw_bytes / static_cast<f64>(usable_pes()); }
+  f64 per_pe_fabric_bw() const { return peak_fabric_bw_bytes / static_cast<f64>(usable_pes()); }
+};
+
+/// GPU device description for the reference-implementation timing model.
+struct GpuSpec {
+  std::string name;
+  f64 mem_bw_bytes = 0;        // HBM peak bandwidth
+  f64 peak_flops_fp32 = 0;
+  f64 achievable_bw_fraction = 0.78; // paper Fig. 6: kernel reaches 78% of peak
+  f64 launch_overhead_s = 5e-6;      // per-kernel launch latency
+  // Bandwidth utilisation ramps with occupancy: eff(n) = n / (n + half_sat).
+  f64 half_saturation_cells = 2.0e7;
+
+  static GpuSpec a100();
+  static GpuSpec h100();
+};
+
+} // namespace fvdf

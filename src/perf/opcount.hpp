@@ -1,0 +1,68 @@
+#pragma once
+// Instruction / memory-traffic ledger matching the categories of the
+// paper's Table V: per-opcode instruction counts with their FLOP, memory
+// and fabric traffic. Every DSD operation executed by the simulated PEs
+// reports into one of these ledgers, so Table V is *measured*, not
+// hand-computed.
+
+#include <array>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace fvdf {
+
+/// Vector/scalar opcodes of the simulated PE (the subset of CSL's DSD
+/// operations the kernels use). FMOV covers fabric<->memory moves.
+enum class Opcode : u8 { FMUL = 0, FSUB, FADD, FNEG, FMA, FMOV, kCount };
+
+const char* to_string(Opcode op);
+
+/// FLOPs contributed by one element-wise application of the opcode
+/// (FMA = 2, FMOV = 0, others = 1) — the paper's accounting.
+u32 flops_per_element(Opcode op);
+
+/// Memory operands per element: {loads, stores}, matching Table V's
+/// "Memory traffic" column (e.g. FMA: 3 loads, 1 store).
+struct MemTraffic {
+  u32 loads = 0;
+  u32 stores = 0;
+};
+MemTraffic memory_traffic_per_element(Opcode op);
+
+/// Accumulated counts for a region of execution.
+class OpCounters {
+public:
+  /// Records `elements` element-wise applications of `op`.
+  /// `fabric_loads`/`fabric_stores` count 32-bit words moved through the
+  /// ramp as part of this operation (FMOV from/to a fabric DSD).
+  void record(Opcode op, u64 elements, u64 fabric_loads = 0, u64 fabric_stores = 0);
+
+  u64 count(Opcode op) const { return per_op_[static_cast<std::size_t>(op)]; }
+  u64 total_flops() const { return flops_; }
+  u64 memory_loads() const { return mem_loads_; }
+  u64 memory_stores() const { return mem_stores_; }
+  u64 fabric_loads() const { return fabric_loads_; }
+  u64 fabric_stores() const { return fabric_stores_; }
+
+  /// Total bytes to/from PE-local memory (4 bytes per fp32 access).
+  u64 memory_bytes() const { return 4 * (mem_loads_ + mem_stores_); }
+  /// Total bytes through the fabric ramp.
+  u64 fabric_bytes() const { return 4 * (fabric_loads_ + fabric_stores_); }
+
+  OpCounters& operator+=(const OpCounters& other);
+  OpCounters operator-(const OpCounters& other) const;
+  void clear();
+
+  std::string summary() const;
+
+private:
+  std::array<u64, static_cast<std::size_t>(Opcode::kCount)> per_op_{};
+  u64 flops_ = 0;
+  u64 mem_loads_ = 0;
+  u64 mem_stores_ = 0;
+  u64 fabric_loads_ = 0;
+  u64 fabric_stores_ = 0;
+};
+
+} // namespace fvdf

@@ -1,0 +1,113 @@
+#include "perf/roofline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace fvdf {
+
+RooflineModel::RooflineModel(std::string machine, f64 peak_flops)
+    : machine_(std::move(machine)), peak_flops_(peak_flops) {
+  FVDF_CHECK(peak_flops > 0);
+}
+
+void RooflineModel::add_ceiling(RooflineCeiling ceiling) {
+  FVDF_CHECK(ceiling.bytes_per_sec > 0);
+  ceilings_.push_back(std::move(ceiling));
+}
+
+void RooflineModel::add_point(RooflinePoint point) {
+  FVDF_CHECK(point.arithmetic_intensity > 0 && point.achieved_flops >= 0);
+  points_.push_back(std::move(point));
+}
+
+f64 RooflineModel::attainable(f64 ai, std::size_t ceiling_index) const {
+  FVDF_CHECK(ceiling_index < ceilings_.size());
+  return std::min(peak_flops_, ai * ceilings_[ceiling_index].bytes_per_sec);
+}
+
+f64 RooflineModel::attainable(f64 ai) const {
+  f64 best = peak_flops_;
+  for (const auto& ceiling : ceilings_)
+    best = std::min(best, ai * ceiling.bytes_per_sec);
+  return best;
+}
+
+bool RooflineModel::compute_bound(f64 ai, std::size_t ceiling_index) const {
+  FVDF_CHECK(ceiling_index < ceilings_.size());
+  return ai * ceilings_[ceiling_index].bytes_per_sec >= peak_flops_;
+}
+
+f64 RooflineModel::efficiency(const RooflinePoint& point) const {
+  // Efficiency is measured against the *flat* roof when compute-bound and
+  // the slanted ceiling otherwise, per the standard roofline reading —
+  // against the point's own resource when one is named.
+  const f64 bound = point.ceiling_index == SIZE_MAX
+                        ? attainable(point.arithmetic_intensity)
+                        : attainable(point.arithmetic_intensity, point.ceiling_index);
+  return point.achieved_flops / bound;
+}
+
+std::string RooflineModel::ascii_chart(int width, int height) const {
+  FVDF_CHECK(width >= 20 && height >= 8);
+  // Chart range: AI from min(point AI, ridge AI)/8 to max*8; FLOPs from
+  // peak/1e4 up to peak*2 — all on log10 axes.
+  f64 ai_min = 1e-2, ai_max = 1e1;
+  for (const auto& point : points_) {
+    ai_min = std::min(ai_min, point.arithmetic_intensity / 4);
+    ai_max = std::max(ai_max, point.arithmetic_intensity * 4);
+  }
+  for (const auto& ceiling : ceilings_) {
+    const f64 ridge = peak_flops_ / ceiling.bytes_per_sec;
+    ai_min = std::min(ai_min, ridge / 4);
+    ai_max = std::max(ai_max, ridge * 4);
+  }
+  const f64 flops_max = peak_flops_ * 2.0;
+  const f64 flops_min = flops_max / 1e5;
+
+  const f64 lx0 = std::log10(ai_min), lx1 = std::log10(ai_max);
+  const f64 ly0 = std::log10(flops_min), ly1 = std::log10(flops_max);
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  auto plot = [&](f64 ai, f64 flops, char glyph) {
+    if (ai <= 0 || flops <= 0) return;
+    const int col = static_cast<int>((std::log10(ai) - lx0) / (lx1 - lx0) * (width - 1));
+    const int row = static_cast<int>((ly1 - std::log10(flops)) / (ly1 - ly0) * (height - 1));
+    if (col < 0 || col >= width || row < 0 || row >= height) return;
+    auto& cell = grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)];
+    // Points win over lines so markers stay visible.
+    if (cell == ' ' || glyph == 'o' || glyph == '*') cell = glyph;
+  };
+
+  for (int col = 0; col < width; ++col) {
+    const f64 ai = std::pow(10.0, lx0 + (lx1 - lx0) * col / (width - 1));
+    plot(ai, peak_flops_, '-');
+    for (const auto& ceiling : ceilings_) {
+      const f64 bound = ai * ceiling.bytes_per_sec;
+      if (bound < peak_flops_) plot(ai, bound, '/');
+    }
+  }
+  char marker = 'o';
+  for (const auto& point : points_) {
+    plot(point.arithmetic_intensity, point.achieved_flops, marker);
+    marker = '*'; // distinguish the second resource's point like Fig. 6
+  }
+
+  std::ostringstream os;
+  os << "Roofline: " << machine_ << "  (peak " << fmt_flops(peak_flops_) << ")\n";
+  for (const auto& row : grid) os << '|' << row << '\n';
+  os << '+' << std::string(static_cast<std::size_t>(width), '-') << "\n";
+  os << " AI [FLOP/B], log scale: " << fmt_fixed(ai_min, 4) << " .. "
+     << fmt_fixed(ai_max, 1) << '\n';
+  for (const auto& point : points_)
+    os << "  " << (point.name) << ": AI=" << fmt_fixed(point.arithmetic_intensity, 4)
+       << " F/B, " << fmt_flops(point.achieved_flops) << " ("
+       << fmt_percent(efficiency(point)) << " of attainable)\n";
+  return os.str();
+}
+
+} // namespace fvdf

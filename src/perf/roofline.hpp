@@ -1,0 +1,66 @@
+#pragma once
+// Roofline model (Williams et al.) used for Figure 6: attainable
+// performance as min(peak_flops, AI * bandwidth), with one ceiling per
+// resource (CS-2 has two: PE-local memory and fabric). Includes a log-log
+// ASCII chart renderer so the figure is regenerated in terminal output.
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fvdf {
+
+/// One bandwidth ceiling (e.g. "memory", "fabric", "HBM").
+struct RooflineCeiling {
+  std::string name;
+  f64 bytes_per_sec = 0;
+};
+
+/// A measured kernel point on the chart. `ceiling_index` names the
+/// resource the arithmetic intensity is measured against (the CS-2 chart
+/// has one point per resource, Fig. 6 top); SIZE_MAX means "all ceilings".
+struct RooflinePoint {
+  std::string name;
+  f64 arithmetic_intensity = 0; // FLOP / byte (w.r.t. one resource)
+  f64 achieved_flops = 0;       // FLOP / s
+  std::size_t ceiling_index = SIZE_MAX;
+};
+
+class RooflineModel {
+public:
+  RooflineModel(std::string machine, f64 peak_flops);
+
+  void add_ceiling(RooflineCeiling ceiling);
+  void add_point(RooflinePoint point);
+
+  f64 peak_flops() const { return peak_flops_; }
+
+  /// Attainable FLOP/s at intensity `ai` under ceiling `ceiling_index`.
+  f64 attainable(f64 ai, std::size_t ceiling_index) const;
+
+  /// Attainable under the tightest of all ceilings.
+  f64 attainable(f64 ai) const;
+
+  /// True when ai * bandwidth >= peak for the given ceiling (the kernel sits
+  /// on the flat roof — compute-bound w.r.t. that resource).
+  bool compute_bound(f64 ai, std::size_t ceiling_index) const;
+
+  /// achieved / attainable for the given point (paper: "68.18% of machine
+  /// peak performance").
+  f64 efficiency(const RooflinePoint& point) const;
+
+  /// Log-log ASCII chart (width x height characters) of ceilings and points.
+  std::string ascii_chart(int width = 72, int height = 22) const;
+
+  const std::vector<RooflineCeiling>& ceilings() const { return ceilings_; }
+  const std::vector<RooflinePoint>& points() const { return points_; }
+
+private:
+  std::string machine_;
+  f64 peak_flops_;
+  std::vector<RooflineCeiling> ceilings_;
+  std::vector<RooflinePoint> points_;
+};
+
+} // namespace fvdf

@@ -1,0 +1,25 @@
+#include "solver/blas.hpp"
+
+#include <cmath>
+
+namespace fvdf::blas {
+
+template <typename Real> f64 norm2(const Real* x, std::size_t n) {
+  return std::sqrt(dot(x, x, n));
+}
+
+template <typename Real> f64 max_abs_diff(const Real* x, const Real* y, std::size_t n) {
+  f64 worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const f64 diff = std::fabs(static_cast<f64>(x[i]) - static_cast<f64>(y[i]));
+    if (diff > worst) worst = diff;
+  }
+  return worst;
+}
+
+template f64 norm2<f32>(const f32*, std::size_t);
+template f64 norm2<f64>(const f64*, std::size_t);
+template f64 max_abs_diff<f32>(const f32*, const f32*, std::size_t);
+template f64 max_abs_diff<f64>(const f64*, const f64*, std::size_t);
+
+} // namespace fvdf::blas

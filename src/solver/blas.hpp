@@ -1,0 +1,46 @@
+#pragma once
+// BLAS-1 kernels used by the Krylov solvers. Deliberately simple loops:
+// on the simulated devices the equivalents are DSD vector instructions
+// (Sec. III-E3), and these host versions are the semantics oracle.
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace fvdf::blas {
+
+/// sum_i x_i * y_i, accumulated in f64 regardless of Real to keep the host
+/// oracle's reductions well-conditioned.
+template <typename Real> f64 dot(const Real* x, const Real* y, std::size_t n) {
+  f64 acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += static_cast<f64>(x[i]) * static_cast<f64>(y[i]);
+  return acc;
+}
+
+/// y += a * x.
+template <typename Real> void axpy(Real a, const Real* x, Real* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+/// y = x + b * y (the CG direction update x_{k+1} = r_{k+1} + beta * x_k).
+template <typename Real> void xpby(const Real* x, Real b, Real* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] = x[i] + b * y[i];
+}
+
+/// y = x.
+template <typename Real> void copy(const Real* x, Real* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] = x[i];
+}
+
+/// x = a * x.
+template <typename Real> void scale(Real a, Real* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) x[i] *= a;
+}
+
+/// sqrt(dot(x, x)).
+template <typename Real> f64 norm2(const Real* x, std::size_t n);
+
+/// max_i |x_i - y_i|.
+template <typename Real> f64 max_abs_diff(const Real* x, const Real* y, std::size_t n);
+
+} // namespace fvdf::blas

@@ -1,0 +1,215 @@
+#pragma once
+// Chebyshev iteration — the reduction-free Krylov alternative to CG.
+//
+// Motivation straight from the paper's data: Table III shows Algorithm 1's
+// device time growing linearly in the fabric perimeter because every CG
+// iteration runs two whole-fabric all-reduces (alpha and beta). Chebyshev
+// iteration needs *no inner products*: its recurrence coefficients come
+// from precomputed spectral bounds, so on the dataflow device the only
+// global communication left is an occasional convergence probe. The trade
+// is more iterations (Chebyshev is optimal only with exact bounds) — the
+// ablation bench quantifies where it wins.
+//
+// Bounds are estimated with a short Lanczos run whose tridiagonal Ritz
+// values bracket the spectrum from the inside; safety factors widen them
+// outward (an overestimated lambda_min makes Chebyshev diverge on the
+// lowest modes, so the minimum is relaxed generously and a divergence
+// guard backs the solver).
+
+#include <cmath>
+
+#include "common/types.hpp"
+#include "solver/cg.hpp"
+
+namespace fvdf {
+
+struct SpectralBounds {
+  f64 lambda_min = 0;
+  f64 lambda_max = 0;
+};
+
+/// Lanczos estimate of the extreme eigenvalues of an SPD operator.
+/// `steps` Lanczos iterations (20-30 is plenty for bounds); safety factors
+/// widen the Ritz interval: returned min = ritz_min * min_safety,
+/// max = ritz_max * max_safety.
+template <typename Real, typename ApplyFn>
+SpectralBounds estimate_spectral_bounds(const ApplyFn& apply, std::size_t n,
+                                        std::size_t steps = 24, u64 seed = 1,
+                                        f64 min_safety = 0.3, f64 max_safety = 1.05);
+
+struct ChebyshevOptions {
+  u64 max_iterations = 50'000;
+  f64 tolerance = 1e-10;  // on r^T r, like Algorithm 1's epsilon
+  u64 check_every = 16;   // residual-norm probes (the only reductions)
+  f64 divergence_factor = 1e8; // abort when r^T r grows by this much
+};
+
+/// Solves A y = b from y = 0 with the classical three-term Chebyshev
+/// recurrence over [lambda_min, lambda_max]. Returns CgResult for
+/// drop-in comparability; `operator_applications` counts A applications
+/// and `iterations` the recurrence steps taken.
+template <typename Real, typename ApplyFn>
+CgResult chebyshev_solve(const ApplyFn& apply, const Real* b, Real* y,
+                         std::size_t n, const SpectralBounds& bounds,
+                         const ChebyshevOptions& opts = {});
+
+// --- implementation ---
+
+template <typename Real, typename ApplyFn>
+SpectralBounds estimate_spectral_bounds(const ApplyFn& apply, std::size_t n,
+                                        std::size_t steps, u64 seed,
+                                        f64 min_safety, f64 max_safety) {
+  FVDF_CHECK(n > 0 && steps >= 2);
+  steps = std::min(steps, n);
+
+  // Lanczos with full f64 vectors (host-side setup cost, run once).
+  std::vector<f64> q_prev(n, 0.0), q(n), w(n);
+  {
+    // Deterministic pseudo-random start vector.
+    u64 state = seed * 0x9e3779b97f4a7c15ULL + 1;
+    f64 norm = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      state ^= state << 13;
+      state ^= state >> 7;
+      state ^= state << 17;
+      q[i] = static_cast<f64>(state % 1000) / 500.0 - 1.0;
+      norm += q[i] * q[i];
+    }
+    norm = std::sqrt(norm);
+    for (auto& v : q) v /= norm;
+  }
+
+  std::vector<f64> alpha, beta; // T's diagonal and off-diagonal
+  std::vector<Real> in(n), out(n);
+  // The full Lanczos basis is kept for complete reorthogonalization:
+  // without it, orthogonality loss at even modest step counts produces
+  // spurious near-zero Ritz values that wreck the lambda_min estimate
+  // (steps * n doubles of setup memory, run once on the host).
+  std::vector<std::vector<f64>> basis;
+  basis.push_back(q);
+  f64 beta_prev = 0;
+  for (std::size_t j = 0; j < steps; ++j) {
+    for (std::size_t i = 0; i < n; ++i) in[i] = static_cast<Real>(q[i]);
+    apply(in.data(), out.data());
+    for (std::size_t i = 0; i < n; ++i)
+      w[i] = static_cast<f64>(out[i]) - beta_prev * q_prev[i];
+    f64 a = 0;
+    for (std::size_t i = 0; i < n; ++i) a += q[i] * w[i];
+    alpha.push_back(a);
+    for (std::size_t i = 0; i < n; ++i) w[i] -= a * q[i];
+    // Two passes of full reorthogonalization against the whole basis.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const auto& v : basis) {
+        f64 dot = 0;
+        for (std::size_t i = 0; i < n; ++i) dot += w[i] * v[i];
+        for (std::size_t i = 0; i < n; ++i) w[i] -= dot * v[i];
+      }
+    }
+    f64 b_next = 0;
+    for (std::size_t i = 0; i < n; ++i) b_next += w[i] * w[i];
+    b_next = std::sqrt(b_next);
+    if (j + 1 == steps || b_next < 1e-12) break;
+    beta.push_back(b_next);
+    q_prev = q;
+    for (std::size_t i = 0; i < n; ++i) q[i] = w[i] / b_next;
+    basis.push_back(q);
+    beta_prev = b_next;
+  }
+
+  // Extreme eigenvalues of the symmetric tridiagonal T via Sturm bisection.
+  const std::size_t m = alpha.size();
+  auto count_below = [&](f64 x) {
+    // Number of eigenvalues of T strictly less than x (Sturm sequence).
+    int count = 0;
+    f64 d = alpha[0] - x;
+    if (d < 0) ++count;
+    for (std::size_t i = 1; i < m; ++i) {
+      const f64 b2 = beta[i - 1] * beta[i - 1];
+      d = alpha[i] - x - b2 / (d == 0.0 ? 1e-300 : d);
+      if (d < 0) ++count;
+    }
+    return count;
+  };
+  // Gershgorin interval of T brackets all Ritz values.
+  f64 lo = alpha[0], hi = alpha[0];
+  for (std::size_t i = 0; i < m; ++i) {
+    const f64 radius = (i > 0 ? std::fabs(beta[i - 1]) : 0.0) +
+                       (i + 1 < m ? std::fabs(beta[i]) : 0.0);
+    lo = std::min(lo, alpha[i] - radius);
+    hi = std::max(hi, alpha[i] + radius);
+  }
+  auto bisect = [&](int target) {
+    f64 a = lo, b = hi + 1e-12;
+    for (int it = 0; it < 100; ++it) {
+      const f64 mid = 0.5 * (a + b);
+      if (count_below(mid) <= target) a = mid;
+      else b = mid;
+    }
+    return 0.5 * (a + b);
+  };
+  const f64 ritz_min = bisect(0);
+  const f64 ritz_max = bisect(static_cast<int>(m) - 1);
+  FVDF_CHECK_MSG(ritz_max > 0, "operator does not look positive definite");
+
+  SpectralBounds bounds;
+  bounds.lambda_min = std::max(ritz_min * min_safety, 1e-12 * ritz_max);
+  bounds.lambda_max = ritz_max * max_safety;
+  return bounds;
+}
+
+template <typename Real, typename ApplyFn>
+CgResult chebyshev_solve(const ApplyFn& apply, const Real* b, Real* y,
+                         std::size_t n, const SpectralBounds& bounds,
+                         const ChebyshevOptions& opts) {
+  FVDF_CHECK(n > 0);
+  FVDF_CHECK_MSG(bounds.lambda_max > bounds.lambda_min && bounds.lambda_min > 0,
+                 "invalid spectral bounds");
+  const f64 theta = 0.5 * (bounds.lambda_max + bounds.lambda_min);
+  const f64 delta = 0.5 * (bounds.lambda_max - bounds.lambda_min);
+  const f64 sigma = theta / delta;
+
+  std::vector<Real> r(b, b + n);
+  std::vector<Real> d(n), ad(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = Real(0);
+    d[i] = static_cast<Real>(static_cast<f64>(r[i]) / theta);
+  }
+
+  CgResult result;
+  const f64 rr0 = blas::dot(r.data(), r.data(), n);
+  if (rr0 < opts.tolerance || rr0 == 0.0) {
+    result.converged = true;
+    result.final_rr = rr0;
+    return result;
+  }
+
+  f64 rho = 1.0 / sigma;
+  u64 k = 0;
+  f64 rr = rr0;
+  while (k < opts.max_iterations) {
+    blas::axpy(Real(1), d.data(), y, n); // y += d
+    apply(d.data(), ad.data());
+    ++result.operator_applications;
+    blas::axpy(Real(-1), ad.data(), r.data(), n); // r -= A d
+    const f64 rho_next = 1.0 / (2.0 * sigma - rho);
+    // d = (rho_next * rho) d + (2 rho_next / delta) r
+    blas::scale(static_cast<Real>(rho_next * rho), d.data(), n);
+    blas::axpy(static_cast<Real>(2.0 * rho_next / delta), r.data(), d.data(), n);
+    rho = rho_next;
+    ++k;
+
+    if (k % opts.check_every == 0 || k == opts.max_iterations) {
+      rr = blas::dot(r.data(), r.data(), n);
+      if (rr < opts.tolerance || rr == 0.0) {
+        result.converged = true;
+        break;
+      }
+      if (rr > opts.divergence_factor * rr0) break; // bounds were wrong
+    }
+  }
+  result.iterations = k;
+  result.final_rr = rr;
+  return result;
+}
+
+} // namespace fvdf

@@ -1,0 +1,94 @@
+#include "solver/dense.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace fvdf {
+
+void DenseMatrix::apply(const f64* x, f64* y) const {
+  for (std::size_t i = 0; i < n_; ++i) {
+    f64 acc = 0.0;
+    for (std::size_t j = 0; j < n_; ++j) acc += at(i, j) * x[j];
+    y[i] = acc;
+  }
+}
+
+f64 DenseMatrix::symmetry_defect() const {
+  f64 worst = 0.0;
+  for (std::size_t i = 0; i < n_; ++i)
+    for (std::size_t j = i + 1; j < n_; ++j)
+      worst = std::max(worst, std::fabs(at(i, j) - at(j, i)));
+  return worst;
+}
+
+std::vector<f64> lu_solve(DenseMatrix a, std::vector<f64> b) {
+  const std::size_t n = a.size();
+  FVDF_CHECK(b.size() == n);
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    f64 best = std::fabs(a.at(col, col));
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const f64 mag = std::fabs(a.at(row, col));
+      if (mag > best) {
+        best = mag;
+        pivot = row;
+      }
+    }
+    FVDF_CHECK_MSG(best > 1e-300, "singular matrix at column " << col);
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(a.at(col, j), a.at(pivot, j));
+      std::swap(b[col], b[pivot]);
+    }
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const f64 factor = a.at(row, col) / a.at(col, col);
+      a.at(row, col) = 0.0;
+      if (factor == 0.0) continue;
+      for (std::size_t j = col + 1; j < n; ++j) a.at(row, j) -= factor * a.at(col, j);
+      b[row] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<f64> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    f64 acc = b[i];
+    for (std::size_t j = i + 1; j < n; ++j) acc -= a.at(i, j) * x[j];
+    x[i] = acc / a.at(i, i);
+  }
+  return x;
+}
+
+bool ldlt_solve(DenseMatrix a, std::vector<f64> b, std::vector<f64>& x) {
+  const std::size_t n = a.size();
+  FVDF_CHECK(b.size() == n);
+  std::vector<f64> d(n, 0.0);
+
+  // In-place LDL^T: strictly-lower part of `a` becomes L (unit diagonal).
+  for (std::size_t j = 0; j < n; ++j) {
+    f64 dj = a.at(j, j);
+    for (std::size_t k = 0; k < j; ++k) dj -= a.at(j, k) * a.at(j, k) * d[k];
+    if (dj <= 0.0) return false; // not positive definite
+    d[j] = dj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      f64 lij = a.at(i, j);
+      for (std::size_t k = 0; k < j; ++k) lij -= a.at(i, k) * a.at(j, k) * d[k];
+      a.at(i, j) = lij / dj;
+    }
+  }
+  // Forward solve L z = b.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t k = 0; k < i; ++k) b[i] -= a.at(i, k) * b[k];
+  // Diagonal solve.
+  for (std::size_t i = 0; i < n; ++i) b[i] /= d[i];
+  // Backward solve L^T x = z.
+  for (std::size_t i = n; i-- > 0;)
+    for (std::size_t k = i + 1; k < n; ++k) b[i] -= a.at(k, i) * b[k];
+  x = std::move(b);
+  return true;
+}
+
+} // namespace fvdf

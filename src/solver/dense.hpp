@@ -1,0 +1,53 @@
+#pragma once
+// Dense direct solver used only as a test oracle and for tiny examples.
+// LDL^T (Cholesky-style) factorization for symmetric positive definite
+// systems, plus a general partial-pivot LU for robustness checks.
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fvdf {
+
+/// Dense row-major square matrix.
+class DenseMatrix {
+public:
+  DenseMatrix(std::size_t n, f64 fill = 0.0) : n_(n), a_(n * n, fill) {}
+
+  std::size_t size() const { return n_; }
+  f64& at(std::size_t row, std::size_t col) { return a_[row * n_ + col]; }
+  f64 at(std::size_t row, std::size_t col) const { return a_[row * n_ + col]; }
+
+  /// y = A x.
+  void apply(const f64* x, f64* y) const;
+
+  /// Builds the dense matrix of a linear operator by probing with unit
+  /// vectors (column j = A e_j). Op: void(const f64*, f64*).
+  template <typename Op> static DenseMatrix from_operator(const Op& op, std::size_t n) {
+    DenseMatrix out(n);
+    std::vector<f64> e(n, 0.0), col(n, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      e[j] = 1.0;
+      op(e.data(), col.data());
+      e[j] = 0.0;
+      for (std::size_t i = 0; i < n; ++i) out.at(i, j) = col[i];
+    }
+    return out;
+  }
+
+  /// Max |A_ij - A_ji| — symmetry defect.
+  f64 symmetry_defect() const;
+
+private:
+  std::size_t n_;
+  std::vector<f64> a_;
+};
+
+/// Solves A x = b by LU with partial pivoting. Throws on (near-)singular A.
+std::vector<f64> lu_solve(DenseMatrix a, std::vector<f64> b);
+
+/// Returns true and the solution if A (assumed symmetric) is positive
+/// definite; returns false if a non-positive pivot is met.
+bool ldlt_solve(DenseMatrix a, std::vector<f64> b, std::vector<f64>& x);
+
+} // namespace fvdf

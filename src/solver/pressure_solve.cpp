@@ -1,0 +1,92 @@
+#include "solver/pressure_solve.hpp"
+
+#include "fv/diagonal.hpp"
+#include "fv/operator.hpp"
+#include "fv/residual.hpp"
+#include "solver/blas.hpp"
+
+namespace fvdf {
+
+PressureSolveResult solve_pressure_host(const FlowProblem& problem,
+                                        const CgOptions& options,
+                                        f64 interior_guess) {
+  const auto& mesh = problem.mesh();
+  const auto n = static_cast<std::size_t>(mesh.cell_count());
+  const auto sys = problem.discretize<f64>();
+  const MatrixFreeOperator<f64> op(sys);
+
+  PressureSolveResult result;
+  result.pressure = problem.initial_pressure(interior_guess);
+
+  // Newton right-hand side. With the SPD sign convention the interior
+  // update system is J * delta = +r(Eq.3) and Dirichlet entries of r are 0
+  // because the initial guess satisfies the BCs (see DESIGN.md).
+  const std::vector<f64> r = compute_residual(problem, result.pressure);
+  result.initial_residual_norm = blas::norm2(r.data(), n);
+
+  std::vector<f64> delta(n, 0.0);
+  result.cg = conjugate_gradient<f64>(
+      [&](const f64* in, f64* out) { op.apply(in, out); }, r.data(), delta.data(),
+      n, options);
+  blas::axpy(1.0, delta.data(), result.pressure.data(), n);
+
+  const std::vector<f64> r_final =
+      compute_residual(problem, result.pressure);
+  result.final_residual_norm = blas::norm2(r_final.data(), n);
+  return result;
+}
+
+PressureSolveResult solve_pressure_host_jacobi(const FlowProblem& problem,
+                                               const CgOptions& options,
+                                               f64 interior_guess) {
+  const auto& mesh = problem.mesh();
+  const auto n = static_cast<std::size_t>(mesh.cell_count());
+  const auto sys = problem.discretize<f64>();
+  const MatrixFreeOperator<f64> op(sys);
+  const std::vector<f64> minv = jacobi_inverse_diagonal(sys);
+
+  PressureSolveResult result;
+  result.pressure = problem.initial_pressure(interior_guess);
+  const std::vector<f64> r = compute_residual(problem, result.pressure);
+  result.initial_residual_norm = blas::norm2(r.data(), n);
+
+  std::vector<f64> delta(n, 0.0);
+  result.cg = preconditioned_conjugate_gradient<f64>(
+      [&](const f64* in, f64* out) { op.apply(in, out); },
+      [&](const f64* in, f64* out) {
+        for (std::size_t i = 0; i < n; ++i) out[i] = minv[i] * in[i];
+      },
+      r.data(), delta.data(), n, options);
+  blas::axpy(1.0, delta.data(), result.pressure.data(), n);
+
+  const std::vector<f64> r_final =
+      compute_residual(problem, result.pressure);
+  result.final_residual_norm = blas::norm2(r_final.data(), n);
+  return result;
+}
+
+PressureSolveResultF32 solve_pressure_host_f32(const FlowProblem& problem,
+                                               const CgOptions& options,
+                                               f32 interior_guess) {
+  const auto& mesh = problem.mesh();
+  const auto n = static_cast<std::size_t>(mesh.cell_count());
+  const auto sys = problem.discretize<f32>();
+  const MatrixFreeOperator<f32> op(sys);
+
+  PressureSolveResultF32 result;
+  const std::vector<f64> p0 = problem.initial_pressure(interior_guess);
+  result.pressure.assign(p0.begin(), p0.end());
+
+  const std::vector<f64> r64 = compute_residual(problem, p0);
+  std::vector<f32> r(n);
+  for (std::size_t i = 0; i < n; ++i) r[i] = static_cast<f32>(r64[i]);
+
+  std::vector<f32> delta(n, 0.0f);
+  result.cg = conjugate_gradient<f32>(
+      [&](const f32* in, f32* out) { op.apply(in, out); }, r.data(), delta.data(),
+      n, options);
+  blas::axpy(1.0f, delta.data(), result.pressure.data(), n);
+  return result;
+}
+
+} // namespace fvdf

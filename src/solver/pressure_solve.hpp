@@ -1,0 +1,45 @@
+#pragma once
+// End-to-end host pressure solve: residual (Eq. 3) -> one Newton step via
+// CG on the matrix-free Jacobian (the governing system is linear, so a
+// single Newton step converges it) -> updated pressure field. This is the
+// oracle every device implementation is validated against.
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "fv/problem.hpp"
+#include "solver/cg.hpp"
+
+namespace fvdf {
+
+struct PressureSolveResult {
+  std::vector<f64> pressure; // converged field, one value per cell
+  CgResult cg;               // linear solve statistics
+  f64 initial_residual_norm = 0.0;
+  f64 final_residual_norm = 0.0; // recomputed from Eq. (3) at the solution
+};
+
+/// Solves the single-phase incompressible pressure equation on the host in
+/// double precision. `interior_guess` seeds the non-Dirichlet cells.
+PressureSolveResult solve_pressure_host(const FlowProblem& problem,
+                                        const CgOptions& options = {},
+                                        f64 interior_guess = 0.0);
+
+/// Same solve with Jacobi (diagonal) preconditioning — an extension over
+/// the paper's plain CG. Convergence is tested on r^T M^-1 r; tolerances
+/// are therefore not numerically identical to the plain solve's r^T r.
+PressureSolveResult solve_pressure_host_jacobi(const FlowProblem& problem,
+                                               const CgOptions& options = {},
+                                               f64 interior_guess = 0.0);
+
+/// Same solve carried out in fp32 (the paper's experiment precision), for
+/// apples-to-apples comparison with the simulated devices.
+struct PressureSolveResultF32 {
+  std::vector<f32> pressure;
+  CgResult cg;
+};
+PressureSolveResultF32 solve_pressure_host_f32(const FlowProblem& problem,
+                                               const CgOptions& options = {},
+                                               f32 interior_guess = 0.0f);
+
+} // namespace fvdf

@@ -1,0 +1,72 @@
+#include "solver/transient.hpp"
+
+#include "common/error.hpp"
+#include "fv/diagonal.hpp"
+#include "fv/operator.hpp"
+#include "solver/blas.hpp"
+
+namespace fvdf {
+
+TransientResult solve_transient_host(const FlowProblem& problem,
+                                     const TransientOptions& options,
+                                     std::vector<f64> initial) {
+  FVDF_CHECK(options.steps >= 1 && options.dt > 0);
+  const auto& mesh = problem.mesh();
+  const auto n = static_cast<std::size_t>(mesh.cell_count());
+  const auto sys = problem.discretize<f64>();
+  const MatrixFreeOperator<f64> op(sys);
+  const f64 sigma = options.sigma(mesh);
+
+  // Shifted operator (A + sigma I on interior rows; Dirichlet identity).
+  auto shifted_apply = [&](const f64* in, f64* out) {
+    op.apply(in, out);
+    for (std::size_t i = 0; i < n; ++i)
+      if (!sys.dirichlet[i]) out[i] += sigma * in[i];
+  };
+
+  std::vector<f64> minv;
+  if (options.jacobi) {
+    minv = jacobian_diagonal(sys);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!sys.dirichlet[i]) minv[i] += sigma;
+      FVDF_CHECK(minv[i] > 0);
+      minv[i] = 1.0 / minv[i];
+    }
+  }
+  auto precond = [&](const f64* in, f64* out) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = minv[i] * in[i];
+  };
+
+  TransientResult result;
+  result.pressure = initial.empty() ? problem.initial_pressure() : std::move(initial);
+  FVDF_CHECK(result.pressure.size() == n);
+  if (options.record_history) result.history.push_back(result.pressure);
+
+  std::vector<f64> rhs(n), delta(n), q(n);
+  for (i64 step = 0; step < options.steps; ++step) {
+    // RHS: -(A p^n) on interior rows, 0 on Dirichlet rows (p^n satisfies
+    // the BCs, so the accumulation term vanishes at the old state).
+    op.apply(result.pressure.data(), q.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      rhs[i] = sys.dirichlet[i] ? 0.0 : -q[i];
+      if (!sys.source.empty() && !sys.dirichlet[i]) rhs[i] += sys.source[i];
+    }
+
+    std::fill(delta.begin(), delta.end(), 0.0);
+    const CgResult cg =
+        options.jacobi
+            ? preconditioned_conjugate_gradient<f64>(shifted_apply, precond,
+                                                     rhs.data(), delta.data(), n,
+                                                     options.cg)
+            : conjugate_gradient<f64>(shifted_apply, rhs.data(), delta.data(), n,
+                                      options.cg);
+    result.iterations_per_step.push_back(cg.iterations);
+    result.all_converged = result.all_converged && cg.converged;
+
+    blas::axpy(1.0, delta.data(), result.pressure.data(), n);
+    if (options.record_history) result.history.push_back(result.pressure);
+  }
+  return result;
+}
+
+} // namespace fvdf

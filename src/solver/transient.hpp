@@ -1,0 +1,54 @@
+#pragma once
+// Transient slightly-compressible single-phase flow — the implicit
+// (backward-Euler) temporal discretization the paper's Sec. II-A
+// describes ("combining a low-order FV scheme with an implicit
+// (backward-Euler) temporal discretization"); the paper's experiments run
+// the steady incompressible limit, this module adds the time dimension as
+// a documented extension.
+//
+// Discrete system per time step (outflow-oriented residual, SPD):
+//   sigma * (p^{n+1} - p^n) + (A p^{n+1})_K = 0     (interior)
+//   p^{n+1}_K = p^D                                 (Dirichlet)
+// with sigma = phi * c_t * V / dt (accumulation coefficient). The system
+// is linear, so each step is one CG/PCG solve of
+//   (A + sigma I) delta = -A p^n,   p^{n+1} = p^n + delta.
+// sigma I only shifts interior rows; Dirichlet rows stay identity.
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "fv/problem.hpp"
+#include "solver/cg.hpp"
+
+namespace fvdf {
+
+struct TransientOptions {
+  f64 dt = 1.0;                   // time-step size [s]
+  i64 steps = 10;                 // number of backward-Euler steps
+  f64 porosity = 0.2;             // phi
+  f64 total_compressibility = 1e-2; // c_t
+  CgOptions cg{};                 // per-step linear-solve options
+  bool jacobi = true;             // Jacobi PCG per step
+  bool record_history = false;    // keep every intermediate field
+
+  /// Accumulation coefficient sigma = phi * c_t * V / dt.
+  f64 sigma(const CartesianMesh3D& mesh) const {
+    return porosity * total_compressibility * mesh.cell_volume() / dt;
+  }
+};
+
+struct TransientResult {
+  std::vector<f64> pressure;                   // final field p^N
+  std::vector<std::vector<f64>> history;       // p^0..p^N if recorded
+  std::vector<u64> iterations_per_step;        // linear iterations per step
+  bool all_converged = true;
+};
+
+/// Runs `steps` backward-Euler steps on the host (f64). The initial field
+/// defaults to the problem's initial pressure (BC values + zero interior);
+/// pass `initial` to continue from a previous state.
+TransientResult solve_transient_host(const FlowProblem& problem,
+                                     const TransientOptions& options,
+                                     std::vector<f64> initial = {});
+
+} // namespace fvdf

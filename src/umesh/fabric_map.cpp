@@ -1,0 +1,139 @@
+#include "umesh/fabric_map.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace fvdf::umesh {
+
+const char* to_string(MappingStrategy strategy) {
+  switch (strategy) {
+  case MappingStrategy::IndexBlocks: return "index blocks";
+  case MappingStrategy::MortonSfc: return "Morton SFC";
+  case MappingStrategy::Random: return "random shuffle";
+  }
+  return "?";
+}
+
+u32 morton2(u16 x, u16 y) {
+  auto spread = [](u32 v) {
+    v &= 0xffff;
+    v = (v | (v << 8)) & 0x00ff00ff;
+    v = (v | (v << 4)) & 0x0f0f0f0f;
+    v = (v | (v << 2)) & 0x33333333;
+    v = (v | (v << 1)) & 0x55555555;
+    return v;
+  };
+  return spread(x) | (spread(y) << 1);
+}
+
+Mapping map_cells(const UnstructuredMesh& mesh, MappingStrategy strategy,
+                  const MappingOptions& options) {
+  FVDF_CHECK(options.fabric_width >= 1 && options.fabric_height >= 1);
+  const auto n = static_cast<std::size_t>(mesh.cell_count());
+  const auto pes = static_cast<std::size_t>(options.fabric_width * options.fabric_height);
+
+  // Order the cells per strategy, then cut the order into `pes` contiguous
+  // near-equal ranges.
+  std::vector<CellIndex> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  switch (strategy) {
+  case MappingStrategy::IndexBlocks:
+    break; // natural order
+  case MappingStrategy::MortonSfc: {
+    FVDF_CHECK_MSG(mesh.has_centroids(),
+                   "Morton mapping needs cell centroids on the mesh");
+    const auto& centroids = mesh.centroids();
+    f64 x0 = 1e300, x1 = -1e300, y0 = 1e300, y1 = -1e300;
+    for (const Centroid& c : centroids) {
+      x0 = std::min(x0, c.x);
+      x1 = std::max(x1, c.x);
+      y0 = std::min(y0, c.y);
+      y1 = std::max(y1, c.y);
+    }
+    const f64 sx = x1 > x0 ? 65535.0 / (x1 - x0) : 0.0;
+    const f64 sy = y1 > y0 ? 65535.0 / (y1 - y0) : 0.0;
+    std::vector<u32> key(n);
+    for (std::size_t i = 0; i < n; ++i)
+      key[i] = morton2(static_cast<u16>((centroids[i].x - x0) * sx),
+                       static_cast<u16>((centroids[i].y - y0) * sy));
+    std::stable_sort(order.begin(), order.end(),
+                     [&](CellIndex a, CellIndex b) {
+                       return key[static_cast<std::size_t>(a)] <
+                              key[static_cast<std::size_t>(b)];
+                     });
+    break;
+  }
+  case MappingStrategy::Random: {
+    Rng rng(options.seed);
+    for (std::size_t i = n; i > 1; --i)
+      std::swap(order[i - 1], order[rng.uniform_index(i)]);
+    break;
+  }
+  }
+
+  Mapping mapping;
+  mapping.fabric_width = options.fabric_width;
+  mapping.fabric_height = options.fabric_height;
+  mapping.pe_of_cell.assign(n, 0);
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    // Ranges of size ceil/floor(n/pes), earlier PEs take the larger ones.
+    const std::size_t pe = rank * pes / n;
+    mapping.pe_of_cell[static_cast<std::size_t>(order[rank])] = static_cast<i32>(pe);
+  }
+  return mapping;
+}
+
+MappingReport evaluate_mapping(const UnstructuredMesh& mesh, const Mapping& mapping,
+                               const MappingOptions& options) {
+  const auto n = static_cast<std::size_t>(mesh.cell_count());
+  FVDF_CHECK(mapping.pe_of_cell.size() == n);
+  const auto pes = static_cast<std::size_t>(mapping.fabric_width * mapping.fabric_height);
+
+  MappingReport report;
+  report.cells = n;
+
+  std::vector<u64> cells_per_pe(pes, 0);
+  for (i32 pe : mapping.pe_of_cell) {
+    FVDF_CHECK(pe >= 0 && static_cast<std::size_t>(pe) < pes);
+    ++cells_per_pe[static_cast<std::size_t>(pe)];
+  }
+  report.min_cells_per_pe = *std::min_element(cells_per_pe.begin(), cells_per_pe.end());
+  report.max_cells_per_pe = *std::max_element(cells_per_pe.begin(), cells_per_pe.end());
+  const f64 avg = static_cast<f64>(n) / static_cast<f64>(pes);
+  report.load_imbalance = static_cast<f64>(report.max_cells_per_pe) / avg;
+  report.fits_memory =
+      report.max_cells_per_pe * options.bytes_per_cell <= options.pe_memory_budget_bytes;
+
+  std::vector<std::set<i32>> remote(pes);
+  auto pe_xy = [&](i32 pe) {
+    return std::pair<i64, i64>{pe % mapping.fabric_width, pe / mapping.fabric_width};
+  };
+  for (const UFace& face : mesh.faces()) {
+    const i32 pa = mapping.pe_of_cell[static_cast<std::size_t>(face.a)];
+    const i32 pb = mapping.pe_of_cell[static_cast<std::size_t>(face.b)];
+    if (pa == pb) continue;
+    ++report.cut_faces;
+    const auto [ax, ay] = pe_xy(pa);
+    const auto [bx, by] = pe_xy(pb);
+    report.total_hop_weight +=
+        static_cast<u64>(std::llabs(ax - bx) + std::llabs(ay - by));
+    remote[static_cast<std::size_t>(pa)].insert(pb);
+    remote[static_cast<std::size_t>(pb)].insert(pa);
+  }
+  report.cut_fraction = mesh.faces().empty()
+                            ? 0.0
+                            : static_cast<f64>(report.cut_faces) /
+                                  static_cast<f64>(mesh.faces().size());
+  for (const auto& peers : remote)
+    report.max_remote_neighbors =
+        std::max(report.max_remote_neighbors, static_cast<u32>(peers.size()));
+  return report;
+}
+
+} // namespace fvdf::umesh

@@ -1,0 +1,77 @@
+#pragma once
+// Mapping arbitrary meshes onto the 2D PE fabric — the planning half of
+// the paper's future work ("mapping them efficiently onto a dataflow
+// architecture ... data broadcasting strategies to support data movement
+// from any cell in the arbitrary-shaped mesh").
+//
+// A Mapping assigns every cell to a PE of a width x height fabric. The
+// quality measures mirror what the structured column mapping optimizes
+// implicitly:
+//  * load balance            — cells per PE (compute) and bytes per PE
+//                              (the 48 KiB wall);
+//  * cut faces               — fluxes that need fabric traffic at all;
+//  * total hop weight        — sum of Manhattan distances between the
+//                              owning PEs of each cut face (wavelet travel);
+//  * max remote neighbors    — distinct peer PEs any PE exchanges with
+//                              (router/color pressure: the structured
+//                              kernel needs exactly 4).
+//
+// Strategies: contiguous index blocks (the naive port), a Morton
+// space-filling curve over cell centroids (locality-aware; reduces to
+// column grouping on extruded meshes), and a random shuffle (the
+// adversarial baseline).
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "umesh/mesh.hpp"
+
+namespace fvdf::umesh {
+
+enum class MappingStrategy : u8 {
+  IndexBlocks, // contiguous cell-index ranges, row-major over PEs
+  MortonSfc,   // Morton curve over (x, y) centroids, then contiguous ranges
+  Random,      // uniform shuffle — the locality-free baseline
+};
+
+const char* to_string(MappingStrategy strategy);
+
+struct MappingOptions {
+  i64 fabric_width = 4;
+  i64 fabric_height = 4;
+  u64 pe_memory_budget_bytes = 46 * 1024; // allocatable arena
+  u64 bytes_per_cell = 53;                // optimized-layout footprint
+  u64 seed = 1;                           // Random strategy only
+};
+
+struct Mapping {
+  i64 fabric_width = 0;
+  i64 fabric_height = 0;
+  std::vector<i32> pe_of_cell; // flat PE index (y * width + x) per cell
+};
+
+struct MappingReport {
+  u64 cells = 0;
+  u64 min_cells_per_pe = 0;
+  u64 max_cells_per_pe = 0;
+  f64 load_imbalance = 0;     // max / average (1.0 = perfect)
+  u64 cut_faces = 0;          // faces whose cells live on different PEs
+  f64 cut_fraction = 0;       // cut_faces / total faces
+  u64 total_hop_weight = 0;   // sum of Manhattan distances over cut faces
+  u32 max_remote_neighbors = 0;
+  bool fits_memory = true;    // every PE under the byte budget
+};
+
+/// Assigns cells to PEs. Throws if the fabric has fewer PEs than 1 or the
+/// mesh is empty.
+Mapping map_cells(const UnstructuredMesh& mesh, MappingStrategy strategy,
+                  const MappingOptions& options);
+
+/// Quality metrics for a mapping.
+MappingReport evaluate_mapping(const UnstructuredMesh& mesh, const Mapping& mapping,
+                               const MappingOptions& options);
+
+/// Morton interleave of two 16-bit coordinates (exposed for tests).
+u32 morton2(u16 x, u16 y);
+
+} // namespace fvdf::umesh

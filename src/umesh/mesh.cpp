@@ -1,0 +1,169 @@
+#include "umesh/mesh.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "mesh/transmissibility.hpp"
+
+namespace fvdf::umesh {
+
+UnstructuredMesh::UnstructuredMesh(CellIndex cells, std::vector<UFace> faces,
+                                   std::vector<f64> volumes,
+                                   std::vector<Centroid> centroids)
+    : cells_(cells), faces_(std::move(faces)), volumes_(std::move(volumes)),
+      centroids_(std::move(centroids)) {
+  FVDF_CHECK(cells >= 1);
+  FVDF_CHECK(volumes_.size() == static_cast<std::size_t>(cells));
+  FVDF_CHECK(centroids_.empty() ||
+             centroids_.size() == static_cast<std::size_t>(cells));
+  for (const UFace& face : faces_) {
+    FVDF_CHECK_MSG(face.a >= 0 && face.a < cells && face.b >= 0 && face.b < cells,
+                   "face references cell out of range");
+    FVDF_CHECK_MSG(face.a != face.b, "degenerate face (self loop)");
+    FVDF_CHECK_MSG(face.transmissibility >= 0, "negative transmissibility");
+  }
+  for (f64 volume : volumes_) FVDF_CHECK(volume > 0);
+}
+
+const std::vector<u32>& UnstructuredMesh::degrees() const {
+  if (degrees_.empty()) {
+    degrees_.assign(static_cast<std::size_t>(cells_), 0);
+    for (const UFace& face : faces_) {
+      ++degrees_[static_cast<std::size_t>(face.a)];
+      ++degrees_[static_cast<std::size_t>(face.b)];
+    }
+  }
+  return degrees_;
+}
+
+u32 UnstructuredMesh::max_degree() const {
+  const auto& deg = degrees();
+  u32 best = 0;
+  for (u32 d : deg) best = std::max(best, d);
+  return best;
+}
+
+bool UnstructuredMesh::connected() const {
+  // BFS over the face graph.
+  std::vector<std::vector<CellIndex>> adjacency(static_cast<std::size_t>(cells_));
+  for (const UFace& face : faces_) {
+    adjacency[static_cast<std::size_t>(face.a)].push_back(face.b);
+    adjacency[static_cast<std::size_t>(face.b)].push_back(face.a);
+  }
+  std::vector<bool> seen(static_cast<std::size_t>(cells_), false);
+  std::vector<CellIndex> stack = {0};
+  seen[0] = true;
+  CellIndex visited = 1;
+  while (!stack.empty()) {
+    const CellIndex at = stack.back();
+    stack.pop_back();
+    for (CellIndex next : adjacency[static_cast<std::size_t>(at)]) {
+      if (!seen[static_cast<std::size_t>(next)]) {
+        seen[static_cast<std::size_t>(next)] = true;
+        ++visited;
+        stack.push_back(next);
+      }
+    }
+  }
+  return visited == cells_;
+}
+
+UnstructuredMesh UnstructuredMesh::from_cartesian(const CartesianMesh3D& mesh,
+                                                  const CellField<f64>& permeability) {
+  CellField<u8> all_active(mesh, 1);
+  return from_active_cells(mesh, permeability, all_active, nullptr);
+}
+
+UnstructuredMesh UnstructuredMesh::from_active_cells(
+    const CartesianMesh3D& mesh, const CellField<f64>& permeability,
+    const CellField<u8>& active, std::vector<CellIndex>* to_cartesian) {
+  FVDF_CHECK(active.size() == static_cast<std::size_t>(mesh.cell_count()));
+  // Compact index for active cells.
+  std::vector<CellIndex> compact(static_cast<std::size_t>(mesh.cell_count()), -1);
+  std::vector<CellIndex> original;
+  for (CellIndex k = 0; k < mesh.cell_count(); ++k) {
+    if (active.data()[static_cast<std::size_t>(k)]) {
+      compact[static_cast<std::size_t>(k)] = static_cast<CellIndex>(original.size());
+      original.push_back(k);
+    }
+  }
+  FVDF_CHECK_MSG(!original.empty(), "no active cells");
+
+  const auto trans = compute_transmissibility(mesh, permeability);
+  std::vector<UFace> faces;
+  std::vector<f64> volumes(original.size(), mesh.cell_volume());
+  std::vector<Centroid> centroids(original.size());
+  for (std::size_t u = 0; u < original.size(); ++u) {
+    const CellCoord c = mesh.coord(original[u]);
+    centroids[u] = {(static_cast<f64>(c.x) + 0.5) * mesh.dx(),
+                    (static_cast<f64>(c.y) + 0.5) * mesh.dy(),
+                    (static_cast<f64>(c.z) + 0.5) * mesh.dz()};
+    // Emit each face once, from the lower-index side.
+    for (Face face : {Face::East, Face::North, Face::Up}) {
+      const auto nb = mesh.neighbor(c, face);
+      if (!nb) continue;
+      const CellIndex nk = mesh.index(*nb);
+      const CellIndex nu = compact[static_cast<std::size_t>(nk)];
+      if (nu < 0) continue; // inactive neighbor: no-flow face
+      faces.push_back(UFace{static_cast<CellIndex>(u), nu, trans.at(mesh, c, face)});
+    }
+  }
+  if (to_cartesian) *to_cartesian = original;
+  return UnstructuredMesh(static_cast<CellIndex>(original.size()), std::move(faces),
+                          std::move(volumes), std::move(centroids));
+}
+
+UnstructuredMesh UnstructuredMesh::radial_sector(i64 nr, i64 ntheta, i64 nz, f64 r0,
+                                                 f64 r1, f64 dz, f64 permeability) {
+  FVDF_CHECK(nr >= 1 && ntheta >= 2 && nz >= 1);
+  FVDF_CHECK(r1 > r0 && r0 > 0 && dz > 0 && permeability > 0);
+  const f64 dr = (r1 - r0) / static_cast<f64>(nr);
+  const f64 dtheta = 2.0 * M_PI / static_cast<f64>(ntheta);
+
+  const CellIndex cells = nr * ntheta * nz;
+  auto index = [&](i64 ir, i64 it, i64 iz) {
+    return (iz * ntheta + it) * nr + ir;
+  };
+
+  std::vector<f64> volumes(static_cast<std::size_t>(cells));
+  std::vector<Centroid> centroids(static_cast<std::size_t>(cells));
+  std::vector<UFace> faces;
+  for (i64 iz = 0; iz < nz; ++iz) {
+    for (i64 it = 0; it < ntheta; ++it) {
+      for (i64 ir = 0; ir < nr; ++ir) {
+        const f64 r_in = r0 + static_cast<f64>(ir) * dr;
+        const f64 r_out = r_in + dr;
+        const f64 r_mid = 0.5 * (r_in + r_out);
+        const f64 theta = (static_cast<f64>(it) + 0.5) * dtheta;
+        const auto k = static_cast<std::size_t>(index(ir, it, iz));
+        volumes[k] = 0.5 * (r_out * r_out - r_in * r_in) * dtheta * dz;
+        centroids[k] = {r_mid * std::cos(theta), r_mid * std::sin(theta),
+                        (static_cast<f64>(iz) + 0.5) * dz};
+
+        // Radial face to the next shell: area = r_out * dtheta * dz,
+        // distance = dr.
+        if (ir + 1 < nr) {
+          const f64 t = permeability * r_out * dtheta * dz / dr;
+          faces.push_back({index(ir, it, iz), index(ir + 1, it, iz), t});
+        }
+        // Angular face to the next sector (periodic): area = dr * dz,
+        // distance = r_mid * dtheta.
+        {
+          const i64 it_next = (it + 1) % ntheta;
+          const f64 t = permeability * dr * dz / (r_mid * dtheta);
+          faces.push_back({index(ir, it, iz), index(ir, it_next, iz), t});
+        }
+        // Vertical face: area = cell footprint, distance = dz.
+        if (iz + 1 < nz) {
+          const f64 t = permeability * volumes[k] / (dz * dz);
+          faces.push_back({index(ir, it, iz), index(ir, it, iz + 1), t});
+        }
+      }
+    }
+  }
+  return UnstructuredMesh(cells, std::move(faces), std::move(volumes),
+                          std::move(centroids));
+}
+
+} // namespace fvdf::umesh

@@ -1,0 +1,93 @@
+#pragma once
+// Unstructured finite-volume meshes — the paper's stated future work:
+// "supporting arbitrary mesh topologies and mapping them efficiently onto
+// a dataflow architecture to enable porting of a broader range of FV
+// applications."
+//
+// An UnstructuredMesh is the minimal FV description TPFA needs: a list of
+// cells (with volumes and, optionally, centroids for mapping heuristics)
+// and a list of interior faces, each carrying the two adjacent cells and
+// the precomputed transmissibility. Dirichlet cells are pinned exactly as
+// in the structured path. Builders cover:
+//  * from_cartesian       — a Cartesian mesh re-expressed as a face list
+//                           (the equivalence oracle: results must match
+//                           the structured solver bit-for-policy);
+//  * from_active_cells    — a Cartesian mesh with inactive cells removed
+//                           (real geomodels carve out non-reservoir rock;
+//                           the remaining domain is genuinely irregular);
+//  * radial_sector        — a structured-in-(r, theta) polar ring grid
+//                           whose cell volumes and face areas vary with
+//                           radius: a non-Cartesian topology exercising
+//                           variable geometry factors.
+
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mesh/bc.hpp"
+#include "mesh/cartesian.hpp"
+#include "mesh/fields.hpp"
+
+namespace fvdf::umesh {
+
+/// One interior face between cells `a` and `b` with its TPFA
+/// transmissibility (geometry x harmonic permeability).
+struct UFace {
+  CellIndex a = 0;
+  CellIndex b = 0;
+  f64 transmissibility = 0;
+};
+
+/// Cell centroid used by mapping heuristics (not by the numerics).
+struct Centroid {
+  f64 x = 0, y = 0, z = 0;
+};
+
+class UnstructuredMesh {
+public:
+  UnstructuredMesh(CellIndex cells, std::vector<UFace> faces,
+                   std::vector<f64> volumes, std::vector<Centroid> centroids = {});
+
+  CellIndex cell_count() const { return cells_; }
+  const std::vector<UFace>& faces() const { return faces_; }
+  const std::vector<f64>& volumes() const { return volumes_; }
+  bool has_centroids() const { return !centroids_.empty(); }
+  const std::vector<Centroid>& centroids() const { return centroids_; }
+
+  /// Neighbor count per cell (built lazily, cached).
+  const std::vector<u32>& degrees() const;
+
+  /// Largest neighbor count — the fan-in a device mapping must support.
+  u32 max_degree() const;
+
+  /// True when the face graph is connected (reducible systems need one
+  /// Dirichlet pin per component; the check guards against silent
+  /// singularity).
+  bool connected() const;
+
+  // --- builders ---
+  static UnstructuredMesh from_cartesian(const CartesianMesh3D& mesh,
+                                         const CellField<f64>& permeability);
+
+  /// Keeps only cells where `active` is nonzero; returns the mesh plus the
+  /// mapping from compact unstructured index to original Cartesian index.
+  static UnstructuredMesh from_active_cells(const CartesianMesh3D& mesh,
+                                            const CellField<f64>& permeability,
+                                            const CellField<u8>& active,
+                                            std::vector<CellIndex>* to_cartesian);
+
+  /// Polar ring sector: nr radial shells between r0 and r1, ntheta angular
+  /// sectors, nz layers; permeability uniform. Cell volumes grow with
+  /// radius and radial face transmissibilities vary per shell.
+  static UnstructuredMesh radial_sector(i64 nr, i64 ntheta, i64 nz, f64 r0, f64 r1,
+                                        f64 dz, f64 permeability);
+
+private:
+  CellIndex cells_;
+  std::vector<UFace> faces_;
+  std::vector<f64> volumes_;
+  std::vector<Centroid> centroids_;
+  mutable std::vector<u32> degrees_; // lazy cache
+};
+
+} // namespace fvdf::umesh

@@ -1,0 +1,119 @@
+#include "umesh/usolve.hpp"
+
+#include "common/error.hpp"
+#include "solver/blas.hpp"
+
+namespace fvdf::umesh {
+
+UFlowProblem::UFlowProblem(UnstructuredMesh mesh, std::vector<f64> mobility,
+                           DirichletSet bc)
+    : mesh_(std::move(mesh)), mobility_(std::move(mobility)), bc_(std::move(bc)) {
+  FVDF_CHECK(mobility_.size() == static_cast<std::size_t>(mesh_.cell_count()));
+  for (f64 m : mobility_) FVDF_CHECK(m > 0);
+  for (const auto& [idx, value] : bc_.sorted())
+    FVDF_CHECK_MSG(idx < mesh_.cell_count(), "Dirichlet index out of range");
+}
+
+std::vector<f64> UFlowProblem::initial_pressure(f64 interior_value) const {
+  std::vector<f64> p(static_cast<std::size_t>(mesh_.cell_count()), interior_value);
+  for (const auto& [idx, value] : bc_.sorted())
+    p[static_cast<std::size_t>(idx)] = value;
+  return p;
+}
+
+UMatrixFreeOperator::UMatrixFreeOperator(const UFlowProblem& problem)
+    : problem_(problem), n_(problem.mesh().cell_count()) {
+  const auto& faces = problem.mesh().faces();
+  const auto& mobility = problem.mobility();
+  face_weight_.resize(faces.size());
+  for (std::size_t f = 0; f < faces.size(); ++f) {
+    const UFace& face = faces[f];
+    face_weight_[f] = face.transmissibility * 0.5 *
+                      (mobility[static_cast<std::size_t>(face.a)] +
+                       mobility[static_cast<std::size_t>(face.b)]);
+  }
+  dirichlet_.assign(static_cast<std::size_t>(n_), 0);
+  for (const auto& [idx, value] : problem.bc().sorted())
+    dirichlet_[static_cast<std::size_t>(idx)] = 1;
+}
+
+void UMatrixFreeOperator::apply(const f64* x, f64* y) const {
+  for (CellIndex k = 0; k < n_; ++k) y[k] = 0.0;
+  const auto& faces = problem_.mesh().faces();
+  // Face sweep: scatter both sides (the SPD symmetric stencil).
+  for (std::size_t f = 0; f < faces.size(); ++f) {
+    const UFace& face = faces[f];
+    const f64 flux = face_weight_[f] * (x[face.a] - x[face.b]);
+    y[face.a] += flux;
+    y[face.b] -= flux;
+  }
+  // Dirichlet rows are identity (accumulated garbage overwritten).
+  for (CellIndex k = 0; k < n_; ++k)
+    if (dirichlet_[static_cast<std::size_t>(k)]) y[k] = x[k];
+}
+
+std::vector<f64> UMatrixFreeOperator::diagonal() const {
+  std::vector<f64> diag(static_cast<std::size_t>(n_), 0.0);
+  const auto& faces = problem_.mesh().faces();
+  for (std::size_t f = 0; f < faces.size(); ++f) {
+    diag[static_cast<std::size_t>(faces[f].a)] += face_weight_[f];
+    diag[static_cast<std::size_t>(faces[f].b)] += face_weight_[f];
+  }
+  for (CellIndex k = 0; k < n_; ++k)
+    if (dirichlet_[static_cast<std::size_t>(k)]) diag[static_cast<std::size_t>(k)] = 1.0;
+  return diag;
+}
+
+std::vector<f64> UMatrixFreeOperator::residual(const std::vector<f64>& p) const {
+  FVDF_CHECK(p.size() == static_cast<std::size_t>(n_));
+  std::vector<f64> r(p.size(), 0.0);
+  apply(p.data(), r.data());
+  for (CellIndex k = 0; k < n_; ++k) {
+    if (dirichlet_[static_cast<std::size_t>(k)]) {
+      r[k] = p[k] - problem_.bc().value(k);
+    } else {
+      r[k] = -r[k]; // Eq. (3) orientation: sum of inflow fluxes
+    }
+  }
+  return r;
+}
+
+USolveResult solve_pressure_unstructured(const UFlowProblem& problem,
+                                         const CgOptions& options, bool jacobi) {
+  const UMatrixFreeOperator op(problem);
+  const auto n = static_cast<std::size_t>(op.size());
+
+  USolveResult result;
+  result.pressure = problem.initial_pressure();
+
+  // Newton RHS: -(A p0) on interior rows, 0 on Dirichlet rows.
+  std::vector<f64> rhs(n);
+  op.apply(result.pressure.data(), rhs.data());
+  for (std::size_t i = 0; i < n; ++i)
+    rhs[i] = problem.bc().contains(static_cast<CellIndex>(i)) ? 0.0 : -rhs[i];
+
+  std::vector<f64> delta(n, 0.0);
+  const auto apply = [&](const f64* in, f64* out) { op.apply(in, out); };
+  if (jacobi) {
+    std::vector<f64> minv = op.diagonal();
+    for (auto& d : minv) {
+      FVDF_CHECK(d > 0);
+      d = 1.0 / d;
+    }
+    result.cg = preconditioned_conjugate_gradient<f64>(
+        apply,
+        [&](const f64* in, f64* out) {
+          for (std::size_t i = 0; i < n; ++i) out[i] = minv[i] * in[i];
+        },
+        rhs.data(), delta.data(), n, options);
+  } else {
+    result.cg = conjugate_gradient<f64>(apply, rhs.data(), delta.data(), n, options);
+  }
+  blas::axpy(1.0, delta.data(), result.pressure.data(), n);
+
+  const auto r = op.residual(result.pressure);
+  result.final_residual_norm = blas::norm2(r.data(), r.size());
+  return result;
+}
+
+} // namespace fvdf::umesh

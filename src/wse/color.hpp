@@ -1,0 +1,43 @@
+#pragma once
+// Colors: the WSE's routing/tasking identifiers. Wavelets are "annotated
+// with a color for routing and indicating the type of a message" (Sec. III).
+// Colors 0..23 are routable through the fabric; 24..30 are local-only task
+// colors (activations within a PE), mirroring the real hardware's split.
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace fvdf::wse {
+
+using Color = u8;
+
+constexpr Color kNumRoutableColors = 24;
+constexpr Color kNumColors = 44; // 24 routable + 20 local task IDs
+constexpr Color kInvalidColor = 0xff;
+
+inline bool is_routable(Color color) { return color < kNumRoutableColors; }
+inline bool is_local_only(Color color) {
+  return color >= kNumRoutableColors && color < kNumColors;
+}
+inline bool is_valid(Color color) { return color < kNumColors; }
+
+inline void check_routable(Color color) {
+  FVDF_CHECK_MSG(is_routable(color),
+                 "color " << static_cast<int>(color) << " is not routable (0.."
+                          << static_cast<int>(kNumRoutableColors - 1) << ")");
+}
+
+inline void check_valid(Color color) {
+  FVDF_CHECK_MSG(is_valid(color), "invalid color " << static_cast<int>(color));
+}
+
+/// Bitmask over routable colors, used by control wavelets to name the
+/// switch positions they advance.
+using ColorMask = u32;
+
+inline ColorMask color_bit(Color color) {
+  check_routable(color);
+  return ColorMask{1} << color;
+}
+
+} // namespace fvdf::wse

@@ -1,0 +1,142 @@
+#include "wse/dsd.hpp"
+
+#include "common/error.hpp"
+
+namespace fvdf::wse {
+
+Dsd Dsd::drop(u32 first) const {
+  FVDF_CHECK(first <= length);
+  Dsd out = *this;
+  out.offset = static_cast<u32>(static_cast<i64>(offset) + static_cast<i64>(first) * stride);
+  out.length = length - first;
+  return out;
+}
+
+Dsd Dsd::take(u32 count) const {
+  FVDF_CHECK(count <= length);
+  Dsd out = *this;
+  out.length = count;
+  return out;
+}
+
+Dsd dsd(MemSpan span, u32 first, u32 count) {
+  FVDF_CHECK(first + count <= span.length);
+  return Dsd{span.offset_words + first, count, 1};
+}
+
+DsdEngine::DsdEngine(PeMemory& memory, OpCounters& counters,
+                     const TimingParams& timing, f64& cycles)
+    : memory_(memory), counters_(counters), timing_(timing), cycles_(cycles) {}
+
+u32 DsdEngine::idx(Dsd d, u32 i) const {
+  const i64 word = static_cast<i64>(d.offset) + static_cast<i64>(i) * d.stride;
+  FVDF_CHECK(word >= 0);
+  return static_cast<u32>(word);
+}
+
+void DsdEngine::charge(Opcode op, u32 elements) {
+  counters_.record(op, elements);
+  cycles_ += timing_.compute_scale *
+             (timing_.op_issue_cycles +
+              static_cast<f64>(elements) * timing_.cycles_per_element(op));
+}
+
+template <typename Fn>
+void DsdEngine::elementwise(Opcode op, Dsd dst, u32 length, Fn&& fn) {
+  FVDF_CHECK_MSG(dst.length == length, "DSD length mismatch: dst " << dst.length
+                                                                   << " vs " << length);
+  for (u32 i = 0; i < length; ++i) memory_.store(idx(dst, i), fn(i));
+  charge(op, length);
+}
+
+void DsdEngine::fmovs(Dsd dst, Dsd src) {
+  elementwise(Opcode::FMOV, dst, src.length,
+              [&](u32 i) { return memory_.load(idx(src, i)); });
+}
+
+void DsdEngine::fmovs_imm(Dsd dst, f32 value) {
+  elementwise(Opcode::FMOV, dst, dst.length, [&](u32) { return value; });
+}
+
+void DsdEngine::fadds(Dsd dst, Dsd a, Dsd b) {
+  FVDF_CHECK(a.length == b.length);
+  elementwise(Opcode::FADD, dst, a.length,
+              [&](u32 i) { return memory_.load(idx(a, i)) + memory_.load(idx(b, i)); });
+}
+
+void DsdEngine::fsubs(Dsd dst, Dsd a, Dsd b) {
+  FVDF_CHECK(a.length == b.length);
+  elementwise(Opcode::FSUB, dst, a.length,
+              [&](u32 i) { return memory_.load(idx(a, i)) - memory_.load(idx(b, i)); });
+}
+
+void DsdEngine::fmuls(Dsd dst, Dsd a, Dsd b) {
+  FVDF_CHECK(a.length == b.length);
+  elementwise(Opcode::FMUL, dst, a.length,
+              [&](u32 i) { return memory_.load(idx(a, i)) * memory_.load(idx(b, i)); });
+}
+
+void DsdEngine::fmuls_imm(Dsd dst, Dsd a, f32 value) {
+  elementwise(Opcode::FMUL, dst, a.length,
+              [&](u32 i) { return memory_.load(idx(a, i)) * value; });
+}
+
+void DsdEngine::fnegs(Dsd dst, Dsd a) {
+  elementwise(Opcode::FNEG, dst, a.length,
+              [&](u32 i) { return -memory_.load(idx(a, i)); });
+}
+
+void DsdEngine::fmacs(Dsd dst, Dsd acc, Dsd a, Dsd b) {
+  FVDF_CHECK(acc.length == a.length && a.length == b.length);
+  elementwise(Opcode::FMA, dst, a.length, [&](u32 i) {
+    return memory_.load(idx(acc, i)) + memory_.load(idx(a, i)) * memory_.load(idx(b, i));
+  });
+}
+
+void DsdEngine::fmacs_imm(Dsd dst, Dsd acc, Dsd a, f32 value) {
+  FVDF_CHECK(acc.length == a.length);
+  elementwise(Opcode::FMA, dst, a.length, [&](u32 i) {
+    return memory_.load(idx(acc, i)) + memory_.load(idx(a, i)) * value;
+  });
+}
+
+f32 DsdEngine::fadds_scalar(f32 a, f32 b) {
+  charge(Opcode::FADD, 1);
+  return a + b;
+}
+
+f32 DsdEngine::fmuls_scalar(f32 a, f32 b) {
+  charge(Opcode::FMUL, 1);
+  return a * b;
+}
+
+f32 DsdEngine::fdots(Dsd a, Dsd b) {
+  FVDF_CHECK(a.length == b.length);
+  f32 acc = 0.0f;
+  for (u32 i = 0; i < a.length; ++i)
+    acc += memory_.load(idx(a, i)) * memory_.load(idx(b, i));
+  charge(Opcode::FMA, a.length);
+  return acc;
+}
+
+f32 DsdEngine::load(u32 word_offset) {
+  charge(Opcode::FMOV, 1);
+  return memory_.load(word_offset);
+}
+
+void DsdEngine::store(u32 word_offset, f32 value) {
+  charge(Opcode::FMOV, 1);
+  memory_.store(word_offset, value);
+}
+
+u8 DsdEngine::load_byte(u32 byte_offset) {
+  charge(Opcode::FMOV, 1);
+  return memory_.load_byte(byte_offset);
+}
+
+void DsdEngine::store_byte(u32 byte_offset, u8 value) {
+  charge(Opcode::FMOV, 1);
+  memory_.store_byte(byte_offset, value);
+}
+
+} // namespace fvdf::wse

@@ -1,0 +1,87 @@
+#pragma once
+// Data Structure Descriptors and the vector engine that executes them.
+//
+// DSDs describe strided fp32 arrays in PE-local memory (address, length,
+// stride — Sec. III-E3). Instructions operating on DSDs behave like
+// filters data flows through: constant per-element throughput, no caching.
+// Every operation (a) performs the fp32 arithmetic on the PE arena,
+// (b) reports into the PE's OpCounters ledger (Table V is *measured* from
+// these), and (c) advances the running task's cycle cursor per the
+// TimingParams cost model.
+
+#include "common/types.hpp"
+#include "perf/opcount.hpp"
+#include "wse/memory.hpp"
+#include "wse/timing.hpp"
+
+namespace fvdf::wse {
+
+/// Strided view of fp32 words in PE memory.
+struct Dsd {
+  u32 offset = 0; // word offset of element 0
+  u32 length = 0; // element count
+  i32 stride = 1; // word step between elements
+
+  /// Sub-view starting at element `first` (same stride).
+  Dsd drop(u32 first) const;
+  /// Prefix of `count` elements.
+  Dsd take(u32 count) const;
+};
+
+/// Makes a Dsd covering a whole allocation.
+inline Dsd dsd(MemSpan span) { return Dsd{span.offset_words, span.length, 1}; }
+/// Sub-array view [first, first+count) of an allocation.
+Dsd dsd(MemSpan span, u32 first, u32 count);
+
+class DsdEngine {
+public:
+  /// `cycles` is the running task's time cursor, advanced by every op.
+  DsdEngine(PeMemory& memory, OpCounters& counters, const TimingParams& timing,
+            f64& cycles);
+
+  // Element-wise vector instructions (dst may alias operands; execution is
+  // element-ordered like the hardware's streaming semantics).
+  void fmovs(Dsd dst, Dsd src);
+  void fmovs_imm(Dsd dst, f32 value);
+  void fadds(Dsd dst, Dsd a, Dsd b);
+  void fsubs(Dsd dst, Dsd a, Dsd b);
+  void fmuls(Dsd dst, Dsd a, Dsd b);
+  void fmuls_imm(Dsd dst, Dsd a, f32 value);
+  void fnegs(Dsd dst, Dsd a);
+  /// dst = acc + a * b (element-wise FMA).
+  void fmacs(Dsd dst, Dsd acc, Dsd a, Dsd b);
+  /// dst = acc + a * value (scalar-vector FMA, used by axpy updates).
+  void fmacs_imm(Dsd dst, Dsd acc, Dsd a, f32 value);
+
+  /// Counted scalar arithmetic (register-to-register adds used by the
+  /// reduction chains; charged like a length-1 vector op).
+  f32 fadds_scalar(f32 a, f32 b);
+  f32 fmuls_scalar(f32 a, f32 b);
+
+  /// fp32 dot product; counted as `length` FMAs (the device reduces in
+  /// single precision, which is what makes fp32 CG iteration counts drift
+  /// slightly from the f64 host oracle).
+  f32 fdots(Dsd a, Dsd b);
+
+  // Scalar accesses (counted as single-element moves).
+  f32 load(u32 word_offset);
+  void store(u32 word_offset, f32 value);
+  u8 load_byte(u32 byte_offset);
+  void store_byte(u32 byte_offset, u8 value);
+
+  /// Free-function-style cost accounting for operations performed by the
+  /// fabric on this PE's behalf (sends/receives).
+  OpCounters& counters() { return counters_; }
+
+private:
+  template <typename Fn> void elementwise(Opcode op, Dsd dst, u32 length, Fn&& fn);
+  void charge(Opcode op, u32 elements);
+  u32 idx(Dsd d, u32 i) const;
+
+  PeMemory& memory_;
+  OpCounters& counters_;
+  const TimingParams& timing_;
+  f64& cycles_;
+};
+
+} // namespace fvdf::wse

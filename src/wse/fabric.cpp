@@ -1,0 +1,378 @@
+#include "wse/fabric.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace fvdf::wse {
+
+namespace {
+constexpr std::size_t link_slot(Dir dir) { return static_cast<std::size_t>(dir); }
+} // namespace
+
+/// PeContext implementation handed to program handlers for the duration of
+/// one task execution.
+class FabricPeContext final : public PeContext {
+public:
+  FabricPeContext(Fabric& fabric, Fabric::Pe& pe, f64& cursor)
+      : fabric_(fabric), pe_(pe), cursor_(cursor),
+        engine_(pe.memory, pe.counters, fabric.timing(), cursor) {}
+
+  PeCoord coord() const override { return pe_.coord; }
+  i64 fabric_width() const override { return fabric_.width(); }
+  i64 fabric_height() const override { return fabric_.height(); }
+
+  PeMemory& memory() override { return pe_.memory; }
+  DsdEngine& dsd() override { return engine_; }
+
+  void configure_router(Color color, ColorConfig config) override {
+    pe_.router.configure(color, std::move(config));
+  }
+
+  void send(Color color, Dsd src, ColorMask advance_after, Color completion) override {
+    fabric_.ctx_send(pe_, color, src, advance_after, completion, cursor_);
+  }
+
+  void send_control(Color color, ColorMask advance) override {
+    fabric_.ctx_send_control(pe_, color, advance, cursor_);
+  }
+
+  void recv(Color color, Dsd dst, Color completion) override {
+    fabric_.ctx_recv(pe_, color, dst, completion, cursor_);
+  }
+
+  void activate(Color color) override { fabric_.ctx_activate(pe_, color, cursor_); }
+
+  void advance_local(ColorMask mask) override {
+    fabric_.advance_and_release(pe_, mask, cursor_);
+  }
+
+  void halt() override {
+    if (!pe_.halted) {
+      pe_.halted = true;
+      ++fabric_.halted_count_;
+    }
+  }
+
+  f64 now() const override { return cursor_; }
+
+private:
+  Fabric& fabric_;
+  Fabric::Pe& pe_;
+  f64& cursor_;
+  DsdEngine engine_;
+};
+
+Fabric::Fabric(i64 width, i64 height, TimingParams timing, PeMemoryParams mem)
+    : width_(width), height_(height), timing_(timing), mem_params_(mem) {
+  FVDF_CHECK_MSG(width >= 1 && height >= 1, "fabric dims must be positive");
+  pes_.reserve(static_cast<std::size_t>(width * height));
+  for (i64 y = 0; y < height; ++y)
+    for (i64 x = 0; x < width; ++x)
+      pes_.push_back(std::make_unique<Pe>(PeCoord{x, y}, mem_params_));
+}
+
+Fabric::~Fabric() = default;
+
+void Fabric::load(const ProgramFactory& factory) {
+  FVDF_CHECK_MSG(!loaded_, "fabric already loaded");
+  loaded_ = true;
+  for (auto& pe : pes_) {
+    pe->program = factory(pe->coord);
+    FVDF_CHECK(pe->program != nullptr);
+    Event event;
+    event.kind = EventKind::TaskStart;
+    event.pe_index = pe_index(pe->coord.x, pe->coord.y);
+    event.color = kInvalidColor; // sentinel: on_start
+    event.t = 0;
+    push_event(std::move(event));
+  }
+}
+
+void Fabric::push_event(Event event) {
+  event.seq = next_seq_++;
+  events_.push(std::move(event));
+}
+
+Fabric::RunResult Fabric::run(f64 max_cycles) {
+  FVDF_CHECK_MSG(loaded_, "run() before load()");
+  RunResult result;
+  // Note: the loop drains the queue even after every PE has halted —
+  // in-flight wavelets keep moving through the fabric (and into the stats)
+  // exactly as they would on hardware; tasks on halted PEs are ignored.
+  while (!events_.empty()) {
+    const Event event = events_.top();
+    if (event.t > max_cycles) {
+      result.hit_cycle_limit = true;
+      break;
+    }
+    events_.pop();
+    now_ = std::max(now_, event.t);
+    ++stats_.events_processed;
+    switch (event.kind) {
+    case EventKind::FlitArrive: handle_flit_arrive(event); break;
+    case EventKind::TaskStart: handle_task_start(event); break;
+    }
+  }
+  result.cycles = now_;
+  result.all_halted = halted_count_ == static_cast<i64>(pes_.size());
+  return result;
+}
+
+void Fabric::advance_and_release(Pe& pe, ColorMask mask, f64 t) {
+  pe.router.advance(mask);
+  for (Color color = 0; color < kNumRoutableColors; ++color) {
+    if ((mask & color_bit(color)) == 0) continue;
+    auto& parked = pe.stalled[color];
+    if (parked.empty()) continue;
+    // Re-dispatch in FIFO order; any flit the new position still rejects
+    // will simply park again.
+    std::deque<Pe::StalledFlit> retry;
+    retry.swap(parked);
+    for (auto& entry : retry) {
+      Event event;
+      event.kind = EventKind::FlitArrive;
+      event.pe_index = pe_index(pe.coord.x, pe.coord.y);
+      event.from = entry.from;
+      event.flit = std::move(entry.flit);
+      event.t = t;
+      push_event(std::move(event));
+    }
+  }
+}
+
+void Fabric::handle_flit_arrive(const Event& event) {
+  Pe& pe = at(event.pe_index);
+  const Flit& flit = event.flit;
+  // Backpressure: a wavelet whose arrival link is not in the color's
+  // current rx set waits on that link until the switch advances.
+  if (!pe.router.accepts(flit.color, event.from)) {
+    pe.stalled[flit.color].push_back(Pe::StalledFlit{event.from, flit});
+    ++stats_.flits_stalled;
+    emit_trace(TraceEvent::FlitStalled, event.t, pe.coord, flit.color,
+               flit.data ? static_cast<u32>(flit.data->size()) : 0);
+    return;
+  }
+  const DirMask tx = pe.router.route(flit.color, event.from);
+  const u64 words = flit.data ? flit.data->size() : 0;
+  const f64 batch_cycles = static_cast<f64>(words) / timing_.words_per_cycle_link;
+
+  if (tx.contains(Dir::Ramp)) deliver_to_ramp(pe, flit, event.t);
+
+  for (Dir dir : kCardinalDirs) {
+    if (!tx.contains(dir)) continue;
+    const auto nb = neighbor(pe.coord, dir, width_, height_);
+    if (!nb) {
+      stats_.words_dropped += words;
+      continue;
+    }
+    f64& free_at = pe.link_free_at[link_slot(dir)];
+    const f64 start = std::max(event.t, free_at);
+    free_at = start + batch_cycles;
+    Event forward;
+    forward.kind = EventKind::FlitArrive;
+    forward.pe_index = pe_index(nb->x, nb->y);
+    forward.from = arrival_side(dir);
+    forward.flit = flit;
+    forward.t = start + timing_.hop_latency_cycles + batch_cycles;
+    push_event(std::move(forward));
+    ++stats_.wavelet_hops;
+    stats_.word_hops += words;
+    emit_trace(TraceEvent::LinkHop, event.t, pe.coord, flit.color,
+               static_cast<u32>(words));
+  }
+
+  // The trailing control wavelet advances this router *after* the data was
+  // routed under the pre-advance switch position — and may release flits
+  // that were stalled waiting for exactly this advance.
+  if (flit.advance_after != 0) {
+    advance_and_release(pe, flit.advance_after, event.t);
+    ++stats_.control_wavelets;
+    emit_trace(TraceEvent::SwitchAdvance, event.t, pe.coord, flit.color, 0);
+  }
+}
+
+void Fabric::deliver_to_ramp(Pe& pe, const Flit& flit, f64 t) {
+  if (!flit.data) return; // control-only wavelets carry no payload
+  auto& inbox = pe.inbox[flit.color];
+  for (f32 word : *flit.data) inbox.push_back(word);
+  emit_trace(TraceEvent::RampDelivery, t, pe.coord, flit.color,
+             static_cast<u32>(flit.data->size()));
+  feed_recv_descriptors(pe, flit.color, t);
+}
+
+void Fabric::feed_recv_descriptors(Pe& pe, Color color, f64 t) {
+  auto& inbox = pe.inbox[color];
+  auto& queue = pe.recv_queues[color];
+  while (!queue.empty() && !inbox.empty()) {
+    RecvDesc& desc = queue.front();
+    u32 moved = 0;
+    while (desc.filled < desc.dst.length && !inbox.empty()) {
+      const i64 word = static_cast<i64>(desc.dst.offset) +
+                       static_cast<i64>(desc.filled) * desc.dst.stride;
+      pe.memory.store(static_cast<u32>(word), inbox.front());
+      inbox.pop_front();
+      ++desc.filled;
+      ++moved;
+    }
+    if (moved > 0) {
+      pe.counters.record(Opcode::FMOV, moved, /*fabric_loads=*/moved, 0);
+      stats_.words_delivered += moved;
+    }
+    if (desc.filled == desc.dst.length) {
+      Event event;
+      event.kind = EventKind::TaskStart;
+      event.pe_index = pe_index(pe.coord.x, pe.coord.y);
+      event.color = desc.completion;
+      event.t = t;
+      push_event(std::move(event));
+      queue.pop_front();
+    } else {
+      break; // inbox drained, descriptor still hungry
+    }
+  }
+}
+
+void Fabric::handle_task_start(const Event& event) {
+  Pe& pe = at(event.pe_index);
+  if (pe.halted) return;
+  if (pe.busy_until > event.t) {
+    Event retry = event;
+    retry.t = pe.busy_until;
+    push_event(std::move(retry));
+    return;
+  }
+  run_task(pe, event.color, event.t);
+}
+
+void Fabric::run_task(Pe& pe, Color color, f64 t) {
+  f64 cursor = t + timing_.task_dispatch_cycles;
+  FabricPeContext ctx(*this, pe, cursor);
+  ++stats_.tasks_run;
+  emit_trace(TraceEvent::TaskRun, t, pe.coord, color, 0);
+  if (color == kInvalidColor) {
+    pe.program->on_start(ctx);
+  } else {
+    pe.program->on_task(ctx, color);
+  }
+  pe.busy_until = cursor;
+  now_ = std::max(now_, cursor);
+}
+
+void Fabric::ctx_send(Pe& pe, Color color, Dsd src, ColorMask advance_after,
+                      Color completion, f64& cursor) {
+  check_routable(color);
+  FVDF_CHECK_MSG(src.length > 0, "empty send");
+  auto payload = std::make_shared<std::vector<f32>>();
+  payload->reserve(src.length);
+  for (u32 i = 0; i < src.length; ++i) {
+    const i64 word = static_cast<i64>(src.offset) + static_cast<i64>(i) * src.stride;
+    payload->push_back(pe.memory.load(static_cast<u32>(word)));
+  }
+  pe.counters.record(Opcode::FMOV, src.length, 0, /*fabric_stores=*/src.length);
+
+  // Fault injection (deterministic, counted over data messages).
+  ++injected_data_messages_;
+  if (faults_.drop_message_index != 0 &&
+      injected_data_messages_ == faults_.drop_message_index) {
+    emit_trace(TraceEvent::FaultDrop, cursor, pe.coord, color, src.length);
+    // The message vanishes on the link; the send "completes" locally (the
+    // sender cannot tell), but no receiver will ever see the data.
+    cursor += timing_.send_setup_cycles;
+    ++stats_.messages_sent;
+    if (completion != kInvalidColor) ctx_activate(pe, completion, cursor);
+    return;
+  }
+  if (faults_.corrupt_message_index != 0 &&
+      injected_data_messages_ == faults_.corrupt_message_index &&
+      !payload->empty()) {
+    emit_trace(TraceEvent::FaultCorrupt, cursor, pe.coord, color, src.length);
+    u32 bits;
+    std::memcpy(&bits, payload->data(), 4);
+    bits ^= (1u << (faults_.corrupt_bit & 31));
+    std::memcpy(payload->data(), &bits, 4);
+  }
+
+  emit_trace(TraceEvent::MessageInjected, cursor, pe.coord, color, src.length);
+  cursor += timing_.send_setup_cycles;
+  f64& ramp_free = pe.link_free_at[link_slot(Dir::Ramp)];
+  const f64 start = std::max(cursor, ramp_free);
+  const f64 batch_cycles = static_cast<f64>(src.length) / timing_.words_per_cycle_link;
+  ramp_free = start + batch_cycles;
+
+  Event event;
+  event.kind = EventKind::FlitArrive;
+  event.pe_index = pe_index(pe.coord.x, pe.coord.y);
+  event.from = Dir::Ramp;
+  event.flit = Flit{color, std::move(payload), advance_after};
+  event.t = start + batch_cycles;
+  push_event(std::move(event));
+  ++stats_.messages_sent;
+  if (advance_after != 0) ++stats_.control_wavelets;
+
+  if (completion != kInvalidColor) {
+    Event done;
+    done.kind = EventKind::TaskStart;
+    done.pe_index = pe_index(pe.coord.x, pe.coord.y);
+    done.color = completion;
+    done.t = start + batch_cycles;
+    push_event(std::move(done));
+  }
+}
+
+void Fabric::ctx_send_control(Pe& pe, Color color, ColorMask advance, f64& cursor) {
+  check_routable(color);
+  FVDF_CHECK(advance != 0);
+  cursor += timing_.send_setup_cycles;
+  f64& ramp_free = pe.link_free_at[link_slot(Dir::Ramp)];
+  const f64 start = std::max(cursor, ramp_free);
+  ramp_free = start + 1.0;
+
+  Event event;
+  event.kind = EventKind::FlitArrive;
+  event.pe_index = pe_index(pe.coord.x, pe.coord.y);
+  event.from = Dir::Ramp;
+  event.flit = Flit{color, nullptr, advance};
+  event.t = start + 1.0;
+  push_event(std::move(event));
+  ++stats_.messages_sent;
+}
+
+void Fabric::ctx_recv(Pe& pe, Color color, Dsd dst, Color completion, f64 cursor) {
+  check_routable(color);
+  check_valid(completion);
+  FVDF_CHECK_MSG(dst.length > 0, "empty receive");
+  pe.recv_queues[color].push_back(RecvDesc{dst, 0, completion});
+  // Words that raced ahead of the descriptor are sitting in the inbox.
+  feed_recv_descriptors(pe, color, cursor);
+}
+
+void Fabric::ctx_activate(Pe& pe, Color color, f64 cursor) {
+  check_valid(color);
+  Event event;
+  event.kind = EventKind::TaskStart;
+  event.pe_index = pe_index(pe.coord.x, pe.coord.y);
+  event.color = color;
+  event.t = cursor;
+  push_event(std::move(event));
+}
+
+PeMemory& Fabric::pe_memory(i64 x, i64 y) { return at(pe_index(x, y)).memory; }
+
+const Router& Fabric::pe_router(i64 x, i64 y) const {
+  return pes_[static_cast<std::size_t>(y * width_ + x)]->router;
+}
+
+const OpCounters& Fabric::pe_counters(i64 x, i64 y) const {
+  return pes_[static_cast<std::size_t>(y * width_ + x)]->counters;
+}
+
+OpCounters Fabric::total_counters() const {
+  OpCounters total;
+  for (const auto& pe : pes_) total += pe->counters;
+  return total;
+}
+
+} // namespace fvdf::wse

@@ -1,0 +1,193 @@
+#pragma once
+// The event-driven fabric simulator: a width x height grid of PEs, each
+// with a router, 48 KiB memory arena, DSD engine and task machinery,
+// connected by cardinal links that move 32-bit wavelets.
+//
+// Fidelity model (see DESIGN.md): functionally exact — every word a kernel
+// sends is routed through real Router switch-position state and lands in
+// real PE memory, so numerical results are bit-faithful to the programmed
+// algorithm. Timing is cycle-approximate: link occupancy, hop latency,
+// task dispatch and per-element DSD costs from TimingParams. Contiguous
+// words of one send travel as a single "flit" event batch (one event per
+// message per hop, not per word), which keeps the event count tractable
+// while preserving per-word bandwidth accounting.
+
+#include <deque>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+#include "perf/opcount.hpp"
+#include "wse/color.hpp"
+#include "wse/dsd.hpp"
+#include "wse/geometry.hpp"
+#include "wse/memory.hpp"
+#include "wse/program.hpp"
+#include "wse/router.hpp"
+#include "wse/timing.hpp"
+#include "wse/trace.hpp"
+
+namespace fvdf::wse {
+
+struct FabricStats {
+  u64 messages_sent = 0;   // send()/send_control() calls that left a ramp
+  u64 wavelet_hops = 0;    // router-to-router link traversals (per message)
+  u64 word_hops = 0;       // data words x link traversals
+  u64 words_delivered = 0; // words landed in PE memory via ramps
+  u64 words_dropped = 0;   // words routed off the fabric edge
+  u64 control_wavelets = 0;
+  u64 tasks_run = 0;
+  u64 events_processed = 0;
+  u64 flits_stalled = 0; // backpressure events (arrival before switch advance)
+};
+
+struct PeMemoryParams {
+  u64 capacity_bytes = 48 * 1024;
+  u64 reserved_bytes = 2048; // models program text + stack
+};
+
+class Fabric {
+public:
+  Fabric(i64 width, i64 height, TimingParams timing = {}, PeMemoryParams mem = {});
+  ~Fabric();
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  i64 width() const { return width_; }
+  i64 height() const { return height_; }
+
+  /// Instantiates one program per PE and schedules every on_start at t=0.
+  void load(const ProgramFactory& factory);
+
+  struct RunResult {
+    f64 cycles = 0;       // simulated time at completion
+    bool all_halted = false;
+    bool hit_cycle_limit = false;
+  };
+
+  /// Processes events until the queue drains, all PEs halt, or `max_cycles`
+  /// simulated cycles elapse.
+  RunResult run(f64 max_cycles = 1e15);
+
+  // --- host-side access (the "memcpy" path: the host can read and write PE
+  // memory only between runs, like the SDK's memcpy infrastructure) ---
+  PeMemory& pe_memory(i64 x, i64 y);
+  const Router& pe_router(i64 x, i64 y) const;
+  const OpCounters& pe_counters(i64 x, i64 y) const;
+  OpCounters total_counters() const;
+  const FabricStats& stats() const { return stats_; }
+  const TimingParams& timing() const { return timing_; }
+  TimingParams& timing() { return timing_; }
+
+  /// Simulated seconds corresponding to a cycle count.
+  f64 seconds(f64 cycles) const { return timing_.seconds(cycles); }
+
+  /// Installs a trace sink receiving every simulator event (pass nullptr
+  /// to disable). Must be set before run().
+  void set_trace(TraceSink sink) { trace_ = std::move(sink); }
+
+  /// Installs a deterministic fault schedule (see wse/trace.hpp).
+  void set_faults(FaultPlan plan) { faults_ = plan; }
+
+private:
+  friend class FabricPeContext;
+
+  struct Flit {
+    Color color = kInvalidColor;
+    std::shared_ptr<const std::vector<f32>> data; // may be null (control-only)
+    ColorMask advance_after = 0; // trailing control wavelet, 0 = none
+  };
+
+  struct RecvDesc {
+    Dsd dst;
+    u32 filled = 0;
+    Color completion = kInvalidColor;
+  };
+
+  struct Pe {
+    PeCoord coord;
+    PeMemory memory;
+    Router router;
+    OpCounters counters;
+    std::unique_ptr<PeProgram> program;
+    f64 busy_until = 0;
+    bool halted = false;
+    std::array<std::deque<RecvDesc>, kNumRoutableColors> recv_queues;
+    std::array<std::deque<f32>, kNumRoutableColors> inbox;
+    // Backpressure: flits whose arrival link is not in the color's current
+    // rx set park here (keyed by color) and re-dispatch when a control
+    // advances that color's switch position.
+    struct StalledFlit {
+      Dir from;
+      Flit flit;
+    };
+    std::array<std::deque<StalledFlit>, kNumRoutableColors> stalled;
+    // Outbound link occupancy: [0]=ramp injection, [1..4]=N,E,S,W.
+    std::array<f64, 5> link_free_at{};
+
+    Pe(PeCoord c, const PeMemoryParams& mem)
+        : coord(c), memory(mem.capacity_bytes, mem.reserved_bytes) {}
+  };
+
+  enum class EventKind : u8 { FlitArrive, TaskStart };
+
+  struct Event {
+    f64 t = 0;
+    u64 seq = 0;
+    EventKind kind = EventKind::TaskStart;
+    i64 pe_index = 0;
+    Dir from = Dir::Ramp; // FlitArrive
+    Flit flit;            // FlitArrive
+    Color color = kInvalidColor; // TaskStart
+  };
+
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq; // FIFO among simultaneous events
+    }
+  };
+
+  i64 pe_index(i64 x, i64 y) const { return y * width_ + x; }
+  Pe& at(i64 index) { return *pes_[static_cast<std::size_t>(index)]; }
+
+  void push_event(Event event);
+  void handle_flit_arrive(const Event& event);
+  // Applies a switch advance at `pe` and re-dispatches any flits that were
+  // stalled on the affected colors (at time `t`).
+  void advance_and_release(Pe& pe, ColorMask mask, f64 t);
+  void handle_task_start(const Event& event);
+  void deliver_to_ramp(Pe& pe, const Flit& flit, f64 t);
+  void feed_recv_descriptors(Pe& pe, Color color, f64 t);
+  void run_task(Pe& pe, Color color, f64 t);
+
+  // PeContext backends (called from FabricPeContext during a task).
+  void ctx_send(Pe& pe, Color color, Dsd src, ColorMask advance_after,
+                Color completion, f64& cursor);
+  void ctx_send_control(Pe& pe, Color color, ColorMask advance, f64& cursor);
+  void ctx_recv(Pe& pe, Color color, Dsd dst, Color completion, f64 cursor);
+  void ctx_activate(Pe& pe, Color color, f64 cursor);
+
+  void emit_trace(TraceEvent event, f64 t, PeCoord at, Color color, u32 words) const {
+    if (trace_) trace_(TraceRecord{event, t, at, color, words});
+  }
+
+  i64 width_;
+  i64 height_;
+  TraceSink trace_;
+  FaultPlan faults_{};
+  u64 injected_data_messages_ = 0;
+  TimingParams timing_;
+  PeMemoryParams mem_params_;
+  std::vector<std::unique_ptr<Pe>> pes_;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> events_;
+  u64 next_seq_ = 0;
+  f64 now_ = 0;
+  i64 halted_count_ = 0;
+  FabricStats stats_;
+  bool loaded_ = false;
+};
+
+} // namespace fvdf::wse

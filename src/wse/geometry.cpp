@@ -1,0 +1,42 @@
+#include "wse/geometry.hpp"
+
+#include "common/error.hpp"
+
+namespace fvdf::wse {
+
+const char* to_string(Dir dir) {
+  switch (dir) {
+  case Dir::Ramp: return "Ramp";
+  case Dir::North: return "North";
+  case Dir::East: return "East";
+  case Dir::South: return "South";
+  case Dir::West: return "West";
+  }
+  return "?";
+}
+
+Dir arrival_side(Dir dir) {
+  switch (dir) {
+  case Dir::North: return Dir::South;
+  case Dir::South: return Dir::North;
+  case Dir::East: return Dir::West;
+  case Dir::West: return Dir::East;
+  case Dir::Ramp: break;
+  }
+  throw Error("arrival_side: not a cardinal direction");
+}
+
+std::optional<PeCoord> neighbor(const PeCoord& at, Dir dir, i64 width, i64 height) {
+  PeCoord n = at;
+  switch (dir) {
+  case Dir::North: n.y -= 1; break;
+  case Dir::South: n.y += 1; break;
+  case Dir::East: n.x += 1; break;
+  case Dir::West: n.x -= 1; break;
+  case Dir::Ramp: throw Error("neighbor: Ramp has no neighbor");
+  }
+  if (n.x < 0 || n.x >= width || n.y < 0 || n.y >= height) return std::nullopt;
+  return n;
+}
+
+} // namespace fvdf::wse

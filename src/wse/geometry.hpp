@@ -1,0 +1,63 @@
+#pragma once
+// Fabric geometry: PE coordinates and router link directions.
+//
+// Orientation follows the paper (Sec. III-B): the *northbound* neighbor of
+// PE (x, y) is (x, y-1) and the southbound neighbor is (x, y+1) — screen
+// coordinates with row 0 at the top. East is +x.
+
+#include <array>
+#include <optional>
+
+#include "common/types.hpp"
+
+namespace fvdf::wse {
+
+/// Router link. Ramp connects the router to its own PE; the four cardinal
+/// links connect to neighboring routers.
+enum class Dir : u8 { Ramp = 0, North = 1, East = 2, South = 3, West = 4 };
+
+constexpr std::array<Dir, 5> kAllDirs = {Dir::Ramp, Dir::North, Dir::East,
+                                         Dir::South, Dir::West};
+constexpr std::array<Dir, 4> kCardinalDirs = {Dir::North, Dir::East, Dir::South,
+                                              Dir::West};
+
+const char* to_string(Dir dir);
+
+/// The cardinal direction a wavelet leaving through `dir` *arrives from* at
+/// the neighboring router (East exit -> arrives from West).
+Dir arrival_side(Dir dir);
+
+/// Bitmask over Dir used in switch positions (rx / tx sets).
+class DirMask {
+public:
+  constexpr DirMask() = default;
+  constexpr explicit DirMask(u8 bits) : bits_(bits) {}
+
+  static constexpr DirMask of(Dir dir) { return DirMask(static_cast<u8>(1u << static_cast<u8>(dir))); }
+  template <typename... Dirs> static constexpr DirMask of(Dir first, Dirs... rest) {
+    return DirMask(static_cast<u8>(of(first).bits() | of(rest...).bits()));
+  }
+
+  constexpr bool contains(Dir dir) const {
+    return (bits_ & (1u << static_cast<u8>(dir))) != 0;
+  }
+  constexpr bool empty() const { return bits_ == 0; }
+  constexpr u8 bits() const { return bits_; }
+  constexpr bool operator==(const DirMask&) const = default;
+
+private:
+  u8 bits_ = 0;
+};
+
+/// PE coordinate on the 2D fabric.
+struct PeCoord {
+  i64 x = 0;
+  i64 y = 0;
+  bool operator==(const PeCoord&) const = default;
+};
+
+/// Neighbor coordinate in the given cardinal direction, or nullopt when it
+/// would fall outside a width x height fabric.
+std::optional<PeCoord> neighbor(const PeCoord& at, Dir dir, i64 width, i64 height);
+
+} // namespace fvdf::wse

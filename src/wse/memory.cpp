@@ -1,0 +1,89 @@
+#include "wse/memory.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace fvdf::wse {
+
+PeMemory::PeMemory(u64 capacity_bytes, u64 reserved_bytes)
+    : capacity_(capacity_bytes), reserved_(reserved_bytes) {
+  FVDF_CHECK_MSG(reserved_ < capacity_, "reserve exceeds PE memory capacity");
+  storage_.resize(capacity_ - reserved_, 0);
+}
+
+u32 PeMemory::alloc_raw(const std::string& name, u32 bytes) {
+  // 4-byte aligned bump allocation.
+  const u32 aligned = (bytes + 3u) & ~3u;
+  if (used_ + aligned > capacity_ - reserved_) {
+    std::ostringstream os;
+    os << "PE memory overflow allocating '" << name << "' (" << bytes
+       << " B): used " << used_ << " of " << (capacity_ - reserved_)
+       << " allocatable B (capacity " << capacity_ << ", reserved " << reserved_
+       << ")\n"
+       << allocation_map();
+    throw Error(os.str());
+  }
+  const u32 offset = static_cast<u32>(used_);
+  used_ += aligned;
+  allocations_.push_back({name, offset, aligned});
+  return offset;
+}
+
+MemSpan PeMemory::alloc_f32(const std::string& name, u32 count) {
+  const u32 offset_bytes = alloc_raw(name, count * 4u);
+  return MemSpan{offset_bytes / 4u, count};
+}
+
+MemSpan PeMemory::alloc_bytes(const std::string& name, u32 count) {
+  const u32 offset_bytes = alloc_raw(name, count);
+  // For byte spans, offset_words carries the *byte* offset and length the
+  // byte count; byte accessors interpret it that way.
+  return MemSpan{offset_bytes, count};
+}
+
+f32 PeMemory::load(u32 word_offset) const {
+  FVDF_CHECK_MSG(static_cast<u64>(word_offset) * 4 + 4 <= used_,
+                 "load past allocated memory at word " << word_offset);
+  f32 value;
+  std::memcpy(&value, storage_.data() + word_offset * 4u, 4);
+  return value;
+}
+
+void PeMemory::store(u32 word_offset, f32 value) {
+  FVDF_CHECK_MSG(static_cast<u64>(word_offset) * 4 + 4 <= used_,
+                 "store past allocated memory at word " << word_offset);
+  std::memcpy(storage_.data() + word_offset * 4u, &value, 4);
+}
+
+f32* PeMemory::word_ptr(u32 word_offset) {
+  FVDF_CHECK(static_cast<u64>(word_offset) * 4 < used_);
+  return reinterpret_cast<f32*>(storage_.data() + word_offset * 4u);
+}
+
+const f32* PeMemory::word_ptr(u32 word_offset) const {
+  FVDF_CHECK(static_cast<u64>(word_offset) * 4 < used_);
+  return reinterpret_cast<const f32*>(storage_.data() + word_offset * 4u);
+}
+
+u8 PeMemory::load_byte(u32 byte_offset) const {
+  FVDF_CHECK(byte_offset < used_);
+  return storage_[byte_offset];
+}
+
+void PeMemory::store_byte(u32 byte_offset, u8 value) {
+  FVDF_CHECK(byte_offset < used_);
+  storage_[byte_offset] = value;
+}
+
+std::string PeMemory::allocation_map() const {
+  std::ostringstream os;
+  os << "allocation map (" << allocations_.size() << " entries):\n";
+  for (const auto& alloc : allocations_)
+    os << "  [" << alloc.offset_bytes << ", " << alloc.offset_bytes + alloc.size_bytes
+       << ") " << alloc.size_bytes << " B  " << alloc.name << '\n';
+  return os.str();
+}
+
+} // namespace fvdf::wse

@@ -1,0 +1,70 @@
+#pragma once
+// Per-PE local memory: a 48 KiB arena with named, aligned, bump-pointer
+// allocations. There is no free(): like the real CSL programs, device
+// kernels statically lay out their buffers once; the allocator exists to
+// *account* for every byte so that out-of-memory is a first-class,
+// testable failure (the paper's Sec. III-E1 is entirely about fitting the
+// largest possible Nz into 48 KiB).
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fvdf::wse {
+
+/// Handle to an fp32 array inside a PE's memory.
+struct MemSpan {
+  u32 offset_words = 0; // offset in 32-bit words
+  u32 length = 0;       // number of fp32 elements
+};
+
+class PeMemory {
+public:
+  /// `capacity_bytes` models the PE's SRAM; `reserved_bytes` accounts for
+  /// program text + stack (not individually simulated) and is subtracted
+  /// from the allocatable budget.
+  explicit PeMemory(u64 capacity_bytes = 48 * 1024, u64 reserved_bytes = 2048);
+
+  /// Allocates `count` fp32 words. Throws fvdf::Error with a full
+  /// allocation map when the arena would overflow.
+  MemSpan alloc_f32(const std::string& name, u32 count);
+
+  /// Allocates raw bytes (e.g. the Dirichlet mask), 4-byte aligned.
+  MemSpan alloc_bytes(const std::string& name, u32 count);
+
+  u64 capacity_bytes() const { return capacity_; }
+  u64 reserved_bytes() const { return reserved_; }
+  u64 used_bytes() const { return used_; }
+  u64 free_bytes() const { return capacity_ - reserved_ - used_; }
+
+  /// fp32 view of the arena (bounds-checked accessors).
+  f32 load(u32 word_offset) const;
+  void store(u32 word_offset, f32 value);
+  f32* word_ptr(u32 word_offset);
+  const f32* word_ptr(u32 word_offset) const;
+
+  /// Byte view (for mask arrays).
+  u8 load_byte(u32 byte_offset) const;
+  void store_byte(u32 byte_offset, u8 value);
+
+  /// Human-readable allocation map (used in OOM diagnostics and tests).
+  std::string allocation_map() const;
+
+private:
+  struct Allocation {
+    std::string name;
+    u32 offset_bytes;
+    u32 size_bytes;
+  };
+
+  u32 alloc_raw(const std::string& name, u32 bytes);
+
+  u64 capacity_;
+  u64 reserved_;
+  u64 used_ = 0;
+  std::vector<u8> storage_;
+  std::vector<Allocation> allocations_;
+};
+
+} // namespace fvdf::wse

@@ -1,0 +1,77 @@
+#pragma once
+// The SPMD program interface for simulated PEs.
+//
+// A PE program is event-driven, like CSL: it never loops waiting for data.
+// It receives control when (a) the fabric starts (`on_start`) or (b) a task
+// color activates — either a local activation or the completion callback of
+// an asynchronous send/receive. All side effects go through the PeContext.
+
+#include <functional>
+#include <memory>
+
+#include "wse/color.hpp"
+#include "wse/dsd.hpp"
+#include "wse/geometry.hpp"
+#include "wse/memory.hpp"
+#include "wse/router.hpp"
+
+namespace fvdf::wse {
+
+/// Facilities a PE program can use while handling a task. Implemented by
+/// the Fabric; handlers must not retain the reference past their return.
+class PeContext {
+public:
+  virtual ~PeContext() = default;
+
+  virtual PeCoord coord() const = 0;
+  virtual i64 fabric_width() const = 0;
+  virtual i64 fabric_height() const = 0;
+
+  virtual PeMemory& memory() = 0;
+  virtual DsdEngine& dsd() = 0;
+
+  /// Installs a route for `color` on this PE's router.
+  virtual void configure_router(Color color, ColorConfig config) = 0;
+
+  /// Asynchronously sends `src` out on `color` (the router's current switch
+  /// position decides where it goes). If `advance_after` is non-zero, a
+  /// control wavelet trails the data and advances those colors' switch
+  /// positions in every router traversed (Listing 1's mechanism).
+  /// `completion` (if valid) activates locally once the message has left
+  /// the ramp.
+  virtual void send(Color color, Dsd src, ColorMask advance_after = 0,
+                    Color completion = kInvalidColor) = 0;
+
+  /// Sends a data-less control wavelet on `color` advancing `advance`.
+  virtual void send_control(Color color, ColorMask advance) = 0;
+
+  /// Registers an asynchronous receive: the next `dst.length` words
+  /// arriving on `color` land in `dst`, then `completion` activates.
+  virtual void recv(Color color, Dsd dst, Color completion) = 0;
+
+  /// Activates a task color on this PE (local activation).
+  virtual void activate(Color color) = 0;
+
+  /// Advances switch positions on this PE's own router (the
+  /// `mov32(fabric_control, ...)` of Listing 1).
+  virtual void advance_local(ColorMask mask) = 0;
+
+  /// Marks this PE finished; the fabric run completes when all PEs halt.
+  virtual void halt() = 0;
+
+  /// Current task-local time in cycles.
+  virtual f64 now() const = 0;
+};
+
+class PeProgram {
+public:
+  virtual ~PeProgram() = default;
+  /// Runs once at fabric start (cycle 0).
+  virtual void on_start(PeContext& ctx) = 0;
+  /// Runs when `color` activates (local activation or completion callback).
+  virtual void on_task(PeContext& ctx, Color color) = 0;
+};
+
+using ProgramFactory = std::function<std::unique_ptr<PeProgram>(PeCoord)>;
+
+} // namespace fvdf::wse

@@ -1,0 +1,65 @@
+#include "wse/router.hpp"
+
+#include "common/error.hpp"
+
+namespace fvdf::wse {
+
+void Router::configure(Color color, ColorConfig config) {
+  check_routable(color);
+  FVDF_CHECK_MSG(!config.positions.empty(), "router config needs >= 1 switch position");
+  for (const auto& pos : config.positions)
+    FVDF_CHECK_MSG(!pos.rx.empty() && !pos.tx.empty(),
+                   "switch position must have non-empty rx and tx sets");
+  auto& state = colors_[color];
+  state.config = std::move(config);
+  state.current = 0;
+  state.configured = true;
+}
+
+bool Router::is_configured(Color color) const {
+  check_routable(color);
+  return colors_[color].configured;
+}
+
+DirMask Router::route(Color color, Dir from) const {
+  check_routable(color);
+  const auto& state = colors_[color];
+  FVDF_CHECK_MSG(state.configured,
+                 "wavelet on unconfigured color " << static_cast<int>(color));
+  const SwitchPosition& pos = state.config.positions[state.current];
+  FVDF_CHECK_MSG(pos.rx.contains(from),
+                 "misrouted wavelet: color " << static_cast<int>(color)
+                                             << " arrived from " << to_string(from)
+                                             << " at switch position " << state.current);
+  return pos.tx;
+}
+
+bool Router::accepts(Color color, Dir from) const {
+  check_routable(color);
+  const auto& state = colors_[color];
+  FVDF_CHECK_MSG(state.configured,
+                 "wavelet on unconfigured color " << static_cast<int>(color));
+  return state.config.positions[state.current].rx.contains(from);
+}
+
+void Router::advance(ColorMask mask) {
+  for (Color color = 0; color < kNumRoutableColors; ++color) {
+    if ((mask & color_bit(color)) == 0) continue;
+    auto& state = colors_[color];
+    if (!state.configured) continue; // advancing unknown colors is a no-op
+    const u32 last = static_cast<u32>(state.config.positions.size()) - 1;
+    if (state.current < last) {
+      ++state.current;
+    } else if (state.config.ring_mode) {
+      state.current = 0;
+    }
+  }
+}
+
+u32 Router::position(Color color) const {
+  check_routable(color);
+  FVDF_CHECK(colors_[color].configured);
+  return colors_[color].current;
+}
+
+} // namespace fvdf::wse

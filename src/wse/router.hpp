@@ -1,0 +1,64 @@
+#pragma once
+// Per-PE router with CSL-style per-color switch positions.
+//
+// Each routable color has a small list of switch positions, each an
+// {rx, tx} direction set (Listing 1 in the paper). Control wavelets advance
+// the current position of a named set of colors; with ring_mode the
+// position wraps back to 0 after the last one — exactly the mechanism the
+// paper's localized broadcast (Fig. 4) alternates Sending/Receiving roles
+// with.
+
+#include <array>
+#include <vector>
+
+#include "common/types.hpp"
+#include "wse/color.hpp"
+#include "wse/geometry.hpp"
+
+namespace fvdf::wse {
+
+struct SwitchPosition {
+  DirMask rx; // accepted input links
+  DirMask tx; // output links (fanout > 1 = broadcast)
+};
+
+struct ColorConfig {
+  std::vector<SwitchPosition> positions;
+  bool ring_mode = false;
+};
+
+class Router {
+public:
+  /// Installs the route for `color`; resets the current position to 0.
+  void configure(Color color, ColorConfig config);
+
+  bool is_configured(Color color) const;
+
+  /// Output links for a wavelet of `color` arriving from `from`. Throws if
+  /// the color is unconfigured (a program bug, never silent).
+  DirMask route(Color color, Dir from) const;
+
+  /// True when the current switch position accepts wavelets from `from`.
+  /// When false, hardware exerts backpressure: the wavelet stalls on its
+  /// link until a control advances the switch (the fabric models this by
+  /// parking and re-dispatching the flit).
+  bool accepts(Color color, Dir from) const;
+
+  /// Advances the switch position of every color in `mask` (control
+  /// wavelet semantics / fabric_control writes). Without ring_mode the
+  /// position saturates at the last one.
+  void advance(ColorMask mask);
+
+  /// Current switch position index of `color` (for tests/diagnostics).
+  u32 position(Color color) const;
+
+private:
+  struct State {
+    ColorConfig config;
+    u32 current = 0;
+    bool configured = false;
+  };
+  std::array<State, kNumRoutableColors> colors_{};
+};
+
+} // namespace fvdf::wse

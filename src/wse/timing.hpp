@@ -1,0 +1,45 @@
+#pragma once
+// Cycle-approximate timing parameters of the simulated fabric.
+//
+// All times are in clock cycles (f64 so sub-cycle per-element costs like a
+// dual-SIMD 0.5 cycles/element are expressible). The defaults model a
+// WSE-2-like PE: single-ported SRAM at one 32-bit access per cycle per
+// bank pair, so an element-wise op's throughput is bounded by its memory
+// operand count divided by two ports; one word per cycle per fabric link;
+// a couple of cycles per router hop.
+
+#include "common/types.hpp"
+#include "perf/opcount.hpp"
+
+namespace fvdf::wse {
+
+struct TimingParams {
+  f64 clock_hz = 1.1e9;
+
+  // Fabric.
+  f64 hop_latency_cycles = 2.0;   // router traversal latency per hop
+  f64 words_per_cycle_link = 1.0; // link throughput (32-bit words)
+  f64 send_setup_cycles = 10.0;   // ramp injection setup per message
+
+  // PE task machinery.
+  f64 task_dispatch_cycles = 12.0; // activation -> first instruction
+
+  // DSD vector engine.
+  f64 op_issue_cycles = 15.0; // fixed cost to configure/issue one DSD op
+
+  // Per-element throughput per opcode (cycles / element).
+  f64 cycles_per_element(Opcode op) const {
+    const MemTraffic mem = memory_traffic_per_element(op);
+    const f64 accesses = static_cast<f64>(mem.loads + mem.stores);
+    return accesses / mem_ports;
+  }
+  f64 mem_ports = 2.0; // concurrent 32-bit SRAM accesses per cycle
+
+  // Scales all compute costs; 0 reproduces the paper's communication-only
+  // experiment (Table IV: "exclude all floating-point operations").
+  f64 compute_scale = 1.0;
+
+  f64 seconds(f64 cycles) const { return cycles / clock_hz; }
+};
+
+} // namespace fvdf::wse

@@ -1,0 +1,42 @@
+#include "wse/trace.hpp"
+
+#include <sstream>
+
+namespace fvdf::wse {
+
+const char* to_string(TraceEvent event) {
+  switch (event) {
+  case TraceEvent::MessageInjected: return "inject";
+  case TraceEvent::LinkHop: return "hop";
+  case TraceEvent::RampDelivery: return "deliver";
+  case TraceEvent::TaskRun: return "task";
+  case TraceEvent::SwitchAdvance: return "advance";
+  case TraceEvent::FlitStalled: return "stall";
+  case TraceEvent::FaultDrop: return "FAULT-drop";
+  case TraceEvent::FaultCorrupt: return "FAULT-corrupt";
+  }
+  return "?";
+}
+
+u64 TraceBuffer::count(TraceEvent event) const {
+  u64 n = 0;
+  for (const TraceRecord& record : records_)
+    if (record.event == event) ++n;
+  return n;
+}
+
+std::string TraceBuffer::summary() const {
+  std::ostringstream os;
+  os << total_ << " events";
+  constexpr TraceEvent kAll[] = {
+      TraceEvent::MessageInjected, TraceEvent::LinkHop,     TraceEvent::RampDelivery,
+      TraceEvent::TaskRun,         TraceEvent::SwitchAdvance, TraceEvent::FlitStalled,
+      TraceEvent::FaultDrop,       TraceEvent::FaultCorrupt};
+  for (TraceEvent event : kAll) {
+    const u64 n = count(event);
+    if (n != 0) os << ' ' << to_string(event) << '=' << n;
+  }
+  return os.str();
+}
+
+} // namespace fvdf::wse

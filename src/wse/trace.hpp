@@ -1,0 +1,85 @@
+#pragma once
+// Fabric event tracing and fault injection.
+//
+// TraceSink receives one record per simulator event (message injection,
+// link hop, ramp delivery, task execution, switch advance) — the
+// observability a hardware fabric gives through performance counters,
+// plus full payload visibility only a simulator can offer. Traces are the
+// debugging story for device programs: a deadlocked schedule is diagnosed
+// by replaying who sent what where.
+//
+// FaultPlan injects the failure modes a distributed machine fears:
+// dropped messages (a link that eats a wavelet) and corrupted payloads
+// (a flipped bit in one word). The test suite uses these to show the
+// system *detects* such faults — dropped halo data deadlocks the
+// completion-callback protocol rather than silently computing garbage,
+// and corrupted data is caught by the host-side numerical validation.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "wse/color.hpp"
+#include "wse/geometry.hpp"
+
+namespace fvdf::wse {
+
+enum class TraceEvent : u8 {
+  MessageInjected, // PE pushed a message into its router
+  LinkHop,         // message crossed a router-to-router link
+  RampDelivery,    // words landed in a PE's inbox
+  TaskRun,         // a task color executed on a PE
+  SwitchAdvance,   // a router advanced switch positions
+  FlitStalled,     // backpressure parked a flit
+  FaultDrop,       // fault injection removed a message
+  FaultCorrupt,    // fault injection flipped a payload bit
+};
+
+const char* to_string(TraceEvent event);
+
+struct TraceRecord {
+  TraceEvent event = TraceEvent::MessageInjected;
+  f64 cycles = 0;
+  PeCoord at{};
+  Color color = kInvalidColor;
+  u32 words = 0;
+};
+
+/// Receives every record as it happens. Keep it cheap: it runs inside the
+/// event loop.
+using TraceSink = std::function<void(const TraceRecord&)>;
+
+/// A bounded in-memory sink with simple querying, for tests and tools.
+class TraceBuffer {
+public:
+  explicit TraceBuffer(std::size_t capacity = 1 << 20) : capacity_(capacity) {}
+
+  TraceSink sink() {
+    return [this](const TraceRecord& record) {
+      if (records_.size() < capacity_) records_.push_back(record);
+      ++total_;
+    };
+  }
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  u64 total() const { return total_; }
+  u64 count(TraceEvent event) const;
+  std::string summary() const;
+
+private:
+  std::size_t capacity_;
+  std::vector<TraceRecord> records_;
+  u64 total_ = 0;
+};
+
+/// Deterministic fault schedule, applied at message injection time.
+struct FaultPlan {
+  /// Drop the n-th injected data message (1-based); 0 disables.
+  u64 drop_message_index = 0;
+  /// Flip one bit of word 0 of the n-th injected data message; 0 disables.
+  u64 corrupt_message_index = 0;
+  u32 corrupt_bit = 12; // which bit of the fp32 word to flip
+};
+
+} // namespace fvdf::wse

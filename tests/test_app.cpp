@@ -1,0 +1,215 @@
+// Config parser and scenario-driver tests: INI parsing semantics, schema
+// validation (unknown keys rejected), backend selection, end-to-end
+// steady/transient runs with artifact output.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "app/scenario.hpp"
+#include "common/config.hpp"
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+#include "mesh/vtk.hpp"
+
+namespace fvdf {
+namespace {
+
+// ---------- Config ----------
+
+TEST(Config, ParsesSectionsKeysCommentsAndWhitespace) {
+  const auto config = Config::parse_string(R"(
+# top comment
+top = 1
+[mesh]
+nx = 12       ; trailing comment
+  ny=7
+[solver]
+backend = host-pcg
+)");
+  EXPECT_EQ(config.get_i64("top"), 1);
+  EXPECT_EQ(config.get_i64("mesh.nx"), 12);
+  EXPECT_EQ(config.get_i64("mesh.ny"), 7);
+  EXPECT_EQ(config.get_string("solver.backend"), "host-pcg");
+  EXPECT_TRUE(config.has("mesh.nx"));
+  EXPECT_FALSE(config.has("mesh.nz"));
+}
+
+TEST(Config, TypedGettersAndFallbacks) {
+  const auto config = Config::parse_string("[a]\nx = 2.5\nflag = yes\nn = 9\n");
+  EXPECT_DOUBLE_EQ(config.get_f64("a.x"), 2.5);
+  EXPECT_TRUE(config.get_bool("a.flag"));
+  EXPECT_EQ(config.get_i64("a.n"), 9);
+  EXPECT_EQ(config.get_i64("a.missing", 42), 42);
+  EXPECT_DOUBLE_EQ(config.get_f64("a.missing", 1.5), 1.5);
+  EXPECT_FALSE(config.get_bool("a.missing", false));
+  EXPECT_EQ(config.get_string("a.missing", "zzz"), "zzz");
+}
+
+TEST(Config, BooleanSpellings) {
+  const auto config = Config::parse_string(
+      "a = true\nb = ON\nc = 1\nd = false\ne = No\nf = 0\ng = maybe\n");
+  EXPECT_TRUE(config.get_bool("a"));
+  EXPECT_TRUE(config.get_bool("b"));
+  EXPECT_TRUE(config.get_bool("c"));
+  EXPECT_FALSE(config.get_bool("d"));
+  EXPECT_FALSE(config.get_bool("e"));
+  EXPECT_FALSE(config.get_bool("f"));
+  EXPECT_THROW(config.get_bool("g"), Error);
+}
+
+TEST(Config, MalformedInputThrows) {
+  EXPECT_THROW(Config::parse_string("[unclosed\n"), Error);
+  EXPECT_THROW(Config::parse_string("novalue\n"), Error);
+  EXPECT_THROW(Config::parse_string("a = 1\na = 2\n"), Error); // duplicate
+  EXPECT_THROW(Config::parse_string("[]\n"), Error);
+  const auto config = Config::parse_string("x = abc\n");
+  EXPECT_THROW(config.get_i64("x"), Error);
+  EXPECT_THROW(config.get_f64("x"), Error);
+  EXPECT_THROW(config.get_string("missing"), Error);
+}
+
+TEST(Config, KeysAreSorted) {
+  const auto config = Config::parse_string("[b]\nz = 1\n[a]\ny = 2\n");
+  const auto keys = config.keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "a.y");
+  EXPECT_EQ(keys[1], "b.z");
+}
+
+// ---------- scenario building ----------
+
+TEST(Scenario, DefaultsAreSane) {
+  const auto scenario = app::scenario_from_config(Config::parse_string(""));
+  EXPECT_EQ(scenario.problem->mesh().nx(), 8);
+  EXPECT_EQ(scenario.backend, app::Backend::HostPcg);
+  EXPECT_FALSE(scenario.transient);
+}
+
+TEST(Scenario, UnknownKeysAreRejected) {
+  EXPECT_THROW(app::scenario_from_config(
+                   Config::parse_string("[mesh]\nnx = 4\nxn = 4\n")),
+               Error);
+}
+
+TEST(Scenario, RateInjectorBuildsSources) {
+  const auto scenario = app::scenario_from_config(Config::parse_string(
+      "[mesh]\nnx = 6\nny = 6\nnz = 2\n[wells]\ninjector_kind = rate\nrate = 3.0\n"));
+  ASSERT_TRUE(scenario.problem->has_sources());
+  f64 total = 0;
+  for (f64 q : scenario.problem->sources()) total += q;
+  EXPECT_NEAR(total, 3.0, 1e-12);
+  // Only the producer column is pressure-pinned.
+  EXPECT_EQ(scenario.problem->bc().size(), 2u);
+  std::ostringstream log;
+  const auto outcome = app::run_scenario(scenario, log);
+  EXPECT_TRUE(outcome.converged);
+  EXPECT_LT(outcome.residual_norm, 1e-6);
+}
+
+TEST(Scenario, UnknownInjectorKindRejected) {
+  EXPECT_THROW(app::scenario_from_config(
+                   Config::parse_string("[wells]\ninjector_kind = magic\n")),
+               Error);
+}
+
+TEST(Scenario, UnknownGeomodelAndBackendRejected) {
+  EXPECT_THROW(app::scenario_from_config(
+                   Config::parse_string("[perm]\nkind = granite\n")),
+               Error);
+  EXPECT_THROW(app::scenario_from_config(
+                   Config::parse_string("[solver]\nbackend = quantum\n")),
+               Error);
+}
+
+TEST(Scenario, GeomodelKindsBuild) {
+  for (const char* kind : {"homogeneous", "layered", "lognormal", "channelized"}) {
+    std::ostringstream text;
+    text << "[mesh]\nnx = 6\nny = 6\nnz = 4\n[perm]\nkind = " << kind << "\n";
+    const auto scenario = app::scenario_from_config(Config::parse_string(text.str()));
+    EXPECT_EQ(scenario.problem->mesh().cell_count(), 144);
+  }
+}
+
+// ---------- end-to-end runs ----------
+
+app::Scenario small_scenario(const std::string& extra) {
+  return app::scenario_from_config(Config::parse_string(
+      "[mesh]\nnx = 8\nny = 8\nnz = 3\n[solver]\ntolerance = 1e-20\n" + extra));
+}
+
+TEST(Scenario, SteadyRunsOnAllBackends) {
+  std::vector<std::vector<f64>> solutions;
+  for (const char* backend : {"host", "host-pcg", "dataflow"}) {
+    auto scenario = small_scenario(std::string("[output]\nheatmap = false\n"));
+    scenario.backend = backend == std::string("host")      ? app::Backend::HostCg
+                       : backend == std::string("host-pcg") ? app::Backend::HostPcg
+                                                            : app::Backend::Dataflow;
+    if (scenario.backend == app::Backend::Dataflow) scenario.tolerance = 1e-13;
+    std::ostringstream log;
+    const auto outcome = app::run_scenario(scenario, log);
+    EXPECT_TRUE(outcome.converged) << backend;
+    EXPECT_LT(outcome.residual_norm, 1e-4) << backend;
+    solutions.push_back(outcome.pressure);
+    EXPECT_NE(log.str().find("iterations"), std::string::npos);
+  }
+  // All backends agree on the physics.
+  for (std::size_t i = 0; i < solutions[0].size(); ++i) {
+    EXPECT_NEAR(solutions[1][i], solutions[0][i], 1e-6);
+    EXPECT_NEAR(solutions[2][i], solutions[0][i], 1e-4);
+  }
+}
+
+TEST(Scenario, TransientHostAndDeviceRun) {
+  for (const bool device : {false, true}) {
+    auto scenario = small_scenario("[transient]\nenabled = true\ndt = 0.5\nsteps = 3\n");
+    scenario.backend = device ? app::Backend::Dataflow : app::Backend::HostPcg;
+    if (device) scenario.tolerance = 1e-14;
+    std::ostringstream log;
+    const auto outcome = app::run_scenario(scenario, log);
+    EXPECT_TRUE(outcome.converged);
+    EXPECT_GT(outcome.iterations, 0u);
+  }
+}
+
+TEST(Scenario, WritesVtkAndCheckpointArtifacts) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string vtk = (dir / "fvdf_app_test.vtk").string();
+  const std::string ckpt = (dir / "fvdf_app_test.ckpt").string();
+  auto scenario = small_scenario("");
+  scenario.vtk_path = vtk;
+  scenario.checkpoint_path = ckpt;
+  std::ostringstream log;
+  const auto outcome = app::run_scenario(scenario, log);
+  ASSERT_TRUE(outcome.converged);
+
+  std::ifstream vtk_in(vtk);
+  std::string first_line;
+  std::getline(vtk_in, first_line);
+  EXPECT_EQ(first_line, "# vtk DataFile Version 3.0");
+
+  const auto checkpoint = load_checkpoint(ckpt);
+  EXPECT_EQ(checkpoint.nx, 8);
+  EXPECT_EQ(checkpoint.field("pressure").size(), outcome.pressure.size());
+  for (std::size_t i = 0; i < outcome.pressure.size(); ++i)
+    EXPECT_EQ(checkpoint.field("pressure")[i], outcome.pressure[i]);
+  std::filesystem::remove(vtk);
+  std::filesystem::remove(ckpt);
+}
+
+TEST(Vtk, ValidatesInputs) {
+  const CartesianMesh3D mesh(2, 2, 2);
+  std::vector<f64> good(8, 1.0), bad(5, 1.0);
+  const auto path =
+      (std::filesystem::temp_directory_path() / "fvdf_vtk_test.vtk").string();
+  EXPECT_THROW(write_vtk(path, mesh, {{"p", &bad}}), Error);
+  EXPECT_THROW(write_vtk(path, mesh, {{"bad name", &good}}), Error);
+  EXPECT_THROW(write_vtk(path, mesh, {}), Error);
+  EXPECT_NO_THROW(write_vtk(path, mesh, {{"p", &good}, {"k", &good}}));
+  std::filesystem::remove(path);
+}
+
+} // namespace
+} // namespace fvdf

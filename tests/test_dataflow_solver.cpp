@@ -1,0 +1,131 @@
+// End-to-end tests of the dataflow FV solver on the simulated fabric:
+// numerical agreement with the f64 host oracle across fabric shapes
+// (odd/even extents exercise the parity-dependent Table-I schedule),
+// permeability fields, flux-kernel modes and column depths.
+
+#include <gtest/gtest.h>
+
+#include "core/solver.hpp"
+#include "core/validation.hpp"
+#include "fv/problem.hpp"
+#include "solver/pressure_solve.hpp"
+
+namespace fvdf::core {
+namespace {
+
+DataflowConfig tight_config(FluxMode mode = FluxMode::Fused) {
+  DataflowConfig config;
+  config.flux_mode = mode;
+  config.tolerance = 1e-12f; // on r^T r
+  config.max_iterations = 2000;
+  return config;
+}
+
+TEST(DataflowSolver, SolvesTinyHomogeneousProblem) {
+  const auto problem = FlowProblem::homogeneous_column(3, 3, 4);
+  const auto result = solve_dataflow(problem, tight_config());
+  EXPECT_TRUE(result.converged);
+  EXPECT_GT(result.iterations, 0u);
+
+  const auto report = compare_with_host(problem, result, 1e-20);
+  EXPECT_LT(report.rel_l2_error, 1e-5);
+  EXPECT_LT(report.host_residual_norm, 1e-4);
+}
+
+TEST(DataflowSolver, MatchesHostOnHeterogeneousProblem) {
+  const auto problem = FlowProblem::quarter_five_spot(6, 5, 8, /*seed=*/42);
+  const auto result = solve_dataflow(problem, tight_config());
+  EXPECT_TRUE(result.converged);
+  const auto report = compare_with_host(problem, result, 1e-22);
+  EXPECT_LT(report.rel_l2_error, 2e-5) << report.summary();
+}
+
+TEST(DataflowSolver, OnTheFlyModeMatchesFusedMode) {
+  const auto problem = FlowProblem::quarter_five_spot(5, 4, 6, /*seed=*/7);
+  const auto fused = solve_dataflow(problem, tight_config(FluxMode::Fused));
+  const auto otf = solve_dataflow(problem, tight_config(FluxMode::OnTheFly));
+  ASSERT_TRUE(fused.converged);
+  ASSERT_TRUE(otf.converged);
+  for (std::size_t i = 0; i < fused.pressure.size(); ++i)
+    EXPECT_NEAR(fused.pressure[i], otf.pressure[i], 1e-4f);
+}
+
+struct ShapeParam {
+  i64 nx, ny, nz;
+};
+
+class DataflowShapes : public ::testing::TestWithParam<ShapeParam> {};
+
+TEST_P(DataflowShapes, ConvergesAndMatchesHost) {
+  const auto [nx, ny, nz] = GetParam();
+  const auto problem = FlowProblem::quarter_five_spot(nx, ny, nz, /*seed=*/13, 0.5);
+  const auto result = solve_dataflow(problem, tight_config());
+  EXPECT_TRUE(result.converged) << nx << "x" << ny << "x" << nz;
+  const auto report = compare_with_host(problem, result, 1e-22);
+  EXPECT_LT(report.rel_l2_error, 5e-5)
+      << nx << "x" << ny << "x" << nz << ": " << report.summary();
+}
+
+// Odd/even fabric extents exercise all parity paths of the Table-I
+// schedule; 1-wide fabrics exercise the degenerate edge cases.
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DataflowShapes,
+    ::testing::Values(ShapeParam{2, 2, 3}, ShapeParam{3, 3, 3}, ShapeParam{4, 3, 5},
+                      ShapeParam{3, 4, 5}, ShapeParam{5, 5, 2}, ShapeParam{1, 5, 4},
+                      ShapeParam{5, 1, 4}, ShapeParam{1, 1, 6}, ShapeParam{7, 2, 3},
+                      ShapeParam{2, 7, 3}, ShapeParam{6, 6, 1}, ShapeParam{8, 7, 4}));
+
+TEST(DataflowSolver, JxOnlyModeRunsFixedIterations) {
+  const auto problem = FlowProblem::homogeneous_column(4, 4, 6);
+  DataflowConfig config;
+  config.jx_only = true;
+  config.max_iterations = 10;
+  const auto result = solve_dataflow(problem, config);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.iterations, 10u);
+  EXPECT_GT(result.device_cycles, 0.0);
+}
+
+TEST(DataflowSolver, DeviceIterationCountTracksHostF32) {
+  const auto problem = FlowProblem::quarter_five_spot(5, 5, 5, /*seed=*/3, 0.5);
+  const auto result = solve_dataflow(problem, tight_config());
+
+  CgOptions options;
+  options.tolerance = 1e-12;
+  const auto host = solve_pressure_host_f32(problem, options);
+  ASSERT_TRUE(result.converged);
+  ASSERT_TRUE(host.cg.converged);
+  // fp32 reduction orders differ (device reduces along chains), so allow a
+  // small iteration-count drift.
+  const i64 device_iters = static_cast<i64>(result.iterations);
+  const i64 host_iters = static_cast<i64>(host.cg.iterations);
+  EXPECT_NEAR(static_cast<double>(device_iters), static_cast<double>(host_iters),
+              std::max<double>(3.0, 0.2 * static_cast<double>(host_iters)));
+}
+
+TEST(DataflowSolver, CommOnlyTimingIsCheaperThanFullRun) {
+  const auto problem = FlowProblem::homogeneous_column(4, 4, 8);
+  DataflowConfig full;
+  full.jx_only = true;
+  full.max_iterations = 5;
+  const auto with_compute = solve_dataflow(problem, full);
+
+  DataflowConfig comm_only = full;
+  comm_only.timing.compute_scale = 0.0; // Table IV's FLOP-free run
+  const auto without_compute = solve_dataflow(problem, comm_only);
+
+  EXPECT_LT(without_compute.device_cycles, with_compute.device_cycles);
+  // Identical traffic either way.
+  EXPECT_EQ(without_compute.fabric.words_delivered, with_compute.fabric.words_delivered);
+}
+
+TEST(DataflowSolver, ReportsFabricTraffic) {
+  const auto problem = FlowProblem::homogeneous_column(3, 3, 4);
+  const auto result = solve_dataflow(problem, tight_config());
+  EXPECT_GT(result.fabric.messages_sent, 0u);
+  EXPECT_GT(result.fabric.words_delivered, 0u);
+  EXPECT_GT(result.counters.total_flops(), 0u);
+}
+
+} // namespace
+} // namespace fvdf::core

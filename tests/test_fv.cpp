@@ -1,0 +1,311 @@
+// FV layer tests: residual (Eq. 3) and flux (Eq. 4) semantics, matrix-free
+// operator (Eq. 6) correctness and SPD structure, agreement between the
+// matrix-free and assembled-CSR operators, threaded-apply equivalence,
+// and DiscreteSystem lowering.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "fv/assembled.hpp"
+#include "fv/operator.hpp"
+#include "fv/problem.hpp"
+#include "fv/residual.hpp"
+#include "solver/dense.hpp"
+
+namespace fvdf {
+namespace {
+
+std::vector<f64> random_vector(std::size_t n, Rng& rng) {
+  std::vector<f64> v(n);
+  for (auto& value : v) value = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+// ---------- Residual / flux (Eq. 3 & 4) ----------
+
+TEST(Residual, UniformPressureHasZeroInteriorResidual) {
+  const auto problem = FlowProblem::homogeneous_column(4, 4, 3);
+  // Constant field: all fluxes vanish; Dirichlet rows read p - p^D.
+  std::vector<f64> p(static_cast<std::size_t>(problem.mesh().cell_count()), 7.0);
+  const auto r = compute_residual(problem.mesh(), problem.transmissibility(),
+                                  problem.mobility(), problem.bc(), p);
+  for (CellIndex k = 0; k < problem.mesh().cell_count(); ++k) {
+    if (problem.bc().contains(k)) {
+      EXPECT_DOUBLE_EQ(r[static_cast<std::size_t>(k)], 7.0 - problem.bc().value(k));
+    } else {
+      EXPECT_NEAR(r[static_cast<std::size_t>(k)], 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Residual, InitialGuessSatisfyingBcHasZeroDirichletResidual) {
+  const auto problem = FlowProblem::quarter_five_spot(5, 4, 3, 11);
+  const auto p = problem.initial_pressure(0.3);
+  const auto r = compute_residual(problem.mesh(), problem.transmissibility(),
+                                  problem.mobility(), problem.bc(), p);
+  for (const auto& [idx, value] : problem.bc().sorted())
+    EXPECT_DOUBLE_EQ(r[static_cast<std::size_t>(idx)], 0.0);
+}
+
+TEST(Flux, IsAntisymmetricAcrossInterface) {
+  const auto problem = FlowProblem::quarter_five_spot(4, 4, 4, 3);
+  Rng rng(1);
+  const auto p = random_vector(static_cast<std::size_t>(problem.mesh().cell_count()), rng);
+  const CellCoord c{1, 2, 1};
+  for (Face face : kAllFaces) {
+    const auto nb = problem.mesh().neighbor(c, face);
+    ASSERT_TRUE(nb);
+    const f64 f_kl = interfacial_flux(problem.mesh(), problem.transmissibility(),
+                                      problem.mobility(), p, c, face);
+    const f64 f_lk = interfacial_flux(problem.mesh(), problem.transmissibility(),
+                                      problem.mobility(), p, *nb, opposite(face));
+    EXPECT_NEAR(f_kl, -f_lk, 1e-12); // mass conservation at the interface
+  }
+}
+
+TEST(Flux, IsZeroAtDomainBoundary) {
+  const auto problem = FlowProblem::homogeneous_column(3, 3, 3);
+  Rng rng(2);
+  const auto p = random_vector(27, rng);
+  EXPECT_DOUBLE_EQ(interfacial_flux(problem.mesh(), problem.transmissibility(),
+                                    problem.mobility(), p, {0, 1, 1}, Face::West),
+                   0.0);
+}
+
+TEST(Flux, ScalesWithMobility) {
+  // Halving viscosity doubles mobility and hence the flux.
+  const CartesianMesh3D mesh(2, 1, 1);
+  auto perm = perm::homogeneous(mesh, 1.0);
+  DirichletSet bc;
+  const FlowProblem thin(mesh, perm, /*viscosity=*/1.0, bc);
+  const FlowProblem thick(mesh, perm, /*viscosity=*/2.0, bc);
+  const std::vector<f64> p = {1.0, 0.0};
+  const f64 f_thin = interfacial_flux(mesh, thin.transmissibility(), thin.mobility(),
+                                      p, {0, 0, 0}, Face::East);
+  const f64 f_thick = interfacial_flux(mesh, thick.transmissibility(),
+                                       thick.mobility(), p, {0, 0, 0}, Face::East);
+  EXPECT_NEAR(f_thin, 2.0 * f_thick, 1e-14);
+}
+
+// ---------- Matrix-free operator (Eq. 6) ----------
+
+TEST(MatrixFreeOperator, DirichletRowsAreIdentity) {
+  const auto problem = FlowProblem::quarter_five_spot(3, 3, 2, 5);
+  const auto sys = problem.discretize<f64>();
+  const MatrixFreeOperator<f64> op(sys);
+  Rng rng(4);
+  const auto x = random_vector(static_cast<std::size_t>(sys.cell_count()), rng);
+  std::vector<f64> y(x.size());
+  op.apply(x.data(), y.data());
+  for (const auto& [idx, value] : problem.bc().sorted())
+    EXPECT_DOUBLE_EQ(y[static_cast<std::size_t>(idx)], x[static_cast<std::size_t>(idx)]);
+}
+
+TEST(MatrixFreeOperator, AnnihilatesConstantsWithoutBc) {
+  // With no Dirichlet rows the operator is a (negative) graph Laplacian:
+  // constants are in its null space.
+  const CartesianMesh3D mesh(4, 3, 3);
+  const FlowProblem problem(mesh, perm::homogeneous(mesh, 2.0), 1.0, DirichletSet{});
+  const auto sys = problem.discretize<f64>();
+  const MatrixFreeOperator<f64> op(sys);
+  std::vector<f64> ones(static_cast<std::size_t>(sys.cell_count()), 1.0);
+  std::vector<f64> y(ones.size());
+  op.apply(ones.data(), y.data());
+  for (f64 v : y) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+TEST(MatrixFreeOperator, InteriorBlockIsSymmetric) {
+  const auto problem = FlowProblem::quarter_five_spot(3, 3, 3, 7);
+  const auto sys = problem.discretize<f64>();
+  const MatrixFreeOperator<f64> op(sys);
+  const auto n = static_cast<std::size_t>(sys.cell_count());
+  Rng rng(8);
+  // Restrict probes to the subspace with zero Dirichlet entries — the
+  // subspace CG actually operates in (see DESIGN.md).
+  auto probe = [&] {
+    auto v = random_vector(n, rng);
+    for (const auto& [idx, value] : problem.bc().sorted())
+      v[static_cast<std::size_t>(idx)] = 0.0;
+    return v;
+  };
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto u = probe();
+    const auto v = probe();
+    std::vector<f64> au(n), av(n);
+    op.apply(u.data(), au.data());
+    op.apply(v.data(), av.data());
+    f64 v_au = 0, u_av = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      v_au += v[i] * au[i];
+      u_av += u[i] * av[i];
+    }
+    EXPECT_NEAR(v_au, u_av, 1e-10 * std::max(std::fabs(v_au), 1.0));
+  }
+}
+
+TEST(MatrixFreeOperator, IsPositiveDefiniteOnConstrainedSubspace) {
+  const auto problem = FlowProblem::quarter_five_spot(4, 4, 2, 9);
+  const auto sys = problem.discretize<f64>();
+  const MatrixFreeOperator<f64> op(sys);
+  const auto n = static_cast<std::size_t>(sys.cell_count());
+  Rng rng(10);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto x = random_vector(n, rng);
+    for (const auto& [idx, value] : problem.bc().sorted())
+      x[static_cast<std::size_t>(idx)] = 0.0;
+    std::vector<f64> y(n);
+    op.apply(x.data(), y.data());
+    f64 xy = 0;
+    for (std::size_t i = 0; i < n; ++i) xy += x[i] * y[i];
+    EXPECT_GT(xy, 0.0);
+  }
+}
+
+TEST(MatrixFreeOperator, ThreadedApplyMatchesSerial) {
+  const auto problem = FlowProblem::quarter_five_spot(6, 5, 4, 21);
+  const auto sys = problem.discretize<f64>();
+  const MatrixFreeOperator<f64> op(sys);
+  const auto n = static_cast<std::size_t>(sys.cell_count());
+  Rng rng(12);
+  const auto x = random_vector(n, rng);
+  std::vector<f64> serial(n), threaded(n);
+  op.apply(x.data(), serial.data());
+  ThreadPool pool(3);
+  op.apply_threaded(x.data(), threaded.data(), pool);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_DOUBLE_EQ(serial[i], threaded[i]);
+}
+
+TEST(MatrixFreeOperator, FlopCountMatchesPaperAccounting) {
+  // 3x3x3 without BCs: every cell-face pair counts 14 FLOPs.
+  const CartesianMesh3D mesh(3, 3, 3);
+  const FlowProblem problem(mesh, perm::homogeneous(mesh, 1.0), 1.0, DirichletSet{});
+  const auto sys = problem.discretize<f64>();
+  const MatrixFreeOperator<f64> op(sys);
+  // Faces incident per axis: 2*(nx-1)*ny*nz etc. (each interior face
+  // counted once per adjacent cell).
+  const u64 face_incidences = 2 * (2 * 3 * 3) * 3;
+  EXPECT_EQ(op.flop_count(), 14 * face_incidences);
+}
+
+// ---------- Assembled CSR baseline ----------
+
+TEST(AssembledOperator, MatchesMatrixFreeOnRandomVectors) {
+  const auto problem = FlowProblem::quarter_five_spot(5, 4, 3, 31);
+  const auto sys = problem.discretize<f64>();
+  const MatrixFreeOperator<f64> mf(sys);
+  const AssembledOperator<f64> asm_op(sys);
+  const auto n = static_cast<std::size_t>(sys.cell_count());
+  Rng rng(14);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto x = random_vector(n, rng);
+    std::vector<f64> y1(n), y2(n);
+    mf.apply(x.data(), y1.data());
+    asm_op.apply(x.data(), y2.data());
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(y1[i], y2[i], 1e-12);
+  }
+}
+
+TEST(AssembledOperator, HasSevenPointStructure) {
+  const CartesianMesh3D mesh(3, 3, 3);
+  const FlowProblem problem(mesh, perm::homogeneous(mesh, 1.0), 1.0, DirichletSet{});
+  const auto sys = problem.discretize<f64>();
+  const AssembledOperator<f64> op(sys);
+  // Center cell has a full 7-point row.
+  const CellIndex center = mesh.index(1, 1, 1);
+  const auto row_len = op.row_ptr()[static_cast<std::size_t>(center) + 1] -
+                       op.row_ptr()[static_cast<std::size_t>(center)];
+  EXPECT_EQ(row_len, 7);
+  // Corner cell: diagonal + 3 neighbors.
+  const auto corner_len = op.row_ptr()[1] - op.row_ptr()[0];
+  EXPECT_EQ(corner_len, 4);
+}
+
+TEST(AssembledOperator, RowSumsVanishWithoutBc) {
+  // Each interior row of the Laplacian-like operator sums to zero.
+  const CartesianMesh3D mesh(4, 3, 2);
+  Rng rng(15);
+  auto field = perm::lognormal(mesh, rng, 0.0, 1.0);
+  const FlowProblem problem(mesh, std::move(field), 1.0, DirichletSet{});
+  const auto sys = problem.discretize<f64>();
+  const AssembledOperator<f64> op(sys);
+  for (CellIndex row = 0; row < op.size(); ++row) {
+    f64 sum = 0;
+    for (CellIndex e = op.row_ptr()[static_cast<std::size_t>(row)];
+         e < op.row_ptr()[static_cast<std::size_t>(row) + 1]; ++e)
+      sum += op.values()[static_cast<std::size_t>(e)];
+    EXPECT_NEAR(sum, 0.0, 1e-12);
+  }
+}
+
+TEST(AssembledOperator, MatrixBytesExceedMatrixFreeData) {
+  // The motivation for matrix-free (Sec. II-A): CSR storage dwarfs the
+  // problem data itself.
+  const auto problem = FlowProblem::quarter_five_spot(10, 10, 10, 1);
+  const auto sys = problem.discretize<f32>();
+  const AssembledOperator<f32> op(sys);
+  EXPECT_GT(op.matrix_bytes(), sys.data_bytes());
+}
+
+TEST(AssembledOperator, DenseProbeIsSymmetricOnConstrainedSubspace) {
+  const auto problem = FlowProblem::quarter_five_spot(3, 3, 2, 2);
+  const auto sys = problem.discretize<f64>();
+  const AssembledOperator<f64> op(sys);
+  const auto n = static_cast<std::size_t>(sys.cell_count());
+  const DenseMatrix dense = DenseMatrix::from_operator(
+      [&](const f64* x, f64* y) { op.apply(x, y); }, n);
+  // Zero out Dirichlet rows/columns, then check symmetry of the rest.
+  f64 defect = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (problem.bc().contains(static_cast<CellIndex>(i)) ||
+          problem.bc().contains(static_cast<CellIndex>(j)))
+        continue;
+      defect = std::max(defect, std::fabs(dense.at(i, j) - dense.at(j, i)));
+    }
+  EXPECT_LT(defect, 1e-12);
+}
+
+// ---------- Problem / DiscreteSystem ----------
+
+TEST(Problem, DiscretizeLowersAllArrays) {
+  const auto problem = FlowProblem::quarter_five_spot(4, 3, 2, 6);
+  const auto sys = problem.discretize<f32>();
+  EXPECT_EQ(sys.nx, 4);
+  EXPECT_EQ(sys.ny, 3);
+  EXPECT_EQ(sys.nz, 2);
+  EXPECT_EQ(sys.lambda.size(), 24u);
+  EXPECT_EQ(sys.tx.size(), 3u * 3 * 2);
+  EXPECT_EQ(sys.ty.size(), 4u * 2 * 2);
+  EXPECT_EQ(sys.tz.size(), 4u * 3 * 1);
+  EXPECT_EQ(sys.dirichlet.size(), 24u);
+  u32 pinned = 0;
+  for (u8 m : sys.dirichlet) pinned += m;
+  EXPECT_EQ(pinned, 4u); // two corner wells x nz=2
+}
+
+TEST(Problem, InitialPressureHonorsBcAndGuess) {
+  const auto problem = FlowProblem::homogeneous_column(3, 3, 2);
+  const auto p = problem.initial_pressure(0.25);
+  for (CellIndex k = 0; k < problem.mesh().cell_count(); ++k) {
+    if (problem.bc().contains(k)) {
+      EXPECT_DOUBLE_EQ(p[static_cast<std::size_t>(k)], problem.bc().value(k));
+    } else {
+      EXPECT_DOUBLE_EQ(p[static_cast<std::size_t>(k)], 0.25);
+    }
+  }
+}
+
+TEST(Problem, F32LoweringIsCloseToF64) {
+  const auto problem = FlowProblem::quarter_five_spot(4, 4, 3, 99);
+  const auto sys64 = problem.discretize<f64>();
+  const auto sys32 = problem.discretize<f32>();
+  for (std::size_t i = 0; i < sys64.tx.size(); ++i)
+    EXPECT_NEAR(static_cast<f64>(sys32.tx[i]), sys64.tx[i],
+                1e-6 * std::max(1.0, std::fabs(sys64.tx[i])));
+}
+
+} // namespace
+} // namespace fvdf

@@ -1,0 +1,242 @@
+// GPU reference-implementation tests: CUDA-model grid/block mapping
+// (including non-multiple-of-block dims with guard threads), kernel
+// correctness against the host operator, reduction correctness, CG solve
+// agreement, and the analytic timing model's shape.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "fv/operator.hpp"
+#include "fv/problem.hpp"
+#include "gpu/cuda_model.hpp"
+#include "gpu/gpu_solver.hpp"
+#include "gpu/kernels.hpp"
+#include "solver/pressure_solve.hpp"
+
+namespace fvdf::gpu {
+namespace {
+
+// ---------- grid/block mapping ----------
+
+TEST(CudaModel, GridCoversBoxExactly) {
+  const Dim3 grid = grid_for(33, 9, 17); // none are multiples of 16/8/8
+  EXPECT_EQ(grid.x, 3u);
+  EXPECT_EQ(grid.y, 2u);
+  EXPECT_EQ(grid.z, 3u);
+}
+
+TEST(CudaModel, PaperBlockShapeIs1024Threads) {
+  EXPECT_EQ(kPaperBlockDim.count(), 1024u);
+  EXPECT_EQ(kPaperBlockDim.x, 16u); // innermost = 16 (Sec. IV)
+}
+
+TEST(CudaModel, LaunchVisitsEveryThreadExactlyOnce) {
+  CudaDevice device(GpuSpec::a100(), 2);
+  std::vector<std::atomic<int>> hits(4 * 3 * 2);
+  device.launch(Dim3{2, 1, 1}, Dim3{2, 3, 2}, 0, [&](const ThreadCtx& t) {
+    const u64 flat = t.gz() * 12 + t.gy() * 4 + t.gx();
+    hits[flat].fetch_add(1);
+  });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(CudaModel, RejectsOversizedBlocks) {
+  CudaDevice device(GpuSpec::a100(), 1);
+  EXPECT_THROW(device.launch(Dim3{1, 1, 1}, Dim3{32, 32, 2}, 0, [](const ThreadCtx&) {}),
+               Error);
+}
+
+TEST(CudaModel, AccountingAccumulatesAndResets) {
+  CudaDevice device(GpuSpec::a100(), 1);
+  device.launch(Dim3{1, 1, 1}, Dim3{1, 1, 1}, 100, [](const ThreadCtx&) {});
+  device.launch(Dim3{1, 1, 1}, Dim3{1, 1, 1}, 50, [](const ThreadCtx&) {});
+  device.memcpy_traffic(7);
+  EXPECT_EQ(device.kernel_launches(), 2u);
+  EXPECT_EQ(device.hbm_traffic_bytes(), 150u);
+  EXPECT_EQ(device.memcpy_bytes(), 7u);
+  device.reset_accounting();
+  EXPECT_EQ(device.kernel_launches(), 0u);
+}
+
+// ---------- kernels vs host operator ----------
+
+TEST(GpuKernels, JxMatchesHostOperator) {
+  // 17x5x3 is deliberately not divisible by the 16x8x8 block shape, so the
+  // guard-thread path is exercised alongside exact-fit shapes.
+  for (const auto [nx, ny, nz] : {std::array<i64, 3>{17, 5, 3},
+                                  std::array<i64, 3>{16, 8, 8},
+                                  std::array<i64, 3>{3, 3, 9}}) {
+    const auto problem = FlowProblem::quarter_five_spot(nx, ny, nz, 42);
+    const auto sys = problem.discretize<f32>();
+    CudaDevice device(GpuSpec::a100(), 2);
+    const DeviceSystem dev_sys = DeviceSystem::upload(device, sys);
+
+    const auto n = static_cast<std::size_t>(sys.cell_count());
+    Rng rng(7);
+    std::vector<f32> x(n), q_gpu(n), q_host(n);
+    for (auto& v : x) v = static_cast<f32>(rng.uniform(-1, 1));
+
+    launch_jx(device, dev_sys, x.data(), q_gpu.data());
+    const MatrixFreeOperator<f32> host_op(sys);
+    host_op.apply(x.data(), q_host.data());
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_FLOAT_EQ(q_gpu[i], q_host[i]) << nx << "x" << ny << "x" << nz;
+  }
+}
+
+TEST(GpuKernels, InitialResidualZeroesDirichletRows) {
+  const auto problem = FlowProblem::homogeneous_column(4, 4, 3);
+  const auto sys = problem.discretize<f32>();
+  CudaDevice device(GpuSpec::a100(), 1);
+  const DeviceSystem dev_sys = DeviceSystem::upload(device, sys);
+  const auto p0_host = problem.initial_pressure();
+  std::vector<f32> p0(p0_host.begin(), p0_host.end());
+  std::vector<f32> r(p0.size());
+  launch_initial_residual(device, dev_sys, p0.data(), r.data());
+  for (const auto& [idx, value] : problem.bc().sorted())
+    EXPECT_EQ(r[static_cast<std::size_t>(idx)], 0.0f);
+  // Interior rows next to the injector must feel the pressure difference.
+  f32 max_abs = 0;
+  for (f32 v : r) max_abs = std::max(max_abs, std::fabs(v));
+  EXPECT_GT(max_abs, 0.0f);
+}
+
+TEST(GpuKernels, VectorKernels) {
+  CudaDevice device(GpuSpec::a100(), 1);
+  const u64 n = 1000;
+  std::vector<f32> x(n, 2.0f), y(n, 1.0f);
+  launch_axpy(device, 3.0f, x.data(), y.data(), n);
+  for (f32 v : y) EXPECT_FLOAT_EQ(v, 7.0f);
+  launch_xpby(device, x.data(), 0.5f, y.data(), n);
+  for (f32 v : y) EXPECT_FLOAT_EQ(v, 5.5f);
+}
+
+TEST(GpuKernels, DotMatchesSerialForAwkwardLengths) {
+  CudaDevice device(GpuSpec::a100(), 2);
+  Rng rng(9);
+  for (u64 n : {1ull, 255ull, 256ull, 257ull, 10000ull}) {
+    std::vector<f32> a(n), b(n);
+    f64 expected = 0;
+    for (u64 i = 0; i < n; ++i) {
+      a[i] = static_cast<f32>(rng.uniform(-1, 1));
+      b[i] = static_cast<f32>(rng.uniform(-1, 1));
+      expected += static_cast<f64>(a[i]) * static_cast<f64>(b[i]);
+    }
+    const f64 got = launch_dot(device, a.data(), b.data(), n);
+    EXPECT_NEAR(got, expected, 1e-3 + 1e-5 * static_cast<f64>(n)) << "n=" << n;
+  }
+}
+
+TEST(GpuKernels, CsrSpmvMatchesMatrixFreeKernel) {
+  const auto problem = FlowProblem::quarter_five_spot(7, 6, 4, 3);
+  const auto sys = problem.discretize<f32>();
+  CudaDevice device(GpuSpec::a100(), 1);
+  const DeviceSystem dev_sys = DeviceSystem::upload(device, sys);
+  const DeviceCsr csr = assemble_csr(device, sys);
+  EXPECT_GT(csr.bytes(), sys.data_bytes()); // the storage matrix-free avoids
+
+  const auto n = static_cast<std::size_t>(sys.cell_count());
+  Rng rng(4);
+  std::vector<f32> x(n), q_mf(n), q_csr(n);
+  for (auto& v : x) v = static_cast<f32>(rng.uniform(-1, 1));
+  launch_jx(device, dev_sys, x.data(), q_mf.data());
+  launch_spmv(device, csr, x.data(), q_csr.data());
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(q_mf[i], q_csr[i], 1e-4f);
+}
+
+TEST(GpuKernels, SpmvTrafficExceedsMatrixFreeTraffic) {
+  const auto problem = FlowProblem::quarter_five_spot(8, 8, 8, 1);
+  const auto sys = problem.discretize<f32>();
+  CudaDevice device(GpuSpec::a100(), 1);
+  const DeviceSystem dev_sys = DeviceSystem::upload(device, sys);
+  const DeviceCsr csr = assemble_csr(device, sys);
+  EXPECT_GT(nominal_spmv_traffic(csr), nominal_jx_traffic(dev_sys));
+}
+
+// ---------- end-to-end GPU solve ----------
+
+TEST(GpuSolver, MatchesHostPressureSolve) {
+  const auto problem = FlowProblem::quarter_five_spot(8, 7, 4, 1001);
+  GpuFvSolver solver(problem, GpuSpec::a100(), 2);
+  GpuSolveConfig config;
+  config.tolerance = 1e-12;
+  const auto result = solver.solve(config);
+  ASSERT_TRUE(result.converged);
+
+  CgOptions host_options;
+  host_options.tolerance = 1e-22;
+  const auto host = solve_pressure_host(problem, host_options);
+  for (std::size_t i = 0; i < host.pressure.size(); ++i)
+    EXPECT_NEAR(static_cast<f64>(result.pressure[i]), host.pressure[i], 5e-5);
+}
+
+TEST(GpuSolver, CountsLaunchesAndTraffic) {
+  const auto problem = FlowProblem::homogeneous_column(6, 6, 4);
+  GpuFvSolver solver(problem, GpuSpec::a100(), 1);
+  GpuSolveConfig config;
+  config.tolerance = 1e-12;
+  const auto result = solver.solve(config);
+  ASSERT_TRUE(result.converged);
+  // Per iteration: jx + 2x2 dot launches + 2 axpy + xpby = 8-ish, plus setup.
+  EXPECT_GT(result.kernel_launches, 6 * result.iterations);
+  EXPECT_GT(result.nominal_hbm_bytes, 0u);
+  EXPECT_GT(result.modeled_seconds, 0.0);
+}
+
+TEST(GpuSolver, MatrixBasedSolveMatchesMatrixFree) {
+  const auto problem = FlowProblem::quarter_five_spot(6, 6, 4, 17);
+  GpuFvSolver solver(problem, GpuSpec::a100(), 1);
+  GpuSolveConfig config;
+  config.tolerance = 1e-12;
+  const auto mf = solver.solve(config);
+  const auto csr = solver.solve_matrix_based(config);
+  ASSERT_TRUE(mf.converged);
+  ASSERT_TRUE(csr.converged);
+  EXPECT_EQ(mf.iterations, csr.iterations); // identical arithmetic path
+  for (std::size_t i = 0; i < mf.pressure.size(); ++i)
+    EXPECT_NEAR(mf.pressure[i], csr.pressure[i], 1e-4f);
+  // The matrix-based path moves more HBM bytes and models slower.
+  EXPECT_GT(csr.nominal_hbm_bytes, mf.nominal_hbm_bytes);
+  EXPECT_GT(csr.modeled_seconds, mf.modeled_seconds);
+}
+
+TEST(GpuSolver, JxOnlyModeCountsExactLaunches) {
+  const auto problem = FlowProblem::homogeneous_column(5, 5, 3);
+  GpuFvSolver solver(problem, GpuSpec::a100(), 1);
+  const auto result = solver.run_jx_only(7);
+  EXPECT_EQ(result.kernel_launches, 7u);
+  EXPECT_EQ(result.iterations, 7u);
+}
+
+// ---------- analytic timing model shape ----------
+
+TEST(GpuModel, TimeScalesWithCellsAndIterations) {
+  const GpuAnalyticModel model(GpuSpec::a100());
+  EXPECT_GT(model.alg2_time(2'000'000, 10), model.alg2_time(1'000'000, 10));
+  EXPECT_GT(model.alg2_time(1'000'000, 20), model.alg2_time(1'000'000, 10));
+  EXPECT_GT(model.alg1_time(1'000'000, 10), model.alg2_time(1'000'000, 10));
+}
+
+TEST(GpuModel, OccupancyRampPenalizesSmallGrids) {
+  const GpuAnalyticModel model(GpuSpec::a100());
+  // Per-cell time decreases with size (Table III's small-grid inefficiency).
+  const f64 small = model.alg2_time(36'880'000, 1) / 36'880'000;
+  const f64 large = model.alg2_time(687'351'000, 1) / 687'351'000;
+  EXPECT_GT(small, 1.5 * large);
+  EXPECT_LT(model.occupancy(1'000'000), model.occupancy(100'000'000));
+  EXPECT_LT(model.occupancy(1u << 30), 1.0);
+}
+
+TEST(GpuModel, H100IsFasterThanA100ByRoughlyBandwidthRatio) {
+  const GpuAnalyticModel a100(GpuSpec::a100());
+  const GpuAnalyticModel h100(GpuSpec::h100());
+  const u64 cells = 687'351'000;
+  const f64 ratio = a100.alg1_time(cells, 225) / h100.alg1_time(cells, 225);
+  EXPECT_GT(ratio, 1.7); // paper Table II: 23.19 / 11.39 = 2.04
+  EXPECT_LT(ratio, 2.4);
+}
+
+} // namespace
+} // namespace fvdf::gpu

@@ -1,0 +1,302 @@
+// Mesh layer tests: indexing layout (X innermost, Z outermost), neighbor
+// topology, face indexing, permeability generators, TPFA transmissibility
+// properties (harmonic mean, symmetry, boundary behavior), Dirichlet sets.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "mesh/bc.hpp"
+#include "mesh/cartesian.hpp"
+#include "mesh/fields.hpp"
+#include "mesh/transmissibility.hpp"
+
+namespace fvdf {
+namespace {
+
+// ---------- CartesianMesh3D ----------
+
+TEST(Mesh, IndexLayoutIsXInnermostZOutermost) {
+  const CartesianMesh3D mesh(4, 3, 2);
+  EXPECT_EQ(mesh.index(0, 0, 0), 0);
+  EXPECT_EQ(mesh.index(1, 0, 0), 1);      // +1 in x moves by 1
+  EXPECT_EQ(mesh.index(0, 1, 0), 4);      // +1 in y moves by nx
+  EXPECT_EQ(mesh.index(0, 0, 1), 12);     // +1 in z moves by nx*ny
+  EXPECT_EQ(mesh.index(3, 2, 1), 23);
+  EXPECT_EQ(mesh.cell_count(), 24);
+}
+
+TEST(Mesh, CoordRoundTripsIndex) {
+  const CartesianMesh3D mesh(5, 4, 3);
+  for (CellIndex k = 0; k < mesh.cell_count(); ++k) {
+    const CellCoord c = mesh.coord(k);
+    EXPECT_EQ(mesh.index(c), k);
+  }
+}
+
+TEST(Mesh, RejectsInvalidDimensions) {
+  EXPECT_THROW(CartesianMesh3D(0, 1, 1), Error);
+  EXPECT_THROW(CartesianMesh3D(1, -2, 1), Error);
+  EXPECT_THROW(CartesianMesh3D(1, 1, 1, 0.0), Error);
+}
+
+TEST(Mesh, InteriorCellHasSixNeighbors) {
+  const CartesianMesh3D mesh(3, 3, 3);
+  const CellCoord center{1, 1, 1};
+  int count = 0;
+  for (Face face : kAllFaces)
+    if (mesh.neighbor(center, face)) ++count;
+  EXPECT_EQ(count, 6); // the 7-point stencil of Fig. 1
+}
+
+TEST(Mesh, CornerCellHasThreeNeighbors) {
+  const CartesianMesh3D mesh(3, 3, 3);
+  int count = 0;
+  for (Face face : kAllFaces)
+    if (mesh.neighbor({0, 0, 0}, face)) ++count;
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Mesh, NeighborDirectionsAreCorrect) {
+  const CartesianMesh3D mesh(3, 3, 3);
+  const CellCoord c{1, 1, 1};
+  EXPECT_EQ(mesh.neighbor(c, Face::West)->x, 0);
+  EXPECT_EQ(mesh.neighbor(c, Face::East)->x, 2);
+  EXPECT_EQ(mesh.neighbor(c, Face::South)->y, 0);
+  EXPECT_EQ(mesh.neighbor(c, Face::North)->y, 2);
+  EXPECT_EQ(mesh.neighbor(c, Face::Down)->z, 0);
+  EXPECT_EQ(mesh.neighbor(c, Face::Up)->z, 2);
+}
+
+TEST(Mesh, OppositeFacesPairUp) {
+  for (Face face : kAllFaces) EXPECT_EQ(opposite(opposite(face)), face);
+  EXPECT_EQ(opposite(Face::West), Face::East);
+  EXPECT_EQ(opposite(Face::Down), Face::Up);
+}
+
+TEST(Mesh, FaceGeometryMatchesSpacing) {
+  const CartesianMesh3D mesh(2, 2, 2, 1.0, 2.0, 4.0);
+  EXPECT_DOUBLE_EQ(mesh.face_area(Face::East), 8.0);  // dy*dz
+  EXPECT_DOUBLE_EQ(mesh.face_area(Face::North), 4.0); // dx*dz
+  EXPECT_DOUBLE_EQ(mesh.face_area(Face::Up), 2.0);    // dx*dy
+  EXPECT_DOUBLE_EQ(mesh.center_distance(Face::East), 1.0);
+  EXPECT_DOUBLE_EQ(mesh.center_distance(Face::North), 2.0);
+  EXPECT_DOUBLE_EQ(mesh.center_distance(Face::Up), 4.0);
+  EXPECT_DOUBLE_EQ(mesh.cell_volume(), 8.0);
+}
+
+TEST(Mesh, FaceCountsMatchFormula) {
+  const CartesianMesh3D mesh(5, 4, 3);
+  EXPECT_EQ(mesh.x_face_count(), 4 * 4 * 3);
+  EXPECT_EQ(mesh.y_face_count(), 5 * 3 * 3);
+  EXPECT_EQ(mesh.z_face_count(), 5 * 4 * 2);
+}
+
+TEST(Mesh, FaceIndicesAreDenseAndUnique) {
+  const CartesianMesh3D mesh(4, 3, 2);
+  std::vector<bool> seen(static_cast<std::size_t>(mesh.x_face_count()), false);
+  for (i64 z = 0; z < 2; ++z)
+    for (i64 y = 0; y < 3; ++y)
+      for (i64 x = 0; x < 3; ++x) {
+        const CellIndex f = mesh.x_face_index(x, y, z);
+        ASSERT_GE(f, 0);
+        ASSERT_LT(f, mesh.x_face_count());
+        EXPECT_FALSE(seen[static_cast<std::size_t>(f)]);
+        seen[static_cast<std::size_t>(f)] = true;
+      }
+  for (bool b : seen) EXPECT_TRUE(b);
+}
+
+TEST(Mesh, DescribeMentionsDims) {
+  const CartesianMesh3D mesh(7, 8, 9);
+  EXPECT_NE(mesh.describe().find("7x8x9"), std::string::npos);
+}
+
+// ---------- CellField & permeability generators ----------
+
+TEST(Fields, HomogeneousIsConstant) {
+  const CartesianMesh3D mesh(3, 3, 3);
+  const auto field = perm::homogeneous(mesh, 5.0);
+  for (f64 v : field.data()) EXPECT_DOUBLE_EQ(v, 5.0);
+}
+
+TEST(Fields, HomogeneousRejectsNonPositive) {
+  const CartesianMesh3D mesh(2, 2, 2);
+  EXPECT_THROW(perm::homogeneous(mesh, 0.0), Error);
+}
+
+TEST(Fields, LayeredAlternatesByThickness) {
+  const CartesianMesh3D mesh(2, 2, 6);
+  const auto field = perm::layered(mesh, 1.0, 100.0, 2);
+  EXPECT_DOUBLE_EQ(field.at(0, 0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(field.at(0, 0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(field.at(0, 0, 2), 100.0);
+  EXPECT_DOUBLE_EQ(field.at(0, 0, 3), 100.0);
+  EXPECT_DOUBLE_EQ(field.at(0, 0, 4), 1.0);
+}
+
+TEST(Fields, LognormalIsPositiveAndHeterogeneous) {
+  const CartesianMesh3D mesh(6, 6, 4);
+  Rng rng(5);
+  const auto field = perm::lognormal(mesh, rng, 0.0, 1.0);
+  f64 lo = 1e300, hi = -1e300;
+  for (f64 v : field.data()) {
+    EXPECT_GT(v, 0.0);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_GT(hi / lo, 1.5); // actually heterogeneous
+}
+
+TEST(Fields, LognormalSmoothingReducesVariance) {
+  const CartesianMesh3D mesh(8, 8, 4);
+  Rng rng1(5), rng2(5);
+  const auto rough = perm::lognormal(mesh, rng1, 0.0, 1.0, /*smoothing=*/0);
+  const auto smooth = perm::lognormal(mesh, rng2, 0.0, 1.0, /*smoothing=*/3);
+  auto log_variance = [](const CellField<f64>& f) {
+    f64 mean = 0;
+    for (f64 v : f.data()) mean += std::log(v);
+    mean /= static_cast<f64>(f.size());
+    f64 var = 0;
+    for (f64 v : f.data()) var += (std::log(v) - mean) * (std::log(v) - mean);
+    return var / static_cast<f64>(f.size());
+  };
+  EXPECT_LT(log_variance(smooth), log_variance(rough));
+}
+
+TEST(Fields, ChannelizedContainsBothValues) {
+  const CartesianMesh3D mesh(16, 8, 4);
+  Rng rng(17);
+  const auto field = perm::channelized(mesh, rng, 1.0, 1000.0, 3);
+  bool has_background = false, has_channel = false;
+  for (f64 v : field.data()) {
+    if (v == 1.0) has_background = true;
+    if (v == 1000.0) has_channel = true;
+  }
+  EXPECT_TRUE(has_background);
+  EXPECT_TRUE(has_channel);
+}
+
+TEST(Fields, ConstantMobilityIsInverseViscosity) {
+  const CartesianMesh3D mesh(2, 2, 2);
+  const auto mob = constant_mobility(mesh, 4.0);
+  for (f64 v : mob.data()) EXPECT_DOUBLE_EQ(v, 0.25);
+}
+
+// ---------- Transmissibility ----------
+
+TEST(Transmissibility, HarmonicMeanProperties) {
+  EXPECT_DOUBLE_EQ(harmonic_mean(2.0, 2.0), 2.0); // equal values
+  EXPECT_DOUBLE_EQ(harmonic_mean(1.0, 0.0), 0.0); // impermeable side kills flux
+  EXPECT_DOUBLE_EQ(harmonic_mean(0.0, 5.0), 0.0);
+  // Dominated by the smaller value.
+  EXPECT_LT(harmonic_mean(1.0, 1000.0), 2.0001);
+  EXPECT_GT(harmonic_mean(1.0, 1000.0), 1.0);
+  // Symmetry.
+  EXPECT_DOUBLE_EQ(harmonic_mean(3.0, 7.0), harmonic_mean(7.0, 3.0));
+}
+
+TEST(Transmissibility, HomogeneousUnitMeshGivesUnitFactors) {
+  const CartesianMesh3D mesh(3, 3, 3);
+  const auto field = perm::homogeneous(mesh, 1.0);
+  const auto trans = compute_transmissibility(mesh, field);
+  // A/d = 1 for unit cubes; harmonic(1,1) = 1.
+  for (f64 t : trans.x_faces) EXPECT_DOUBLE_EQ(t, 1.0);
+  for (f64 t : trans.y_faces) EXPECT_DOUBLE_EQ(t, 1.0);
+  for (f64 t : trans.z_faces) EXPECT_DOUBLE_EQ(t, 1.0);
+}
+
+TEST(Transmissibility, AnisotropicSpacingScalesGeometry) {
+  const CartesianMesh3D mesh(2, 2, 2, 2.0, 1.0, 1.0);
+  const auto field = perm::homogeneous(mesh, 1.0);
+  const auto trans = compute_transmissibility(mesh, field);
+  // X faces: A = dy*dz = 1, d = dx = 2 -> 0.5.
+  EXPECT_DOUBLE_EQ(trans.x_faces[0], 0.5);
+  // Y faces: A = dx*dz = 2, d = dy = 1 -> 2.
+  EXPECT_DOUBLE_EQ(trans.y_faces[0], 2.0);
+}
+
+TEST(Transmissibility, AtReturnsZeroOnBoundary) {
+  const CartesianMesh3D mesh(3, 3, 3);
+  const auto field = perm::homogeneous(mesh, 1.0);
+  const auto trans = compute_transmissibility(mesh, field);
+  EXPECT_DOUBLE_EQ(trans.at(mesh, {0, 1, 1}, Face::West), 0.0);
+  EXPECT_DOUBLE_EQ(trans.at(mesh, {2, 1, 1}, Face::East), 0.0);
+  EXPECT_DOUBLE_EQ(trans.at(mesh, {1, 0, 1}, Face::South), 0.0);
+  EXPECT_DOUBLE_EQ(trans.at(mesh, {1, 2, 1}, Face::North), 0.0);
+  EXPECT_DOUBLE_EQ(trans.at(mesh, {1, 1, 0}, Face::Down), 0.0);
+  EXPECT_DOUBLE_EQ(trans.at(mesh, {1, 1, 2}, Face::Up), 0.0);
+}
+
+TEST(Transmissibility, AtIsSymmetricAcrossTheFace) {
+  const CartesianMesh3D mesh(4, 4, 4);
+  Rng rng(3);
+  const auto field = perm::lognormal(mesh, rng, 0.0, 1.0);
+  const auto trans = compute_transmissibility(mesh, field);
+  for (Face face : kAllFaces) {
+    const CellCoord c{1, 2, 1};
+    const auto nb = mesh.neighbor(c, face);
+    ASSERT_TRUE(nb);
+    EXPECT_DOUBLE_EQ(trans.at(mesh, c, face), trans.at(mesh, *nb, opposite(face)));
+  }
+}
+
+TEST(Transmissibility, LowPermeabilityLayerThrottlesVerticalFlow) {
+  const CartesianMesh3D mesh(2, 2, 3);
+  auto field = perm::homogeneous(mesh, 100.0);
+  field.at(0, 0, 1) = 1e-6; // a shale streak in the middle cell
+  const auto trans = compute_transmissibility(mesh, field);
+  const f64 across = trans.at(mesh, {0, 0, 0}, Face::Up);
+  EXPECT_LT(across, 1e-5);
+}
+
+// ---------- DirichletSet ----------
+
+TEST(Dirichlet, PinAndLookup) {
+  DirichletSet set;
+  set.pin(3, 1.5);
+  EXPECT_TRUE(set.contains(3));
+  EXPECT_FALSE(set.contains(4));
+  EXPECT_DOUBLE_EQ(set.value(3), 1.5);
+  EXPECT_THROW(set.value(4), Error);
+}
+
+TEST(Dirichlet, RepinOverwrites) {
+  DirichletSet set;
+  set.pin(1, 1.0);
+  set.pin(1, 2.0);
+  EXPECT_DOUBLE_EQ(set.value(1), 2.0);
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(Dirichlet, SortedIsAscending) {
+  DirichletSet set;
+  set.pin(9, 1.0);
+  set.pin(2, 2.0);
+  set.pin(5, 3.0);
+  const auto sorted = set.sorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].first, 2);
+  EXPECT_EQ(sorted[1].first, 5);
+  EXPECT_EQ(sorted[2].first, 9);
+}
+
+TEST(Dirichlet, InjectorProducerPinsFullCornerColumns) {
+  const CartesianMesh3D mesh(4, 5, 3);
+  const auto set = DirichletSet::injector_producer(mesh, 10.0, 1.0);
+  EXPECT_EQ(set.size(), 6u); // 2 wells x nz
+  for (i64 z = 0; z < 3; ++z) {
+    EXPECT_DOUBLE_EQ(set.value(mesh.index(0, 0, z)), 10.0);
+    EXPECT_DOUBLE_EQ(set.value(mesh.index(3, 4, z)), 1.0);
+  }
+}
+
+TEST(Dirichlet, RejectsNegativeIndex) {
+  DirichletSet set;
+  EXPECT_THROW(set.pin(-1, 0.0), Error);
+}
+
+} // namespace
+} // namespace fvdf

@@ -1,0 +1,230 @@
+// Performance-model tests: op-count ledger arithmetic (the Table V
+// bookkeeping), roofline math (Fig. 6), machine specs, and the calibrated
+// CS-2 analytic model reproducing the paper's own numbers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "perf/analytic.hpp"
+#include "perf/machine.hpp"
+#include "perf/opcount.hpp"
+#include "perf/roofline.hpp"
+
+namespace fvdf {
+namespace {
+
+// ---------- OpCounters ----------
+
+TEST(OpCounters, FlopsPerElementMatchPaperAccounting) {
+  // Table V: FMA counts 2 FLOPs, FMOV 0, everything else 1.
+  EXPECT_EQ(flops_per_element(Opcode::FMA), 2u);
+  EXPECT_EQ(flops_per_element(Opcode::FMOV), 0u);
+  EXPECT_EQ(flops_per_element(Opcode::FMUL), 1u);
+  EXPECT_EQ(flops_per_element(Opcode::FSUB), 1u);
+  EXPECT_EQ(flops_per_element(Opcode::FADD), 1u);
+  EXPECT_EQ(flops_per_element(Opcode::FNEG), 1u);
+}
+
+TEST(OpCounters, MemoryTrafficMatchesTableV) {
+  // "FMUL: 2 loads, 1 store ... FNEG: 1 load, 1 store ... FMA: 3 loads,
+  // 1 store" (Table V).
+  EXPECT_EQ(memory_traffic_per_element(Opcode::FMUL).loads, 2u);
+  EXPECT_EQ(memory_traffic_per_element(Opcode::FMUL).stores, 1u);
+  EXPECT_EQ(memory_traffic_per_element(Opcode::FNEG).loads, 1u);
+  EXPECT_EQ(memory_traffic_per_element(Opcode::FMA).loads, 3u);
+  EXPECT_EQ(memory_traffic_per_element(Opcode::FADD).stores, 1u);
+}
+
+TEST(OpCounters, RecordAccumulates) {
+  OpCounters counters;
+  counters.record(Opcode::FMUL, 10);
+  counters.record(Opcode::FMA, 5);
+  EXPECT_EQ(counters.count(Opcode::FMUL), 10u);
+  EXPECT_EQ(counters.total_flops(), 10u + 2 * 5);
+  EXPECT_EQ(counters.memory_loads(), 2u * 10 + 3 * 5);
+  EXPECT_EQ(counters.memory_stores(), 15u);
+  EXPECT_EQ(counters.memory_bytes(), 4 * (35u + 15u));
+}
+
+TEST(OpCounters, FabricMovesChargeOneMemorySide) {
+  OpCounters counters;
+  counters.record(Opcode::FMOV, 8, /*fabric_loads=*/8, 0); // receive
+  EXPECT_EQ(counters.memory_stores(), 8u);
+  EXPECT_EQ(counters.memory_loads(), 0u);
+  EXPECT_EQ(counters.fabric_loads(), 8u);
+  counters.record(Opcode::FMOV, 4, 0, /*fabric_stores=*/4); // send
+  EXPECT_EQ(counters.memory_loads(), 4u);
+  EXPECT_EQ(counters.fabric_stores(), 4u);
+  EXPECT_EQ(counters.fabric_bytes(), 4u * 12);
+}
+
+TEST(OpCounters, PlusAndMinusCompose) {
+  OpCounters a, b;
+  a.record(Opcode::FADD, 10);
+  b.record(Opcode::FADD, 4);
+  b.record(Opcode::FMA, 2);
+  a += b;
+  EXPECT_EQ(a.count(Opcode::FADD), 14u);
+  const OpCounters diff = a - b;
+  EXPECT_EQ(diff.count(Opcode::FADD), 10u);
+  EXPECT_EQ(diff.count(Opcode::FMA), 0u);
+}
+
+TEST(OpCounters, MinusUnderflowThrows) {
+  OpCounters a, b;
+  b.record(Opcode::FADD, 1);
+  EXPECT_THROW(a - b, Error);
+}
+
+TEST(OpCounters, SummaryListsNonZeroOps) {
+  OpCounters counters;
+  counters.record(Opcode::FNEG, 3);
+  const std::string summary = counters.summary();
+  EXPECT_NE(summary.find("FNEG=3"), std::string::npos);
+  EXPECT_EQ(summary.find("FMUL"), std::string::npos);
+}
+
+// ---------- Roofline ----------
+
+TEST(Roofline, AttainableIsMinOfPeakAndBandwidthLine) {
+  RooflineModel model("test", 1e12);
+  model.add_ceiling({"mem", 1e11}); // ridge at AI = 10
+  EXPECT_DOUBLE_EQ(model.attainable(1.0, 0), 1e11);
+  EXPECT_DOUBLE_EQ(model.attainable(100.0, 0), 1e12);
+  EXPECT_FALSE(model.compute_bound(1.0, 0));
+  EXPECT_TRUE(model.compute_bound(10.0, 0));
+}
+
+TEST(Roofline, TightestCeilingWins) {
+  RooflineModel model("test", 1e12);
+  model.add_ceiling({"fast", 1e11});
+  model.add_ceiling({"slow", 1e9});
+  EXPECT_DOUBLE_EQ(model.attainable(1.0), 1e9);
+}
+
+TEST(Roofline, EfficiencyAgainstAttainable) {
+  RooflineModel model("test", 1e12);
+  model.add_ceiling({"mem", 1e11});
+  RooflinePoint point{"kernel", 100.0, 0.68e12}; // compute-bound region
+  EXPECT_NEAR(model.efficiency(point), 0.68, 1e-12);
+}
+
+TEST(Roofline, PaperCs2NumbersAreConsistent) {
+  // Fig. 6 top: AI 0.0895 F/B (memory) and 3 F/B (fabric); the kernel is
+  // compute-bound for both and reaches 68% of peak.
+  const Cs2Spec spec;
+  RooflineModel model(spec.name, spec.peak_flops_fp32);
+  model.add_ceiling({"memory", spec.peak_mem_bw_bytes});
+  model.add_ceiling({"fabric", spec.peak_fabric_bw_bytes});
+  EXPECT_TRUE(model.compute_bound(0.0895, 0));
+  EXPECT_TRUE(model.compute_bound(3.0, 1));
+  RooflinePoint point{"matrix-free FV", 0.0895, 1.217e15, 0};
+  EXPECT_NEAR(model.efficiency(point), 0.6818, 0.01);
+}
+
+TEST(Roofline, PaperA100IsMemoryBound) {
+  const GpuSpec a100 = GpuSpec::a100();
+  RooflineModel model(a100.name, a100.peak_flops_fp32);
+  model.add_ceiling({"HBM", a100.mem_bw_bytes});
+  // The matrix-free kernel's AI on the GPU sits well below the ridge.
+  const f64 ridge = a100.peak_flops_fp32 / a100.mem_bw_bytes;
+  EXPECT_GT(ridge, 2.0);
+  EXPECT_FALSE(model.compute_bound(0.5, 0));
+}
+
+TEST(Roofline, AsciiChartRendersCeilingsAndPoints) {
+  RooflineModel model("demo", 1e12);
+  model.add_ceiling({"mem", 1e11});
+  model.add_point({"k1", 0.5, 4e10});
+  model.add_point({"k2", 50.0, 6e11});
+  const std::string chart = model.ascii_chart();
+  EXPECT_NE(chart.find('-'), std::string::npos); // flat roof
+  EXPECT_NE(chart.find('/'), std::string::npos); // slanted ceiling
+  EXPECT_NE(chart.find('o'), std::string::npos); // first point
+  EXPECT_NE(chart.find('*'), std::string::npos); // second point
+  EXPECT_NE(chart.find("k1"), std::string::npos);
+}
+
+TEST(Roofline, InputValidation) {
+  EXPECT_THROW(RooflineModel("bad", 0.0), Error);
+  RooflineModel model("ok", 1.0);
+  EXPECT_THROW(model.add_ceiling({"zero", 0.0}), Error);
+  EXPECT_THROW(model.attainable(1.0, 0), Error); // no ceilings yet
+}
+
+// ---------- CS-2 analytic model ----------
+
+TEST(Cs2Model, ReproducesPaperAlg2Time) {
+  const Cs2AnalyticModel model;
+  // Table III: Algorithm 2 takes 0.0122 s for 225 steps at every fabric
+  // size (perfect weak scaling), Nz = 922.
+  EXPECT_NEAR(model.alg2_time(922, 225), 0.0122, 0.0002);
+  EXPECT_DOUBLE_EQ(model.alg2_time(922, 225), model.alg2_time(922, 225));
+}
+
+TEST(Cs2Model, Alg2TimeIsIndependentOfFabricSize) {
+  const Cs2AnalyticModel model;
+  // Weak scaling: Jx time depends only on the column depth.
+  EXPECT_DOUBLE_EQ(model.alg2_time(922, 225), model.alg2_time(922, 225));
+}
+
+TEST(Cs2Model, ReproducesPaperAlg1Endpoints) {
+  const Cs2AnalyticModel model;
+  // The two calibration rows of Table III.
+  EXPECT_NEAR(model.alg1_time(200, 200, 922, 226), 0.0251, 0.0005);
+  EXPECT_NEAR(model.alg1_time(750, 994, 922, 225), 0.0542, 0.0005);
+}
+
+TEST(Cs2Model, PredictsInterpolatedRowsWithin10Percent) {
+  const Cs2AnalyticModel model;
+  // Out-of-sample rows of Table III (Alg. 1 column).
+  struct Row {
+    i64 nx, ny;
+    u64 steps;
+    f64 time;
+  };
+  const Row rows[] = {{400, 400, 225, 0.0337},
+                      {600, 600, 225, 0.0423},
+                      {750, 600, 225, 0.0456},
+                      {750, 800, 225, 0.0500},
+                      {750, 950, 225, 0.0532}};
+  for (const auto& row : rows) {
+    const f64 predicted = model.alg1_time(row.nx, row.ny, 922, row.steps);
+    EXPECT_NEAR(predicted, row.time, 0.1 * row.time)
+        << row.nx << "x" << row.ny;
+  }
+}
+
+TEST(Cs2Model, ThroughputMatchesPaperConvention) {
+  // Table III: 687,351,000 cells, 225 steps, 0.0542 s -> 2855.48 Gcell/s.
+  const f64 thr = Cs2AnalyticModel::throughput(687'351'000, 225, 0.0542);
+  EXPECT_NEAR(thr / 1e9, 2853.0, 10.0);
+}
+
+TEST(Cs2Model, PaperConventionPflopsNear1217) {
+  const Cs2AnalyticModel model;
+  const f64 pflops = model.paper_convention_pflops(750, 994, 922, 225);
+  EXPECT_NEAR(pflops / 1e15, 1.217, 0.03);
+}
+
+TEST(Cs2Model, Alg1GrowsWithFabricPerimeter) {
+  const Cs2AnalyticModel model;
+  EXPECT_GT(model.alg1_time(750, 994, 922, 225), model.alg1_time(200, 200, 922, 225));
+}
+
+TEST(Cs2Spec, DerivedQuantitiesAreSane) {
+  const Cs2Spec spec;
+  EXPECT_EQ(spec.usable_pes(), 750 * 994);
+  EXPECT_NEAR(spec.per_pe_peak_flops(), 1.785e15 / 745500.0, 1.0);
+  EXPECT_GT(spec.per_pe_mem_bw(), spec.per_pe_fabric_bw());
+}
+
+TEST(GpuSpecs, PresetsAreOrdered) {
+  EXPECT_GT(GpuSpec::h100().mem_bw_bytes, GpuSpec::a100().mem_bw_bytes);
+  EXPECT_GT(GpuSpec::a100().mem_bw_bytes, 1e12);
+}
+
+} // namespace
+} // namespace fvdf

@@ -1,0 +1,312 @@
+// Unstructured-mesh tests (the paper's future-work direction): builders,
+// face-list operator equivalence against the structured solver, active-cell
+// masking, the radial sector's geometry, and the fabric-mapping planner.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+#include "fv/operator.hpp"
+#include "fv/problem.hpp"
+#include "solver/pressure_solve.hpp"
+#include "umesh/fabric_map.hpp"
+#include "umesh/mesh.hpp"
+#include "umesh/usolve.hpp"
+
+namespace fvdf::umesh {
+namespace {
+
+// ---------- builders & invariants ----------
+
+TEST(UMesh, FromCartesianHasExpectedCounts) {
+  const CartesianMesh3D mesh(4, 3, 2);
+  const auto field = perm::homogeneous(mesh, 1.0);
+  const auto umesh = UnstructuredMesh::from_cartesian(mesh, field);
+  EXPECT_EQ(umesh.cell_count(), 24);
+  EXPECT_EQ(umesh.faces().size(),
+            static_cast<std::size_t>(mesh.x_face_count() + mesh.y_face_count() +
+                                     mesh.z_face_count()));
+  // 4x3x2 has no fully interior cell: the max degree is 5 (interior in x
+  // and y, boundary in z). A 3x3x3 box has a true 6-neighbor center.
+  EXPECT_EQ(umesh.max_degree(), 5u);
+  EXPECT_TRUE(umesh.connected());
+  EXPECT_TRUE(umesh.has_centroids());
+  const CartesianMesh3D cube(3, 3, 3);
+  const auto cube_field = perm::homogeneous(cube, 1.0);
+  EXPECT_EQ(UnstructuredMesh::from_cartesian(cube, cube_field).max_degree(), 6u);
+}
+
+TEST(UMesh, ValidatesFaceEndpoints) {
+  std::vector<UFace> bad = {{0, 5, 1.0}};
+  EXPECT_THROW(UnstructuredMesh(2, bad, {1.0, 1.0}), Error);
+  std::vector<UFace> self_loop = {{1, 1, 1.0}};
+  EXPECT_THROW(UnstructuredMesh(2, self_loop, {1.0, 1.0}), Error);
+  EXPECT_THROW(UnstructuredMesh(2, {}, {1.0, -1.0}), Error); // bad volume
+}
+
+TEST(UMesh, ActiveCellMaskRemovesCellsAndFaces) {
+  const CartesianMesh3D mesh(3, 3, 1);
+  const auto field = perm::homogeneous(mesh, 1.0);
+  CellField<u8> active(mesh, 1);
+  active.at(1, 1, 0) = 0; // punch out the center: a ring domain
+  std::vector<CellIndex> to_cartesian;
+  const auto ring =
+      UnstructuredMesh::from_active_cells(mesh, field, active, &to_cartesian);
+  EXPECT_EQ(ring.cell_count(), 8);
+  EXPECT_EQ(to_cartesian.size(), 8u);
+  // Ring: 8 faces (each edge cell connects to its two ring neighbors).
+  EXPECT_EQ(ring.faces().size(), 8u);
+  EXPECT_TRUE(ring.connected());
+  // No face may reference the removed center.
+  for (CellIndex orig : to_cartesian) EXPECT_NE(orig, mesh.index(1, 1, 0));
+}
+
+TEST(UMesh, DisconnectedMaskIsDetected) {
+  const CartesianMesh3D mesh(3, 1, 1);
+  const auto field = perm::homogeneous(mesh, 1.0);
+  CellField<u8> active(mesh, 1);
+  active.at(1, 0, 0) = 0; // two isolated cells
+  const auto split = UnstructuredMesh::from_active_cells(mesh, field, active, nullptr);
+  EXPECT_EQ(split.cell_count(), 2);
+  EXPECT_FALSE(split.connected());
+}
+
+TEST(UMesh, RadialSectorGeometry) {
+  const auto ring = UnstructuredMesh::radial_sector(/*nr=*/4, /*ntheta=*/8,
+                                                    /*nz=*/2, 1.0, 3.0, 1.0, 1.0);
+  EXPECT_EQ(ring.cell_count(), 64);
+  EXPECT_TRUE(ring.connected());
+  // Total volume = annulus area * height * nz... = pi(9-1)*1*2 layers.
+  f64 total = 0;
+  for (f64 v : ring.volumes()) total += v;
+  EXPECT_NEAR(total, M_PI * 8.0 * 2.0, 1e-9);
+  // Outer-shell cells are bigger than inner-shell cells.
+  EXPECT_GT(ring.volumes()[3], ring.volumes()[0]);
+}
+
+// ---------- operator / solve equivalence ----------
+
+TEST(USolve, MatchesStructuredSolverOnCartesianMesh) {
+  const auto structured = FlowProblem::quarter_five_spot(5, 4, 3, 42);
+  CgOptions options;
+  options.tolerance = 1e-24;
+  const auto gold = solve_pressure_host(structured, options);
+
+  // Re-express the same problem as a face list.
+  const auto umesh_geom =
+      UnstructuredMesh::from_cartesian(structured.mesh(), structured.permeability());
+  std::vector<f64> mobility(static_cast<std::size_t>(umesh_geom.cell_count()),
+                            structured.mobility().data()[0]);
+  DirichletSet bc;
+  for (const auto& [idx, value] : structured.bc().sorted()) bc.pin(idx, value);
+  const UFlowProblem uproblem(umesh_geom, std::move(mobility), std::move(bc));
+  const auto result = solve_pressure_unstructured(uproblem, options);
+
+  ASSERT_TRUE(result.cg.converged);
+  for (std::size_t i = 0; i < gold.pressure.size(); ++i)
+    EXPECT_NEAR(result.pressure[i], gold.pressure[i], 1e-8);
+}
+
+TEST(USolve, OperatorMatchesStructuredApply) {
+  const auto structured = FlowProblem::quarter_five_spot(4, 4, 2, 9);
+  const auto sys = structured.discretize<f64>();
+  const MatrixFreeOperator<f64> structured_op(sys);
+
+  const auto umesh_geom =
+      UnstructuredMesh::from_cartesian(structured.mesh(), structured.permeability());
+  std::vector<f64> mobility(static_cast<std::size_t>(umesh_geom.cell_count()),
+                            structured.mobility().data()[0]);
+  DirichletSet bc;
+  for (const auto& [idx, value] : structured.bc().sorted()) bc.pin(idx, value);
+  const UFlowProblem uproblem(umesh_geom, std::move(mobility), std::move(bc));
+  const UMatrixFreeOperator uop(uproblem);
+
+  Rng rng(4);
+  const auto n = static_cast<std::size_t>(sys.cell_count());
+  std::vector<f64> x(n), y1(n), y2(n);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  structured_op.apply(x.data(), y1.data());
+  uop.apply(x.data(), y2.data());
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(y1[i], y2[i], 1e-12);
+}
+
+TEST(USolve, MaskedDomainObeysMaximumPrinciple) {
+  // L-shaped domain: mask out a quadrant; pressures stay within well range.
+  const CartesianMesh3D mesh(8, 8, 1);
+  Rng rng(3);
+  const auto field = perm::lognormal(mesh, rng, 0.0, 1.0);
+  CellField<u8> active(mesh, 1);
+  for (i64 y = 4; y < 8; ++y)
+    for (i64 x = 4; x < 8; ++x) active.at(x, y, 0) = 0;
+  std::vector<CellIndex> to_cartesian;
+  const auto lshape =
+      UnstructuredMesh::from_active_cells(mesh, field, active, &to_cartesian);
+  ASSERT_TRUE(lshape.connected());
+
+  // Wells at compact indices of (0,0) and (7,3).
+  DirichletSet bc;
+  for (std::size_t u = 0; u < to_cartesian.size(); ++u) {
+    if (to_cartesian[u] == mesh.index(0, 0, 0)) bc.pin(static_cast<CellIndex>(u), 1.0);
+    if (to_cartesian[u] == mesh.index(7, 3, 0)) bc.pin(static_cast<CellIndex>(u), 0.0);
+  }
+  ASSERT_EQ(bc.size(), 2u);
+  std::vector<f64> mobility(static_cast<std::size_t>(lshape.cell_count()), 1.0);
+  const UFlowProblem problem(lshape, std::move(mobility), std::move(bc));
+  CgOptions options;
+  options.tolerance = 1e-24;
+  const auto result = solve_pressure_unstructured(problem, options);
+  ASSERT_TRUE(result.cg.converged);
+  EXPECT_LT(result.final_residual_norm, 1e-9);
+  for (f64 p : result.pressure) {
+    EXPECT_GE(p, -1e-9);
+    EXPECT_LE(p, 1.0 + 1e-9);
+  }
+}
+
+TEST(USolve, RadialSteadyStateMatchesLogSolution) {
+  // Radial flow between two pressure rings: p(r) ~ log(r), the classic
+  // well-test solution. Pin the inner and outer shells and compare shapes.
+  const i64 nr = 24, ntheta = 12;
+  const f64 r0 = 1.0, r1 = 10.0;
+  const auto ring = UnstructuredMesh::radial_sector(nr, ntheta, 1, r0, r1, 1.0, 1.0);
+  DirichletSet bc;
+  for (i64 it = 0; it < ntheta; ++it) {
+    bc.pin(it * nr + 0, 1.0);      // inner shell
+    bc.pin(it * nr + nr - 1, 0.0); // outer shell
+  }
+  std::vector<f64> mobility(static_cast<std::size_t>(ring.cell_count()), 1.0);
+  const UFlowProblem problem(ring, std::move(mobility), std::move(bc));
+  CgOptions options;
+  options.tolerance = 1e-26;
+  const auto result = solve_pressure_unstructured(problem, options);
+  ASSERT_TRUE(result.cg.converged);
+
+  const f64 dr = (r1 - r0) / static_cast<f64>(nr);
+  for (i64 ir = 1; ir < nr - 1; ++ir) {
+    const f64 r_mid = r0 + (static_cast<f64>(ir) + 0.5) * dr;
+    const f64 r_in = r0 + 0.5 * dr, r_out = r1 - 0.5 * dr;
+    const f64 analytic =
+        1.0 - std::log(r_mid / r_in) / std::log(r_out / r_in);
+    EXPECT_NEAR(result.pressure[static_cast<std::size_t>(ir)], analytic, 0.02)
+        << "shell " << ir;
+  }
+}
+
+TEST(USolve, JacobiAndPlainAgree) {
+  const auto ring = UnstructuredMesh::radial_sector(8, 8, 2, 1.0, 4.0, 1.0, 1.0);
+  DirichletSet bc;
+  bc.pin(0, 1.0);
+  bc.pin(ring.cell_count() - 1, 0.0);
+  std::vector<f64> mobility(static_cast<std::size_t>(ring.cell_count()), 1.0);
+  const UFlowProblem problem(ring, std::move(mobility), std::move(bc));
+  CgOptions options;
+  options.tolerance = 1e-24;
+  const auto plain = solve_pressure_unstructured(problem, options, /*jacobi=*/false);
+  const auto pcg = solve_pressure_unstructured(problem, options, /*jacobi=*/true);
+  for (std::size_t i = 0; i < plain.pressure.size(); ++i)
+    EXPECT_NEAR(plain.pressure[i], pcg.pressure[i], 1e-8);
+}
+
+// ---------- fabric mapping ----------
+
+TEST(FabricMap, Morton2InterleavesBits) {
+  EXPECT_EQ(morton2(0, 0), 0u);
+  EXPECT_EQ(morton2(1, 0), 1u);
+  EXPECT_EQ(morton2(0, 1), 2u);
+  EXPECT_EQ(morton2(3, 5), 0b100111u); // x=11, y=101 -> 10 01 11
+}
+
+TEST(FabricMap, EveryCellAssignedExactlyOnceAndBalanced) {
+  const CartesianMesh3D mesh(10, 10, 4);
+  const auto field = perm::homogeneous(mesh, 1.0);
+  const auto umesh = UnstructuredMesh::from_cartesian(mesh, field);
+  MappingOptions options;
+  options.fabric_width = 5;
+  options.fabric_height = 4;
+  for (MappingStrategy strategy :
+       {MappingStrategy::IndexBlocks, MappingStrategy::MortonSfc,
+        MappingStrategy::Random}) {
+    const Mapping mapping = map_cells(umesh, strategy, options);
+    const MappingReport report = evaluate_mapping(umesh, mapping, options);
+    EXPECT_EQ(report.cells, 400u);
+    EXPECT_EQ(report.min_cells_per_pe, 20u) << to_string(strategy);
+    EXPECT_EQ(report.max_cells_per_pe, 20u) << to_string(strategy);
+    EXPECT_NEAR(report.load_imbalance, 1.0, 1e-12);
+  }
+}
+
+TEST(FabricMap, MortonBeatsRandomOnLocality) {
+  const CartesianMesh3D mesh(16, 16, 4);
+  const auto field = perm::homogeneous(mesh, 1.0);
+  const auto umesh = UnstructuredMesh::from_cartesian(mesh, field);
+  MappingOptions options;
+  options.fabric_width = 4;
+  options.fabric_height = 4;
+  const auto morton = evaluate_mapping(
+      umesh, map_cells(umesh, MappingStrategy::MortonSfc, options), options);
+  const auto random = evaluate_mapping(
+      umesh, map_cells(umesh, MappingStrategy::Random, options), options);
+  EXPECT_LT(morton.cut_faces, random.cut_faces / 2);
+  EXPECT_LT(morton.total_hop_weight, random.total_hop_weight / 2);
+  EXPECT_LE(morton.max_remote_neighbors, random.max_remote_neighbors);
+}
+
+TEST(FabricMap, MortonGroupsColumnsLikeThePaperMapping) {
+  // On an extruded (x,y,z) mesh, Morton over (x,y) centroids keeps whole
+  // z-columns on one PE — the structured mapping of Sec. III-A emerges.
+  const CartesianMesh3D mesh(8, 8, 8);
+  const auto field = perm::homogeneous(mesh, 1.0);
+  const auto umesh = UnstructuredMesh::from_cartesian(mesh, field);
+  MappingOptions options;
+  options.fabric_width = 8;
+  options.fabric_height = 8;
+  const Mapping mapping = map_cells(umesh, MappingStrategy::MortonSfc, options);
+  // Every cell of a column shares its PE with the column's z=0 cell.
+  for (i64 y = 0; y < 8; ++y)
+    for (i64 x = 0; x < 8; ++x) {
+      const i32 pe0 =
+          mapping.pe_of_cell[static_cast<std::size_t>(mesh.index(x, y, 0))];
+      for (i64 z = 1; z < 8; ++z)
+        EXPECT_EQ(mapping.pe_of_cell[static_cast<std::size_t>(mesh.index(x, y, z))],
+                  pe0);
+    }
+  const auto report = evaluate_mapping(umesh, mapping, options);
+  // Column mapping: only lateral faces are cut, all between adjacent PEs.
+  EXPECT_EQ(report.max_remote_neighbors, 4u);
+}
+
+TEST(FabricMap, MemoryBudgetIsChecked) {
+  const CartesianMesh3D mesh(8, 8, 16);
+  const auto field = perm::homogeneous(mesh, 1.0);
+  const auto umesh = UnstructuredMesh::from_cartesian(mesh, field);
+  MappingOptions options;
+  options.fabric_width = 2;
+  options.fabric_height = 2;
+  options.bytes_per_cell = 53;
+  options.pe_memory_budget_bytes = 4 * 1024; // too small for 256 cells/PE
+  const auto tight = evaluate_mapping(
+      umesh, map_cells(umesh, MappingStrategy::IndexBlocks, options), options);
+  EXPECT_FALSE(tight.fits_memory);
+  options.pe_memory_budget_bytes = 46 * 1024;
+  const auto roomy = evaluate_mapping(
+      umesh, map_cells(umesh, MappingStrategy::IndexBlocks, options), options);
+  EXPECT_TRUE(roomy.fits_memory);
+}
+
+TEST(FabricMap, SinglePeFabricHasNoCuts) {
+  const CartesianMesh3D mesh(4, 4, 2);
+  const auto field = perm::homogeneous(mesh, 1.0);
+  const auto umesh = UnstructuredMesh::from_cartesian(mesh, field);
+  MappingOptions options;
+  options.fabric_width = 1;
+  options.fabric_height = 1;
+  const auto report = evaluate_mapping(
+      umesh, map_cells(umesh, MappingStrategy::Random, options), options);
+  EXPECT_EQ(report.cut_faces, 0u);
+  EXPECT_EQ(report.total_hop_weight, 0u);
+}
+
+} // namespace
+} // namespace fvdf::umesh

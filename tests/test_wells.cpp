@@ -1,0 +1,194 @@
+// Rate-controlled well (source-term) tests across every implementation:
+// residual semantics, host/device/GPU agreement, flux balance (total
+// produced at the pressure well equals total injected by rate wells),
+// superposition, and transient behavior with sources.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/solver.hpp"
+#include "core/validation.hpp"
+#include "fv/problem.hpp"
+#include "fv/residual.hpp"
+#include "gpu/gpu_solver.hpp"
+#include "solver/blas.hpp"
+#include "solver/pressure_solve.hpp"
+#include "solver/transient.hpp"
+
+namespace fvdf {
+namespace {
+
+// A producer column pinned at p=0 in one corner plus one rate-controlled
+// injector cell in the opposite corner.
+FlowProblem rate_well_problem(i64 n, f64 rate, u64 seed = 3) {
+  CartesianMesh3D mesh(n, n, 2);
+  Rng rng(seed);
+  auto perm = perm::lognormal(mesh, rng, 0.0, 0.7);
+  DirichletSet bc;
+  for (i64 z = 0; z < 2; ++z) bc.pin(mesh, {n - 1, n - 1, z}, 0.0);
+  FlowProblem problem(mesh, std::move(perm), 1.0, std::move(bc));
+  problem.add_source(mesh.index(0, 0, 0), rate);
+  return problem;
+}
+
+TEST(Wells, SourceBookkeeping) {
+  auto problem = rate_well_problem(4, 2.5);
+  EXPECT_TRUE(problem.has_sources());
+  EXPECT_DOUBLE_EQ(problem.sources()[0], 2.5);
+  problem.add_source(0, 0.5); // accumulates
+  EXPECT_DOUBLE_EQ(problem.sources()[0], 3.0);
+  // A Dirichlet cell cannot be rate-controlled.
+  EXPECT_THROW(problem.add_source(problem.mesh().index(3, 3, 0), 1.0), Error);
+  EXPECT_THROW(problem.add_source(-1, 1.0), Error);
+  const auto sys = problem.discretize<f32>();
+  ASSERT_FALSE(sys.source.empty());
+  EXPECT_FLOAT_EQ(sys.source[0], 3.0f);
+}
+
+TEST(Wells, ResidualIncludesSourceOnInteriorRowsOnly) {
+  const auto problem = rate_well_problem(4, 1.5);
+  const auto p = problem.initial_pressure();
+  const auto with_sources = compute_residual(problem, p);
+  const auto without =
+      compute_residual(problem.mesh(), problem.transmissibility(),
+                       problem.mobility(), problem.bc(), p);
+  EXPECT_NEAR(with_sources[0] - without[0], 1.5, 1e-14);
+  for (std::size_t i = 1; i < with_sources.size(); ++i)
+    EXPECT_DOUBLE_EQ(with_sources[i], without[i]);
+}
+
+TEST(Wells, SteadySolutionBalancesInjectionAndProduction) {
+  // At steady state, everything injected by the rate well leaves through
+  // the pressure-pinned producer: sum of fluxes into the producer cells
+  // equals the injection rate.
+  const f64 rate = 3.0;
+  const auto problem = rate_well_problem(6, rate);
+  CgOptions options;
+  options.tolerance = 1e-26;
+  const auto result = solve_pressure_host(problem, options);
+  ASSERT_TRUE(result.cg.converged);
+
+  const auto& mesh = problem.mesh();
+  f64 produced = 0;
+  for (const auto& [idx, value] : problem.bc().sorted()) {
+    const CellCoord c = mesh.coord(idx);
+    for (Face face : kAllFaces) {
+      // Flux INTO the producer cell from its neighbors.
+      produced += interfacial_flux(mesh, problem.transmissibility(),
+                                   problem.mobility(), result.pressure, c, face);
+    }
+  }
+  EXPECT_NEAR(produced, rate, 1e-8);
+}
+
+TEST(Wells, InjectionRaisesPressureAboveProducer) {
+  const auto problem = rate_well_problem(6, 2.0);
+  CgOptions options;
+  options.tolerance = 1e-24;
+  const auto result = solve_pressure_host(problem, options);
+  // The injector cell has the highest pressure in the field.
+  const f64 p_injector = result.pressure[0];
+  for (f64 p : result.pressure) EXPECT_LE(p, p_injector + 1e-12);
+  EXPECT_GT(p_injector, 0.0);
+}
+
+TEST(Wells, SolutionIsLinearInRate) {
+  // The system is linear: doubling the injection rate doubles the
+  // (producer-referenced) pressure field.
+  CgOptions options;
+  options.tolerance = 1e-26;
+  const auto one = solve_pressure_host(rate_well_problem(5, 1.0), options);
+  const auto two = solve_pressure_host(rate_well_problem(5, 2.0), options);
+  for (std::size_t i = 0; i < one.pressure.size(); ++i)
+    EXPECT_NEAR(two.pressure[i], 2.0 * one.pressure[i], 1e-8);
+}
+
+TEST(Wells, DataflowDeviceMatchesHost) {
+  const auto problem = rate_well_problem(5, 1.25);
+  core::DataflowConfig config;
+  config.tolerance = 1e-15f;
+  const auto device = core::solve_dataflow(problem, config);
+  ASSERT_TRUE(device.converged);
+  const auto report = core::compare_with_host(problem, device, 1e-26);
+  EXPECT_LT(report.rel_l2_error, 1e-4) << report.summary();
+}
+
+TEST(Wells, DataflowPcgHandlesSources) {
+  const auto problem = rate_well_problem(5, 0.75);
+  core::DataflowConfig config;
+  config.tolerance = 1e-15f;
+  config.jacobi_precondition = true;
+  const auto device = core::solve_dataflow(problem, config);
+  ASSERT_TRUE(device.converged);
+  const auto report = core::compare_with_host(problem, device, 1e-26);
+  EXPECT_LT(report.rel_l2_error, 1e-4) << report.summary();
+}
+
+TEST(Wells, GpuModelMatchesHost) {
+  const auto problem = rate_well_problem(5, 1.75);
+  gpu::GpuFvSolver solver(problem, GpuSpec::a100(), 1);
+  gpu::GpuSolveConfig config;
+  config.tolerance = 1e-13;
+  const auto result = solver.solve(config);
+  ASSERT_TRUE(result.converged);
+
+  CgOptions host_options;
+  host_options.tolerance = 1e-26;
+  const auto host = solve_pressure_host(problem, host_options);
+  for (std::size_t i = 0; i < host.pressure.size(); ++i)
+    EXPECT_NEAR(static_cast<f64>(result.pressure[i]), host.pressure[i], 5e-4);
+}
+
+TEST(Wells, TransientApproachesSteadyStateWithSources) {
+  const auto problem = rate_well_problem(5, 1.0);
+  TransientOptions options;
+  options.dt = 10.0;
+  options.steps = 200;
+  options.cg.tolerance = 1e-26;
+  const auto transient = solve_transient_host(problem, options);
+  ASSERT_TRUE(transient.all_converged);
+
+  CgOptions steady_options;
+  steady_options.tolerance = 1e-26;
+  const auto steady = solve_pressure_host(problem, steady_options);
+  for (std::size_t i = 0; i < steady.pressure.size(); ++i)
+    EXPECT_NEAR(transient.pressure[i], steady.pressure[i], 1e-3);
+}
+
+TEST(Wells, MultipleSourcesSuperpose) {
+  // Two unit injectors == the sum of the fields of each injector alone.
+  auto make = [](bool first, bool second) {
+    CartesianMesh3D mesh(6, 6, 1);
+    DirichletSet bc;
+    bc.pin(mesh, {5, 5, 0}, 0.0);
+    FlowProblem problem(mesh, perm::homogeneous(mesh, 1.0), 1.0, std::move(bc));
+    if (first) problem.add_source(mesh.index(0, 0, 0), 1.0);
+    if (second) problem.add_source(mesh.index(0, 5, 0), 1.0);
+    return problem;
+  };
+  CgOptions options;
+  options.tolerance = 1e-26;
+  const auto a = solve_pressure_host(make(true, false), options);
+  const auto b = solve_pressure_host(make(false, true), options);
+  const auto both = solve_pressure_host(make(true, true), options);
+  for (std::size_t i = 0; i < both.pressure.size(); ++i)
+    EXPECT_NEAR(both.pressure[i], a.pressure[i] + b.pressure[i], 1e-8);
+}
+
+TEST(Wells, ProductionRateWellDrawsPressureDown) {
+  // Negative rate = production: pressure dips below the far-field pin.
+  CartesianMesh3D mesh(6, 6, 1);
+  DirichletSet bc;
+  bc.pin(mesh, {0, 0, 0}, 1.0);
+  FlowProblem problem(mesh, perm::homogeneous(mesh, 1.0), 1.0, std::move(bc));
+  problem.add_source(mesh.index(5, 5, 0), -0.8);
+  CgOptions options;
+  options.tolerance = 1e-26;
+  const auto result = solve_pressure_host(problem, options);
+  ASSERT_TRUE(result.cg.converged);
+  EXPECT_LT(result.pressure[static_cast<std::size_t>(mesh.index(5, 5, 0))], 1.0);
+}
+
+} // namespace
+} // namespace fvdf
