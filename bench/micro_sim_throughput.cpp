@@ -1,0 +1,146 @@
+// Event-engine throughput: how fast does the fabric simulator itself run?
+//
+// Fixed workload — a 64x64x8 device CG solve (4,096 PEs), tolerance 0,
+// 10 iterations — executed at several worker-thread counts. For each run
+// the bench reports host wall-clock, processed simulator events and
+// events/second, checks that every thread count reproduces the
+// single-thread solution bitwise, and writes the table to
+// BENCH_sim_throughput.json (in the working directory, or --out PATH).
+//
+// `seed_baseline` in the JSON is the same workload measured on the
+// pre-refactor serial engine (std::priority_queue, per-send payload
+// allocation, word-at-a-time ramp delivery) on the same host, so the file
+// records both the single-thread speedup of the engine overhaul and the
+// multi-thread scaling of the sharded executor.
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/solver.hpp"
+#include "fv/problem.hpp"
+
+using namespace fvdf;
+
+namespace {
+
+// Pre-refactor serial engine on this host, same workload (see header).
+constexpr f64 kSeedWallSeconds = 1.052;
+constexpr u64 kSeedEvents = 1391439;
+constexpr f64 kSeedEventsPerSec = 1.322e6;
+
+struct Run {
+  u32 threads = 1;
+  f64 wall_seconds = 0;
+  u64 events = 0;
+  f64 events_per_sec = 0;
+  bool bitwise_identical = true; // vs the threads=1 run of this binary
+};
+
+core::DataflowResult solve(u32 threads) {
+  const auto problem = FlowProblem::homogeneous_column(64, 64, 8);
+  core::DataflowConfig config;
+  config.tolerance = 0.0f;
+  config.max_iterations = 10;
+  config.sim_threads = threads;
+  return core::solve_dataflow(problem, config);
+}
+
+bool same_bits(const std::vector<f32>& a, const std::vector<f32>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(f32)) == 0);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_sim_throughput.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: micro_sim_throughput [--out PATH]\n";
+      return 2;
+    }
+  }
+
+  std::vector<u32> thread_counts = {1, 2, 4};
+  const u32 hw = std::max(1u, std::thread::hardware_concurrency());
+  bool have_hw = false;
+  for (u32 t : thread_counts) have_hw |= t == hw;
+  if (!have_hw) thread_counts.push_back(hw);
+
+  std::cout << "=== bench/micro_sim_throughput — event-engine throughput ===\n"
+            << "workload: 64x64x8 device CG, 10 iterations ("
+            << 64 * 64 << " PEs); hardware threads: " << hw << "\n\n";
+
+  std::vector<Run> runs;
+  core::DataflowResult reference; // threads=1
+  for (u32 threads : thread_counts) {
+    const auto start = std::chrono::steady_clock::now();
+    auto result = solve(threads);
+    const auto stop = std::chrono::steady_clock::now();
+
+    Run run;
+    run.threads = threads;
+    run.wall_seconds = std::chrono::duration<f64>(stop - start).count();
+    run.events = result.fabric.events_processed;
+    run.events_per_sec = static_cast<f64>(run.events) / run.wall_seconds;
+    if (runs.empty()) {
+      reference = std::move(result);
+    } else {
+      run.bitwise_identical = same_bits(result.delta, reference.delta) &&
+                              same_bits(result.pressure, reference.pressure) &&
+                              result.fabric == reference.fabric &&
+                              result.iterations == reference.iterations;
+    }
+    runs.push_back(run);
+
+    std::cout << "threads=" << run.threads << ": " << run.wall_seconds
+              << " s, " << run.events << " events, "
+              << run.events_per_sec / 1e6 << " Mev/s, speedup vs seed "
+              << run.events_per_sec / kSeedEventsPerSec
+              << (run.bitwise_identical ? "" : "  [MISMATCH vs threads=1]")
+              << '\n';
+  }
+
+  bool all_identical = true;
+  for (const Run& run : runs) all_identical &= run.bitwise_identical;
+
+  std::ofstream json(out_path);
+  json << "{\n"
+       << "  \"bench\": \"sim_throughput\",\n"
+       << "  \"workload\": \"64x64x8 device CG, tolerance 0, 10 iterations\",\n"
+       << "  \"hardware_threads\": " << hw << ",\n"
+       << "  \"seed_baseline\": {\n"
+       << "    \"note\": \"pre-refactor serial engine, same host and workload\",\n"
+       << "    \"wall_seconds\": " << kSeedWallSeconds << ",\n"
+       << "    \"events\": " << kSeedEvents << ",\n"
+       << "    \"events_per_sec\": " << kSeedEventsPerSec << "\n"
+       << "  },\n"
+       << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const Run& run = runs[i];
+    json << "    {\"threads\": " << run.threads
+         << ", \"wall_seconds\": " << run.wall_seconds
+         << ", \"events\": " << run.events
+         << ", \"events_per_sec\": " << run.events_per_sec
+         << ", \"speedup_vs_seed\": " << run.events_per_sec / kSeedEventsPerSec
+         << ", \"speedup_vs_one_thread\": "
+         << run.events_per_sec / runs[0].events_per_sec
+         << ", \"bitwise_identical\": "
+         << (run.bitwise_identical ? "true" : "false") << "}"
+         << (i + 1 < runs.size() ? "," : "") << '\n';
+  }
+  json << "  ],\n"
+       << "  \"all_thread_counts_bitwise_identical\": "
+       << (all_identical ? "true" : "false") << "\n"
+       << "}\n";
+  std::cout << "\nwrote " << out_path << '\n';
+  return all_identical ? 0 : 1;
+}

@@ -36,6 +36,7 @@ const std::set<std::string> kKnownKeys = {
     "wells.injector_pressure", "wells.producer_pressure",
     "wells.injector_kind", "wells.rate",
     "solver.backend", "solver.tolerance", "solver.max_iterations",
+    "solver.sim_threads",
     "transient.enabled", "transient.dt", "transient.steps",
     "transient.porosity", "transient.compressibility",
     "output.vtk", "output.checkpoint", "output.heatmap",
@@ -121,6 +122,9 @@ Scenario scenario_from_config(const Config& config) {
   FVDF_CHECK_MSG(scenario.tolerance >= 0, "solver.tolerance must be >= 0");
   scenario.max_iterations =
       static_cast<u64>(config.get_i64("solver.max_iterations", 100'000));
+  const i64 sim_threads = config.get_i64("solver.sim_threads", 1);
+  FVDF_CHECK_MSG(sim_threads >= 0, "solver.sim_threads must be >= 0");
+  scenario.sim_threads = static_cast<u32>(sim_threads);
 
   scenario.transient = config.get_bool("transient.enabled", false);
   scenario.dt = config.get_f64("transient.dt", 1.0);
@@ -149,6 +153,7 @@ ScenarioOutcome run_scenario(const Scenario& scenario, std::ostream& log) {
     config.tolerance = static_cast<f32>(scenario.tolerance);
     config.max_iterations = scenario.max_iterations;
     config.jacobi_precondition = true;
+    config.sim_threads = scenario.sim_threads;
     const auto result = core::solve_transient_dataflow(
         problem, scenario.dt, scenario.steps, scenario.porosity,
         scenario.compressibility, config);
@@ -173,6 +178,7 @@ ScenarioOutcome run_scenario(const Scenario& scenario, std::ostream& log) {
     core::DataflowConfig config;
     config.tolerance = static_cast<f32>(scenario.tolerance);
     config.max_iterations = scenario.max_iterations;
+    config.sim_threads = scenario.sim_threads;
     const auto result = core::solve_dataflow(problem, config);
     outcome.converged = result.converged;
     outcome.iterations = result.iterations;

@@ -15,7 +15,8 @@
 //               injector_pressure (1.0), producer_pressure (0.0);
 //               rate (1.0, total over the injector column, rate kind only)
 //   [solver]    backend = host|host-pcg|dataflow (host-pcg),
-//               tolerance (1e-18), max_iterations (100000)
+//               tolerance (1e-18), max_iterations (100000),
+//               sim_threads (1; 0 = hardware concurrency)
 //   [transient] enabled (false), dt (1.0), steps (10),
 //               porosity (0.2), compressibility (1e-2)
 //   [output]    vtk (unset), checkpoint (unset), heatmap (false)
@@ -40,6 +41,10 @@ struct Scenario {
   Backend backend = Backend::HostPcg;
   f64 tolerance = 1e-18;
   u64 max_iterations = 100'000;
+  // Worker threads for the dataflow fabric simulator (0 = hardware
+  // concurrency, 1 = serial). Never changes results — see docs/simulator.md,
+  // "Parallel execution model".
+  u32 sim_threads = 1;
 
   bool transient = false;
   f64 dt = 1.0;

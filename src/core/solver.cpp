@@ -160,6 +160,7 @@ DataflowResult solve_dataflow(const FlowProblem& problem, const DataflowConfig& 
   }
 
   wse::Fabric fabric(nx, ny, config.timing, config.memory);
+  fabric.set_threads(config.sim_threads);
   fabric.load([&](wse::PeCoord coord) {
     CgPeConfig pe_config;
     pe_config.nz = static_cast<u32>(nz);
@@ -199,6 +200,7 @@ DataflowResult solve_dataflow_chebyshev(const FlowProblem& problem,
   const auto sys = problem.discretize<f32>();
 
   wse::Fabric fabric(mesh.nx(), mesh.ny(), config.timing, config.memory);
+  fabric.set_threads(config.sim_threads);
   fabric.load([&](wse::PeCoord coord) {
     ChebyshevPeConfig pe_config;
     pe_config.nz = static_cast<u32>(mesh.nz());

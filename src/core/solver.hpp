@@ -32,6 +32,9 @@ struct DataflowConfig {
   wse::TimingParams timing{};
   wse::PeMemoryParams memory{};
   f64 max_cycles = 1e15; // simulation safety net
+  // Simulator worker threads (0 = hardware concurrency). Purely a host-side
+  // execution knob: results are bitwise identical at any value.
+  u32 sim_threads = 1;
 };
 
 struct DataflowResult {
@@ -71,6 +74,7 @@ struct ChebyshevDeviceConfig {
   wse::TimingParams timing{};
   wse::PeMemoryParams memory{};
   f64 max_cycles = 1e15;
+  u32 sim_threads = 1; // see DataflowConfig::sim_threads
 };
 
 DataflowResult solve_dataflow_chebyshev(const FlowProblem& problem,

@@ -1,7 +1,10 @@
 #include "wse/fabric.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
+#include <limits>
+#include <thread>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
@@ -10,14 +13,20 @@ namespace fvdf::wse {
 
 namespace {
 constexpr std::size_t link_slot(Dir dir) { return static_cast<std::size_t>(dir); }
+// Upper bound on the spatial decomposition. The shard count is a pure
+// function of the fabric geometry (never of the thread count) so that the
+// event schedule — and therefore every result — is identical at any
+// parallelism level.
+constexpr u32 kMaxShards = 16;
+constexpr f64 kInfCycles = std::numeric_limits<f64>::infinity();
 } // namespace
 
 /// PeContext implementation handed to program handlers for the duration of
 /// one task execution.
 class FabricPeContext final : public PeContext {
 public:
-  FabricPeContext(Fabric& fabric, Fabric::Pe& pe, f64& cursor)
-      : fabric_(fabric), pe_(pe), cursor_(cursor),
+  FabricPeContext(Fabric& fabric, Fabric::Shard& shard, Fabric::Pe& pe, f64& cursor)
+      : fabric_(fabric), shard_(shard), pe_(pe), cursor_(cursor),
         engine_(pe.memory, pe.counters, fabric.timing(), cursor) {}
 
   PeCoord coord() const override { return pe_.coord; }
@@ -32,27 +41,29 @@ public:
   }
 
   void send(Color color, Dsd src, ColorMask advance_after, Color completion) override {
-    fabric_.ctx_send(pe_, color, src, advance_after, completion, cursor_);
+    fabric_.ctx_send(shard_, pe_, color, src, advance_after, completion, cursor_);
   }
 
   void send_control(Color color, ColorMask advance) override {
-    fabric_.ctx_send_control(pe_, color, advance, cursor_);
+    fabric_.ctx_send_control(shard_, pe_, color, advance, cursor_);
   }
 
   void recv(Color color, Dsd dst, Color completion) override {
-    fabric_.ctx_recv(pe_, color, dst, completion, cursor_);
+    fabric_.ctx_recv(shard_, pe_, color, dst, completion, cursor_);
   }
 
-  void activate(Color color) override { fabric_.ctx_activate(pe_, color, cursor_); }
+  void activate(Color color) override {
+    fabric_.ctx_activate(shard_, pe_, color, cursor_);
+  }
 
   void advance_local(ColorMask mask) override {
-    fabric_.advance_and_release(pe_, mask, cursor_);
+    fabric_.advance_and_release(shard_, pe_, mask, cursor_);
   }
 
   void halt() override {
     if (!pe_.halted) {
       pe_.halted = true;
-      ++fabric_.halted_count_;
+      ++shard_.halted;
     }
   }
 
@@ -60,6 +71,7 @@ public:
 
 private:
   Fabric& fabric_;
+  Fabric::Shard& shard_;
   Fabric::Pe& pe_;
   f64& cursor_;
   DsdEngine engine_;
@@ -72,9 +84,31 @@ Fabric::Fabric(i64 width, i64 height, TimingParams timing, PeMemoryParams mem)
   for (i64 y = 0; y < height; ++y)
     for (i64 x = 0; x < width; ++x)
       pes_.push_back(std::make_unique<Pe>(PeCoord{x, y}, mem_params_));
+
+  // Horizontal strips of rows: with row-major PE indexing each shard owns a
+  // contiguous index range, and east-west traffic (the halo-heavy axis of
+  // the solver kernels) stays shard-local.
+  const u32 shard_count = static_cast<u32>(std::min<i64>(height_, kMaxShards));
+  shards_.resize(shard_count);
+  row_shard_.resize(static_cast<std::size_t>(height_));
+  for (u32 s = 0; s < shard_count; ++s) {
+    Shard& shard = shards_[s];
+    shard.id = s;
+    shard.row_begin = height_ * s / shard_count;
+    shard.row_end = height_ * (s + 1) / shard_count;
+    shard.outbox.resize(shard_count);
+    for (i64 row = shard.row_begin; row < shard.row_end; ++row)
+      row_shard_[static_cast<std::size_t>(row)] = s;
+  }
 }
 
 Fabric::~Fabric() = default;
+
+void Fabric::set_threads(u32 threads) {
+  threads_ = threads == 0
+                 ? std::max(1u, std::thread::hardware_concurrency())
+                 : threads;
+}
 
 void Fabric::load(const ProgramFactory& factory) {
   FVDF_CHECK_MSG(!loaded_, "fabric already loaded");
@@ -87,100 +121,233 @@ void Fabric::load(const ProgramFactory& factory) {
     event.pe_index = pe_index(pe->coord.x, pe->coord.y);
     event.color = kInvalidColor; // sentinel: on_start
     event.t = 0;
-    push_event(std::move(event));
+    enqueue_local(shard_of(event.pe_index), std::move(event));
   }
 }
 
-void Fabric::push_event(Event event) {
-  event.seq = next_seq_++;
-  events_.push(std::move(event));
+void Fabric::enqueue_local(Shard& shard, Event&& event) {
+  event.seq = shard.next_seq++;
+  shard.events.push(std::move(event));
+}
+
+void Fabric::push_event(Shard& from, Event&& event) {
+  Shard& dest = shard_of(event.pe_index);
+  if (&dest == &from) {
+    enqueue_local(from, std::move(event));
+    return;
+  }
+  ++from.outbound_count;
+  from.outbox[dest.id].push_back(Outbound{std::move(event), from.emit_seq++});
 }
 
 Fabric::RunResult Fabric::run(f64 max_cycles) {
   FVDF_CHECK_MSG(loaded_, "run() before load()");
   RunResult result;
-  // Note: the loop drains the queue even after every PE has halted —
+
+  // Fault schedules count injected messages fabric-globally; pinning the
+  // run to one worker keeps that count order deterministic.
+  const bool faults_active =
+      faults_.drop_message_index != 0 || faults_.corrupt_message_index != 0;
+  const u32 workers = faults_active ? 1 : threads_;
+  const bool parallel = workers > 1 && shards_.size() > 1;
+  if (parallel && (!pool_ || pool_->size() != workers))
+    pool_ = std::make_unique<ThreadPool>(workers);
+
+  // Note: the loop drains the queues even after every PE has halted —
   // in-flight wavelets keep moving through the fabric (and into the stats)
   // exactly as they would on hardware; tasks on halted PEs are ignored.
-  while (!events_.empty()) {
-    const Event event = events_.top();
-    if (event.t > max_cycles) {
-      result.hit_cycle_limit = true;
-      break;
+  try {
+    for (;;) {
+      f64 tmin = kInfCycles;
+      for (const Shard& shard : shards_)
+        if (!shard.events.empty()) tmin = std::min(tmin, shard.events.top().t);
+      if (tmin == kInfCycles) break; // drained
+      if (tmin > max_cycles) {
+        result.hit_cycle_limit = true;
+        break;
+      }
+
+      f64 horizon;
+      if (shards_.size() == 1) {
+        // Single shard: no cross-shard causality to respect, drain freely.
+        horizon = kInfCycles;
+      } else {
+        // Conservative lookahead: any event a shard generates for another
+        // shard travels over a cardinal link, so it lands at least one
+        // router hop after its cause. Everything below the horizon is safe
+        // to process without seeing the other shards.
+        const f64 lookahead = std::max(0.0, timing_.hop_latency_cycles);
+        horizon = tmin + lookahead;
+        if (!(horizon > tmin))
+          horizon = std::nextafter(tmin, kInfCycles);
+      }
+
+      if (parallel) {
+        pool_->for_each_index(shards_.size(), [&](std::size_t i) {
+          process_window(shards_[i], horizon, max_cycles);
+        });
+      } else {
+        for (Shard& shard : shards_) process_window(shard, horizon, max_cycles);
+      }
+      exchange_and_merge();
     }
-    events_.pop();
-    now_ = std::max(now_, event.t);
-    ++stats_.events_processed;
-    switch (event.kind) {
-    case EventKind::FlitArrive: handle_flit_arrive(event); break;
-    case EventKind::TaskStart: handle_task_start(event); break;
-    }
+  } catch (...) {
+    // Surface whatever the window produced before the throw (kernel
+    // FVDF_CHECKs propagate to the caller, as in the serial engine).
+    flush_traces();
+    throw;
+  }
+  flush_traces();
+
+  stats_ = FabricStats{};
+  now_ = 0;
+  i64 halted = 0;
+  for (const Shard& shard : shards_) {
+    stats_.messages_sent += shard.stats.messages_sent;
+    stats_.wavelet_hops += shard.stats.wavelet_hops;
+    stats_.word_hops += shard.stats.word_hops;
+    stats_.words_delivered += shard.stats.words_delivered;
+    stats_.words_dropped += shard.stats.words_dropped;
+    stats_.control_wavelets += shard.stats.control_wavelets;
+    stats_.tasks_run += shard.stats.tasks_run;
+    stats_.events_processed += shard.stats.events_processed;
+    stats_.flits_stalled += shard.stats.flits_stalled;
+    now_ = std::max(now_, shard.now);
+    halted += shard.halted;
   }
   result.cycles = now_;
-  result.all_halted = halted_count_ == static_cast<i64>(pes_.size());
+  result.all_halted = halted == static_cast<i64>(pes_.size());
   return result;
 }
 
-void Fabric::advance_and_release(Pe& pe, ColorMask mask, f64 t) {
+void Fabric::process_window(Shard& shard, f64 horizon, f64 max_cycles) {
+  while (!shard.events.empty()) {
+    const Event& top = shard.events.top();
+    if (top.t >= horizon || top.t > max_cycles) break;
+    Event event = shard.events.pop();
+    shard.now = std::max(shard.now, event.t);
+    ++shard.stats.events_processed;
+    switch (event.kind) {
+    case EventKind::FlitArrive: handle_flit_arrive(shard, std::move(event)); break;
+    case EventKind::TaskStart: handle_task_start(shard, event); break;
+    }
+  }
+}
+
+void Fabric::exchange_and_merge() {
+  u64 outbound = 0;
+  for (const Shard& shard : shards_) outbound += shard.outbound_count;
+  if (outbound != 0) {
+    for (Shard& dest : shards_) {
+      // Gather source-major (each outbox already in emission order), then
+      // stable-sort by time: ties resolve to (source shard, emission
+      // index) — a total order independent of the thread count.
+      merge_scratch_.clear();
+      for (const Shard& src : shards_)
+        for (const Outbound& out : src.outbox[dest.id])
+          merge_scratch_.push_back(&out);
+      if (merge_scratch_.empty()) continue;
+      std::stable_sort(merge_scratch_.begin(), merge_scratch_.end(),
+                       [](const Outbound* a, const Outbound* b) {
+                         return a->event.t < b->event.t;
+                       });
+      for (const Outbound* out : merge_scratch_)
+        enqueue_local(dest, std::move(const_cast<Outbound*>(out)->event));
+      for (Shard& src : shards_) src.outbox[dest.id].clear();
+    }
+    for (Shard& shard : shards_) shard.outbound_count = 0;
+  }
+  flush_traces();
+}
+
+void Fabric::flush_traces() {
+  if (!trace_) {
+    for (Shard& shard : shards_)
+      if (!shard.trace.empty()) shard.trace.clear();
+    return;
+  }
+  trace_scratch_.clear();
+  for (Shard& shard : shards_) {
+    trace_scratch_.insert(trace_scratch_.end(), shard.trace.begin(),
+                          shard.trace.end());
+    shard.trace.clear();
+  }
+  if (trace_scratch_.empty()) return;
+  // Stable: same-time records keep shard-major order, so the merged stream
+  // is deterministic and identical at any thread count.
+  std::stable_sort(trace_scratch_.begin(), trace_scratch_.end(),
+                   [](const TraceRecord& a, const TraceRecord& b) {
+                     return a.cycles < b.cycles;
+                   });
+  for (const TraceRecord& record : trace_scratch_) trace_(record);
+}
+
+void Fabric::advance_and_release(Shard& shard, Pe& pe, ColorMask mask, f64 t) {
   pe.router.advance(mask);
   for (Color color = 0; color < kNumRoutableColors; ++color) {
     if ((mask & color_bit(color)) == 0) continue;
     auto& parked = pe.stalled[color];
     if (parked.empty()) continue;
-    // Re-dispatch in FIFO order; any flit the new position still rejects
-    // will simply park again.
+    // Flits the new position accepts re-dispatch in FIFO order; the rest
+    // re-park directly — never through the event queue — so a switch
+    // program cycling through rejecting positions cannot inflate
+    // events_processed or the trace volume.
     std::deque<Pe::StalledFlit> retry;
     retry.swap(parked);
-    for (auto& entry : retry) {
-      Event event;
-      event.kind = EventKind::FlitArrive;
-      event.pe_index = pe_index(pe.coord.x, pe.coord.y);
-      event.from = entry.from;
-      event.flit = std::move(entry.flit);
-      event.t = t;
-      push_event(std::move(event));
+    while (!retry.empty()) {
+      Pe::StalledFlit entry = std::move(retry.front());
+      retry.pop_front();
+      if (!pe.router.accepts(color, entry.from)) {
+        parked.push_back(std::move(entry));
+        continue;
+      }
+      dispatch_flit(shard, pe, entry.from, std::move(entry.flit), t);
     }
   }
 }
 
-void Fabric::handle_flit_arrive(const Event& event) {
+void Fabric::handle_flit_arrive(Shard& shard, Event&& event) {
   Pe& pe = at(event.pe_index);
-  const Flit& flit = event.flit;
+  Flit& flit = event.flit;
   // Backpressure: a wavelet whose arrival link is not in the color's
   // current rx set waits on that link until the switch advances.
   if (!pe.router.accepts(flit.color, event.from)) {
-    pe.stalled[flit.color].push_back(Pe::StalledFlit{event.from, flit});
-    ++stats_.flits_stalled;
-    emit_trace(TraceEvent::FlitStalled, event.t, pe.coord, flit.color,
+    ++shard.stats.flits_stalled;
+    emit_trace(shard, TraceEvent::FlitStalled, event.t, pe.coord, flit.color,
                flit.data ? static_cast<u32>(flit.data->size()) : 0);
+    pe.stalled[flit.color].push_back(Pe::StalledFlit{event.from, std::move(flit)});
     return;
   }
-  const DirMask tx = pe.router.route(flit.color, event.from);
+  dispatch_flit(shard, pe, event.from, std::move(flit), event.t);
+}
+
+void Fabric::dispatch_flit(Shard& shard, Pe& pe, Dir from, Flit&& flit, f64 t) {
+  const DirMask tx = pe.router.route(flit.color, from);
   const u64 words = flit.data ? flit.data->size() : 0;
   const f64 batch_cycles = static_cast<f64>(words) / timing_.words_per_cycle_link;
 
-  if (tx.contains(Dir::Ramp)) deliver_to_ramp(pe, flit, event.t);
+  if (tx.contains(Dir::Ramp)) deliver_to_ramp(shard, pe, flit, t);
 
   for (Dir dir : kCardinalDirs) {
     if (!tx.contains(dir)) continue;
     const auto nb = neighbor(pe.coord, dir, width_, height_);
     if (!nb) {
-      stats_.words_dropped += words;
+      shard.stats.words_dropped += words;
       continue;
     }
     f64& free_at = pe.link_free_at[link_slot(dir)];
-    const f64 start = std::max(event.t, free_at);
+    const f64 start = std::max(t, free_at);
     free_at = start + batch_cycles;
     Event forward;
     forward.kind = EventKind::FlitArrive;
     forward.pe_index = pe_index(nb->x, nb->y);
     forward.from = arrival_side(dir);
-    forward.flit = flit;
+    forward.flit = flit; // payload refcount bump, no copy of the words
     forward.t = start + timing_.hop_latency_cycles + batch_cycles;
-    push_event(std::move(forward));
-    ++stats_.wavelet_hops;
-    stats_.word_hops += words;
-    emit_trace(TraceEvent::LinkHop, event.t, pe.coord, flit.color,
+    push_event(shard, std::move(forward));
+    ++shard.stats.wavelet_hops;
+    shard.stats.word_hops += words;
+    emit_trace(shard, TraceEvent::LinkHop, t, pe.coord, flit.color,
                static_cast<u32>(words));
   }
 
@@ -188,38 +355,47 @@ void Fabric::handle_flit_arrive(const Event& event) {
   // routed under the pre-advance switch position — and may release flits
   // that were stalled waiting for exactly this advance.
   if (flit.advance_after != 0) {
-    advance_and_release(pe, flit.advance_after, event.t);
-    ++stats_.control_wavelets;
-    emit_trace(TraceEvent::SwitchAdvance, event.t, pe.coord, flit.color, 0);
+    const ColorMask advance = flit.advance_after;
+    const Color color = flit.color;
+    flit = Flit{}; // release the payload before re-dispatching parked flits
+    advance_and_release(shard, pe, advance, t);
+    ++shard.stats.control_wavelets;
+    emit_trace(shard, TraceEvent::SwitchAdvance, t, pe.coord, color, 0);
   }
 }
 
-void Fabric::deliver_to_ramp(Pe& pe, const Flit& flit, f64 t) {
+void Fabric::deliver_to_ramp(Shard& shard, Pe& pe, const Flit& flit, f64 t) {
   if (!flit.data) return; // control-only wavelets carry no payload
-  auto& inbox = pe.inbox[flit.color];
-  for (f32 word : *flit.data) inbox.push_back(word);
-  emit_trace(TraceEvent::RampDelivery, t, pe.coord, flit.color,
-             static_cast<u32>(flit.data->size()));
-  feed_recv_descriptors(pe, flit.color, t);
+  const std::vector<f32>& words = *flit.data;
+  pe.inbox[flit.color].append(words.data(), words.size());
+  emit_trace(shard, TraceEvent::RampDelivery, t, pe.coord, flit.color,
+             static_cast<u32>(words.size()));
+  feed_recv_descriptors(shard, pe, flit.color, t);
 }
 
-void Fabric::feed_recv_descriptors(Pe& pe, Color color, f64 t) {
+void Fabric::feed_recv_descriptors(Shard& shard, Pe& pe, Color color, f64 t) {
   auto& inbox = pe.inbox[color];
   auto& queue = pe.recv_queues[color];
   while (!queue.empty() && !inbox.empty()) {
     RecvDesc& desc = queue.front();
-    u32 moved = 0;
-    while (desc.filled < desc.dst.length && !inbox.empty()) {
-      const i64 word = static_cast<i64>(desc.dst.offset) +
-                       static_cast<i64>(desc.filled) * desc.dst.stride;
-      pe.memory.store(static_cast<u32>(word), inbox.front());
-      inbox.pop_front();
-      ++desc.filled;
-      ++moved;
-    }
-    if (moved > 0) {
-      pe.counters.record(Opcode::FMOV, moved, /*fabric_loads=*/moved, 0);
-      stats_.words_delivered += moved;
+    const u32 want = desc.dst.length - desc.filled;
+    const u32 take = static_cast<u32>(
+        std::min<std::size_t>(want, inbox.size()));
+    if (take > 0) {
+      const f32* words = inbox.data();
+      if (desc.dst.stride == 1) {
+        pe.memory.store_words(desc.dst.offset + desc.filled, words, take);
+      } else {
+        for (u32 i = 0; i < take; ++i) {
+          const i64 word = static_cast<i64>(desc.dst.offset) +
+                           static_cast<i64>(desc.filled + i) * desc.dst.stride;
+          pe.memory.store(static_cast<u32>(word), words[i]);
+        }
+      }
+      inbox.consume(take);
+      desc.filled += take;
+      pe.counters.record(Opcode::FMOV, take, /*fabric_loads=*/take, 0);
+      shard.stats.words_delivered += take;
     }
     if (desc.filled == desc.dst.length) {
       Event event;
@@ -227,7 +403,7 @@ void Fabric::feed_recv_descriptors(Pe& pe, Color color, f64 t) {
       event.pe_index = pe_index(pe.coord.x, pe.coord.y);
       event.color = desc.completion;
       event.t = t;
-      push_event(std::move(event));
+      push_event(shard, std::move(event));
       queue.pop_front();
     } else {
       break; // inbox drained, descriptor still hungry
@@ -235,67 +411,80 @@ void Fabric::feed_recv_descriptors(Pe& pe, Color color, f64 t) {
   }
 }
 
-void Fabric::handle_task_start(const Event& event) {
+void Fabric::handle_task_start(Shard& shard, const Event& event) {
   Pe& pe = at(event.pe_index);
   if (pe.halted) return;
   if (pe.busy_until > event.t) {
     Event retry = event;
     retry.t = pe.busy_until;
-    push_event(std::move(retry));
+    push_event(shard, std::move(retry));
     return;
   }
-  run_task(pe, event.color, event.t);
+  run_task(shard, pe, event.color, event.t);
 }
 
-void Fabric::run_task(Pe& pe, Color color, f64 t) {
+void Fabric::run_task(Shard& shard, Pe& pe, Color color, f64 t) {
   f64 cursor = t + timing_.task_dispatch_cycles;
-  FabricPeContext ctx(*this, pe, cursor);
-  ++stats_.tasks_run;
-  emit_trace(TraceEvent::TaskRun, t, pe.coord, color, 0);
+  FabricPeContext ctx(*this, shard, pe, cursor);
+  ++shard.stats.tasks_run;
+  emit_trace(shard, TraceEvent::TaskRun, t, pe.coord, color, 0);
   if (color == kInvalidColor) {
     pe.program->on_start(ctx);
   } else {
     pe.program->on_task(ctx, color);
   }
   pe.busy_until = cursor;
-  now_ = std::max(now_, cursor);
+  shard.now = std::max(shard.now, cursor);
 }
 
-void Fabric::ctx_send(Pe& pe, Color color, Dsd src, ColorMask advance_after,
-                      Color completion, f64& cursor) {
+void Fabric::ctx_send(Shard& shard, Pe& pe, Color color, Dsd src,
+                      ColorMask advance_after, Color completion, f64& cursor) {
   check_routable(color);
   FVDF_CHECK_MSG(src.length > 0, "empty send");
-  auto payload = std::make_shared<std::vector<f32>>();
-  payload->reserve(src.length);
-  for (u32 i = 0; i < src.length; ++i) {
-    const i64 word = static_cast<i64>(src.offset) + static_cast<i64>(i) * src.stride;
-    payload->push_back(pe.memory.load(static_cast<u32>(word)));
+  PayloadRef payload = payload_pool_.acquire(src.length);
+  {
+    std::vector<f32>& words = payload.mutate();
+    if (src.stride == 1) {
+      words.resize(src.length);
+      pe.memory.load_words(src.offset, words.data(), src.length);
+    } else {
+      for (u32 i = 0; i < src.length; ++i) {
+        const i64 word =
+            static_cast<i64>(src.offset) + static_cast<i64>(i) * src.stride;
+        words.push_back(pe.memory.load(static_cast<u32>(word)));
+      }
+    }
   }
   pe.counters.record(Opcode::FMOV, src.length, 0, /*fabric_stores=*/src.length);
 
-  // Fault injection (deterministic, counted over data messages).
-  ++injected_data_messages_;
-  if (faults_.drop_message_index != 0 &&
-      injected_data_messages_ == faults_.drop_message_index) {
-    emit_trace(TraceEvent::FaultDrop, cursor, pe.coord, color, src.length);
-    // The message vanishes on the link; the send "completes" locally (the
-    // sender cannot tell), but no receiver will ever see the data.
-    cursor += timing_.send_setup_cycles;
-    ++stats_.messages_sent;
-    if (completion != kInvalidColor) ctx_activate(pe, completion, cursor);
-    return;
-  }
-  if (faults_.corrupt_message_index != 0 &&
-      injected_data_messages_ == faults_.corrupt_message_index &&
-      !payload->empty()) {
-    emit_trace(TraceEvent::FaultCorrupt, cursor, pe.coord, color, src.length);
-    u32 bits;
-    std::memcpy(&bits, payload->data(), 4);
-    bits ^= (1u << (faults_.corrupt_bit & 31));
-    std::memcpy(payload->data(), &bits, 4);
+  // Fault injection (deterministic, counted over data messages; runs with
+  // a single worker — see run()).
+  if (faults_.drop_message_index != 0 || faults_.corrupt_message_index != 0) {
+    ++injected_data_messages_;
+    if (injected_data_messages_ == faults_.drop_message_index) {
+      emit_trace(shard, TraceEvent::FaultDrop, cursor, pe.coord, color, src.length);
+      // The message vanishes on the link; the send "completes" locally (the
+      // sender cannot tell), but no receiver will ever see the data.
+      cursor += timing_.send_setup_cycles;
+      ++shard.stats.messages_sent;
+      if (completion != kInvalidColor) ctx_activate(shard, pe, completion, cursor);
+      return;
+    }
+    if (injected_data_messages_ == faults_.corrupt_message_index) {
+      emit_trace(shard, TraceEvent::FaultCorrupt, cursor, pe.coord, color,
+                 src.length);
+      std::vector<f32>& words = payload.mutate();
+      if (!words.empty()) {
+        u32 bits;
+        std::memcpy(&bits, words.data(), 4);
+        bits ^= (1u << (faults_.corrupt_bit & 31));
+        std::memcpy(words.data(), &bits, 4);
+      }
+    }
   }
 
-  emit_trace(TraceEvent::MessageInjected, cursor, pe.coord, color, src.length);
+  emit_trace(shard, TraceEvent::MessageInjected, cursor, pe.coord, color,
+             src.length);
   cursor += timing_.send_setup_cycles;
   f64& ramp_free = pe.link_free_at[link_slot(Dir::Ramp)];
   const f64 start = std::max(cursor, ramp_free);
@@ -308,9 +497,9 @@ void Fabric::ctx_send(Pe& pe, Color color, Dsd src, ColorMask advance_after,
   event.from = Dir::Ramp;
   event.flit = Flit{color, std::move(payload), advance_after};
   event.t = start + batch_cycles;
-  push_event(std::move(event));
-  ++stats_.messages_sent;
-  if (advance_after != 0) ++stats_.control_wavelets;
+  push_event(shard, std::move(event));
+  ++shard.stats.messages_sent;
+  if (advance_after != 0) ++shard.stats.control_wavelets;
 
   if (completion != kInvalidColor) {
     Event done;
@@ -318,11 +507,12 @@ void Fabric::ctx_send(Pe& pe, Color color, Dsd src, ColorMask advance_after,
     done.pe_index = pe_index(pe.coord.x, pe.coord.y);
     done.color = completion;
     done.t = start + batch_cycles;
-    push_event(std::move(done));
+    push_event(shard, std::move(done));
   }
 }
 
-void Fabric::ctx_send_control(Pe& pe, Color color, ColorMask advance, f64& cursor) {
+void Fabric::ctx_send_control(Shard& shard, Pe& pe, Color color, ColorMask advance,
+                              f64& cursor) {
   check_routable(color);
   FVDF_CHECK(advance != 0);
   cursor += timing_.send_setup_cycles;
@@ -334,38 +524,50 @@ void Fabric::ctx_send_control(Pe& pe, Color color, ColorMask advance, f64& curso
   event.kind = EventKind::FlitArrive;
   event.pe_index = pe_index(pe.coord.x, pe.coord.y);
   event.from = Dir::Ramp;
-  event.flit = Flit{color, nullptr, advance};
+  event.flit = Flit{color, PayloadRef{}, advance};
   event.t = start + 1.0;
-  push_event(std::move(event));
-  ++stats_.messages_sent;
+  push_event(shard, std::move(event));
+  ++shard.stats.messages_sent;
 }
 
-void Fabric::ctx_recv(Pe& pe, Color color, Dsd dst, Color completion, f64 cursor) {
+void Fabric::ctx_recv(Shard& shard, Pe& pe, Color color, Dsd dst, Color completion,
+                      f64 cursor) {
   check_routable(color);
   check_valid(completion);
   FVDF_CHECK_MSG(dst.length > 0, "empty receive");
   pe.recv_queues[color].push_back(RecvDesc{dst, 0, completion});
   // Words that raced ahead of the descriptor are sitting in the inbox.
-  feed_recv_descriptors(pe, color, cursor);
+  feed_recv_descriptors(shard, pe, color, cursor);
 }
 
-void Fabric::ctx_activate(Pe& pe, Color color, f64 cursor) {
+void Fabric::ctx_activate(Shard& shard, Pe& pe, Color color, f64 cursor) {
   check_valid(color);
   Event event;
   event.kind = EventKind::TaskStart;
   event.pe_index = pe_index(pe.coord.x, pe.coord.y);
   event.color = color;
   event.t = cursor;
-  push_event(std::move(event));
+  push_event(shard, std::move(event));
 }
 
-PeMemory& Fabric::pe_memory(i64 x, i64 y) { return at(pe_index(x, y)).memory; }
+void Fabric::check_host_coord(i64 x, i64 y) const {
+  FVDF_CHECK_MSG(x >= 0 && x < width_ && y >= 0 && y < height_,
+                 "PE coordinate (" << x << ", " << y << ") outside the "
+                                   << width_ << "x" << height_ << " fabric");
+}
+
+PeMemory& Fabric::pe_memory(i64 x, i64 y) {
+  check_host_coord(x, y);
+  return at(pe_index(x, y)).memory;
+}
 
 const Router& Fabric::pe_router(i64 x, i64 y) const {
+  check_host_coord(x, y);
   return pes_[static_cast<std::size_t>(y * width_ + x)]->router;
 }
 
 const OpCounters& Fabric::pe_counters(i64 x, i64 y) const {
+  check_host_coord(x, y);
   return pes_[static_cast<std::size_t>(y * width_ + x)]->counters;
 }
 

@@ -11,18 +11,33 @@
 // words of one send travel as a single "flit" event batch (one event per
 // message per hop, not per word), which keeps the event count tractable
 // while preserving per-word bandwidth accounting.
+//
+// Execution engine (docs/simulator.md, "Parallel execution model"): the PE
+// grid is partitioned into horizontal shards — a pure function of the
+// fabric geometry, never of the thread count — each owning the event
+// queue, statistics and trace buffer of its rows. run() is a conservative
+// time-windowed parallel DES: the minimum cross-shard propagation delay
+// (one router hop) is a safe lookahead, so each round every shard
+// processes its events up to `min_event_time + lookahead` independently,
+// and boundary-crossing flits are exchanged at a deterministic merge
+// barrier ordered by (time, source shard, emission index). Results —
+// memory contents, FabricStats, trace streams — are bitwise identical at
+// any thread count, including 1.
 
+#include <array>
 #include <deque>
 #include <memory>
-#include <queue>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "common/types.hpp"
 #include "perf/opcount.hpp"
 #include "wse/color.hpp"
 #include "wse/dsd.hpp"
+#include "wse/event_heap.hpp"
 #include "wse/geometry.hpp"
 #include "wse/memory.hpp"
+#include "wse/payload_pool.hpp"
 #include "wse/program.hpp"
 #include "wse/router.hpp"
 #include "wse/timing.hpp"
@@ -40,6 +55,8 @@ struct FabricStats {
   u64 tasks_run = 0;
   u64 events_processed = 0;
   u64 flits_stalled = 0; // backpressure events (arrival before switch advance)
+
+  bool operator==(const FabricStats&) const = default;
 };
 
 struct PeMemoryParams {
@@ -71,8 +88,19 @@ public:
   /// simulated cycles elapse.
   RunResult run(f64 max_cycles = 1e15);
 
+  /// Sets the number of worker threads run() may use (0 = hardware
+  /// concurrency, 1 = serial; the default). The thread count never changes
+  /// results: the shard schedule depends only on the fabric geometry.
+  void set_threads(u32 threads);
+  u32 threads() const { return threads_; }
+
+  /// Number of spatial shards the engine partitioned this fabric into — a
+  /// function of the grid, not of threads (for tests and diagnostics).
+  u32 shard_count() const { return static_cast<u32>(shards_.size()); }
+
   // --- host-side access (the "memcpy" path: the host can read and write PE
-  // memory only between runs, like the SDK's memcpy infrastructure) ---
+  // memory only between runs, like the SDK's memcpy infrastructure). All
+  // three throw on out-of-range coordinates. ---
   PeMemory& pe_memory(i64 x, i64 y);
   const Router& pe_router(i64 x, i64 y) const;
   const OpCounters& pe_counters(i64 x, i64 y) const;
@@ -84,11 +112,16 @@ public:
   /// Simulated seconds corresponding to a cycle count.
   f64 seconds(f64 cycles) const { return timing_.seconds(cycles); }
 
-  /// Installs a trace sink receiving every simulator event (pass nullptr
-  /// to disable). Must be set before run().
+  /// Installs a trace sink (pass nullptr to disable). Must be set before
+  /// run(). Records are gathered per shard and merge-sorted by time at
+  /// every window barrier before reaching the sink, so the stream is
+  /// identical at any thread count.
   void set_trace(TraceSink sink) { trace_ = std::move(sink); }
 
-  /// Installs a deterministic fault schedule (see wse/trace.hpp).
+  /// Installs a deterministic fault schedule (see wse/trace.hpp). Fault
+  /// plans count injected messages fabric-globally, so a run with faults
+  /// active is pinned to one worker thread (still windowed, still
+  /// deterministic).
   void set_faults(FaultPlan plan) { faults_ = plan; }
 
 private:
@@ -96,7 +129,7 @@ private:
 
   struct Flit {
     Color color = kInvalidColor;
-    std::shared_ptr<const std::vector<f32>> data; // may be null (control-only)
+    PayloadRef data; // null for control-only wavelets
     ColorMask advance_after = 0; // trailing control wavelet, 0 = none
   };
 
@@ -104,6 +137,28 @@ private:
     Dsd dst;
     u32 filled = 0;
     Color completion = kInvalidColor;
+  };
+
+  // Per-color word FIFO between ramp and recv descriptors. Payloads append
+  // as one span and descriptors drain in bulk — the seed engine moved one
+  // deque<f32> word at a time through push_back/pop_front.
+  struct WordFifo {
+    std::vector<f32> buf;
+    std::size_t head = 0;
+
+    bool empty() const { return head == buf.size(); }
+    std::size_t size() const { return buf.size() - head; }
+    const f32* data() const { return buf.data() + head; }
+    void append(const f32* words, std::size_t count) {
+      buf.insert(buf.end(), words, words + count);
+    }
+    void consume(std::size_t count) {
+      head += count;
+      if (head == buf.size()) {
+        buf.clear();
+        head = 0;
+      }
+    }
   };
 
   struct Pe {
@@ -115,7 +170,7 @@ private:
     f64 busy_until = 0;
     bool halted = false;
     std::array<std::deque<RecvDesc>, kNumRoutableColors> recv_queues;
-    std::array<std::deque<f32>, kNumRoutableColors> inbox;
+    std::array<WordFifo, kNumRoutableColors> inbox;
     // Backpressure: flits whose arrival link is not in the color's current
     // rx set park here (keyed by color) and re-dispatch when a control
     // advances that color's switch position.
@@ -150,28 +205,76 @@ private:
     }
   };
 
+  // A boundary-crossing event awaiting the merge barrier. emit_seq orders
+  // emissions of one source shard; together with the source shard id it
+  // gives cross-shard arrivals a deterministic total order.
+  struct Outbound {
+    Event event;
+    u64 emit_seq = 0;
+  };
+
+  /// One spatial tile of the fabric: a contiguous band of PE rows with its
+  /// own event queue, sequence counters, statistics, outboxes and trace
+  /// buffer. Shards only ever touch their own rows' state during a window.
+  struct Shard {
+    u32 id = 0;
+    i64 row_begin = 0;
+    i64 row_end = 0;
+    EventHeap<Event, EventOrder> events;
+    u64 next_seq = 0; // orders events within this shard
+    u64 emit_seq = 0; // orders this shard's cross-shard emissions
+    u64 outbound_count = 0; // events parked in outboxes this window
+    f64 now = 0;
+    i64 halted = 0;
+    FabricStats stats;
+    std::vector<std::vector<Outbound>> outbox; // indexed by destination shard
+    std::vector<TraceRecord> trace;            // window-local
+  };
+
   i64 pe_index(i64 x, i64 y) const { return y * width_ + x; }
   Pe& at(i64 index) { return *pes_[static_cast<std::size_t>(index)]; }
+  Shard& shard_of(i64 pe_idx) {
+    return shards_[row_shard_[static_cast<std::size_t>(pe_idx / width_)]];
+  }
+  void check_host_coord(i64 x, i64 y) const;
 
-  void push_event(Event event);
-  void handle_flit_arrive(const Event& event);
+  /// Routes `event` from code running inside `from`: same-shard events
+  /// enter the local queue immediately, boundary-crossing events park in
+  /// the outbox until the merge barrier.
+  void push_event(Shard& from, Event&& event);
+  void enqueue_local(Shard& shard, Event&& event);
+
+  void process_window(Shard& shard, f64 horizon, f64 max_cycles);
+  /// Barrier: moves every outbox into its destination shard's queue in
+  /// (t, source shard, emission index) order, then flushes traces.
+  void exchange_and_merge();
+  void flush_traces();
+
+  void handle_flit_arrive(Shard& shard, Event&& event);
+  /// Forwards/delivers an accepted flit (the post-backpressure half of
+  /// arrival handling; also the re-dispatch path for released flits).
+  void dispatch_flit(Shard& shard, Pe& pe, Dir from, Flit&& flit, f64 t);
   // Applies a switch advance at `pe` and re-dispatches any flits that were
-  // stalled on the affected colors (at time `t`).
-  void advance_and_release(Pe& pe, ColorMask mask, f64 t);
-  void handle_task_start(const Event& event);
-  void deliver_to_ramp(Pe& pe, const Flit& flit, f64 t);
-  void feed_recv_descriptors(Pe& pe, Color color, f64 t);
-  void run_task(Pe& pe, Color color, f64 t);
+  // stalled on the affected colors (at time `t`). Flits the new position
+  // still rejects re-park directly without re-entering the event queue.
+  void advance_and_release(Shard& shard, Pe& pe, ColorMask mask, f64 t);
+  void handle_task_start(Shard& shard, const Event& event);
+  void deliver_to_ramp(Shard& shard, Pe& pe, const Flit& flit, f64 t);
+  void feed_recv_descriptors(Shard& shard, Pe& pe, Color color, f64 t);
+  void run_task(Shard& shard, Pe& pe, Color color, f64 t);
 
   // PeContext backends (called from FabricPeContext during a task).
-  void ctx_send(Pe& pe, Color color, Dsd src, ColorMask advance_after,
-                Color completion, f64& cursor);
-  void ctx_send_control(Pe& pe, Color color, ColorMask advance, f64& cursor);
-  void ctx_recv(Pe& pe, Color color, Dsd dst, Color completion, f64 cursor);
-  void ctx_activate(Pe& pe, Color color, f64 cursor);
+  void ctx_send(Shard& shard, Pe& pe, Color color, Dsd src,
+                ColorMask advance_after, Color completion, f64& cursor);
+  void ctx_send_control(Shard& shard, Pe& pe, Color color, ColorMask advance,
+                        f64& cursor);
+  void ctx_recv(Shard& shard, Pe& pe, Color color, Dsd dst, Color completion,
+                f64 cursor);
+  void ctx_activate(Shard& shard, Pe& pe, Color color, f64 cursor);
 
-  void emit_trace(TraceEvent event, f64 t, PeCoord at, Color color, u32 words) const {
-    if (trace_) trace_(TraceRecord{event, t, at, color, words});
+  void emit_trace(Shard& shard, TraceEvent event, f64 t, PeCoord at, Color color,
+                  u32 words) {
+    if (trace_) shard.trace.push_back(TraceRecord{event, t, at, color, words});
   }
 
   i64 width_;
@@ -181,11 +284,17 @@ private:
   u64 injected_data_messages_ = 0;
   TimingParams timing_;
   PeMemoryParams mem_params_;
+  // The payload pool outlives everything holding PayloadRefs (PEs' parked
+  // flits, shard queues): keep it declared first.
+  PayloadPool payload_pool_;
   std::vector<std::unique_ptr<Pe>> pes_;
-  std::priority_queue<Event, std::vector<Event>, EventOrder> events_;
-  u64 next_seq_ = 0;
+  std::vector<u32> row_shard_; // PE row -> shard id
+  std::vector<Shard> shards_;
+  std::vector<const Outbound*> merge_scratch_;
+  std::vector<TraceRecord> trace_scratch_;
+  std::unique_ptr<ThreadPool> pool_;
+  u32 threads_ = 1;
   f64 now_ = 0;
-  i64 halted_count_ = 0;
   FabricStats stats_;
   bool loaded_ = false;
 };

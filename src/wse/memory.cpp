@@ -57,6 +57,22 @@ void PeMemory::store(u32 word_offset, f32 value) {
   std::memcpy(storage_.data() + word_offset * 4u, &value, 4);
 }
 
+void PeMemory::load_words(u32 word_offset, f32* dst, u32 count) const {
+  FVDF_CHECK_MSG((static_cast<u64>(word_offset) + count) * 4 <= used_,
+                 "load past allocated memory at words [" << word_offset << ", "
+                                                         << word_offset + count << ")");
+  std::memcpy(dst, storage_.data() + static_cast<u64>(word_offset) * 4u,
+              static_cast<std::size_t>(count) * 4u);
+}
+
+void PeMemory::store_words(u32 word_offset, const f32* src, u32 count) {
+  FVDF_CHECK_MSG((static_cast<u64>(word_offset) + count) * 4 <= used_,
+                 "store past allocated memory at words [" << word_offset << ", "
+                                                          << word_offset + count << ")");
+  std::memcpy(storage_.data() + static_cast<u64>(word_offset) * 4u, src,
+              static_cast<std::size_t>(count) * 4u);
+}
+
 f32* PeMemory::word_ptr(u32 word_offset) {
   FVDF_CHECK(static_cast<u64>(word_offset) * 4 < used_);
   return reinterpret_cast<f32*>(storage_.data() + word_offset * 4u);

@@ -41,6 +41,12 @@ public:
   /// fp32 view of the arena (bounds-checked accessors).
   f32 load(u32 word_offset) const;
   void store(u32 word_offset, f32 value);
+
+  /// Bulk fp32 access for contiguous (stride-1) transfers: one bounds
+  /// check and one memcpy instead of a load/store per word. The fabric's
+  /// ramp delivery and send-gather paths live on these.
+  void load_words(u32 word_offset, f32* dst, u32 count) const;
+  void store_words(u32 word_offset, const f32* src, u32 count);
   f32* word_ptr(u32 word_offset);
   const f32* word_ptr(u32 word_offset) const;
 

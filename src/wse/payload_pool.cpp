@@ -1,0 +1,64 @@
+#include "wse/payload_pool.hpp"
+
+#include "common/error.hpp"
+
+namespace fvdf::wse {
+
+void PayloadRef::reset() {
+  if (!node_) return;
+  detail::PayloadNode* node = node_;
+  node_ = nullptr;
+  if (node->refs.fetch_sub(1, std::memory_order_acq_rel) == 1)
+    node->pool->recycle(node);
+}
+
+std::vector<f32>& PayloadRef::mutate() {
+  FVDF_CHECK_MSG(node_ != nullptr, "mutate() on a null payload");
+  FVDF_CHECK_MSG(node_->refs.load(std::memory_order_relaxed) == 1,
+                 "mutate() on a shared payload");
+  return node_->words;
+}
+
+PayloadPool::~PayloadPool() {
+  detail::PayloadNode* node = free_;
+  while (node != nullptr) {
+    detail::PayloadNode* next = node->next;
+    delete node;
+    node = next;
+  }
+}
+
+PayloadRef PayloadPool::acquire(std::size_t reserve_words) {
+  detail::PayloadNode* node = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (free_ != nullptr) {
+      node = free_;
+      free_ = node->next;
+      --free_count_;
+    }
+  }
+  if (node == nullptr) {
+    node = new detail::PayloadNode;
+    node->pool = this;
+  }
+  node->next = nullptr;
+  node->words.clear();
+  node->words.reserve(reserve_words);
+  node->refs.store(1, std::memory_order_relaxed);
+  return PayloadRef(node);
+}
+
+std::size_t PayloadPool::free_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return free_count_;
+}
+
+void PayloadPool::recycle(detail::PayloadNode* node) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  node->next = free_;
+  free_ = node;
+  ++free_count_;
+}
+
+} // namespace fvdf::wse

@@ -1,0 +1,95 @@
+#pragma once
+// Pooled, reference-counted flit payload buffers.
+//
+// Every ctx_send used to allocate a fresh shared_ptr<vector<f32>> (two
+// heap allocations: control block plus words) that died as soon as the
+// last copy of the message was delivered. The pool recycles the vectors —
+// capacity and all — through an intrusive free list, and replaces
+// shared_ptr with an intrusive refcount, so a steady-state send costs no
+// allocation at all and a broadcast fan-out costs one atomic increment
+// instead of a control-block bump through a separate cache line. The
+// refcount is atomic because copies of one payload can be released
+// concurrently from different shards of the parallel engine; the free
+// list takes a mutex only on acquire and final release.
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fvdf::wse {
+
+class PayloadPool;
+
+namespace detail {
+struct PayloadNode {
+  std::vector<f32> words;
+  std::atomic<u32> refs{0};
+  PayloadPool* pool = nullptr;
+  PayloadNode* next = nullptr; // free-list link, valid only while pooled
+};
+} // namespace detail
+
+/// Shared handle to a pooled payload buffer. Copying bumps an intrusive
+/// refcount; destroying the last reference returns the buffer to its pool.
+class PayloadRef {
+public:
+  PayloadRef() = default;
+  PayloadRef(const PayloadRef& other) : node_(other.node_) {
+    if (node_) node_->refs.fetch_add(1, std::memory_order_relaxed);
+  }
+  PayloadRef(PayloadRef&& other) noexcept : node_(other.node_) { other.node_ = nullptr; }
+  PayloadRef& operator=(const PayloadRef& other) {
+    PayloadRef copy(other);
+    std::swap(node_, copy.node_);
+    return *this;
+  }
+  PayloadRef& operator=(PayloadRef&& other) noexcept {
+    std::swap(node_, other.node_);
+    return *this;
+  }
+  ~PayloadRef() { reset(); }
+
+  void reset();
+
+  explicit operator bool() const { return node_ != nullptr; }
+  const std::vector<f32>& operator*() const { return node_->words; }
+  const std::vector<f32>* operator->() const { return &node_->words; }
+
+  /// Mutable access to the words; only legal while this is the sole
+  /// reference (filling a fresh buffer, fault injection before the message
+  /// enters the fabric).
+  std::vector<f32>& mutate();
+
+private:
+  friend class PayloadPool;
+  explicit PayloadRef(detail::PayloadNode* node) : node_(node) {}
+  detail::PayloadNode* node_ = nullptr;
+};
+
+class PayloadPool {
+public:
+  PayloadPool() = default;
+  ~PayloadPool();
+  PayloadPool(const PayloadPool&) = delete;
+  PayloadPool& operator=(const PayloadPool&) = delete;
+
+  /// Returns an empty buffer with at least `reserve_words` capacity and a
+  /// refcount of one. Reuses a recycled buffer when one is available.
+  PayloadRef acquire(std::size_t reserve_words);
+
+  /// Buffers currently parked in the free list (diagnostics/tests).
+  std::size_t free_count() const;
+
+private:
+  friend class PayloadRef;
+  void recycle(detail::PayloadNode* node);
+
+  mutable std::mutex mutex_;
+  detail::PayloadNode* free_ = nullptr;
+  std::size_t free_count_ = 0;
+};
+
+} // namespace fvdf::wse

@@ -425,6 +425,79 @@ TEST(Fabric, InvalidUsagesThrow) {
   EXPECT_TRUE(fabric.run().all_halted);
 }
 
+TEST(Fabric, HostAccessorsRejectOutOfRangeCoordinates) {
+  Fabric fabric(3, 2);
+  EXPECT_THROW(fabric.pe_memory(-1, 0), Error);
+  EXPECT_THROW(fabric.pe_memory(3, 0), Error);
+  EXPECT_THROW(fabric.pe_memory(0, 2), Error);
+  EXPECT_THROW(fabric.pe_router(0, -1), Error);
+  EXPECT_THROW(fabric.pe_router(5, 5), Error);
+  EXPECT_THROW(fabric.pe_counters(-2, 1), Error);
+  EXPECT_NO_THROW(fabric.pe_memory(2, 1));
+  EXPECT_NO_THROW(fabric.pe_router(0, 0));
+  EXPECT_NO_THROW(fabric.pe_counters(2, 1));
+}
+
+TEST(Fabric, RejectedAdvanceReparksWithoutEventOrTraceInflation) {
+  // The receiver's switch cycles through two rejecting positions before an
+  // accepting one. The advance through a still-rejecting position must
+  // re-park the flit directly: exactly one FlitStalled record and stall
+  // count, no matter how many advances it takes to release it.
+  Fabric fabric(2, 1);
+  TraceBuffer trace;
+  fabric.set_trace(trace.sink());
+  constexpr Color kData = 0;
+  constexpr Color kPoke = 25;
+  constexpr Color kPoke2 = 26;
+  constexpr Color kDone = 27;
+  bool delivered = false;
+
+  fabric.load([&](PeCoord coord) {
+    return std::make_unique<LambdaProgram>(
+        [coord](PeContext& ctx) {
+          if (coord.x == 0) {
+            ctx.configure_router(kData, to_east());
+            const MemSpan src = ctx.memory().alloc_f32("src", 1);
+            ctx.memory().store(src.offset_words, 3.5f);
+            ctx.send(kData, dsd(src));
+            ctx.halt();
+          } else {
+            ColorConfig wrong_wrong_right;
+            wrong_wrong_right.positions = {
+                SwitchPosition{DirMask::of(Dir::Ramp), DirMask::of(Dir::East)},
+                SwitchPosition{DirMask::of(Dir::Ramp), DirMask::of(Dir::East)},
+                SwitchPosition{DirMask::of(Dir::West), DirMask::of(Dir::Ramp)}};
+            ctx.configure_router(kData, wrong_wrong_right);
+            const MemSpan dst = ctx.memory().alloc_f32("dst", 1);
+            ctx.recv(kData, dsd(dst), kDone);
+            // Let the flit arrive (and stall) before the pokes advance.
+            const MemSpan scratch = ctx.memory().alloc_f32("scratch", 512);
+            ctx.dsd().fmovs_imm(dsd(scratch), 0.0f);
+            ctx.activate(kPoke);
+          }
+        },
+        [&](PeContext& ctx, Color color) {
+          if (color == kPoke) {
+            ctx.advance_local(color_bit(kData)); // position 1: still rejects
+            ctx.activate(kPoke2);
+            return;
+          }
+          if (color == kPoke2) {
+            ctx.advance_local(color_bit(kData)); // position 2: accepts
+            return;
+          }
+          EXPECT_EQ(color, kDone);
+          EXPECT_FLOAT_EQ(ctx.memory().load(0), 3.5f);
+          delivered = true;
+          ctx.halt();
+        });
+  });
+  EXPECT_TRUE(fabric.run().all_halted);
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(fabric.stats().flits_stalled, 1u);
+  EXPECT_EQ(trace.count(TraceEvent::FlitStalled), 1u);
+}
+
 TEST(Fabric, LargerMessagesTakeLongerOnTheLink) {
   auto timed_transfer = [](u32 words) {
     Fabric fabric(2, 1);

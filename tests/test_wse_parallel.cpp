@@ -1,0 +1,232 @@
+// The parallel execution engine's contract: the worker-thread count is
+// invisible. Solutions, statistics and trace streams must be bitwise
+// identical at any `sim_threads`, including repeated runs, and
+// backpressure must work across shard boundaries exactly as within one.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "core/solver.hpp"
+#include "fv/problem.hpp"
+#include "wse/fabric.hpp"
+#include "wse/trace.hpp"
+
+namespace fvdf::wse {
+namespace {
+
+class LambdaProgram final : public PeProgram {
+public:
+  using StartFn = std::function<void(PeContext&)>;
+  using TaskFn = std::function<void(PeContext&, Color)>;
+  LambdaProgram(StartFn start, TaskFn task)
+      : start_(std::move(start)), task_(std::move(task)) {}
+
+  void on_start(PeContext& ctx) override {
+    if (start_) start_(ctx);
+  }
+  void on_task(PeContext& ctx, Color color) override {
+    if (task_) task_(ctx, color);
+  }
+
+private:
+  StartFn start_;
+  TaskFn task_;
+};
+
+bool same_bits(const std::vector<f32>& a, const std::vector<f32>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(f32)) == 0);
+}
+
+core::DataflowResult solve_with_threads(u32 threads) {
+  // 12 rows -> 12 shards; every north-south halo exchange crosses a shard
+  // boundary, so this exercises the merge barrier hard.
+  const auto problem = FlowProblem::homogeneous_column(10, 12, 6);
+  core::DataflowConfig config;
+  config.tolerance = 0.0f;
+  config.max_iterations = 25;
+  config.sim_threads = threads;
+  return core::solve_dataflow(problem, config);
+}
+
+TEST(ParallelFabric, SolveIsBitwiseIdenticalAcrossThreadCounts) {
+  const auto reference = solve_with_threads(1);
+  std::vector<u32> counts = {2, 4};
+  const u32 hw = std::max(1u, std::thread::hardware_concurrency());
+  if (hw != 2 && hw != 4) counts.push_back(hw);
+  for (u32 threads : counts) {
+    const auto result = solve_with_threads(threads);
+    EXPECT_TRUE(same_bits(result.delta, reference.delta))
+        << "delta differs at sim_threads=" << threads;
+    EXPECT_TRUE(same_bits(result.pressure, reference.pressure))
+        << "pressure differs at sim_threads=" << threads;
+    EXPECT_EQ(result.iterations, reference.iterations);
+    EXPECT_EQ(result.device_cycles, reference.device_cycles);
+    EXPECT_TRUE(result.fabric == reference.fabric)
+        << "FabricStats differ at sim_threads=" << threads;
+  }
+}
+
+TEST(ParallelFabric, RepeatedRunsAreBitwiseIdentical) {
+  const auto a = solve_with_threads(4);
+  const auto b = solve_with_threads(4);
+  EXPECT_TRUE(same_bits(a.delta, b.delta));
+  EXPECT_EQ(a.device_cycles, b.device_cycles);
+  EXPECT_TRUE(a.fabric == b.fabric);
+}
+
+// A 3x4 fabric (4 shards: one per row) where rows 0 and 2 send
+// column-dependent payloads south across shard boundaries while burning
+// column-dependent compute time — plenty of same-cycle cross-shard events.
+void load_cross_shard_program(Fabric& fabric) {
+  constexpr Color kData = 0;
+  constexpr Color kDone = 24;
+  fabric.load([](PeCoord coord) {
+    return std::make_unique<LambdaProgram>(
+        [coord](PeContext& ctx) {
+          const bool sender = coord.y == 0 || coord.y == 2;
+          const u32 words = 4 + static_cast<u32>(coord.x) * 3;
+          if (sender) {
+            ColorConfig south;
+            south.positions = {SwitchPosition{DirMask::of(Dir::Ramp),
+                                              DirMask::of(Dir::South)}};
+            ctx.configure_router(kData, south);
+            const MemSpan src = ctx.memory().alloc_f32("src", words);
+            for (u32 i = 0; i < words; ++i)
+              ctx.memory().store(src.offset_words + i,
+                                 static_cast<f32>(coord.x * 100 + i));
+            const MemSpan burn = ctx.memory().alloc_f32("burn", 64);
+            for (i64 n = 0; n <= coord.x; ++n)
+              ctx.dsd().fmovs_imm(dsd(burn), static_cast<f32>(n));
+            ctx.send(kData, dsd(src));
+            ctx.halt();
+          } else {
+            ColorConfig north;
+            north.positions = {SwitchPosition{DirMask::of(Dir::North),
+                                              DirMask::of(Dir::Ramp)}};
+            ctx.configure_router(kData, north);
+            const MemSpan dst = ctx.memory().alloc_f32("dst", words);
+            ctx.recv(kData, dsd(dst), kDone);
+          }
+        },
+        [](PeContext& ctx, Color) { ctx.halt(); });
+  });
+}
+
+TEST(ParallelFabric, TraceStreamIsIdenticalAcrossThreadCounts) {
+  auto traced_run = [](u32 threads) {
+    Fabric fabric(3, 4);
+    EXPECT_EQ(fabric.shard_count(), 4u);
+    fabric.set_threads(threads);
+    TraceBuffer buffer;
+    fabric.set_trace(buffer.sink());
+    load_cross_shard_program(fabric);
+    EXPECT_TRUE(fabric.run().all_halted);
+    return buffer;
+  };
+  const TraceBuffer reference = traced_run(1);
+  EXPECT_GT(reference.total(), 0u);
+  for (u32 threads : {2u, 4u}) {
+    const TraceBuffer buffer = traced_run(threads);
+    ASSERT_EQ(buffer.records().size(), reference.records().size())
+        << "trace length differs at threads=" << threads;
+    for (std::size_t i = 0; i < buffer.records().size(); ++i) {
+      const TraceRecord& got = buffer.records()[i];
+      const TraceRecord& want = reference.records()[i];
+      ASSERT_TRUE(got.event == want.event && got.cycles == want.cycles &&
+                  got.at == want.at && got.color == want.color &&
+                  got.words == want.words)
+          << "trace record " << i << " differs at threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelFabric, BackpressureStallsAcrossShardBoundary) {
+  // Sender and receiver sit in different shards (1x2 fabric, one shard per
+  // row). The data flit crosses the boundary, parks on the receiver's
+  // rejecting switch position, and is released by a later control wavelet
+  // that also crossed the boundary.
+  auto run_once = [](u32 threads) {
+    Fabric fabric(1, 2);
+    EXPECT_EQ(fabric.shard_count(), 2u);
+    fabric.set_threads(threads);
+    constexpr Color kData = 0;
+    constexpr Color kCtl = 1;
+    constexpr Color kDone = 24;
+    bool delivered = false;
+
+    fabric.load([&](PeCoord coord) {
+      return std::make_unique<LambdaProgram>(
+          [coord](PeContext& ctx) {
+            if (coord.y == 0) {
+              ColorConfig south;
+              south.positions = {SwitchPosition{DirMask::of(Dir::Ramp),
+                                                DirMask::of(Dir::South)}};
+              ctx.configure_router(kData, south);
+              ctx.configure_router(kCtl, south);
+              const MemSpan src = ctx.memory().alloc_f32("src", 3);
+              for (u32 i = 0; i < 3; ++i)
+                ctx.memory().store(src.offset_words + i, static_cast<f32>(7 + i));
+              ctx.send(kData, dsd(src));
+              // Trails the data; advances kData's switch at the receiver.
+              ctx.send_control(kCtl, color_bit(kData));
+              ctx.halt();
+            } else {
+              ColorConfig wrong_then_right;
+              wrong_then_right.positions = {
+                  SwitchPosition{DirMask::of(Dir::Ramp), DirMask::of(Dir::South)},
+                  SwitchPosition{DirMask::of(Dir::North), DirMask::of(Dir::Ramp)}};
+              ctx.configure_router(kData, wrong_then_right);
+              ColorConfig from_north;
+              from_north.positions = {SwitchPosition{DirMask::of(Dir::North),
+                                                     DirMask::of(Dir::Ramp)}};
+              ctx.configure_router(kCtl, from_north);
+              const MemSpan dst = ctx.memory().alloc_f32("dst", 3);
+              ctx.recv(kData, dsd(dst), kDone);
+            }
+          },
+          [&](PeContext& ctx, Color color) {
+            EXPECT_EQ(color, kDone);
+            for (u32 i = 0; i < 3; ++i)
+              EXPECT_FLOAT_EQ(ctx.memory().load(i), static_cast<f32>(7 + i));
+            delivered = true;
+            ctx.halt();
+          });
+    });
+    const auto result = fabric.run();
+    EXPECT_TRUE(result.all_halted);
+    EXPECT_TRUE(delivered);
+    EXPECT_GE(fabric.stats().flits_stalled, 1u);
+    return std::make_pair(result.cycles, fabric.stats());
+  };
+  const auto serial = run_once(1);
+  const auto parallel = run_once(4);
+  EXPECT_EQ(serial.first, parallel.first);
+  EXPECT_TRUE(serial.second == parallel.second);
+}
+
+TEST(ParallelFabric, ShardCountIsGeometryNotThreads) {
+  Fabric tall(1, 40);
+  EXPECT_EQ(tall.shard_count(), 16u); // capped
+  tall.set_threads(7);
+  EXPECT_EQ(tall.shard_count(), 16u);
+  EXPECT_EQ(tall.threads(), 7u);
+
+  Fabric flat(40, 1);
+  EXPECT_EQ(flat.shard_count(), 1u); // one row -> serial fast path
+
+  Fabric mid(4, 6);
+  EXPECT_EQ(mid.shard_count(), 6u);
+
+  Fabric any(2, 2);
+  any.set_threads(0); // hardware concurrency
+  EXPECT_GE(any.threads(), 1u);
+}
+
+} // namespace
+} // namespace fvdf::wse

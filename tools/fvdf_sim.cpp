@@ -3,10 +3,14 @@
 // device) plus VTK/checkpoint artifacts out.
 //
 //   ./tools/fvdf_sim path/to/case.ini
+//   ./tools/fvdf_sim --sim-threads 4 path/to/case.ini
 //   ./tools/fvdf_sim --print-template > case.ini
 //
-// See src/app/scenario.hpp for the full schema.
+// See src/app/scenario.hpp for the full schema. `--sim-threads N` overrides
+// the config's solver.sim_threads (0 = hardware concurrency); it changes
+// wall-clock only, never results.
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
@@ -33,6 +37,7 @@ producer_pressure = 0.0
 [solver]
 backend = host-pcg   ; host | host-pcg | dataflow
 tolerance = 1e-18
+sim_threads = 1      ; fabric simulator workers (0 = hardware concurrency)
 
 [transient]
 enabled = false
@@ -44,20 +49,48 @@ vtk = case.vtk
 heatmap = true
 )";
 
+void usage() {
+  std::cerr << "usage: fvdf_sim [--sim-threads N] <case.ini>  (or --print-template)\n";
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
-  if (argc == 2 && std::string(argv[1]) == "--print-template") {
-    std::cout << kTemplate;
-    return 0;
+  std::string case_path;
+  long sim_threads = -1; // -1 = use the config's value
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--print-template") {
+      std::cout << kTemplate;
+      return 0;
+    }
+    if (arg == "--sim-threads") {
+      if (i + 1 >= argc) {
+        usage();
+        return 2;
+      }
+      sim_threads = std::strtol(argv[++i], nullptr, 10);
+      if (sim_threads < 0) {
+        std::cerr << "error: --sim-threads expects a count >= 0\n";
+        return 2;
+      }
+      continue;
+    }
+    if (!case_path.empty()) {
+      usage();
+      return 2;
+    }
+    case_path = arg;
   }
-  if (argc != 2) {
-    std::cerr << "usage: fvdf_sim <case.ini>  (or --print-template)\n";
+  if (case_path.empty()) {
+    usage();
     return 2;
   }
   try {
-    const auto config = fvdf::Config::parse_file(argv[1]);
-    const auto scenario = fvdf::app::scenario_from_config(config);
+    const auto config = fvdf::Config::parse_file(case_path);
+    auto scenario = fvdf::app::scenario_from_config(config);
+    if (sim_threads >= 0)
+      scenario.sim_threads = static_cast<fvdf::u32>(sim_threads);
     const auto outcome = fvdf::app::run_scenario(scenario, std::cout);
     return outcome.converged ? 0 : 1;
   } catch (const fvdf::Error& e) {
