@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_chebyshev.dir/ablation_chebyshev.cpp.o"
+  "CMakeFiles/ablation_chebyshev.dir/ablation_chebyshev.cpp.o.d"
+  "ablation_chebyshev"
+  "ablation_chebyshev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_chebyshev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_matrixfree.dir/ablation_matrixfree.cpp.o"
+  "CMakeFiles/ablation_matrixfree.dir/ablation_matrixfree.cpp.o.d"
+  "ablation_matrixfree"
+  "ablation_matrixfree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_matrixfree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_precond.dir/ablation_precond.cpp.o"
+  "CMakeFiles/ablation_precond.dir/ablation_precond.cpp.o.d"
+  "ablation_precond"
+  "ablation_precond.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_precond.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

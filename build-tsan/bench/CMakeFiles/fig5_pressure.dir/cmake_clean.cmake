@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_pressure.dir/fig5_pressure.cpp.o"
+  "CMakeFiles/fig5_pressure.dir/fig5_pressure.cpp.o.d"
+  "fig5_pressure"
+  "fig5_pressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_pressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

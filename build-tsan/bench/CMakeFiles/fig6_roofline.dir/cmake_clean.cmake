@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_roofline.dir/fig6_roofline.cpp.o"
+  "CMakeFiles/fig6_roofline.dir/fig6_roofline.cpp.o.d"
+  "fig6_roofline"
+  "fig6_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_timing.dir/table2_timing.cpp.o"
+  "CMakeFiles/table2_timing.dir/table2_timing.cpp.o.d"
+  "table2_timing"
+  "table2_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

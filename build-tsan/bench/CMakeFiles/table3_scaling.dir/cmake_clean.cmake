@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_scaling.dir/table3_scaling.cpp.o"
+  "CMakeFiles/table3_scaling.dir/table3_scaling.cpp.o.d"
+  "table3_scaling"
+  "table3_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_comm.dir/table4_comm.cpp.o"
+  "CMakeFiles/table4_comm.dir/table4_comm.cpp.o.d"
+  "table4_comm"
+  "table4_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

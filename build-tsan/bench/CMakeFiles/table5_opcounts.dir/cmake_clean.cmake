@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_opcounts.dir/table5_opcounts.cpp.o"
+  "CMakeFiles/table5_opcounts.dir/table5_opcounts.cpp.o.d"
+  "table5_opcounts"
+  "table5_opcounts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_opcounts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

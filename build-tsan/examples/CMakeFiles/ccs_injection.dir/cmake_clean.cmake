@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccs_injection.dir/ccs_injection.cpp.o"
+  "CMakeFiles/ccs_injection.dir/ccs_injection.cpp.o.d"
+  "ccs_injection"
+  "ccs_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccs_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

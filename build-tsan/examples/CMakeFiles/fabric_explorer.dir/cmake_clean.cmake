@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_explorer.dir/fabric_explorer.cpp.o"
+  "CMakeFiles/fabric_explorer.dir/fabric_explorer.cpp.o.d"
+  "fabric_explorer"
+  "fabric_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

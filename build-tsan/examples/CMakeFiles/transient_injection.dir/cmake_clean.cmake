@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transient_injection.dir/transient_injection.cpp.o"
+  "CMakeFiles/transient_injection.dir/transient_injection.cpp.o.d"
+  "transient_injection"
+  "transient_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transient_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

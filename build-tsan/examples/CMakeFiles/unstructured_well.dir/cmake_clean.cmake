@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unstructured_well.dir/unstructured_well.cpp.o"
+  "CMakeFiles/unstructured_well.dir/unstructured_well.cpp.o.d"
+  "unstructured_well"
+  "unstructured_well.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unstructured_well.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for unstructured_well.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waterflood.dir/waterflood.cpp.o"
+  "CMakeFiles/waterflood.dir/waterflood.cpp.o.d"
+  "waterflood"
+  "waterflood.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waterflood.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for waterflood.
+# This may be replaced when dependencies are built.

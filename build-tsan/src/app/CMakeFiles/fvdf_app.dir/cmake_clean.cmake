@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvdf_app.dir/scenario.cpp.o"
+  "CMakeFiles/fvdf_app.dir/scenario.cpp.o.d"
+  "libfvdf_app.a"
+  "libfvdf_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvdf_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

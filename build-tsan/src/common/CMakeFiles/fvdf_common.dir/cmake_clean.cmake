@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvdf_common.dir/cli.cpp.o"
+  "CMakeFiles/fvdf_common.dir/cli.cpp.o.d"
+  "CMakeFiles/fvdf_common.dir/config.cpp.o"
+  "CMakeFiles/fvdf_common.dir/config.cpp.o.d"
+  "CMakeFiles/fvdf_common.dir/image.cpp.o"
+  "CMakeFiles/fvdf_common.dir/image.cpp.o.d"
+  "CMakeFiles/fvdf_common.dir/log.cpp.o"
+  "CMakeFiles/fvdf_common.dir/log.cpp.o.d"
+  "CMakeFiles/fvdf_common.dir/rng.cpp.o"
+  "CMakeFiles/fvdf_common.dir/rng.cpp.o.d"
+  "CMakeFiles/fvdf_common.dir/serialize.cpp.o"
+  "CMakeFiles/fvdf_common.dir/serialize.cpp.o.d"
+  "CMakeFiles/fvdf_common.dir/stats.cpp.o"
+  "CMakeFiles/fvdf_common.dir/stats.cpp.o.d"
+  "CMakeFiles/fvdf_common.dir/table.cpp.o"
+  "CMakeFiles/fvdf_common.dir/table.cpp.o.d"
+  "CMakeFiles/fvdf_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/fvdf_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/fvdf_common.dir/units.cpp.o"
+  "CMakeFiles/fvdf_common.dir/units.cpp.o.d"
+  "libfvdf_common.a"
+  "libfvdf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvdf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvdf_core.dir/chebyshev_program.cpp.o"
+  "CMakeFiles/fvdf_core.dir/chebyshev_program.cpp.o.d"
+  "CMakeFiles/fvdf_core.dir/flux_kernels.cpp.o"
+  "CMakeFiles/fvdf_core.dir/flux_kernels.cpp.o.d"
+  "CMakeFiles/fvdf_core.dir/mapping.cpp.o"
+  "CMakeFiles/fvdf_core.dir/mapping.cpp.o.d"
+  "CMakeFiles/fvdf_core.dir/multiphase_backend.cpp.o"
+  "CMakeFiles/fvdf_core.dir/multiphase_backend.cpp.o.d"
+  "CMakeFiles/fvdf_core.dir/pe_program.cpp.o"
+  "CMakeFiles/fvdf_core.dir/pe_program.cpp.o.d"
+  "CMakeFiles/fvdf_core.dir/solver.cpp.o"
+  "CMakeFiles/fvdf_core.dir/solver.cpp.o.d"
+  "CMakeFiles/fvdf_core.dir/validation.cpp.o"
+  "CMakeFiles/fvdf_core.dir/validation.cpp.o.d"
+  "libfvdf_core.a"
+  "libfvdf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvdf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/csl/allreduce.cpp" "src/csl/CMakeFiles/fvdf_csl.dir/allreduce.cpp.o" "gcc" "src/csl/CMakeFiles/fvdf_csl.dir/allreduce.cpp.o.d"
+  "/root/repo/src/csl/any_source.cpp" "src/csl/CMakeFiles/fvdf_csl.dir/any_source.cpp.o" "gcc" "src/csl/CMakeFiles/fvdf_csl.dir/any_source.cpp.o.d"
+  "/root/repo/src/csl/broadcast.cpp" "src/csl/CMakeFiles/fvdf_csl.dir/broadcast.cpp.o" "gcc" "src/csl/CMakeFiles/fvdf_csl.dir/broadcast.cpp.o.d"
+  "/root/repo/src/csl/halo.cpp" "src/csl/CMakeFiles/fvdf_csl.dir/halo.cpp.o" "gcc" "src/csl/CMakeFiles/fvdf_csl.dir/halo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/wse/CMakeFiles/fvdf_wse.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/fvdf_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/perf/CMakeFiles/fvdf_perf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvdf_csl.dir/allreduce.cpp.o"
+  "CMakeFiles/fvdf_csl.dir/allreduce.cpp.o.d"
+  "CMakeFiles/fvdf_csl.dir/any_source.cpp.o"
+  "CMakeFiles/fvdf_csl.dir/any_source.cpp.o.d"
+  "CMakeFiles/fvdf_csl.dir/broadcast.cpp.o"
+  "CMakeFiles/fvdf_csl.dir/broadcast.cpp.o.d"
+  "CMakeFiles/fvdf_csl.dir/halo.cpp.o"
+  "CMakeFiles/fvdf_csl.dir/halo.cpp.o.d"
+  "libfvdf_csl.a"
+  "libfvdf_csl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvdf_csl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fv/assembled.cpp" "src/fv/CMakeFiles/fvdf_fv.dir/assembled.cpp.o" "gcc" "src/fv/CMakeFiles/fvdf_fv.dir/assembled.cpp.o.d"
+  "/root/repo/src/fv/diagonal.cpp" "src/fv/CMakeFiles/fvdf_fv.dir/diagonal.cpp.o" "gcc" "src/fv/CMakeFiles/fvdf_fv.dir/diagonal.cpp.o.d"
+  "/root/repo/src/fv/operator.cpp" "src/fv/CMakeFiles/fvdf_fv.dir/operator.cpp.o" "gcc" "src/fv/CMakeFiles/fvdf_fv.dir/operator.cpp.o.d"
+  "/root/repo/src/fv/problem.cpp" "src/fv/CMakeFiles/fvdf_fv.dir/problem.cpp.o" "gcc" "src/fv/CMakeFiles/fvdf_fv.dir/problem.cpp.o.d"
+  "/root/repo/src/fv/residual.cpp" "src/fv/CMakeFiles/fvdf_fv.dir/residual.cpp.o" "gcc" "src/fv/CMakeFiles/fvdf_fv.dir/residual.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/mesh/CMakeFiles/fvdf_mesh.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/fvdf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvdf_fv.dir/assembled.cpp.o"
+  "CMakeFiles/fvdf_fv.dir/assembled.cpp.o.d"
+  "CMakeFiles/fvdf_fv.dir/diagonal.cpp.o"
+  "CMakeFiles/fvdf_fv.dir/diagonal.cpp.o.d"
+  "CMakeFiles/fvdf_fv.dir/operator.cpp.o"
+  "CMakeFiles/fvdf_fv.dir/operator.cpp.o.d"
+  "CMakeFiles/fvdf_fv.dir/problem.cpp.o"
+  "CMakeFiles/fvdf_fv.dir/problem.cpp.o.d"
+  "CMakeFiles/fvdf_fv.dir/residual.cpp.o"
+  "CMakeFiles/fvdf_fv.dir/residual.cpp.o.d"
+  "libfvdf_fv.a"
+  "libfvdf_fv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvdf_fv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

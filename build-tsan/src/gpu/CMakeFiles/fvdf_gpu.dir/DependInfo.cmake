@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/cuda_model.cpp" "src/gpu/CMakeFiles/fvdf_gpu.dir/cuda_model.cpp.o" "gcc" "src/gpu/CMakeFiles/fvdf_gpu.dir/cuda_model.cpp.o.d"
+  "/root/repo/src/gpu/gpu_solver.cpp" "src/gpu/CMakeFiles/fvdf_gpu.dir/gpu_solver.cpp.o" "gcc" "src/gpu/CMakeFiles/fvdf_gpu.dir/gpu_solver.cpp.o.d"
+  "/root/repo/src/gpu/kernels.cpp" "src/gpu/CMakeFiles/fvdf_gpu.dir/kernels.cpp.o" "gcc" "src/gpu/CMakeFiles/fvdf_gpu.dir/kernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/fv/CMakeFiles/fvdf_fv.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mesh/CMakeFiles/fvdf_mesh.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/perf/CMakeFiles/fvdf_perf.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/fvdf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

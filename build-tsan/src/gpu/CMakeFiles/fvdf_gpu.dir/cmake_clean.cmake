@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvdf_gpu.dir/cuda_model.cpp.o"
+  "CMakeFiles/fvdf_gpu.dir/cuda_model.cpp.o.d"
+  "CMakeFiles/fvdf_gpu.dir/gpu_solver.cpp.o"
+  "CMakeFiles/fvdf_gpu.dir/gpu_solver.cpp.o.d"
+  "CMakeFiles/fvdf_gpu.dir/kernels.cpp.o"
+  "CMakeFiles/fvdf_gpu.dir/kernels.cpp.o.d"
+  "libfvdf_gpu.a"
+  "libfvdf_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvdf_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfvdf_gpu.a"
+)

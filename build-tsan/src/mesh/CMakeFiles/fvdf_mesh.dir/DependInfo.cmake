@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/bc.cpp" "src/mesh/CMakeFiles/fvdf_mesh.dir/bc.cpp.o" "gcc" "src/mesh/CMakeFiles/fvdf_mesh.dir/bc.cpp.o.d"
+  "/root/repo/src/mesh/cartesian.cpp" "src/mesh/CMakeFiles/fvdf_mesh.dir/cartesian.cpp.o" "gcc" "src/mesh/CMakeFiles/fvdf_mesh.dir/cartesian.cpp.o.d"
+  "/root/repo/src/mesh/fields.cpp" "src/mesh/CMakeFiles/fvdf_mesh.dir/fields.cpp.o" "gcc" "src/mesh/CMakeFiles/fvdf_mesh.dir/fields.cpp.o.d"
+  "/root/repo/src/mesh/transmissibility.cpp" "src/mesh/CMakeFiles/fvdf_mesh.dir/transmissibility.cpp.o" "gcc" "src/mesh/CMakeFiles/fvdf_mesh.dir/transmissibility.cpp.o.d"
+  "/root/repo/src/mesh/vtk.cpp" "src/mesh/CMakeFiles/fvdf_mesh.dir/vtk.cpp.o" "gcc" "src/mesh/CMakeFiles/fvdf_mesh.dir/vtk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/fvdf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

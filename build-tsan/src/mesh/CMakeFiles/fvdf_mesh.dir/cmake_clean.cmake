@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvdf_mesh.dir/bc.cpp.o"
+  "CMakeFiles/fvdf_mesh.dir/bc.cpp.o.d"
+  "CMakeFiles/fvdf_mesh.dir/cartesian.cpp.o"
+  "CMakeFiles/fvdf_mesh.dir/cartesian.cpp.o.d"
+  "CMakeFiles/fvdf_mesh.dir/fields.cpp.o"
+  "CMakeFiles/fvdf_mesh.dir/fields.cpp.o.d"
+  "CMakeFiles/fvdf_mesh.dir/transmissibility.cpp.o"
+  "CMakeFiles/fvdf_mesh.dir/transmissibility.cpp.o.d"
+  "CMakeFiles/fvdf_mesh.dir/vtk.cpp.o"
+  "CMakeFiles/fvdf_mesh.dir/vtk.cpp.o.d"
+  "libfvdf_mesh.a"
+  "libfvdf_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvdf_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

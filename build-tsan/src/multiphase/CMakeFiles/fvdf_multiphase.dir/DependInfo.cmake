@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/multiphase/impes.cpp" "src/multiphase/CMakeFiles/fvdf_multiphase.dir/impes.cpp.o" "gcc" "src/multiphase/CMakeFiles/fvdf_multiphase.dir/impes.cpp.o.d"
+  "/root/repo/src/multiphase/relperm.cpp" "src/multiphase/CMakeFiles/fvdf_multiphase.dir/relperm.cpp.o" "gcc" "src/multiphase/CMakeFiles/fvdf_multiphase.dir/relperm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/solver/CMakeFiles/fvdf_solver.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fv/CMakeFiles/fvdf_fv.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mesh/CMakeFiles/fvdf_mesh.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/fvdf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvdf_multiphase.dir/impes.cpp.o"
+  "CMakeFiles/fvdf_multiphase.dir/impes.cpp.o.d"
+  "CMakeFiles/fvdf_multiphase.dir/relperm.cpp.o"
+  "CMakeFiles/fvdf_multiphase.dir/relperm.cpp.o.d"
+  "libfvdf_multiphase.a"
+  "libfvdf_multiphase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvdf_multiphase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

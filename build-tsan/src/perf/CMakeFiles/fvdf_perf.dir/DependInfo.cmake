@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/analytic.cpp" "src/perf/CMakeFiles/fvdf_perf.dir/analytic.cpp.o" "gcc" "src/perf/CMakeFiles/fvdf_perf.dir/analytic.cpp.o.d"
+  "/root/repo/src/perf/machine.cpp" "src/perf/CMakeFiles/fvdf_perf.dir/machine.cpp.o" "gcc" "src/perf/CMakeFiles/fvdf_perf.dir/machine.cpp.o.d"
+  "/root/repo/src/perf/opcount.cpp" "src/perf/CMakeFiles/fvdf_perf.dir/opcount.cpp.o" "gcc" "src/perf/CMakeFiles/fvdf_perf.dir/opcount.cpp.o.d"
+  "/root/repo/src/perf/roofline.cpp" "src/perf/CMakeFiles/fvdf_perf.dir/roofline.cpp.o" "gcc" "src/perf/CMakeFiles/fvdf_perf.dir/roofline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/fvdf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvdf_perf.dir/analytic.cpp.o"
+  "CMakeFiles/fvdf_perf.dir/analytic.cpp.o.d"
+  "CMakeFiles/fvdf_perf.dir/machine.cpp.o"
+  "CMakeFiles/fvdf_perf.dir/machine.cpp.o.d"
+  "CMakeFiles/fvdf_perf.dir/opcount.cpp.o"
+  "CMakeFiles/fvdf_perf.dir/opcount.cpp.o.d"
+  "CMakeFiles/fvdf_perf.dir/roofline.cpp.o"
+  "CMakeFiles/fvdf_perf.dir/roofline.cpp.o.d"
+  "libfvdf_perf.a"
+  "libfvdf_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvdf_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

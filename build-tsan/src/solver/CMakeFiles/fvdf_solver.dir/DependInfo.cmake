@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/blas.cpp" "src/solver/CMakeFiles/fvdf_solver.dir/blas.cpp.o" "gcc" "src/solver/CMakeFiles/fvdf_solver.dir/blas.cpp.o.d"
+  "/root/repo/src/solver/dense.cpp" "src/solver/CMakeFiles/fvdf_solver.dir/dense.cpp.o" "gcc" "src/solver/CMakeFiles/fvdf_solver.dir/dense.cpp.o.d"
+  "/root/repo/src/solver/pressure_solve.cpp" "src/solver/CMakeFiles/fvdf_solver.dir/pressure_solve.cpp.o" "gcc" "src/solver/CMakeFiles/fvdf_solver.dir/pressure_solve.cpp.o.d"
+  "/root/repo/src/solver/transient.cpp" "src/solver/CMakeFiles/fvdf_solver.dir/transient.cpp.o" "gcc" "src/solver/CMakeFiles/fvdf_solver.dir/transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/fv/CMakeFiles/fvdf_fv.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mesh/CMakeFiles/fvdf_mesh.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/fvdf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvdf_solver.dir/blas.cpp.o"
+  "CMakeFiles/fvdf_solver.dir/blas.cpp.o.d"
+  "CMakeFiles/fvdf_solver.dir/dense.cpp.o"
+  "CMakeFiles/fvdf_solver.dir/dense.cpp.o.d"
+  "CMakeFiles/fvdf_solver.dir/pressure_solve.cpp.o"
+  "CMakeFiles/fvdf_solver.dir/pressure_solve.cpp.o.d"
+  "CMakeFiles/fvdf_solver.dir/transient.cpp.o"
+  "CMakeFiles/fvdf_solver.dir/transient.cpp.o.d"
+  "libfvdf_solver.a"
+  "libfvdf_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvdf_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

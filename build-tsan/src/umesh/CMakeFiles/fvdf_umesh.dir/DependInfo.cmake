@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/umesh/fabric_map.cpp" "src/umesh/CMakeFiles/fvdf_umesh.dir/fabric_map.cpp.o" "gcc" "src/umesh/CMakeFiles/fvdf_umesh.dir/fabric_map.cpp.o.d"
+  "/root/repo/src/umesh/mesh.cpp" "src/umesh/CMakeFiles/fvdf_umesh.dir/mesh.cpp.o" "gcc" "src/umesh/CMakeFiles/fvdf_umesh.dir/mesh.cpp.o.d"
+  "/root/repo/src/umesh/usolve.cpp" "src/umesh/CMakeFiles/fvdf_umesh.dir/usolve.cpp.o" "gcc" "src/umesh/CMakeFiles/fvdf_umesh.dir/usolve.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/solver/CMakeFiles/fvdf_solver.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fv/CMakeFiles/fvdf_fv.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mesh/CMakeFiles/fvdf_mesh.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/fvdf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvdf_umesh.dir/fabric_map.cpp.o"
+  "CMakeFiles/fvdf_umesh.dir/fabric_map.cpp.o.d"
+  "CMakeFiles/fvdf_umesh.dir/mesh.cpp.o"
+  "CMakeFiles/fvdf_umesh.dir/mesh.cpp.o.d"
+  "CMakeFiles/fvdf_umesh.dir/usolve.cpp.o"
+  "CMakeFiles/fvdf_umesh.dir/usolve.cpp.o.d"
+  "libfvdf_umesh.a"
+  "libfvdf_umesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvdf_umesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

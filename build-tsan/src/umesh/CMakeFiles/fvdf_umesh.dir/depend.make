@@ -1,0 +1,2 @@
+# Empty dependencies file for fvdf_umesh.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wse/dsd.cpp" "src/wse/CMakeFiles/fvdf_wse.dir/dsd.cpp.o" "gcc" "src/wse/CMakeFiles/fvdf_wse.dir/dsd.cpp.o.d"
+  "/root/repo/src/wse/fabric.cpp" "src/wse/CMakeFiles/fvdf_wse.dir/fabric.cpp.o" "gcc" "src/wse/CMakeFiles/fvdf_wse.dir/fabric.cpp.o.d"
+  "/root/repo/src/wse/geometry.cpp" "src/wse/CMakeFiles/fvdf_wse.dir/geometry.cpp.o" "gcc" "src/wse/CMakeFiles/fvdf_wse.dir/geometry.cpp.o.d"
+  "/root/repo/src/wse/memory.cpp" "src/wse/CMakeFiles/fvdf_wse.dir/memory.cpp.o" "gcc" "src/wse/CMakeFiles/fvdf_wse.dir/memory.cpp.o.d"
+  "/root/repo/src/wse/payload_pool.cpp" "src/wse/CMakeFiles/fvdf_wse.dir/payload_pool.cpp.o" "gcc" "src/wse/CMakeFiles/fvdf_wse.dir/payload_pool.cpp.o.d"
+  "/root/repo/src/wse/router.cpp" "src/wse/CMakeFiles/fvdf_wse.dir/router.cpp.o" "gcc" "src/wse/CMakeFiles/fvdf_wse.dir/router.cpp.o.d"
+  "/root/repo/src/wse/trace.cpp" "src/wse/CMakeFiles/fvdf_wse.dir/trace.cpp.o" "gcc" "src/wse/CMakeFiles/fvdf_wse.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/perf/CMakeFiles/fvdf_perf.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/fvdf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvdf_wse.dir/dsd.cpp.o"
+  "CMakeFiles/fvdf_wse.dir/dsd.cpp.o.d"
+  "CMakeFiles/fvdf_wse.dir/fabric.cpp.o"
+  "CMakeFiles/fvdf_wse.dir/fabric.cpp.o.d"
+  "CMakeFiles/fvdf_wse.dir/geometry.cpp.o"
+  "CMakeFiles/fvdf_wse.dir/geometry.cpp.o.d"
+  "CMakeFiles/fvdf_wse.dir/memory.cpp.o"
+  "CMakeFiles/fvdf_wse.dir/memory.cpp.o.d"
+  "CMakeFiles/fvdf_wse.dir/payload_pool.cpp.o"
+  "CMakeFiles/fvdf_wse.dir/payload_pool.cpp.o.d"
+  "CMakeFiles/fvdf_wse.dir/router.cpp.o"
+  "CMakeFiles/fvdf_wse.dir/router.cpp.o.d"
+  "CMakeFiles/fvdf_wse.dir/trace.cpp.o"
+  "CMakeFiles/fvdf_wse.dir/trace.cpp.o.d"
+  "libfvdf_wse.a"
+  "libfvdf_wse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvdf_wse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

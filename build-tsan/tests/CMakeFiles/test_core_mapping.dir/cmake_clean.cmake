@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_mapping.dir/test_core_mapping.cpp.o"
+  "CMakeFiles/test_core_mapping.dir/test_core_mapping.cpp.o.d"
+  "test_core_mapping"
+  "test_core_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

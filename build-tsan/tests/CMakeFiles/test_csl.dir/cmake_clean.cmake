@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csl.dir/test_csl.cpp.o"
+  "CMakeFiles/test_csl.dir/test_csl.cpp.o.d"
+  "test_csl"
+  "test_csl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

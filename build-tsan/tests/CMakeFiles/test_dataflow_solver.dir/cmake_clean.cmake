@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dataflow_solver.dir/test_dataflow_solver.cpp.o"
+  "CMakeFiles/test_dataflow_solver.dir/test_dataflow_solver.cpp.o.d"
+  "test_dataflow_solver"
+  "test_dataflow_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dataflow_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

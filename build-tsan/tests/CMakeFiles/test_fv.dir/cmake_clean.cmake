@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fv.dir/test_fv.cpp.o"
+  "CMakeFiles/test_fv.dir/test_fv.cpp.o.d"
+  "test_fv"
+  "test_fv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_mesh.cpp" "tests/CMakeFiles/test_mesh.dir/test_mesh.cpp.o" "gcc" "tests/CMakeFiles/test_mesh.dir/test_mesh.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/app/CMakeFiles/fvdf_app.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/fvdf_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/csl/CMakeFiles/fvdf_csl.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/wse/CMakeFiles/fvdf_wse.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/gpu/CMakeFiles/fvdf_gpu.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/umesh/CMakeFiles/fvdf_umesh.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/multiphase/CMakeFiles/fvdf_multiphase.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/solver/CMakeFiles/fvdf_solver.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fv/CMakeFiles/fvdf_fv.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mesh/CMakeFiles/fvdf_mesh.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/perf/CMakeFiles/fvdf_perf.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/fvdf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

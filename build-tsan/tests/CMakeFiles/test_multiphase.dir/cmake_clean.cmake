@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multiphase.dir/test_multiphase.cpp.o"
+  "CMakeFiles/test_multiphase.dir/test_multiphase.cpp.o.d"
+  "test_multiphase"
+  "test_multiphase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multiphase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_umesh.dir/test_umesh.cpp.o"
+  "CMakeFiles/test_umesh.dir/test_umesh.cpp.o.d"
+  "test_umesh"
+  "test_umesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_umesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

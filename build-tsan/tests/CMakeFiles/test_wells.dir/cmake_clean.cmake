@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wells.dir/test_wells.cpp.o"
+  "CMakeFiles/test_wells.dir/test_wells.cpp.o.d"
+  "test_wells"
+  "test_wells.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_wells.
+# This may be replaced when dependencies are built.

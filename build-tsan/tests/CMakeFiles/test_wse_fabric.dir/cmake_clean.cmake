@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wse_fabric.dir/test_wse_fabric.cpp.o"
+  "CMakeFiles/test_wse_fabric.dir/test_wse_fabric.cpp.o.d"
+  "test_wse_fabric"
+  "test_wse_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wse_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wse_memory.dir/test_wse_memory.cpp.o"
+  "CMakeFiles/test_wse_memory.dir/test_wse_memory.cpp.o.d"
+  "test_wse_memory"
+  "test_wse_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wse_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

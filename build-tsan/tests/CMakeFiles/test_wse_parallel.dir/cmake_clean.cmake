@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wse_parallel.dir/test_wse_parallel.cpp.o"
+  "CMakeFiles/test_wse_parallel.dir/test_wse_parallel.cpp.o.d"
+  "test_wse_parallel"
+  "test_wse_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wse_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wse_router.dir/test_wse_router.cpp.o"
+  "CMakeFiles/test_wse_router.dir/test_wse_router.cpp.o.d"
+  "test_wse_router"
+  "test_wse_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wse_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvdf_sim.dir/fvdf_sim.cpp.o"
+  "CMakeFiles/fvdf_sim.dir/fvdf_sim.cpp.o.d"
+  "fvdf_sim"
+  "fvdf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvdf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
