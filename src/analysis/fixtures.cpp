@@ -1,0 +1,248 @@
+#include "analysis/fixtures.hpp"
+
+#include <array>
+#include <memory>
+
+#include "csl/allreduce.hpp"
+#include "csl/any_source.hpp"
+#include "csl/broadcast.hpp"
+#include "csl/halo.hpp"
+#include "wse/dsd.hpp"
+#include "wse/router.hpp"
+
+namespace fvdf::analysis::fixtures {
+
+using wse::Color;
+using wse::ColorConfig;
+using wse::Dir;
+using wse::DirMask;
+using wse::Dsd;
+using wse::MemSpan;
+using wse::PeContext;
+using wse::PeCoord;
+using wse::PeProgram;
+using wse::ProgramFactory;
+using wse::ProgramManifest;
+using wse::SwitchPosition;
+
+namespace {
+
+// ---------- known-good collective drivers ----------
+
+class HaloProgram final : public PeProgram {
+public:
+  explicit HaloProgram(u32 nz) : nz_(nz) {}
+
+  void on_start(PeContext& ctx) override {
+    halo_.configure(ctx);
+    column_ = ctx.memory().alloc_f32("column", nz_);
+    for (auto& buf : halos_) buf = ctx.memory().alloc_f32("halo", nz_);
+    halo_.start(
+        ctx, wse::dsd(column_), wse::dsd(halos_[0]), wse::dsd(halos_[1]),
+        wse::dsd(halos_[2]), wse::dsd(halos_[3]), nullptr,
+        [](PeContext& c) { c.halt(); });
+  }
+
+  void on_task(PeContext& ctx, Color color) override { halo_.on_task(ctx, color); }
+
+  ProgramManifest manifest(PeCoord coord, i64 width, i64 height) const override {
+    return halo_.manifest(coord, width, height);
+  }
+
+private:
+  u32 nz_;
+  csl::HaloExchange halo_;
+  MemSpan column_{};
+  std::array<MemSpan, 4> halos_{};
+};
+
+class AllReduceProgram final : public PeProgram {
+public:
+  void on_start(PeContext& ctx) override {
+    reduce_.configure(ctx);
+    reduce_.start(ctx, 1.0f, [](PeContext& c, f32) { c.halt(); });
+  }
+
+  void on_task(PeContext& ctx, Color color) override { reduce_.on_task(ctx, color); }
+
+  ProgramManifest manifest(PeCoord coord, i64 width, i64 height) const override {
+    return reduce_.manifest(coord, width, height);
+  }
+
+private:
+  csl::AllReduce reduce_;
+};
+
+class EastwardProgram final : public PeProgram {
+public:
+  explicit EastwardProgram(u32 block) : block_(block) {}
+
+  void on_start(PeContext& ctx) override {
+    exchange_.configure(ctx);
+    mine_ = ctx.memory().alloc_f32("mine", block_);
+    from_west_ = ctx.memory().alloc_f32("from_west", block_);
+    exchange_.start(ctx, wse::dsd(mine_), wse::dsd(from_west_),
+                    [](PeContext& c) { c.halt(); });
+  }
+
+  void on_task(PeContext& ctx, Color color) override {
+    exchange_.on_task(ctx, color);
+  }
+
+  ProgramManifest manifest(PeCoord coord, i64 width, i64 height) const override {
+    return exchange_.manifest(coord, width, height);
+  }
+
+private:
+  u32 block_;
+  csl::EastwardExchange exchange_;
+  MemSpan mine_{};
+  MemSpan from_west_{};
+};
+
+class AnySourceProgram final : public PeProgram {
+public:
+  AnySourceProgram(PeCoord source, u32 block) : source_(source), block_(block) {}
+
+  void on_start(PeContext& ctx) override {
+    broadcast_.configure(ctx, source_);
+    block_span_ = ctx.memory().alloc_f32("block", block_);
+    broadcast_.start(ctx, wse::dsd(block_span_), [](PeContext& c) { c.halt(); });
+  }
+
+  void on_task(PeContext& ctx, Color color) override {
+    broadcast_.on_task(ctx, color);
+  }
+
+  ProgramManifest manifest(PeCoord coord, i64 width, i64 height) const override {
+    return broadcast_.manifest(coord, width, height);
+  }
+
+private:
+  PeCoord source_;
+  u32 block_;
+  csl::AnySourceBroadcast broadcast_;
+  MemSpan block_span_{};
+};
+
+// ---------- seeded defects ----------
+
+constexpr Color kDefectColor = 5;
+
+ColorConfig one_position(DirMask rx, DirMask tx) {
+  ColorConfig config;
+  config.positions = {SwitchPosition{rx, tx}};
+  return config;
+}
+
+/// Eastward chain that deliberately skips the edge clip: the right-most
+/// PE's transmit points off the fabric.
+class EdgeRouteProgram final : public PeProgram {
+public:
+  void on_start(PeContext& ctx) override {
+    ctx.configure_router(kDefectColor,
+                         one_position(DirMask::of(Dir::Ramp, Dir::West),
+                                      DirMask::of(Dir::East)));
+  }
+  void on_task(PeContext&, Color) override {}
+  ProgramManifest manifest(PeCoord coord, i64, i64) const override {
+    ProgramManifest m;
+    if (coord.x == 0 && coord.y == 0)
+      m.injects |= wse::color_set_bit(kDefectColor);
+    return m;
+  }
+};
+
+/// PE (0,0) forwards east, PE (1,0) forwards straight back: the channel
+/// dependency graph has the cycle (1,0)@West -> (0,0)@East -> (1,0)@West.
+class CreditCycleProgram final : public PeProgram {
+public:
+  void on_start(PeContext& ctx) override {
+    if (ctx.coord().x % 2 == 0) {
+      ctx.configure_router(kDefectColor,
+                           one_position(DirMask::of(Dir::Ramp, Dir::East),
+                                        DirMask::of(Dir::East)));
+    } else {
+      ctx.configure_router(kDefectColor, one_position(DirMask::of(Dir::West),
+                                                      DirMask::of(Dir::West)));
+    }
+  }
+  void on_task(PeContext&, Color) override {}
+  ProgramManifest manifest(PeCoord coord, i64, i64) const override {
+    ProgramManifest m;
+    if (coord.x == 0 && coord.y == 0)
+      m.injects |= wse::color_set_bit(kDefectColor);
+    return m;
+  }
+};
+
+/// The sender's wavelet lands on PE (1,0)'s ramp, but that program neither
+/// arms a recv nor declares a task handler for the color.
+class MissingHandlerProgram final : public PeProgram {
+public:
+  void on_start(PeContext& ctx) override {
+    if (ctx.coord().x % 2 == 0) {
+      ctx.configure_router(kDefectColor, one_position(DirMask::of(Dir::Ramp),
+                                                      DirMask::of(Dir::East)));
+    } else {
+      ctx.configure_router(kDefectColor, one_position(DirMask::of(Dir::West),
+                                                      DirMask::of(Dir::Ramp)));
+    }
+  }
+  void on_task(PeContext&, Color) override {}
+  ProgramManifest manifest(PeCoord coord, i64, i64) const override {
+    ProgramManifest m;
+    if (coord.x % 2 == 0) m.injects |= wse::color_set_bit(kDefectColor);
+    return m;
+  }
+};
+
+/// One allocation larger than the entire arena: alloc_f32 throws the
+/// "PE memory overflow" Error the verifier maps to a memory-budget
+/// diagnostic (with the full allocation map).
+class ArenaOverflowProgram final : public PeProgram {
+public:
+  void on_start(PeContext& ctx) override {
+    const u64 words = ctx.memory().capacity_bytes() / 4 + 1;
+    ctx.memory().alloc_f32("overflow", static_cast<u32>(words));
+  }
+  void on_task(PeContext&, Color) override {}
+};
+
+} // namespace
+
+ProgramFactory halo_program(u32 nz) {
+  return [nz](PeCoord) { return std::make_unique<HaloProgram>(nz); };
+}
+
+ProgramFactory allreduce_program() {
+  return [](PeCoord) { return std::make_unique<AllReduceProgram>(); };
+}
+
+ProgramFactory eastward_program(u32 block) {
+  return [block](PeCoord) { return std::make_unique<EastwardProgram>(block); };
+}
+
+ProgramFactory any_source_program(PeCoord source, u32 block) {
+  return [source, block](PeCoord) {
+    return std::make_unique<AnySourceProgram>(source, block);
+  };
+}
+
+ProgramFactory edge_route_defect() {
+  return [](PeCoord) { return std::make_unique<EdgeRouteProgram>(); };
+}
+
+ProgramFactory credit_cycle_defect() {
+  return [](PeCoord) { return std::make_unique<CreditCycleProgram>(); };
+}
+
+ProgramFactory missing_handler_defect() {
+  return [](PeCoord) { return std::make_unique<MissingHandlerProgram>(); };
+}
+
+ProgramFactory arena_overflow_defect() {
+  return [](PeCoord) { return std::make_unique<ArenaOverflowProgram>(); };
+}
+
+} // namespace fvdf::analysis::fixtures

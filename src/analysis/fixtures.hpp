@@ -1,0 +1,49 @@
+#pragma once
+// Verification fixtures: complete device programs for the static verifier
+// (src/analysis/verifier.hpp) and its tests.
+//
+// The known-good programs drive the four shipped CSL collectives exactly
+// the way the solver does — configure in on_start, declare the rest via
+// ProgramManifest — and must verify clean on any fabric shape. Each
+// seeded-defect program violates exactly one check and exists so tests
+// (and fabric_lint demos) can assert the verifier rejects it with the
+// right diagnostic.
+
+#include "wse/geometry.hpp"
+#include "wse/program.hpp"
+
+namespace fvdf::analysis::fixtures {
+
+// --- known-good: one driver per shipped CSL collective ---
+
+/// Table-I four-step halo exchange, one round, nz-word columns.
+wse::ProgramFactory halo_program(u32 nz = 4);
+
+/// Three-phase whole-fabric all-reduce contributing 1.0 per PE.
+wse::ProgramFactory allreduce_program();
+
+/// Fig.-4 eastward exchange (single color, two-position ring).
+wse::ProgramFactory eastward_program(u32 block = 4);
+
+/// Any-source broadcast rooted at `source`.
+wse::ProgramFactory any_source_program(wse::PeCoord source, u32 block = 4);
+
+// --- seeded defects (each trips exactly one verifier check) ---
+
+/// Chain route whose final transmit exits the east fabric edge
+/// (route-completeness error). Any width >= 1.
+wse::ProgramFactory edge_route_defect();
+
+/// Two-PE credit cycle: PE (0,0) forwards east, PE (1,0) forwards the same
+/// color back west (deadlock-freedom error). Use on a 2x1 fabric.
+wse::ProgramFactory credit_cycle_defect();
+
+/// PE (0,0) sends to PE (1,0)'s ramp, which has no recv or task handler
+/// (delivery-liveness error). Use on a 2x1 fabric.
+wse::ProgramFactory missing_handler_defect();
+
+/// Allocates one f32 array larger than the whole PE arena
+/// (memory-budget error on every PE).
+wse::ProgramFactory arena_overflow_defect();
+
+} // namespace fvdf::analysis::fixtures

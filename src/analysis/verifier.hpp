@@ -1,0 +1,98 @@
+#pragma once
+// Static fabric-program verifier (docs/static_verification.md).
+//
+// Given the fabric geometry and a ProgramFactory, the verifier instantiates
+// every PE's router, memory and task configuration — running each program's
+// on_start against a recording PeContext, never the event loop — and proves
+// five properties of the resulting device program:
+//
+//   1. Route completeness  — every injected wavelet reaches switch
+//      positions that accept it at every hop, and no route exits the
+//      fabric edge (an off-edge transmit must be an explicit null route).
+//   2. Deadlock freedom    — the per-color channel-dependency graph over
+//      (PE, arrival link) nodes is acyclic (Dally & Seitz); a violation is
+//      reported as a human-readable cycle walk.
+//   3. Delivery liveness   — every color a traced route delivers to a ramp
+//      has a recv/task handler on that PE, and every activated task color
+//      is handled.
+//   4. Switch liveness     — multi-position colors have an advance source,
+//      and advance targets that saturate without ring_mode are flagged.
+//   5. Memory budget       — every PE's static allocations fit the 48 KiB
+//      arena; the report carries the fabric-wide high-water mark.
+//
+// A program's routing tables are fully installed by on_start, but sends and
+// receives happen over its whole lifetime; the verifier unions what the
+// recorded on_start reveals with the program's declared ProgramManifest
+// (wse/program.hpp). Approximation, documented and deliberate: every
+// configured switch position is considered reachable, and declared
+// injections are traced regardless of when the program would issue them.
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "wse/color.hpp"
+#include "wse/fabric.hpp"
+#include "wse/geometry.hpp"
+#include "wse/program.hpp"
+
+namespace fvdf::analysis {
+
+enum class Check : u8 {
+  Instantiation,     // factory / on_start threw (other than memory overflow)
+  RouteCompleteness, // check 1
+  DeadlockFreedom,   // check 2
+  DeliveryLiveness,  // check 3
+  SwitchLiveness,    // check 4
+  MemoryBudget,      // check 5
+};
+
+const char* to_string(Check check);
+
+enum class Severity : u8 { Warning, Error };
+
+struct Diagnostic {
+  Check check = Check::Instantiation;
+  Severity severity = Severity::Error;
+  wse::PeCoord pe{};                    // primary location
+  wse::Color color = wse::kInvalidColor; // kInvalidColor when not color-specific
+  std::string message;
+
+  /// "error[deadlock-freedom] color 5 at PE (1, 0): ..." one-liner.
+  std::string format() const;
+};
+
+struct VerifyReport {
+  i64 width = 0;
+  i64 height = 0;
+  std::vector<Diagnostic> diagnostics;
+
+  // Coverage / scale counters.
+  u64 colors_traced = 0;     // routable colors with at least one injection
+  u64 routes_checked = 0;    // (PE, arrival-link) states visited by the trace
+  u64 null_route_sinks = 0;  // traced positions that deliberately discard
+  u64 cdg_nodes = 0;         // channel-dependency graph size, all colors
+  u64 cdg_edges = 0;
+
+  // Memory budget summary (check 5).
+  u64 memory_capacity_bytes = 0;   // per-PE arena capacity
+  u64 memory_reserved_bytes = 0;   // program text + stack model
+  u64 memory_high_water_bytes = 0; // largest per-PE static allocation total
+  wse::PeCoord memory_high_water_pe{};
+
+  u64 error_count() const;
+  u64 warning_count() const;
+  bool ok() const { return error_count() == 0; }
+
+  /// Multi-line human-readable report (fabric_lint's output).
+  std::string summary() const;
+};
+
+/// Verifies `factory` against a width x height fabric without running it.
+/// Never throws on program defects — they become diagnostics; throws only
+/// on misuse (non-positive dimensions).
+VerifyReport verify_program(i64 width, i64 height,
+                            const wse::ProgramFactory& factory,
+                            wse::PeMemoryParams mem = {});
+
+} // namespace fvdf::analysis

@@ -36,7 +36,7 @@ const std::set<std::string> kKnownKeys = {
     "wells.injector_pressure", "wells.producer_pressure",
     "wells.injector_kind", "wells.rate",
     "solver.backend", "solver.tolerance", "solver.max_iterations",
-    "solver.sim_threads",
+    "solver.sim_threads", "solver.verify",
     "transient.enabled", "transient.dt", "transient.steps",
     "transient.porosity", "transient.compressibility",
     "output.vtk", "output.checkpoint", "output.heatmap",
@@ -125,6 +125,7 @@ Scenario scenario_from_config(const Config& config) {
   const i64 sim_threads = config.get_i64("solver.sim_threads", 1);
   FVDF_CHECK_MSG(sim_threads >= 0, "solver.sim_threads must be >= 0");
   scenario.sim_threads = static_cast<u32>(sim_threads);
+  scenario.verify = config.get_bool("solver.verify", false);
 
   scenario.transient = config.get_bool("transient.enabled", false);
   scenario.dt = config.get_f64("transient.dt", 1.0);
@@ -154,6 +155,7 @@ ScenarioOutcome run_scenario(const Scenario& scenario, std::ostream& log) {
     config.max_iterations = scenario.max_iterations;
     config.jacobi_precondition = true;
     config.sim_threads = scenario.sim_threads;
+    config.verify_preflight = scenario.verify;
     const auto result = core::solve_transient_dataflow(
         problem, scenario.dt, scenario.steps, scenario.porosity,
         scenario.compressibility, config);
@@ -179,6 +181,7 @@ ScenarioOutcome run_scenario(const Scenario& scenario, std::ostream& log) {
     config.tolerance = static_cast<f32>(scenario.tolerance);
     config.max_iterations = scenario.max_iterations;
     config.sim_threads = scenario.sim_threads;
+    config.verify_preflight = scenario.verify;
     const auto result = core::solve_dataflow(problem, config);
     outcome.converged = result.converged;
     outcome.iterations = result.iterations;

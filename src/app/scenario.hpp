@@ -16,7 +16,9 @@
 //               rate (1.0, total over the injector column, rate kind only)
 //   [solver]    backend = host|host-pcg|dataflow (host-pcg),
 //               tolerance (1e-18), max_iterations (100000),
-//               sim_threads (1; 0 = hardware concurrency)
+//               sim_threads (1; 0 = hardware concurrency),
+//               verify (false; dataflow only: static program verification
+//               before the run — see docs/static_verification.md)
 //   [transient] enabled (false), dt (1.0), steps (10),
 //               porosity (0.2), compressibility (1e-2)
 //   [output]    vtk (unset), checkpoint (unset), heatmap (false)
@@ -45,6 +47,9 @@ struct Scenario {
   // concurrency, 1 = serial). Never changes results — see docs/simulator.md,
   // "Parallel execution model".
   u32 sim_threads = 1;
+  // Dataflow backend only: run the static fabric verifier as a pre-flight
+  // before every device solve (docs/static_verification.md).
+  bool verify = false;
 
   bool transient = false;
   f64 dt = 1.0;

@@ -51,6 +51,14 @@ void ChebyshevPeProgram::on_task(PeContext& ctx, Color color) {
   throw Error("Chebyshev program: unexpected task color " + std::to_string(color));
 }
 
+wse::ProgramManifest ChebyshevPeProgram::manifest(wse::PeCoord coord,
+                                                  i64 fabric_width,
+                                                  i64 fabric_height) const {
+  wse::ProgramManifest m = halo_.manifest(coord, fabric_width, fabric_height);
+  m |= reduce_.manifest(coord, fabric_width, fabric_height);
+  return m;
+}
+
 void ChebyshevPeProgram::start_halo_jx(PeContext& ctx) {
   halo_.start(
       ctx, dsd(layout_.x), dsd(layout_.halo_w), dsd(layout_.halo_e),

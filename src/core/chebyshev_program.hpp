@@ -37,6 +37,8 @@ public:
 
   void on_start(wse::PeContext& ctx) override;
   void on_task(wse::PeContext& ctx, wse::Color color) override;
+  wse::ProgramManifest manifest(wse::PeCoord coord, i64 fabric_width,
+                                i64 fabric_height) const override;
 
 private:
   void start_halo_jx(wse::PeContext& ctx);

@@ -82,6 +82,15 @@ void CgPeProgram::on_task(PeContext& ctx, Color color) {
   throw Error("CG program: unexpected task color " + std::to_string(color));
 }
 
+wse::ProgramManifest CgPeProgram::manifest(wse::PeCoord coord, i64 fabric_width,
+                                           i64 fabric_height) const {
+  // The CG state machine communicates exclusively through its two
+  // collectives; its lifetime behavior is the union of theirs.
+  wse::ProgramManifest m = halo_.manifest(coord, fabric_width, fabric_height);
+  m |= reduce_.manifest(coord, fabric_width, fabric_height);
+  return m;
+}
+
 void CgPeProgram::upload(PeContext& ctx) {
   // Host-side memcpy into the arena (not charged cycles or counts).
   upload_pe_init(ctx, layout_, config_.init, config_.mode, config_.jacobi);

@@ -57,6 +57,8 @@ public:
 
   void on_start(wse::PeContext& ctx) override;
   void on_task(wse::PeContext& ctx, wse::Color color) override;
+  wse::ProgramManifest manifest(wse::PeCoord coord, i64 fabric_width,
+                                i64 fabric_height) const override;
 
   CgState state() const { return state_; }
   const PeLayout& layout() const { return layout_; }

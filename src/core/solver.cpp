@@ -140,43 +140,73 @@ DataflowResult read_back(wse::Fabric& fabric, const wse::Fabric::RunResult& run,
 
 } // namespace
 
-DataflowResult solve_dataflow(const FlowProblem& problem, const DataflowConfig& config) {
-  const auto& mesh = problem.mesh();
-  const i64 nx = mesh.nx(), ny = mesh.ny(), nz = mesh.nz();
-  FVDF_CHECK_MSG(nz <= 0xffff, "column depth exceeds u16 Dirichlet index range");
+namespace {
 
-  const auto sys = problem.discretize<f32>();
+/// Host-side state the CG program factory reads from (kept alive by the
+/// caller for the factory's lifetime).
+struct CgSetup {
+  DiscreteSystem<f32> sys;
+  std::vector<f32> minv; // Jacobi inverse diagonal; empty when off
+};
 
+CgSetup prepare_cg(const FlowProblem& problem, const DataflowConfig& config) {
+  CgSetup setup{problem.discretize<f32>(), {}};
   // Jacobi preconditioner diagonal, with the backward-Euler shift folded
   // in (Dirichlet rows have diag 1 and take no shift).
-  std::vector<f32> minv;
   if (config.jacobi_precondition) {
-    minv = jacobian_diagonal(sys);
-    for (std::size_t i = 0; i < minv.size(); ++i) {
-      if (!sys.dirichlet[i]) minv[i] += config.diagonal_shift;
-      FVDF_CHECK_MSG(minv[i] > 0.0f, "non-positive diagonal at cell " << i);
-      minv[i] = 1.0f / minv[i];
+    setup.minv = jacobian_diagonal(setup.sys);
+    for (std::size_t i = 0; i < setup.minv.size(); ++i) {
+      if (!setup.sys.dirichlet[i]) setup.minv[i] += config.diagonal_shift;
+      FVDF_CHECK_MSG(setup.minv[i] > 0.0f, "non-positive diagonal at cell " << i);
+      setup.minv[i] = 1.0f / setup.minv[i];
     }
   }
+  return setup;
+}
 
-  wse::Fabric fabric(nx, ny, config.timing, config.memory);
-  fabric.set_threads(config.sim_threads);
-  fabric.load([&](wse::PeCoord coord) {
+wse::ProgramFactory cg_factory(const FlowProblem& problem,
+                               const DataflowConfig& config,
+                               const CgSetup& setup) {
+  return [&problem, &config, &setup](wse::PeCoord coord) {
     CgPeConfig pe_config;
-    pe_config.nz = static_cast<u32>(nz);
+    pe_config.nz = static_cast<u32>(problem.mesh().nz());
     pe_config.mode = config.flux_mode;
     pe_config.max_iterations = config.max_iterations;
     pe_config.tolerance = config.tolerance;
     pe_config.jx_only = config.jx_only;
     pe_config.jacobi = config.jacobi_precondition;
     pe_config.diagonal_shift = config.diagonal_shift;
-    pe_config.init = build_pe_init(problem, sys, coord.x, coord.y, config.flux_mode,
-                                   config.jacobi_precondition ? &minv : nullptr,
+    pe_config.init = build_pe_init(problem, setup.sys, coord.x, coord.y,
+                                   config.flux_mode,
+                                   config.jacobi_precondition ? &setup.minv
+                                                              : nullptr,
                                    config.initial_field.empty()
                                        ? nullptr
                                        : &config.initial_field);
     return std::make_unique<CgPeProgram>(std::move(pe_config));
-  });
+  };
+}
+
+} // namespace
+
+DataflowResult solve_dataflow(const FlowProblem& problem, const DataflowConfig& config) {
+  const auto& mesh = problem.mesh();
+  const i64 nx = mesh.nx(), ny = mesh.ny(), nz = mesh.nz();
+  FVDF_CHECK_MSG(nz <= 0xffff, "column depth exceeds u16 Dirichlet index range");
+
+  const CgSetup setup = prepare_cg(problem, config);
+  const auto& sys = setup.sys;
+  const wse::ProgramFactory factory = cg_factory(problem, config, setup);
+
+  wse::Fabric fabric(nx, ny, config.timing, config.memory);
+  fabric.set_threads(config.sim_threads);
+  if (config.verify_preflight) {
+    const analysis::VerifyReport report = fabric.verify(factory);
+    FVDF_CHECK_MSG(report.ok(),
+                   "static verification rejected the CG device program:\n"
+                       << report.summary());
+  }
+  fabric.load(factory);
 
   const auto run = fabric.run(config.max_cycles);
   FVDF_CHECK_MSG(run.all_halted,
@@ -193,17 +223,14 @@ DataflowResult solve_dataflow(const FlowProblem& problem, const DataflowConfig& 
   return result;
 }
 
-DataflowResult solve_dataflow_chebyshev(const FlowProblem& problem,
-                                        const ChebyshevDeviceConfig& config) {
-  const auto& mesh = problem.mesh();
-  FVDF_CHECK_MSG(mesh.nz() <= 0xffff, "column depth exceeds u16 index range");
-  const auto sys = problem.discretize<f32>();
+namespace {
 
-  wse::Fabric fabric(mesh.nx(), mesh.ny(), config.timing, config.memory);
-  fabric.set_threads(config.sim_threads);
-  fabric.load([&](wse::PeCoord coord) {
+wse::ProgramFactory chebyshev_factory(const FlowProblem& problem,
+                                      const ChebyshevDeviceConfig& config,
+                                      const DiscreteSystem<f32>& sys) {
+  return [&problem, &config, &sys](wse::PeCoord coord) {
     ChebyshevPeConfig pe_config;
-    pe_config.nz = static_cast<u32>(mesh.nz());
+    pe_config.nz = static_cast<u32>(problem.mesh().nz());
     pe_config.mode = config.flux_mode;
     pe_config.max_iterations = config.max_iterations;
     pe_config.tolerance = config.tolerance;
@@ -217,12 +244,53 @@ DataflowResult solve_dataflow_chebyshev(const FlowProblem& problem,
                                        ? nullptr
                                        : &config.initial_field);
     return std::make_unique<ChebyshevPeProgram>(std::move(pe_config));
-  });
+  };
+}
+
+} // namespace
+
+DataflowResult solve_dataflow_chebyshev(const FlowProblem& problem,
+                                        const ChebyshevDeviceConfig& config) {
+  const auto& mesh = problem.mesh();
+  FVDF_CHECK_MSG(mesh.nz() <= 0xffff, "column depth exceeds u16 index range");
+  const auto sys = problem.discretize<f32>();
+  const wse::ProgramFactory factory = chebyshev_factory(problem, config, sys);
+
+  wse::Fabric fabric(mesh.nx(), mesh.ny(), config.timing, config.memory);
+  fabric.set_threads(config.sim_threads);
+  if (config.verify_preflight) {
+    const analysis::VerifyReport report = fabric.verify(factory);
+    FVDF_CHECK_MSG(
+        report.ok(),
+        "static verification rejected the Chebyshev device program:\n"
+            << report.summary());
+  }
+  fabric.load(factory);
 
   const auto run = fabric.run(config.max_cycles);
   FVDF_CHECK_MSG(run.all_halted, "Chebyshev device solve did not complete");
   return read_back(fabric, run, problem, sys, config.flux_mode, /*jacobi=*/false,
                    config.memory, config.initial_field);
+}
+
+analysis::VerifyReport verify_dataflow(const FlowProblem& problem,
+                                       const DataflowConfig& config) {
+  const auto& mesh = problem.mesh();
+  FVDF_CHECK_MSG(mesh.nz() <= 0xffff, "column depth exceeds u16 index range");
+  const CgSetup setup = prepare_cg(problem, config);
+  return analysis::verify_program(mesh.nx(), mesh.ny(),
+                                  cg_factory(problem, config, setup),
+                                  config.memory);
+}
+
+analysis::VerifyReport verify_dataflow_chebyshev(
+    const FlowProblem& problem, const ChebyshevDeviceConfig& config) {
+  const auto& mesh = problem.mesh();
+  FVDF_CHECK_MSG(mesh.nz() <= 0xffff, "column depth exceeds u16 index range");
+  const auto sys = problem.discretize<f32>();
+  return analysis::verify_program(mesh.nx(), mesh.ny(),
+                                  chebyshev_factory(problem, config, sys),
+                                  config.memory);
 }
 
 DataflowTransientResult solve_transient_dataflow(const FlowProblem& problem,

@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "analysis/verifier.hpp"
 #include "common/types.hpp"
 #include "core/mapping.hpp"
 #include "fv/problem.hpp"
@@ -35,6 +36,11 @@ struct DataflowConfig {
   // Simulator worker threads (0 = hardware concurrency). Purely a host-side
   // execution knob: results are bitwise identical at any value.
   u32 sim_threads = 1;
+  // Run the static fabric verifier (src/analysis/) over the device program
+  // before starting the event loop; throws fvdf::Error with the full
+  // diagnostic report if any check fails. Costs one extra program
+  // instantiation per PE — well under 5% of a solve.
+  bool verify_preflight = false;
 };
 
 struct DataflowResult {
@@ -74,11 +80,21 @@ struct ChebyshevDeviceConfig {
   wse::TimingParams timing{};
   wse::PeMemoryParams memory{};
   f64 max_cycles = 1e15;
-  u32 sim_threads = 1; // see DataflowConfig::sim_threads
+  u32 sim_threads = 1;           // see DataflowConfig::sim_threads
+  bool verify_preflight = false; // see DataflowConfig::verify_preflight
 };
 
 DataflowResult solve_dataflow_chebyshev(const FlowProblem& problem,
                                         const ChebyshevDeviceConfig& config);
+
+/// Statically verifies the CG (resp. Chebyshev) device program that
+/// solve_dataflow would load — route completeness, deadlock freedom,
+/// delivery and switch liveness, memory budget — without running the event
+/// loop. Returns the full report; never throws on program defects.
+analysis::VerifyReport verify_dataflow(const FlowProblem& problem,
+                                       const DataflowConfig& config = {});
+analysis::VerifyReport verify_dataflow_chebyshev(
+    const FlowProblem& problem, const ChebyshevDeviceConfig& config);
 
 /// Transient backward-Euler simulation with every linear solve executed on
 /// the simulated dataflow device (one `solve_dataflow` per step, with the

@@ -29,47 +29,88 @@ void AllReduce::configure(PeContext& ctx) {
   const bool odd_x = (x % 2) != 0;
   const bool odd_y = (y % 2) != 0;
 
+  // Edge-clip every transmit set so no installed route points off the
+  // fabric (see HaloExchange::configure); positions that only ever carry
+  // traffic away from the edge are unaffected.
+  auto install = [&](Color color, ColorConfig config) {
+    for (auto& pos : config.positions)
+      pos.tx = wse::clip_to_fabric(pos.tx, ctx.coord(), width, height);
+    ctx.configure_router(color, std::move(config));
+  };
+
   // Row-reduce chain: a PE injects its partial eastward on its parity
   // color and accepts the western neighbor's partial on the other.
   if (odd_x) {
-    ctx.configure_router(colors_.row_b, route(DirMask::of(Dir::Ramp), DirMask::of(Dir::East)));
-    ctx.configure_router(colors_.row_a, route(DirMask::of(Dir::West), DirMask::of(Dir::Ramp)));
+    install(colors_.row_b, route(DirMask::of(Dir::Ramp), DirMask::of(Dir::East)));
+    install(colors_.row_a, route(DirMask::of(Dir::West), DirMask::of(Dir::Ramp)));
   } else {
-    ctx.configure_router(colors_.row_a, route(DirMask::of(Dir::Ramp), DirMask::of(Dir::East)));
-    ctx.configure_router(colors_.row_b, route(DirMask::of(Dir::West), DirMask::of(Dir::Ramp)));
+    install(colors_.row_a, route(DirMask::of(Dir::Ramp), DirMask::of(Dir::East)));
+    install(colors_.row_b, route(DirMask::of(Dir::West), DirMask::of(Dir::Ramp)));
   }
   // Column-reduce chain (only the right-most column carries traffic, but
   // routes are installed everywhere — unused routes are harmless, exactly
   // like a real CSL layout block).
   if (odd_y) {
-    ctx.configure_router(colors_.col_b, route(DirMask::of(Dir::Ramp), DirMask::of(Dir::South)));
-    ctx.configure_router(colors_.col_a, route(DirMask::of(Dir::North), DirMask::of(Dir::Ramp)));
+    install(colors_.col_b, route(DirMask::of(Dir::Ramp), DirMask::of(Dir::South)));
+    install(colors_.col_a, route(DirMask::of(Dir::North), DirMask::of(Dir::Ramp)));
   } else {
-    ctx.configure_router(colors_.col_a, route(DirMask::of(Dir::Ramp), DirMask::of(Dir::South)));
-    ctx.configure_router(colors_.col_b, route(DirMask::of(Dir::North), DirMask::of(Dir::Ramp)));
+    install(colors_.col_a, route(DirMask::of(Dir::Ramp), DirMask::of(Dir::South)));
+    install(colors_.col_b, route(DirMask::of(Dir::North), DirMask::of(Dir::Ramp)));
   }
 
   // Phase-3 broadcasts. Up the right-most column with a tap at every PE:
   if (y == height - 1) {
-    ctx.configure_router(colors_.bcast_col, route(DirMask::of(Dir::Ramp), DirMask::of(Dir::North)));
+    install(colors_.bcast_col, route(DirMask::of(Dir::Ramp), DirMask::of(Dir::North)));
   } else if (y == 0) {
-    ctx.configure_router(colors_.bcast_col, route(DirMask::of(Dir::South), DirMask::of(Dir::Ramp)));
+    install(colors_.bcast_col, route(DirMask::of(Dir::South), DirMask::of(Dir::Ramp)));
   } else {
-    ctx.configure_router(colors_.bcast_col,
-                         route(DirMask::of(Dir::South), DirMask::of(Dir::Ramp, Dir::North)));
+    install(colors_.bcast_col,
+            route(DirMask::of(Dir::South), DirMask::of(Dir::Ramp, Dir::North)));
   }
   // Westward along each row:
   if (x == width - 1) {
-    ctx.configure_router(colors_.bcast_row, route(DirMask::of(Dir::Ramp), DirMask::of(Dir::West)));
+    install(colors_.bcast_row, route(DirMask::of(Dir::Ramp), DirMask::of(Dir::West)));
   } else if (x == 0) {
-    ctx.configure_router(colors_.bcast_row, route(DirMask::of(Dir::East), DirMask::of(Dir::Ramp)));
+    install(colors_.bcast_row, route(DirMask::of(Dir::East), DirMask::of(Dir::Ramp)));
   } else {
-    ctx.configure_router(colors_.bcast_row,
-                         route(DirMask::of(Dir::East), DirMask::of(Dir::Ramp, Dir::West)));
+    install(colors_.bcast_row,
+            route(DirMask::of(Dir::East), DirMask::of(Dir::Ramp, Dir::West)));
   }
 
   slot_value_ = ctx.memory().alloc_f32("allreduce.value", 1);
   slot_in_ = ctx.memory().alloc_f32("allreduce.in", 1);
+}
+
+wse::ProgramManifest AllReduce::manifest(wse::PeCoord coord, i64 width,
+                                         i64 height) const {
+  using wse::color_set_bit;
+  const bool odd_x = (coord.x % 2) != 0;
+  const bool odd_y = (coord.y % 2) != 0;
+  const bool right_col = coord.x == width - 1;
+  const bool bottom = coord.y == height - 1;
+
+  wse::ProgramManifest m;
+  // Phase 1, row chain eastward: every non-right PE forwards its partial
+  // on its parity color; every non-left PE receives the opposite one.
+  if (coord.x < width - 1) m.injects |= color_set_bit(odd_x ? colors_.row_b : colors_.row_a);
+  if (coord.x > 0) m.handles |= color_set_bit(odd_x ? colors_.row_a : colors_.row_b);
+  // Phase 2, column chain southward on the right-most column only.
+  if (right_col && coord.y < height - 1)
+    m.injects |= color_set_bit(odd_y ? colors_.col_b : colors_.col_a);
+  if (right_col && coord.y > 0)
+    m.handles |= color_set_bit(odd_y ? colors_.col_a : colors_.col_b);
+  // Phase 3, broadcast: bottom-right fans out; the right column relays west.
+  if (right_col && bottom && height > 1) m.injects |= color_set_bit(colors_.bcast_col);
+  if (right_col && !bottom) m.handles |= color_set_bit(colors_.bcast_col);
+  if (right_col && width > 1) m.injects |= color_set_bit(colors_.bcast_row);
+  if (!right_col) m.handles |= color_set_bit(colors_.bcast_row);
+
+  for (Color done : {colors_.row_done, colors_.col_done, colors_.bcast_col_done,
+                     colors_.bcast_row_done}) {
+    m.handles |= color_set_bit(done);
+    m.activates |= color_set_bit(done);
+  }
+  return m;
 }
 
 void AllReduce::start(PeContext& ctx, f32 value, DoneCallback on_done) {

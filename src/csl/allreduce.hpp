@@ -56,6 +56,9 @@ public:
   bool handles(Color color) const;
   void on_task(PeContext& ctx, Color color);
 
+  /// Static communication declaration for the fabric verifier.
+  wse::ProgramManifest manifest(wse::PeCoord coord, i64 width, i64 height) const;
+
 private:
   void row_phase_done(PeContext& ctx, f32 row_sum);
   void column_phase_done(PeContext& ctx, f32 total);

@@ -36,33 +36,56 @@ void AnySourceBroadcast::configure(PeContext& ctx, PeCoord source) {
   const i64 x = ctx.coord().x;
   const i64 y = ctx.coord().y;
 
+  // Edge-clip the flood fan-outs: a row/column terminus forwards outward
+  // into nothing, which becomes "tap the ramp only" instead of a transmit
+  // off the fabric (see HaloExchange::configure).
+  auto install = [&](Color color, ColorConfig config) {
+    for (auto& pos : config.positions)
+      pos.tx = wse::clip_to_fabric(pos.tx, ctx.coord(), ctx.fabric_width(),
+                                   ctx.fabric_height());
+    ctx.configure_router(color, std::move(config));
+  };
+
   // Phase 1 — row flood (only the source row carries this color).
   if (y == source.y) {
     if (x == source.x) {
       // One injection fans into both row directions.
-      ctx.configure_router(colors_.row,
-                           route(DirMask::of(Dir::Ramp), DirMask::of(Dir::East, Dir::West)));
+      install(colors_.row, route(DirMask::of(Dir::Ramp), DirMask::of(Dir::East, Dir::West)));
     } else if (x < source.x) {
-      ctx.configure_router(colors_.row,
-                           route(DirMask::of(Dir::East), DirMask::of(Dir::Ramp, Dir::West)));
+      install(colors_.row, route(DirMask::of(Dir::East), DirMask::of(Dir::Ramp, Dir::West)));
     } else {
-      ctx.configure_router(colors_.row,
-                           route(DirMask::of(Dir::West), DirMask::of(Dir::Ramp, Dir::East)));
+      install(colors_.row, route(DirMask::of(Dir::West), DirMask::of(Dir::Ramp, Dir::East)));
     }
   }
 
   // Phase 2 — column fan-out from every source-row PE.
   if (y == source.y) {
-    ctx.configure_router(colors_.col,
-                         route(DirMask::of(Dir::Ramp), DirMask::of(Dir::North, Dir::South)));
+    install(colors_.col, route(DirMask::of(Dir::Ramp), DirMask::of(Dir::North, Dir::South)));
   } else if (y < source.y) {
     // Data travels north: arrives from the South link.
-    ctx.configure_router(colors_.col,
-                         route(DirMask::of(Dir::South), DirMask::of(Dir::Ramp, Dir::North)));
+    install(colors_.col, route(DirMask::of(Dir::South), DirMask::of(Dir::Ramp, Dir::North)));
   } else {
-    ctx.configure_router(colors_.col,
-                         route(DirMask::of(Dir::North), DirMask::of(Dir::Ramp, Dir::South)));
+    install(colors_.col, route(DirMask::of(Dir::North), DirMask::of(Dir::Ramp, Dir::South)));
   }
+}
+
+wse::ProgramManifest AnySourceBroadcast::manifest(wse::PeCoord coord, i64 width,
+                                                  i64 height) const {
+  using wse::color_set_bit;
+  wse::ProgramManifest m;
+  if (coord == source_) {
+    if (width > 1) m.injects |= color_set_bit(colors_.row);
+    if (height > 1) m.injects |= color_set_bit(colors_.col);
+  } else if (coord.y == source_.y) {
+    // Row relay: taps the row flood, republishes into its column.
+    m.handles |= color_set_bit(colors_.row);
+    if (height > 1) m.injects |= color_set_bit(colors_.col);
+  } else {
+    m.handles |= color_set_bit(colors_.col);
+  }
+  m.handles |= color_set_bit(colors_.done);
+  m.activates |= color_set_bit(colors_.done);
+  return m;
 }
 
 void AnySourceBroadcast::start(PeContext& ctx, Dsd block, DoneCallback on_done) {

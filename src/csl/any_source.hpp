@@ -51,6 +51,10 @@ public:
   bool handles(Color color) const { return color == colors_.done; }
   void on_task(PeContext& ctx, Color color);
 
+  /// Static communication declaration for the fabric verifier. Valid only
+  /// after configure() has fixed the broadcast root.
+  wse::ProgramManifest manifest(wse::PeCoord coord, i64 width, i64 height) const;
+
 private:
   bool is_source(const PeContext& ctx) const;
   bool on_source_row(const PeContext& ctx) const;

@@ -28,7 +28,26 @@ void EastwardExchange::configure(PeContext& ctx) {
   config.positions = even_x ? std::vector<SwitchPosition>{kSending, kReceiving}
                             : std::vector<SwitchPosition>{kReceiving, kSending};
   config.ring_mode = true;
+  // The east-most PE's Sending position has no partner: edge-clip it to a
+  // null route (the wavelet is deliberately discarded; see SwitchPosition).
+  for (auto& pos : config.positions)
+    pos.tx = wse::clip_to_fabric(pos.tx, ctx.coord(), ctx.fabric_width(),
+                                 ctx.fabric_height());
   ctx.configure_router(colors_.data, config);
+}
+
+wse::ProgramManifest EastwardExchange::manifest(wse::PeCoord coord, i64 /*width*/,
+                                                i64 /*height*/) const {
+  wse::ProgramManifest m;
+  // Every PE takes the Sending role in one of the two steps; PEs with a
+  // western neighbor take the Receiving role in the other. The trailing
+  // control wavelet and the x=0 PE's local restore both advance the color.
+  m.injects |= wse::color_set_bit(colors_.data);
+  if (coord.x > 0) m.handles |= wse::color_set_bit(colors_.data);
+  m.advances |= color_bit(colors_.data);
+  m.handles |= wse::color_set_bit(colors_.done);
+  m.activates |= wse::color_set_bit(colors_.done);
+  return m;
 }
 
 void EastwardExchange::start(PeContext& ctx, Dsd mine, Dsd from_west,

@@ -51,6 +51,9 @@ public:
   bool handles(Color color) const { return color == colors_.done; }
   void on_task(PeContext& ctx, Color color);
 
+  /// Static communication declaration for the fabric verifier.
+  wse::ProgramManifest manifest(wse::PeCoord coord, i64 width, i64 height) const;
+
 private:
   Colors colors_;
   int phase_ = 0; // 0 idle; 1 first action outstanding; 2 second action

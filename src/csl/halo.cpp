@@ -42,24 +42,73 @@ void HaloExchange::configure(PeContext& ctx) {
   const bool odd_x = (ctx.coord().x % 2) != 0;
   const bool odd_y = (ctx.coord().y % 2) != 0;
 
+  // Edge-clip every transmit set: a sender position whose partner PE does
+  // not exist becomes a null route (empty tx) instead of pointing off the
+  // fabric, so the static verifier can prove no route exits the edge. The
+  // fabric sinks such wavelets and counts them as drops, exactly like the
+  // old off-edge transmit did.
+  auto clip = [&](ColorConfig config) {
+    for (auto& pos : config.positions)
+      pos.tx = wse::clip_to_fabric(pos.tx, ctx.coord(), ctx.fabric_width(),
+                                   ctx.fabric_height());
+    return config;
+  };
+
   // X dimension: odd PEs drive C1 (east in steps 1-2, west in 3-4), even
   // PEs drive C2; the opposite parity receives (from west first, then east).
   if (odd_x) {
-    ctx.configure_router(colors_.c1, sender_route(Dir::East, Dir::West));
+    ctx.configure_router(colors_.c1, clip(sender_route(Dir::East, Dir::West)));
     ctx.configure_router(colors_.c2, receiver_route(Dir::West, Dir::East));
   } else {
     ctx.configure_router(colors_.c1, receiver_route(Dir::West, Dir::East));
-    ctx.configure_router(colors_.c2, sender_route(Dir::East, Dir::West));
+    ctx.configure_router(colors_.c2, clip(sender_route(Dir::East, Dir::West)));
   }
   // Y dimension: "north" is y-1 (paper orientation). Odd PEs drive C3
   // (north first, then south), even PEs drive C4.
   if (odd_y) {
-    ctx.configure_router(colors_.c3, sender_route(Dir::North, Dir::South));
+    ctx.configure_router(colors_.c3, clip(sender_route(Dir::North, Dir::South)));
     ctx.configure_router(colors_.c4, receiver_route(Dir::South, Dir::North));
   } else {
     ctx.configure_router(colors_.c3, receiver_route(Dir::South, Dir::North));
-    ctx.configure_router(colors_.c4, sender_route(Dir::North, Dir::South));
+    ctx.configure_router(colors_.c4, clip(sender_route(Dir::North, Dir::South)));
   }
+}
+
+wse::ProgramManifest HaloExchange::manifest(wse::PeCoord coord, i64 width,
+                                            i64 height) const {
+  using wse::color_set_bit;
+  const bool odd_x = (coord.x % 2) != 0;
+  const bool odd_y = (coord.y % 2) != 0;
+
+  wse::ProgramManifest m;
+  // Each parity drives one color per dimension (injects + trailing control
+  // advance) and receives the opposite parity's color. Edge PEs that skip
+  // a receive advance the skipped color locally instead.
+  if (odd_x) {
+    m.injects |= color_set_bit(colors_.c1);
+    m.advances |= color_bit(colors_.c1);
+    m.handles |= color_set_bit(colors_.c2); // west neighbor always exists
+    if (coord.x == width - 1) m.advances |= color_bit(colors_.c2); // step-4 skip
+  } else {
+    m.injects |= color_set_bit(colors_.c2);
+    m.advances |= color_bit(colors_.c2);
+    if (width > 1) m.handles |= color_set_bit(colors_.c1);
+    if (coord.x == 0 || coord.x == width - 1) m.advances |= color_bit(colors_.c1);
+  }
+  if (odd_y) {
+    m.injects |= color_set_bit(colors_.c3);
+    m.advances |= color_bit(colors_.c3);
+    m.handles |= color_set_bit(colors_.c4); // north neighbor always exists
+    if (coord.y == height - 1) m.advances |= color_bit(colors_.c4);
+  } else {
+    m.injects |= color_set_bit(colors_.c4);
+    m.advances |= color_bit(colors_.c4);
+    if (height > 1) m.handles |= color_set_bit(colors_.c3);
+    if (coord.y == 0 || coord.y == height - 1) m.advances |= color_bit(colors_.c3);
+  }
+  m.handles |= color_set_bit(colors_.done_x) | color_set_bit(colors_.done_y);
+  m.activates |= color_set_bit(colors_.done_x) | color_set_bit(colors_.done_y);
+  return m;
 }
 
 void HaloExchange::start(PeContext& ctx, Dsd column, Dsd halo_west, Dsd halo_east,

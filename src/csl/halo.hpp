@@ -66,6 +66,10 @@ public:
   bool handles(Color color) const;
   void on_task(PeContext& ctx, Color color);
 
+  /// Static communication declaration for the fabric verifier (compose
+  /// into the owning program's PeProgram::manifest).
+  wse::ProgramManifest manifest(wse::PeCoord coord, i64 width, i64 height) const;
+
   /// Words this PE sent during exchanges so far (diagnostics).
   u64 words_sent() const { return words_sent_; }
 

@@ -40,4 +40,18 @@ inline ColorMask color_bit(Color color) {
   return ColorMask{1} << color;
 }
 
+/// Bitmask over *all* colors (routable and local task ids), used by the
+/// static program verifier's manifests (see wse/program.hpp).
+using ColorSet = u64;
+static_assert(kNumColors <= 64, "ColorSet holds one bit per color");
+
+inline ColorSet color_set_bit(Color color) {
+  check_valid(color);
+  return ColorSet{1} << color;
+}
+
+inline bool color_set_contains(ColorSet set, Color color) {
+  return is_valid(color) && (set & (ColorSet{1} << color)) != 0;
+}
+
 } // namespace fvdf::wse

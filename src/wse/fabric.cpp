@@ -82,8 +82,10 @@ Fabric::Fabric(i64 width, i64 height, TimingParams timing, PeMemoryParams mem)
   FVDF_CHECK_MSG(width >= 1 && height >= 1, "fabric dims must be positive");
   pes_.reserve(static_cast<std::size_t>(width * height));
   for (i64 y = 0; y < height; ++y)
-    for (i64 x = 0; x < width; ++x)
+    for (i64 x = 0; x < width; ++x) {
       pes_.push_back(std::make_unique<Pe>(PeCoord{x, y}, mem_params_));
+      pes_.back()->router.set_coord(PeCoord{x, y});
+    }
 
   // Horizontal strips of rows: with row-major PE indexing each shard owns a
   // contiguous index range, and east-west traffic (the halo-heavy axis of
@@ -327,6 +329,11 @@ void Fabric::dispatch_flit(Shard& shard, Pe& pe, Dir from, Flit&& flit, f64 t) {
   const f64 batch_cycles = static_cast<f64>(words) / timing_.words_per_cycle_link;
 
   if (tx.contains(Dir::Ramp)) deliver_to_ramp(shard, pe, flit, t);
+
+  // A null route (empty tx, the edge-clipped form of an off-fabric
+  // transmit) sinks the wavelet here; account its words like an edge drop
+  // so traffic identities (delivered + dropped) are route-shape agnostic.
+  if (tx.empty()) shard.stats.words_dropped += words;
 
   for (Dir dir : kCardinalDirs) {
     if (!tx.contains(dir)) continue;

@@ -43,6 +43,10 @@
 #include "wse/timing.hpp"
 #include "wse/trace.hpp"
 
+namespace fvdf::analysis {
+struct VerifyReport;
+}
+
 namespace fvdf::wse {
 
 struct FabricStats {
@@ -77,6 +81,14 @@ public:
 
   /// Instantiates one program per PE and schedules every on_start at t=0.
   void load(const ProgramFactory& factory);
+
+  /// Statically verifies `factory` against this fabric's geometry and
+  /// memory parameters without running the event loop: route completeness,
+  /// deadlock freedom, delivery liveness, switch-position liveness and the
+  /// per-PE memory budget. Does not modify this fabric — verification runs
+  /// on freshly instantiated per-PE state. Defined in src/analysis/ (link
+  /// fvdf_analysis to use it); see docs/static_verification.md.
+  analysis::VerifyReport verify(const ProgramFactory& factory) const;
 
   struct RunResult {
     f64 cycles = 0;       // simulated time at completion

@@ -39,4 +39,13 @@ std::optional<PeCoord> neighbor(const PeCoord& at, Dir dir, i64 width, i64 heigh
   return n;
 }
 
+DirMask clip_to_fabric(DirMask mask, const PeCoord& at, i64 width, i64 height) {
+  DirMask clipped;
+  if (mask.contains(Dir::Ramp)) clipped = DirMask::of(Dir::Ramp);
+  for (Dir dir : kCardinalDirs)
+    if (mask.contains(dir) && neighbor(at, dir, width, height))
+      clipped = DirMask(static_cast<u8>(clipped.bits() | DirMask::of(dir).bits()));
+  return clipped;
+}
+
 } // namespace fvdf::wse

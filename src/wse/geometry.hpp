@@ -60,4 +60,10 @@ struct PeCoord {
 /// would fall outside a width x height fabric.
 std::optional<PeCoord> neighbor(const PeCoord& at, Dir dir, i64 width, i64 height);
 
+/// Drops from `mask` every cardinal direction whose neighbor falls outside
+/// a width x height fabric at `at`; Ramp always survives. Used to edge-clip
+/// a switch position's tx set — the result may be empty (a null route that
+/// deliberately discards, see SwitchPosition::tx).
+DirMask clip_to_fabric(DirMask mask, const PeCoord& at, i64 width, i64 height);
+
 } // namespace fvdf::wse

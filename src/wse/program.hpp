@@ -63,6 +63,27 @@ public:
   virtual f64 now() const = 0;
 };
 
+/// Static declaration of a PE program's communication behavior, consumed
+/// by the fabric verifier (src/analysis/). A program's routing tables are
+/// fully installed by on_start, but sends and receives happen over its
+/// whole lifetime — the manifest is how a program tells the verifier what
+/// its event-driven future will do, the way a function signature declares
+/// effects its body performs later.
+struct ProgramManifest {
+  ColorSet injects = 0;   // colors this PE may send on (ramp injections)
+  ColorSet handles = 0;   // colors consumed here: a recv or an on_task case
+  ColorSet activates = 0; // colors this PE may activate (incl. completions)
+  ColorMask advances = 0; // routable colors advanced (control or local)
+
+  ProgramManifest& operator|=(const ProgramManifest& other) {
+    injects |= other.injects;
+    handles |= other.handles;
+    activates |= other.activates;
+    advances |= other.advances;
+    return *this;
+  }
+};
+
 class PeProgram {
 public:
   virtual ~PeProgram() = default;
@@ -70,6 +91,19 @@ public:
   virtual void on_start(PeContext& ctx) = 0;
   /// Runs when `color` activates (local activation or completion callback).
   virtual void on_task(PeContext& ctx, Color color) = 0;
+
+  /// Static manifest for the verifier, queried *after* on_start has run
+  /// (so it may depend on configuration established there). The default —
+  /// an empty manifest — limits the verifier to what a recorded on_start
+  /// reveals; programs with receives or sends in later task handlers
+  /// should override it (compose the csl components' manifest helpers).
+  virtual ProgramManifest manifest(PeCoord coord, i64 fabric_width,
+                                   i64 fabric_height) const {
+    (void)coord;
+    (void)fabric_width;
+    (void)fabric_height;
+    return {};
+  }
 };
 
 using ProgramFactory = std::function<std::unique_ptr<PeProgram>(PeCoord)>;

@@ -1,15 +1,33 @@
 #include "wse/router.hpp"
 
+#include <sstream>
+
 #include "common/error.hpp"
 
 namespace fvdf::wse {
 
+std::string Router::where() const {
+  std::ostringstream os;
+  if (has_coord_) {
+    os << " at PE (" << coord_.x << ", " << coord_.y << ")";
+  } else {
+    os << " at PE (?)";
+  }
+  return os.str();
+}
+
 void Router::configure(Color color, ColorConfig config) {
   check_routable(color);
-  FVDF_CHECK_MSG(!config.positions.empty(), "router config needs >= 1 switch position");
+  FVDF_CHECK_MSG(!config.positions.empty(),
+                 "router config for color " << static_cast<int>(color)
+                                            << " needs >= 1 switch position" << where());
+  // rx must be non-empty (a position nothing can enter is dead); tx may be
+  // empty — a null route that deliberately discards, the edge-clipped form
+  // of a transmit position whose partner PE does not exist.
   for (const auto& pos : config.positions)
-    FVDF_CHECK_MSG(!pos.rx.empty() && !pos.tx.empty(),
-                   "switch position must have non-empty rx and tx sets");
+    FVDF_CHECK_MSG(!pos.rx.empty(), "switch position of color "
+                                        << static_cast<int>(color)
+                                        << " must have a non-empty rx set" << where());
   auto& state = colors_[color];
   state.config = std::move(config);
   state.current = 0;
@@ -21,24 +39,34 @@ bool Router::is_configured(Color color) const {
   return colors_[color].configured;
 }
 
+const ColorConfig& Router::config(Color color) const {
+  check_routable(color);
+  FVDF_CHECK_MSG(colors_[color].configured,
+                 "no route installed for color " << static_cast<int>(color) << where());
+  return colors_[color].config;
+}
+
 DirMask Router::route(Color color, Dir from) const {
   check_routable(color);
   const auto& state = colors_[color];
-  FVDF_CHECK_MSG(state.configured,
-                 "wavelet on unconfigured color " << static_cast<int>(color));
+  FVDF_CHECK_MSG(state.configured, "wavelet on unconfigured color "
+                                       << static_cast<int>(color) << " arriving from "
+                                       << to_string(from) << where());
   const SwitchPosition& pos = state.config.positions[state.current];
   FVDF_CHECK_MSG(pos.rx.contains(from),
                  "misrouted wavelet: color " << static_cast<int>(color)
                                              << " arrived from " << to_string(from)
-                                             << " at switch position " << state.current);
+                                             << " at switch position " << state.current
+                                             << where());
   return pos.tx;
 }
 
 bool Router::accepts(Color color, Dir from) const {
   check_routable(color);
   const auto& state = colors_[color];
-  FVDF_CHECK_MSG(state.configured,
-                 "wavelet on unconfigured color " << static_cast<int>(color));
+  FVDF_CHECK_MSG(state.configured, "wavelet on unconfigured color "
+                                       << static_cast<int>(color) << " arriving from "
+                                       << to_string(from) << where());
   return state.config.positions[state.current].rx.contains(from);
 }
 

@@ -9,6 +9,7 @@
 // with.
 
 #include <array>
+#include <string>
 #include <vector>
 
 #include "common/types.hpp"
@@ -19,7 +20,10 @@ namespace fvdf::wse {
 
 struct SwitchPosition {
   DirMask rx; // accepted input links
-  DirMask tx; // output links (fanout > 1 = broadcast)
+  DirMask tx; // output links (fanout > 1 = broadcast; empty = null route:
+              // accepted wavelets are deliberately discarded — the
+              // edge-clipped representation of a transmit step whose
+              // partner PE does not exist)
 };
 
 struct ColorConfig {
@@ -29,10 +33,22 @@ struct ColorConfig {
 
 class Router {
 public:
+  /// Attaches the owning PE's coordinate so routing errors are actionable
+  /// without a trace dump (the Fabric sets this at construction; a bare
+  /// Router in a unit test reports "PE (?)").
+  void set_coord(PeCoord coord) {
+    coord_ = coord;
+    has_coord_ = true;
+  }
+
   /// Installs the route for `color`; resets the current position to 0.
   void configure(Color color, ColorConfig config);
 
   bool is_configured(Color color) const;
+
+  /// Full installed configuration of `color` (all switch positions), for
+  /// the static verifier and diagnostics. Throws if unconfigured.
+  const ColorConfig& config(Color color) const;
 
   /// Output links for a wavelet of `color` arriving from `from`. Throws if
   /// the color is unconfigured (a program bug, never silent).
@@ -58,7 +74,12 @@ private:
     u32 current = 0;
     bool configured = false;
   };
+
+  std::string where() const; // " at PE (x, y)" context for error messages
+
   std::array<State, kNumRoutableColors> colors_{};
+  PeCoord coord_{};
+  bool has_coord_ = false;
 };
 
 } // namespace fvdf::wse

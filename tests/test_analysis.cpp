@@ -1,0 +1,245 @@
+// Static fabric-program verifier tests (src/analysis/): every shipped CSL
+// collective verifies clean across fabric shapes (including degenerate
+// ones), each seeded defect is rejected with exactly the diagnostic its
+// check advertises, and the solver-facing entry points (verify_dataflow,
+// Fabric::verify, the solve_dataflow pre-flight) agree with the simulator.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/fixtures.hpp"
+#include "analysis/verifier.hpp"
+#include "common/error.hpp"
+#include "core/solver.hpp"
+#include "fv/operator.hpp"
+#include "fv/problem.hpp"
+#include "solver/chebyshev.hpp"
+#include "wse/fabric.hpp"
+#include "wse/router.hpp"
+
+namespace fvdf {
+namespace {
+
+using analysis::Check;
+using analysis::Diagnostic;
+using analysis::Severity;
+using analysis::VerifyReport;
+using analysis::verify_program;
+namespace fixtures = analysis::fixtures;
+
+bool has_error(const VerifyReport& report, Check check,
+               const std::string& needle) {
+  for (const Diagnostic& diag : report.diagnostics)
+    if (diag.check == check && diag.severity == Severity::Error &&
+        diag.message.find(needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+// ---------- known-good collectives across fabric shapes ----------
+
+struct Shape {
+  i64 width, height;
+};
+// Degenerate rows/columns and single PEs are exactly where edge clipping
+// and the width/height guards in the manifests can go wrong.
+constexpr Shape kShapes[] = {{1, 1}, {2, 1}, {1, 2}, {4, 1},
+                             {1, 4}, {2, 2}, {3, 5}, {8, 8}};
+
+TEST(VerifyCollectives, HaloExchangeCleanOnAllShapes) {
+  for (const auto [w, h] : kShapes) {
+    const auto report = verify_program(w, h, fixtures::halo_program(6));
+    EXPECT_TRUE(report.ok()) << w << "x" << h << ":\n" << report.summary();
+  }
+}
+
+TEST(VerifyCollectives, AllReduceCleanOnAllShapes) {
+  for (const auto [w, h] : kShapes) {
+    const auto report = verify_program(w, h, fixtures::allreduce_program());
+    EXPECT_TRUE(report.ok()) << w << "x" << h << ":\n" << report.summary();
+  }
+}
+
+TEST(VerifyCollectives, EastwardExchangeCleanOnAllShapes) {
+  for (const auto [w, h] : kShapes) {
+    const auto report = verify_program(w, h, fixtures::eastward_program());
+    EXPECT_TRUE(report.ok()) << w << "x" << h << ":\n" << report.summary();
+  }
+}
+
+TEST(VerifyCollectives, AnySourceCleanOnAllShapesAndRoots) {
+  for (const auto [w, h] : kShapes) {
+    for (const wse::PeCoord root :
+         {wse::PeCoord{0, 0}, wse::PeCoord{w - 1, h - 1},
+          wse::PeCoord{w / 2, h / 2}}) {
+      const auto report =
+          verify_program(w, h, fixtures::any_source_program(root));
+      EXPECT_TRUE(report.ok()) << w << "x" << h << " root (" << root.x << ", "
+                               << root.y << "):\n" << report.summary();
+    }
+  }
+}
+
+TEST(VerifyCollectives, ReportCountsCoverTheFabric) {
+  const auto report = verify_program(4, 4, fixtures::halo_program(4));
+  EXPECT_EQ(report.width, 4);
+  EXPECT_EQ(report.height, 4);
+  // Four halo colors injected everywhere; the trace walks real state.
+  EXPECT_EQ(report.colors_traced, 4u);
+  EXPECT_GT(report.routes_checked, 0u);
+  EXPECT_GT(report.cdg_nodes, 0u);
+  // Edge-clipped sends become deliberate null-route sinks, not errors.
+  EXPECT_GT(report.null_route_sinks, 0u);
+  EXPECT_GT(report.memory_high_water_bytes, 0u);
+  EXPECT_LE(report.memory_high_water_bytes,
+            report.memory_capacity_bytes - report.memory_reserved_bytes);
+}
+
+// ---------- seeded defects: one specific diagnostic each ----------
+
+TEST(VerifyDefects, EdgeRouteExitsFabric) {
+  const auto report = verify_program(3, 1, fixtures::edge_route_defect());
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_error(report, Check::RouteCompleteness,
+                        "exits the East fabric edge at PE (2, 0)"))
+      << report.summary();
+}
+
+TEST(VerifyDefects, CreditCycleReportsCycleWalk) {
+  const auto report = verify_program(2, 1, fixtures::credit_cycle_defect());
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_error(report, Check::DeadlockFreedom,
+                        "channel-dependency cycle on color 5"))
+      << report.summary();
+  // The walk names both PEs and the exit directions of the cycle.
+  EXPECT_TRUE(has_error(report, Check::DeadlockFreedom,
+                        "PE (1, 0) --West--> PE (0, 0) --East--> PE (1, 0)"))
+      << report.summary();
+}
+
+TEST(VerifyDefects, MissingHandlerAtDeliveryPe) {
+  const auto report = verify_program(2, 1, fixtures::missing_handler_defect());
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_error(report, Check::DeliveryLiveness,
+                        "no recv or task handler"))
+      << report.summary();
+}
+
+TEST(VerifyDefects, ArenaOverflowIsMemoryBudget) {
+  const auto report = verify_program(1, 1, fixtures::arena_overflow_defect());
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_error(report, Check::MemoryBudget, "PE memory overflow"))
+      << report.summary();
+  // The overflow is reported per PE, not silently re-thrown.
+  EXPECT_EQ(report.error_count(), 1u);
+}
+
+TEST(VerifyDefects, DefectsScaleWithFabric) {
+  // On a wider fabric the missing-handler defect fires on every odd column.
+  const auto report = verify_program(4, 2, fixtures::missing_handler_defect());
+  EXPECT_FALSE(report.ok());
+  EXPECT_GE(report.error_count(), 4u) << report.summary();
+}
+
+// ---------- custom programs: switch liveness + diagnostics plumbing ----------
+
+/// Two switch positions but nobody ever advances the color.
+class StuckSwitchProgram final : public wse::PeProgram {
+public:
+  void on_start(wse::PeContext& ctx) override {
+    wse::ColorConfig config;
+    config.positions = {
+        wse::SwitchPosition{wse::DirMask::of(wse::Dir::Ramp), {}},
+        wse::SwitchPosition{wse::DirMask::of(wse::Dir::Ramp), {}}};
+    ctx.configure_router(7, config);
+  }
+  void on_task(wse::PeContext&, wse::Color) override {}
+  wse::ProgramManifest manifest(wse::PeCoord coord, i64, i64) const override {
+    wse::ProgramManifest m;
+    if (coord.x == 0) m.injects |= wse::color_set_bit(7);
+    return m;
+  }
+};
+
+TEST(VerifySwitchLiveness, UnadvancedMultiPositionColorIsAnError) {
+  const auto report = verify_program(
+      1, 1, [](wse::PeCoord) { return std::make_unique<StuckSwitchProgram>(); });
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_error(report, Check::SwitchLiveness, "advance"))
+      << report.summary();
+}
+
+TEST(VerifyDiagnostics, FormatNamesCheckColorAndPe) {
+  const auto report = verify_program(2, 1, fixtures::credit_cycle_defect());
+  ASSERT_FALSE(report.diagnostics.empty());
+  const std::string line = report.diagnostics.front().format();
+  EXPECT_NE(line.find("error[deadlock-freedom]"), std::string::npos) << line;
+  EXPECT_NE(line.find("color 5"), std::string::npos) << line;
+  EXPECT_NE(line.find("at PE ("), std::string::npos) << line;
+}
+
+TEST(VerifyDiagnostics, SummaryLeadsWithVerdict) {
+  const auto good = verify_program(2, 2, fixtures::allreduce_program());
+  EXPECT_EQ(good.summary().find("fabric verify 2x2: OK"), 0u);
+  const auto bad = verify_program(1, 1, fixtures::arena_overflow_defect());
+  EXPECT_EQ(bad.summary().find("fabric verify 1x1: FAIL"), 0u);
+}
+
+TEST(VerifyApi, RejectsNonPositiveFabric) {
+  EXPECT_THROW(verify_program(0, 4, fixtures::allreduce_program()), Error);
+  EXPECT_THROW(verify_program(4, -1, fixtures::allreduce_program()), Error);
+}
+
+// ---------- solver-facing entry points ----------
+
+TEST(VerifyFabricMember, MatchesFreeFunction) {
+  const wse::Fabric fabric(3, 2);
+  const auto via_member = fabric.verify(fixtures::halo_program(4));
+  const auto via_free = verify_program(3, 2, fixtures::halo_program(4));
+  EXPECT_TRUE(via_member.ok()) << via_member.summary();
+  EXPECT_EQ(via_member.routes_checked, via_free.routes_checked);
+  EXPECT_EQ(via_member.cdg_edges, via_free.cdg_edges);
+  EXPECT_EQ(via_member.memory_high_water_bytes,
+            via_free.memory_high_water_bytes);
+}
+
+TEST(VerifyDataflow, CgDeviceProgramIsClean) {
+  const auto problem = FlowProblem::quarter_five_spot(6, 5, 4, /*seed=*/3, 0.8);
+  for (const bool jacobi : {false, true}) {
+    core::DataflowConfig config;
+    config.jacobi_precondition = jacobi;
+    const auto report = core::verify_dataflow(problem, config);
+    EXPECT_TRUE(report.ok()) << "jacobi=" << jacobi << ":\n" << report.summary();
+    EXPECT_GT(report.colors_traced, 0u);
+  }
+}
+
+TEST(VerifyDataflow, ChebyshevDeviceProgramIsClean) {
+  const auto problem = FlowProblem::quarter_five_spot(5, 4, 4, /*seed=*/9, 0.8);
+  const auto sys = problem.discretize<f64>();
+  const MatrixFreeOperator<f64> op(sys);
+  core::ChebyshevDeviceConfig config;
+  config.bounds = estimate_spectral_bounds<f64>(
+      [&](const f64* in, f64* out) { op.apply(in, out); },
+      static_cast<std::size_t>(sys.cell_count()));
+  const auto report = core::verify_dataflow_chebyshev(problem, config);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(VerifyDataflow, PreflightDoesNotChangeTheSolve) {
+  const auto problem = FlowProblem::quarter_five_spot(4, 4, 4, /*seed=*/5, 0.8);
+  core::DataflowConfig plain;
+  plain.tolerance = 1e-10f;
+  core::DataflowConfig checked = plain;
+  checked.verify_preflight = true;
+  const auto a = core::solve_dataflow(problem, plain);
+  const auto b = core::solve_dataflow(problem, checked);
+  ASSERT_TRUE(b.converged);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.final_rr, b.final_rr);
+  EXPECT_EQ(a.delta, b.delta);
+}
+
+} // namespace
+} // namespace fvdf
