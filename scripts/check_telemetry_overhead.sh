@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Telemetry-overhead gate: the compiled-in-but-unattached telemetry hooks
+# (the default build at --level off — one null-pointer test per hot-path
+# site) must not slow the simulator measurably against a build with the
+# hooks compiled out entirely (-DFVDF_TELEMETRY=OFF).
+#
+# Method: build both configurations, run the same 40x40x8 CG solve
+# REPS times in each via `fabric_profile --level off --reps`, compare
+# medians, fail if the default build's median exceeds the OFF build's by
+# more than MAX_REGRESSION_PCT.
+#
+#   scripts/check_telemetry_overhead.sh [build-dir-on] [build-dir-off]
+#
+# Environment knobs: FABRIC (40x40), NZ (8), ITERS (30), REPS (7),
+# MAX_REGRESSION_PCT (5).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_ON="${1:-build-telem-on}"
+BUILD_OFF="${2:-build-telem-off}"
+FABRIC="${FABRIC:-40x40}"
+NZ="${NZ:-8}"
+ITERS="${ITERS:-30}"
+REPS="${REPS:-7}"
+MAX_REGRESSION_PCT="${MAX_REGRESSION_PCT:-5}"
+
+configure_and_build() {
+  local dir="$1"; shift
+  cmake -B "$dir" -G Ninja -DCMAKE_BUILD_TYPE=Release "$@" > /dev/null
+  cmake --build "$dir" --target fabric_profile -j > /dev/null
+}
+
+echo "== building default (telemetry hooks compiled in) -> $BUILD_ON"
+configure_and_build "$BUILD_ON"
+echo "== building -DFVDF_TELEMETRY=OFF (hooks compiled out) -> $BUILD_OFF"
+configure_and_build "$BUILD_OFF" -DFVDF_TELEMETRY=OFF
+
+# Prints the median of the per-rep wall times a fabric_profile timing run
+# emits ("rep N: X ms wall, ...").
+median_ms() {
+  local dir="$1"
+  "$dir/tools/fabric_profile" --fabric "$FABRIC" --nz "$NZ" --iters "$ITERS" \
+      --tolerance 0 --level off --reps "$REPS" \
+    | awk '/ms wall/ {print $3}' \
+    | sort -n \
+    | awk '{a[NR]=$1} END {print a[int((NR+1)/2)]}'
+}
+
+# Interleaving would be fairer under noisy CI neighbours, but one warm-up
+# pass per binary plus medians has proven stable enough.
+echo "== timing $FABRIC x$NZ CG, $ITERS iterations, $REPS reps per config"
+ON_MS="$(median_ms "$BUILD_ON")"
+OFF_MS="$(median_ms "$BUILD_OFF")"
+
+awk -v on="$ON_MS" -v off="$OFF_MS" -v max="$MAX_REGRESSION_PCT" 'BEGIN {
+  pct = (on / off - 1) * 100
+  printf "median wall time: hooks-in %.1f ms, hooks-out %.1f ms (%+.2f%%)\n",
+         on, off, pct
+  if (pct > max) {
+    printf "FAIL: disabled-telemetry overhead %.2f%% exceeds %s%% budget\n",
+           pct, max
+    exit 1
+  }
+  printf "OK: within the %s%% budget\n", max
+}'

@@ -32,6 +32,103 @@ f64 RunningStats::variance() const {
 
 void RunningStats::clear() { *this = RunningStats{}; }
 
+StreamingHistogram::StreamingHistogram(u32 subbucket_bits)
+    : subbucket_bits_(subbucket_bits), subbuckets_(1u << subbucket_bits) {
+  FVDF_CHECK_MSG(subbucket_bits <= 12, "subbucket_bits out of range");
+}
+
+std::size_t StreamingHistogram::bucket_index(f64 value) const {
+  if (!(value >= 1.0)) return 0; // negatives, NaN and [0,1) collapse here
+  int exp = 0;
+  const f64 mantissa = std::frexp(value, &exp); // value = mantissa * 2^exp
+  const i64 octave = exp - 1;                   // value in [2^octave, 2^octave+1)
+  // mantissa in [0.5, 1): 2*mantissa - 1 in [0, 1) picks the sub-bucket.
+  auto sub = static_cast<std::size_t>((2.0 * mantissa - 1.0) *
+                                      static_cast<f64>(subbuckets_));
+  if (sub >= subbuckets_) sub = subbuckets_ - 1;
+  return 1 + static_cast<std::size_t>(octave) * subbuckets_ + sub;
+}
+
+f64 StreamingHistogram::bucket_lo(std::size_t index) const {
+  if (index == 0) return 0.0;
+  const std::size_t octave = (index - 1) / subbuckets_;
+  const std::size_t sub = (index - 1) % subbuckets_;
+  return std::ldexp(1.0 + static_cast<f64>(sub) / static_cast<f64>(subbuckets_),
+                    static_cast<int>(octave));
+}
+
+f64 StreamingHistogram::bucket_hi(std::size_t index) const {
+  if (index == 0) return 1.0;
+  const std::size_t octave = (index - 1) / subbuckets_;
+  const std::size_t sub = (index - 1) % subbuckets_;
+  return std::ldexp(1.0 + static_cast<f64>(sub + 1) / static_cast<f64>(subbuckets_),
+                    static_cast<int>(octave));
+}
+
+void StreamingHistogram::add(f64 value) {
+  const std::size_t index = bucket_index(value);
+  if (index >= bins_.size()) bins_.resize(index + 1, 0);
+  ++bins_[index];
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+void StreamingHistogram::merge(const StreamingHistogram& other) {
+  FVDF_CHECK_MSG(subbucket_bits_ == other.subbucket_bits_,
+                 "histogram precision mismatch");
+  if (other.count_ == 0) return;
+  if (other.bins_.size() > bins_.size()) bins_.resize(other.bins_.size(), 0);
+  for (std::size_t i = 0; i < other.bins_.size(); ++i) bins_[i] += other.bins_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void StreamingHistogram::clear() {
+  bins_.clear();
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+}
+
+f64 StreamingHistogram::quantile(f64 q) const {
+  FVDF_CHECK(q >= 0.0 && q <= 1.0);
+  if (count_ == 0) return 0.0;
+  if (q == 0.0) return min_;
+  if (q == 1.0) return max_;
+  // Rank of the requested order statistic (same convention as
+  // fvdf::percentile); the answer is the midpoint of the bucket holding it,
+  // clamped into the observed [min, max] range.
+  const f64 rank = q * static_cast<f64>(count_ - 1);
+  u64 cumulative = 0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    cumulative += bins_[i];
+    if (static_cast<f64>(cumulative) > rank) {
+      const f64 mid = 0.5 * (bucket_lo(i) + bucket_hi(i));
+      return std::clamp(mid, min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::vector<StreamingHistogram::Bucket> StreamingHistogram::buckets() const {
+  std::vector<Bucket> result;
+  for (std::size_t i = 0; i < bins_.size(); ++i)
+    if (bins_[i] != 0) result.push_back(Bucket{bucket_lo(i), bucket_hi(i), bins_[i]});
+  return result;
+}
+
 f64 percentile(std::vector<f64> samples, f64 p) {
   FVDF_CHECK(!samples.empty());
   FVDF_CHECK(p >= 0.0 && p <= 100.0);

@@ -37,4 +37,62 @@ private:
 /// Exact percentile (linear interpolation) over a copy of the samples.
 f64 percentile(std::vector<f64> samples, f64 p);
 
+/// Streaming histogram with bounded relative error, for cycle/time
+/// distributions that are too large to keep as raw samples (telemetry
+/// task-duration histograms, bench reporters). HDR-style bucketing:
+/// each power-of-two octave is split into 2^subbucket_bits linear
+/// sub-buckets, so any quantile is accurate to a relative error of
+/// 2^-subbucket_bits. Values below 1.0 (and negatives) collapse into
+/// bucket 0 — the intended domain is cycle counts and durations >= 1.
+///
+/// Merging adds bin counts, so shard-local histograms merged in a fixed
+/// shard order produce bitwise-identical results at any thread count
+/// (the property the fabric telemetry determinism tests assert).
+class StreamingHistogram {
+public:
+  explicit StreamingHistogram(u32 subbucket_bits = 5);
+
+  void add(f64 value);
+  /// Adds `other`'s population. Both must use the same subbucket_bits.
+  void merge(const StreamingHistogram& other);
+  void clear();
+
+  std::size_t count() const { return count_; }
+  f64 sum() const { return sum_; }
+  f64 mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<f64>(count_); }
+  f64 min() const { return count_ == 0 ? 0.0 : min_; }
+  f64 max() const { return count_ == 0 ? 0.0 : max_; }
+  u32 subbucket_bits() const { return subbucket_bits_; }
+
+  /// Quantile estimate for q in [0, 1]; 0 on an empty histogram. Exact at
+  /// the extremes (returns min/max) and within the relative error bound
+  /// in between.
+  f64 quantile(f64 q) const;
+  f64 p50() const { return quantile(0.50); }
+  f64 p95() const { return quantile(0.95); }
+  f64 p99() const { return quantile(0.99); }
+
+  /// Non-empty buckets as (lower edge, upper edge, count) rows, for
+  /// exporters.
+  struct Bucket {
+    f64 lo;
+    f64 hi;
+    u64 count;
+  };
+  std::vector<Bucket> buckets() const;
+
+private:
+  std::size_t bucket_index(f64 value) const;
+  f64 bucket_lo(std::size_t index) const;
+  f64 bucket_hi(std::size_t index) const;
+
+  u32 subbucket_bits_;
+  u32 subbuckets_; // per octave
+  std::vector<u64> bins_;
+  std::size_t count_ = 0;
+  f64 sum_ = 0.0;
+  f64 min_ = 0.0;
+  f64 max_ = 0.0;
+};
+
 } // namespace fvdf

@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "core/flux_kernels.hpp"
+#include "telemetry/phase.hpp"
 
 namespace fvdf::core {
 
@@ -9,6 +10,14 @@ using wse::Color;
 using wse::Dir;
 using wse::dsd;
 using wse::PeContext;
+
+namespace {
+// Chebyshev has no explicit state enum; phases are marked directly at the
+// same Table-II granularity the CG program uses.
+void mark(PeContext& ctx, telemetry::Phase phase) {
+  ctx.mark_phase(static_cast<u8>(phase));
+}
+} // namespace
 
 ChebyshevPeProgram::ChebyshevPeProgram(ChebyshevPeConfig config)
     : config_(std::move(config)) {
@@ -23,6 +32,7 @@ ChebyshevPeProgram::ChebyshevPeProgram(ChebyshevPeConfig config)
 }
 
 void ChebyshevPeProgram::on_start(PeContext& ctx) {
+  mark(ctx, telemetry::Phase::Setup);
   layout_ = PeLayout::plan(ctx.memory(), config_.nz, config_.mode,
                            static_cast<u32>(config_.init.dirichlet_z.size()),
                            /*jacobi=*/false, !config_.init.source.empty());
@@ -63,7 +73,11 @@ void ChebyshevPeProgram::start_halo_jx(PeContext& ctx) {
   halo_.start(
       ctx, dsd(layout_.x), dsd(layout_.halo_w), dsd(layout_.halo_e),
       dsd(layout_.halo_s), dsd(layout_.halo_n),
-      [this](PeContext& c, Dir dir) { compute_face_flux(c, layout_, config_.mode, dir); },
+      [this](PeContext& c, Dir dir) {
+        mark(c, telemetry::Phase::Flux);
+        compute_face_flux(c, layout_, config_.mode, dir);
+        mark(c, telemetry::Phase::Halo); // back to waiting on the exchange
+      },
       [this](PeContext& c) {
         if (init_pass_) {
           after_init_flux(c);
@@ -71,12 +85,15 @@ void ChebyshevPeProgram::start_halo_jx(PeContext& ctx) {
           after_iter_flux(c);
         }
       });
+  mark(ctx, telemetry::Phase::Flux); // z-flux overlaps the exchange
   compute_z_flux(ctx, layout_, config_.mode);
+  mark(ctx, telemetry::Phase::Halo);
 }
 
 void ChebyshevPeProgram::after_init_flux(PeContext& ctx) {
   init_pass_ = false;
   auto& e = ctx.dsd();
+  mark(ctx, telemetry::Phase::Axpy);
   fix_dirichlet_rows(ctx, layout_);
   // r0 = q_src - J p0 on interior rows, 0 on Dirichlet rows.
   e.fnegs(dsd(layout_.r), dsd(layout_.q));
@@ -87,10 +104,13 @@ void ChebyshevPeProgram::after_init_flux(PeContext& ctx) {
   e.fmuls_imm(dsd(layout_.x), dsd(layout_.r), 1.0f / theta_);
 
   // Initial residual probe: establishes rr0 for the divergence guard.
+  mark(ctx, telemetry::Phase::LocalDot);
   const f32 rr_local = e.fdots(dsd(layout_.r), dsd(layout_.r));
   reduce_.start(ctx, rr_local, [this](PeContext& c, f32 total) {
     rr0_ = total;
     rr_ = total;
+    mark(c, telemetry::Phase::Check);
+    c.note_progress(0, total);
     if (rr_ < config_.tolerance || rr_ == 0.0f) {
       finish(c, /*converged=*/true);
       return;
@@ -102,12 +122,14 @@ void ChebyshevPeProgram::after_init_flux(PeContext& ctx) {
 void ChebyshevPeProgram::after_iter_flux(PeContext& ctx) {
   auto& e = ctx.dsd();
   // q = J d (+ the backward-Euler shift), Dirichlet rows identity.
+  mark(ctx, telemetry::Phase::LocalDot);
   if (config_.diagonal_shift != 0.0f)
     e.fmacs_imm(dsd(layout_.q), dsd(layout_.q), dsd(layout_.x),
                 config_.diagonal_shift);
   fix_dirichlet_rows(ctx, layout_);
 
   // y += d;  r -= q;  d = (rho' rho) d + (2 rho'/delta) r.
+  mark(ctx, telemetry::Phase::Axpy);
   e.fadds(dsd(layout_.ysol), dsd(layout_.ysol), dsd(layout_.x));
   e.fmacs_imm(dsd(layout_.r), dsd(layout_.r), dsd(layout_.q), -1.0f);
   const f32 rho_next = 1.0f / (e.fmuls_scalar(2.0f, sigma_) - rho_);
@@ -126,9 +148,12 @@ void ChebyshevPeProgram::next_or_probe(PeContext& ctx) {
     start_halo_jx(ctx);
     return;
   }
+  mark(ctx, telemetry::Phase::LocalDot);
   const f32 rr_local = ctx.dsd().fdots(dsd(layout_.r), dsd(layout_.r));
   reduce_.start(ctx, rr_local, [this](PeContext& c, f32 total) {
     rr_ = total;
+    mark(c, telemetry::Phase::Check);
+    c.note_progress(k_, total);
     if (rr_ < config_.tolerance || rr_ == 0.0f) {
       finish(c, /*converged=*/true);
       return;
@@ -142,6 +167,7 @@ void ChebyshevPeProgram::next_or_probe(PeContext& ctx) {
 }
 
 void ChebyshevPeProgram::finish(PeContext& ctx, bool converged) {
+  mark(ctx, telemetry::Phase::Done);
   auto& mem = ctx.memory();
   mem.store(layout_.result.offset_words + 0, static_cast<f32>(k_));
   mem.store(layout_.result.offset_words + 1, converged ? 1.0f : 0.0f);

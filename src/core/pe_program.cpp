@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "core/flux_kernels.hpp"
+#include "telemetry/phase.hpp"
 
 namespace fvdf::core {
 
@@ -31,6 +32,39 @@ const char* to_string(CgState state) {
   return "?";
 }
 
+namespace {
+
+// Table-II attribution of the 14 states. The reduce states mark LocalDot
+// because each covers the PE-local fdots feeding the collective; the
+// AllReduce span itself starts when csl::AllReduce::start marks it.
+telemetry::Phase phase_of(CgState state) {
+  using telemetry::Phase;
+  switch (state) {
+  case CgState::Init: return Phase::Setup;
+  case CgState::HaloExchange: return Phase::Halo;
+  case CgState::ComputeJx: return Phase::Flux;
+  case CgState::InitResidual: return Phase::Axpy;
+  case CgState::ReduceRr0: return Phase::LocalDot;
+  case CgState::IterCheck: return Phase::Check;
+  case CgState::FinalizeJx: return Phase::LocalDot;
+  case CgState::ReduceXjx: return Phase::LocalDot;
+  case CgState::UpdateSolution: return Phase::Axpy;
+  case CgState::ReduceRr: return Phase::LocalDot;
+  case CgState::ThresCheck: return Phase::Check;
+  case CgState::UpdateDirection: return Phase::Axpy;
+  case CgState::LoopIncrement: return Phase::Check;
+  case CgState::Done: return Phase::Done;
+  }
+  return Phase::Setup;
+}
+
+} // namespace
+
+void CgPeProgram::enter(PeContext& ctx, CgState state) {
+  state_ = state;
+  ctx.mark_phase(static_cast<u8>(phase_of(state)));
+}
+
 CgPeProgram::CgPeProgram(CgPeConfig config) : config_(std::move(config)) {
   FVDF_CHECK(config_.nz >= 1);
   FVDF_CHECK(config_.init.p0.size() == config_.nz);
@@ -45,7 +79,7 @@ void CgPeProgram::apply_preconditioner(PeContext& ctx) {
 }
 
 void CgPeProgram::on_start(PeContext& ctx) {
-  state_ = CgState::Init;
+  enter(ctx, CgState::Init);
   layout_ = PeLayout::plan(ctx.memory(), config_.nz, config_.mode,
                            static_cast<u32>(config_.init.dirichlet_z.size()),
                            config_.jacobi, !config_.init.source.empty());
@@ -57,7 +91,7 @@ void CgPeProgram::on_start(PeContext& ctx) {
   // neighbors (one extra exchange, amortized over the whole solve).
   if (config_.mode == FluxMode::OnTheFly) {
     lambda_pass_ = true;
-    state_ = CgState::HaloExchange;
+    enter(ctx, CgState::HaloExchange);
     halo_.start(
         ctx, dsd(layout_.lambda), dsd(layout_.lh_w), dsd(layout_.lh_e),
         dsd(layout_.lh_s), dsd(layout_.lh_n), nullptr,
@@ -98,7 +132,7 @@ void CgPeProgram::upload(PeContext& ctx) {
 
 void CgPeProgram::start_halo_jx(PeContext& ctx, bool init_pass) {
   init_pass_ = init_pass;
-  state_ = CgState::HaloExchange;
+  enter(ctx, CgState::HaloExchange);
   // Start the asynchronous exchange of the active column (p0 in the INIT
   // pass, the search direction x afterwards), then compute the
   // z-dimension fluxes while the fabric moves data (Sec. III-E2 overlap).
@@ -106,8 +140,11 @@ void CgPeProgram::start_halo_jx(PeContext& ctx, bool init_pass) {
       ctx, dsd(layout_.x), dsd(layout_.halo_w), dsd(layout_.halo_e),
       dsd(layout_.halo_s), dsd(layout_.halo_n),
       [this](PeContext& c, Dir dir) {
-        state_ = CgState::ComputeJx;
+        enter(c, CgState::ComputeJx);
         compute_face_flux(c, dir);
+        // Until the next face lands this PE is back to waiting on the
+        // exchange; attribute the gap to Halo, not Flux.
+        c.mark_phase(static_cast<u8>(telemetry::Phase::Halo));
       },
       [this](PeContext& c) {
         if (config_.jx_only) {
@@ -119,7 +156,11 @@ void CgPeProgram::start_halo_jx(PeContext& ctx, bool init_pass) {
           finalize_jx(c);
         }
       });
+  // The z-dimension flux overlaps the in-flight exchange (Sec. III-E2):
+  // Flux while it computes, Halo again for the wait that follows.
+  ctx.mark_phase(static_cast<u8>(telemetry::Phase::Flux));
   compute_z_flux(ctx);
+  ctx.mark_phase(static_cast<u8>(telemetry::Phase::Halo));
 }
 
 void CgPeProgram::compute_z_flux(PeContext& ctx) {
@@ -135,7 +176,7 @@ void CgPeProgram::fix_dirichlet_rows(PeContext& ctx) {
 }
 
 void CgPeProgram::init_residual(PeContext& ctx) {
-  state_ = CgState::InitResidual;
+  enter(ctx, CgState::InitResidual);
   auto& e = ctx.dsd();
   fix_dirichlet_rows(ctx);
   // Algorithm 1 line 1: r0 = q_src - J p0 on interior rows (the Newton RHS
@@ -149,16 +190,17 @@ void CgPeProgram::init_residual(PeContext& ctx) {
   apply_preconditioner(ctx);
   e.fmovs(dsd(layout_.x), z_view());
 
-  state_ = CgState::ReduceRr0;
+  enter(ctx, CgState::ReduceRr0);
   const f32 rr_local = e.fdots(dsd(layout_.r), z_view());
   reduce_.start(ctx, rr_local, [this](PeContext& c, f32 total) {
     rr_ = total;
+    c.note_progress(0, total); // the k = 0 residual
     iter_check(c);
   });
 }
 
 void CgPeProgram::iter_check(PeContext& ctx) {
-  state_ = CgState::IterCheck;
+  enter(ctx, CgState::IterCheck);
   if (config_.jx_only) {
     if (k_ >= config_.max_iterations) {
       finish(ctx, /*converged=*/false);
@@ -181,7 +223,7 @@ void CgPeProgram::iter_check(PeContext& ctx) {
 }
 
 void CgPeProgram::finalize_jx(PeContext& ctx) {
-  state_ = CgState::FinalizeJx;
+  enter(ctx, CgState::FinalizeJx);
   auto& e = ctx.dsd();
   // Backward-Euler accumulation term (transient extension): interior rows
   // of the Jacobian carry an extra shift*I. Dirichlet rows are restored to
@@ -191,13 +233,13 @@ void CgPeProgram::finalize_jx(PeContext& ctx) {
                 config_.diagonal_shift);
   fix_dirichlet_rows(ctx);
   const f32 xjx_local = e.fdots(dsd(layout_.x), dsd(layout_.q));
-  state_ = CgState::ReduceXjx;
+  enter(ctx, CgState::ReduceXjx);
   reduce_.start(ctx, xjx_local,
                 [this](PeContext& c, f32 xjx) { update_solution(c, xjx); });
 }
 
 void CgPeProgram::update_solution(PeContext& ctx, f32 xjx) {
-  state_ = CgState::UpdateSolution;
+  enter(ctx, CgState::UpdateSolution);
   auto& e = ctx.dsd();
   // Line 5: alpha = (r,r) / (x, Jx). A non-positive curvature here means
   // the operator lost definiteness (a programming error, not a data case).
@@ -208,7 +250,7 @@ void CgPeProgram::update_solution(PeContext& ctx, f32 xjx) {
   e.fmacs_imm(dsd(layout_.r), dsd(layout_.r), dsd(layout_.q), -alpha);
   apply_preconditioner(ctx);
 
-  state_ = CgState::ReduceRr;
+  enter(ctx, CgState::ReduceRr);
   const f32 rr_local = e.fdots(dsd(layout_.r), z_view());
   reduce_.start(ctx, rr_local, [this](PeContext& c, f32 total) {
     rr_new_ = total;
@@ -217,7 +259,8 @@ void CgPeProgram::update_solution(PeContext& ctx, f32 xjx) {
 }
 
 void CgPeProgram::thres_check(PeContext& ctx, f32 rr_new) {
-  state_ = CgState::ThresCheck;
+  enter(ctx, CgState::ThresCheck);
+  ctx.note_progress(k_ + 1, rr_new); // the residual of the k+1 iterate
   if (rr_new < config_.tolerance || rr_new == 0.0f) { // Algorithm 1 line 8
     rr_ = rr_new;
     ++k_;
@@ -228,7 +271,7 @@ void CgPeProgram::thres_check(PeContext& ctx, f32 rr_new) {
 }
 
 void CgPeProgram::update_direction(PeContext& ctx) {
-  state_ = CgState::UpdateDirection;
+  enter(ctx, CgState::UpdateDirection);
   auto& e = ctx.dsd();
   // Line 9: beta = (r_{k+1}, r_{k+1}) / (r_k, r_k).
   const f32 beta = e.fmuls_scalar(rr_new_, 1.0f / rr_);
@@ -236,14 +279,14 @@ void CgPeProgram::update_direction(PeContext& ctx) {
   e.fmuls_imm(dsd(layout_.x), dsd(layout_.x), beta);
   e.fadds(dsd(layout_.x), dsd(layout_.x), z_view());
 
-  state_ = CgState::LoopIncrement;
+  enter(ctx, CgState::LoopIncrement);
   rr_ = rr_new_;
   ++k_; // line 11
   iter_check(ctx);
 }
 
 void CgPeProgram::finish(PeContext& ctx, bool converged) {
-  state_ = CgState::Done;
+  enter(ctx, CgState::Done);
   auto& mem = ctx.memory();
   mem.store(layout_.result.offset_words + 0, static_cast<f32>(k_));
   mem.store(layout_.result.offset_words + 1, converged ? 1.0f : 0.0f);

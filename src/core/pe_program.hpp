@@ -77,6 +77,10 @@ private:
   void update_direction(wse::PeContext& ctx);
   void finish(wse::PeContext& ctx, bool converged);
 
+  /// Transitions the state machine and reports the matching telemetry
+  /// phase (see telemetry/phase.hpp) at the current cycle cursor.
+  void enter(wse::PeContext& ctx, CgState state);
+
   CgPeConfig config_;
   PeLayout layout_;
   csl::HaloExchange halo_;

@@ -5,6 +5,7 @@
 #include "core/chebyshev_program.hpp"
 #include "core/pe_program.hpp"
 #include "fv/diagonal.hpp"
+#include "telemetry/session.hpp"
 
 namespace fvdf::core {
 
@@ -138,6 +139,46 @@ DataflowResult read_back(wse::Fabric& fabric, const wse::Fabric::RunResult& run,
   return result;
 }
 
+// Hooks the session's collector (and, at Level::Trace, its raw-event
+// recorder) into the fabric. A session at Level::Off attaches nothing.
+void attach_telemetry(wse::Fabric& fabric, telemetry::Session* session) {
+  if (session == nullptr) return;
+  fabric.set_telemetry(&session->collector());
+  if (session->config().level == telemetry::Level::Trace) {
+    fabric.set_trace([session](const wse::TraceRecord& record) {
+      session->record_event(wse::to_string(record.event), record.cycles,
+                            record.at.x, record.at.y, record.color,
+                            record.words);
+    });
+  }
+}
+
+// Freezes the session after the run and copies the device-reported
+// residual history into the result.
+void finalize_telemetry(telemetry::Session* session,
+                        const wse::Fabric::RunResult& run,
+                        DataflowResult& result) {
+  if (session == nullptr || !session->collector().enabled()) return;
+  telemetry::RunInfo info;
+  info.total_cycles = run.cycles;
+  info.seconds = result.device_seconds;
+  info.messages_sent = result.fabric.messages_sent;
+  info.wavelet_hops = result.fabric.wavelet_hops;
+  info.word_hops = result.fabric.word_hops;
+  info.words_delivered = result.fabric.words_delivered;
+  info.words_dropped = result.fabric.words_dropped;
+  info.control_wavelets = result.fabric.control_wavelets;
+  info.tasks_run = result.fabric.tasks_run;
+  info.events_processed = result.fabric.events_processed;
+  info.flits_stalled = result.fabric.flits_stalled;
+  info.iterations = result.iterations;
+  info.converged = result.converged;
+  session->finalize(info);
+  result.residual_history.reserve(session->collector().progress().size());
+  for (const telemetry::ProgressSample& sample : session->collector().progress())
+    result.residual_history.push_back(sample.value);
+}
+
 } // namespace
 
 namespace {
@@ -206,6 +247,7 @@ DataflowResult solve_dataflow(const FlowProblem& problem, const DataflowConfig& 
                    "static verification rejected the CG device program:\n"
                        << report.summary());
   }
+  attach_telemetry(fabric, config.telemetry);
   fabric.load(factory);
 
   const auto run = fabric.run(config.max_cycles);
@@ -217,6 +259,7 @@ DataflowResult solve_dataflow(const FlowProblem& problem, const DataflowConfig& 
   DataflowResult result =
       read_back(fabric, run, problem, sys, config.flux_mode,
                 config.jacobi_precondition, config.memory, config.initial_field);
+  finalize_telemetry(config.telemetry, run, result);
   FVDF_LOG(Debug) << "dataflow solve: " << result.iterations << " iterations, "
                   << (result.converged ? "converged" : "NOT converged")
                   << ", device time " << result.device_seconds << " s";
@@ -265,12 +308,16 @@ DataflowResult solve_dataflow_chebyshev(const FlowProblem& problem,
         "static verification rejected the Chebyshev device program:\n"
             << report.summary());
   }
+  attach_telemetry(fabric, config.telemetry);
   fabric.load(factory);
 
   const auto run = fabric.run(config.max_cycles);
   FVDF_CHECK_MSG(run.all_halted, "Chebyshev device solve did not complete");
-  return read_back(fabric, run, problem, sys, config.flux_mode, /*jacobi=*/false,
-                   config.memory, config.initial_field);
+  DataflowResult result =
+      read_back(fabric, run, problem, sys, config.flux_mode, /*jacobi=*/false,
+                config.memory, config.initial_field);
+  finalize_telemetry(config.telemetry, run, result);
+  return result;
 }
 
 analysis::VerifyReport verify_dataflow(const FlowProblem& problem,

@@ -16,6 +16,10 @@
 #include "solver/chebyshev.hpp"
 #include "wse/fabric.hpp"
 
+namespace fvdf::telemetry {
+class Session;
+}
+
 namespace fvdf::core {
 
 struct DataflowConfig {
@@ -41,6 +45,12 @@ struct DataflowConfig {
   // diagnostic report if any check fails. Costs one extra program
   // instantiation per PE — well under 5% of a solve.
   bool verify_preflight = false;
+  // Optional observability: a telemetry session (telemetry/session.hpp)
+  // collects per-PE/per-link activity, phase spans and residual history
+  // during the run and is finalized before solve_dataflow returns. The
+  // caller owns it; nullptr (the default) costs one pointer test per
+  // instrumentation site.
+  telemetry::Session* telemetry = nullptr;
 };
 
 struct DataflowResult {
@@ -51,6 +61,10 @@ struct DataflowResult {
   u64 iterations = 0;
   bool converged = false;
   f32 final_rr = 0.0f;
+  // Global r^T r after each device-side reduction, in iteration order —
+  // populated only when DataflowConfig::telemetry is attached (the device
+  // reports it through PeContext::note_progress on PE (0,0)).
+  std::vector<f64> residual_history;
 
   f64 device_cycles = 0;
   f64 device_seconds = 0;
@@ -82,6 +96,7 @@ struct ChebyshevDeviceConfig {
   f64 max_cycles = 1e15;
   u32 sim_threads = 1;           // see DataflowConfig::sim_threads
   bool verify_preflight = false; // see DataflowConfig::verify_preflight
+  telemetry::Session* telemetry = nullptr; // see DataflowConfig::telemetry
 };
 
 DataflowResult solve_dataflow_chebyshev(const FlowProblem& problem,

@@ -1,6 +1,7 @@
 #include "csl/allreduce.hpp"
 
 #include "common/error.hpp"
+#include "telemetry/phase.hpp"
 #include "wse/router.hpp"
 
 namespace fvdf::csl {
@@ -116,6 +117,7 @@ wse::ProgramManifest AllReduce::manifest(wse::PeCoord coord, i64 width,
 void AllReduce::start(PeContext& ctx, f32 value, DoneCallback on_done) {
   FVDF_CHECK_MSG(!active_, "all-reduce already in progress on this PE");
   active_ = true;
+  ctx.mark_phase(static_cast<u8>(telemetry::Phase::AllReduce));
   on_done_ = std::move(on_done);
   ctx.dsd().store(slot_value_.offset_words, value);
 

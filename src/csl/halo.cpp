@@ -1,6 +1,7 @@
 #include "csl/halo.hpp"
 
 #include "common/error.hpp"
+#include "telemetry/phase.hpp"
 #include "wse/router.hpp"
 
 namespace fvdf::csl {
@@ -117,6 +118,9 @@ void HaloExchange::start(PeContext& ctx, Dsd column, Dsd halo_west, Dsd halo_eas
   FVDF_CHECK_MSG(step_ == 0, "halo exchange already in progress");
   FVDF_CHECK(halo_west.length == column.length && halo_east.length == column.length &&
              halo_south.length == column.length && halo_north.length == column.length);
+  // Every exchange is one Halo span on the owning program's timeline; the
+  // program re-marks (e.g. Flux) as face callbacks deliver work.
+  ctx.mark_phase(static_cast<u8>(telemetry::Phase::Halo));
   column_ = column;
   halo_[0] = halo_west;
   halo_[1] = halo_east;

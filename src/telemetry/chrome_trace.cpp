@@ -1,0 +1,102 @@
+#include "telemetry/chrome_trace.hpp"
+
+#include "common/error.hpp"
+#include "telemetry/json.hpp"
+
+namespace fvdf::telemetry {
+
+namespace {
+
+constexpr i64 kPhasePid = 0; // phase-span tracks, one per sampled PE
+constexpr i64 kEventPid = 1; // raw fabric events
+
+void write_thread_meta(JsonWriter& w, i64 pid, i64 tid, const std::string& name) {
+  w.begin_object();
+  w.kv("name", "thread_name");
+  w.kv("ph", "M");
+  w.kv("pid", pid);
+  w.kv("tid", tid);
+  w.key("args").begin_object();
+  w.kv("name", name);
+  w.end_object();
+  w.end_object();
+}
+
+void write_process_meta(JsonWriter& w, i64 pid, const std::string& name) {
+  w.begin_object();
+  w.kv("name", "process_name");
+  w.kv("ph", "M");
+  w.kv("pid", pid);
+  w.kv("tid", i64{0});
+  w.key("args").begin_object();
+  w.kv("name", name);
+  w.end_object();
+  w.end_object();
+}
+
+} // namespace
+
+std::string chrome_trace_json(const FabricCollector& collector,
+                              const std::vector<SimEventSample>& events) {
+  FVDF_CHECK_MSG(collector.finalized(), "chrome_trace_json before finalize()");
+  const i64 width = collector.width();
+
+  JsonWriter w;
+  w.begin_object();
+  w.kv("displayTimeUnit", "ms");
+  w.key("otherData").begin_object();
+  w.kv("source", "fvdf fabric telemetry");
+  w.kv("time_unit", "cycles (written as trace microseconds)");
+  w.kv("fabric_width", width);
+  w.kv("fabric_height", collector.height());
+  w.kv("total_cycles", collector.total_cycles());
+  w.end_object();
+
+  w.key("traceEvents").begin_array();
+  write_process_meta(w, kPhasePid, "fabric phases");
+  if (!events.empty()) write_process_meta(w, kEventPid, "fabric events");
+
+  // Thread metadata for every PE that has spans, in PE order (spans are
+  // PE-major after finalize).
+  i64 last_meta_pe = -1;
+  for (const PhaseSpan& span : collector.spans()) {
+    if (span.pe == last_meta_pe) continue;
+    last_meta_pe = span.pe;
+    const i64 x = span.pe % width, y = span.pe / width;
+    write_thread_meta(w, kPhasePid, span.pe,
+                      "PE (" + std::to_string(x) + "," + std::to_string(y) + ")");
+  }
+
+  for (const PhaseSpan& span : collector.spans()) {
+    w.begin_object();
+    w.kv("name", to_string(static_cast<Phase>(span.phase)));
+    w.kv("cat", "phase");
+    w.kv("ph", "X");
+    w.kv("ts", span.begin);
+    w.kv("dur", span.end - span.begin);
+    w.kv("pid", kPhasePid);
+    w.kv("tid", span.pe);
+    w.end_object();
+  }
+
+  for (const SimEventSample& event : events) {
+    w.begin_object();
+    w.kv("name", event.name);
+    w.kv("cat", "fabric");
+    w.kv("ph", "i");
+    w.kv("s", "t"); // thread-scoped instant
+    w.kv("ts", event.t);
+    w.kv("pid", kEventPid);
+    w.kv("tid", event.y * width + event.x);
+    w.key("args").begin_object();
+    w.kv("color", event.color);
+    w.kv("words", event.words);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+} // namespace fvdf::telemetry

@@ -1,0 +1,37 @@
+#pragma once
+// Chrome trace-event JSON exporter (Perfetto / chrome://tracing).
+//
+// Emits the classic trace-event format: one complete ("X") event per
+// phase span, one instant ("i") event per sampled raw fabric event, plus
+// metadata records naming the process and per-PE tracks. Timestamps are
+// the simulator's cycle counts written into the `ts`/`dur` microsecond
+// fields — a cycle reads as a microsecond in the UI, which keeps the
+// numbers exact and human-meaningful (divide by the clock to get real
+// time; see docs/observability.md).
+
+#include <string>
+#include <vector>
+
+#include "telemetry/collector.hpp"
+
+namespace fvdf::telemetry {
+
+/// A raw fabric event sampled for the trace (Level::Trace). `name` must
+/// point at a string with static storage duration (the fabric's
+/// to_string(TraceEvent) tables qualify).
+struct SimEventSample {
+  const char* name = "";
+  f64 t = 0;
+  i64 x = 0;
+  i64 y = 0;
+  u32 color = 0;
+  u32 words = 0;
+};
+
+/// Serializes phase spans (+ optional raw events) as one JSON object:
+/// {"traceEvents": [...], "displayTimeUnit": "ms", ...}. Deterministic:
+/// events are written in span order, then sample order.
+std::string chrome_trace_json(const FabricCollector& collector,
+                              const std::vector<SimEventSample>& events);
+
+} // namespace fvdf::telemetry

@@ -1,0 +1,89 @@
+#include "telemetry/heatmap.hpp"
+
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace fvdf::telemetry {
+
+namespace {
+
+ScalarImage blank(i64 nx, i64 ny) {
+  ScalarImage image;
+  image.nx = nx;
+  image.ny = ny;
+  image.values.assign(static_cast<std::size_t>(nx * ny), 0.0);
+  return image;
+}
+
+} // namespace
+
+HeatmapBundle build_heatmaps(const FabricCollector& collector) {
+  FVDF_CHECK_MSG(collector.finalized(), "build_heatmaps before finalize()");
+  const i64 nx = collector.width(), ny = collector.height();
+  const f64 total = collector.total_cycles();
+
+  HeatmapBundle bundle{blank(nx, ny), blank(nx, ny), blank(nx, ny), blank(nx, ny)};
+  const auto& activities = collector.activities();
+  for (std::size_t i = 0; i < activities.size(); ++i) {
+    const PeActivity& pe = activities[i];
+    bundle.traffic_words.values[i] = static_cast<f64>(pe.fabric_tx_words());
+    bundle.stall_cycles.values[i] = pe.stall_cycles;
+    bundle.occupancy.values[i] = total > 0 ? pe.busy_cycles / total : 0.0;
+    bundle.delivered_words.values[i] = static_cast<f64>(pe.rx_words);
+  }
+  return bundle;
+}
+
+std::vector<std::string> write_heatmaps(const HeatmapBundle& bundle,
+                                        const std::string& dir) {
+  const std::pair<const char*, const ScalarImage*> maps[] = {
+      {"traffic", &bundle.traffic_words},
+      {"stall", &bundle.stall_cycles},
+      {"occupancy", &bundle.occupancy},
+      {"delivered", &bundle.delivered_words},
+  };
+  std::vector<std::string> written;
+  for (const auto& [name, image] : maps) {
+    const std::string base = dir + "/heatmap_" + name;
+    write_ppm(*image, base + ".ppm");
+    write_csv(*image, base + ".csv");
+    written.push_back(base + ".ppm");
+    written.push_back(base + ".csv");
+  }
+  return written;
+}
+
+std::string link_csv(const FabricCollector& collector) {
+  FVDF_CHECK_MSG(collector.finalized(), "link_csv before finalize()");
+  std::string out = "x,y,link,words,messages\n";
+  const i64 nx = collector.width();
+  const auto& activities = collector.activities();
+  for (std::size_t i = 0; i < activities.size(); ++i) {
+    const i64 x = static_cast<i64>(i) % nx;
+    const i64 y = static_cast<i64>(i) / nx;
+    for (u32 link = 0; link < kPeLinks; ++link) {
+      out += std::to_string(x);
+      out.push_back(',');
+      out += std::to_string(y);
+      out.push_back(',');
+      out += kLinkNames[link];
+      out.push_back(',');
+      out += std::to_string(activities[i].tx_words[link]);
+      out.push_back(',');
+      out += std::to_string(activities[i].tx_messages[link]);
+      out.push_back('\n');
+    }
+  }
+  return out;
+}
+
+void write_link_csv(const FabricCollector& collector, const std::string& path) {
+  std::ofstream file(path, std::ios::binary);
+  FVDF_CHECK_MSG(file, "cannot open " << path);
+  const std::string body = link_csv(collector);
+  file.write(body.data(), static_cast<std::streamsize>(body.size()));
+  FVDF_CHECK_MSG(file.good(), "write failed: " << path);
+}
+
+} // namespace fvdf::telemetry

@@ -1,0 +1,44 @@
+#pragma once
+// Per-PE and per-link heatmap exporters.
+//
+// Turns the collector's per-PE activity table into ScalarImage rasters
+// (one pixel per PE) written as PPM + CSV through common/image — the same
+// pipeline that renders Fig. 5 — plus a per-link CSV with one row per
+// (PE, outbound link). These are the spatial views behind the paper's
+// utilization arguments: traffic hot spots trace the all-reduce spine
+// along the right column, stall maps show backpressure, and the occupancy
+// map is per-PE compute utilization.
+
+#include <string>
+#include <vector>
+
+#include "common/image.hpp"
+#include "telemetry/collector.hpp"
+
+namespace fvdf::telemetry {
+
+struct HeatmapBundle {
+  ScalarImage traffic_words;   // outbound words on cardinal links, per PE
+  ScalarImage stall_cycles;    // total backpressure park time, per PE
+  ScalarImage occupancy;       // busy_cycles / total_cycles, per PE in [0,1]
+  ScalarImage delivered_words; // words landed in PE memory
+};
+
+/// Builds all four rasters from a finalized collector.
+HeatmapBundle build_heatmaps(const FabricCollector& collector);
+
+/// Writes every raster as `<dir>/heatmap_<name>.ppm` + `.csv` (PPM via the
+/// viridis-like colormap, CSV as "x,y,value" rows). Returns the file
+/// names written, in a fixed order.
+std::vector<std::string> write_heatmaps(const HeatmapBundle& bundle,
+                                        const std::string& dir);
+
+/// Writes `path` as "x,y,link,words,messages" rows covering every PE's
+/// five outbound slots (ramp + N/E/S/W), in row-major PE order — integers
+/// only, so the bytes are platform-stable goldens.
+void write_link_csv(const FabricCollector& collector, const std::string& path);
+
+/// The per-link table serialized to a string (what write_link_csv writes).
+std::string link_csv(const FabricCollector& collector);
+
+} // namespace fvdf::telemetry

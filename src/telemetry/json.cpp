@@ -1,0 +1,300 @@
+#include "telemetry/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace fvdf::telemetry {
+
+// --- writer ----------------------------------------------------------------
+
+void JsonWriter::prefix() {
+  if (stack_.empty()) return;
+  if (stack_.back() < 0) {
+    stack_.back() = -stack_.back(); // value completes the pending key
+    return;
+  }
+  if (stack_.back() > 0) out_.push_back(',');
+  ++stack_.back();
+}
+
+void JsonWriter::raw(std::string_view text) { out_.append(text); }
+
+JsonWriter& JsonWriter::begin_object() {
+  prefix();
+  out_.push_back('{');
+  stack_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  FVDF_CHECK_MSG(!stack_.empty() && stack_.back() >= 0, "unbalanced end_object");
+  stack_.pop_back();
+  out_.push_back('}');
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  prefix();
+  out_.push_back('[');
+  stack_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  FVDF_CHECK_MSG(!stack_.empty() && stack_.back() >= 0, "unbalanced end_array");
+  stack_.pop_back();
+  out_.push_back(']');
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  FVDF_CHECK_MSG(!stack_.empty(), "key outside object");
+  if (stack_.back() > 0) out_.push_back(',');
+  ++stack_.back();
+  out_.push_back('"');
+  raw(json_escape(name));
+  raw("\":");
+  stack_.back() = -stack_.back(); // next emission is this key's value
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  prefix();
+  out_.push_back('"');
+  raw(json_escape(text));
+  out_.push_back('"');
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool boolean) {
+  prefix();
+  raw(boolean ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(f64 number) {
+  prefix();
+  if (!std::isfinite(number)) { // JSON has no inf/nan
+    raw("null");
+    return *this;
+  }
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), number);
+  FVDF_CHECK(res.ec == std::errc{});
+  raw(std::string_view(buf, static_cast<std::size_t>(res.ptr - buf)));
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(u64 number) {
+  prefix();
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), number);
+  raw(std::string_view(buf, static_cast<std::size_t>(res.ptr - buf)));
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(i64 number) {
+  prefix();
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), number);
+  raw(std::string_view(buf, static_cast<std::size_t>(res.ptr - buf)));
+  return *this;
+}
+
+std::string JsonWriter::take() {
+  FVDF_CHECK_MSG(stack_.empty(), "take() with open containers");
+  std::string result;
+  result.swap(out_);
+  return result;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+    case '"': out += "\\\""; break;
+    case '\\': out += "\\\\"; break;
+    case '\n': out += "\\n"; break;
+    case '\r': out += "\\r"; break;
+    case '\t': out += "\\t"; break;
+    default:
+      if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        out += buf;
+      } else {
+        out.push_back(c);
+      }
+    }
+  }
+  return out;
+}
+
+// --- validator -------------------------------------------------------------
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool fail(const std::string& reason) {
+    if (error.empty())
+      error = "offset " + std::to_string(pos) + ": " + reason;
+    return false;
+  }
+
+  bool eof() const { return pos >= text.size(); }
+  char peek() const { return text[pos]; }
+
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                      peek() == '\r'))
+      ++pos;
+  }
+
+  bool literal(std::string_view word) {
+    if (text.substr(pos, word.size()) != word) return fail("invalid literal");
+    pos += word.size();
+    return true;
+  }
+
+  bool string() {
+    if (eof() || peek() != '"') return fail("expected string");
+    ++pos;
+    while (!eof()) {
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return fail("raw control char");
+      if (c == '\\') {
+        if (eof()) break;
+        const char esc = text[pos++];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (eof() || !std::isxdigit(static_cast<unsigned char>(text[pos])))
+              return fail("bad \\u escape");
+            ++pos;
+          }
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          return fail("bad escape");
+        }
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool digits() {
+    if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+      return fail("expected digit");
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos;
+    return true;
+  }
+
+  bool number() {
+    if (!eof() && peek() == '-') ++pos;
+    if (eof()) return fail("truncated number");
+    if (peek() == '0') {
+      ++pos;
+    } else if (!digits()) {
+      return false;
+    }
+    if (!eof() && peek() == '.') {
+      ++pos;
+      if (!digits()) return false;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+
+  bool value(int depth) {
+    if (depth > 256) return fail("nesting too deep");
+    skip_ws();
+    if (eof()) return fail("expected value");
+    switch (peek()) {
+    case '{': return object(depth);
+    case '[': return array(depth);
+    case '"': return string();
+    case 't': return literal("true");
+    case 'f': return literal("false");
+    case 'n': return literal("null");
+    default: return number();
+    }
+  }
+
+  bool object(int depth) {
+    ++pos; // '{'
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (eof() || peek() != ':') return fail("expected ':'");
+      ++pos;
+      if (!value(depth + 1)) return false;
+      skip_ws();
+      if (eof()) return fail("unterminated object");
+      if (peek() == ',') {
+        ++pos;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool array(int depth) {
+    ++pos; // '['
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos;
+      return true;
+    }
+    for (;;) {
+      if (!value(depth + 1)) return false;
+      skip_ws();
+      if (eof()) return fail("unterminated array");
+      if (peek() == ',') {
+        ++pos;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+};
+
+} // namespace
+
+bool validate_json(std::string_view text, std::string* error) {
+  Parser parser{text, 0, {}};
+  bool ok = parser.value(0);
+  if (ok) {
+    parser.skip_ws();
+    if (!parser.eof()) ok = parser.fail("trailing garbage");
+  }
+  if (!ok && error) *error = parser.error;
+  return ok;
+}
+
+} // namespace fvdf::telemetry

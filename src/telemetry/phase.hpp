@@ -1,0 +1,45 @@
+#pragma once
+// Solver phase taxonomy for device-side span attribution.
+//
+// The paper's Table II explains per-kernel cost by splitting a CG
+// iteration into halo exchange, flux/SpMV, local dot products, the
+// whole-fabric all-reduce and the axpy vector updates. Device programs
+// report transitions between these phases through PeContext::mark_phase
+// (see wse/program.hpp); the fabric timestamps each mark with the PE's
+// task-local cycle cursor and the telemetry layer turns the per-PE mark
+// streams into non-overlapping spans.
+
+#include "common/types.hpp"
+
+namespace fvdf::telemetry {
+
+enum class Phase : u8 {
+  Setup = 0, // program init, router configuration, upload
+  Halo,      // Table-I halo exchange of the active column
+  Flux,      // matrix-free flux accumulation (the SpMV substitute)
+  LocalDot,  // PE-local dot products feeding a reduction
+  AllReduce, // whole-fabric all-reduce (Sec. III-C)
+  Axpy,      // vector updates: residual/solution/direction axpys
+  Check,     // scalar control flow: iteration/threshold checks
+  Done,      // results published, PE halted (drain tail)
+  kCount
+};
+
+constexpr u32 kNumPhases = static_cast<u32>(Phase::kCount);
+
+inline const char* to_string(Phase phase) {
+  switch (phase) {
+  case Phase::Setup: return "setup";
+  case Phase::Halo: return "halo";
+  case Phase::Flux: return "flux";
+  case Phase::LocalDot: return "local_dot";
+  case Phase::AllReduce: return "all_reduce";
+  case Phase::Axpy: return "axpy";
+  case Phase::Check: return "check";
+  case Phase::Done: return "done";
+  case Phase::kCount: break;
+  }
+  return "?";
+}
+
+} // namespace fvdf::telemetry

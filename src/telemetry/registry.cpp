@@ -1,0 +1,113 @@
+#include "telemetry/registry.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "telemetry/json.hpp"
+
+namespace fvdf::telemetry {
+
+MetricsRegistry::MetricsRegistry(u32 shard_count) : shard_count_(shard_count) {
+  FVDF_CHECK(shard_count >= 1);
+}
+
+u32 MetricsRegistry::counter(const std::string& name) {
+  for (u32 i = 0; i < counters_.size(); ++i)
+    if (counters_[i].name == name) return i;
+  counters_.push_back(Counter{name, std::vector<u64>(shard_count_, 0)});
+  return static_cast<u32>(counters_.size() - 1);
+}
+
+u32 MetricsRegistry::gauge(const std::string& name) {
+  for (u32 i = 0; i < gauges_.size(); ++i)
+    if (gauges_[i].name == name) return i;
+  gauges_.push_back(Gauge{name, 0.0});
+  return static_cast<u32>(gauges_.size() - 1);
+}
+
+u32 MetricsRegistry::histogram(const std::string& name, u32 subbucket_bits) {
+  for (u32 i = 0; i < histograms_.size(); ++i)
+    if (histograms_[i].name == name) return i;
+  histograms_.push_back(Histogram{
+      name, std::vector<StreamingHistogram>(shard_count_,
+                                            StreamingHistogram(subbucket_bits))});
+  return static_cast<u32>(histograms_.size() - 1);
+}
+
+void MetricsRegistry::add(u32 shard, u32 counter_id, u64 delta) {
+  counters_[counter_id].shard_values[shard] += delta;
+}
+
+void MetricsRegistry::observe(u32 shard, u32 histogram_id, f64 value) {
+  histograms_[histogram_id].shard_values[shard].add(value);
+}
+
+void MetricsRegistry::set(u32 gauge_id, f64 value) {
+  gauges_[gauge_id].value = value;
+}
+
+u64 MetricsRegistry::counter_value(u32 counter_id) const {
+  u64 total = 0;
+  for (const u64 v : counters_[counter_id].shard_values) total += v;
+  return total;
+}
+
+f64 MetricsRegistry::gauge_value(u32 gauge_id) const {
+  return gauges_[gauge_id].value;
+}
+
+StreamingHistogram MetricsRegistry::histogram_value(u32 histogram_id) const {
+  const Histogram& h = histograms_[histogram_id];
+  StreamingHistogram merged(h.shard_values.front().subbucket_bits());
+  for (const StreamingHistogram& shard : h.shard_values) merged.merge(shard);
+  return merged;
+}
+
+void MetricsRegistry::write_json(JsonWriter& writer) const {
+  // Sorted by name so the document layout is independent of registration
+  // order.
+  std::vector<u32> order;
+
+  writer.begin_object();
+  writer.key("counters").begin_object();
+  order.resize(counters_.size());
+  for (u32 i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [this](u32 a, u32 b) {
+    return counters_[a].name < counters_[b].name;
+  });
+  for (const u32 id : order) writer.kv(counters_[id].name, counter_value(id));
+  writer.end_object();
+
+  writer.key("gauges").begin_object();
+  order.resize(gauges_.size());
+  for (u32 i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [this](u32 a, u32 b) {
+    return gauges_[a].name < gauges_[b].name;
+  });
+  for (const u32 id : order) writer.kv(gauges_[id].name, gauge_value(id));
+  writer.end_object();
+
+  writer.key("histograms").begin_object();
+  order.resize(histograms_.size());
+  for (u32 i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [this](u32 a, u32 b) {
+    return histograms_[a].name < histograms_[b].name;
+  });
+  for (const u32 id : order) {
+    const StreamingHistogram merged = histogram_value(id);
+    writer.key(histograms_[id].name).begin_object();
+    writer.kv("count", static_cast<u64>(merged.count()));
+    writer.kv("sum", merged.sum());
+    writer.kv("mean", merged.mean());
+    writer.kv("min", merged.min());
+    writer.kv("max", merged.max());
+    writer.kv("p50", merged.p50());
+    writer.kv("p95", merged.p95());
+    writer.kv("p99", merged.p99());
+    writer.end_object();
+  }
+  writer.end_object();
+  writer.end_object();
+}
+
+} // namespace fvdf::telemetry

@@ -1,0 +1,70 @@
+#pragma once
+// Named metrics registry: counters, gauges and cycle histograms.
+//
+// Mutation is sharded: every metric owns one slot per shard (the fabric's
+// spatial shards, or any caller-defined partition), writers touch only
+// their shard's slot, and reads merge slots in shard-id order — so merged
+// values are bitwise identical at any thread count, provided each shard's
+// write sequence is itself deterministic (true for the fabric engine by
+// construction). Metric ids are registered up front; the hot path is an
+// indexed array bump with no hashing or locking.
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace fvdf::telemetry {
+
+class JsonWriter;
+
+class MetricsRegistry {
+public:
+  explicit MetricsRegistry(u32 shard_count = 1);
+
+  u32 shard_count() const { return shard_count_; }
+
+  /// Registration (before the measured region; not thread-safe).
+  /// Re-registering a name returns the existing id.
+  u32 counter(const std::string& name);
+  u32 gauge(const std::string& name);
+  u32 histogram(const std::string& name, u32 subbucket_bits = 5);
+
+  /// Shard-local mutation (safe from the shard's worker thread).
+  void add(u32 shard, u32 counter_id, u64 delta);
+  void observe(u32 shard, u32 histogram_id, f64 value);
+  /// Gauges are host-side scalars (set once, unsharded).
+  void set(u32 gauge_id, f64 value);
+
+  /// Deterministic merged reads.
+  u64 counter_value(u32 counter_id) const;
+  f64 gauge_value(u32 gauge_id) const;
+  StreamingHistogram histogram_value(u32 histogram_id) const;
+
+  /// Serializes every metric, sorted by name within each kind:
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count,
+  /// mean, min, max, p50, p95, p99}}}.
+  void write_json(JsonWriter& writer) const;
+
+private:
+  struct Counter {
+    std::string name;
+    std::vector<u64> shard_values; // one per shard
+  };
+  struct Gauge {
+    std::string name;
+    f64 value = 0;
+  };
+  struct Histogram {
+    std::string name;
+    std::vector<StreamingHistogram> shard_values;
+  };
+
+  u32 shard_count_;
+  std::vector<Counter> counters_;
+  std::vector<Gauge> gauges_;
+  std::vector<Histogram> histograms_;
+};
+
+} // namespace fvdf::telemetry

@@ -1,0 +1,187 @@
+#include "telemetry/session.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/heatmap.hpp"
+#include "telemetry/json.hpp"
+
+namespace fvdf::telemetry {
+
+namespace {
+
+void write_histogram_summary(JsonWriter& w, const StreamingHistogram& h) {
+  w.begin_object();
+  w.kv("count", static_cast<u64>(h.count()));
+  w.kv("sum", h.sum());
+  w.kv("mean", h.mean());
+  w.kv("min", h.min());
+  w.kv("max", h.max());
+  w.kv("p50", h.p50());
+  w.kv("p95", h.p95());
+  w.kv("p99", h.p99());
+  w.end_object();
+}
+
+void write_file(const std::string& path, const std::string& body) {
+  std::ofstream file(path, std::ios::binary);
+  FVDF_CHECK_MSG(file, "cannot open " << path);
+  file.write(body.data(), static_cast<std::streamsize>(body.size()));
+  FVDF_CHECK_MSG(file.good(), "write failed: " << path);
+}
+
+} // namespace
+
+Session::Session(TelemetryConfig config)
+    : config_(config), collector_(config.level, config.sampling) {}
+
+void Session::record_event(const char* name, f64 t, i64 x, i64 y, u32 color,
+                           u32 words) {
+  if (config_.level < Level::Trace) return;
+  if (event_counter_++ % config_.sampling.event_sample_period != 0) return;
+  events_.push_back(SimEventSample{name, t, x, y, color, words});
+}
+
+void Session::finalize(const RunInfo& info) {
+  FVDF_CHECK_MSG(!finalized_, "session already finalized");
+  finalized_ = true;
+  info_ = info;
+  collector_.finalize(info.total_cycles);
+
+  for (const PeActivity& pe : collector_.activities()) {
+    pe_busy_cycles_.add(pe.busy_cycles);
+    pe_tx_words_.add(static_cast<f64>(pe.fabric_tx_words()));
+    pe_stall_cycles_.add(pe.stall_cycles);
+  }
+}
+
+std::array<f64, kNumPhases> Session::reference_phase_cycles() const {
+  FVDF_CHECK_MSG(finalized_, "reference_phase_cycles before finalize()");
+  return collector_.phase_cycles(0);
+}
+
+std::string Session::metrics_json() const {
+  FVDF_CHECK_MSG(finalized_, "metrics_json before finalize()");
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "fvdf.telemetry.metrics/1");
+  w.kv("level", to_string(config_.level));
+
+  w.key("fabric").begin_object();
+  w.kv("width", collector_.width());
+  w.kv("height", collector_.height());
+  w.kv("pes", collector_.width() * collector_.height());
+  w.end_object();
+
+  w.key("run").begin_object();
+  w.kv("total_cycles", info_.total_cycles);
+  w.kv("seconds", info_.seconds);
+  w.kv("iterations", info_.iterations);
+  w.kv("converged", info_.converged);
+  w.end_object();
+
+  w.key("stats").begin_object();
+  w.kv("messages_sent", info_.messages_sent);
+  w.kv("wavelet_hops", info_.wavelet_hops);
+  w.kv("word_hops", info_.word_hops);
+  w.kv("words_delivered", info_.words_delivered);
+  w.kv("words_dropped", info_.words_dropped);
+  w.kv("control_wavelets", info_.control_wavelets);
+  w.kv("tasks_run", info_.tasks_run);
+  w.kv("events_processed", info_.events_processed);
+  w.kv("flits_stalled", info_.flits_stalled);
+  w.end_object();
+
+  // Per-phase breakdown on the reference PE (0,0): full coverage of the
+  // run's timeline, so the cycle totals sum to run.total_cycles.
+  const auto phases = collector_.phase_cycles(0);
+  f64 phase_sum = 0;
+  for (const f64 cycles : phases) phase_sum += cycles;
+  w.key("phases").begin_object();
+  w.kv("reference_pe", "0,0");
+  w.key("cycles").begin_object();
+  for (u32 p = 0; p < kNumPhases; ++p)
+    w.kv(to_string(static_cast<Phase>(p)), phases[p]);
+  w.end_object();
+  w.key("share").begin_object();
+  for (u32 p = 0; p < kNumPhases; ++p)
+    w.kv(to_string(static_cast<Phase>(p)),
+         phase_sum > 0 ? phases[p] / phase_sum : 0.0);
+  w.end_object();
+  w.kv("cycles_total", phase_sum);
+  w.end_object();
+
+  w.key("per_pe").begin_object();
+  w.key("busy_cycles");
+  write_histogram_summary(w, pe_busy_cycles_);
+  w.key("tx_words");
+  write_histogram_summary(w, pe_tx_words_);
+  w.key("stall_cycles");
+  write_histogram_summary(w, pe_stall_cycles_);
+  w.end_object();
+
+  w.key("task_cycles");
+  write_histogram_summary(w, collector_.task_cycles());
+
+  w.key("registry");
+  registry_.write_json(w);
+
+  w.end_object();
+  return w.take();
+}
+
+std::string Session::chrome_trace_json() const {
+  FVDF_CHECK_MSG(finalized_, "chrome_trace_json before finalize()");
+  return telemetry::chrome_trace_json(collector_, events_);
+}
+
+std::string Session::progress_json() const {
+  FVDF_CHECK_MSG(finalized_, "progress_json before finalize()");
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "fvdf.telemetry.progress/1");
+  w.kv("iterations", info_.iterations);
+  w.kv("converged", info_.converged);
+  w.key("samples").begin_array();
+  f64 prev_t = 0;
+  for (const ProgressSample& sample : collector_.progress()) {
+    w.begin_object();
+    w.kv("iteration", sample.iteration);
+    w.kv("cycles", sample.t);
+    w.kv("cycles_delta", sample.t - prev_t);
+    w.kv("value", sample.value);
+    w.end_object();
+    prev_t = sample.t;
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+std::vector<std::string> Session::write_bundle(const std::string& dir) const {
+  FVDF_CHECK_MSG(finalized_, "write_bundle before finalize()");
+  std::filesystem::create_directories(dir);
+
+  std::vector<std::string> written;
+  const auto emit = [&](const std::string& name, const std::string& body) {
+    const std::string path = dir + "/" + name;
+    write_file(path, body);
+    written.push_back(path);
+  };
+  emit("metrics.json", metrics_json());
+  emit("trace.json", chrome_trace_json());
+  emit("progress.json", progress_json());
+
+  const HeatmapBundle heatmaps = build_heatmaps(collector_);
+  for (std::string& path : write_heatmaps(heatmaps, dir))
+    written.push_back(std::move(path));
+
+  const std::string links = dir + "/links.csv";
+  write_link_csv(collector_, links);
+  written.push_back(links);
+  return written;
+}
+
+} // namespace fvdf::telemetry

@@ -1,0 +1,107 @@
+#pragma once
+// One telemetry session = one instrumented fabric run.
+//
+// The session owns the sharded FabricCollector the fabric writes into, a
+// host-side MetricsRegistry for caller-defined metrics, and the sampled
+// raw-event buffer; after the run, finalize() freezes everything and the
+// export methods serialize the bundle:
+//
+//   metrics_json()      counters, per-phase cycle totals, histograms
+//   chrome_trace_json() phase spans + sampled events, Perfetto-loadable
+//   progress_json()     residual history with per-iteration timings
+//   write_bundle(dir)   all of the above + PPM/CSV heatmaps + link CSV
+//
+// Every export is deterministic: identical runs — including runs at
+// different --sim-threads — serialize to identical bytes.
+//
+// Wiring (done by core::solve_dataflow* when DataflowConfig::telemetry is
+// set, or by hand around a raw Fabric):
+//
+//   telemetry::Session session({telemetry::Level::Trace});
+//   fabric.set_telemetry(&session.collector());
+//   fabric.set_trace(session.trace_sink_adapter());   // Level::Trace only
+//   auto run = fabric.run();
+//   session.finalize(telemetry::RunInfo{run.cycles, ...});
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/collector.hpp"
+#include "telemetry/registry.hpp"
+
+namespace fvdf::telemetry {
+
+struct TelemetryConfig {
+  Level level = Level::Metrics;
+  SamplingConfig sampling{};
+};
+
+/// Fabric-run summary handed to finalize(); mirrors wse::FabricStats
+/// without depending on it (telemetry sits below wse in the link order).
+struct RunInfo {
+  f64 total_cycles = 0;
+  f64 seconds = 0;
+  u64 messages_sent = 0;
+  u64 wavelet_hops = 0;
+  u64 word_hops = 0;
+  u64 words_delivered = 0;
+  u64 words_dropped = 0;
+  u64 control_wavelets = 0;
+  u64 tasks_run = 0;
+  u64 events_processed = 0;
+  u64 flits_stalled = 0;
+  u64 iterations = 0; // solver iterations; 0 when not applicable
+  bool converged = false;
+};
+
+class Session {
+public:
+  explicit Session(TelemetryConfig config = {});
+
+  const TelemetryConfig& config() const { return config_; }
+  FabricCollector& collector() { return collector_; }
+  const FabricCollector& collector() const { return collector_; }
+  MetricsRegistry& registry() { return registry_; }
+
+  /// Feeds one raw fabric event (already deterministically ordered by the
+  /// fabric's trace merge). Applies event_sample_period; ignored below
+  /// Level::Trace. `name` must have static storage duration.
+  void record_event(const char* name, f64 t, i64 x, i64 y, u32 color, u32 words);
+
+  /// Freezes the session. Call exactly once, after the fabric run.
+  void finalize(const RunInfo& info);
+  bool finalized() const { return finalized_; }
+  const RunInfo& run_info() const { return info_; }
+  const std::vector<SimEventSample>& events() const { return events_; }
+
+  /// Per-phase cycle totals on the reference PE (0,0); sums to
+  /// RunInfo::total_cycles by construction.
+  std::array<f64, kNumPhases> reference_phase_cycles() const;
+
+  std::string metrics_json() const;
+  std::string chrome_trace_json() const;
+  std::string progress_json() const;
+
+  /// Writes metrics.json, trace.json, progress.json, the four heatmap
+  /// PPM+CSV pairs and links.csv into `dir` (created if absent). Returns
+  /// the paths written.
+  std::vector<std::string> write_bundle(const std::string& dir) const;
+
+private:
+  TelemetryConfig config_;
+  FabricCollector collector_;
+  MetricsRegistry registry_;
+  std::vector<SimEventSample> events_;
+  u64 event_counter_ = 0;
+  RunInfo info_{};
+  bool finalized_ = false;
+  // Finalize products (deterministic row-major accumulation over PEs):
+  StreamingHistogram pe_busy_cycles_;
+  StreamingHistogram pe_tx_words_;
+  StreamingHistogram pe_stall_cycles_;
+};
+
+} // namespace fvdf::telemetry

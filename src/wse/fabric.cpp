@@ -8,6 +8,22 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "telemetry/collector.hpp"
+
+// Telemetry hot-path hooks: a null-pointer test per site when compiled in,
+// nothing at all under -DFVDF_TELEMETRY=OFF. `stmt` may use `collector`
+// (the bound telemetry::FabricCollector&).
+#ifdef FVDF_TELEMETRY_DISABLED
+#define FVDF_TELEM(stmt) ((void)0)
+#else
+#define FVDF_TELEM(stmt)                                                       \
+  do {                                                                         \
+    if (telemetry_ != nullptr) {                                               \
+      telemetry::FabricCollector& collector = *telemetry_;                     \
+      stmt;                                                                    \
+    }                                                                          \
+  } while (0)
+#endif
 
 namespace fvdf::wse {
 
@@ -60,6 +76,14 @@ public:
     fabric_.advance_and_release(shard_, pe_, mask, cursor_);
   }
 
+  void mark_phase(u8 phase) override {
+    fabric_.ctx_mark_phase(shard_, pe_, phase, cursor_);
+  }
+
+  void note_progress(u64 iteration, f64 value) override {
+    fabric_.ctx_note_progress(shard_, pe_, iteration, value, cursor_);
+  }
+
   void halt() override {
     if (!pe_.halted) {
       pe_.halted = true;
@@ -110,6 +134,11 @@ void Fabric::set_threads(u32 threads) {
   threads_ = threads == 0
                  ? std::max(1u, std::thread::hardware_concurrency())
                  : threads;
+}
+
+void Fabric::set_telemetry(telemetry::FabricCollector* collector) {
+  telemetry_ = (collector != nullptr && collector->enabled()) ? collector : nullptr;
+  if (telemetry_ != nullptr) telemetry_->bind(width_, height_, shard_count());
 }
 
 void Fabric::load(const ProgramFactory& factory) {
@@ -303,6 +332,8 @@ void Fabric::advance_and_release(Shard& shard, Pe& pe, ColorMask mask, f64 t) {
         parked.push_back(std::move(entry));
         continue;
       }
+      FVDF_TELEM(collector.activity(pe_index(pe.coord.x, pe.coord.y))
+                     .stall_cycles += t - entry.parked_at);
       dispatch_flit(shard, pe, entry.from, std::move(entry.flit), t);
     }
   }
@@ -317,7 +348,9 @@ void Fabric::handle_flit_arrive(Shard& shard, Event&& event) {
     ++shard.stats.flits_stalled;
     emit_trace(shard, TraceEvent::FlitStalled, event.t, pe.coord, flit.color,
                flit.data ? static_cast<u32>(flit.data->size()) : 0);
-    pe.stalled[flit.color].push_back(Pe::StalledFlit{event.from, std::move(flit)});
+    FVDF_TELEM(++collector.activity(event.pe_index).stalls);
+    pe.stalled[flit.color].push_back(
+        Pe::StalledFlit{event.from, std::move(flit), event.t});
     return;
   }
   dispatch_flit(shard, pe, event.from, std::move(flit), event.t);
@@ -354,6 +387,12 @@ void Fabric::dispatch_flit(Shard& shard, Pe& pe, Dir from, Flit&& flit, f64 t) {
     push_event(shard, std::move(forward));
     ++shard.stats.wavelet_hops;
     shard.stats.word_hops += words;
+    FVDF_TELEM({
+      telemetry::PeActivity& a =
+          collector.activity(pe_index(pe.coord.x, pe.coord.y));
+      a.tx_words[link_slot(dir)] += words;
+      ++a.tx_messages[link_slot(dir)];
+    });
     emit_trace(shard, TraceEvent::LinkHop, t, pe.coord, flit.color,
                static_cast<u32>(words));
   }
@@ -403,6 +442,8 @@ void Fabric::feed_recv_descriptors(Shard& shard, Pe& pe, Color color, f64 t) {
       desc.filled += take;
       pe.counters.record(Opcode::FMOV, take, /*fabric_loads=*/take, 0);
       shard.stats.words_delivered += take;
+      FVDF_TELEM(collector.activity(pe_index(pe.coord.x, pe.coord.y)).rx_words +=
+                 take);
     }
     if (desc.filled == desc.dst.length) {
       Event event;
@@ -442,6 +483,13 @@ void Fabric::run_task(Shard& shard, Pe& pe, Color color, f64 t) {
   }
   pe.busy_until = cursor;
   shard.now = std::max(shard.now, cursor);
+  FVDF_TELEM({
+    telemetry::PeActivity& a =
+        collector.activity(pe_index(pe.coord.x, pe.coord.y));
+    ++a.tasks;
+    a.busy_cycles += cursor - t;
+    collector.observe_task_cycles(shard.id, cursor - t);
+  });
 }
 
 void Fabric::ctx_send(Shard& shard, Pe& pe, Color color, Dsd src,
@@ -507,6 +555,12 @@ void Fabric::ctx_send(Shard& shard, Pe& pe, Color color, Dsd src,
   push_event(shard, std::move(event));
   ++shard.stats.messages_sent;
   if (advance_after != 0) ++shard.stats.control_wavelets;
+  FVDF_TELEM({
+    telemetry::PeActivity& a =
+        collector.activity(pe_index(pe.coord.x, pe.coord.y));
+    a.tx_words[link_slot(Dir::Ramp)] += src.length;
+    ++a.tx_messages[link_slot(Dir::Ramp)];
+  });
 
   if (completion != kInvalidColor) {
     Event done;
@@ -535,6 +589,8 @@ void Fabric::ctx_send_control(Shard& shard, Pe& pe, Color color, ColorMask advan
   event.t = start + 1.0;
   push_event(shard, std::move(event));
   ++shard.stats.messages_sent;
+  FVDF_TELEM(++collector.activity(pe_index(pe.coord.x, pe.coord.y))
+                   .tx_messages[link_slot(Dir::Ramp)]);
 }
 
 void Fabric::ctx_recv(Shard& shard, Pe& pe, Color color, Dsd dst, Color completion,
@@ -555,6 +611,28 @@ void Fabric::ctx_activate(Shard& shard, Pe& pe, Color color, f64 cursor) {
   event.color = color;
   event.t = cursor;
   push_event(shard, std::move(event));
+}
+
+void Fabric::ctx_mark_phase(Shard& shard, Pe& pe, u8 phase, f64 cursor) {
+  (void)shard;
+  (void)pe;
+  (void)phase;
+  (void)cursor;
+  FVDF_TELEM({
+    const i64 idx = pe_index(pe.coord.x, pe.coord.y);
+    if (collector.samples_pe(idx)) collector.mark_phase(shard.id, idx, phase, cursor);
+  });
+}
+
+void Fabric::ctx_note_progress(Shard& shard, Pe& pe, u64 iteration, f64 value,
+                               f64 cursor) {
+  (void)shard;
+  (void)pe;
+  (void)iteration;
+  (void)value;
+  (void)cursor;
+  FVDF_TELEM(collector.note_progress(shard.id, pe_index(pe.coord.x, pe.coord.y),
+                                     iteration, value, cursor));
 }
 
 void Fabric::check_host_coord(i64 x, i64 y) const {

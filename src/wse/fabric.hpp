@@ -47,6 +47,10 @@ namespace fvdf::analysis {
 struct VerifyReport;
 }
 
+namespace fvdf::telemetry {
+class FabricCollector;
+}
+
 namespace fvdf::wse {
 
 struct FabricStats {
@@ -136,6 +140,18 @@ public:
   /// deterministic).
   void set_faults(FaultPlan plan) { faults_ = plan; }
 
+  /// Attaches a telemetry collector (pass nullptr — or a collector at
+  /// Level::Off — to detach). Must be set before run(); binds the
+  /// collector to this fabric's geometry and shard layout, resetting any
+  /// previously collected data. Per-PE activity cells and per-shard
+  /// streams are only ever written by the owning shard, so collected data
+  /// is bitwise identical at any thread count (see
+  /// telemetry/collector.hpp). The disabled path costs one pointer test
+  /// per instrumentation site; configure with -DFVDF_TELEMETRY=OFF to
+  /// compile the hooks out entirely.
+  void set_telemetry(telemetry::FabricCollector* collector);
+  telemetry::FabricCollector* telemetry_collector() const { return telemetry_; }
+
 private:
   friend class FabricPeContext;
 
@@ -189,6 +205,7 @@ private:
     struct StalledFlit {
       Dir from;
       Flit flit;
+      f64 parked_at = 0; // arrival time, for telemetry stall-cycle accounting
     };
     std::array<std::deque<StalledFlit>, kNumRoutableColors> stalled;
     // Outbound link occupancy: [0]=ramp injection, [1..4]=N,E,S,W.
@@ -283,6 +300,9 @@ private:
   void ctx_recv(Shard& shard, Pe& pe, Color color, Dsd dst, Color completion,
                 f64 cursor);
   void ctx_activate(Shard& shard, Pe& pe, Color color, f64 cursor);
+  void ctx_mark_phase(Shard& shard, Pe& pe, u8 phase, f64 cursor);
+  void ctx_note_progress(Shard& shard, Pe& pe, u64 iteration, f64 value,
+                         f64 cursor);
 
   void emit_trace(Shard& shard, TraceEvent event, f64 t, PeCoord at, Color color,
                   u32 words) {
@@ -292,6 +312,7 @@ private:
   i64 width_;
   i64 height_;
   TraceSink trace_;
+  telemetry::FabricCollector* telemetry_ = nullptr; // non-owning; null = off
   FaultPlan faults_{};
   u64 injected_data_messages_ = 0;
   TimingParams timing_;

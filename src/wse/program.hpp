@@ -61,6 +61,21 @@ public:
 
   /// Current task-local time in cycles.
   virtual f64 now() const = 0;
+
+  // --- telemetry hooks (no-ops unless the fabric has a collector; see
+  // telemetry/collector.hpp and docs/observability.md) ---
+
+  /// Declares that this PE's program entered solver phase `phase` (a
+  /// telemetry::Phase value) at the current cycle cursor. Level-triggered:
+  /// the phase stays in effect until the next mark.
+  virtual void mark_phase(u8 phase) { (void)phase; }
+
+  /// Reports solver progress (e.g. the global residual after iteration
+  /// `iteration`). The telemetry layer records it from PE (0,0) only.
+  virtual void note_progress(u64 iteration, f64 value) {
+    (void)iteration;
+    (void)value;
+  }
 };
 
 /// Static declaration of a PE program's communication behavior, consumed

@@ -18,7 +18,40 @@ const char* to_string(TraceEvent event) {
   return "?";
 }
 
+TraceBuffer::TraceBuffer(const TraceBuffer& other) {
+  std::lock_guard<std::mutex> lock(other.mutex_);
+  capacity_ = other.capacity_;
+  records_ = other.records_;
+  total_ = other.total_;
+}
+
+TraceBuffer& TraceBuffer::operator=(const TraceBuffer& other) {
+  if (this == &other) return *this;
+  std::scoped_lock lock(mutex_, other.mutex_);
+  capacity_ = other.capacity_;
+  records_ = other.records_;
+  total_ = other.total_;
+  return *this;
+}
+
+void TraceBuffer::push(const TraceRecord& record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (records_.size() < capacity_) records_.push_back(record);
+  ++total_;
+}
+
+std::vector<TraceRecord> TraceBuffer::records() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+u64 TraceBuffer::total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
 u64 TraceBuffer::count(TraceEvent event) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   u64 n = 0;
   for (const TraceRecord& record : records_)
     if (record.event == event) ++n;
@@ -27,7 +60,7 @@ u64 TraceBuffer::count(TraceEvent event) const {
 
 std::string TraceBuffer::summary() const {
   std::ostringstream os;
-  os << total_ << " events";
+  os << total() << " events";
   constexpr TraceEvent kAll[] = {
       TraceEvent::MessageInjected, TraceEvent::LinkHop,     TraceEvent::RampDelivery,
       TraceEvent::TaskRun,         TraceEvent::SwitchAdvance, TraceEvent::FlitStalled,

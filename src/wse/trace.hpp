@@ -16,6 +16,7 @@
 // and corrupted data is caught by the host-side numerical validation.
 
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -51,23 +52,35 @@ struct TraceRecord {
 using TraceSink = std::function<void(const TraceRecord&)>;
 
 /// A bounded in-memory sink with simple querying, for tests and tools.
+///
+/// Thread-safety: appends through sink() are serialized by an internal
+/// mutex, so one buffer may back several fabrics running on different
+/// host threads. Within a single fabric the engine already guarantees the
+/// sink only runs at window merge barriers, in deterministic order —
+/// records are gathered per shard during a window and merge-sorted before
+/// delivery (see wse/fabric.hpp) — so the lock is uncontended there. The
+/// records()/total()/count()/summary() accessors take the same lock;
+/// records() returns a snapshot copy for that reason.
 class TraceBuffer {
 public:
   explicit TraceBuffer(std::size_t capacity = 1 << 20) : capacity_(capacity) {}
 
+  TraceBuffer(const TraceBuffer& other);
+  TraceBuffer& operator=(const TraceBuffer& other);
+
   TraceSink sink() {
-    return [this](const TraceRecord& record) {
-      if (records_.size() < capacity_) records_.push_back(record);
-      ++total_;
-    };
+    return [this](const TraceRecord& record) { push(record); };
   }
 
-  const std::vector<TraceRecord>& records() const { return records_; }
-  u64 total() const { return total_; }
+  void push(const TraceRecord& record);
+
+  std::vector<TraceRecord> records() const;
+  u64 total() const;
   u64 count(TraceEvent event) const;
   std::string summary() const;
 
 private:
+  mutable std::mutex mutex_;
   std::size_t capacity_;
   std::vector<TraceRecord> records_;
   u64 total_ = 0;

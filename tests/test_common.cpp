@@ -156,6 +156,79 @@ TEST(Percentile, RejectsEmptyAndOutOfRange) {
   EXPECT_THROW(percentile({1.0}, 101.0), Error);
 }
 
+// ---------- StreamingHistogram ----------
+
+TEST(StreamingHistogram, EmptyIsZero) {
+  StreamingHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_TRUE(h.buckets().empty());
+}
+
+TEST(StreamingHistogram, QuantilesWithinRelativeErrorBound) {
+  // 2^-5 relative bucket resolution at the default subbucket_bits.
+  StreamingHistogram h;
+  for (int i = 1; i <= 10'000; ++i) h.add(static_cast<f64>(i));
+  const f64 tol = 1.0 / 32.0;
+  EXPECT_NEAR(h.p50(), 5000.0, 5000.0 * tol);
+  EXPECT_NEAR(h.p95(), 9500.0, 9500.0 * tol);
+  EXPECT_NEAR(h.p99(), 9900.0, 9900.0 * tol);
+  // The extremes are exact, not bucket-resolved.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10'000.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 10'000.0 * 10'001.0 / 2.0);
+}
+
+TEST(StreamingHistogram, MergeEqualsSingleStream) {
+  StreamingHistogram a, b, whole;
+  for (int i = 1; i <= 1000; ++i) {
+    ((i % 2 == 0) ? a : b).add(static_cast<f64>(i * 3));
+    whole.add(static_cast<f64>(i * 3));
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_DOUBLE_EQ(a.sum(), whole.sum());
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+  // Bucketed populations are identical, so every quantile matches exactly.
+  for (const f64 q : {0.1, 0.5, 0.9, 0.95, 0.99})
+    EXPECT_DOUBLE_EQ(a.quantile(q), whole.quantile(q));
+}
+
+TEST(StreamingHistogram, MergeOrderDoesNotMatter) {
+  StreamingHistogram ab, ba, a1, b1;
+  for (int i = 0; i < 500; ++i) a1.add(1.5 * i + 1);
+  for (int i = 0; i < 500; ++i) b1.add(7.0 * i + 2);
+  ab = a1;
+  ab.merge(b1);
+  ba = b1;
+  ba.merge(a1);
+  EXPECT_DOUBLE_EQ(ab.p50(), ba.p50());
+  EXPECT_DOUBLE_EQ(ab.p99(), ba.p99());
+  EXPECT_EQ(ab.buckets().size(), ba.buckets().size());
+}
+
+TEST(StreamingHistogram, SubUnitAndZeroValuesLandInFirstBucket) {
+  StreamingHistogram h;
+  h.add(0.0);
+  h.add(0.25);
+  h.add(1e-9);
+  EXPECT_EQ(h.count(), 3u);
+  ASSERT_EQ(h.buckets().size(), 1u);
+  EXPECT_EQ(h.buckets()[0].count, 3u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+}
+
+TEST(StreamingHistogram, ClearResets) {
+  StreamingHistogram h;
+  h.add(5.0);
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_TRUE(h.buckets().empty());
+}
+
 // ---------- Table ----------
 
 TEST(Table, RendersAlignedColumns) {

@@ -1,0 +1,410 @@
+// Telemetry subsystem tests: deterministic merging across simulator
+// thread counts, phase-span attribution on real CG/Chebyshev solves,
+// Chrome-trace/metrics JSON validity, heatmap + link-CSV stability, the
+// metrics registry, and TraceBuffer's concurrent-append contract.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <thread>
+
+#include "core/solver.hpp"
+#include "fv/operator.hpp"
+#include "fv/problem.hpp"
+#include "solver/chebyshev.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/heatmap.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/session.hpp"
+#include "wse/trace.hpp"
+
+// Attribution and accounting tests need the fabric hooks compiled in;
+// under -DFVDF_TELEMETRY=OFF (which defines FVDF_TELEMETRY_DISABLED via
+// fvdf_wse) the collector stays empty by design, so those tests skip.
+// Determinism, format and unit tests still run in both configurations.
+#ifdef FVDF_TELEMETRY_DISABLED
+#define FVDF_REQUIRE_TELEMETRY() \
+  GTEST_SKIP() << "fabric telemetry hooks compiled out (FVDF_TELEMETRY=OFF)"
+#else
+#define FVDF_REQUIRE_TELEMETRY() (void)0
+#endif
+
+namespace fvdf::telemetry {
+namespace {
+
+struct Profiled {
+  core::DataflowResult result;
+  std::string metrics;
+  std::string trace;
+  std::string progress;
+  std::string links;
+};
+
+// One instrumented CG solve on a quarter-five-spot problem; every export
+// captured as bytes so runs can be compared verbatim.
+Profiled profiled_solve(u32 sim_threads, Level level = Level::Trace) {
+  const auto problem = FlowProblem::quarter_five_spot(6, 5, 4, /*seed=*/11);
+  Session session({level});
+  core::DataflowConfig config;
+  config.tolerance = 1e-10f;
+  config.max_iterations = 200;
+  config.sim_threads = sim_threads;
+  config.telemetry = &session;
+  Profiled out;
+  out.result = core::solve_dataflow(problem, config);
+  out.metrics = session.metrics_json();
+  out.trace = session.chrome_trace_json();
+  out.progress = session.progress_json();
+  out.links = link_csv(session.collector());
+  return out;
+}
+
+// --- determinism across --sim-threads -------------------------------------
+
+TEST(TelemetryDeterminism, IdenticalBytesAcrossSimThreads) {
+  const Profiled reference = profiled_solve(1);
+  for (const u32 threads : {2u, 8u}) {
+    const Profiled other = profiled_solve(threads);
+    EXPECT_EQ(reference.metrics, other.metrics) << "sim_threads=" << threads;
+    EXPECT_EQ(reference.trace, other.trace) << "sim_threads=" << threads;
+    EXPECT_EQ(reference.progress, other.progress) << "sim_threads=" << threads;
+    EXPECT_EQ(reference.links, other.links) << "sim_threads=" << threads;
+  }
+}
+
+TEST(TelemetryDeterminism, RepeatedRunIsByteStable) {
+  const Profiled a = profiled_solve(2);
+  const Profiled b = profiled_solve(2);
+  EXPECT_EQ(a.metrics, b.metrics);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.links, b.links);
+}
+
+// --- phase spans on a real solve ------------------------------------------
+
+TEST(TelemetryPhases, ReferencePeCyclesSumToTotal) {
+  FVDF_REQUIRE_TELEMETRY();
+  const auto problem = FlowProblem::homogeneous_column(5, 4, 3);
+  Session session({Level::Metrics});
+  core::DataflowConfig config;
+  config.tolerance = 0.0f;
+  config.max_iterations = 8;
+  config.telemetry = &session;
+  const auto result = core::solve_dataflow(problem, config);
+
+  const auto phases = session.reference_phase_cycles();
+  f64 sum = 0;
+  for (const f64 cycles : phases) sum += cycles;
+  EXPECT_NEAR(sum, result.device_cycles, result.device_cycles * 1e-12);
+
+  // A CG solve visits every Table-II phase at least once.
+  EXPECT_GT(phases[static_cast<u32>(Phase::Halo)], 0.0);
+  EXPECT_GT(phases[static_cast<u32>(Phase::Flux)], 0.0);
+  EXPECT_GT(phases[static_cast<u32>(Phase::LocalDot)], 0.0);
+  EXPECT_GT(phases[static_cast<u32>(Phase::AllReduce)], 0.0);
+  EXPECT_GT(phases[static_cast<u32>(Phase::Axpy)], 0.0);
+}
+
+TEST(TelemetryPhases, SpansAreContiguousPerPe) {
+  const auto problem = FlowProblem::homogeneous_column(4, 4, 2);
+  Session session({Level::Metrics});
+  core::DataflowConfig config;
+  config.max_iterations = 5;
+  config.telemetry = &session;
+  core::solve_dataflow(problem, config);
+
+  const FabricCollector& collector = session.collector();
+  i64 current_pe = -1;
+  f64 cursor = 0;
+  for (const PhaseSpan& span : collector.spans()) {
+    if (span.pe != current_pe) {
+      // The previous PE's timeline must have reached the end of the run.
+      if (current_pe >= 0) {
+        EXPECT_DOUBLE_EQ(cursor, collector.total_cycles());
+      }
+      current_pe = span.pe;
+      EXPECT_DOUBLE_EQ(span.begin, 0.0); // every timeline starts at cycle 0
+    } else {
+      EXPECT_DOUBLE_EQ(span.begin, cursor); // no gap, no overlap
+    }
+    EXPECT_LE(span.begin, span.end);
+    cursor = span.end;
+  }
+  if (current_pe >= 0) {
+    EXPECT_DOUBLE_EQ(cursor, collector.total_cycles());
+  }
+}
+
+TEST(TelemetryPhases, ResidualHistoryMatchesIterations) {
+  FVDF_REQUIRE_TELEMETRY();
+  const auto problem = FlowProblem::homogeneous_column(4, 4, 3);
+  Session session({Level::Metrics});
+  core::DataflowConfig config;
+  config.tolerance = 1e-10f;
+  config.max_iterations = 300;
+  config.telemetry = &session;
+  const auto result = core::solve_dataflow(problem, config);
+  ASSERT_TRUE(result.converged);
+
+  // One sample for k = 0 plus one per completed iteration; the last one
+  // crossed the tolerance.
+  ASSERT_EQ(result.residual_history.size(), result.iterations + 1);
+  EXPECT_LT(result.residual_history.back(), 1e-10);
+  EXPECT_GT(result.residual_history.front(), result.residual_history.back());
+}
+
+TEST(TelemetryPhases, ChebyshevSolveIsAttributedToo) {
+  FVDF_REQUIRE_TELEMETRY();
+  const auto problem = FlowProblem::homogeneous_column(5, 5, 3);
+  const auto sys = problem.discretize<f64>();
+  const MatrixFreeOperator<f64> op(sys);
+  Session session({Level::Metrics});
+  core::ChebyshevDeviceConfig config;
+  config.bounds = estimate_spectral_bounds<f64>(
+      [&](const f64* in, f64* out) { op.apply(in, out); },
+      static_cast<std::size_t>(sys.cell_count()));
+  config.tolerance = 1e-8f;
+  config.max_iterations = 2000;
+  config.check_every = 8;
+  config.telemetry = &session;
+  const auto result = core::solve_dataflow_chebyshev(problem, config);
+  ASSERT_TRUE(result.converged);
+
+  const auto phases = session.reference_phase_cycles();
+  f64 sum = 0;
+  for (const f64 cycles : phases) sum += cycles;
+  EXPECT_NEAR(sum, result.device_cycles, result.device_cycles * 1e-12);
+  EXPECT_GT(phases[static_cast<u32>(Phase::Halo)], 0.0);
+  EXPECT_GT(phases[static_cast<u32>(Phase::Flux)], 0.0);
+  // Probes every 8 iterations: the all-reduce shows up but no longer
+  // dominates the way it does for CG (the design point of the extension).
+  EXPECT_GT(phases[static_cast<u32>(Phase::AllReduce)], 0.0);
+  EXPECT_FALSE(result.residual_history.empty());
+}
+
+// --- export formats -------------------------------------------------------
+
+TEST(TelemetryExports, JsonDocumentsAreValid) {
+  const Profiled run = profiled_solve(1);
+  std::string error;
+  EXPECT_TRUE(validate_json(run.metrics, &error)) << error;
+  EXPECT_TRUE(validate_json(run.trace, &error)) << error;
+  EXPECT_TRUE(validate_json(run.progress, &error)) << error;
+}
+
+TEST(TelemetryExports, ChromeTraceHasRequiredStructure) {
+  FVDF_REQUIRE_TELEMETRY();
+  const Profiled run = profiled_solve(1);
+  // Top-level container with the trace-event array and both process
+  // metadata records (phase tracks + raw fabric events).
+  EXPECT_NE(run.trace.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(run.trace.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(run.trace.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(run.trace.find("\"ph\":\"i\""), std::string::npos); // Level::Trace
+  EXPECT_NE(run.trace.find("fabric phases"), std::string::npos);
+  EXPECT_NE(run.trace.find("fabric events"), std::string::npos);
+  // Every phase name that can appear is a known track label.
+  EXPECT_NE(run.trace.find("\"name\":\"halo\""), std::string::npos);
+  EXPECT_NE(run.trace.find("\"name\":\"all_reduce\""), std::string::npos);
+}
+
+TEST(TelemetryExports, MetricsLevelSkipsRawEvents) {
+  FVDF_REQUIRE_TELEMETRY();
+  const Profiled run = profiled_solve(1, Level::Metrics);
+  EXPECT_EQ(run.trace.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(run.trace.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(TelemetryExports, LinkCsvAccountsForEveryWordHop) {
+  FVDF_REQUIRE_TELEMETRY();
+  const auto problem = FlowProblem::homogeneous_column(6, 4, 3);
+  Session session({Level::Metrics});
+  core::DataflowConfig config;
+  config.max_iterations = 6;
+  config.telemetry = &session;
+  const auto result = core::solve_dataflow(problem, config);
+
+  // Cardinal-link words summed over PEs equal the engine's word-hop
+  // count; the CSV has exactly one row per (PE, link slot) plus a header.
+  u64 fabric_words = 0;
+  for (const PeActivity& pe : session.collector().activities())
+    fabric_words += pe.fabric_tx_words();
+  EXPECT_EQ(fabric_words, result.fabric.word_hops);
+
+  const std::string csv = link_csv(session.collector());
+  const auto rows = static_cast<std::size_t>(
+      std::count(csv.begin(), csv.end(), '\n'));
+  EXPECT_EQ(rows, 1 + 6u * 4u * kPeLinks);
+  EXPECT_EQ(csv.rfind("x,y,link,words,messages\n", 0), 0u);
+}
+
+TEST(TelemetryExports, HeatmapsMatchActivityTable) {
+  const auto problem = FlowProblem::homogeneous_column(5, 3, 2);
+  Session session({Level::Metrics});
+  core::DataflowConfig config;
+  config.max_iterations = 4;
+  config.telemetry = &session;
+  core::solve_dataflow(problem, config);
+
+  const FabricCollector& collector = session.collector();
+  const HeatmapBundle maps = build_heatmaps(collector);
+  ASSERT_EQ(maps.traffic_words.nx, 5);
+  ASSERT_EQ(maps.traffic_words.ny, 3);
+  for (i64 y = 0; y < 3; ++y) {
+    for (i64 x = 0; x < 5; ++x) {
+      const PeActivity& pe = session.collector().activities()
+          [static_cast<std::size_t>(y * 5 + x)];
+      EXPECT_DOUBLE_EQ(maps.traffic_words.at(x, y),
+                       static_cast<f64>(pe.fabric_tx_words()));
+      EXPECT_DOUBLE_EQ(maps.delivered_words.at(x, y),
+                       static_cast<f64>(pe.rx_words));
+      EXPECT_DOUBLE_EQ(maps.occupancy.at(x, y),
+                       pe.busy_cycles / collector.total_cycles());
+    }
+  }
+}
+
+// --- JSON validator -------------------------------------------------------
+
+TEST(TelemetryJson, ValidatorAcceptsAndRejects) {
+  std::string error;
+  EXPECT_TRUE(validate_json("{}", &error));
+  EXPECT_TRUE(validate_json("[1,2.5e-3,\"x\",null,true,{\"k\":[]}]", &error));
+  EXPECT_FALSE(validate_json("", &error));
+  EXPECT_FALSE(validate_json("{", &error));
+  EXPECT_FALSE(validate_json("{\"a\":1,}", &error));
+  EXPECT_FALSE(validate_json("[1] trailing", &error));
+  EXPECT_FALSE(validate_json("{'a':1}", &error));
+  EXPECT_FALSE(validate_json("[01]", &error));
+}
+
+TEST(TelemetryJson, WriterRoundTripsThroughValidator) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("text", "quote\" slash\\ newline\n tab\t");
+  w.kv("inf", std::numeric_limits<f64>::infinity()); // serialized as null
+  w.kv("num", 0.1);
+  w.key("list").begin_array();
+  w.value(static_cast<u64>(1));
+  w.value(false);
+  w.end_array();
+  w.end_object();
+  const std::string text = w.take();
+  std::string error;
+  EXPECT_TRUE(validate_json(text, &error)) << text << "\n" << error;
+  EXPECT_NE(text.find("\"inf\":null"), std::string::npos);
+}
+
+// --- metrics registry -----------------------------------------------------
+
+TEST(TelemetryRegistry, ShardedCountersMergeDeterministically) {
+  MetricsRegistry registry(4);
+  const u32 flits = registry.counter("flits");
+  const u32 again = registry.counter("flits");
+  EXPECT_EQ(flits, again); // idempotent registration
+  const u32 lat = registry.histogram("latency");
+
+  for (u32 shard = 0; shard < 4; ++shard) {
+    registry.add(shard, flits, shard + 1);
+    registry.observe(shard, lat, static_cast<f64>(10 * (shard + 1)));
+  }
+  EXPECT_EQ(registry.counter_value(flits), 1u + 2 + 3 + 4);
+  const StreamingHistogram merged = registry.histogram_value(lat);
+  EXPECT_EQ(merged.count(), 4u);
+  EXPECT_DOUBLE_EQ(merged.min(), 10.0);
+  EXPECT_DOUBLE_EQ(merged.max(), 40.0);
+
+  const u32 g = registry.gauge("fill");
+  registry.set(g, 0.75);
+  EXPECT_DOUBLE_EQ(registry.gauge_value(g), 0.75);
+
+  JsonWriter w;
+  registry.write_json(w);
+  std::string error;
+  EXPECT_TRUE(validate_json(w.take(), &error)) << error;
+}
+
+// --- collector unit behavior ----------------------------------------------
+
+TEST(TelemetryCollector, PeStrideSamplingKeepsReferencePe)
+{
+  SamplingConfig sampling;
+  sampling.pe_stride = 3;
+  FabricCollector collector(Level::Metrics, sampling);
+  collector.bind(7, 7, 1);
+  EXPECT_TRUE(collector.samples_pe(0));              // (0,0) always
+  EXPECT_TRUE(collector.samples_pe(3));              // (3,0)
+  EXPECT_FALSE(collector.samples_pe(1));             // (1,0)
+  EXPECT_TRUE(collector.samples_pe(3 * 7 + 3));      // (3,3)
+  EXPECT_FALSE(collector.samples_pe(3 * 7 + 4));     // (4,3)
+}
+
+TEST(TelemetryCollector, MarksCoalesceAndClampIntoSpans) {
+  FabricCollector collector(Level::Metrics, {});
+  collector.bind(2, 1, 1);
+  collector.mark_phase(0, 0, static_cast<u8>(Phase::Halo), 10.0);
+  collector.mark_phase(0, 0, static_cast<u8>(Phase::Halo), 20.0); // same phase
+  collector.mark_phase(0, 0, static_cast<u8>(Phase::Flux), 60.0);
+  collector.finalize(100.0);
+
+  // Implicit Setup [0,10), Halo [10,60) (coalesced), Flux [60,100].
+  const auto& spans = collector.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].phase, static_cast<u8>(Phase::Setup));
+  EXPECT_DOUBLE_EQ(spans[0].begin, 0.0);
+  EXPECT_DOUBLE_EQ(spans[0].end, 10.0);
+  EXPECT_EQ(spans[1].phase, static_cast<u8>(Phase::Halo));
+  EXPECT_DOUBLE_EQ(spans[1].end, 60.0);
+  EXPECT_EQ(spans[2].phase, static_cast<u8>(Phase::Flux));
+  EXPECT_DOUBLE_EQ(spans[2].end, 100.0);
+
+  const auto cycles = collector.phase_cycles(0);
+  EXPECT_DOUBLE_EQ(cycles[static_cast<u32>(Phase::Setup)], 10.0);
+  EXPECT_DOUBLE_EQ(cycles[static_cast<u32>(Phase::Halo)], 50.0);
+  EXPECT_DOUBLE_EQ(cycles[static_cast<u32>(Phase::Flux)], 40.0);
+}
+
+} // namespace
+} // namespace fvdf::telemetry
+
+// --- TraceBuffer thread safety (satellite of the telemetry PR) ------------
+
+namespace fvdf::wse {
+namespace {
+
+TEST(TraceBufferConcurrency, ParallelAppendsAreAllCounted) {
+  TraceBuffer buffer(1 << 16);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    workers.emplace_back([&buffer, i] {
+      TraceSink sink = buffer.sink();
+      for (int n = 0; n < kPerThread; ++n) {
+        TraceRecord record;
+        record.event = TraceEvent::LinkHop;
+        record.cycles = static_cast<f64>(i * kPerThread + n);
+        sink(record);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(buffer.total(), static_cast<u64>(kThreads) * kPerThread);
+  EXPECT_EQ(buffer.count(TraceEvent::LinkHop),
+            static_cast<u64>(kThreads) * kPerThread);
+}
+
+TEST(TraceBufferConcurrency, CopyTakesAConsistentSnapshot) {
+  TraceBuffer buffer(64);
+  TraceSink sink = buffer.sink();
+  for (int n = 0; n < 100; ++n) sink(TraceRecord{});
+  const TraceBuffer copy = buffer; // capacity bound: 64 kept, 100 counted
+  EXPECT_EQ(copy.total(), 100u);
+  EXPECT_EQ(copy.records().size(), 64u);
+}
+
+} // namespace
+} // namespace fvdf::wse
