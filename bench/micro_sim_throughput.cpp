@@ -1,13 +1,20 @@
 // Event-engine throughput: how fast does the fabric simulator itself run?
 //
-// Fixed workload — a 64x64x8 device CG solve (4,096 PEs), tolerance 0,
-// 10 iterations — executed at several worker-thread counts. For each run
-// the bench reports host wall-clock, processed simulator events and
-// events/second, checks that every thread count reproduces the
+// Workloads — a 64x64x8 device CG solve (4,096 PEs, the standard row) and
+// an optional 128x128x8 solve (16,384 PEs, the scaling row), both
+// tolerance 0, 10 iterations — executed at several worker-thread counts.
+// For each run the bench reports host wall-clock, processed simulator
+// events and events/second, checks that every thread count reproduces the
 // single-thread solution bitwise, and writes the table to
 // BENCH_sim_throughput.json (in the working directory, or --out PATH).
 //
-// `seed_baseline` in the JSON is the same workload measured on the
+// Flags:
+//   --out PATH            JSON output path (default BENCH_sim_throughput.json)
+//   --csv PATH            also write one CSV row per run
+//   --threads-sweep LIST  comma-separated thread counts (default 1,2,4,8)
+//   --skip-large          measure only the 64x64x8 workload
+//
+// `seed_baseline` in the JSON is the 64x64x8 workload measured on the
 // pre-refactor serial engine (std::priority_queue, per-send payload
 // allocation, word-at-a-time ramp delivery) on the same host, so the file
 // records both the single-thread speedup of the engine overhaul and the
@@ -17,6 +24,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -28,21 +36,28 @@ using namespace fvdf;
 
 namespace {
 
-// Pre-refactor serial engine on this host, same workload (see header).
+// Pre-refactor serial engine on this host, 64x64x8 workload (see header).
 constexpr f64 kSeedWallSeconds = 1.052;
 constexpr u64 kSeedEvents = 1391439;
 constexpr f64 kSeedEventsPerSec = 1.322e6;
 
+struct Workload {
+  const char* name;
+  i64 nx, ny, nz;
+};
+
 struct Run {
+  const char* workload = nullptr;
   u32 threads = 1;
   f64 wall_seconds = 0;
   u64 events = 0;
   f64 events_per_sec = 0;
-  bool bitwise_identical = true; // vs the threads=1 run of this binary
+  f64 speedup_vs_one_thread = 1.0;
+  bool bitwise_identical = true; // vs the threads=1 run of the same workload
 };
 
-core::DataflowResult solve(u32 threads) {
-  const auto problem = FlowProblem::homogeneous_column(64, 64, 8);
+core::DataflowResult solve(const Workload& w, u32 threads) {
+  const auto problem = FlowProblem::homogeneous_column(w.nx, w.ny, w.nz);
   core::DataflowConfig config;
   config.tolerance = 0.0f;
   config.max_iterations = 10;
@@ -56,37 +71,35 @@ bool same_bits(const std::vector<f32>& a, const std::vector<f32>& b) {
           std::memcmp(a.data(), b.data(), a.size() * sizeof(f32)) == 0);
 }
 
-} // namespace
-
-int main(int argc, char** argv) {
-  std::string out_path = "BENCH_sim_throughput.json";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
-      out_path = argv[++i];
-    } else {
-      std::cerr << "usage: micro_sim_throughput [--out PATH]\n";
-      return 2;
+std::vector<u32> parse_sweep(const std::string& arg) {
+  std::vector<u32> sweep;
+  std::stringstream ss(arg);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const long v = std::strtol(item.c_str(), nullptr, 10);
+    if (v < 1) {
+      std::cerr << "bad --threads-sweep entry: " << item << '\n';
+      std::exit(2);
     }
+    sweep.push_back(static_cast<u32>(v));
   }
+  if (sweep.empty()) {
+    std::cerr << "--threads-sweep needs at least one thread count\n";
+    std::exit(2);
+  }
+  return sweep;
+}
 
-  std::vector<u32> thread_counts = {1, 2, 4};
-  const u32 hw = std::max(1u, std::thread::hardware_concurrency());
-  bool have_hw = false;
-  for (u32 t : thread_counts) have_hw |= t == hw;
-  if (!have_hw) thread_counts.push_back(hw);
-
-  std::cout << "=== bench/micro_sim_throughput — event-engine throughput ===\n"
-            << "workload: 64x64x8 device CG, 10 iterations ("
-            << 64 * 64 << " PEs); hardware threads: " << hw << "\n\n";
-
+std::vector<Run> measure(const Workload& w, const std::vector<u32>& sweep) {
   std::vector<Run> runs;
-  core::DataflowResult reference; // threads=1
-  for (u32 threads : thread_counts) {
+  core::DataflowResult reference; // first sweep entry (put 1 first)
+  for (u32 threads : sweep) {
     const auto start = std::chrono::steady_clock::now();
-    auto result = solve(threads);
+    auto result = solve(w, threads);
     const auto stop = std::chrono::steady_clock::now();
 
     Run run;
+    run.workload = w.name;
     run.threads = threads;
     run.wall_seconds = std::chrono::duration<f64>(stop - start).count();
     run.events = result.fabric.events_processed;
@@ -98,19 +111,79 @@ int main(int argc, char** argv) {
                               same_bits(result.pressure, reference.pressure) &&
                               result.fabric == reference.fabric &&
                               result.iterations == reference.iterations;
+      run.speedup_vs_one_thread = runs.front().wall_seconds / run.wall_seconds;
     }
     runs.push_back(run);
 
-    std::cout << "threads=" << run.threads << ": " << run.wall_seconds
-              << " s, " << run.events << " events, "
-              << run.events_per_sec / 1e6 << " Mev/s, speedup vs seed "
-              << run.events_per_sec / kSeedEventsPerSec
+    std::cout << w.name << " threads=" << run.threads << ": "
+              << run.wall_seconds << " s, " << run.events << " events, "
+              << run.events_per_sec / 1e6 << " Mev/s, speedup vs 1-thread "
+              << run.speedup_vs_one_thread
               << (run.bitwise_identical ? "" : "  [MISMATCH vs threads=1]")
               << '\n';
+  }
+  return runs;
+}
+
+void write_runs_json(std::ofstream& json, const std::vector<Run>& runs,
+                     const char* indent) {
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const Run& run = runs[i];
+    json << indent << "{\"threads\": " << run.threads
+         << ", \"wall_seconds\": " << run.wall_seconds
+         << ", \"events\": " << run.events
+         << ", \"events_per_sec\": " << run.events_per_sec
+         << ", \"speedup_vs_seed\": " << run.events_per_sec / kSeedEventsPerSec
+         << ", \"speedup_vs_one_thread\": " << run.speedup_vs_one_thread
+         << ", \"bitwise_identical\": "
+         << (run.bitwise_identical ? "true" : "false") << "}"
+         << (i + 1 < runs.size() ? "," : "") << '\n';
+  }
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_sim_throughput.json";
+  std::string csv_path;
+  std::vector<u32> sweep = {1, 2, 4, 8};
+  bool skip_large = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      csv_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads-sweep") == 0 && i + 1 < argc) {
+      sweep = parse_sweep(argv[++i]);
+    } else if (std::strcmp(argv[i], "--skip-large") == 0) {
+      skip_large = true;
+    } else {
+      std::cerr << "usage: micro_sim_throughput [--out PATH] [--csv PATH]"
+                   " [--threads-sweep N,N,...] [--skip-large]\n";
+      return 2;
+    }
+  }
+
+  const u32 hw = std::max(1u, std::thread::hardware_concurrency());
+  std::cout << "=== bench/micro_sim_throughput — event-engine throughput ===\n"
+            << "hardware threads: " << hw << "\n\n";
+
+  const Workload small{"64x64x8", 64, 64, 8};
+  const Workload large{"128x128x8", 128, 128, 8};
+
+  std::vector<Run> runs = measure(small, sweep);
+  // The scaling row runs a shorter sweep: serial reference plus the
+  // 4-thread point the CI gate (scripts/check_scaling.sh) looks at.
+  std::vector<Run> large_runs;
+  if (!skip_large) {
+    std::vector<u32> large_sweep = {1};
+    if (hw >= 2) large_sweep.push_back(4);
+    large_runs = measure(large, large_sweep);
   }
 
   bool all_identical = true;
   for (const Run& run : runs) all_identical &= run.bitwise_identical;
+  for (const Run& run : large_runs) all_identical &= run.bitwise_identical;
 
   std::ofstream json(out_path);
   json << "{\n"
@@ -124,23 +197,35 @@ int main(int argc, char** argv) {
        << "    \"events_per_sec\": " << kSeedEventsPerSec << "\n"
        << "  },\n"
        << "  \"runs\": [\n";
-  for (std::size_t i = 0; i < runs.size(); ++i) {
-    const Run& run = runs[i];
-    json << "    {\"threads\": " << run.threads
-         << ", \"wall_seconds\": " << run.wall_seconds
-         << ", \"events\": " << run.events
-         << ", \"events_per_sec\": " << run.events_per_sec
-         << ", \"speedup_vs_seed\": " << run.events_per_sec / kSeedEventsPerSec
-         << ", \"speedup_vs_one_thread\": "
-         << run.events_per_sec / runs[0].events_per_sec
-         << ", \"bitwise_identical\": "
-         << (run.bitwise_identical ? "true" : "false") << "}"
-         << (i + 1 < runs.size() ? "," : "") << '\n';
+  write_runs_json(json, runs, "    ");
+  json << "  ],\n";
+  if (!large_runs.empty()) {
+    json << "  \"large_workload\": {\n"
+         << "    \"workload\": \"128x128x8 device CG, tolerance 0, 10 iterations\",\n"
+         << "    \"runs\": [\n";
+    write_runs_json(json, large_runs, "      ");
+    json << "    ]\n"
+         << "  },\n";
   }
-  json << "  ],\n"
-       << "  \"all_thread_counts_bitwise_identical\": "
+  json << "  \"all_thread_counts_bitwise_identical\": "
        << (all_identical ? "true" : "false") << "\n"
        << "}\n";
   std::cout << "\nwrote " << out_path << '\n';
+
+  if (!csv_path.empty()) {
+    std::ofstream csv(csv_path);
+    csv << "workload,threads,wall_seconds,events,events_per_sec,"
+           "speedup_vs_one_thread,bitwise_identical\n";
+    auto emit = [&](const std::vector<Run>& rs) {
+      for (const Run& run : rs)
+        csv << run.workload << ',' << run.threads << ',' << run.wall_seconds
+            << ',' << run.events << ',' << run.events_per_sec << ','
+            << run.speedup_vs_one_thread << ','
+            << (run.bitwise_identical ? "true" : "false") << '\n';
+    };
+    emit(runs);
+    emit(large_runs);
+    std::cout << "wrote " << csv_path << '\n';
+  }
   return all_identical ? 0 : 1;
 }

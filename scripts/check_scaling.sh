@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Parallel-scaling gate: the sharded fabric engine must actually get
+# faster with worker threads, not just stay correct. Runs the large
+# (128x128x8) sim-throughput workload at 1 and 4 threads via
+# bench/micro_sim_throughput and fails if the 4-thread run is not at
+# least MIN_SPEEDUP_X times faster than the 1-thread run.
+#
+# Hosts with fewer than 4 hardware threads cannot demonstrate scaling;
+# there the gate degrades to a no-regression check (4 workers on a small
+# core count must not be catastrophically slower than serial — the
+# worker pool parks on a futex and must not spin).
+#
+#   scripts/check_scaling.sh [build-dir]
+#
+# Environment knobs: MIN_SPEEDUP_X (1.2), MAX_OVERSUB_SLOWDOWN_X (1.5),
+# THREADS (4).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+MIN_SPEEDUP_X="${MIN_SPEEDUP_X:-1.2}"
+MAX_OVERSUB_SLOWDOWN_X="${MAX_OVERSUB_SLOWDOWN_X:-1.5}"
+THREADS="${THREADS:-4}"
+BENCH="$BUILD/bench/micro_sim_throughput"
+
+if [[ ! -x "$BENCH" ]]; then
+  echo "building micro_sim_throughput in $BUILD"
+  cmake --build "$BUILD" --target micro_sim_throughput -j > /dev/null
+fi
+
+CSV="$(mktemp)"
+JSON="$(mktemp)"
+trap 'rm -f "$CSV" "$JSON"' EXIT
+
+# Sweep exactly the two points the gate compares so CI time stays
+# bounded; the small workload rides along as the bitwise-identity check.
+"$BENCH" --threads-sweep "1,$THREADS" --out "$JSON" --csv "$CSV"
+
+HW="$(nproc)"
+read -r WALL1 WALL4 IDENT < <(awk -F, '
+  $1 == "128x128x8" && $2 == 1 { w1 = $3 }
+  $1 == "128x128x8" && $2 == '"$THREADS"' { w4 = $3; id = $7 }
+  END { print w1, (w4 == "" ? "none" : w4), (id == "" ? "true" : id) }
+' "$CSV")
+
+if [[ -z "$WALL1" ]]; then
+  echo "FAIL: no 128x128x8 1-thread row in bench output" >&2
+  exit 1
+fi
+
+echo "128x128x8 CG: 1-thread ${WALL1}s, ${THREADS}-thread ${WALL4}s (host: $HW hardware threads)"
+
+if [[ "$WALL4" == "none" ]]; then
+  # Single-core host: the bench skips the multi-thread large row entirely.
+  echo "SKIP: host has no parallelism to measure; serial row recorded"
+  exit 0
+fi
+
+if [[ "$IDENT" != "true" ]]; then
+  echo "FAIL: ${THREADS}-thread result not bitwise identical to 1-thread" >&2
+  exit 1
+fi
+
+if (( HW >= 4 )); then
+  awk -v w1="$WALL1" -v w4="$WALL4" -v min="$MIN_SPEEDUP_X" 'BEGIN {
+    speedup = w1 / w4
+    printf "speedup: %.2fx (required >= %.2fx)\n", speedup, min
+    exit !(speedup >= min)
+  }' || { echo "FAIL: parallel engine does not scale" >&2; exit 1; }
+else
+  awk -v w1="$WALL1" -v w4="$WALL4" -v max="$MAX_OVERSUB_SLOWDOWN_X" 'BEGIN {
+    slowdown = w4 / w1
+    printf "oversubscribed slowdown: %.2fx (allowed <= %.2fx)\n", slowdown, max
+    exit !(slowdown <= max)
+  }' || { echo "FAIL: oversubscribed workers burn the core (spinning?)" >&2; exit 1; }
+fi
+echo "OK"

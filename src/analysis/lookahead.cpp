@@ -1,0 +1,140 @@
+#include "analysis/lookahead.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+
+#include "analysis/static_context.hpp"
+#include "common/error.hpp"
+
+namespace fvdf::analysis {
+
+namespace {
+
+using wse::ChannelLookahead;
+using wse::Color;
+
+/// Per-fabric injection summary: which colors carry traffic at all, and
+/// the weakest declared word bound per color.
+struct InjectSummary {
+  wse::ColorSet injected = 0;
+  std::array<u32, wse::kNumRoutableColors> min_words{};
+
+  void absorb(const wse::ProgramManifest& manifest) {
+    for (Color c = 0; c < wse::kNumRoutableColors; ++c) {
+      if (!wse::color_set_contains(manifest.injects, c)) continue;
+      const u32 words = manifest.min_inject_words[c];
+      min_words[c] = wse::color_set_contains(injected, c)
+                         ? std::min(min_words[c], words)
+                         : words;
+      injected |= wse::color_set_bit(c);
+    }
+  }
+};
+
+ChannelLookahead conservative_table(std::size_t edges) {
+  ChannelLookahead table;
+  table.south.assign(edges, {});
+  table.north.assign(edges, {});
+  return table;
+}
+
+} // namespace
+
+wse::ChannelLookahead
+plan_channel_lookahead(i64 width, i64 height,
+                       const std::vector<ShardBand>& shards,
+                       const wse::ProgramFactory& factory,
+                       const wse::TimingParams& timing,
+                       wse::PeMemoryParams mem) {
+  FVDF_CHECK_MSG(width >= 1 && height >= 1, "fabric dims must be positive");
+  FVDF_CHECK_MSG(!shards.empty(), "empty shard layout");
+  const std::size_t edges = shards.size() - 1;
+  if (edges == 0) return conservative_table(0);
+
+  // Instantiate every PE statically: real routers (for the crossing scan)
+  // plus the injection summary from observed and declared manifests.
+  std::vector<wse::Router> routers(static_cast<std::size_t>(width * height));
+  InjectSummary injects;
+  for (i64 y = 0; y < height; ++y) {
+    for (i64 x = 0; x < width; ++x) {
+      const wse::PeCoord coord{x, y};
+      wse::Router& router = routers[static_cast<std::size_t>(y * width + x)];
+      router.set_coord(coord);
+      wse::PeMemory memory(mem.capacity_bytes, mem.reserved_bytes);
+      StaticPeContext ctx(coord, width, height, router, memory, timing);
+      try {
+        std::unique_ptr<wse::PeProgram> program = factory(coord);
+        if (program == nullptr) return conservative_table(edges);
+        program->on_start(ctx);
+        wse::ProgramManifest manifest = ctx.observed();
+        manifest |= program->manifest(coord, width, height);
+        injects.absorb(manifest);
+      } catch (const Error&) {
+        // A PE that cannot instantiate leaves its routes unknown; claim
+        // nothing (load()/verify() report the actual failure).
+        return conservative_table(edges);
+      }
+    }
+  }
+
+  // A wavelet crosses boundary b southward iff some router on the last row
+  // of shard b can transmit South on a color somebody injects (and
+  // mirrored for northward). The smallest possible crossing batch is the
+  // weakest word bound over those colors.
+  ChannelLookahead table;
+  table.south.assign(edges, ChannelLookahead::Edge{false, 0});
+  table.north.assign(edges, ChannelLookahead::Edge{false, 0});
+  const f64 wpc = timing.words_per_cycle_link;
+  for (std::size_t b = 0; b < edges; ++b) {
+    FVDF_CHECK_MSG(shards[b].row_end == shards[b + 1].row_begin &&
+                       shards[b].row_end > shards[b].row_begin,
+                   "shard layout is not a partition into row bands");
+    const i64 row_south = shards[b].row_end - 1; // last row of shard b
+    const i64 row_north = shards[b].row_end;     // first row of shard b+1
+    u32 min_words_south = std::numeric_limits<u32>::max();
+    u32 min_words_north = std::numeric_limits<u32>::max();
+    bool crosses_south = false;
+    bool crosses_north = false;
+    for (i64 x = 0; x < width; ++x) {
+      const wse::Router& south_tx =
+          routers[static_cast<std::size_t>(row_south * width + x)];
+      const wse::Router& north_tx =
+          routers[static_cast<std::size_t>(row_north * width + x)];
+      for (Color c = 0; c < wse::kNumRoutableColors; ++c) {
+        if (!wse::color_set_contains(injects.injected, c)) continue;
+        if (south_tx.may_transmit(c, wse::Dir::South)) {
+          crosses_south = true;
+          min_words_south = std::min(min_words_south, injects.min_words[c]);
+        }
+        if (north_tx.may_transmit(c, wse::Dir::North)) {
+          crosses_north = true;
+          min_words_north = std::min(min_words_north, injects.min_words[c]);
+        }
+      }
+    }
+    if (crosses_south)
+      table.south[b] = ChannelLookahead::Edge{
+          true, wpc > 0 ? static_cast<f64>(min_words_south) / wpc : 0};
+    if (crosses_north)
+      table.north[b] = ChannelLookahead::Edge{
+          true, wpc > 0 ? static_cast<f64>(min_words_north) / wpc : 0};
+  }
+  return table;
+}
+
+} // namespace fvdf::analysis
+
+namespace fvdf::wse {
+
+ChannelLookahead
+Fabric::plan_channel_lookahead(const ProgramFactory& factory) const {
+  std::vector<analysis::ShardBand> bands;
+  bands.reserve(shards_.size());
+  for (const Shard& shard : shards_)
+    bands.push_back(analysis::ShardBand{shard.row_begin, shard.row_end});
+  return analysis::plan_channel_lookahead(width_, height_, bands, factory,
+                                          timing_, mem_params_);
+}
+
+} // namespace fvdf::wse

@@ -1,0 +1,58 @@
+#pragma once
+// Static channel-lookahead planner for the parallel fabric engine.
+//
+// The engine partitions the PE grid into horizontal shards and, each
+// window round, lets a shard run ahead of its neighbors up to the earliest
+// cycle a neighbor could place a wavelet across their shared boundary.
+// The dynamic half of that bound (per-event row distance x hop latency)
+// the engine computes itself; this pass supplies the static half: for
+// every internal shard boundary and direction, *can* any configured route
+// carry a wavelet across at all, and if so, what is the smallest link
+// batch any crossing message can occupy?
+//
+// The pass instantiates every PE's routing configuration the same way the
+// verifier does — on_start runs against a recording context, never the
+// event loop — and combines three facts:
+//   1. which colors the boundary-row routers can transmit across the
+//      boundary (Router::may_transmit over all switch positions),
+//   2. which colors any PE ever injects (observed on_start sends plus the
+//      declared ProgramManifest), and
+//   3. the declared minimum words per injected color
+//      (ProgramManifest::min_inject_words; observed sends record their
+//      actual lengths).
+// A boundary no injected color can cross is marked non-crossing, which
+// decouples the two shards entirely. Soundness rests on the same contract
+// the verifier documents: routes are fully installed by on_start and
+// task-time sends are declared in the manifest. Programs that break the
+// contract must not install the resulting table (the fabric's default —
+// every boundary crossing-capable at zero cost — is always safe).
+//
+// See docs/simulator.md ("Parallel execution model") for how the engine
+// consumes the table and the full safety argument.
+
+#include <vector>
+
+#include "wse/fabric.hpp"
+#include "wse/program.hpp"
+#include "wse/timing.hpp"
+
+namespace fvdf::analysis {
+
+/// One shard's row band, [row_begin, row_end).
+struct ShardBand {
+  i64 row_begin = 0;
+  i64 row_end = 0;
+};
+
+/// Computes the lookahead table for `factory` on the given shard layout.
+/// Falls back to the fully conservative table (every boundary crossing at
+/// zero minimum batch) if any PE fails to instantiate — the planner never
+/// throws for program bugs; load()/verify() surface those.
+wse::ChannelLookahead
+plan_channel_lookahead(i64 width, i64 height,
+                       const std::vector<ShardBand>& shards,
+                       const wse::ProgramFactory& factory,
+                       const wse::TimingParams& timing,
+                       wse::PeMemoryParams mem = {});
+
+} // namespace fvdf::analysis

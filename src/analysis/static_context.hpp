@@ -1,0 +1,81 @@
+#pragma once
+// Recording PeContext shared by the static analyses (verifier, channel
+// lookahead planner): backs configure_router / memory with the real Router
+// and PeMemory so on_start produces exactly the state the fabric would
+// hold at cycle 0, while sends/recvs/activations are *recorded* into an
+// observed manifest instead of generating events. advance_local is
+// recorded but not applied: the analyses reason about the freshly
+// configured switch positions.
+
+#include "perf/opcount.hpp"
+#include "wse/dsd.hpp"
+#include "wse/memory.hpp"
+#include "wse/program.hpp"
+#include "wse/router.hpp"
+#include "wse/timing.hpp"
+
+namespace fvdf::analysis {
+
+class StaticPeContext final : public wse::PeContext {
+public:
+  StaticPeContext(wse::PeCoord coord, i64 width, i64 height,
+                  wse::Router& router, wse::PeMemory& memory,
+                  const wse::TimingParams& timing)
+      : coord_(coord), width_(width), height_(height), router_(router),
+        memory_(memory), engine_(memory, counters_, timing, cycles_) {}
+
+  wse::PeCoord coord() const override { return coord_; }
+  i64 fabric_width() const override { return width_; }
+  i64 fabric_height() const override { return height_; }
+  wse::PeMemory& memory() override { return memory_; }
+  wse::DsdEngine& dsd() override { return engine_; }
+
+  void configure_router(wse::Color color, wse::ColorConfig config) override {
+    router_.configure(color, std::move(config));
+  }
+
+  void send(wse::Color color, wse::Dsd src, wse::ColorMask advance_after,
+            wse::Color completion) override {
+    observed_.declare_inject(color, src.length);
+    observed_.advances |= advance_after;
+    if (completion != wse::kInvalidColor)
+      observed_.activates |= wse::color_set_bit(completion);
+  }
+
+  void send_control(wse::Color color, wse::ColorMask advance) override {
+    observed_.declare_inject(color, 0);
+    observed_.advances |= advance;
+  }
+
+  void recv(wse::Color color, wse::Dsd, wse::Color completion) override {
+    observed_.handles |= wse::color_set_bit(color);
+    if (completion != wse::kInvalidColor)
+      observed_.activates |= wse::color_set_bit(completion);
+  }
+
+  void activate(wse::Color color) override {
+    observed_.activates |= wse::color_set_bit(color);
+  }
+
+  void advance_local(wse::ColorMask mask) override {
+    observed_.advances |= mask;
+  }
+
+  void halt() override {}
+  f64 now() const override { return cycles_; }
+
+  const wse::ProgramManifest& observed() const { return observed_; }
+
+private:
+  wse::PeCoord coord_;
+  i64 width_;
+  i64 height_;
+  wse::Router& router_;
+  wse::PeMemory& memory_;
+  OpCounters counters_{};
+  f64 cycles_ = 0;
+  wse::DsdEngine engine_;
+  wse::ProgramManifest observed_{};
+};
+
+} // namespace fvdf::analysis

@@ -7,6 +7,7 @@
 #include <string_view>
 #include <utility>
 
+#include "analysis/static_context.hpp"
 #include "common/error.hpp"
 #include "wse/dsd.hpp"
 #include "wse/memory.hpp"
@@ -29,71 +30,6 @@ std::string pe_str(PeCoord pe) {
   os << "PE (" << pe.x << ", " << pe.y << ")";
   return os.str();
 }
-
-/// Recording PeContext: backs configure_router / memory with the real
-/// Router and PeMemory so on_start produces exactly the state the fabric
-/// would hold at cycle 0, while sends/recvs/activations are *recorded*
-/// into an observed manifest instead of generating events. advance_local
-/// is recorded but not applied: the verifier reasons about the freshly
-/// configured switch positions.
-class StaticPeContext final : public wse::PeContext {
-public:
-  StaticPeContext(PeCoord coord, i64 width, i64 height, wse::Router& router,
-                  wse::PeMemory& memory, const wse::TimingParams& timing)
-      : coord_(coord), width_(width), height_(height), router_(router),
-        memory_(memory), engine_(memory, counters_, timing, cycles_) {}
-
-  PeCoord coord() const override { return coord_; }
-  i64 fabric_width() const override { return width_; }
-  i64 fabric_height() const override { return height_; }
-  wse::PeMemory& memory() override { return memory_; }
-  wse::DsdEngine& dsd() override { return engine_; }
-
-  void configure_router(Color color, ColorConfig config) override {
-    router_.configure(color, std::move(config));
-  }
-
-  void send(Color color, wse::Dsd, wse::ColorMask advance_after,
-            Color completion) override {
-    observed_.injects |= wse::color_set_bit(color);
-    observed_.advances |= advance_after;
-    if (completion != wse::kInvalidColor)
-      observed_.activates |= wse::color_set_bit(completion);
-  }
-
-  void send_control(Color color, wse::ColorMask advance) override {
-    observed_.injects |= wse::color_set_bit(color);
-    observed_.advances |= advance;
-  }
-
-  void recv(Color color, wse::Dsd, Color completion) override {
-    observed_.handles |= wse::color_set_bit(color);
-    if (completion != wse::kInvalidColor)
-      observed_.activates |= wse::color_set_bit(completion);
-  }
-
-  void activate(Color color) override {
-    observed_.activates |= wse::color_set_bit(color);
-  }
-
-  void advance_local(wse::ColorMask mask) override { observed_.advances |= mask; }
-
-  void halt() override {}
-  f64 now() const override { return cycles_; }
-
-  const ProgramManifest& observed() const { return observed_; }
-
-private:
-  PeCoord coord_;
-  i64 width_;
-  i64 height_;
-  wse::Router& router_;
-  wse::PeMemory& memory_;
-  OpCounters counters_{};
-  f64 cycles_ = 0;
-  wse::DsdEngine engine_;
-  ProgramManifest observed_{};
-};
 
 /// Everything the checks need per PE, after instantiation.
 struct PeModel {

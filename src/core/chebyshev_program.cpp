@@ -29,6 +29,9 @@ ChebyshevPeProgram::ChebyshevPeProgram(ChebyshevPeConfig config)
   delta_ = 0.5f * (config_.lambda_max - config_.lambda_min);
   sigma_ = theta_ / delta_;
   rho_ = 1.0f / sigma_;
+  // Every halo message carries a full nz-word column; the declared bound
+  // feeds the channel-lookahead planner through the manifest.
+  halo_.declare_column_words(config_.nz);
 }
 
 void ChebyshevPeProgram::on_start(PeContext& ctx) {

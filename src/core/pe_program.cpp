@@ -68,6 +68,9 @@ void CgPeProgram::enter(PeContext& ctx, CgState state) {
 CgPeProgram::CgPeProgram(CgPeConfig config) : config_(std::move(config)) {
   FVDF_CHECK(config_.nz >= 1);
   FVDF_CHECK(config_.init.p0.size() == config_.nz);
+  // Every halo message carries a full nz-word column; the declared bound
+  // feeds the channel-lookahead planner through the manifest.
+  halo_.declare_column_words(config_.nz);
 }
 
 Dsd CgPeProgram::z_view() const {

@@ -247,6 +247,8 @@ DataflowResult solve_dataflow(const FlowProblem& problem, const DataflowConfig& 
                    "static verification rejected the CG device program:\n"
                        << report.summary());
   }
+  if (fabric.shard_count() > 1)
+    fabric.set_channel_lookahead(fabric.plan_channel_lookahead(factory));
   attach_telemetry(fabric, config.telemetry);
   fabric.load(factory);
 
@@ -308,6 +310,8 @@ DataflowResult solve_dataflow_chebyshev(const FlowProblem& problem,
         "static verification rejected the Chebyshev device program:\n"
             << report.summary());
   }
+  if (fabric.shard_count() > 1)
+    fabric.set_channel_lookahead(fabric.plan_channel_lookahead(factory));
   attach_telemetry(fabric, config.telemetry);
   fabric.load(factory);
 

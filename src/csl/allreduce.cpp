@@ -91,19 +91,22 @@ wse::ProgramManifest AllReduce::manifest(wse::PeCoord coord, i64 width,
   const bool bottom = coord.y == height - 1;
 
   wse::ProgramManifest m;
+  // Every all-reduce message is a single f32 partial or result; declaring
+  // the one-word bound lets the lookahead planner charge at least one link
+  // cycle to any boundary these colors cross.
   // Phase 1, row chain eastward: every non-right PE forwards its partial
   // on its parity color; every non-left PE receives the opposite one.
-  if (coord.x < width - 1) m.injects |= color_set_bit(odd_x ? colors_.row_b : colors_.row_a);
+  if (coord.x < width - 1) m.declare_inject(odd_x ? colors_.row_b : colors_.row_a, 1);
   if (coord.x > 0) m.handles |= color_set_bit(odd_x ? colors_.row_a : colors_.row_b);
   // Phase 2, column chain southward on the right-most column only.
   if (right_col && coord.y < height - 1)
-    m.injects |= color_set_bit(odd_y ? colors_.col_b : colors_.col_a);
+    m.declare_inject(odd_y ? colors_.col_b : colors_.col_a, 1);
   if (right_col && coord.y > 0)
     m.handles |= color_set_bit(odd_y ? colors_.col_a : colors_.col_b);
   // Phase 3, broadcast: bottom-right fans out; the right column relays west.
-  if (right_col && bottom && height > 1) m.injects |= color_set_bit(colors_.bcast_col);
+  if (right_col && bottom && height > 1) m.declare_inject(colors_.bcast_col, 1);
   if (right_col && !bottom) m.handles |= color_set_bit(colors_.bcast_col);
-  if (right_col && width > 1) m.injects |= color_set_bit(colors_.bcast_row);
+  if (right_col && width > 1) m.declare_inject(colors_.bcast_row, 1);
   if (!right_col) m.handles |= color_set_bit(colors_.bcast_row);
 
   for (Color done : {colors_.row_done, colors_.col_done, colors_.bcast_col_done,

@@ -86,23 +86,23 @@ wse::ProgramManifest HaloExchange::manifest(wse::PeCoord coord, i64 width,
   // advance) and receives the opposite parity's color. Edge PEs that skip
   // a receive advance the skipped color locally instead.
   if (odd_x) {
-    m.injects |= color_set_bit(colors_.c1);
+    m.declare_inject(colors_.c1, min_column_words_);
     m.advances |= color_bit(colors_.c1);
     m.handles |= color_set_bit(colors_.c2); // west neighbor always exists
     if (coord.x == width - 1) m.advances |= color_bit(colors_.c2); // step-4 skip
   } else {
-    m.injects |= color_set_bit(colors_.c2);
+    m.declare_inject(colors_.c2, min_column_words_);
     m.advances |= color_bit(colors_.c2);
     if (width > 1) m.handles |= color_set_bit(colors_.c1);
     if (coord.x == 0 || coord.x == width - 1) m.advances |= color_bit(colors_.c1);
   }
   if (odd_y) {
-    m.injects |= color_set_bit(colors_.c3);
+    m.declare_inject(colors_.c3, min_column_words_);
     m.advances |= color_bit(colors_.c3);
     m.handles |= color_set_bit(colors_.c4); // north neighbor always exists
     if (coord.y == height - 1) m.advances |= color_bit(colors_.c4);
   } else {
-    m.injects |= color_set_bit(colors_.c4);
+    m.declare_inject(colors_.c4, min_column_words_);
     m.advances |= color_bit(colors_.c4);
     if (height > 1) m.handles |= color_set_bit(colors_.c3);
     if (coord.y == 0 || coord.y == height - 1) m.advances |= color_bit(colors_.c3);

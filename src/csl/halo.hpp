@@ -56,6 +56,12 @@ public:
   /// on_start, once per PE.
   void configure(PeContext& ctx);
 
+  /// Declares the smallest column length any start() will ever send, so
+  /// the manifest can carry a word bound for the channel-lookahead planner
+  /// (see ProgramManifest::min_inject_words). Optional — the default, 0,
+  /// claims nothing. Must hold for every exchange this component runs.
+  void declare_column_words(u32 words) { min_column_words_ = words; }
+
   /// Begins one exchange: sends `column` to all four neighbors and fills
   /// the halo buffers (each must hold column.length words). Buffers of
   /// non-existent neighbors are left untouched.
@@ -89,6 +95,7 @@ private:
   Dir x_face_ = Dir::West; // face being received on X this step
   Dir y_face_ = Dir::South;
   u64 words_sent_ = 0;
+  u32 min_column_words_ = 0; // declared lower bound, see declare_column_words
 };
 
 } // namespace fvdf::csl

@@ -149,7 +149,10 @@ public:
   std::array<f64, kNumPhases> phase_cycles(i64 pe_index) const;
 
 private:
-  struct ShardSlot {
+  // Cache-line aligned: adjacent slots are written concurrently by the
+  // fabric engine's worker threads (one slot per shard), and an unpadded
+  // array would put two shards' append cursors on one line.
+  struct alignas(64) ShardSlot {
     std::vector<PhaseMark> phases;
     std::vector<ProgressSample> progress;
     StreamingHistogram task_cycles;

@@ -6,6 +6,13 @@
 // including a payload refcount bump — once per event. This heap exposes
 // pop() as a move, which on the simulator's hottest path is the difference
 // between one refcount round-trip plus a ~72-byte copy per event and none.
+//
+// It also exposes the underlying storage read-only (items()) so the
+// parallel engine can scan all pending events when computing per-shard
+// channel-lookahead bounds — the minimum over a set is independent of the
+// heap's internal layout, so the scan is deterministic — and a sorted
+// bulk-load (bulk_push) used by the merge barrier: k pre-sorted events
+// append in one shot instead of k element-wise sift-ups.
 
 #include <algorithm>
 #include <vector>
@@ -36,6 +43,33 @@ public:
     items_.pop_back();
     return out;
   }
+
+  /// Moves [first, last) — already sorted ascending under the heap's order
+  /// (i.e. the exact order successive pop()s would return them) — into the
+  /// heap. A sorted ascending array is itself a valid min-heap, so loading
+  /// into an empty heap is a plain append; a large batch relative to the
+  /// current size appends then re-heapifies in O(n); a small batch falls
+  /// back to element-wise pushes (O(k log n)).
+  template <typename It>
+  void bulk_push(It first, It last) {
+    const std::size_t k = static_cast<std::size_t>(std::distance(first, last));
+    if (k == 0) return;
+    if (items_.empty()) {
+      items_.reserve(k);
+      for (It it = first; it != last; ++it) items_.push_back(std::move(*it));
+      return;
+    }
+    if (k >= items_.size() / 4) {
+      items_.reserve(items_.size() + k);
+      for (It it = first; it != last; ++it) items_.push_back(std::move(*it));
+      std::make_heap(items_.begin(), items_.end(), Greater{});
+      return;
+    }
+    for (It it = first; it != last; ++it) push(std::move(*it));
+  }
+
+  /// Read-only view of every pending element, in unspecified (heap) order.
+  const std::vector<T>& items() const { return items_; }
 
   void reserve(std::size_t n) { items_.reserve(n); }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <iterator>
 #include <limits>
 #include <thread>
 
@@ -113,19 +114,40 @@ Fabric::Fabric(i64 width, i64 height, TimingParams timing, PeMemoryParams mem)
 
   // Horizontal strips of rows: with row-major PE indexing each shard owns a
   // contiguous index range, and east-west traffic (the halo-heavy axis of
-  // the solver kernels) stays shard-local.
-  const u32 shard_count = static_cast<u32>(std::min<i64>(height_, kMaxShards));
-  shards_.resize(shard_count);
+  // the solver kernels) stays shard-local. Degenerate (empty) strips are
+  // collapsed at partition time — a shard that owns no rows would still
+  // join every window barrier and skew the lookahead table's boundary
+  // indexing.
+  const u32 target = static_cast<u32>(std::min<i64>(height_, kMaxShards));
+  std::vector<std::pair<i64, i64>> ranges;
+  ranges.reserve(target);
+  for (u32 s = 0; s < target; ++s) {
+    const i64 row_begin = height_ * s / target;
+    const i64 row_end = height_ * (s + 1) / target;
+    if (row_end > row_begin) ranges.emplace_back(row_begin, row_end);
+  }
+  FVDF_CHECK_MSG(!ranges.empty() && ranges.size() <= static_cast<std::size_t>(height_),
+                 "degenerate shard partition: " << ranges.size() << " shards for "
+                                                << height_ << " rows");
+  // Shard holds atomics (SpscChannel) and is neither copyable nor movable:
+  // size the vector once, never resize it.
+  shards_ = std::vector<Shard>(ranges.size());
   row_shard_.resize(static_cast<std::size_t>(height_));
-  for (u32 s = 0; s < shard_count; ++s) {
+  payload_pools_.reserve(ranges.size());
+  for (u32 s = 0; s < static_cast<u32>(ranges.size()); ++s) {
     Shard& shard = shards_[s];
     shard.id = s;
-    shard.row_begin = height_ * s / shard_count;
-    shard.row_end = height_ * (s + 1) / shard_count;
-    shard.outbox.resize(shard_count);
+    shard.row_begin = ranges[s].first;
+    shard.row_end = ranges[s].second;
+    payload_pools_.push_back(std::make_unique<PayloadPool>());
+    shard.payloads = payload_pools_.back().get();
     for (i64 row = shard.row_begin; row < shard.row_end; ++row)
       row_shard_[static_cast<std::size_t>(row)] = s;
   }
+  // Default lookahead: every boundary crossing-capable, no minimum batch.
+  const std::size_t edges = shards_.size() - 1;
+  lookahead_.south.assign(edges, {});
+  lookahead_.north.assign(edges, {});
 }
 
 Fabric::~Fabric() = default;
@@ -134,6 +156,18 @@ void Fabric::set_threads(u32 threads) {
   threads_ = threads == 0
                  ? std::max(1u, std::thread::hardware_concurrency())
                  : threads;
+}
+
+void Fabric::set_channel_lookahead(ChannelLookahead table) {
+  const std::size_t edges = shards_.size() - 1;
+  FVDF_CHECK_MSG(table.south.size() == edges && table.north.size() == edges,
+                 "channel-lookahead table has " << table.south.size() << "/"
+                                                << table.north.size()
+                                                << " edges, fabric has " << edges);
+  for (const auto* side : {&table.south, &table.north})
+    for (const ChannelLookahead::Edge& edge : *side)
+      FVDF_CHECK_MSG(edge.min_batch_cycles >= 0, "negative channel lookahead");
+  lookahead_ = std::move(table);
 }
 
 void Fabric::set_telemetry(telemetry::FabricCollector* collector) {
@@ -167,8 +201,13 @@ void Fabric::push_event(Shard& from, Event&& event) {
     enqueue_local(from, std::move(event));
     return;
   }
-  ++from.outbound_count;
-  from.outbox[dest.id].push_back(Outbound{std::move(event), from.emit_seq++});
+  // Only link hops cross shards, and links connect adjacent rows, so every
+  // crossing lands in a neighboring shard; appending in emission order is
+  // what makes the merge's tie-break (source shard, emission index) exact.
+  FVDF_CHECK_MSG(dest.id == from.id + 1 || dest.id + 1 == from.id,
+                 "cross-shard event skipped a shard");
+  SpscChannel& channel = dest.id == from.id + 1 ? from.out_south : from.out_north;
+  channel.slots.push_back(std::move(event));
 }
 
 Fabric::RunResult Fabric::run(f64 max_cycles) {
@@ -179,10 +218,28 @@ Fabric::RunResult Fabric::run(f64 max_cycles) {
   // run to one worker keeps that count order deterministic.
   const bool faults_active =
       faults_.drop_message_index != 0 || faults_.corrupt_message_index != 0;
-  const u32 workers = faults_active ? 1 : threads_;
-  const bool parallel = workers > 1 && shards_.size() > 1;
-  if (parallel && (!pool_ || pool_->size() != workers))
-    pool_ = std::make_unique<ThreadPool>(workers);
+  // Workers beyond the shard count would own no shard; the clamp (like
+  // every scheduling decision here) is invisible in the results.
+  const u32 workers = faults_active
+                          ? 1
+                          : std::min<u32>(threads_, shard_count());
+  const bool parallel = workers > 1;
+  if (parallel) {
+    if (!pool_ || pool_->size() != workers)
+      pool_ = std::make_unique<FabricWorkerPool>(workers);
+    worker_shards_.clear();
+    for (u32 w = 0; w < workers; ++w)
+      worker_shards_.emplace_back(shard_count() * w / workers,
+                                  shard_count() * (w + 1) / workers);
+  }
+
+  last_run_rounds_ = 0;
+  // Force a fresh bound pass: timing parameters and the lookahead table may
+  // have changed since the cached bounds were computed.
+  for (Shard& shard : shards_) {
+    shard.dirty = true;
+    update_shard_bounds(shard);
+  }
 
   // Note: the loop drains the queues even after every PE has halted —
   // in-flight wavelets keep moving through the fabric (and into the stats)
@@ -190,45 +247,38 @@ Fabric::RunResult Fabric::run(f64 max_cycles) {
   try {
     for (;;) {
       f64 tmin = kInfCycles;
-      for (const Shard& shard : shards_)
-        if (!shard.events.empty()) tmin = std::min(tmin, shard.events.top().t);
+      for (const Shard& shard : shards_) tmin = std::min(tmin, shard.tmin);
       if (tmin == kInfCycles) break; // drained
       if (tmin > max_cycles) {
         result.hit_cycle_limit = true;
         break;
       }
-
-      f64 horizon;
-      if (shards_.size() == 1) {
-        // Single shard: no cross-shard causality to respect, drain freely.
-        horizon = kInfCycles;
-      } else {
-        // Conservative lookahead: any event a shard generates for another
-        // shard travels over a cardinal link, so it lands at least one
-        // router hop after its cause. Everything below the horizon is safe
-        // to process without seeing the other shards.
-        const f64 lookahead = std::max(0.0, timing_.hop_latency_cycles);
-        horizon = tmin + lookahead;
-        if (!(horizon > tmin))
-          horizon = std::nextafter(tmin, kInfCycles);
-      }
+      compute_horizons(tmin);
+      ++last_run_rounds_;
 
       if (parallel) {
-        pool_->for_each_index(shards_.size(), [&](std::size_t i) {
-          process_window(shards_[i], horizon, max_cycles);
+        pool_->run_round([&](u32 worker, u32 phase) {
+          const auto [begin, end] = worker_shards_[worker];
+          for (u32 s = begin; s < end; ++s) {
+            if (phase == 0)
+              round_phase_a(shards_[s], max_cycles);
+            else
+              round_phase_b(shards_[s]);
+          }
         });
       } else {
-        for (Shard& shard : shards_) process_window(shard, horizon, max_cycles);
+        for (Shard& shard : shards_) round_phase_a(shard, max_cycles);
+        for (Shard& shard : shards_) round_phase_b(shard);
       }
-      exchange_and_merge();
+      if (trace_) flush_traces();
     }
   } catch (...) {
     // Surface whatever the window produced before the throw (kernel
     // FVDF_CHECKs propagate to the caller, as in the serial engine).
-    flush_traces();
+    if (trace_) flush_traces();
     throw;
   }
-  flush_traces();
+  if (trace_) flush_traces();
 
   stats_ = FabricStats{};
   now_ = 0;
@@ -251,52 +301,201 @@ Fabric::RunResult Fabric::run(f64 max_cycles) {
   return result;
 }
 
+void Fabric::compute_horizons(f64 tmin_global) {
+  // A shard may process everything strictly below the earliest cycle at
+  // which a neighbor's pending work could possibly place a wavelet across
+  // their shared boundary (the neighbor's emission bound, maintained by
+  // update_shard_bounds). Horizons are a function of the event state, the
+  // geometry and the lookahead table only — never of the worker count —
+  // which is the determinism argument in one sentence.
+  const std::size_t n = shards_.size();
+  const f64 hop = timing_.hop_latency_cycles;
+  // Per-shard emission bounds only see the shard's own heap, but causality
+  // chains hop shard to shard: an event two shards north can cross into
+  // this one after cascading through the neighbor. Propagate bounds
+  // transitively with a min-plus sweep in each direction — crossing into a
+  // shard and out the far side costs at least one hop per owned row plus
+  // the far boundary's minimum batch. Without this, a drained shard would
+  // report an infinite bound and let its far neighbor run ahead of a
+  // cascade that is still working its way down the chain (e.g. the
+  // all-reduce column walk, which empties every other shard).
+  south_reach_.assign(n, kInfCycles);
+  north_reach_.assign(n, kInfCycles);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Shard& shard = shards_[i];
+    if (i + 1 == n) break;
+    if (!lookahead_.south[i].crosses) continue; // nothing can ever cross
+    const f64 transit = static_cast<f64>(shard.row_end - shard.row_begin) * hop +
+                        lookahead_.south[i].min_batch_cycles;
+    f64 reach = shard.bound_south;
+    if (i > 0) reach = std::min(reach, south_reach_[i - 1] + transit);
+    south_reach_[i] = reach;
+  }
+  for (std::size_t i = n; i-- > 0;) {
+    const Shard& shard = shards_[i];
+    if (i == 0) break;
+    if (!lookahead_.north[i - 1].crosses) continue;
+    const f64 transit = static_cast<f64>(shard.row_end - shard.row_begin) * hop +
+                        lookahead_.north[i - 1].min_batch_cycles;
+    f64 reach = shard.bound_north;
+    if (i + 1 < n) reach = std::min(reach, north_reach_[i + 1] + transit);
+    north_reach_[i] = reach;
+  }
+  bool progress = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    f64 horizon = kInfCycles;
+    if (i > 0) horizon = std::min(horizon, south_reach_[i - 1]);
+    if (i + 1 < n) horizon = std::min(horizon, north_reach_[i + 1]);
+    shards_[i].horizon = horizon;
+    progress |= shards_[i].tmin < horizon;
+  }
+  if (progress) return;
+  // Degenerate timing (zero hop latency) can pin every bound to the global
+  // minimum. Processing the globally earliest event is always safe; open
+  // the window a representable sliver for exactly the shards that hold it.
+  const f64 bumped = std::nextafter(tmin_global, kInfCycles);
+  for (Shard& shard : shards_)
+    if (shard.tmin == tmin_global) shard.horizon = std::max(shard.horizon, bumped);
+}
+
+void Fabric::round_phase_a(Shard& shard, f64 max_cycles) {
+  process_window(shard, shard.horizon, max_cycles);
+  shard.out_north.publish();
+  shard.out_south.publish();
+}
+
+void Fabric::round_phase_b(Shard& shard) {
+  merge_inbound(shard);
+  update_shard_bounds(shard);
+}
+
 void Fabric::process_window(Shard& shard, f64 horizon, f64 max_cycles) {
+  bool any = false;
   while (!shard.events.empty()) {
     const Event& top = shard.events.top();
     if (top.t >= horizon || top.t > max_cycles) break;
     Event event = shard.events.pop();
     shard.now = std::max(shard.now, event.t);
     ++shard.stats.events_processed;
+    any = true;
     switch (event.kind) {
     case EventKind::FlitArrive: handle_flit_arrive(shard, std::move(event)); break;
     case EventKind::TaskStart: handle_task_start(shard, event); break;
     }
   }
+  // A shard idle up to its horizon leaves the heap untouched: its bounds
+  // stay valid and phase B skips the rescan entirely (adaptive fast path).
+  if (any) shard.dirty = true;
 }
 
-void Fabric::exchange_and_merge() {
-  u64 outbound = 0;
-  for (const Shard& shard : shards_) outbound += shard.outbound_count;
-  if (outbound != 0) {
-    for (Shard& dest : shards_) {
-      // Gather source-major (each outbox already in emission order), then
-      // stable-sort by time: ties resolve to (source shard, emission
-      // index) — a total order independent of the thread count.
-      merge_scratch_.clear();
-      for (const Shard& src : shards_)
-        for (const Outbound& out : src.outbox[dest.id])
-          merge_scratch_.push_back(&out);
-      if (merge_scratch_.empty()) continue;
-      std::stable_sort(merge_scratch_.begin(), merge_scratch_.end(),
-                       [](const Outbound* a, const Outbound* b) {
-                         return a->event.t < b->event.t;
-                       });
-      for (const Outbound* out : merge_scratch_)
-        enqueue_local(dest, std::move(const_cast<Outbound*>(out)->event));
-      for (Shard& src : shards_) src.outbox[dest.id].clear();
-    }
-    for (Shard& shard : shards_) shard.outbound_count = 0;
+void Fabric::merge_inbound(Shard& dest) {
+  SpscChannel* from_north =
+      dest.id > 0 ? &shards_[dest.id - 1].out_south : nullptr;
+  SpscChannel* from_south =
+      dest.id + 1 < shards_.size() ? &shards_[dest.id + 1].out_north : nullptr;
+  const u32 n_north =
+      from_north ? from_north->published.load(std::memory_order_acquire) : 0;
+  const u32 n_south =
+      from_south ? from_south->published.load(std::memory_order_acquire) : 0;
+  if (n_north + n_south == 0) return;
+
+  // Gather source-major (each channel already in emission order), then
+  // stable-sort by time: ties resolve to (source shard, emission index) — a
+  // total order independent of the thread count.
+  dest.merge_scratch.clear();
+  for (u32 i = 0; i < n_north; ++i)
+    dest.merge_scratch.push_back(&from_north->slots[i]);
+  for (u32 i = 0; i < n_south; ++i)
+    dest.merge_scratch.push_back(&from_south->slots[i]);
+  std::stable_sort(dest.merge_scratch.begin(), dest.merge_scratch.end(),
+                   [](const Event* a, const Event* b) { return a->t < b->t; });
+
+  // Sequence in merged order, then bulk-load: the staging buffer is sorted
+  // ascending under the heap's comparator, so an empty heap absorbs it with
+  // no sift work at all and a busy one with a single make_heap.
+  dest.merge_sorted.clear();
+  dest.merge_sorted.reserve(n_north + n_south);
+  for (Event* event : dest.merge_scratch) {
+    event->seq = dest.next_seq++;
+    dest.merge_sorted.push_back(std::move(*event));
   }
-  flush_traces();
+  dest.events.bulk_push(std::make_move_iterator(dest.merge_sorted.begin()),
+                        std::make_move_iterator(dest.merge_sorted.end()));
+  dest.dirty = true;
+
+  if (from_north) {
+    from_north->slots.clear();
+    from_north->published.store(0, std::memory_order_relaxed);
+  }
+  if (from_south) {
+    from_south->slots.clear();
+    from_south->published.store(0, std::memory_order_relaxed);
+  }
+}
+
+void Fabric::update_shard_bounds(Shard& shard) {
+  if (!shard.dirty) return;
+  shard.dirty = false;
+  shard.tmin = shard.events.empty() ? kInfCycles : shard.events.top().t;
+
+  const bool has_north = shard.id > 0;
+  const bool has_south = shard.id + 1 < shards_.size();
+  const ChannelLookahead::Edge edge_north =
+      has_north ? lookahead_.north[shard.id - 1] : ChannelLookahead::Edge{false, 0};
+  const ChannelLookahead::Edge edge_south =
+      has_south ? lookahead_.south[shard.id] : ChannelLookahead::Edge{false, 0};
+  f64 bound_north = kInfCycles;
+  f64 bound_south = kInfCycles;
+  if (!shard.events.empty() && (edge_north.crosses || edge_south.crosses)) {
+    const f64 hop = timing_.hop_latency_cycles;
+    const f64 dispatch = timing_.task_dispatch_cycles;
+    // Emission bound of one pending event toward a boundary `d` row-hops
+    // away whose slowest-possible crossing takes min_batch link cycles.
+    // Every causal chain out of the event either re-forwards its own flit
+    // (one hop_latency + its own batch time per row), releases a parked
+    // flit via its trailing control (batch unknown, but >= the boundary
+    // minimum when it crosses), or passes through a task dispatch before
+    // any new wavelet exists. Conservative in every case; see
+    // docs/simulator.md for the induction.
+    const auto emission_bound = [&](const Event& e, f64 d, f64 min_batch,
+                                    f64 own_batch) {
+      f64 c = e.t + d * hop + min_batch;
+      if (e.kind == EventKind::TaskStart) return c + dispatch;
+      if (e.flit.advance_after != 0) return c;
+      return c + std::min(std::max(d * own_batch - min_batch, 0.0), dispatch);
+    };
+    // No contribution can undercut the earliest event crossing the nearest
+    // row: once both bounds touch their floor the scan can stop.
+    const f64 floor_north = shard.tmin + hop + edge_north.min_batch_cycles;
+    const f64 floor_south = shard.tmin + hop + edge_south.min_batch_cycles;
+    bool want_north = edge_north.crosses;
+    bool want_south = edge_south.crosses;
+    for (const Event& e : shard.events.items()) {
+      if (!want_north && !want_south) break;
+      const i64 row = e.pe_index / width_;
+      const f64 own_batch =
+          e.kind == EventKind::FlitArrive && e.flit.data
+              ? static_cast<f64>(e.flit.data->size()) / timing_.words_per_cycle_link
+              : 0;
+      if (want_north) {
+        const f64 d = static_cast<f64>(row - shard.row_begin + 1);
+        bound_north = std::min(
+            bound_north, emission_bound(e, d, edge_north.min_batch_cycles, own_batch));
+        if (bound_north <= floor_north) want_north = false;
+      }
+      if (want_south) {
+        const f64 d = static_cast<f64>(shard.row_end - row);
+        bound_south = std::min(
+            bound_south, emission_bound(e, d, edge_south.min_batch_cycles, own_batch));
+        if (bound_south <= floor_south) want_south = false;
+      }
+    }
+  }
+  shard.bound_north = bound_north;
+  shard.bound_south = bound_south;
 }
 
 void Fabric::flush_traces() {
-  if (!trace_) {
-    for (Shard& shard : shards_)
-      if (!shard.trace.empty()) shard.trace.clear();
-    return;
-  }
   trace_scratch_.clear();
   for (Shard& shard : shards_) {
     trace_scratch_.insert(trace_scratch_.end(), shard.trace.begin(),
@@ -496,7 +695,7 @@ void Fabric::ctx_send(Shard& shard, Pe& pe, Color color, Dsd src,
                       ColorMask advance_after, Color completion, f64& cursor) {
   check_routable(color);
   FVDF_CHECK_MSG(src.length > 0, "empty send");
-  PayloadRef payload = payload_pool_.acquire(src.length);
+  PayloadRef payload = shard.payloads->acquire(src.length);
   {
     std::vector<f32>& words = payload.mutate();
     if (src.stride == 1) {

@@ -15,21 +15,25 @@
 // Execution engine (docs/simulator.md, "Parallel execution model"): the PE
 // grid is partitioned into horizontal shards — a pure function of the
 // fabric geometry, never of the thread count — each owning the event
-// queue, statistics and trace buffer of its rows. run() is a conservative
-// time-windowed parallel DES: the minimum cross-shard propagation delay
-// (one router hop) is a safe lookahead, so each round every shard
-// processes its events up to `min_event_time + lookahead` independently,
-// and boundary-crossing flits are exchanged at a deterministic merge
-// barrier ordered by (time, source shard, emission index). Results —
-// memory contents, FabricStats, trace streams — are bitwise identical at
-// any thread count, including 1.
+// queue, payload arena, statistics and trace buffer of its rows. run() is
+// a conservative parallel DES in the Chandy–Misra channel-lookahead
+// family: each round every shard processes events below its own horizon,
+// derived from its neighbors' per-event emission bounds (earliest cycle a
+// neighbor's pending work could place a wavelet across the boundary) and
+// the static channel-lookahead table (which colors can cross each shard
+// boundary at all, see set_channel_lookahead). Boundary-crossing flits
+// travel through per-shard-pair SPSC channels and merge at a
+// deterministic barrier ordered by (time, source shard, emission index).
+// Results — memory contents, FabricStats, trace streams — are bitwise
+// identical at any thread count, including 1, because the round schedule
+// depends only on the event state, never on the worker count.
 
 #include <array>
+#include <atomic>
 #include <deque>
 #include <memory>
 #include <vector>
 
-#include "common/thread_pool.hpp"
 #include "common/types.hpp"
 #include "perf/opcount.hpp"
 #include "wse/color.hpp"
@@ -42,6 +46,7 @@
 #include "wse/router.hpp"
 #include "wse/timing.hpp"
 #include "wse/trace.hpp"
+#include "wse/worker_pool.hpp"
 
 namespace fvdf::analysis {
 struct VerifyReport;
@@ -72,6 +77,26 @@ struct PeMemoryParams {
   u64 reserved_bytes = 2048; // models program text + stack
 };
 
+/// Static per-boundary lookahead information for the parallel engine. One
+/// entry per internal shard boundary b (between shards b and b+1);
+/// `south[b]` covers wavelets crossing downward (shard b into b+1),
+/// `north[b]` upward (b+1 into b). `crosses = false` proves no configured
+/// route carries any color over that boundary in that direction, which
+/// decouples the two shards entirely (infinite lookahead);
+/// `min_batch_cycles` is a proven lower bound on the link-transfer time of
+/// any crossing wavelet (0 when unknown). The default table — every
+/// boundary crossing-capable with zero minimum batch — is always safe;
+/// Fabric::plan_channel_lookahead (src/analysis/) computes a tighter one
+/// from the program's static route set.
+struct ChannelLookahead {
+  struct Edge {
+    bool crosses = true;
+    f64 min_batch_cycles = 0;
+  };
+  std::vector<Edge> south; // size shard_count - 1
+  std::vector<Edge> north; // size shard_count - 1
+};
+
 class Fabric {
 public:
   Fabric(i64 width, i64 height, TimingParams timing = {}, PeMemoryParams mem = {});
@@ -94,6 +119,23 @@ public:
   /// fvdf_analysis to use it); see docs/static_verification.md.
   analysis::VerifyReport verify(const ProgramFactory& factory) const;
 
+  /// Computes the channel-lookahead table for `factory` on this fabric's
+  /// shard layout by instantiating every PE's routing configuration
+  /// statically (the same recording pass the verifier uses — on_start runs
+  /// against a recording context, never the event loop). Sound under the
+  /// same contract the verifier documents: routing tables are fully
+  /// installed by on_start, and task-time sends are declared in the
+  /// ProgramManifest. Defined in src/analysis/ (link fvdf_analysis);
+  /// install the result with set_channel_lookahead before run().
+  ChannelLookahead plan_channel_lookahead(const ProgramFactory& factory) const;
+
+  /// Installs a channel-lookahead table (see ChannelLookahead). Must match
+  /// this fabric's shard layout; entries only ever tighten the engine's
+  /// built-in one-hop bound, so an inaccurate table can cost determinism —
+  /// only install tables computed for the loaded program.
+  void set_channel_lookahead(ChannelLookahead table);
+  const ChannelLookahead& channel_lookahead() const { return lookahead_; }
+
   struct RunResult {
     f64 cycles = 0;       // simulated time at completion
     bool all_halted = false;
@@ -105,14 +147,23 @@ public:
   RunResult run(f64 max_cycles = 1e15);
 
   /// Sets the number of worker threads run() may use (0 = hardware
-  /// concurrency, 1 = serial; the default). The thread count never changes
-  /// results: the shard schedule depends only on the fabric geometry.
+  /// concurrency, 1 = serial; the default). Thread counts beyond
+  /// shard_count() are clamped — extra workers would own no shard. The
+  /// thread count never changes results: the round schedule depends only
+  /// on the fabric geometry and event state.
   void set_threads(u32 threads);
   u32 threads() const { return threads_; }
 
   /// Number of spatial shards the engine partitioned this fabric into — a
   /// function of the grid, not of threads (for tests and diagnostics).
+  /// Never exceeds height(): degenerate empty shards are collapsed at
+  /// partition time.
   u32 shard_count() const { return static_cast<u32>(shards_.size()); }
+
+  /// Window rounds (merge barriers) the last run() executed — a
+  /// determinism-safe diagnostic: identical at any thread count. A fabric
+  /// whose shards never exchange traffic drains in a single round.
+  u64 last_run_rounds() const { return last_run_rounds_; }
 
   // --- host-side access (the "memcpy" path: the host can read and write PE
   // memory only between runs, like the SDK's memcpy infrastructure). All
@@ -234,30 +285,50 @@ private:
     }
   };
 
-  // A boundary-crossing event awaiting the merge barrier. emit_seq orders
-  // emissions of one source shard; together with the source shard id it
-  // gives cross-shard arrivals a deterministic total order.
-  struct Outbound {
-    Event event;
-    u64 emit_seq = 0;
+  /// Single-producer single-consumer hand-off of one window's
+  /// boundary-crossing events between two adjacent shards. The source
+  /// shard's worker appends during the processing phase (storage persists
+  /// across windows — no per-window allocation once warm) and publishes
+  /// the count with a release store at phase end; the destination shard's
+  /// worker acquires it in the merge phase, drains in emission order, and
+  /// resets. The two phases are barrier-separated, so producer and
+  /// consumer never touch the slots concurrently.
+  struct SpscChannel {
+    std::vector<Event> slots;
+    std::atomic<u32> published{0};
+
+    void publish() {
+      if (!slots.empty())
+        published.store(static_cast<u32>(slots.size()), std::memory_order_release);
+    }
   };
 
   /// One spatial tile of the fabric: a contiguous band of PE rows with its
-  /// own event queue, sequence counters, statistics, outboxes and trace
-  /// buffer. Shards only ever touch their own rows' state during a window.
-  struct Shard {
+  /// own event queue, sequence counter, statistics, payload arena,
+  /// outbound channels and trace buffer. Shards only ever touch their own
+  /// rows' state during a window; padding keeps neighboring shards' hot
+  /// counters off each other's cache lines.
+  struct alignas(64) Shard {
     u32 id = 0;
     i64 row_begin = 0;
     i64 row_end = 0;
     EventHeap<Event, EventOrder> events;
     u64 next_seq = 0; // orders events within this shard
-    u64 emit_seq = 0; // orders this shard's cross-shard emissions
-    u64 outbound_count = 0; // events parked in outboxes this window
     f64 now = 0;
     i64 halted = 0;
     FabricStats stats;
-    std::vector<std::vector<Outbound>> outbox; // indexed by destination shard
-    std::vector<TraceRecord> trace;            // window-local
+    PayloadPool* payloads = nullptr;    // this shard's arena (see payload_pools_)
+    SpscChannel out_north;              // emissions into shard id-1 this window
+    SpscChannel out_south;              // emissions into shard id+1 this window
+    std::vector<TraceRecord> trace;     // window-local
+    std::vector<Event*> merge_scratch;  // merge-phase gather/sort buffer
+    std::vector<Event> merge_sorted;    // merge-phase bulk-load staging
+    // Engine scheduling state, recomputed after every merge:
+    f64 tmin = 0;        // earliest pending event time (+inf when drained)
+    f64 bound_north = 0; // earliest cycle pending work could reach shard id-1
+    f64 bound_south = 0; // ... shard id+1
+    f64 horizon = 0;     // this round's processing horizon (set by the driver)
+    bool dirty = true;   // heap changed since bounds were last computed
   };
 
   i64 pe_index(i64 x, i64 y) const { return y * width_ + x; }
@@ -269,14 +340,24 @@ private:
 
   /// Routes `event` from code running inside `from`: same-shard events
   /// enter the local queue immediately, boundary-crossing events park in
-  /// the outbox until the merge barrier.
+  /// the outbound channel until the merge barrier.
   void push_event(Shard& from, Event&& event);
   void enqueue_local(Shard& shard, Event&& event);
 
+  // One engine round: every shard processes its window (phase A), then
+  // every shard merges the traffic it received and refreshes its lookahead
+  // bounds (phase B). compute_horizons runs between rounds on the driver
+  // thread. All of it is deterministic — horizons are a function of the
+  // event state and the lookahead table only.
+  void compute_horizons(f64 tmin_global);
+  void round_phase_a(Shard& shard, f64 max_cycles);
+  void round_phase_b(Shard& shard);
   void process_window(Shard& shard, f64 horizon, f64 max_cycles);
-  /// Barrier: moves every outbox into its destination shard's queue in
-  /// (t, source shard, emission index) order, then flushes traces.
-  void exchange_and_merge();
+  /// Merge half of the barrier: drains the neighbors' channels toward
+  /// `dest` in (t, source shard, emission index) order via a sorted
+  /// bulk-load into the event heap.
+  void merge_inbound(Shard& dest);
+  void update_shard_bounds(Shard& shard);
   void flush_traces();
 
   void handle_flit_arrive(Shard& shard, Event&& event);
@@ -317,16 +398,23 @@ private:
   u64 injected_data_messages_ = 0;
   TimingParams timing_;
   PeMemoryParams mem_params_;
-  // The payload pool outlives everything holding PayloadRefs (PEs' parked
-  // flits, shard queues): keep it declared first.
-  PayloadPool payload_pool_;
+  // Payload arenas (one per shard) outlive everything holding PayloadRefs
+  // (PEs' parked flits, shard queues, channels): keep them declared first.
+  std::vector<std::unique_ptr<PayloadPool>> payload_pools_;
   std::vector<std::unique_ptr<Pe>> pes_;
   std::vector<u32> row_shard_; // PE row -> shard id
   std::vector<Shard> shards_;
-  std::vector<const Outbound*> merge_scratch_;
+  ChannelLookahead lookahead_;
+  std::vector<std::pair<u32, u32>> worker_shards_; // worker -> [begin, end)
+  // Transitively propagated emission bounds (compute_horizons scratch):
+  // south_reach_[i] bounds when anything can next cross boundary i -> i+1,
+  // accounting for cascades arriving from shards north of i (and mirrored).
+  std::vector<f64> south_reach_;
+  std::vector<f64> north_reach_;
   std::vector<TraceRecord> trace_scratch_;
-  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<FabricWorkerPool> pool_; // persists across run() calls
   u32 threads_ = 1;
+  u64 last_run_rounds_ = 0;
   f64 now_ = 0;
   FabricStats stats_;
   bool loaded_ = false;

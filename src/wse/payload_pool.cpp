@@ -20,7 +20,11 @@ std::vector<f32>& PayloadRef::mutate() {
 }
 
 PayloadPool::~PayloadPool() {
-  detail::PayloadNode* node = free_;
+  delete_list(local_free_);
+  delete_list(remote_free_.load(std::memory_order_acquire));
+}
+
+void PayloadPool::delete_list(detail::PayloadNode* node) {
   while (node != nullptr) {
     detail::PayloadNode* next = node->next;
     delete node;
@@ -29,16 +33,13 @@ PayloadPool::~PayloadPool() {
 }
 
 PayloadRef PayloadPool::acquire(std::size_t reserve_words) {
-  detail::PayloadNode* node = nullptr;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (free_ != nullptr) {
-      node = free_;
-      free_ = node->next;
-      --free_count_;
-    }
-  }
-  if (node == nullptr) {
+  if (local_free_ == nullptr)
+    local_free_ = remote_free_.exchange(nullptr, std::memory_order_acquire);
+  detail::PayloadNode* node = local_free_;
+  if (node != nullptr) {
+    local_free_ = node->next;
+    free_count_.fetch_sub(1, std::memory_order_relaxed);
+  } else {
     node = new detail::PayloadNode;
     node->pool = this;
   }
@@ -49,16 +50,15 @@ PayloadRef PayloadPool::acquire(std::size_t reserve_words) {
   return PayloadRef(node);
 }
 
-std::size_t PayloadPool::free_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return free_count_;
-}
-
 void PayloadPool::recycle(detail::PayloadNode* node) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  node->next = free_;
-  free_ = node;
-  ++free_count_;
+  // Push-only Treiber stack: safe from any thread, immune to ABA (nothing
+  // pops concurrently — the owner claims the whole stack at once).
+  detail::PayloadNode* head = remote_free_.load(std::memory_order_relaxed);
+  do {
+    node->next = head;
+  } while (!remote_free_.compare_exchange_weak(
+      head, node, std::memory_order_release, std::memory_order_relaxed));
+  free_count_.fetch_add(1, std::memory_order_relaxed);
 }
 
 } // namespace fvdf::wse

@@ -7,14 +7,21 @@
 // capacity and all — through an intrusive free list, and replaces
 // shared_ptr with an intrusive refcount, so a steady-state send costs no
 // allocation at all and a broadcast fan-out costs one atomic increment
-// instead of a control-block bump through a separate cache line. The
-// refcount is atomic because copies of one payload can be released
-// concurrently from different shards of the parallel engine; the free
-// list takes a mutex only on acquire and final release.
+// instead of a control-block bump through a separate cache line.
+//
+// Ownership discipline (the parallel engine gives every shard its own
+// pool): acquire() is single-consumer — only the owning shard's worker
+// thread calls it, so the local free list needs no synchronization at
+// all. Releases, by contrast, can come from any thread (a payload sent
+// south is freed by the neighbor shard that delivered it), so the final
+// release pushes the node onto a lock-free multi-producer stack
+// (push-only CAS: no ABA) that the owner drains wholesale — one
+// exchange(nullptr) — when its local list runs dry. The mutex the seed
+// pool took on every acquire and release is gone from the hot path
+// entirely.
 
 #include <atomic>
 #include <cstddef>
-#include <mutex>
 #include <vector>
 
 #include "common/types.hpp"
@@ -33,7 +40,8 @@ struct PayloadNode {
 } // namespace detail
 
 /// Shared handle to a pooled payload buffer. Copying bumps an intrusive
-/// refcount; destroying the last reference returns the buffer to its pool.
+/// refcount; destroying the last reference returns the buffer to its pool
+/// (thread-safe: the release path is lock-free).
 class PayloadRef {
 public:
   PayloadRef() = default;
@@ -78,18 +86,24 @@ public:
 
   /// Returns an empty buffer with at least `reserve_words` capacity and a
   /// refcount of one. Reuses a recycled buffer when one is available.
+  /// Single-consumer: only the pool's owning thread may call this.
   PayloadRef acquire(std::size_t reserve_words);
 
-  /// Buffers currently parked in the free list (diagnostics/tests).
-  std::size_t free_count() const;
+  /// Buffers currently parked in the free lists (diagnostics/tests; exact
+  /// only while no release is in flight on another thread).
+  std::size_t free_count() const {
+    return free_count_.load(std::memory_order_relaxed);
+  }
 
 private:
   friend class PayloadRef;
-  void recycle(detail::PayloadNode* node);
+  void recycle(detail::PayloadNode* node); // any thread
 
-  mutable std::mutex mutex_;
-  detail::PayloadNode* free_ = nullptr;
-  std::size_t free_count_ = 0;
+  static void delete_list(detail::PayloadNode* node);
+
+  detail::PayloadNode* local_free_ = nullptr;            // owner thread only
+  std::atomic<detail::PayloadNode*> remote_free_{nullptr}; // MPSC stack
+  std::atomic<std::size_t> free_count_{0};
 };
 
 } // namespace fvdf::wse

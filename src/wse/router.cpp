@@ -70,6 +70,15 @@ bool Router::accepts(Color color, Dir from) const {
   return state.config.positions[state.current].rx.contains(from);
 }
 
+bool Router::may_transmit(Color color, Dir dir) const {
+  check_routable(color);
+  const auto& state = colors_[color];
+  if (!state.configured) return false;
+  for (const SwitchPosition& pos : state.config.positions)
+    if (pos.tx.contains(dir)) return true;
+  return false;
+}
+
 void Router::advance(ColorMask mask) {
   for (Color color = 0; color < kNumRoutableColors; ++color) {
     if ((mask & color_bit(color)) == 0) continue;

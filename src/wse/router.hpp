@@ -60,6 +60,12 @@ public:
   /// parking and re-dispatching the flit).
   bool accepts(Color color, Dir from) const;
 
+  /// True when *any* installed switch position of `color` can transmit on
+  /// `dir` — a reachability over-approximation for static analyses (the
+  /// channel-lookahead planner asks which colors can cross a shard
+  /// boundary at all). False for unconfigured colors.
+  bool may_transmit(Color color, Dir dir) const;
+
   /// Advances the switch position of every color in `mask` (control
   /// wavelet semantics / fabric_control writes). Without ring_mode the
   /// position saturates at the last one.

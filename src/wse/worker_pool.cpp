@@ -1,0 +1,108 @@
+#include "wse/worker_pool.hpp"
+
+namespace fvdf::wse {
+
+namespace {
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Spinning only pays when every worker owns a core; oversubscribed hosts
+/// (CI containers, laptops under load) are better off parking immediately.
+u32 pick_spin_iters(u32 workers) {
+  const u32 hw = std::thread::hardware_concurrency();
+  return (hw != 0 && workers <= hw) ? 256 : 0;
+}
+
+} // namespace
+
+void SpinBarrier::arrive_and_wait() {
+  const u32 sense = sense_.load(std::memory_order_relaxed);
+  if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+    arrived_.store(0, std::memory_order_relaxed);
+    sense_.store(sense + 1, std::memory_order_release);
+    sense_.notify_all();
+    return;
+  }
+  for (u32 i = 0; i < spin_iters_; ++i) {
+    if (sense_.load(std::memory_order_acquire) != sense) return;
+    cpu_relax();
+  }
+  u32 cur = sense_.load(std::memory_order_acquire);
+  while (cur == sense) {
+    sense_.wait(cur, std::memory_order_acquire);
+    cur = sense_.load(std::memory_order_acquire);
+  }
+}
+
+FabricWorkerPool::FabricWorkerPool(u32 workers)
+    : workers_(workers), barrier_(workers, pick_spin_iters(workers)) {
+  threads_.reserve(workers_ - 1);
+  for (u32 id = 1; id < workers_; ++id)
+    threads_.emplace_back([this, id] { worker_loop(id); });
+}
+
+FabricWorkerPool::~FabricWorkerPool() {
+  stop_.store(true, std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_release);
+  epoch_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void FabricWorkerPool::run_round(const PhaseFn& fn) {
+  fn_ = &fn;
+  epoch_.fetch_add(1, std::memory_order_release);
+  epoch_.notify_all();
+  run_phases(0);
+  if (error_) {
+    std::exception_ptr error = error_;
+    error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+void FabricWorkerPool::worker_loop(u32 id) {
+  u64 seen = 0;
+  for (;;) {
+    u64 epoch = epoch_.load(std::memory_order_acquire);
+    while (epoch == seen) {
+      epoch_.wait(epoch, std::memory_order_acquire);
+      epoch = epoch_.load(std::memory_order_acquire);
+    }
+    seen = epoch;
+    if (stop_.load(std::memory_order_relaxed)) return;
+    run_phases(id);
+  }
+}
+
+void FabricWorkerPool::run_phases(u32 id) {
+  // Both phases always reach both barriers, exception or not, so a throw
+  // in one worker's window can never deadlock the others.
+  const PhaseFn& fn = *fn_;
+  try {
+    fn(id, 0);
+  } catch (...) {
+    record_error();
+  }
+  barrier_.arrive_and_wait();
+  try {
+    fn(id, 1);
+  } catch (...) {
+    record_error();
+  }
+  barrier_.arrive_and_wait();
+}
+
+void FabricWorkerPool::record_error() {
+  std::lock_guard<std::mutex> lock(error_mutex_);
+  if (!error_) error_ = std::current_exception();
+}
+
+} // namespace fvdf::wse

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <functional>
 #include <thread>
@@ -56,9 +57,12 @@ core::DataflowResult solve_with_threads(u32 threads) {
 
 TEST(ParallelFabric, SolveIsBitwiseIdenticalAcrossThreadCounts) {
   const auto reference = solve_with_threads(1);
-  std::vector<u32> counts = {2, 4};
+  // Odd counts leave workers with unequal shard ranges; 32 exceeds the
+  // shard count (12) and must be clamped invisibly.
+  std::vector<u32> counts = {2, 3, 4, 7, 32};
   const u32 hw = std::max(1u, std::thread::hardware_concurrency());
-  if (hw != 2 && hw != 4) counts.push_back(hw);
+  if (std::find(counts.begin(), counts.end(), hw) == counts.end())
+    counts.push_back(hw);
   for (u32 threads : counts) {
     const auto result = solve_with_threads(threads);
     EXPECT_TRUE(same_bits(result.delta, reference.delta))
@@ -133,11 +137,15 @@ TEST(ParallelFabric, TraceStreamIsIdenticalAcrossThreadCounts) {
   EXPECT_GT(reference.total(), 0u);
   for (u32 threads : {2u, 4u}) {
     const TraceBuffer buffer = traced_run(threads);
-    ASSERT_EQ(buffer.records().size(), reference.records().size())
+    // records() returns a snapshot copy; take it once so the element
+    // references below don't dangle off a per-iteration temporary.
+    const std::vector<TraceRecord> got_records = buffer.records();
+    const std::vector<TraceRecord> want_records = reference.records();
+    ASSERT_EQ(got_records.size(), want_records.size())
         << "trace length differs at threads=" << threads;
-    for (std::size_t i = 0; i < buffer.records().size(); ++i) {
-      const TraceRecord& got = buffer.records()[i];
-      const TraceRecord& want = reference.records()[i];
+    for (std::size_t i = 0; i < got_records.size(); ++i) {
+      const TraceRecord& got = got_records[i];
+      const TraceRecord& want = want_records[i];
       ASSERT_TRUE(got.event == want.event && got.cycles == want.cycles &&
                   got.at == want.at && got.color == want.color &&
                   got.words == want.words)
@@ -208,6 +216,48 @@ TEST(ParallelFabric, BackpressureStallsAcrossShardBoundary) {
   const auto parallel = run_once(4);
   EXPECT_EQ(serial.first, parallel.first);
   EXPECT_TRUE(serial.second == parallel.second);
+}
+
+TEST(ParallelFabric, LocalOnlyWorkloadFinishesInOneRound) {
+  // No PE ever sends: every shard's window opens past its whole heap on
+  // the first round (the adaptive fast path — no merge, no rescan), so the
+  // run drains in a single round at any thread count.
+  auto run = [](u32 threads) {
+    Fabric fabric(2, 6);
+    EXPECT_EQ(fabric.shard_count(), 6u);
+    fabric.set_threads(threads);
+    fabric.load([](PeCoord) {
+      return std::make_unique<LambdaProgram>(
+          [](PeContext& ctx) {
+            const MemSpan buf = ctx.memory().alloc_f32("buf", 16);
+            ctx.dsd().fmovs_imm(dsd(buf), 1.0f);
+            ctx.halt();
+          },
+          nullptr);
+    });
+    EXPECT_TRUE(fabric.run().all_halted);
+    return std::make_pair(fabric.last_run_rounds(), fabric.stats());
+  };
+  const auto serial = run(1);
+  EXPECT_EQ(serial.first, 1u);
+  for (u32 threads : {3u, 6u, 8u}) {
+    const auto parallel = run(threads);
+    EXPECT_EQ(parallel.first, serial.first) << "threads=" << threads;
+    EXPECT_TRUE(parallel.second == serial.second) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelFabric, PartitionNeverCreatesEmptyShards) {
+  // The partition collapses empty strips: shard_count() is exactly
+  // min(height, kMaxShards) and never exceeds the row count, so no shard
+  // joins the window barrier with nothing to ever do.
+  for (i64 h : {1, 2, 3, 5, 7, 11, 15, 16, 17, 33, 100}) {
+    Fabric fabric(2, h);
+    EXPECT_EQ(fabric.shard_count(),
+              static_cast<u32>(std::min<i64>(h, 16)))
+        << "height=" << h;
+    EXPECT_LE(fabric.shard_count(), static_cast<u32>(h)) << "height=" << h;
+  }
 }
 
 TEST(ParallelFabric, ShardCountIsGeometryNotThreads) {
