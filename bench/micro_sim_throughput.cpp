@@ -11,8 +11,10 @@
 // Flags:
 //   --out PATH            JSON output path (default BENCH_sim_throughput.json)
 //   --csv PATH            also write one CSV row per run
-//   --threads-sweep LIST  comma-separated thread counts (default 1,2,4,8)
+//   --threads-sweep LIST  comma-separated thread counts (default 1,2,4,8),
+//                         honored by both workloads
 //   --skip-large          measure only the 64x64x8 workload
+//   --engine NAME         device-program engine: bytecode (default) | legacy
 //
 // `seed_baseline` in the JSON is the 64x64x8 workload measured on the
 // pre-refactor serial engine (std::priority_queue, per-send payload
@@ -41,6 +43,13 @@ constexpr f64 kSeedWallSeconds = 1.052;
 constexpr u64 kSeedEvents = 1391439;
 constexpr f64 kSeedEventsPerSec = 1.322e6;
 
+// Same pre-refactor engine, 128x128x8 workload, best of 3 single-thread
+// runs — the large rows get their own reference so speedup_vs_seed
+// always compares like with like.
+constexpr f64 kSeedLargeWallSeconds = 7.941;
+constexpr u64 kSeedLargeEvents = 5566191;
+constexpr f64 kSeedLargeEventsPerSec = 0.7009e6;
+
 struct Workload {
   const char* name;
   i64 nx, ny, nz;
@@ -56,12 +65,15 @@ struct Run {
   bool bitwise_identical = true; // vs the threads=1 run of the same workload
 };
 
+core::SimEngine g_engine = core::SimEngine::Bytecode;
+
 core::DataflowResult solve(const Workload& w, u32 threads) {
   const auto problem = FlowProblem::homogeneous_column(w.nx, w.ny, w.nz);
   core::DataflowConfig config;
   config.tolerance = 0.0f;
   config.max_iterations = 10;
   config.sim_threads = threads;
+  config.engine = g_engine;
   return core::solve_dataflow(problem, config);
 }
 
@@ -126,14 +138,15 @@ std::vector<Run> measure(const Workload& w, const std::vector<u32>& sweep) {
 }
 
 void write_runs_json(std::ofstream& json, const std::vector<Run>& runs,
-                     const char* indent) {
+                     f64 seed_events_per_sec, const char* indent) {
   for (std::size_t i = 0; i < runs.size(); ++i) {
     const Run& run = runs[i];
     json << indent << "{\"threads\": " << run.threads
          << ", \"wall_seconds\": " << run.wall_seconds
          << ", \"events\": " << run.events
          << ", \"events_per_sec\": " << run.events_per_sec
-         << ", \"speedup_vs_seed\": " << run.events_per_sec / kSeedEventsPerSec
+         << ", \"speedup_vs_seed\": "
+         << run.events_per_sec / seed_events_per_sec
          << ", \"speedup_vs_one_thread\": " << run.speedup_vs_one_thread
          << ", \"bitwise_identical\": "
          << (run.bitwise_identical ? "true" : "false") << "}"
@@ -157,9 +170,20 @@ int main(int argc, char** argv) {
       sweep = parse_sweep(argv[++i]);
     } else if (std::strcmp(argv[i], "--skip-large") == 0) {
       skip_large = true;
+    } else if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
+      const std::string name = argv[++i];
+      if (name == "bytecode") {
+        g_engine = core::SimEngine::Bytecode;
+      } else if (name == "legacy") {
+        g_engine = core::SimEngine::Legacy;
+      } else {
+        std::cerr << "bad --engine (want bytecode or legacy): " << name << '\n';
+        return 2;
+      }
     } else {
       std::cerr << "usage: micro_sim_throughput [--out PATH] [--csv PATH]"
-                   " [--threads-sweep N,N,...] [--skip-large]\n";
+                   " [--threads-sweep N,N,...] [--skip-large]"
+                   " [--engine bytecode|legacy]\n";
       return 2;
     }
   }
@@ -172,14 +196,8 @@ int main(int argc, char** argv) {
   const Workload large{"128x128x8", 128, 128, 8};
 
   std::vector<Run> runs = measure(small, sweep);
-  // The scaling row runs a shorter sweep: serial reference plus the
-  // 4-thread point the CI gate (scripts/check_scaling.sh) looks at.
   std::vector<Run> large_runs;
-  if (!skip_large) {
-    std::vector<u32> large_sweep = {1};
-    if (hw >= 2) large_sweep.push_back(4);
-    large_runs = measure(large, large_sweep);
-  }
+  if (!skip_large) large_runs = measure(large, sweep);
 
   bool all_identical = true;
   for (const Run& run : runs) all_identical &= run.bitwise_identical;
@@ -197,13 +215,19 @@ int main(int argc, char** argv) {
        << "    \"events_per_sec\": " << kSeedEventsPerSec << "\n"
        << "  },\n"
        << "  \"runs\": [\n";
-  write_runs_json(json, runs, "    ");
+  write_runs_json(json, runs, kSeedEventsPerSec, "    ");
   json << "  ],\n";
   if (!large_runs.empty()) {
     json << "  \"large_workload\": {\n"
          << "    \"workload\": \"128x128x8 device CG, tolerance 0, 10 iterations\",\n"
+         << "    \"seed_baseline\": {\n"
+         << "      \"note\": \"pre-refactor serial engine, same host and workload\",\n"
+         << "      \"wall_seconds\": " << kSeedLargeWallSeconds << ",\n"
+         << "      \"events\": " << kSeedLargeEvents << ",\n"
+         << "      \"events_per_sec\": " << kSeedLargeEventsPerSec << "\n"
+         << "    },\n"
          << "    \"runs\": [\n";
-    write_runs_json(json, large_runs, "      ");
+    write_runs_json(json, large_runs, kSeedLargeEventsPerSec, "      ");
     json << "    ]\n"
          << "  },\n";
   }

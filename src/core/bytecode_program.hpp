@@ -1,0 +1,128 @@
+#pragma once
+// Bytecode-compiled device programs (docs/simulator.md, "Bytecode ISA").
+//
+// lower_cg / lower_chebyshev translate the 14-state CG machine and the
+// Chebyshev iteration — including their csl collectives — into one flat
+// wse::bc::Program per PE shape. The BytecodeCgProgram /
+// BytecodeChebyshevProgram wrappers are drop-in PeProgram replacements:
+// on_start performs the same setup the legacy programs did (plan, route
+// configuration, upload) and then enters the interpreter; every later
+// task activation is dispatched by the fabric directly into the bytecode
+// stream (wse/fabric.cpp's fast path), never through on_task virtual
+// dispatch.
+//
+// Lowering happens eagerly at construction against a probe PeMemory (the
+// same allocation sequence on_start later performs against the real
+// arena, so embedded offsets agree), which makes manifest() — derived
+// from the instruction stream — and bytecode() available to the verifier
+// and the lookahead planner before the fabric runs. PEs whose lowering
+// inputs coincide (coordinate parity, fabric edges, Dirichlet count)
+// share one immutable Program through a mutex-guarded cache.
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <map>
+#include <tuple>
+
+#include "core/chebyshev_program.hpp"
+#include "core/mapping.hpp"
+#include "core/pe_program.hpp"
+#include "csl/allreduce.hpp"
+#include "csl/halo.hpp"
+#include "wse/bytecode.hpp"
+#include "wse/fabric.hpp"
+#include "wse/program.hpp"
+
+namespace fvdf::core {
+
+/// Everything the lowering branches on. Two PEs with equal sites produce
+/// byte-identical programs (given one solver config).
+struct LoweringSite {
+  wse::PeCoord coord{};
+  i64 width = 1;
+  i64 height = 1;
+  PeLayout layout{};
+  csl::HaloExchange::Colors halo_colors{};
+  csl::AllReduce::Colors reduce_colors{};
+  u32 slot_value = 0; // AllReduce scalar slots (word offsets)
+  u32 slot_in = 0;
+};
+
+std::shared_ptr<const wse::bc::Program> lower_cg(const CgPeConfig& config,
+                                                 const LoweringSite& site);
+
+std::shared_ptr<const wse::bc::Program>
+lower_chebyshev(const ChebyshevPeConfig& config, const LoweringSite& site);
+
+/// Thread-safe Program cache shared by every PE of one solve (programs are
+/// lowered lazily per distinct site shape; on_start runs concurrently
+/// across fabric shards).
+class ProgramCache {
+public:
+  using Key = std::tuple<u32, u32, u32>; // (shape bits, dirichlet count, slot)
+  using Lower = std::function<std::shared_ptr<const wse::bc::Program>()>;
+
+  static Key key_for(const LoweringSite& site);
+
+  std::shared_ptr<const wse::bc::Program> get_or_lower(const Key& key,
+                                                       const Lower& lower);
+
+private:
+  std::mutex mutex_;
+  std::map<Key, std::shared_ptr<const wse::bc::Program>> programs_;
+};
+
+/// Computes the lowering site a PE at `coord` will see: plans the layout
+/// against a probe arena with the exact allocation sequence on_start
+/// performs, so every embedded offset matches the real run.
+LoweringSite plan_site(wse::PeCoord coord, i64 width, i64 height,
+                       const wse::PeMemoryParams& mem, u32 nz, FluxMode mode,
+                       u32 dirichlet_count, bool jacobi, bool with_source);
+
+class BytecodeCgProgram final : public wse::PeProgram {
+public:
+  BytecodeCgProgram(CgPeConfig config, wse::PeCoord coord, i64 width,
+                    i64 height, const wse::PeMemoryParams& mem,
+                    std::shared_ptr<ProgramCache> cache);
+
+  void on_start(wse::PeContext& ctx) override;
+  void on_task(wse::PeContext& ctx, wse::Color color) override;
+  wse::ProgramManifest manifest(wse::PeCoord coord, i64 fabric_width,
+                                i64 fabric_height) const override;
+  const wse::bc::Program* bytecode() const override { return program_.get(); }
+  wse::bc::VmState* bytecode_state() override { return &vm_; }
+
+private:
+  CgPeConfig config_;
+  LoweringSite site_;
+  csl::HaloExchange halo_;
+  csl::AllReduce reduce_;
+  std::shared_ptr<const wse::bc::Program> program_;
+  wse::bc::VmState vm_;
+};
+
+class BytecodeChebyshevProgram final : public wse::PeProgram {
+public:
+  BytecodeChebyshevProgram(ChebyshevPeConfig config, wse::PeCoord coord,
+                           i64 width, i64 height,
+                           const wse::PeMemoryParams& mem,
+                           std::shared_ptr<ProgramCache> cache);
+
+  void on_start(wse::PeContext& ctx) override;
+  void on_task(wse::PeContext& ctx, wse::Color color) override;
+  wse::ProgramManifest manifest(wse::PeCoord coord, i64 fabric_width,
+                                i64 fabric_height) const override;
+  const wse::bc::Program* bytecode() const override { return program_.get(); }
+  wse::bc::VmState* bytecode_state() override { return &vm_; }
+
+private:
+  ChebyshevPeConfig config_;
+  LoweringSite site_;
+  csl::HaloExchange halo_;
+  csl::AllReduce reduce_;
+  std::shared_ptr<const wse::bc::Program> program_;
+  wse::bc::VmState vm_;
+};
+
+} // namespace fvdf::core

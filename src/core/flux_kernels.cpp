@@ -142,4 +142,83 @@ void zero_dirichlet_entries(PeContext& ctx, const PeLayout& layout,
   }
 }
 
+// --------------------------------------------------------------------------
+// Bytecode mirrors. Each emitter produces the exact charged-op sequence of
+// its execute-now counterpart above.
+// --------------------------------------------------------------------------
+
+namespace bc = wse::bc;
+
+void emit_z_flux(bc::Builder& b, const PeLayout& layout, FluxMode mode) {
+  const u32 nz = layout.nz;
+  b.vmovi(b.dsd(dsd(layout.q)), 0.0f);
+  if (nz == 1) return;
+
+  const u8 x_lo = b.dsd(dsd(layout.x, 0, nz - 1));
+  const u8 x_hi = b.dsd(dsd(layout.x, 1, nz - 1));
+  const u8 q_lo = b.dsd(dsd(layout.q, 0, nz - 1));
+  const u8 q_hi = b.dsd(dsd(layout.q, 1, nz - 1));
+  const u8 d_lo = b.dsd(dsd(layout.d, 0, nz - 1));
+  const u8 cz = b.dsd(dsd(layout.cz));
+
+  if (mode == FluxMode::Fused) {
+    b.vsub(d_lo, x_lo, x_hi);
+    b.vmac(q_lo, q_lo, cz, d_lo);
+    b.vneg(d_lo, d_lo);
+    b.vmac(q_hi, q_hi, cz, d_lo);
+  } else {
+    const u8 l_lo = b.dsd(dsd(layout.lambda, 0, nz - 1));
+    const u8 l_hi = b.dsd(dsd(layout.lambda, 1, nz - 1));
+    const u8 s_lo = b.dsd(dsd(layout.scratch2, 0, nz - 1));
+    b.vadd(s_lo, l_lo, l_hi);
+    b.vmuli(s_lo, s_lo, 0.5f);
+    b.vmul(s_lo, cz, s_lo);
+    b.vsub(d_lo, x_lo, x_hi);
+    b.vmac(q_lo, q_lo, s_lo, d_lo);
+    b.vneg(d_lo, d_lo);
+    b.vmac(q_hi, q_hi, s_lo, d_lo);
+  }
+}
+
+void emit_face_flux(bc::Builder& b, const PeLayout& layout, FluxMode mode,
+                    Dir dir) {
+  Dsd coef{}, halo{}, lhalo{};
+  switch (dir) {
+  case Dir::West: coef = dsd(layout.cw); halo = dsd(layout.halo_w); lhalo = dsd(layout.lh_w); break;
+  case Dir::East: coef = dsd(layout.ce); halo = dsd(layout.halo_e); lhalo = dsd(layout.lh_e); break;
+  case Dir::South: coef = dsd(layout.cs); halo = dsd(layout.halo_s); lhalo = dsd(layout.lh_s); break;
+  case Dir::North: coef = dsd(layout.cn); halo = dsd(layout.halo_n); lhalo = dsd(layout.lh_n); break;
+  case Dir::Ramp: throw Error("flux: invalid direction");
+  }
+  const u8 x = b.dsd(dsd(layout.x));
+  const u8 q = b.dsd(dsd(layout.q));
+  const u8 d = b.dsd(dsd(layout.d));
+  const u8 c = b.dsd(coef);
+  const u8 h = b.dsd(halo);
+  if (mode == FluxMode::Fused) {
+    b.vsub(d, x, h);
+    b.vmac(q, q, c, d);
+  } else {
+    const u8 s = b.dsd(dsd(layout.scratch2));
+    b.vadd(s, b.dsd(dsd(layout.lambda)), b.dsd(lhalo));
+    b.vmuli(s, s, 0.5f);
+    b.vmul(s, c, s);
+    b.vsub(d, x, h);
+    b.vmac(q, q, s, d);
+  }
+}
+
+void emit_fix_dirichlet_rows(bc::Builder& b, const PeLayout& layout) {
+  if (layout.dirichlet_count == 0) return;
+  b.fixd(b.dsd(dsd(layout.x)), b.dsd(dsd(layout.q)), layout.dirichlet_count,
+         layout.dirichlet_list.offset_words);
+}
+
+void emit_zero_dirichlet_entries(bc::Builder& b, const PeLayout& layout,
+                                 const wse::MemSpan& span) {
+  if (layout.dirichlet_count == 0) return;
+  b.zdir(b.dsd(dsd(span)), layout.dirichlet_count,
+         layout.dirichlet_list.offset_words);
+}
+
 } // namespace fvdf::core

@@ -7,6 +7,7 @@
 
 #include "core/mapping.hpp"
 #include "core/pe_program.hpp"
+#include "wse/bytecode.hpp"
 #include "wse/program.hpp"
 
 namespace fvdf::core {
@@ -31,5 +32,19 @@ void fix_dirichlet_rows(wse::PeContext& ctx, const PeLayout& layout);
 /// Zeroes the listed Dirichlet entries of `span`.
 void zero_dirichlet_entries(wse::PeContext& ctx, const PeLayout& layout,
                             const wse::MemSpan& span);
+
+// Bytecode mirrors of the kernels above: emit the identical charged
+// DsdEngine operation sequence as flat instructions. Kept next to the
+// execute-now versions so the two stay in lock-step.
+
+void emit_z_flux(wse::bc::Builder& b, const PeLayout& layout, FluxMode mode);
+
+void emit_face_flux(wse::bc::Builder& b, const PeLayout& layout, FluxMode mode,
+                    wse::Dir dir);
+
+void emit_fix_dirichlet_rows(wse::bc::Builder& b, const PeLayout& layout);
+
+void emit_zero_dirichlet_entries(wse::bc::Builder& b, const PeLayout& layout,
+                                 const wse::MemSpan& span);
 
 } // namespace fvdf::core

@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "core/bytecode_program.hpp"
 #include "core/chebyshev_program.hpp"
 #include "core/pe_program.hpp"
 #include "fv/diagonal.hpp"
@@ -188,10 +189,16 @@ namespace {
 struct CgSetup {
   DiscreteSystem<f32> sys;
   std::vector<f32> minv; // Jacobi inverse diagonal; empty when off
+  std::vector<f64> p0;   // initial field, materialized once per solve
 };
 
 CgSetup prepare_cg(const FlowProblem& problem, const DataflowConfig& config) {
-  CgSetup setup{problem.discretize<f32>(), {}};
+  CgSetup setup{problem.discretize<f32>(), {}, {}};
+  // Materialize the initial field once: build_pe_init is called per PE per
+  // pass (verify + lookahead + load), and problem.initial_pressure()
+  // allocates and fills a full cell-count vector each call.
+  setup.p0 = config.initial_field.empty() ? problem.initial_pressure()
+                                          : config.initial_field;
   // Jacobi preconditioner diagonal, with the backward-Euler shift folded
   // in (Dirichlet rows have diag 1 and take no shift).
   if (config.jacobi_precondition) {
@@ -208,7 +215,14 @@ CgSetup prepare_cg(const FlowProblem& problem, const DataflowConfig& config) {
 wse::ProgramFactory cg_factory(const FlowProblem& problem,
                                const DataflowConfig& config,
                                const CgSetup& setup) {
-  return [&problem, &config, &setup](wse::PeCoord coord) {
+  // One bytecode cache per factory: all PEs of a solve share the handful
+  // of lowered programs (one per fabric-position shape).
+  auto cache = config.engine == SimEngine::Bytecode
+                   ? std::make_shared<ProgramCache>()
+                   : nullptr;
+  return [&problem, &config, &setup,
+          cache = std::move(cache)](wse::PeCoord coord)
+             -> std::unique_ptr<wse::PeProgram> {
     CgPeConfig pe_config;
     pe_config.nz = static_cast<u32>(problem.mesh().nz());
     pe_config.mode = config.flux_mode;
@@ -221,9 +235,11 @@ wse::ProgramFactory cg_factory(const FlowProblem& problem,
                                    config.flux_mode,
                                    config.jacobi_precondition ? &setup.minv
                                                               : nullptr,
-                                   config.initial_field.empty()
-                                       ? nullptr
-                                       : &config.initial_field);
+                                   &setup.p0);
+    if (cache)
+      return std::make_unique<BytecodeCgProgram>(
+          std::move(pe_config), coord, problem.mesh().nx(),
+          problem.mesh().ny(), config.memory, cache);
     return std::make_unique<CgPeProgram>(std::move(pe_config));
   };
 }
@@ -270,10 +286,30 @@ DataflowResult solve_dataflow(const FlowProblem& problem, const DataflowConfig& 
 
 namespace {
 
+/// Host-side state the Chebyshev factory reads from (see CgSetup).
+struct ChebSetup {
+  DiscreteSystem<f32> sys;
+  std::vector<f64> p0;
+};
+
+ChebSetup prepare_chebyshev(const FlowProblem& problem,
+                            const ChebyshevDeviceConfig& config) {
+  ChebSetup setup{problem.discretize<f32>(), {}};
+  setup.p0 = config.initial_field.empty() ? problem.initial_pressure()
+                                          : config.initial_field;
+  return setup;
+}
+
 wse::ProgramFactory chebyshev_factory(const FlowProblem& problem,
                                       const ChebyshevDeviceConfig& config,
-                                      const DiscreteSystem<f32>& sys) {
-  return [&problem, &config, &sys](wse::PeCoord coord) {
+                                      const ChebSetup& setup) {
+  const DiscreteSystem<f32>& sys = setup.sys;
+  auto cache = config.engine == SimEngine::Bytecode
+                   ? std::make_shared<ProgramCache>()
+                   : nullptr;
+  return [&problem, &config, &sys, &setup,
+          cache = std::move(cache)](wse::PeCoord coord)
+             -> std::unique_ptr<wse::PeProgram> {
     ChebyshevPeConfig pe_config;
     pe_config.nz = static_cast<u32>(problem.mesh().nz());
     pe_config.mode = config.flux_mode;
@@ -284,10 +320,11 @@ wse::ProgramFactory chebyshev_factory(const FlowProblem& problem,
     pe_config.lambda_max = static_cast<f32>(config.bounds.lambda_max);
     pe_config.diagonal_shift = config.diagonal_shift;
     pe_config.init = build_pe_init(problem, sys, coord.x, coord.y, config.flux_mode,
-                                   nullptr,
-                                   config.initial_field.empty()
-                                       ? nullptr
-                                       : &config.initial_field);
+                                   nullptr, &setup.p0);
+    if (cache)
+      return std::make_unique<BytecodeChebyshevProgram>(
+          std::move(pe_config), coord, problem.mesh().nx(),
+          problem.mesh().ny(), config.memory, cache);
     return std::make_unique<ChebyshevPeProgram>(std::move(pe_config));
   };
 }
@@ -298,8 +335,9 @@ DataflowResult solve_dataflow_chebyshev(const FlowProblem& problem,
                                         const ChebyshevDeviceConfig& config) {
   const auto& mesh = problem.mesh();
   FVDF_CHECK_MSG(mesh.nz() <= 0xffff, "column depth exceeds u16 index range");
-  const auto sys = problem.discretize<f32>();
-  const wse::ProgramFactory factory = chebyshev_factory(problem, config, sys);
+  const ChebSetup setup = prepare_chebyshev(problem, config);
+  const auto& sys = setup.sys;
+  const wse::ProgramFactory factory = chebyshev_factory(problem, config, setup);
 
   wse::Fabric fabric(mesh.nx(), mesh.ny(), config.timing, config.memory);
   fabric.set_threads(config.sim_threads);
@@ -338,9 +376,9 @@ analysis::VerifyReport verify_dataflow_chebyshev(
     const FlowProblem& problem, const ChebyshevDeviceConfig& config) {
   const auto& mesh = problem.mesh();
   FVDF_CHECK_MSG(mesh.nz() <= 0xffff, "column depth exceeds u16 index range");
-  const auto sys = problem.discretize<f32>();
+  const ChebSetup setup = prepare_chebyshev(problem, config);
   return analysis::verify_program(mesh.nx(), mesh.ny(),
-                                  chebyshev_factory(problem, config, sys),
+                                  chebyshev_factory(problem, config, setup),
                                   config.memory);
 }
 

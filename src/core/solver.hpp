@@ -22,6 +22,18 @@ class Session;
 
 namespace fvdf::core {
 
+/// Which device-program implementation the solver loads onto the fabric.
+/// Both produce bitwise-identical results, residual histories and fabric
+/// statistics; Bytecode is the default because the flat instruction stream
+/// dispatches without virtual calls or std::function allocations (see
+/// docs/simulator.md, "Bytecode ISA"). Legacy keeps the original
+/// state-machine programs as an escape hatch and a differential-testing
+/// oracle.
+enum class SimEngine : u8 {
+  Bytecode = 0,
+  Legacy,
+};
+
 struct DataflowConfig {
   FluxMode flux_mode = FluxMode::Fused;
   u64 max_iterations = 10'000;
@@ -40,6 +52,9 @@ struct DataflowConfig {
   // Simulator worker threads (0 = hardware concurrency). Purely a host-side
   // execution knob: results are bitwise identical at any value.
   u32 sim_threads = 1;
+  // Device-program implementation; see SimEngine. Host-side execution knob:
+  // both engines produce bitwise-identical results.
+  SimEngine engine = SimEngine::Bytecode;
   // Run the static fabric verifier (src/analysis/) over the device program
   // before starting the event loop; throws fvdf::Error with the full
   // diagnostic report if any check fails. Costs one extra program
@@ -95,6 +110,7 @@ struct ChebyshevDeviceConfig {
   wse::PeMemoryParams memory{};
   f64 max_cycles = 1e15;
   u32 sim_threads = 1;           // see DataflowConfig::sim_threads
+  SimEngine engine = SimEngine::Bytecode; // see DataflowConfig::engine
   bool verify_preflight = false; // see DataflowConfig::verify_preflight
   telemetry::Session* telemetry = nullptr; // see DataflowConfig::telemetry
 };

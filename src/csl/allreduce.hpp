@@ -59,6 +59,11 @@ public:
   /// Static communication declaration for the fabric verifier.
   wse::ProgramManifest manifest(wse::PeCoord coord, i64 width, i64 height) const;
 
+  /// Memory slots (valid after configure). The bytecode lowering reuses
+  /// the same allocations so charged loads/stores hit identical addresses.
+  const wse::MemSpan& slot_value() const { return slot_value_; }
+  const wse::MemSpan& slot_in() const { return slot_in_; }
+
 private:
   void row_phase_done(PeContext& ctx, f32 row_sum);
   void column_phase_done(PeContext& ctx, f32 total);

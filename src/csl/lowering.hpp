@@ -1,0 +1,116 @@
+#pragma once
+// Bytecode lowerings of the Table-I collectives (docs/simulator.md,
+// "Bytecode ISA").
+//
+// Each emitter writes the flat-instruction equivalent of its component's
+// event-driven callback chain into a wse::bc::Builder. Dynamic state the
+// legacy classes kept in members becomes static code (per-coordinate
+// parity and edge cases are resolved at lowering time) plus a handful of
+// VM registers. Instruction order matches the legacy implementations
+// exactly — the charged DsdEngine calls, the telemetry marks and the
+// fabric sends/recvs come out in the same sequence, which is what makes
+// the interpreter bitwise-identical to the callback path.
+//
+// Register conventions (shared with core/bytecode_program.cpp):
+//   f0      all-reduce contribution in / fabric total out
+//   f1      all-reduce row_sum_ (persists across the column phase)
+//   f2, f3  all-reduce handler scratch
+//   u-regs and continuation registers are caller-assigned.
+
+#include <functional>
+
+#include "csl/allreduce.hpp"
+#include "csl/halo.hpp"
+#include "wse/bytecode.hpp"
+
+namespace fvdf::csl {
+
+/// Emits the per-face work (flux computation + phase marks) that the
+/// legacy FaceCallback performed; called at lowering time, once per
+/// receive site.
+using FaceEmit = std::function<void(wse::bc::Builder&, wse::Dir)>;
+
+/// Lowers one four-step halo exchange (one HaloExchange::start call site).
+/// A program that runs several distinct exchanges (e.g. the OnTheFly
+/// mobility pass plus the per-iteration column exchange) instantiates one
+/// emitter per call site — each gets its own step/done blocks.
+class HaloEmitter {
+public:
+  struct Spec {
+    HaloExchange::Colors colors{};
+    wse::Dsd column{};
+    wse::Dsd west{}, east{}, south{}, north{}; // halo receive buffers
+    FaceEmit face;      // null for exchanges without per-face work
+    u8 cont_reg = 0;    // continuation register JIND'ed after step 4
+    u8 pending_ureg = 0;// u-register for the 2-action per-step join
+  };
+
+  HaloEmitter(wse::bc::Builder& b, wse::PeCoord coord, i64 width, i64 height,
+              Spec spec);
+
+  /// Emits the inline start sequence — the body of HaloExchange::start:
+  /// the Halo phase mark, the step-1 handler bindings and the step-1
+  /// actions. Execution continues with the caller's next instruction
+  /// (overlapped z-flux, exactly like the legacy control flow).
+  void emit_start();
+
+  /// Emits the out-of-line done-handler blocks (face work, the join,
+  /// steps 2-4, the final JIND through cont_reg). Call once, anywhere the
+  /// builder is between blocks.
+  void emit_handlers();
+
+private:
+  void emit_launch(int step);
+  void emit_x_action(int step);
+  void emit_y_action(int step);
+
+  wse::bc::Builder& b_;
+  wse::PeCoord coord_;
+  i64 width_, height_;
+  Spec spec_;
+  u8 column_, west_, east_, south_, north_; // interned DSD indices
+  std::array<wse::bc::Builder::Label, 4> done_x_{}, done_y_{}, next_{};
+  std::array<bool, 4> x_recv_{}, y_recv_{};
+};
+
+/// Lowers the whole-fabric AllReduce. One emitter serves every
+/// reduce_.start call site in the program: jump to start_label() with the
+/// PE's contribution in f0 and a continuation pc in cont_reg; the finish
+/// block loads the fabric total into f0 and JINDs through cont_reg.
+class ReduceEmitter {
+public:
+  struct Spec {
+    AllReduce::Colors colors{};
+    u32 slot_value = 0; // word offset of the component's value slot
+    u32 slot_in = 0;    // word offset of the incoming-partial slot
+    u8 cont_reg = 1;
+  };
+
+  ReduceEmitter(wse::bc::Builder& b, wse::PeCoord coord, i64 width, i64 height,
+                Spec spec);
+
+  /// Entry of the lowered start block (contribution in f0).
+  wse::bc::Builder::Label start_label() const { return start_; }
+
+  /// Emits the SETH bindings for the handlers this coordinate can
+  /// actually receive. Call inline in the program's entry block (the
+  /// bindings are static for the program's lifetime).
+  void emit_handler_bindings();
+
+  /// Emits the start/handler/finish blocks out-of-line. Call once.
+  void emit_blocks();
+
+private:
+  void emit_row_phase_done_tail(); // row sum in f1 (right column only)
+  void emit_column_phase_done(u8 total_reg); // bottom-right only
+
+  wse::bc::Builder& b_;
+  wse::PeCoord coord_;
+  i64 width_, height_;
+  Spec spec_;
+  u8 value_dsd_, in_dsd_; // interned 1-word DSD indices
+  wse::bc::Builder::Label start_, finish_;
+  wse::bc::Builder::Label h_row_, h_col_, h_bcol_, h_brow_;
+};
+
+} // namespace fvdf::csl

@@ -19,55 +19,6 @@ const char* to_string(Opcode op) {
   return "?";
 }
 
-u32 flops_per_element(Opcode op) {
-  switch (op) {
-  case Opcode::FMA: return 2;
-  case Opcode::FMOV: return 0;
-  default: return 1;
-  }
-}
-
-MemTraffic memory_traffic_per_element(Opcode op) {
-  // Mirrors Table V: FMUL/FSUB/FADD: 2 loads 1 store; FNEG: 1 load 1 store;
-  // FMA: 3 loads 1 store; FMOV: 1 store when loading from fabric (or 1 load
-  // when storing to fabric) — we charge the memory side only; the fabric
-  // side is recorded separately.
-  switch (op) {
-  case Opcode::FMUL:
-  case Opcode::FSUB:
-  case Opcode::FADD: return {2, 1};
-  case Opcode::FNEG: return {1, 1};
-  case Opcode::FMA: return {3, 1};
-  case Opcode::FMOV: return {1, 1};
-  case Opcode::kCount: break;
-  }
-  return {0, 0};
-}
-
-void OpCounters::record(Opcode op, u64 elements, u64 fabric_loads, u64 fabric_stores) {
-  FVDF_CHECK(op != Opcode::kCount);
-  per_op_[static_cast<std::size_t>(op)] += elements;
-  flops_ += static_cast<u64>(flops_per_element(op)) * elements;
-  const MemTraffic mem = memory_traffic_per_element(op);
-  if (op == Opcode::FMOV) {
-    // A fabric receive is 1 store/elem and no load; a fabric send is
-    // 1 load/elem and no store; a memory-to-memory move is 1 load + 1 store.
-    if (fabric_loads > 0) {
-      mem_stores_ += elements;
-    } else if (fabric_stores > 0) {
-      mem_loads_ += elements;
-    } else {
-      mem_loads_ += elements;
-      mem_stores_ += elements;
-    }
-  } else {
-    mem_loads_ += static_cast<u64>(mem.loads) * elements;
-    mem_stores_ += static_cast<u64>(mem.stores) * elements;
-  }
-  fabric_loads_ += fabric_loads;
-  fabric_stores_ += fabric_stores;
-}
-
 OpCounters& OpCounters::operator+=(const OpCounters& other) {
   for (std::size_t i = 0; i < per_op_.size(); ++i) per_op_[i] += other.per_op_[i];
   flops_ += other.flops_;

@@ -20,23 +20,66 @@ const char* to_string(Opcode op);
 
 /// FLOPs contributed by one element-wise application of the opcode
 /// (FMA = 2, FMOV = 0, others = 1) — the paper's accounting.
-u32 flops_per_element(Opcode op);
+constexpr u32 flops_per_element(Opcode op) {
+  switch (op) {
+  case Opcode::FMA: return 2;
+  case Opcode::FMOV: return 0;
+  default: return 1;
+  }
+}
 
 /// Memory operands per element: {loads, stores}, matching Table V's
-/// "Memory traffic" column (e.g. FMA: 3 loads, 1 store).
+/// "Memory traffic" column (e.g. FMA: 3 loads, 1 store). FMUL/FSUB/FADD:
+/// 2 loads 1 store; FNEG: 1 load 1 store; FMA: 3 loads 1 store; FMOV:
+/// 1 load 1 store for a memory-to-memory move — record() charges the
+/// memory side only for fabric moves, the fabric side is separate.
 struct MemTraffic {
   u32 loads = 0;
   u32 stores = 0;
 };
-MemTraffic memory_traffic_per_element(Opcode op);
+constexpr MemTraffic memory_traffic_per_element(Opcode op) {
+  switch (op) {
+  case Opcode::FMUL:
+  case Opcode::FSUB:
+  case Opcode::FADD: return {2, 1};
+  case Opcode::FNEG: return {1, 1};
+  case Opcode::FMA: return {3, 1};
+  case Opcode::FMOV: return {1, 1};
+  case Opcode::kCount: break;
+  }
+  return {0, 0};
+}
 
 /// Accumulated counts for a region of execution.
 class OpCounters {
 public:
   /// Records `elements` element-wise applications of `op`.
   /// `fabric_loads`/`fabric_stores` count 32-bit words moved through the
-  /// ramp as part of this operation (FMOV from/to a fabric DSD).
-  void record(Opcode op, u64 elements, u64 fabric_loads = 0, u64 fabric_stores = 0);
+  /// ramp as part of this operation (FMOV from/to a fabric DSD). Inline:
+  /// every simulated DSD op lands here.
+  void record(Opcode op, u64 elements, u64 fabric_loads = 0,
+              u64 fabric_stores = 0) {
+    per_op_[static_cast<std::size_t>(op)] += elements;
+    flops_ += static_cast<u64>(flops_per_element(op)) * elements;
+    const MemTraffic mem = memory_traffic_per_element(op);
+    if (op == Opcode::FMOV) {
+      // A fabric receive is 1 store/elem and no load; a fabric send is
+      // 1 load/elem and no store; a memory-to-memory move is both.
+      if (fabric_loads > 0) {
+        mem_stores_ += elements;
+      } else if (fabric_stores > 0) {
+        mem_loads_ += elements;
+      } else {
+        mem_loads_ += elements;
+        mem_stores_ += elements;
+      }
+    } else {
+      mem_loads_ += static_cast<u64>(mem.loads) * elements;
+      mem_stores_ += static_cast<u64>(mem.stores) * elements;
+    }
+    fabric_loads_ += fabric_loads;
+    fabric_stores_ += fabric_stores;
+  }
 
   u64 count(Opcode op) const { return per_op_[static_cast<std::size_t>(op)]; }
   u64 total_flops() const { return flops_; }

@@ -1,8 +1,27 @@
 #include "wse/dsd.hpp"
 
 #include "common/error.hpp"
+#include "wse/dsd_simd.hpp"
 
 namespace fvdf::wse {
+
+namespace {
+
+// The batched kernels (wse/dsd_simd.hpp) require each source range to be
+// either exactly the destination or disjoint from it; a shifted overlap
+// must keep the element-ordered streaming semantics of `elementwise`.
+inline bool same_or_disjoint(const Dsd& dst, const Dsd& src) {
+  return src.offset == dst.offset ||
+         static_cast<u64>(src.offset) + src.length <= dst.offset ||
+         static_cast<u64>(dst.offset) + dst.length <= src.offset;
+}
+
+inline bool batchable(const Dsd& dst, const Dsd& src) {
+  return dst.stride == 1 && src.stride == 1 && dst.length == src.length &&
+         same_or_disjoint(dst, src);
+}
+
+} // namespace
 
 Dsd Dsd::drop(u32 first) const {
   FVDF_CHECK(first <= length);
@@ -50,44 +69,96 @@ void DsdEngine::elementwise(Opcode op, Dsd dst, u32 length, Fn&& fn) {
 }
 
 void DsdEngine::fmovs(Dsd dst, Dsd src) {
+  if (batchable(dst, src)) {
+    simd::kernels().mov(memory_.span_ptr(dst.offset, dst.length),
+                        memory_.span_ptr(src.offset, src.length), dst.length);
+    charge(Opcode::FMOV, dst.length);
+    return;
+  }
   elementwise(Opcode::FMOV, dst, src.length,
               [&](u32 i) { return memory_.load(idx(src, i)); });
 }
 
 void DsdEngine::fmovs_imm(Dsd dst, f32 value) {
+  if (dst.stride == 1) {
+    simd::kernels().fill(memory_.span_ptr(dst.offset, dst.length), value, dst.length);
+    charge(Opcode::FMOV, dst.length);
+    return;
+  }
   elementwise(Opcode::FMOV, dst, dst.length, [&](u32) { return value; });
 }
 
 void DsdEngine::fadds(Dsd dst, Dsd a, Dsd b) {
   FVDF_CHECK(a.length == b.length);
+  if (batchable(dst, a) && batchable(dst, b)) {
+    simd::kernels().add(memory_.span_ptr(dst.offset, dst.length),
+                        memory_.span_ptr(a.offset, a.length),
+                        memory_.span_ptr(b.offset, b.length), dst.length);
+    charge(Opcode::FADD, dst.length);
+    return;
+  }
   elementwise(Opcode::FADD, dst, a.length,
               [&](u32 i) { return memory_.load(idx(a, i)) + memory_.load(idx(b, i)); });
 }
 
 void DsdEngine::fsubs(Dsd dst, Dsd a, Dsd b) {
   FVDF_CHECK(a.length == b.length);
+  if (batchable(dst, a) && batchable(dst, b)) {
+    simd::kernels().sub(memory_.span_ptr(dst.offset, dst.length),
+                        memory_.span_ptr(a.offset, a.length),
+                        memory_.span_ptr(b.offset, b.length), dst.length);
+    charge(Opcode::FSUB, dst.length);
+    return;
+  }
   elementwise(Opcode::FSUB, dst, a.length,
               [&](u32 i) { return memory_.load(idx(a, i)) - memory_.load(idx(b, i)); });
 }
 
 void DsdEngine::fmuls(Dsd dst, Dsd a, Dsd b) {
   FVDF_CHECK(a.length == b.length);
+  if (batchable(dst, a) && batchable(dst, b)) {
+    simd::kernels().mul(memory_.span_ptr(dst.offset, dst.length),
+                        memory_.span_ptr(a.offset, a.length),
+                        memory_.span_ptr(b.offset, b.length), dst.length);
+    charge(Opcode::FMUL, dst.length);
+    return;
+  }
   elementwise(Opcode::FMUL, dst, a.length,
               [&](u32 i) { return memory_.load(idx(a, i)) * memory_.load(idx(b, i)); });
 }
 
 void DsdEngine::fmuls_imm(Dsd dst, Dsd a, f32 value) {
+  if (batchable(dst, a)) {
+    simd::kernels().mul_imm(memory_.span_ptr(dst.offset, dst.length),
+                            memory_.span_ptr(a.offset, a.length), value, dst.length);
+    charge(Opcode::FMUL, dst.length);
+    return;
+  }
   elementwise(Opcode::FMUL, dst, a.length,
               [&](u32 i) { return memory_.load(idx(a, i)) * value; });
 }
 
 void DsdEngine::fnegs(Dsd dst, Dsd a) {
+  if (batchable(dst, a)) {
+    simd::kernels().neg(memory_.span_ptr(dst.offset, dst.length),
+                        memory_.span_ptr(a.offset, a.length), dst.length);
+    charge(Opcode::FNEG, dst.length);
+    return;
+  }
   elementwise(Opcode::FNEG, dst, a.length,
               [&](u32 i) { return -memory_.load(idx(a, i)); });
 }
 
 void DsdEngine::fmacs(Dsd dst, Dsd acc, Dsd a, Dsd b) {
   FVDF_CHECK(acc.length == a.length && a.length == b.length);
+  if (batchable(dst, acc) && batchable(dst, a) && batchable(dst, b)) {
+    simd::kernels().mac(memory_.span_ptr(dst.offset, dst.length),
+                        memory_.span_ptr(acc.offset, acc.length),
+                        memory_.span_ptr(a.offset, a.length),
+                        memory_.span_ptr(b.offset, b.length), dst.length);
+    charge(Opcode::FMA, dst.length);
+    return;
+  }
   elementwise(Opcode::FMA, dst, a.length, [&](u32 i) {
     return memory_.load(idx(acc, i)) + memory_.load(idx(a, i)) * memory_.load(idx(b, i));
   });
@@ -95,6 +166,13 @@ void DsdEngine::fmacs(Dsd dst, Dsd acc, Dsd a, Dsd b) {
 
 void DsdEngine::fmacs_imm(Dsd dst, Dsd acc, Dsd a, f32 value) {
   FVDF_CHECK(acc.length == a.length);
+  if (batchable(dst, acc) && batchable(dst, a)) {
+    simd::kernels().mac_imm(memory_.span_ptr(dst.offset, dst.length),
+                            memory_.span_ptr(acc.offset, acc.length),
+                            memory_.span_ptr(a.offset, a.length), value, dst.length);
+    charge(Opcode::FMA, dst.length);
+    return;
+  }
   elementwise(Opcode::FMA, dst, a.length, [&](u32 i) {
     return memory_.load(idx(acc, i)) + memory_.load(idx(a, i)) * value;
   });
@@ -113,8 +191,16 @@ f32 DsdEngine::fmuls_scalar(f32 a, f32 b) {
 f32 DsdEngine::fdots(Dsd a, Dsd b) {
   FVDF_CHECK(a.length == b.length);
   f32 acc = 0.0f;
-  for (u32 i = 0; i < a.length; ++i)
-    acc += memory_.load(idx(a, i)) * memory_.load(idx(b, i));
+  if (a.stride == 1 && b.stride == 1) {
+    // Raw pointers, but still a strictly sequential accumulation: the fp32
+    // summation order is observable and must match the device semantics.
+    const f32* pa = memory_.span_ptr(a.offset, a.length);
+    const f32* pb = memory_.span_ptr(b.offset, b.length);
+    for (u32 i = 0; i < a.length; ++i) acc += pa[i] * pb[i];
+  } else {
+    for (u32 i = 0; i < a.length; ++i)
+      acc += memory_.load(idx(a, i)) * memory_.load(idx(b, i));
+  }
   charge(Opcode::FMA, a.length);
   return acc;
 }

@@ -1,0 +1,72 @@
+#include "wse/dsd_simd.hpp"
+
+namespace fvdf::wse::simd {
+
+namespace {
+
+// Scalar reference kernels. Deliberately plain loops: the compiler may
+// auto-vectorize them with baseline SSE, which is still element-wise IEEE
+// mul/add/sub and therefore bitwise-identical to both the naive loop and
+// the AVX2 TU (no FMA contraction is possible — neither TU enables FMA).
+
+void s_fill(f32* dst, f32 value, u32 n) {
+  for (u32 i = 0; i < n; ++i) dst[i] = value;
+}
+void s_mov(f32* dst, const f32* src, u32 n) {
+  for (u32 i = 0; i < n; ++i) dst[i] = src[i];
+}
+void s_add(f32* dst, const f32* a, const f32* b, u32 n) {
+  for (u32 i = 0; i < n; ++i) dst[i] = a[i] + b[i];
+}
+void s_sub(f32* dst, const f32* a, const f32* b, u32 n) {
+  for (u32 i = 0; i < n; ++i) dst[i] = a[i] - b[i];
+}
+void s_mul(f32* dst, const f32* a, const f32* b, u32 n) {
+  for (u32 i = 0; i < n; ++i) dst[i] = a[i] * b[i];
+}
+void s_mul_imm(f32* dst, const f32* a, f32 value, u32 n) {
+  for (u32 i = 0; i < n; ++i) dst[i] = a[i] * value;
+}
+void s_neg(f32* dst, const f32* a, u32 n) {
+  for (u32 i = 0; i < n; ++i) dst[i] = -a[i];
+}
+void s_mac(f32* dst, const f32* acc, const f32* a, const f32* b, u32 n) {
+  for (u32 i = 0; i < n; ++i) {
+    const f32 prod = a[i] * b[i];
+    dst[i] = acc[i] + prod;
+  }
+}
+void s_mac_imm(f32* dst, const f32* acc, const f32* a, f32 value, u32 n) {
+  for (u32 i = 0; i < n; ++i) {
+    const f32 prod = a[i] * value;
+    dst[i] = acc[i] + prod;
+  }
+}
+
+constexpr Kernels kScalar{s_fill, s_mov,  s_add, s_sub,    s_mul,
+                          s_mul_imm, s_neg, s_mac, s_mac_imm};
+
+bool detect_avx2() {
+#if defined(FVDF_HAVE_AVX2_TU) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+const bool g_avx2 = detect_avx2();
+
+} // namespace
+
+const Kernels& scalar_kernels() { return kScalar; }
+
+bool avx2_active() { return g_avx2; }
+
+const Kernels& kernels() {
+#ifdef FVDF_HAVE_AVX2_TU
+  if (g_avx2) return avx2_kernels();
+#endif
+  return kScalar;
+}
+
+} // namespace fvdf::wse::simd

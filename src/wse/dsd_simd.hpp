@@ -1,0 +1,49 @@
+#pragma once
+// Batched kernels under the DSD engine's contiguous (stride-1) fast path.
+//
+// Each kernel operates on raw fp32 arrays of `n` elements. The implementation
+// is chosen once at startup: AVX2 when the build enabled it (see
+// FVDF_NO_AVX2 in CMake) and the host CPU reports support, a plain scalar
+// loop otherwise. Both produce bitwise-identical results — the AVX2 side
+// uses separate multiply and add instructions (never fused multiply-add),
+// so every element sees the same two-rounding sequence as the scalar code,
+// and all kernels are purely element-wise (no reductions, no reassociation).
+// The dot product stays in the DSD engine as a sequential scalar loop: its
+// accumulation order is observable in fp32 and must not change.
+//
+// Aliasing contract: a source pointer is either exactly equal to `dst` or
+// its `n`-element range is disjoint from dst's. The DSD engine falls back
+// to the element-ordered scalar path for any other overlap (the
+// hardware-faithful semantics for shifted self-copies).
+
+#include "common/types.hpp"
+
+namespace fvdf::wse::simd {
+
+struct Kernels {
+  void (*fill)(f32* dst, f32 value, u32 n);
+  void (*mov)(f32* dst, const f32* src, u32 n);
+  void (*add)(f32* dst, const f32* a, const f32* b, u32 n);
+  void (*sub)(f32* dst, const f32* a, const f32* b, u32 n);
+  void (*mul)(f32* dst, const f32* a, const f32* b, u32 n);
+  void (*mul_imm)(f32* dst, const f32* a, f32 value, u32 n);
+  void (*neg)(f32* dst, const f32* a, u32 n);
+  /// dst[i] = acc[i] + a[i] * b[i], multiply-then-add (two roundings).
+  void (*mac)(f32* dst, const f32* acc, const f32* a, const f32* b, u32 n);
+  /// dst[i] = acc[i] + a[i] * value, multiply-then-add.
+  void (*mac_imm)(f32* dst, const f32* acc, const f32* a, f32 value, u32 n);
+};
+
+/// The dispatched kernel table (resolved once, on first use).
+const Kernels& kernels();
+
+/// True when dispatch selected the AVX2 implementation (diagnostics).
+bool avx2_active();
+
+/// The two implementations, exposed for differential tests.
+const Kernels& scalar_kernels();
+#ifdef FVDF_HAVE_AVX2_TU
+const Kernels& avx2_kernels(); // defined in dsd_simd_avx2.cpp
+#endif
+
+} // namespace fvdf::wse::simd

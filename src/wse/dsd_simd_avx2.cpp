@@ -1,0 +1,111 @@
+// AVX2 implementations of the batched DSD kernels. This translation unit is
+// the ONLY one compiled with -mavx2, and deliberately without -mfma: AVX2
+// does not imply FMA3, so the compiler cannot contract the explicit
+// multiply+add pairs below into fused ops. Every element therefore goes
+// through the same two-rounding mul-then-add sequence as the scalar
+// fallback, keeping the two implementations bitwise-identical.
+//
+// Pointers may be unaligned (the PE memory arena only guarantees 4-byte
+// alignment), so all accesses use loadu/storeu. Sources either equal dst
+// exactly or are disjoint from it (the DSD engine enforces this), which
+// makes load-all-then-store-per-lane-block safe.
+
+#include "wse/dsd_simd.hpp"
+
+#include <immintrin.h>
+
+namespace fvdf::wse::simd {
+
+namespace {
+
+constexpr u32 kLanes = 8;
+
+void v_fill(f32* dst, f32 value, u32 n) {
+  const __m256 v = _mm256_set1_ps(value);
+  u32 i = 0;
+  for (; i + kLanes <= n; i += kLanes) _mm256_storeu_ps(dst + i, v);
+  for (; i < n; ++i) dst[i] = value;
+}
+
+void v_mov(f32* dst, const f32* src, u32 n) {
+  u32 i = 0;
+  for (; i + kLanes <= n; i += kLanes)
+    _mm256_storeu_ps(dst + i, _mm256_loadu_ps(src + i));
+  for (; i < n; ++i) dst[i] = src[i];
+}
+
+void v_add(f32* dst, const f32* a, const f32* b, u32 n) {
+  u32 i = 0;
+  for (; i + kLanes <= n; i += kLanes)
+    _mm256_storeu_ps(dst + i,
+                     _mm256_add_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+  for (; i < n; ++i) dst[i] = a[i] + b[i];
+}
+
+void v_sub(f32* dst, const f32* a, const f32* b, u32 n) {
+  u32 i = 0;
+  for (; i + kLanes <= n; i += kLanes)
+    _mm256_storeu_ps(dst + i,
+                     _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+  for (; i < n; ++i) dst[i] = a[i] - b[i];
+}
+
+void v_mul(f32* dst, const f32* a, const f32* b, u32 n) {
+  u32 i = 0;
+  for (; i + kLanes <= n; i += kLanes)
+    _mm256_storeu_ps(dst + i,
+                     _mm256_mul_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+  for (; i < n; ++i) dst[i] = a[i] * b[i];
+}
+
+void v_mul_imm(f32* dst, const f32* a, f32 value, u32 n) {
+  const __m256 v = _mm256_set1_ps(value);
+  u32 i = 0;
+  for (; i + kLanes <= n; i += kLanes)
+    _mm256_storeu_ps(dst + i, _mm256_mul_ps(_mm256_loadu_ps(a + i), v));
+  for (; i < n; ++i) dst[i] = a[i] * value;
+}
+
+void v_neg(f32* dst, const f32* a, u32 n) {
+  // IEEE negation is a sign-bit flip; XOR with -0.0f matches scalar -x
+  // bit-for-bit, including for NaNs and zeros.
+  const __m256 sign = _mm256_set1_ps(-0.0f);
+  u32 i = 0;
+  for (; i + kLanes <= n; i += kLanes)
+    _mm256_storeu_ps(dst + i, _mm256_xor_ps(_mm256_loadu_ps(a + i), sign));
+  for (; i < n; ++i) dst[i] = -a[i];
+}
+
+void v_mac(f32* dst, const f32* acc, const f32* a, const f32* b, u32 n) {
+  u32 i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const __m256 prod = _mm256_mul_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    _mm256_storeu_ps(dst + i, _mm256_add_ps(_mm256_loadu_ps(acc + i), prod));
+  }
+  for (; i < n; ++i) {
+    const f32 prod = a[i] * b[i];
+    dst[i] = acc[i] + prod;
+  }
+}
+
+void v_mac_imm(f32* dst, const f32* acc, const f32* a, f32 value, u32 n) {
+  const __m256 v = _mm256_set1_ps(value);
+  u32 i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const __m256 prod = _mm256_mul_ps(_mm256_loadu_ps(a + i), v);
+    _mm256_storeu_ps(dst + i, _mm256_add_ps(_mm256_loadu_ps(acc + i), prod));
+  }
+  for (; i < n; ++i) {
+    const f32 prod = a[i] * value;
+    dst[i] = acc[i] + prod;
+  }
+}
+
+constexpr Kernels kAvx2{v_fill, v_mov,  v_add, v_sub,    v_mul,
+                        v_mul_imm, v_neg, v_mac, v_mac_imm};
+
+} // namespace
+
+const Kernels& avx2_kernels() { return kAvx2; }
+
+} // namespace fvdf::wse::simd

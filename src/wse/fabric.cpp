@@ -10,6 +10,7 @@
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "telemetry/collector.hpp"
+#include "wse/bytecode_interp.hpp"
 
 // Telemetry hot-path hooks: a null-pointer test per site when compiled in,
 // nothing at all under -DFVDF_TELEMETRY=OFF. `stmt` may use `collector`
@@ -677,6 +678,16 @@ void Fabric::run_task(Shard& shard, Pe& pe, Color color, f64 t) {
   emit_trace(shard, TraceEvent::TaskRun, t, pe.coord, color, 0);
   if (color == kInvalidColor) {
     pe.program->on_start(ctx);
+    // Bytecode-compiled programs expose their instruction stream after
+    // setup; cache it so later activations skip the virtual on_task and
+    // dispatch straight into the interpreter.
+    pe.bc_prog = pe.program->bytecode();
+    pe.bc_state = pe.program->bytecode_state();
+  } else if (pe.bc_prog != nullptr) {
+    const u16 pc = pe.bc_state->handler[color];
+    FVDF_CHECK_MSG(pc != bc::kNoPc, "bytecode program: unexpected task color "
+                                        << static_cast<int>(color));
+    bc::run(ctx, *pe.bc_state, *pe.bc_prog, pc);
   } else {
     pe.program->on_task(ctx, color);
   }

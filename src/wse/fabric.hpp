@@ -246,6 +246,10 @@ private:
     Router router;
     OpCounters counters;
     std::unique_ptr<PeProgram> program;
+    // Bytecode fast path, cached from the program after on_start: task
+    // activations dispatch into the interpreter without virtual calls.
+    const bc::Program* bc_prog = nullptr;
+    bc::VmState* bc_state = nullptr;
     f64 busy_until = 0;
     bool halted = false;
     std::array<std::deque<RecvDesc>, kNumRoutableColors> recv_queues;

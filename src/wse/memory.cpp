@@ -43,54 +43,12 @@ MemSpan PeMemory::alloc_bytes(const std::string& name, u32 count) {
   return MemSpan{offset_bytes, count};
 }
 
-f32 PeMemory::load(u32 word_offset) const {
-  FVDF_CHECK_MSG(static_cast<u64>(word_offset) * 4 + 4 <= used_,
-                 "load past allocated memory at word " << word_offset);
-  f32 value;
-  std::memcpy(&value, storage_.data() + word_offset * 4u, 4);
-  return value;
-}
-
-void PeMemory::store(u32 word_offset, f32 value) {
-  FVDF_CHECK_MSG(static_cast<u64>(word_offset) * 4 + 4 <= used_,
-                 "store past allocated memory at word " << word_offset);
-  std::memcpy(storage_.data() + word_offset * 4u, &value, 4);
-}
-
-void PeMemory::load_words(u32 word_offset, f32* dst, u32 count) const {
-  FVDF_CHECK_MSG((static_cast<u64>(word_offset) + count) * 4 <= used_,
-                 "load past allocated memory at words [" << word_offset << ", "
-                                                         << word_offset + count << ")");
-  std::memcpy(dst, storage_.data() + static_cast<u64>(word_offset) * 4u,
-              static_cast<std::size_t>(count) * 4u);
-}
-
-void PeMemory::store_words(u32 word_offset, const f32* src, u32 count) {
-  FVDF_CHECK_MSG((static_cast<u64>(word_offset) + count) * 4 <= used_,
-                 "store past allocated memory at words [" << word_offset << ", "
-                                                          << word_offset + count << ")");
-  std::memcpy(storage_.data() + static_cast<u64>(word_offset) * 4u, src,
-              static_cast<std::size_t>(count) * 4u);
-}
-
-f32* PeMemory::word_ptr(u32 word_offset) {
-  FVDF_CHECK(static_cast<u64>(word_offset) * 4 < used_);
-  return reinterpret_cast<f32*>(storage_.data() + word_offset * 4u);
-}
-
-const f32* PeMemory::word_ptr(u32 word_offset) const {
-  FVDF_CHECK(static_cast<u64>(word_offset) * 4 < used_);
-  return reinterpret_cast<const f32*>(storage_.data() + word_offset * 4u);
-}
-
-u8 PeMemory::load_byte(u32 byte_offset) const {
-  FVDF_CHECK(byte_offset < used_);
-  return storage_[byte_offset];
-}
-
-void PeMemory::store_byte(u32 byte_offset, u8 value) {
-  FVDF_CHECK(byte_offset < used_);
-  storage_[byte_offset] = value;
+void PeMemory::bounds_fail(u32 word_offset, u32 count) const {
+  std::ostringstream os;
+  os << "access past allocated memory at words [" << word_offset << ", "
+     << word_offset + count << "): " << used_ << " B allocated\n"
+     << allocation_map();
+  throw Error(os.str());
 }
 
 std::string PeMemory::allocation_map() const {

@@ -6,6 +6,7 @@
 // testable failure (the paper's Sec. III-E1 is entirely about fitting the
 // largest possible Nz into 48 KiB).
 
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -38,21 +39,61 @@ public:
   u64 used_bytes() const { return used_; }
   u64 free_bytes() const { return capacity_ - reserved_ - used_; }
 
-  /// fp32 view of the arena (bounds-checked accessors).
-  f32 load(u32 word_offset) const;
-  void store(u32 word_offset, f32 value);
+  // fp32 view of the arena. All accessors are bounds-checked and inline —
+  // they sit under every simulated DSD element and every ramp word, so the
+  // failure path (diagnostic string building) lives out of line.
+  f32 load(u32 word_offset) const {
+    check_words(word_offset, 1);
+    f32 value;
+    std::memcpy(&value, storage_.data() + word_offset * 4u, 4);
+    return value;
+  }
+  void store(u32 word_offset, f32 value) {
+    check_words(word_offset, 1);
+    std::memcpy(storage_.data() + word_offset * 4u, &value, 4);
+  }
 
   /// Bulk fp32 access for contiguous (stride-1) transfers: one bounds
   /// check and one memcpy instead of a load/store per word. The fabric's
   /// ramp delivery and send-gather paths live on these.
-  void load_words(u32 word_offset, f32* dst, u32 count) const;
-  void store_words(u32 word_offset, const f32* src, u32 count);
-  f32* word_ptr(u32 word_offset);
-  const f32* word_ptr(u32 word_offset) const;
+  void load_words(u32 word_offset, f32* dst, u32 count) const {
+    check_words(word_offset, count);
+    std::memcpy(dst, storage_.data() + static_cast<u64>(word_offset) * 4u,
+                static_cast<std::size_t>(count) * 4u);
+  }
+  void store_words(u32 word_offset, const f32* src, u32 count) {
+    check_words(word_offset, count);
+    std::memcpy(storage_.data() + static_cast<u64>(word_offset) * 4u, src,
+                static_cast<std::size_t>(count) * 4u);
+  }
+  f32* word_ptr(u32 word_offset) {
+    check_words(word_offset, 1);
+    return reinterpret_cast<f32*>(storage_.data() + word_offset * 4u);
+  }
+  const f32* word_ptr(u32 word_offset) const {
+    check_words(word_offset, 1);
+    return reinterpret_cast<const f32*>(storage_.data() + word_offset * 4u);
+  }
+  /// Pointer to a whole [offset, offset+count) word range, bounds-checked
+  /// once — the entry point of the vectorized DSD fast path.
+  f32* span_ptr(u32 word_offset, u32 count) {
+    check_words(word_offset, count);
+    return reinterpret_cast<f32*>(storage_.data() + word_offset * 4u);
+  }
+  const f32* span_ptr(u32 word_offset, u32 count) const {
+    check_words(word_offset, count);
+    return reinterpret_cast<const f32*>(storage_.data() + word_offset * 4u);
+  }
 
   /// Byte view (for mask arrays).
-  u8 load_byte(u32 byte_offset) const;
-  void store_byte(u32 byte_offset, u8 value);
+  u8 load_byte(u32 byte_offset) const {
+    if (byte_offset >= used_) bounds_fail(byte_offset / 4, 1);
+    return storage_[byte_offset];
+  }
+  void store_byte(u32 byte_offset, u8 value) {
+    if (byte_offset >= used_) bounds_fail(byte_offset / 4, 1);
+    storage_[byte_offset] = value;
+  }
 
   /// Human-readable allocation map (used in OOM diagnostics and tests).
   std::string allocation_map() const;
@@ -65,6 +106,12 @@ private:
   };
 
   u32 alloc_raw(const std::string& name, u32 bytes);
+
+  void check_words(u32 word_offset, u32 count) const {
+    if ((static_cast<u64>(word_offset) + count) * 4 > used_)
+      bounds_fail(word_offset, count);
+  }
+  [[noreturn]] void bounds_fail(u32 word_offset, u32 count) const;
 
   u64 capacity_;
   u64 reserved_;

@@ -4,8 +4,7 @@
 
 namespace fvdf::wse {
 
-void PayloadRef::reset() {
-  if (!node_) return;
+void PayloadRef::release() {
   detail::PayloadNode* node = node_;
   node_ = nullptr;
   if (node->refs.fetch_sub(1, std::memory_order_acq_rel) == 1)

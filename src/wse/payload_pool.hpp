@@ -60,7 +60,12 @@ public:
   }
   ~PayloadRef() { reset(); }
 
-  void reset();
+  // Inline null test: most PayloadRef destructions are of empty handles
+  // (moved-from flits, control wavelets), and this sits on the per-event
+  // path. The refcount drop + recycle stays out of line.
+  void reset() {
+    if (node_) release();
+  }
 
   explicit operator bool() const { return node_ != nullptr; }
   const std::vector<f32>& operator*() const { return node_->words; }
@@ -74,6 +79,7 @@ public:
 private:
   friend class PayloadPool;
   explicit PayloadRef(detail::PayloadNode* node) : node_(node) {}
+  void release(); // non-null drop path
   detail::PayloadNode* node_ = nullptr;
 };
 

@@ -133,6 +133,11 @@ struct ProgramManifest {
   }
 };
 
+namespace bc {
+struct Program;
+struct VmState;
+} // namespace bc
+
 class PeProgram {
 public:
   virtual ~PeProgram() = default;
@@ -140,6 +145,13 @@ public:
   virtual void on_start(PeContext& ctx) = 0;
   /// Runs when `color` activates (local activation or completion callback).
   virtual void on_task(PeContext& ctx, Color color) = 0;
+
+  /// Bytecode-compiled programs expose their flat instruction stream and
+  /// interpreter state (see wse/bytecode.hpp) so the fabric can dispatch
+  /// task activations straight into the interpreter instead of through
+  /// on_task. nullptr (the default) selects the legacy virtual path.
+  virtual const bc::Program* bytecode() const { return nullptr; }
+  virtual bc::VmState* bytecode_state() { return nullptr; }
 
   /// Static manifest for the verifier, queried *after* on_start has run
   /// (so it may depend on configuration established there). The default —

@@ -1,5 +1,6 @@
 #include "wse/router.hpp"
 
+#include <cstdlib>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -32,6 +33,29 @@ void Router::configure(Color color, ColorConfig config) {
   state.config = std::move(config);
   state.current = 0;
   state.configured = true;
+  refresh_current(color);
+}
+
+void Router::refresh_current(Color color) {
+  const State& state = colors_[color];
+  const SwitchPosition& pos = state.config.positions[state.current];
+  cur_rx_[color] = pos.rx;
+  cur_tx_[color] = pos.tx;
+}
+
+void Router::unconfigured_fail(Color color, Dir from) const {
+  FVDF_CHECK_MSG(false, "wavelet on unconfigured color "
+                            << static_cast<int>(color) << " arriving from "
+                            << to_string(from) << where());
+  std::abort(); // unreachable: the check above always throws
+}
+
+void Router::misroute_fail(Color color, Dir from) const {
+  FVDF_CHECK_MSG(false, "misrouted wavelet: color "
+                            << static_cast<int>(color) << " arrived from "
+                            << to_string(from) << " at switch position "
+                            << colors_[color].current << where());
+  std::abort(); // unreachable: the check above always throws
 }
 
 bool Router::is_configured(Color color) const {
@@ -44,30 +68,6 @@ const ColorConfig& Router::config(Color color) const {
   FVDF_CHECK_MSG(colors_[color].configured,
                  "no route installed for color " << static_cast<int>(color) << where());
   return colors_[color].config;
-}
-
-DirMask Router::route(Color color, Dir from) const {
-  check_routable(color);
-  const auto& state = colors_[color];
-  FVDF_CHECK_MSG(state.configured, "wavelet on unconfigured color "
-                                       << static_cast<int>(color) << " arriving from "
-                                       << to_string(from) << where());
-  const SwitchPosition& pos = state.config.positions[state.current];
-  FVDF_CHECK_MSG(pos.rx.contains(from),
-                 "misrouted wavelet: color " << static_cast<int>(color)
-                                             << " arrived from " << to_string(from)
-                                             << " at switch position " << state.current
-                                             << where());
-  return pos.tx;
-}
-
-bool Router::accepts(Color color, Dir from) const {
-  check_routable(color);
-  const auto& state = colors_[color];
-  FVDF_CHECK_MSG(state.configured, "wavelet on unconfigured color "
-                                       << static_cast<int>(color) << " arriving from "
-                                       << to_string(from) << where());
-  return state.config.positions[state.current].rx.contains(from);
 }
 
 bool Router::may_transmit(Color color, Dir dir) const {
@@ -89,7 +89,10 @@ void Router::advance(ColorMask mask) {
       ++state.current;
     } else if (state.config.ring_mode) {
       state.current = 0;
+    } else {
+      continue; // saturated: current position (and its cached masks) stand
     }
+    refresh_current(color);
   }
 }
 

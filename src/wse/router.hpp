@@ -51,14 +51,25 @@ public:
   const ColorConfig& config(Color color) const;
 
   /// Output links for a wavelet of `color` arriving from `from`. Throws if
-  /// the color is unconfigured (a program bug, never silent).
-  DirMask route(Color color, Dir from) const;
+  /// the color is unconfigured (a program bug, never silent). Inline fast
+  /// path over the cached current-position masks: this and accepts() run
+  /// once per flit hop, the hottest edge of the whole simulator.
+  DirMask route(Color color, Dir from) const {
+    check_routable(color);
+    if (!colors_[color].configured) unconfigured_fail(color, from);
+    if (!cur_rx_[color].contains(from)) misroute_fail(color, from);
+    return cur_tx_[color];
+  }
 
   /// True when the current switch position accepts wavelets from `from`.
   /// When false, hardware exerts backpressure: the wavelet stalls on its
   /// link until a control advances the switch (the fabric models this by
   /// parking and re-dispatching the flit).
-  bool accepts(Color color, Dir from) const;
+  bool accepts(Color color, Dir from) const {
+    check_routable(color);
+    if (!colors_[color].configured) unconfigured_fail(color, from);
+    return cur_rx_[color].contains(from);
+  }
 
   /// True when *any* installed switch position of `color` can transmit on
   /// `dir` — a reachability over-approximation for static analyses (the
@@ -82,8 +93,16 @@ private:
   };
 
   std::string where() const; // " at PE (x, y)" context for error messages
+  [[noreturn]] void unconfigured_fail(Color color, Dir from) const;
+  [[noreturn]] void misroute_fail(Color color, Dir from) const;
+  void refresh_current(Color color); // syncs the mask caches below
 
   std::array<State, kNumRoutableColors> colors_{};
+  // Rx/tx masks of each color's *current* switch position, maintained by
+  // configure()/advance() so the per-flit route/accepts lookups touch two
+  // flat 24-byte arrays instead of chasing the position vectors.
+  std::array<DirMask, kNumRoutableColors> cur_rx_{};
+  std::array<DirMask, kNumRoutableColors> cur_tx_{};
   PeCoord coord_{};
   bool has_coord_ = false;
 };

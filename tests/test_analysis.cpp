@@ -6,15 +6,21 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <sstream>
 #include <string>
 
 #include "analysis/fixtures.hpp"
 #include "analysis/verifier.hpp"
 #include "common/error.hpp"
+#include "core/bytecode_program.hpp"
+#include "core/chebyshev_program.hpp"
+#include "core/pe_program.hpp"
 #include "core/solver.hpp"
 #include "fv/operator.hpp"
 #include "fv/problem.hpp"
 #include "solver/chebyshev.hpp"
+#include "wse/bytecode.hpp"
 #include "wse/fabric.hpp"
 #include "wse/router.hpp"
 
@@ -239,6 +245,153 @@ TEST(VerifyDataflow, PreflightDoesNotChangeTheSolve) {
   EXPECT_EQ(a.iterations, b.iterations);
   EXPECT_EQ(a.final_rr, b.final_rr);
   EXPECT_EQ(a.delta, b.delta);
+}
+
+// ---------- bytecode static layer: lint, manifests, disassembly ----------
+
+namespace bc = wse::bc;
+
+core::CgPeConfig cg_config(u32 nz) {
+  core::CgPeConfig config;
+  config.nz = nz;
+  config.tolerance = 1e-6f;
+  config.init.p0.resize(nz, 0.0f);
+  return config;
+}
+
+core::ChebyshevPeConfig chebyshev_config(u32 nz) {
+  core::ChebyshevPeConfig config;
+  config.nz = nz;
+  config.tolerance = 1e-6f;
+  config.lambda_min = 0.05f;
+  config.lambda_max = 12.0f;
+  config.init.p0.resize(nz, 0.0f);
+  return config;
+}
+
+core::LoweringSite site_at(wse::PeCoord coord, i64 w, i64 h, u32 nz) {
+  return core::plan_site(coord, w, h, wse::PeMemoryParams{}, nz,
+                         core::FluxMode::Fused, /*dirichlet_count=*/0,
+                         /*jacobi=*/false, /*with_source=*/false);
+}
+
+// The wavelet-bearing facts (injections, switch advances, message widths)
+// must agree exactly — they drive route checks and the lookahead planner.
+// Handler/activation sets only need containment: the hand-written legacy
+// manifests declare every completion color a collective could ever bind,
+// whereas the instruction stream knows which ones this site actually does
+// (a 1x1 fabric, say, never binds the row-neighbor join colors).
+void expect_manifest_matches(const wse::ProgramManifest& derived,
+                             const wse::ProgramManifest& legacy,
+                             const std::string& where) {
+  EXPECT_EQ(derived.injects, legacy.injects) << where;
+  EXPECT_EQ(derived.advances, legacy.advances) << where;
+  EXPECT_EQ(derived.handles & ~legacy.handles, 0u) << where;
+  EXPECT_EQ(derived.activates & ~legacy.activates, 0u) << where;
+  for (wse::Color c = 0; c < wse::kNumRoutableColors; ++c) {
+    if (wse::color_set_contains(legacy.injects, c)) {
+      EXPECT_EQ(derived.min_inject_words[c], legacy.min_inject_words[c])
+          << where << " color " << static_cast<int>(c);
+    }
+  }
+}
+
+TEST(BytecodeStatic, LoweredProgramsLintCleanOnAllShapes) {
+  constexpr u32 nz = 5;
+  const auto cg = cg_config(nz);
+  const auto cheb = chebyshev_config(nz);
+  for (const auto [w, h] : kShapes) {
+    for (const wse::PeCoord coord :
+         {wse::PeCoord{0, 0}, wse::PeCoord{w - 1, h - 1},
+          wse::PeCoord{w / 2, h / 2}}) {
+      const auto site = site_at(coord, w, h, nz);
+      const auto issues = bc::lint_program(*core::lower_cg(cg, site));
+      EXPECT_TRUE(issues.empty())
+          << w << "x" << h << " cg: " << issues.front();
+      const auto cheb_issues =
+          bc::lint_program(*core::lower_chebyshev(cheb, site));
+      EXPECT_TRUE(cheb_issues.empty())
+          << w << "x" << h << " chebyshev: " << cheb_issues.front();
+    }
+  }
+}
+
+// The derived manifest is what the verifier and the lookahead planner
+// consume; it must agree with the hand-written legacy manifests at every
+// PE of every shape, including the declared minimum message widths.
+TEST(BytecodeStatic, DerivedCgManifestMatchesLegacy) {
+  constexpr u32 nz = 4;
+  const auto config = cg_config(nz);
+  const core::CgPeProgram legacy(config);
+  for (const auto [w, h] : kShapes)
+    for (i64 y = 0; y < h; ++y)
+      for (i64 x = 0; x < w; ++x) {
+        const auto site = site_at({x, y}, w, h, nz);
+        const auto derived = bc::derive_manifest(*core::lower_cg(config, site));
+        std::ostringstream where;
+        where << "PE (" << x << ", " << y << ") on " << w << "x" << h;
+        expect_manifest_matches(derived, legacy.manifest({x, y}, w, h),
+                                where.str());
+      }
+}
+
+TEST(BytecodeStatic, DerivedChebyshevManifestMatchesLegacy) {
+  constexpr u32 nz = 4;
+  const auto config = chebyshev_config(nz);
+  const core::ChebyshevPeProgram legacy(config);
+  for (const auto [w, h] : kShapes)
+    for (i64 y = 0; y < h; ++y)
+      for (i64 x = 0; x < w; ++x) {
+        const auto site = site_at({x, y}, w, h, nz);
+        const auto derived =
+            bc::derive_manifest(*core::lower_chebyshev(config, site));
+        std::ostringstream where;
+        where << "PE (" << x << ", " << y << ") on " << w << "x" << h;
+        expect_manifest_matches(derived, legacy.manifest({x, y}, w, h),
+                                where.str());
+      }
+}
+
+TEST(BytecodeStatic, DisassemblyListsEveryInstruction) {
+  const auto site = site_at({1, 1}, 3, 3, 4);
+  const auto program = core::lower_cg(cg_config(4), site);
+  const std::string text = bc::disassemble(*program);
+  // Header line plus one line per instruction.
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(text.begin(), text.end(), '\n')),
+            program->code.size() + 1);
+  EXPECT_NE(text.find("program \"cg\""), std::string::npos);
+  for (const char* mnemonic : {"SEND", "RECV", "VDOT", "VMAC", "JTOL", "HALT"})
+    EXPECT_NE(text.find(mnemonic), std::string::npos) << mnemonic;
+}
+
+TEST(BytecodeStatic, LintFlagsCorruptedEncodings) {
+  const auto site = site_at({1, 1}, 3, 3, 4);
+  const auto clean = core::lower_cg(cg_config(4), site);
+
+  bc::Program empty;
+  empty.name = "empty";
+  ASSERT_FALSE(bc::lint_program(empty).empty());
+
+  bc::Program bad_entry = *clean;
+  bad_entry.entry = static_cast<u16>(bad_entry.code.size());
+  EXPECT_FALSE(bc::lint_program(bad_entry).empty());
+
+  bc::Program bad_branch = *clean;
+  for (auto& ins : bad_branch.code)
+    if (ins.op == bc::Op::JMP) {
+      ins.d = 0xfffe;
+      break;
+    }
+  EXPECT_FALSE(bc::lint_program(bad_branch).empty());
+
+  bc::Program bad_dsd = *clean;
+  for (auto& ins : bad_dsd.code)
+    if (ins.op == bc::Op::VDOT) {
+      ins.b = static_cast<u8>(bad_dsd.dsds.size());
+      break;
+    }
+  EXPECT_FALSE(bc::lint_program(bad_dsd).empty());
 }
 
 } // namespace

@@ -5,10 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "core/solver.hpp"
 #include "core/validation.hpp"
 #include "fv/problem.hpp"
 #include "solver/pressure_solve.hpp"
+#include "telemetry/session.hpp"
 
 namespace fvdf::core {
 namespace {
@@ -125,6 +128,162 @@ TEST(DataflowSolver, ReportsFabricTraffic) {
   EXPECT_GT(result.fabric.messages_sent, 0u);
   EXPECT_GT(result.fabric.words_delivered, 0u);
   EXPECT_GT(result.counters.total_flops(), 0u);
+}
+
+// --- engine parity --------------------------------------------------------
+// The bytecode engine (SimEngine::Bytecode, the default) must be a
+// bit-exact drop-in for the legacy state-machine programs: identical
+// solution words, iteration counts, cycle counts, fabric statistics,
+// residual histories and telemetry, on every kernel configuration.
+
+void expect_bitwise_identical(const DataflowResult& a, const DataflowResult& b) {
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.converged, b.converged);
+  ASSERT_EQ(a.delta.size(), b.delta.size());
+  EXPECT_EQ(std::memcmp(a.delta.data(), b.delta.data(),
+                        a.delta.size() * sizeof(f32)),
+            0);
+  ASSERT_EQ(a.pressure.size(), b.pressure.size());
+  EXPECT_EQ(std::memcmp(a.pressure.data(), b.pressure.data(),
+                        a.pressure.size() * sizeof(f32)),
+            0);
+  EXPECT_EQ(std::memcmp(&a.final_rr, &b.final_rr, sizeof(f32)), 0);
+  EXPECT_EQ(a.device_cycles, b.device_cycles); // exact, not approximate
+  EXPECT_EQ(a.fabric, b.fabric);               // every traffic counter
+  EXPECT_EQ(a.counters.summary(), b.counters.summary());
+  EXPECT_EQ(a.residual_history, b.residual_history);
+}
+
+struct EnginePair {
+  DataflowResult bytecode;
+  DataflowResult legacy;
+  std::array<f64, telemetry::kNumPhases> bytecode_phases{};
+  std::array<f64, telemetry::kNumPhases> legacy_phases{};
+};
+
+EnginePair run_both_engines(const FlowProblem& problem, DataflowConfig config) {
+  EnginePair out;
+  {
+    telemetry::Session session({telemetry::Level::Metrics});
+    config.engine = SimEngine::Bytecode;
+    config.telemetry = &session;
+    out.bytecode = solve_dataflow(problem, config);
+    out.bytecode_phases = session.reference_phase_cycles();
+  }
+  {
+    telemetry::Session session({telemetry::Level::Metrics});
+    config.engine = SimEngine::Legacy;
+    config.telemetry = &session;
+    out.legacy = solve_dataflow(problem, config);
+    out.legacy_phases = session.reference_phase_cycles();
+  }
+  return out;
+}
+
+TEST(EngineParity, CgFusedIsBitwiseIdentical) {
+  const auto problem = FlowProblem::quarter_five_spot(6, 5, 8, /*seed=*/42);
+  const auto pair = run_both_engines(problem, tight_config(FluxMode::Fused));
+  ASSERT_TRUE(pair.bytecode.converged);
+  expect_bitwise_identical(pair.bytecode, pair.legacy);
+  // Telemetry attribution (Table-II phase cycles) matches to the bit too:
+  // both engines charge the same phases at the same cycle cursors.
+  for (std::size_t p = 0; p < pair.bytecode_phases.size(); ++p)
+    EXPECT_EQ(pair.bytecode_phases[p], pair.legacy_phases[p]) << "phase " << p;
+}
+
+TEST(EngineParity, CgOnTheFlyIsBitwiseIdentical) {
+  const auto problem = FlowProblem::quarter_five_spot(5, 4, 6, /*seed=*/7);
+  const auto pair = run_both_engines(problem, tight_config(FluxMode::OnTheFly));
+  ASSERT_TRUE(pair.bytecode.converged);
+  expect_bitwise_identical(pair.bytecode, pair.legacy);
+}
+
+TEST(EngineParity, JacobiPreconditionedWithShiftIsBitwiseIdentical) {
+  const auto problem = FlowProblem::quarter_five_spot(4, 5, 5, /*seed=*/11);
+  DataflowConfig config = tight_config();
+  config.jacobi_precondition = true;
+  config.diagonal_shift = 0.05f;
+  const auto pair = run_both_engines(problem, config);
+  ASSERT_TRUE(pair.bytecode.converged);
+  expect_bitwise_identical(pair.bytecode, pair.legacy);
+}
+
+TEST(EngineParity, JxOnlyModeIsBitwiseIdentical) {
+  const auto problem = FlowProblem::homogeneous_column(4, 4, 6);
+  DataflowConfig config;
+  config.jx_only = true;
+  config.max_iterations = 8;
+  const auto pair = run_both_engines(problem, config);
+  EXPECT_EQ(pair.bytecode.iterations, 8u);
+  expect_bitwise_identical(pair.bytecode, pair.legacy);
+}
+
+// Odd/even fabric extents select different Table-I schedule parities and
+// different lowered programs — every shape must agree with legacy.
+TEST(EngineParity, HoldsAcrossFabricShapes) {
+  for (const auto& [nx, ny, nz] :
+       {ShapeParam{1, 1, 4}, ShapeParam{1, 5, 3}, ShapeParam{5, 1, 3},
+        ShapeParam{3, 4, 5}, ShapeParam{7, 2, 3}}) {
+    const auto problem = FlowProblem::quarter_five_spot(nx, ny, nz, /*seed=*/13, 0.5);
+    const auto pair = run_both_engines(problem, tight_config());
+    expect_bitwise_identical(pair.bytecode, pair.legacy);
+  }
+}
+
+TEST(EngineParity, ChebyshevIsBitwiseIdentical) {
+  const auto problem = FlowProblem::homogeneous_column(5, 5, 3);
+  ChebyshevDeviceConfig config;
+  config.bounds = SpectralBounds{0.05, 12.0}; // conservative bracket
+  config.tolerance = 1e-8f;
+  config.max_iterations = 2000;
+  config.check_every = 8;
+  DataflowResult bytecode, legacy;
+  {
+    telemetry::Session session({telemetry::Level::Metrics});
+    config.engine = SimEngine::Bytecode;
+    config.telemetry = &session;
+    bytecode = solve_dataflow_chebyshev(problem, config);
+  }
+  {
+    telemetry::Session session({telemetry::Level::Metrics});
+    config.engine = SimEngine::Legacy;
+    config.telemetry = &session;
+    legacy = solve_dataflow_chebyshev(problem, config);
+  }
+  expect_bitwise_identical(bytecode, legacy);
+}
+
+// sim_threads is a host-side knob: the bytecode engine must stay bitwise
+// deterministic under the parallel event engine, and equal to the legacy
+// engine at every thread count.
+TEST(EngineParity, HoldsAtEveryThreadCount) {
+  const auto problem = FlowProblem::quarter_five_spot(4, 6, 5, /*seed=*/23);
+  DataflowConfig config = tight_config();
+  config.sim_threads = 1;
+  const auto pair1 = run_both_engines(problem, config);
+  expect_bitwise_identical(pair1.bytecode, pair1.legacy);
+  for (u32 threads : {2u, 3u}) {
+    DataflowConfig threaded = tight_config();
+    threaded.sim_threads = threads;
+    const auto pair = run_both_engines(problem, threaded);
+    expect_bitwise_identical(pair.bytecode, pair.legacy);
+    expect_bitwise_identical(pair.bytecode, pair1.bytecode);
+  }
+}
+
+// The preflight verifier consumes the bytecode manifest (derived from the
+// instruction stream); a full verified solve must pass on both engines.
+TEST(EngineParity, VerifyPreflightPassesOnBothEngines) {
+  const auto problem = FlowProblem::quarter_five_spot(3, 3, 4, /*seed=*/5);
+  for (SimEngine engine : {SimEngine::Bytecode, SimEngine::Legacy}) {
+    DataflowConfig config = tight_config();
+    config.engine = engine;
+    config.verify_preflight = true;
+    const auto result = solve_dataflow(problem, config);
+    EXPECT_TRUE(result.converged);
+    const auto report = verify_dataflow(problem, config);
+    EXPECT_TRUE(report.ok()) << report.summary();
+  }
 }
 
 } // namespace

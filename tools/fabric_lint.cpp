@@ -8,6 +8,9 @@
 //                                             # dataflow scenario would load
 //   ./tools/fabric_lint --demo-defects        # seeded-defect programs, to
 //                                             # see the diagnostics fire
+//   ./tools/fabric_lint --dump-program        # disassemble every distinct
+//                                             # CG/Chebyshev bytecode program
+//                                             # the fabric would load
 //
 // Exit status: 0 when every verified program is clean (for --demo-defects:
 // when every defect is correctly rejected), 1 on verification errors,
@@ -16,13 +19,16 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <map>
 #include <string>
 
 #include "analysis/fixtures.hpp"
 #include "analysis/verifier.hpp"
 #include "app/scenario.hpp"
 #include "common/error.hpp"
+#include "core/bytecode_program.hpp"
 #include "core/solver.hpp"
+#include "wse/bytecode.hpp"
 
 using namespace fvdf;
 
@@ -31,7 +37,8 @@ namespace {
 void usage() {
   std::cerr << "usage: fabric_lint [--fabric WxH] [--nz N]\n"
                "       fabric_lint --scenario <case.ini>\n"
-               "       fabric_lint --demo-defects\n";
+               "       fabric_lint --demo-defects\n"
+               "       fabric_lint --dump-program [--fabric WxH] [--nz N]\n";
 }
 
 bool parse_fabric(const std::string& arg, i64& width, i64& height) {
@@ -125,6 +132,66 @@ int demo_defects() {
   return ok ? 0 : 1;
 }
 
+/// Disassembles every distinct bytecode program a WxH solve would load.
+/// PEs whose lowering inputs coincide share one Program (the same
+/// ProgramCache::key_for dedup the solver uses), so the dump lists each
+/// shape once with a representative coordinate. Static lint diagnostics
+/// for the encoding itself gate the exit status.
+int dump_programs(i64 width, i64 height, u32 nz) {
+  const wse::PeMemoryParams mem;
+  bool ok = true;
+
+  struct Lowering {
+    const char* name;
+    std::function<std::shared_ptr<const wse::bc::Program>(
+        const core::LoweringSite&)> lower;
+  };
+  core::CgPeConfig cg;
+  cg.nz = nz;
+  cg.tolerance = 1e-6f;
+  core::ChebyshevPeConfig cheb;
+  cheb.nz = nz;
+  cheb.tolerance = 1e-6f;
+  cheb.lambda_min = 0.05f;
+  cheb.lambda_max = 12.0f;
+  const Lowering lowerings[] = {
+      {"cg", [&](const core::LoweringSite& s) { return core::lower_cg(cg, s); }},
+      {"chebyshev", [&](const core::LoweringSite& s) {
+         return core::lower_chebyshev(cheb, s);
+       }}};
+
+  for (const auto& lowering : lowerings) {
+    std::map<core::ProgramCache::Key, wse::PeCoord> distinct;
+    for (i64 y = 0; y < height; ++y)
+      for (i64 x = 0; x < width; ++x) {
+        const auto site = core::plan_site({x, y}, width, height, mem, nz,
+                                          core::FluxMode::Fused,
+                                          /*dirichlet_count=*/0,
+                                          /*jacobi=*/false,
+                                          /*with_source=*/false);
+        distinct.emplace(core::ProgramCache::key_for(site), site.coord);
+      }
+    for (const auto& [key, coord] : distinct) {
+      const auto site = core::plan_site(coord, width, height, mem, nz,
+                                        core::FluxMode::Fused, 0, false, false);
+      const auto program = lowering.lower(site);
+      std::cout << "--- " << lowering.name << " bytecode @ PE (" << coord.x
+                << ", " << coord.y << ") on " << width << "x" << height
+                << " ---\n"
+                << wse::bc::disassemble(*program);
+      const auto issues = wse::bc::lint_program(*program);
+      for (const auto& issue : issues) std::cout << "lint: " << issue << '\n';
+      ok &= issues.empty();
+      std::cout << '\n';
+    }
+    std::cout << lowering.name << ": " << distinct.size()
+              << " distinct program(s) on " << width << "x" << height << "\n\n";
+  }
+  std::cout << (ok ? "fabric_lint: all dumped programs lint clean\n"
+                   : "fabric_lint: FAIL — lint diagnostics above\n");
+  return ok ? 0 : 1;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -133,6 +200,7 @@ int main(int argc, char** argv) {
   long nz = 8;
   std::string scenario_path;
   bool defects = false;
+  bool dump = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--fabric" && i + 1 < argc) {
@@ -150,6 +218,8 @@ int main(int argc, char** argv) {
       scenario_path = argv[++i];
     } else if (arg == "--demo-defects") {
       defects = true;
+    } else if (arg == "--dump-program") {
+      dump = true;
     } else {
       usage();
       return 2;
@@ -157,6 +227,7 @@ int main(int argc, char** argv) {
   }
   try {
     if (defects) return demo_defects();
+    if (dump) return dump_programs(width, height, static_cast<u32>(nz));
     if (!scenario_path.empty()) return lint_scenario(scenario_path);
     return lint_suite(width, height, static_cast<u32>(nz));
   } catch (const Error& e) {
