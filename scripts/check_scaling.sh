@@ -45,6 +45,20 @@ CSV="$(mktemp)"
 JSON="$(mktemp)"
 trap 'rm -f "$CSV" "$JSON"' EXIT
 
+# ---- lookahead window provenance -----------------------------------
+# The sharded engine's channel-lookahead windows are what the speedup
+# below rests on. Print the bytecode-derived table next to the
+# manifest-derived one (fabric_lint exits non-zero if the abstract
+# interpreter ever proves a *looser* window than the declarations).
+LINT="$BUILD/tools/fabric_lint"
+if [[ ! -x "$LINT" ]]; then
+  echo "building fabric_lint in $BUILD"
+  cmake --build "$BUILD" --target fabric_lint -j > /dev/null
+fi
+echo "---- channel-lookahead windows (bytecode vs manifest) ----"
+"$LINT" --lookahead --fabric 16x16 --sim-threads "$THREADS"
+echo "----------------------------------------------------------"
+
 # Sweep exactly the two points the gate compares so CI time stays
 # bounded; the small workload rides along as the bitwise-identity check.
 "$BENCH" --threads-sweep "1,$THREADS" --out "$JSON" --csv "$CSV"

@@ -1,0 +1,198 @@
+#include "analysis/cfg.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace fvdf::analysis {
+
+using wse::bc::Instr;
+using wse::bc::Op;
+using wse::bc::Program;
+
+namespace {
+
+bool is_cond_branch(Op op) {
+  return op == Op::JTOL || op == Op::JGTR || op == Op::JKGE ||
+         op == Op::DECJNZ;
+}
+
+/// Ops after which control does not simply fall to pc+1.
+bool is_transfer(Op op) {
+  return op == Op::JMP || op == Op::RET || op == Op::JIND ||
+         is_cond_branch(op);
+}
+
+void push_unique(std::vector<u32>& v, u32 value) {
+  if (std::find(v.begin(), v.end(), value) == v.end()) v.push_back(value);
+}
+
+} // namespace
+
+std::string CfgEntry::label() const {
+  std::ostringstream os;
+  switch (kind) {
+  case Kind::Start: os << "entry"; break;
+  case Kind::Handler: os << "handler c" << static_cast<u32>(id); break;
+  case Kind::Continuation: os << "cont" << static_cast<u32>(id); break;
+  }
+  return os.str();
+}
+
+Cfg build_cfg(const Program& program) {
+  Cfg cfg;
+  const auto n = static_cast<u32>(program.code.size());
+  cfg.reachable.assign(n, 0);
+  cfg.block_of.assign(n, kNoBlock);
+  if (n == 0) return cfg;
+
+  // --- reachability closure over both control-flow layers. A SETC target
+  // feeds every JIND of that register, so the edge set itself grows as the
+  // closure discovers SETC sites: a plain worklist reaches the fixed point.
+  std::vector<u32> worklist;
+  auto mark = [&](u32 pc) {
+    if (pc < n && !cfg.reachable[pc]) {
+      cfg.reachable[pc] = 1;
+      worklist.push_back(pc);
+    }
+  };
+  mark(program.entry);
+  while (!worklist.empty()) {
+    const u32 pc = worklist.back();
+    worklist.pop_back();
+    const Instr& ins = program.code[pc];
+    switch (ins.op) {
+    case Op::JMP:
+      mark(ins.d);
+      break;
+    case Op::JTOL: case Op::JGTR: case Op::JKGE: case Op::DECJNZ:
+      mark(ins.d);
+      mark(pc + 1);
+      break;
+    case Op::RET:
+      break;
+    case Op::JIND:
+      // Successors are the SETC targets discovered so far; targets found
+      // later are marked directly at their SETC site below.
+      if (ins.a < wse::bc::kNumCRegs)
+        for (u32 t : cfg.cont_targets[ins.a]) mark(t);
+      break;
+    case Op::SETH:
+      if (ins.a < wse::kNumColors && ins.d < n) {
+        push_unique(cfg.handler_targets[ins.a], ins.d);
+        mark(ins.d); // activation entry
+      }
+      mark(pc + 1);
+      break;
+    case Op::SETC:
+      if (ins.a < wse::bc::kNumCRegs && ins.d < n) {
+        push_unique(cfg.cont_targets[ins.a], ins.d);
+        mark(ins.d); // continuation entry (and every JIND's successor)
+      }
+      mark(pc + 1);
+      break;
+    default:
+      mark(pc + 1);
+      break;
+    }
+  }
+
+  // --- leaders: entry points, branch/binding targets, and the
+  // instruction after any control transfer. Computed over the whole
+  // stream (not just reachable code) so unreachable regions still get
+  // blocks in the dump.
+  std::vector<u8> leader(n, 0);
+  leader[0] = 1;
+  if (program.entry < n) leader[program.entry] = 1;
+  for (u32 pc = 0; pc < n; ++pc) {
+    const Instr& ins = program.code[pc];
+    if ((ins.op == Op::JMP || is_cond_branch(ins.op) || ins.op == Op::SETH ||
+         ins.op == Op::SETC) &&
+        ins.d < n)
+      leader[ins.d] = 1;
+    if (is_transfer(ins.op) && pc + 1 < n) leader[pc + 1] = 1;
+  }
+
+  for (u32 pc = 0; pc < n; ++pc) {
+    if (leader[pc]) {
+      cfg.blocks.push_back(CfgBlock{pc, pc, {}, false, false, false, false});
+    }
+    CfgBlock& block = cfg.blocks.back();
+    block.last = pc;
+    cfg.block_of[pc] = static_cast<u32>(cfg.blocks.size() - 1);
+    if (program.code[pc].op == Op::DECRET) block.may_return = true;
+  }
+
+  // --- successor edges per block terminator.
+  for (CfgBlock& block : cfg.blocks) {
+    const Instr& term = program.code[block.last];
+    auto edge = [&](u32 pc) {
+      if (pc < n) push_unique(block.succ, cfg.block_of[pc]);
+    };
+    switch (term.op) {
+    case Op::JMP:
+      edge(term.d);
+      break;
+    case Op::JTOL: case Op::JGTR: case Op::JKGE: case Op::DECJNZ:
+      edge(term.d);
+      if (block.last + 1 < n) edge(block.last + 1);
+      else block.falls_off_end = true;
+      break;
+    case Op::RET:
+      block.ends_activation = true;
+      break;
+    case Op::JIND:
+      if (term.a < wse::bc::kNumCRegs)
+        for (u32 t : cfg.cont_targets[term.a]) edge(t);
+      break;
+    default:
+      if (block.last + 1 < n) edge(block.last + 1);
+      else block.falls_off_end = true;
+      break;
+    }
+    block.reachable = cfg.reachable[block.first] != 0;
+  }
+
+  // --- entry points (deduplicated; handler/cont target lists already are).
+  auto add_entry = [&](CfgEntry::Kind kind, u8 id, u32 pc) {
+    cfg.entries.push_back(CfgEntry{kind, id, pc, cfg.block_of[pc]});
+  };
+  if (program.entry < n)
+    add_entry(CfgEntry::Kind::Start, 0, program.entry);
+  for (wse::Color c = 0; c < wse::kNumColors; ++c)
+    for (u32 t : cfg.handler_targets[c])
+      add_entry(CfgEntry::Kind::Handler, c, t);
+  for (u8 r = 0; r < wse::bc::kNumCRegs; ++r)
+    for (u32 t : cfg.cont_targets[r])
+      add_entry(CfgEntry::Kind::Continuation, r, t);
+
+  for (u32 pc = 0; pc < n; ++pc)
+    if (cfg.reachable[pc]) ++cfg.reachable_instructions;
+  return cfg;
+}
+
+std::string dump_cfg(const Cfg& cfg, const Program& program) {
+  std::ostringstream os;
+  os << "cfg \"" << program.name << "\": " << cfg.blocks.size()
+     << " block(s), " << cfg.entries.size() << " entry point(s), "
+     << cfg.reachable_instructions << "/" << program.code.size()
+     << " instruction(s) reachable\n";
+  for (const CfgEntry& entry : cfg.entries)
+    os << "  " << entry.label() << " @ pc " << entry.pc << " (block "
+       << entry.block << ")\n";
+  for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+    const CfgBlock& block = cfg.blocks[b];
+    os << "  block " << b << ": pc " << block.first << ".." << block.last
+       << "  " << wse::bc::to_string(program.code[block.last].op) << " -> {";
+    for (std::size_t i = 0; i < block.succ.size(); ++i)
+      os << (i ? ", " : "") << block.succ[i];
+    os << "}";
+    if (block.ends_activation) os << " ret";
+    if (block.may_return) os << " may-return";
+    if (block.falls_off_end) os << " falls-off-end";
+    if (!block.reachable) os << " unreachable";
+    os << "\n";
+  }
+  return os.str();
+}
+
+} // namespace fvdf::analysis

@@ -1,0 +1,79 @@
+#pragma once
+// Control-flow graph over a flat bytecode program (wse/bytecode.hpp).
+//
+// The bytecode's control flow has two layers. Within one task activation,
+// execution walks basic blocks connected by fallthrough, JMP and the
+// conditional branches (JTOL/JGTR/JKGE/DECJNZ), ends at RET (or a DECRET
+// join that has not reached zero), and may jump indirectly through a
+// continuation register (JIND) — whose possible targets are exactly the
+// SETC targets for that register. Across activations, SETH binds a task
+// color to a handler pc and SETC arms a continuation: both targets are
+// activation entry points the fabric (not the interpreter) transfers to.
+//
+// build_cfg materializes both layers: basic blocks with intra-activation
+// successor edges (JIND edges fan out to every reachable SETC target of
+// the register), the entry-point list (program entry + every reachable
+// SETH/SETC target), and the reachable-instruction closure — a fixed
+// point, since a handler only becomes an entry once some reachable SETH
+// binds it. The abstract interpreter (abstract_interp.hpp) runs its
+// analyses over this graph; fabric_lint --dump-cfg prints it.
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "wse/bytecode.hpp"
+
+namespace fvdf::analysis {
+
+constexpr u32 kNoBlock = 0xffffffff;
+
+struct CfgBlock {
+  u32 first = 0; // pc of the first instruction
+  u32 last = 0;  // pc of the last instruction (inclusive)
+  std::vector<u32> succ; // intra-activation successor block ids
+  bool ends_activation = false; // terminates in RET
+  bool may_return = false;      // contains a DECRET (early activation exit)
+  bool falls_off_end = false;   // execution can run past the last pc
+  bool reachable = false;       // from any entry point
+};
+
+struct CfgEntry {
+  enum class Kind : u8 { Start, Handler, Continuation };
+  Kind kind = Kind::Start;
+  u8 id = 0;    // task color (Handler) or continuation register (Continuation)
+  u32 pc = 0;   // entry pc
+  u32 block = kNoBlock;
+
+  std::string label() const; // "entry", "handler c5", "cont2"
+};
+
+struct Cfg {
+  std::vector<CfgBlock> blocks;   // in ascending pc order
+  std::vector<u32> block_of;      // pc -> block id (every pc is covered)
+  std::vector<CfgEntry> entries;  // deduplicated by (kind, id, pc)
+  std::vector<u8> reachable;      // per pc, from the entry closure
+  // Reachable SETC targets per continuation register: the JIND successor
+  // set, and the continuation entry points.
+  std::array<std::vector<u32>, wse::bc::kNumCRegs> cont_targets;
+  // Reachable SETH targets per task color (empty vector = never bound).
+  std::array<std::vector<u32>, wse::kNumColors> handler_targets;
+
+  u32 reachable_instructions = 0;
+
+  bool pc_reachable(u32 pc) const {
+    return pc < reachable.size() && reachable[pc] != 0;
+  }
+};
+
+/// Builds the CFG. Never throws on malformed programs — out-of-range
+/// branch targets simply contribute no edge (lint_program reports them);
+/// an empty program yields an empty graph.
+Cfg build_cfg(const wse::bc::Program& program);
+
+/// Human-readable dump (fabric_lint --dump-cfg): entry points, then one
+/// line per block with its pc range, flags and successor list.
+std::string dump_cfg(const Cfg& cfg, const wse::bc::Program& program);
+
+} // namespace fvdf::analysis

@@ -1,12 +1,15 @@
 #include "analysis/fixtures.hpp"
 
 #include <array>
+#include <functional>
 #include <memory>
+#include <utility>
 
 #include "csl/allreduce.hpp"
 #include "csl/any_source.hpp"
 #include "csl/broadcast.hpp"
 #include "csl/halo.hpp"
+#include "wse/bytecode.hpp"
 #include "wse/dsd.hpp"
 #include "wse/router.hpp"
 
@@ -209,6 +212,35 @@ public:
   void on_task(PeContext&, Color) override {}
 };
 
+// ---------- seeded bytecode defects ----------
+
+/// Minimal bytecode-program wrapper: exposes a prebuilt flat instruction
+/// stream (the factory closure keeps the Program alive, so the verifier's
+/// per-pointer analysis cache stays valid) and runs an optional on_start
+/// setup for router configuration. The manifest is derived from the
+/// stream itself, the same contract the solver's bytecode wrappers keep.
+class BcFixtureProgram final : public PeProgram {
+public:
+  BcFixtureProgram(std::shared_ptr<const wse::bc::Program> program,
+                   std::function<void(PeContext&)> setup)
+      : program_(std::move(program)), setup_(std::move(setup)) {}
+
+  void on_start(PeContext& ctx) override {
+    if (setup_) setup_(ctx);
+  }
+  void on_task(PeContext&, Color) override {}
+  const wse::bc::Program* bytecode() const override { return program_.get(); }
+  wse::bc::VmState* bytecode_state() override { return &vm_; }
+  ProgramManifest manifest(PeCoord, i64, i64) const override {
+    return wse::bc::derive_manifest(*program_);
+  }
+
+private:
+  std::shared_ptr<const wse::bc::Program> program_;
+  std::function<void(PeContext&)> setup_;
+  wse::bc::VmState vm_;
+};
+
 } // namespace
 
 ProgramFactory halo_program(u32 nz) {
@@ -243,6 +275,95 @@ ProgramFactory missing_handler_defect() {
 
 ProgramFactory arena_overflow_defect() {
   return [](PeCoord) { return std::make_unique<ArenaOverflowProgram>(); };
+}
+
+ProgramFactory bc_oob_span_defect() {
+  wse::bc::Builder b("bc-oob-span");
+  const u8 bad = b.dsd(Dsd{/*offset=*/100000, /*length=*/4, /*stride=*/1});
+  b.vmovi(bad, 0.0f); // pc 0: span [100000..100003] vs a 16-word arena
+  b.ret();
+  auto program =
+      std::make_shared<const wse::bc::Program>(b.finish());
+  return [program](PeCoord) {
+    return std::make_unique<BcFixtureProgram>(program, [](PeContext& ctx) {
+      ctx.memory().alloc_f32("buf", 16);
+    });
+  };
+}
+
+ProgramFactory bc_unset_continuation_defect() {
+  wse::bc::Builder b("bc-unset-continuation");
+  b.jind(0); // pc 0: no reachable SETC ever arms cont0
+  auto program = std::make_shared<const wse::bc::Program>(b.finish());
+  return [program](PeCoord) {
+    return std::make_unique<BcFixtureProgram>(program, nullptr);
+  };
+}
+
+ProgramFactory bc_unbounded_loop_defect() {
+  wse::bc::Builder b("bc-unbounded-loop");
+  b.setu(0, 0); // pc 0: first DECJNZ decrement wraps u0 to 0xffffffff
+  const auto loop = b.make_label();
+  b.bind(loop);
+  b.sadd(0, 0, 0); // pc 1: a charged op, so the loop body has a cost
+  b.decjnz(0, loop); // pc 2
+  b.ret();
+  auto program = std::make_shared<const wse::bc::Program>(b.finish());
+  return [program](PeCoord) {
+    return std::make_unique<BcFixtureProgram>(program, nullptr);
+  };
+}
+
+ProgramFactory bc_send_overlap_defect() {
+  wse::bc::Builder b("bc-send-overlap");
+  const u8 buf = b.dsd(Dsd{0, 4, 1});
+  const auto handler = b.make_label();
+  b.seth(kDefectColor, handler); // pc 0
+  b.send(kDefectColor, buf);     // pc 1: words [0..3] now in flight
+  b.umovi(0, 1.0f);              // pc 2
+  b.stos(0, 2);                  // pc 3: overwrites word 2 of the payload
+  b.ret();
+  b.bind(handler);
+  b.ret();
+  auto program = std::make_shared<const wse::bc::Program>(b.finish());
+  return [program](PeCoord) {
+    return std::make_unique<BcFixtureProgram>(program, [](PeContext& ctx) {
+      ctx.memory().alloc_f32("buf", 16);
+      // Self-delivery loop: inject from the ramp, deliver to the ramp.
+      ctx.configure_router(kDefectColor,
+                           one_position(DirMask::of(Dir::Ramp),
+                                        DirMask::of(Dir::Ramp)));
+    });
+  };
+}
+
+ProgramFactory bc_unbalanced_send_defect() {
+  wse::bc::Builder tx("bc-unbalanced-send-tx");
+  tx.send(kDefectColor, tx.dsd(Dsd{0, 8, 1})); // 8-word messages east
+  tx.ret();
+  wse::bc::Builder rx("bc-unbalanced-send-rx");
+  rx.recv(kDefectColor, rx.dsd(Dsd{0, 6, 1}), wse::kInvalidColor); // 6 words
+  rx.ret();
+  auto tx_program = std::make_shared<const wse::bc::Program>(tx.finish());
+  auto rx_program = std::make_shared<const wse::bc::Program>(rx.finish());
+  return [tx_program, rx_program](PeCoord coord) {
+    if (coord.x == 0) {
+      return std::make_unique<BcFixtureProgram>(
+          tx_program, [](PeContext& ctx) {
+            ctx.memory().alloc_f32("buf", 16);
+            ctx.configure_router(kDefectColor,
+                                 one_position(DirMask::of(Dir::Ramp),
+                                              DirMask::of(Dir::East)));
+          });
+    }
+    return std::make_unique<BcFixtureProgram>(
+        rx_program, [](PeContext& ctx) {
+          ctx.memory().alloc_f32("buf", 16);
+          ctx.configure_router(kDefectColor,
+                               one_position(DirMask::of(Dir::West),
+                                            DirMask::of(Dir::Ramp)));
+        });
+  };
 }
 
 } // namespace fvdf::analysis::fixtures

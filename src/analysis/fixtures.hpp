@@ -46,4 +46,31 @@ wse::ProgramFactory missing_handler_defect();
 /// (memory-budget error on every PE).
 wse::ProgramFactory arena_overflow_defect();
 
+// --- seeded bytecode defects (each trips one abstract-interpreter pass
+// or the send/recv balance check; see abstract_interp.hpp and
+// verifier.hpp check 6). Every program lints clean at the encoding level
+// — the defects are semantic, visible only to the abstract interpreter.
+
+/// 1x1: the program's only DSD span ends far outside the PE arena
+/// (bytecode-memory error at pc 0).
+wse::ProgramFactory bc_oob_span_defect();
+
+/// 1x1: entry JINDs through a continuation register no reachable SETC
+/// ever arms (bytecode-liveness error at pc 0).
+wse::ProgramFactory bc_unset_continuation_defect();
+
+/// 1x1: a DECJNZ loop whose counter is initialized to 0 — the first
+/// decrement wraps the u32, an effectively unbounded loop
+/// (bytecode-cost error).
+wse::ProgramFactory bc_unbounded_loop_defect();
+
+/// 1x1 self-delivery: the program overwrites a word of a buffer whose
+/// SEND is still in flight in the same activation (bytecode-memory
+/// warning: the simulator gathers at send time; hardware would race).
+wse::ProgramFactory bc_send_overlap_defect();
+
+/// 2x1: PE (0,0) sends 8-word messages east, PE (1,0)'s only reachable
+/// RECV on that color takes 6 words (send-recv-balance error).
+wse::ProgramFactory bc_unbalanced_send_defect();
+
 } // namespace fvdf::analysis::fixtures

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <limits>
+#include <map>
 #include <memory>
 
+#include "analysis/abstract_interp.hpp"
 #include "analysis/static_context.hpp"
 #include "common/error.hpp"
+#include "wse/bytecode.hpp"
 
 namespace fvdf::analysis {
 
@@ -20,14 +23,28 @@ struct InjectSummary {
   wse::ColorSet injected = 0;
   std::array<u32, wse::kNumRoutableColors> min_words{};
 
+  void add(Color c, u32 words) {
+    min_words[c] = wse::color_set_contains(injected, c)
+                       ? std::min(min_words[c], words)
+                       : words;
+    injected |= wse::color_set_bit(c);
+  }
+
   void absorb(const wse::ProgramManifest& manifest) {
     for (Color c = 0; c < wse::kNumRoutableColors; ++c) {
-      if (!wse::color_set_contains(manifest.injects, c)) continue;
-      const u32 words = manifest.min_inject_words[c];
-      min_words[c] = wse::color_set_contains(injected, c)
-                         ? std::min(min_words[c], words)
-                         : words;
-      injected |= wse::color_set_bit(c);
+      if (wse::color_set_contains(manifest.injects, c))
+        add(c, manifest.min_inject_words[c]);
+    }
+  }
+
+  /// Bytecode-derived injections: only colors a *reachable* SEND/SENDC can
+  /// inject, at the smallest reachable message length. Never weaker than
+  /// the derived manifest, which scans unreachable code too.
+  void absorb(const ProgramAnalysis& analysis) {
+    for (Color c = 0; c < wse::kNumRoutableColors; ++c) {
+      const ColorFlow& flow = analysis.colors[c];
+      if (flow.sends) add(c, flow.min_send_words);
+      if (flow.sends_control) add(c, 0); // control wavelet, like the manifest
     }
   }
 };
@@ -46,15 +63,22 @@ plan_channel_lookahead(i64 width, i64 height,
                        const std::vector<ShardBand>& shards,
                        const wse::ProgramFactory& factory,
                        const wse::TimingParams& timing,
-                       wse::PeMemoryParams mem) {
+                       wse::PeMemoryParams mem, wse::LookaheadSource source) {
   FVDF_CHECK_MSG(width >= 1 && height >= 1, "fabric dims must be positive");
   FVDF_CHECK_MSG(!shards.empty(), "empty shard layout");
   const std::size_t edges = shards.size() - 1;
   if (edges == 0) return conservative_table(0);
 
   // Instantiate every PE statically: real routers (for the crossing scan)
-  // plus the injection summary from observed and declared manifests.
+  // plus the injection summary from observed sends and either the
+  // abstract interpreter's reachable-SEND facts (bytecode programs) or
+  // the declared manifest. Analyses are cached per distinct program —
+  // factories hand out shared lowered streams, so pointer identity holds
+  // for the lifetime of this pass.
   std::vector<wse::Router> routers(static_cast<std::size_t>(width * height));
+  std::map<const wse::bc::Program*, ProgramAnalysis> analyses;
+  AnalysisParams analysis_params;
+  analysis_params.timing = timing;
   InjectSummary injects;
   for (i64 y = 0; y < height; ++y) {
     for (i64 x = 0; x < width; ++x) {
@@ -67,9 +91,24 @@ plan_channel_lookahead(i64 width, i64 height,
         std::unique_ptr<wse::PeProgram> program = factory(coord);
         if (program == nullptr) return conservative_table(edges);
         program->on_start(ctx);
-        wse::ProgramManifest manifest = ctx.observed();
-        manifest |= program->manifest(coord, width, height);
-        injects.absorb(manifest);
+        const wse::bc::Program* bytecode =
+            source == wse::LookaheadSource::Bytecode ? program->bytecode()
+                                                     : nullptr;
+        if (bytecode != nullptr) {
+          auto it = analyses.find(bytecode);
+          if (it == analyses.end()) {
+            it = analyses
+                     .emplace(bytecode,
+                              analyze_program(*bytecode, analysis_params))
+                     .first;
+          }
+          injects.absorb(ctx.observed()); // on_start sends are real traffic
+          injects.absorb(it->second);
+        } else {
+          wse::ProgramManifest manifest = ctx.observed();
+          manifest |= program->manifest(coord, width, height);
+          injects.absorb(manifest);
+        }
       } catch (const Error&) {
         // A PE that cannot instantiate leaves its routes unknown; claim
         // nothing (load()/verify() report the actual failure).
@@ -128,13 +167,14 @@ plan_channel_lookahead(i64 width, i64 height,
 namespace fvdf::wse {
 
 ChannelLookahead
-Fabric::plan_channel_lookahead(const ProgramFactory& factory) const {
+Fabric::plan_channel_lookahead(const ProgramFactory& factory,
+                               LookaheadSource source) const {
   std::vector<analysis::ShardBand> bands;
   bands.reserve(shards_.size());
   for (const Shard& shard : shards_)
     bands.push_back(analysis::ShardBand{shard.row_begin, shard.row_end});
   return analysis::plan_channel_lookahead(width_, height_, bands, factory,
-                                          timing_, mem_params_);
+                                          timing_, mem_params_, source);
 }
 
 } // namespace fvdf::wse

@@ -48,11 +48,21 @@ struct ShardBand {
 /// Falls back to the fully conservative table (every boundary crossing at
 /// zero minimum batch) if any PE fails to instantiate — the planner never
 /// throws for program bugs; load()/verify() surface those.
+///
+/// With the default `source` (LookaheadSource::Bytecode), a program that
+/// exposes its flat instruction stream contributes the injected colors and
+/// minimum message words of its *reachable* SEND/SENDC instructions (from
+/// the abstract interpreter's per-color dataflow summary) instead of its
+/// declared manifest; on_start-observed sends and legacy programs still
+/// contribute their manifests. The resulting table is never looser than
+/// the manifest-derived one.
 wse::ChannelLookahead
 plan_channel_lookahead(i64 width, i64 height,
                        const std::vector<ShardBand>& shards,
                        const wse::ProgramFactory& factory,
                        const wse::TimingParams& timing,
-                       wse::PeMemoryParams mem = {});
+                       wse::PeMemoryParams mem = {},
+                       wse::LookaheadSource source =
+                           wse::LookaheadSource::Bytecode);
 
 } // namespace fvdf::analysis

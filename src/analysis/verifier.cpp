@@ -2,13 +2,17 @@
 
 #include <algorithm>
 #include <deque>
+#include <map>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string_view>
 #include <utility>
 
+#include "analysis/abstract_interp.hpp"
 #include "analysis/static_context.hpp"
 #include "common/error.hpp"
+#include "wse/bytecode.hpp"
 #include "wse/dsd.hpp"
 #include "wse/memory.hpp"
 #include "wse/router.hpp"
@@ -38,13 +42,17 @@ struct PeModel {
   ProgramManifest manifest{};
   u64 used_bytes = 0;
   bool usable = false; // factory + on_start succeeded
+  // Abstract-interpretation result for this PE's bytecode (owned by the
+  // Verifier's per-program cache), nullptr for legacy programs.
+  const ProgramAnalysis* bytecode = nullptr;
 };
 
 class Verifier {
 public:
   Verifier(i64 width, i64 height, const wse::ProgramFactory& factory,
-           wse::PeMemoryParams mem)
-      : width_(width), height_(height), factory_(factory), mem_(mem) {
+           wse::PeMemoryParams mem, const VerifyOptions& options)
+      : width_(width), height_(height), factory_(factory), mem_(mem),
+        options_(options) {
     FVDF_CHECK_MSG(width >= 1 && height >= 1, "fabric dims must be positive");
     report_.width = width;
     report_.height = height;
@@ -60,6 +68,7 @@ public:
     }
     check_delivery();
     check_switch_liveness();
+    if (options_.balance) check_balance();
     return std::move(report_);
   }
 
@@ -72,9 +81,9 @@ private:
   }
 
   void diag(Check check, Severity severity, PeCoord pe, Color color,
-            std::string message) {
+            std::string message, i64 pc = -1) {
     report_.diagnostics.push_back(
-        Diagnostic{check, severity, pe, color, std::move(message)});
+        Diagnostic{check, severity, pe, color, pc, std::move(message)});
   }
 
   // --- instantiation (and check 5: memory budget) ---
@@ -115,8 +124,44 @@ private:
           report_.memory_high_water_bytes = model.used_bytes;
           report_.memory_high_water_pe = coord;
         }
+        if (options_.bytecode_analysis)
+          if (const wse::bc::Program* bytecode = program->bytecode())
+            model.bytecode = analyze_bytecode(*bytecode, model);
       }
     }
+  }
+
+  /// Runs the abstract interpreter once per distinct Program (PEs with the
+  /// same lowering share one instruction stream through the factory's
+  /// program cache, so the pointer is a stable identity for the factory's
+  /// lifetime) and reports its defects at the first PE that loads it.
+  const ProgramAnalysis* analyze_bytecode(const wse::bc::Program& program,
+                                          const PeModel& model) {
+    auto [it, fresh] = analyses_.try_emplace(&program);
+    if (fresh) {
+      AnalysisParams params;
+      // The interpreter's load/store bounds check against the bytes the
+      // program actually allocated, not the arena capacity.
+      params.memory_limit_words = static_cast<u32>(model.used_bytes / 4);
+      it->second = analyze_program(program, params);
+      ++report_.bytecode_programs;
+      for (const BcDefect& defect : it->second.defects) {
+        Check check = Check::BytecodeMemory;
+        switch (defect.analysis) {
+        case BcAnalysis::ControlFlow: check = Check::BytecodeControlFlow; break;
+        case BcAnalysis::MemoryBounds: check = Check::BytecodeMemory; break;
+        case BcAnalysis::RegisterLiveness: check = Check::BytecodeLiveness; break;
+        case BcAnalysis::CostBounds: check = Check::BytecodeCost; break;
+        }
+        diag(check,
+             defect.severity == BcSeverity::Error ? Severity::Error
+                                                  : Severity::Warning,
+             model.coord, wse::kInvalidColor,
+             "program \"" + program.name + "\": " + defect.message,
+             static_cast<i64>(defect.pc));
+      }
+    }
+    return &it->second;
   }
 
   // --- check 1: route completeness (BFS over (PE, arrival link) states) ---
@@ -421,12 +466,146 @@ private:
     }
   }
 
+  // --- check 6: whole-fabric send/recv balance ---
+  //
+  // Per routable color: every routed delivery site must consume every
+  // message length its injectors send (a reachable RECV of that exact
+  // length, or a SETH-bound task handler, which is wavelet-granular).
+  // Alongside the conservation proof, the pass computes the exact static
+  // traffic volume: one full pass over each injector's reachable code
+  // sends `send_words_total` words, each crossing `route_hops` links —
+  // the telemetry `word_hops` counter per round.
+
+  void check_balance() {
+    const bool totals = static_cast<u64>(width_) * static_cast<u64>(height_) <=
+                        options_.volume_pe_cap;
+    for (Color c = 0; c < wse::kNumRoutableColors; ++c) {
+      std::vector<std::size_t> injectors;
+      for (std::size_t i = 0; i < pes_.size(); ++i)
+        if (pes_[i].usable &&
+            wse::color_set_contains(pes_[i].manifest.injects, c))
+          injectors.push_back(i);
+      if (injectors.empty()) continue;
+
+      std::vector<u8> delivered(pes_.size(), 0);
+      collect_deliveries(c, delivered);
+
+      ColorBalance bal;
+      bal.color = c;
+      bal.injectors = static_cast<u32>(injectors.size());
+
+      // Distinct data-message lengths proven from the injectors' bytecode.
+      std::vector<u32> lengths;
+      bool senders_proven = true;
+      for (std::size_t i : injectors) {
+        const PeModel& tx = pes_[i];
+        if (!tx.bytecode) {
+          senders_proven = false;
+          continue;
+        }
+        const ColorFlow& flow = tx.bytecode->colors[c];
+        for (u32 len : flow.send_lengths)
+          if (std::find(lengths.begin(), lengths.end(), len) == lengths.end())
+            lengths.push_back(len);
+      }
+
+      for (std::size_t d = 0; d < pes_.size(); ++d) {
+        if (!delivered[d]) continue;
+        ++bal.delivery_sites;
+        const PeModel& rx = pes_[d];
+        if (!rx.usable || !rx.bytecode) continue;
+        const ColorFlow& flow = rx.bytecode->colors[c];
+        if (flow.task_handler) continue; // consumes any wavelet volume
+        for (u32 len : lengths) {
+          if (std::find(flow.recv_lengths.begin(), flow.recv_lengths.end(),
+                        len) != flow.recv_lengths.end())
+            continue;
+          std::ostringstream os;
+          os << "color " << static_cast<int>(c) << " delivers " << len
+             << "-word messages to " << pe_str(rx.coord) << " but no "
+             << "reachable RECV of that length (registered lengths: {";
+          for (std::size_t k = 0; k < flow.recv_lengths.size(); ++k)
+            os << (k ? "," : "") << flow.recv_lengths[k];
+          os << "}) and no task handler consumes it";
+          diag(Check::SendRecvBalance, Severity::Error, rx.coord, c, os.str());
+        }
+        // Control-only traffic (lengths empty) advances switches without
+        // needing a consumer: nothing further to prove at this site.
+      }
+
+      if (!senders_proven) bal.exact = false;
+      if (totals) {
+        for (std::size_t i : injectors) {
+          const PeModel& tx = pes_[i];
+          if (!tx.bytecode) continue;
+          const ColorFlow& flow = tx.bytecode->colors[c];
+          if (flow.send_words_total == 0) continue;
+          bool exact = true;
+          const u64 hops = route_hops(i, c, exact);
+          bal.words_per_round += flow.send_words_total;
+          bal.word_hops_per_round += hops * flow.send_words_total;
+          bal.exact = bal.exact && exact;
+        }
+      } else {
+        bal.exact = false;
+      }
+      report_.balance.push_back(bal);
+    }
+  }
+
+  /// Number of fabric links one injector's routed multicast on `color`
+  /// crosses. Each (PE, arrival-link) channel is expanded once; multiple
+  /// accepting positions with identical tx sets forward once (teardown
+  /// switch schedules), diverging tx sets make the count an upper bound
+  /// and clear `exact`.
+  u64 route_hops(std::size_t src, Color color, bool& exact) {
+    if (!pes_[src].router.is_configured(color)) return 0;
+    u64 hops = 0;
+    std::vector<u8> visited(pes_.size() * 5, 0);
+    std::deque<std::pair<std::size_t, Dir>> queue;
+    std::vector<const wse::SwitchPosition*> accepting;
+    visited[state_id(src, Dir::Ramp)] = 1;
+    queue.emplace_back(src, Dir::Ramp);
+    while (!queue.empty()) {
+      const auto [pe_idx, from] = queue.front();
+      queue.pop_front();
+      const PeModel& pe = pes_[pe_idx];
+      accepting_positions(pe.router.config(color), from, accepting);
+      if (accepting.empty()) continue; // stall: route check already errored
+      for (std::size_t k = 1; k < accepting.size(); ++k) {
+        for (Dir dir : wse::kAllDirs)
+          if (accepting[k]->tx.contains(dir) !=
+              accepting[0]->tx.contains(dir)) {
+            exact = false;
+            break;
+          }
+      }
+      for (Dir dir : wse::kCardinalDirs) {
+        bool forwards = false;
+        for (const wse::SwitchPosition* pos : accepting)
+          forwards |= pos->tx.contains(dir);
+        if (!forwards) continue;
+        const auto nb = wse::neighbor(pe.coord, dir, width_, height_);
+        if (!nb || !pes_[index(*nb)].router.is_configured(color)) continue;
+        ++hops;
+        const std::size_t state = state_id(index(*nb), wse::arrival_side(dir));
+        if (!visited[state]) {
+          visited[state] = 1;
+          queue.emplace_back(index(*nb), wse::arrival_side(dir));
+        }
+      }
+    }
+    return hops;
+  }
+
   i64 width_;
   i64 height_;
   const wse::ProgramFactory& factory_;
   wse::PeMemoryParams mem_;
+  VerifyOptions options_;
   wse::TimingParams timing_{};
   std::vector<PeModel> pes_;
+  std::map<const wse::bc::Program*, ProgramAnalysis> analyses_;
   VerifyReport report_;
 };
 
@@ -440,6 +619,11 @@ const char* to_string(Check check) {
   case Check::DeliveryLiveness: return "delivery-liveness";
   case Check::SwitchLiveness: return "switch-liveness";
   case Check::MemoryBudget: return "memory-budget";
+  case Check::BytecodeControlFlow: return "bytecode-control-flow";
+  case Check::BytecodeMemory: return "bytecode-memory";
+  case Check::BytecodeLiveness: return "bytecode-liveness";
+  case Check::BytecodeCost: return "bytecode-cost";
+  case Check::SendRecvBalance: return "send-recv-balance";
   }
   return "?";
 }
@@ -449,6 +633,7 @@ std::string Diagnostic::format() const {
   os << (severity == Severity::Error ? "error" : "warning") << '['
      << to_string(check) << "] ";
   if (color != wse::kInvalidColor) os << "color " << static_cast<int>(color) << ' ';
+  if (pc >= 0) os << "pc " << pc << ' ';
   os << "at PE (" << pe.x << ", " << pe.y << "): " << message;
   return os.str();
 }
@@ -482,14 +667,29 @@ std::string VerifyReport::summary() const {
      << " allocatable bytes (capacity " << memory_capacity_bytes
      << ", reserved " << memory_reserved_bytes << ") at PE ("
      << memory_high_water_pe.x << ", " << memory_high_water_pe.y << ")\n";
+  if (bytecode_programs > 0)
+    os << "  bytecode: " << bytecode_programs
+       << " distinct program(s) abstractly interpreted\n";
+  for (const ColorBalance& b : balance) {
+    os << "  balance: color " << static_cast<int>(b.color) << ": "
+       << b.injectors << " injector(s) -> " << b.delivery_sites
+       << " delivery site(s)";
+    if (b.words_per_round > 0) {
+      os << ", " << b.words_per_round << " word(s)/round, "
+         << b.word_hops_per_round << " word-hop(s)/round";
+      if (!b.exact) os << " (upper bound)";
+    }
+    os << '\n';
+  }
   for (const Diagnostic& d : diagnostics) os << "  " << d.format() << '\n';
   return os.str();
 }
 
 VerifyReport verify_program(i64 width, i64 height,
                             const wse::ProgramFactory& factory,
-                            wse::PeMemoryParams mem) {
-  return Verifier(width, height, factory, mem).run();
+                            wse::PeMemoryParams mem,
+                            const VerifyOptions& options) {
+  return Verifier(width, height, factory, mem, options).run();
 }
 
 } // namespace fvdf::analysis

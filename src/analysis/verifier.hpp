@@ -19,6 +19,14 @@
 //      and advance targets that saturate without ring_mode are flagged.
 //   5. Memory budget       — every PE's static allocations fit the 48 KiB
 //      arena; the report carries the fabric-wide high-water mark.
+//   6. Bytecode semantics  — when a program exposes its flat instruction
+//      stream (PeProgram::bytecode), the abstract interpreter
+//      (abstract_interp.hpp) proves memory bounds, register liveness and
+//      static cost bounds per distinct program, and a whole-fabric
+//      send/recv balance pass proves per-color conservation: every
+//      routed delivery site consumes exactly the message lengths its
+//      injectors send, with exact per-round word and word-hop volumes
+//      cross-checkable against telemetry.
 //
 // A program's routing tables are fully installed by on_start, but sends and
 // receives happen over its whole lifetime; the verifier unions what the
@@ -45,6 +53,15 @@ enum class Check : u8 {
   DeliveryLiveness,  // check 3
   SwitchLiveness,    // check 4
   MemoryBudget,      // check 5
+  // Bytecode abstract interpretation (abstract_interp.hpp), one check
+  // per analysis; diagnostics carry the pc and the program name.
+  BytecodeControlFlow,
+  BytecodeMemory,
+  BytecodeLiveness,
+  BytecodeCost,
+  // Whole-fabric per-color send/recv conservation (check 6): every word
+  // injected on a color is consumed at every routed delivery site.
+  SendRecvBalance,
 };
 
 const char* to_string(Check check);
@@ -56,16 +73,43 @@ struct Diagnostic {
   Severity severity = Severity::Error;
   wse::PeCoord pe{};                    // primary location
   wse::Color color = wse::kInvalidColor; // kInvalidColor when not color-specific
+  i64 pc = -1; // bytecode pc for Bytecode* checks, -1 otherwise
   std::string message;
 
   /// "error[deadlock-freedom] color 5 at PE (1, 0): ..." one-liner.
   std::string format() const;
 };
 
+/// Per-routable-color static traffic summary from the balance check.
+/// `words_per_round` is the exact number of data words all injectors send
+/// in one full pass over their reachable code; `word_hops_per_round`
+/// multiplies each injector's volume by its routed link-hop count — the
+/// static prediction of the telemetry `word_hops` counter per round.
+/// `exact` is false when a router's accepting positions diverge (the
+/// position over-approximation makes hop totals an upper bound) or some
+/// program on the color has no bytecode.
+struct ColorBalance {
+  wse::Color color = 0;
+  u32 injectors = 0;
+  u32 delivery_sites = 0;
+  u64 words_per_round = 0;
+  u64 word_hops_per_round = 0;
+  bool exact = true;
+};
+
+struct VerifyOptions {
+  bool bytecode_analysis = true; // run abstract_interp over each program
+  bool balance = true;           // whole-fabric send/recv balance check
+  // Skip the O(P^2) per-injector hop-volume totals beyond this many PEs
+  // (the length-matching balance errors are still checked).
+  u32 volume_pe_cap = 4096;
+};
+
 struct VerifyReport {
   i64 width = 0;
   i64 height = 0;
   std::vector<Diagnostic> diagnostics;
+  std::vector<ColorBalance> balance; // colors with traffic, ascending
 
   // Coverage / scale counters.
   u64 colors_traced = 0;     // routable colors with at least one injection
@@ -73,6 +117,7 @@ struct VerifyReport {
   u64 null_route_sinks = 0;  // traced positions that deliberately discard
   u64 cdg_nodes = 0;         // channel-dependency graph size, all colors
   u64 cdg_edges = 0;
+  u64 bytecode_programs = 0; // distinct bytecode programs abstractly interpreted
 
   // Memory budget summary (check 5).
   u64 memory_capacity_bytes = 0;   // per-PE arena capacity
@@ -93,6 +138,7 @@ struct VerifyReport {
 /// on misuse (non-positive dimensions).
 VerifyReport verify_program(i64 width, i64 height,
                             const wse::ProgramFactory& factory,
-                            wse::PeMemoryParams mem = {});
+                            wse::PeMemoryParams mem = {},
+                            const VerifyOptions& options = {});
 
 } // namespace fvdf::analysis

@@ -372,6 +372,23 @@ analysis::VerifyReport verify_dataflow(const FlowProblem& problem,
                                   config.memory);
 }
 
+LookaheadPlan plan_dataflow_lookahead(const FlowProblem& problem,
+                                      const DataflowConfig& config) {
+  const auto& mesh = problem.mesh();
+  FVDF_CHECK_MSG(mesh.nz() <= 0xffff, "column depth exceeds u16 index range");
+  const CgSetup setup = prepare_cg(problem, config);
+  const wse::ProgramFactory factory = cg_factory(problem, config, setup);
+  wse::Fabric fabric(mesh.nx(), mesh.ny(), config.timing, config.memory);
+  fabric.set_threads(config.sim_threads);
+  LookaheadPlan plan;
+  plan.shard_count = static_cast<u32>(fabric.shard_count());
+  plan.bytecode =
+      fabric.plan_channel_lookahead(factory, wse::LookaheadSource::Bytecode);
+  plan.manifest = fabric.plan_channel_lookahead(
+      factory, wse::LookaheadSource::ManifestOnly);
+  return plan;
+}
+
 analysis::VerifyReport verify_dataflow_chebyshev(
     const FlowProblem& problem, const ChebyshevDeviceConfig& config) {
   const auto& mesh = problem.mesh();

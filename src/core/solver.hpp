@@ -127,6 +127,23 @@ analysis::VerifyReport verify_dataflow(const FlowProblem& problem,
 analysis::VerifyReport verify_dataflow_chebyshev(
     const FlowProblem& problem, const ChebyshevDeviceConfig& config);
 
+/// Channel-lookahead tables for the CG device program a solve would load,
+/// computed both ways (see wse::LookaheadSource): from the bytecode's
+/// reachable SEND instructions and from the declared manifests alone.
+/// The shard layout is the one `config.sim_threads` would produce; with a
+/// single shard both tables are empty (no internal boundaries). Exposed
+/// for fabric_lint --lookahead and scripts/check_scaling.sh to show that
+/// the bytecode-derived windows are never looser than the manifest-derived
+/// ones.
+struct LookaheadPlan {
+  u32 shard_count = 0;
+  wse::ChannelLookahead bytecode;
+  wse::ChannelLookahead manifest;
+};
+
+LookaheadPlan plan_dataflow_lookahead(const FlowProblem& problem,
+                                      const DataflowConfig& config = {});
+
 /// Transient backward-Euler simulation with every linear solve executed on
 /// the simulated dataflow device (one `solve_dataflow` per step, with the
 /// accumulation term as the device kernel's diagonal shift). Extension

@@ -200,6 +200,30 @@ std::vector<std::string> lint_program(const Program& program) {
       defect(os.str());
     }
   };
+  auto check_freg = [&](std::size_t pc, u8 r) {
+    if (r >= kNumFRegs) {
+      std::ostringstream os;
+      os << "pc " << pc << ": f-register f" << static_cast<u32>(r)
+         << " out of range (kNumFRegs = " << kNumFRegs << ")";
+      defect(os.str());
+    }
+  };
+  auto check_ureg = [&](std::size_t pc, u8 r) {
+    if (r >= kNumURegs) {
+      std::ostringstream os;
+      os << "pc " << pc << ": u-register u" << static_cast<u32>(r)
+         << " out of range (kNumURegs = " << kNumURegs << ")";
+      defect(os.str());
+    }
+  };
+  auto check_creg = [&](std::size_t pc, u8 r) {
+    if (r >= kNumCRegs) {
+      std::ostringstream os;
+      os << "pc " << pc << ": continuation register cont" << static_cast<u32>(r)
+         << " out of range (kNumCRegs = " << kNumCRegs << ")";
+      defect(os.str());
+    }
+  };
   for (std::size_t pc = 0; pc < n; ++pc) {
     const Instr& ins = program.code[pc];
     switch (ins.op) {
@@ -217,7 +241,12 @@ std::vector<std::string> lint_program(const Program& program) {
       break;
     case Op::VMULR:
       check_dsd(pc, ins.a); check_dsd(pc, ins.b);
-      if (ins.d >= kNumFRegs) defect("VMULR f-register out of range");
+      if (ins.d >= kNumFRegs) {
+        std::ostringstream os;
+        os << "pc " << pc << ": VMULR f-register f" << ins.d
+           << " out of range (kNumFRegs = " << kNumFRegs << ")";
+        defect(os.str());
+      }
       break;
     case Op::VMAC:
       check_dsd(pc, ins.a); check_dsd(pc, ins.b); check_dsd(pc, ins.c);
@@ -228,10 +257,31 @@ std::vector<std::string> lint_program(const Program& program) {
       break;
     case Op::VMACR:
       check_dsd(pc, ins.a); check_dsd(pc, ins.b); check_dsd(pc, ins.c);
-      if (ins.d >= kNumFRegs) defect("VMACR f-register out of range");
+      if (ins.d >= kNumFRegs) {
+        std::ostringstream os;
+        os << "pc " << pc << ": VMACR f-register f" << ins.d
+           << " out of range (kNumFRegs = " << kNumFRegs << ")";
+        defect(os.str());
+      }
       break;
     case Op::VDOT:
+      check_freg(pc, ins.a);
       check_dsd(pc, ins.b); check_dsd(pc, ins.c);
+      break;
+    case Op::SADD: case Op::SMUL: case Op::UMUL: case Op::USUB:
+      check_freg(pc, ins.a); check_freg(pc, ins.b); check_freg(pc, ins.c);
+      break;
+    case Op::SMULI: case Op::UMULI: case Op::UDIVI:
+      check_freg(pc, ins.a); check_freg(pc, ins.b);
+      break;
+    case Op::LODS: case Op::STOS: case Op::RSTORE:
+      check_freg(pc, ins.a);
+      break;
+    case Op::MOVR: case Op::UNEG: case Op::URCP:
+      check_freg(pc, ins.a); check_freg(pc, ins.b);
+      break;
+    case Op::UMOVI: case Op::UK2F: case Op::CHKPOS: case Op::PROG:
+      check_freg(pc, ins.a);
       break;
     case Op::FIXD:
       check_dsd(pc, ins.a); check_dsd(pc, ins.b);
@@ -258,13 +308,28 @@ std::vector<std::string> lint_program(const Program& program) {
     case Op::JMP:
       check_target(pc, ins.d);
       break;
-    case Op::JTOL: case Op::JGTR: case Op::DECJNZ:
+    case Op::JTOL:
+      check_freg(pc, ins.a);
       check_target(pc, ins.d);
+      break;
+    case Op::JGTR:
+      check_freg(pc, ins.a); check_freg(pc, ins.b);
+      check_target(pc, ins.d);
+      break;
+    case Op::DECJNZ:
+      check_ureg(pc, ins.a);
+      check_target(pc, ins.d);
+      break;
+    case Op::DECRET: case Op::SETU:
+      check_ureg(pc, ins.a);
       break;
     case Op::JKGE:
       check_target(pc, ins.d);
       if (ins.imm.u >= program.consts.size()) {
-        defect("JKGE constant index out of range");
+        std::ostringstream os;
+        os << "pc " << pc << ": JKGE constant index " << ins.imm.u
+           << " out of range (" << program.consts.size() << " consts)";
+        defect(os.str());
       }
       break;
     case Op::SETH:
@@ -272,11 +337,11 @@ std::vector<std::string> lint_program(const Program& program) {
       check_target(pc, ins.d);
       break;
     case Op::SETC:
-      if (ins.a >= kNumCRegs) defect("SETC continuation register out of range");
+      check_creg(pc, ins.a);
       check_target(pc, ins.d);
       break;
     case Op::JIND:
-      if (ins.a >= kNumCRegs) defect("JIND continuation register out of range");
+      check_creg(pc, ins.a);
       break;
     default:
       break;

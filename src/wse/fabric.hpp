@@ -97,6 +97,16 @@ struct ChannelLookahead {
   std::vector<Edge> north; // size shard_count - 1
 };
 
+/// Where the lookahead planner reads each program's injected colors and
+/// minimum message words from. `Bytecode` (the default) derives them from
+/// the *reachable* SEND/SENDC instructions of each program's flat
+/// instruction stream via the abstract interpreter — the proven ground
+/// truth of what the VM can inject — falling back to the declared
+/// ProgramManifest for legacy programs without bytecode. `ManifestOnly`
+/// trusts the manifests alone (the pre-bytecode behavior); its table is
+/// never tighter than the bytecode-derived one.
+enum class LookaheadSource : u8 { Bytecode, ManifestOnly };
+
 class Fabric {
 public:
   Fabric(i64 width, i64 height, TimingParams timing = {}, PeMemoryParams mem = {});
@@ -127,7 +137,11 @@ public:
   /// installed by on_start, and task-time sends are declared in the
   /// ProgramManifest. Defined in src/analysis/ (link fvdf_analysis);
   /// install the result with set_channel_lookahead before run().
-  ChannelLookahead plan_channel_lookahead(const ProgramFactory& factory) const;
+  /// `source` picks where per-color injection facts come from (see
+  /// LookaheadSource); the default reads the bytecode when available.
+  ChannelLookahead plan_channel_lookahead(
+      const ProgramFactory& factory,
+      LookaheadSource source = LookaheadSource::Bytecode) const;
 
   /// Installs a channel-lookahead table (see ChannelLookahead). Must match
   /// this fabric's shard layout; entries only ever tighten the engine's

@@ -10,6 +10,8 @@
 #include <sstream>
 #include <string>
 
+#include "analysis/abstract_interp.hpp"
+#include "analysis/cfg.hpp"
 #include "analysis/fixtures.hpp"
 #include "analysis/verifier.hpp"
 #include "common/error.hpp"
@@ -392,6 +394,396 @@ TEST(BytecodeStatic, LintFlagsCorruptedEncodings) {
       break;
     }
   EXPECT_FALSE(bc::lint_program(bad_dsd).empty());
+}
+
+// ---------- bytecode control-flow graph ----------
+
+TEST(BytecodeCfg, CoversEveryPcOfALoweredProgram) {
+  const auto site = site_at({1, 1}, 3, 3, 4);
+  const auto program = core::lower_cg(cg_config(4), site);
+  const auto cfg = analysis::build_cfg(*program);
+  ASSERT_FALSE(cfg.blocks.empty());
+  ASSERT_EQ(cfg.block_of.size(), program->code.size());
+  // Every pc belongs to exactly the block whose range covers it, and the
+  // blocks partition the stream in ascending pc order.
+  for (u32 b = 0; b < cfg.blocks.size(); ++b) {
+    const auto& block = cfg.blocks[b];
+    ASSERT_LE(block.first, block.last);
+    for (u32 pc = block.first; pc <= block.last; ++pc)
+      EXPECT_EQ(cfg.block_of[pc], b) << "pc " << pc;
+    for (const u32 s : block.succ) EXPECT_LT(s, cfg.blocks.size());
+  }
+  // The lowered solver has the program entry plus task handlers and
+  // continuations, and no dead code.
+  EXPECT_GT(cfg.entries.size(), 1u);
+  bool has_start = false, has_handler = false;
+  for (const auto& e : cfg.entries) {
+    has_start |= e.kind == analysis::CfgEntry::Kind::Start;
+    has_handler |= e.kind == analysis::CfgEntry::Kind::Handler;
+    EXPECT_TRUE(cfg.pc_reachable(e.pc)) << e.label();
+    EXPECT_NE(e.block, analysis::kNoBlock) << e.label();
+  }
+  EXPECT_TRUE(has_start);
+  EXPECT_TRUE(has_handler);
+  EXPECT_EQ(cfg.reachable_instructions, program->code.size());
+}
+
+TEST(BytecodeCfg, DumpNamesProgramEntriesAndBlocks) {
+  const auto site = site_at({0, 0}, 2, 2, 4);
+  const auto program = core::lower_cg(cg_config(4), site);
+  const auto cfg = analysis::build_cfg(*program);
+  const std::string text = analysis::dump_cfg(cfg, *program);
+  EXPECT_NE(text.find("cfg \"cg\""), std::string::npos) << text;
+  EXPECT_NE(text.find("entry"), std::string::npos);
+  EXPECT_NE(text.find("handler c"), std::string::npos);
+  EXPECT_NE(text.find("block"), std::string::npos);
+}
+
+// ---------- abstract interpreter: unit programs ----------
+
+bool has_defect(const analysis::ProgramAnalysis& a, analysis::BcAnalysis pass,
+                analysis::BcSeverity severity, u32 pc,
+                const std::string& needle) {
+  for (const auto& d : a.defects)
+    if (d.analysis == pass && d.severity == severity && d.pc == pc &&
+        d.message.find(needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+TEST(BytecodeAbstractInterp, FallingOffTheStreamIsAControlFlowError) {
+  bc::Program p;
+  p.name = "fall-off";
+  bc::Instr ins{};
+  ins.op = bc::Op::SETU;
+  ins.imm.u = 1;
+  p.code.push_back(ins);
+  const auto a = analysis::analyze_program(p);
+  EXPECT_FALSE(a.ok());
+  EXPECT_TRUE(has_defect(a, analysis::BcAnalysis::ControlFlow,
+                         analysis::BcSeverity::Error, 0, "run past the end"))
+      << a.summary(p.name);
+}
+
+TEST(BytecodeAbstractInterp, SpanCheckedAgainstTheMemoryLimit) {
+  bc::Builder b("span");
+  const u8 d = b.dsd(wse::Dsd{0, 4, 1}); // words [0..3]
+  b.vmovi(d, 0.0f);
+  b.ret();
+  const auto program = b.finish();
+  analysis::AnalysisParams fits;
+  fits.memory_limit_words = 4;
+  EXPECT_TRUE(analysis::analyze_program(program, fits).ok());
+  analysis::AnalysisParams tight;
+  tight.memory_limit_words = 3;
+  const auto a = analysis::analyze_program(program, tight);
+  EXPECT_FALSE(a.ok());
+  EXPECT_TRUE(has_defect(a, analysis::BcAnalysis::MemoryBounds,
+                         analysis::BcSeverity::Error, 0, ""))
+      << a.summary("span");
+}
+
+TEST(BytecodeAbstractInterp, SetuBoundedLoopHasAFiniteCostInterval) {
+  auto build = [](u32 trips) {
+    bc::Builder b("loop");
+    b.setu(0, trips);
+    const auto loop = b.make_label();
+    b.bind(loop);
+    b.sadd(0, 0, 0);
+    b.decjnz(0, loop);
+    b.ret();
+    return b.finish();
+  };
+  const auto three = analysis::analyze_program(build(3));
+  EXPECT_TRUE(three.defects.empty()) << three.summary("loop");
+  ASSERT_FALSE(three.handlers.empty());
+  const auto& h3 = three.handlers.front();
+  EXPECT_EQ(h3.label, "entry");
+  EXPECT_TRUE(h3.bounded);
+  EXPECT_GE(h3.min_charged_ops, 1u);
+  EXPECT_GT(h3.max_charged_ops, h3.min_charged_ops);
+  EXPECT_LE(h3.min_cycles, h3.max_cycles);
+  EXPECT_GT(h3.max_cycles, 0.0);
+  // With one trip the shortest and longest activations coincide.
+  const auto one = analysis::analyze_program(build(1));
+  ASSERT_FALSE(one.handlers.empty());
+  EXPECT_TRUE(one.handlers.front().bounded);
+  EXPECT_EQ(one.handlers.front().min_charged_ops,
+            one.handlers.front().max_charged_ops);
+  EXPECT_LT(one.handlers.front().max_cycles, h3.max_cycles);
+}
+
+TEST(BytecodeAbstractInterp, DeadCounterStoreIsAWarningNotAnError) {
+  bc::Builder b("dead-counter");
+  b.setu(1, 4); // never decremented by any reachable DECJNZ/DECRET
+  b.ret();
+  const auto a = analysis::analyze_program(b.finish());
+  EXPECT_TRUE(a.ok());
+  EXPECT_EQ(a.warning_count(), 1u) << a.summary("dead-counter");
+  EXPECT_TRUE(has_defect(a, analysis::BcAnalysis::RegisterLiveness,
+                         analysis::BcSeverity::Warning, 0,
+                         "dead store: counter u1"))
+      << a.summary("dead-counter");
+}
+
+TEST(BytecodeAbstractInterp, ColorFlowSummarizesReachableSendsAndRecvs) {
+  bc::Builder b("flow");
+  const u8 out5 = b.dsd(wse::Dsd{0, 5, 1});
+  const u8 in7 = b.dsd(wse::Dsd{8, 7, 1});
+  b.send(2, out5);
+  b.recv(4, in7, wse::kInvalidColor);
+  b.ret();
+  analysis::AnalysisParams params;
+  params.memory_limit_words = 16;
+  const auto a = analysis::analyze_program(b.finish(), params);
+  EXPECT_TRUE(a.ok()) << a.summary("flow");
+  EXPECT_TRUE(a.colors[2].sends);
+  EXPECT_EQ(a.colors[2].send_sites, 1u);
+  EXPECT_EQ(a.colors[2].min_send_words, 5u);
+  EXPECT_EQ(a.colors[2].send_words_total, 5u);
+  EXPECT_EQ(a.colors[2].send_lengths, std::vector<u32>{5});
+  EXPECT_TRUE(a.colors[4].recvs);
+  EXPECT_EQ(a.colors[4].recv_lengths, std::vector<u32>{7});
+  EXPECT_FALSE(a.colors[3].sends);
+  EXPECT_FALSE(a.colors[3].recvs);
+}
+
+TEST(BytecodeAbstractInterp, ShippedCgAnalyzesCleanWithBoundedHandlers) {
+  const auto site = site_at({1, 1}, 3, 3, 4);
+  const auto program = core::lower_cg(cg_config(4), site);
+  const auto a = analysis::analyze_program(*program);
+  EXPECT_EQ(a.error_count(), 0u) << a.summary(program->name);
+  ASSERT_FALSE(a.handlers.empty());
+  for (const auto& h : a.handlers) {
+    EXPECT_TRUE(h.bounded) << h.label;
+    EXPECT_LE(h.min_cycles, h.max_cycles) << h.label;
+    EXPECT_LE(h.min_charged_ops, h.max_charged_ops) << h.label;
+  }
+  // The solver demonstrably injects: exported minimum send words feed the
+  // lookahead planner and must be at least one word per sending color.
+  u32 sending = 0;
+  for (const auto& c : a.colors)
+    if (c.sends) {
+      ++sending;
+      EXPECT_GE(c.min_send_words, 1u);
+      EXPECT_GE(c.send_words_total, c.min_send_words);
+    }
+  EXPECT_GT(sending, 0u);
+}
+
+// ---------- seeded bytecode defects through the verifier (pc-accurate) ----------
+
+const Diagnostic* find_diag(const VerifyReport& report, Check check) {
+  for (const Diagnostic& d : report.diagnostics)
+    if (d.check == check) return &d;
+  return nullptr;
+}
+
+TEST(BytecodeDefects, OobSpanReportedAtPcZero) {
+  const auto report = verify_program(1, 1, fixtures::bc_oob_span_defect());
+  EXPECT_FALSE(report.ok());
+  const auto* d = find_diag(report, Check::BytecodeMemory);
+  ASSERT_NE(d, nullptr) << report.summary();
+  EXPECT_EQ(d->severity, Severity::Error);
+  EXPECT_EQ(d->pc, 0);
+  EXPECT_NE(d->message.find("bc-oob-span"), std::string::npos) << d->message;
+}
+
+TEST(BytecodeDefects, UnsetContinuationReportedAtPcZero) {
+  const auto report =
+      verify_program(1, 1, fixtures::bc_unset_continuation_defect());
+  EXPECT_FALSE(report.ok());
+  const auto* d = find_diag(report, Check::BytecodeLiveness);
+  ASSERT_NE(d, nullptr) << report.summary();
+  EXPECT_EQ(d->severity, Severity::Error);
+  EXPECT_EQ(d->pc, 0);
+  EXPECT_NE(d->message.find("cont0"), std::string::npos) << d->message;
+}
+
+TEST(BytecodeDefects, ZeroCounterLoopIsUnboundedAtTheLatch) {
+  const auto report = verify_program(1, 1, fixtures::bc_unbounded_loop_defect());
+  EXPECT_FALSE(report.ok());
+  const auto* d = find_diag(report, Check::BytecodeCost);
+  ASSERT_NE(d, nullptr) << report.summary();
+  EXPECT_EQ(d->severity, Severity::Error);
+  EXPECT_EQ(d->pc, 2); // the DECJNZ latch
+  EXPECT_NE(d->message.find("wraps"), std::string::npos) << d->message;
+}
+
+TEST(BytecodeDefects, SendOverlapIsAWarningAtTheStore) {
+  const auto report = verify_program(1, 1, fixtures::bc_send_overlap_defect());
+  // Hardware-faithfulness warning: the simulator gathers at send time, so
+  // the defect must not gate verification.
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_GE(report.warning_count(), 1u);
+  const auto* d = find_diag(report, Check::BytecodeMemory);
+  ASSERT_NE(d, nullptr) << report.summary();
+  EXPECT_EQ(d->severity, Severity::Warning);
+  EXPECT_EQ(d->pc, 3); // the STOS into the in-flight payload
+  EXPECT_NE(d->message.find("SEND"), std::string::npos) << d->message;
+}
+
+TEST(BytecodeDefects, UnbalancedLengthsFailBalanceAtTheReceiver) {
+  const auto report =
+      verify_program(2, 1, fixtures::bc_unbalanced_send_defect());
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_error(report, Check::SendRecvBalance, "registered lengths"))
+      << report.summary();
+  const auto* d = find_diag(report, Check::SendRecvBalance);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->pe.x, 1);
+  EXPECT_EQ(d->pe.y, 0);
+  EXPECT_EQ(d->color, 5);
+}
+
+// ---------- deep verification of the shipped solvers ----------
+
+TEST(BytecodeDeep, ShippedSolversVerifyCleanOnRepresentativeShapes) {
+  constexpr Shape kDeep[] = {{2, 2}, {3, 5}, {8, 8}};
+  for (const auto [w, h] : kDeep) {
+    const auto problem =
+        FlowProblem::quarter_five_spot(w, h, 4, /*seed=*/3, 0.8);
+    const auto cg = core::verify_dataflow(problem, core::DataflowConfig{});
+    EXPECT_EQ(cg.error_count(), 0u) << w << "x" << h << ":\n" << cg.summary();
+    EXPECT_GT(cg.bytecode_programs, 0u);
+    // Anything that remains must be the documented send-overlap
+    // hardware-faithfulness warning class, nothing else.
+    for (const Diagnostic& d : cg.diagnostics) {
+      EXPECT_EQ(d.severity, Severity::Warning) << d.format();
+      EXPECT_EQ(d.check, Check::BytecodeMemory) << d.format();
+      EXPECT_NE(d.message.find("SEND"), std::string::npos) << d.format();
+    }
+    core::ChebyshevDeviceConfig cheb;
+    cheb.bounds = {0.05, 12.0};
+    const auto cb = core::verify_dataflow_chebyshev(problem, cheb);
+    EXPECT_EQ(cb.error_count(), 0u) << w << "x" << h << ":\n" << cb.summary();
+    EXPECT_GT(cb.bytecode_programs, 0u);
+  }
+}
+
+TEST(BytecodeDeep, BalanceSummariesCoverEveryTrafficColor) {
+  const auto problem = FlowProblem::quarter_five_spot(4, 4, 4, /*seed=*/3, 0.8);
+  const auto report = core::verify_dataflow(problem, core::DataflowConfig{});
+  ASSERT_EQ(report.error_count(), 0u) << report.summary();
+  ASSERT_FALSE(report.balance.empty());
+  bool exact_with_volume = false;
+  for (const auto& b : report.balance) {
+    EXPECT_GT(b.injectors, 0u) << "color " << static_cast<int>(b.color);
+    EXPECT_GT(b.delivery_sites, 0u) << "color " << static_cast<int>(b.color);
+    exact_with_volume |= b.exact && b.words_per_round > 0;
+  }
+  EXPECT_TRUE(exact_with_volume);
+  // The summary text carries the counters fabric_lint prints.
+  const std::string text = report.summary();
+  EXPECT_NE(text.find("balance: color"), std::string::npos) << text;
+  EXPECT_NE(text.find("abstractly interpreted"), std::string::npos) << text;
+}
+
+// ---------- bytecode-derived lookahead windows ----------
+
+TEST(BytecodeLookahead, WindowsNoLooserThanManifestDerived) {
+  const auto problem = FlowProblem::quarter_five_spot(8, 8, 4, /*seed=*/3, 0.8);
+  core::DataflowConfig config;
+  config.sim_threads = 4;
+  const auto plan = core::plan_dataflow_lookahead(problem, config);
+  ASSERT_GT(plan.shard_count, 1u);
+  ASSERT_EQ(plan.bytecode.south.size(), plan.shard_count - 1);
+  ASSERT_EQ(plan.bytecode.north.size(), plan.shard_count - 1);
+  ASSERT_EQ(plan.manifest.south.size(), plan.shard_count - 1);
+  ASSERT_EQ(plan.manifest.north.size(), plan.shard_count - 1);
+  bool positive_floor = false;
+  auto check_edges = [&](const std::vector<wse::ChannelLookahead::Edge>& bcode,
+                         const std::vector<wse::ChannelLookahead::Edge>& man,
+                         const char* dir) {
+    for (std::size_t i = 0; i < bcode.size(); ++i) {
+      // Tighter or equal: bytecode may prove a boundary silent or raise
+      // the batch floor, never the reverse.
+      EXPECT_TRUE(man[i].crosses || !bcode[i].crosses)
+          << dir << " boundary " << i;
+      if (bcode[i].crosses && man[i].crosses)
+        EXPECT_GE(bcode[i].min_batch_cycles, man[i].min_batch_cycles)
+            << dir << " boundary " << i;
+      positive_floor |= bcode[i].crosses && bcode[i].min_batch_cycles > 0;
+    }
+  };
+  check_edges(plan.bytecode.south, plan.manifest.south, "south");
+  check_edges(plan.bytecode.north, plan.manifest.north, "north");
+  EXPECT_TRUE(positive_floor);
+}
+
+// ---------- lint: register operands per encoding ----------
+
+TEST(BytecodeStatic, LintFlagsEveryRegisterOperandClass) {
+  auto instr = [](bc::Op op, u8 a, u8 b, u8 c, u32 d) {
+    bc::Instr ins{};
+    ins.op = op;
+    ins.a = a;
+    ins.b = b;
+    ins.c = c;
+    ins.d = d;
+    return ins;
+  };
+  struct BadEncoding {
+    const char* label;
+    bc::Instr ins;
+    const char* needle;
+  };
+  const BadEncoding cases[] = {
+      {"sadd-dest", instr(bc::Op::SADD, 16, 0, 0, 0), "f-register f16"},
+      {"sadd-rhs", instr(bc::Op::SADD, 0, 0, 16, 0), "f-register f16"},
+      {"vdot-dest", instr(bc::Op::VDOT, 16, 0, 0, 0), "f-register f16"},
+      {"lods-dest", instr(bc::Op::LODS, 16, 0, 0, 0), "f-register f16"},
+      {"movr-src", instr(bc::Op::MOVR, 0, 16, 0, 0), "f-register f16"},
+      {"umovi-dest", instr(bc::Op::UMOVI, 16, 0, 0, 0), "f-register f16"},
+      {"jtol-operand", instr(bc::Op::JTOL, 16, 0, 0, 1), "f-register f16"},
+      {"jgtr-rhs", instr(bc::Op::JGTR, 0, 16, 0, 1), "f-register f16"},
+      {"smuli-src", instr(bc::Op::SMULI, 0, 16, 0, 0), "f-register f16"},
+      {"usub-rhs", instr(bc::Op::USUB, 0, 0, 16, 0), "f-register f16"},
+      {"urcp-src", instr(bc::Op::URCP, 0, 16, 0, 0), "f-register f16"},
+      {"uk2f-dest", instr(bc::Op::UK2F, 16, 0, 0, 0), "f-register f16"},
+      {"chkpos-operand", instr(bc::Op::CHKPOS, 16, 0, 0, 0), "f-register f16"},
+      {"vmulr-scale", instr(bc::Op::VMULR, 0, 0, 0, 16), "f-register f16"},
+      {"vmacr-scale", instr(bc::Op::VMACR, 0, 0, 0, 16), "f-register f16"},
+      {"decjnz-counter", instr(bc::Op::DECJNZ, 4, 0, 0, 1), "u-register u4"},
+      {"decret-counter", instr(bc::Op::DECRET, 4, 0, 0, 0), "u-register u4"},
+      {"setu-counter", instr(bc::Op::SETU, 4, 0, 0, 0), "u-register u4"},
+      {"setc-register", instr(bc::Op::SETC, 4, 0, 0, 1),
+       "continuation register cont4"},
+      {"jind-register", instr(bc::Op::JIND, 4, 0, 0, 0),
+       "continuation register cont4"},
+  };
+  for (const auto& bad : cases) {
+    bc::Program p;
+    p.name = bad.label;
+    p.dsds.push_back(wse::Dsd{0, 1, 1});
+    p.code.push_back(bad.ins);
+    bc::Instr ret{};
+    ret.op = bc::Op::RET;
+    p.code.push_back(ret);
+    const auto issues = bc::lint_program(p);
+    bool found = false;
+    for (const auto& issue : issues)
+      found |= issue.find(bad.needle) != std::string::npos;
+    EXPECT_TRUE(found) << bad.label << ": "
+                       << (issues.empty() ? "lint reported nothing"
+                                          : issues.front());
+  }
+  // A JKGE against a constant the pool does not hold.
+  bc::Program p;
+  p.name = "jkge-const";
+  bc::Instr jkge{};
+  jkge.op = bc::Op::JKGE;
+  jkge.d = 1;
+  jkge.imm.u = 5;
+  p.code.push_back(jkge);
+  bc::Instr ret{};
+  ret.op = bc::Op::RET;
+  p.code.push_back(ret);
+  const auto issues = bc::lint_program(p);
+  bool found = false;
+  for (const auto& issue : issues)
+    found |= issue.find("constant index 5 out of range") != std::string::npos;
+  EXPECT_TRUE(found);
 }
 
 } // namespace
