@@ -15,6 +15,14 @@
 //                         honored by both workloads
 //   --skip-large          measure only the 64x64x8 workload
 //   --engine NAME         device-program engine: bytecode (default) | legacy
+//   --reps N              repetitions per thread count; wall_seconds becomes
+//                         the min across reps and wall_median / wall_stddev /
+//                         reps columns are appended (after bitwise_identical,
+//                         so existing field positions are stable)
+//   --profile-host        attach the host-side profiler to every run and
+//                         report its critical-path max-speedup bound — lets
+//                         scripts/check_scaling.sh tell "engine overhead"
+//                         from "workload admits no parallelism"
 //
 // `seed_baseline` in the JSON is the 64x64x8 workload measured on the
 // pre-refactor serial engine (std::priority_queue, per-send payload
@@ -22,7 +30,9 @@
 // records both the single-thread speedup of the engine overhaul and the
 // multi-thread scaling of the sharded executor.
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -33,6 +43,7 @@
 
 #include "core/solver.hpp"
 #include "fv/problem.hpp"
+#include "telemetry/host_profiler.hpp"
 
 using namespace fvdf;
 
@@ -58,22 +69,31 @@ struct Workload {
 struct Run {
   const char* workload = nullptr;
   u32 threads = 1;
-  f64 wall_seconds = 0;
+  f64 wall_seconds = 0; // min across reps
   u64 events = 0;
   f64 events_per_sec = 0;
   f64 speedup_vs_one_thread = 1.0;
   bool bitwise_identical = true; // vs the threads=1 run of the same workload
+  f64 wall_median = 0;
+  f64 wall_stddev = 0;
+  u32 reps = 1;
+  // --profile-host only (0 otherwise): critical-path max-speedup bound at
+  // this thread count and its T -> infinity limit.
+  f64 speedup_bound = 0;
+  f64 speedup_bound_unbounded = 0;
 };
 
 core::SimEngine g_engine = core::SimEngine::Bytecode;
 
-core::DataflowResult solve(const Workload& w, u32 threads) {
+core::DataflowResult solve(const Workload& w, u32 threads,
+                           telemetry::HostProfiler* profiler) {
   const auto problem = FlowProblem::homogeneous_column(w.nx, w.ny, w.nz);
   core::DataflowConfig config;
   config.tolerance = 0.0f;
   config.max_iterations = 10;
   config.sim_threads = threads;
   config.engine = g_engine;
+  config.host_profiler = profiler;
   return core::solve_dataflow(problem, config);
 }
 
@@ -102,20 +122,43 @@ std::vector<u32> parse_sweep(const std::string& arg) {
   return sweep;
 }
 
-std::vector<Run> measure(const Workload& w, const std::vector<u32>& sweep) {
+std::vector<Run> measure(const Workload& w, const std::vector<u32>& sweep,
+                         u32 reps, bool profile_host) {
   std::vector<Run> runs;
   core::DataflowResult reference; // first sweep entry (put 1 first)
   for (u32 threads : sweep) {
-    const auto start = std::chrono::steady_clock::now();
-    auto result = solve(w, threads);
-    const auto stop = std::chrono::steady_clock::now();
+    telemetry::HostProfiler profiler; // re-armed per solve; last rep survives
+    std::vector<f64> walls;
+    walls.reserve(reps);
+    core::DataflowResult result;
+    for (u32 rep = 0; rep < reps; ++rep) {
+      const auto start = std::chrono::steady_clock::now();
+      result = solve(w, threads, profile_host ? &profiler : nullptr);
+      const auto stop = std::chrono::steady_clock::now();
+      walls.push_back(std::chrono::duration<f64>(stop - start).count());
+    }
+    std::sort(walls.begin(), walls.end());
 
     Run run;
     run.workload = w.name;
     run.threads = threads;
-    run.wall_seconds = std::chrono::duration<f64>(stop - start).count();
+    run.reps = reps;
+    run.wall_seconds = walls.front();
+    run.wall_median = reps % 2 == 1
+                          ? walls[reps / 2]
+                          : 0.5 * (walls[reps / 2 - 1] + walls[reps / 2]);
+    f64 mean = 0;
+    for (f64 s : walls) mean += s;
+    mean /= reps;
+    f64 var = 0;
+    for (f64 s : walls) var += (s - mean) * (s - mean);
+    run.wall_stddev = reps > 1 ? std::sqrt(var / (reps - 1)) : 0.0;
     run.events = result.fabric.events_processed;
     run.events_per_sec = static_cast<f64>(run.events) / run.wall_seconds;
+    if (profiler.captured()) {
+      run.speedup_bound = profiler.max_speedup_bound(threads);
+      run.speedup_bound_unbounded = profiler.max_speedup_unbounded();
+    }
     if (runs.empty()) {
       reference = std::move(result);
     } else {
@@ -133,6 +176,14 @@ std::vector<Run> measure(const Workload& w, const std::vector<u32>& sweep) {
               << run.speedup_vs_one_thread
               << (run.bitwise_identical ? "" : "  [MISMATCH vs threads=1]")
               << '\n';
+    if (reps > 1)
+      std::cout << "  reps: " << reps << "  min " << run.wall_seconds
+                << " s  median " << run.wall_median << " s  stddev "
+                << run.wall_stddev << " s\n";
+    if (profiler.captured())
+      std::cout << "  critical-path bound: max speedup " << run.speedup_bound
+                << "x at " << threads << " threads ("
+                << run.speedup_bound_unbounded << "x unbounded)\n";
   }
   return runs;
 }
@@ -149,8 +200,14 @@ void write_runs_json(std::ofstream& json, const std::vector<Run>& runs,
          << run.events_per_sec / seed_events_per_sec
          << ", \"speedup_vs_one_thread\": " << run.speedup_vs_one_thread
          << ", \"bitwise_identical\": "
-         << (run.bitwise_identical ? "true" : "false") << "}"
-         << (i + 1 < runs.size() ? "," : "") << '\n';
+         << (run.bitwise_identical ? "true" : "false")
+         << ", \"wall_median\": " << run.wall_median
+         << ", \"wall_stddev\": " << run.wall_stddev
+         << ", \"reps\": " << run.reps;
+    if (run.speedup_bound > 0)
+      json << ", \"speedup_bound\": " << run.speedup_bound
+           << ", \"speedup_bound_unbounded\": " << run.speedup_bound_unbounded;
+    json << "}" << (i + 1 < runs.size() ? "," : "") << '\n';
   }
 }
 
@@ -161,6 +218,8 @@ int main(int argc, char** argv) {
   std::string csv_path;
   std::vector<u32> sweep = {1, 2, 4, 8};
   bool skip_large = false;
+  long reps = 1;
+  bool profile_host = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
@@ -170,6 +229,14 @@ int main(int argc, char** argv) {
       sweep = parse_sweep(argv[++i]);
     } else if (std::strcmp(argv[i], "--skip-large") == 0) {
       skip_large = true;
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::strtol(argv[++i], nullptr, 10);
+      if (reps < 1) {
+        std::cerr << "bad --reps (want >= 1): " << argv[i] << '\n';
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--profile-host") == 0) {
+      profile_host = true;
     } else if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
       const std::string name = argv[++i];
       if (name == "bytecode") {
@@ -183,10 +250,13 @@ int main(int argc, char** argv) {
     } else {
       std::cerr << "usage: micro_sim_throughput [--out PATH] [--csv PATH]"
                    " [--threads-sweep N,N,...] [--skip-large]"
-                   " [--engine bytecode|legacy]\n";
+                   " [--engine bytecode|legacy] [--reps N] [--profile-host]\n";
       return 2;
     }
   }
+  if (profile_host && !wse::Fabric::host_profiling_compiled())
+    std::cerr << "warning: --profile-host requested but this build has "
+                 "-DFVDF_TELEMETRY=OFF; no bounds will be reported\n";
 
   const u32 hw = std::max(1u, std::thread::hardware_concurrency());
   std::cout << "=== bench/micro_sim_throughput — event-engine throughput ===\n"
@@ -195,9 +265,11 @@ int main(int argc, char** argv) {
   const Workload small{"64x64x8", 64, 64, 8};
   const Workload large{"128x128x8", 128, 128, 8};
 
-  std::vector<Run> runs = measure(small, sweep);
+  std::vector<Run> runs =
+      measure(small, sweep, static_cast<u32>(reps), profile_host);
   std::vector<Run> large_runs;
-  if (!skip_large) large_runs = measure(large, sweep);
+  if (!skip_large)
+    large_runs = measure(large, sweep, static_cast<u32>(reps), profile_host);
 
   bool all_identical = true;
   for (const Run& run : runs) all_identical &= run.bitwise_identical;
@@ -238,14 +310,19 @@ int main(int argc, char** argv) {
 
   if (!csv_path.empty()) {
     std::ofstream csv(csv_path);
+    // New columns only ever append after bitwise_identical: check_scaling.sh
+    // addresses wall_seconds and bitwise_identical by field position.
     csv << "workload,threads,wall_seconds,events,events_per_sec,"
-           "speedup_vs_one_thread,bitwise_identical\n";
+           "speedup_vs_one_thread,bitwise_identical,wall_median,wall_stddev,"
+           "reps\n";
     auto emit = [&](const std::vector<Run>& rs) {
       for (const Run& run : rs)
         csv << run.workload << ',' << run.threads << ',' << run.wall_seconds
             << ',' << run.events << ',' << run.events_per_sec << ','
             << run.speedup_vs_one_thread << ','
-            << (run.bitwise_identical ? "true" : "false") << '\n';
+            << (run.bitwise_identical ? "true" : "false") << ','
+            << run.wall_median << ',' << run.wall_stddev << ',' << run.reps
+            << '\n';
     };
     emit(runs);
     emit(large_runs);

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_sim_throughput.json files row by row.
+
+    scripts/bench_diff.py BASELINE.json CANDIDATE.json [--fail-above PCT]
+
+Rows are matched on (workload, threads); for each match the per-row wall
+time, events/sec and the candidate-over-baseline speedup are printed, plus
+rows only one file has. Intended as an informational CI step (compare a
+PR's bench output against the main-branch artifact); by default the exit
+status is always 0. With --fail-above PCT the script exits 1 if any
+matched row's wall time regresses by more than PCT percent.
+
+Only the standard library is used; the JSON layout is the one
+bench/micro_sim_throughput.cpp writes (a top-level "runs" array for the
+64x64x8 workload and an optional "large_workload.runs" array for
+128x128x8).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    """-> {(workload, threads): run-dict} for one bench JSON file."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    rows = {}
+
+    def take(runs, workload):
+        for run in runs:
+            rows[(workload, int(run["threads"]))] = run
+
+    take(doc.get("runs", []), "64x64x8")
+    take(doc.get("large_workload", {}).get("runs", []), "128x128x8")
+    return rows
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="diff two micro_sim_throughput bench JSON files")
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--fail-above", type=float, metavar="PCT", default=None,
+                        help="exit 1 if any row's wall time regresses by more "
+                             "than PCT percent (default: informational only)")
+    args = parser.parse_args()
+
+    base = load_rows(args.baseline)
+    cand = load_rows(args.candidate)
+
+    header = (f"{'workload':>10} {'thr':>3} {'base wall':>11} {'cand wall':>11} "
+              f"{'speedup':>8} {'Mev/s base':>11} {'Mev/s cand':>11}")
+    print(f"baseline:  {args.baseline}")
+    print(f"candidate: {args.candidate}")
+    print(header)
+    print("-" * len(header))
+
+    worst_regression_pct = 0.0
+    for key in sorted(set(base) | set(cand), key=lambda k: (k[0], k[1])):
+        workload, threads = key
+        b, c = base.get(key), cand.get(key)
+        if b is None or c is None:
+            side = "baseline" if c is None else "candidate"
+            print(f"{workload:>10} {threads:>3}   (only in {side})")
+            continue
+        speedup = b["wall_seconds"] / c["wall_seconds"]
+        worst_regression_pct = max(worst_regression_pct, (1 / speedup - 1) * 100)
+        flags = ""
+        if not c.get("bitwise_identical", True):
+            flags = "  [candidate NOT bitwise identical]"
+        print(f"{workload:>10} {threads:>3} {b['wall_seconds']:>10.3f}s "
+              f"{c['wall_seconds']:>10.3f}s {speedup:>7.2f}x "
+              f"{b['events_per_sec'] / 1e6:>11.3f} "
+              f"{c['events_per_sec'] / 1e6:>11.3f}{flags}")
+
+    print(f"worst wall-time regression: {worst_regression_pct:+.2f}%")
+    if args.fail_above is not None and worst_regression_pct > args.fail_above:
+        print(f"FAIL: regression exceeds {args.fail_above}%", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

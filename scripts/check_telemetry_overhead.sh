@@ -9,10 +9,16 @@
 # medians, fail if the default build's median exceeds the OFF build's by
 # more than MAX_REGRESSION_PCT.
 #
+# A second gate times the host-side execution profiler (--host,
+# docs/observability.md "Host profiling") against the same binary without
+# it on a 64x64x8 solve: attaching the profiler must cost at most
+# MAX_PROFILER_REGRESSION_PCT. Skipped when PROFILER_REPS=0.
+#
 #   scripts/check_telemetry_overhead.sh [build-dir-on] [build-dir-off]
 #
 # Environment knobs: FABRIC (40x40), NZ (8), ITERS (30), REPS (7),
-# MAX_REGRESSION_PCT (5).
+# MAX_REGRESSION_PCT (5), PROFILER_FABRIC (64x64), PROFILER_ITERS (10),
+# PROFILER_REPS (5), PROFILER_THREADS (1), MAX_PROFILER_REGRESSION_PCT (5).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,6 +29,11 @@ NZ="${NZ:-8}"
 ITERS="${ITERS:-30}"
 REPS="${REPS:-7}"
 MAX_REGRESSION_PCT="${MAX_REGRESSION_PCT:-5}"
+PROFILER_FABRIC="${PROFILER_FABRIC:-64x64}"
+PROFILER_ITERS="${PROFILER_ITERS:-10}"
+PROFILER_REPS="${PROFILER_REPS:-5}"
+PROFILER_THREADS="${PROFILER_THREADS:-1}"
+MAX_PROFILER_REGRESSION_PCT="${MAX_PROFILER_REGRESSION_PCT:-5}"
 
 configure_and_build() {
   local dir="$1"; shift
@@ -36,11 +47,11 @@ echo "== building -DFVDF_TELEMETRY=OFF (hooks compiled out) -> $BUILD_OFF"
 configure_and_build "$BUILD_OFF" -DFVDF_TELEMETRY=OFF
 
 # Prints the median of the per-rep wall times a fabric_profile timing run
-# emits ("rep N: X ms wall, ...").
+# emits ("rep N: X ms wall, ..."). Extra arguments pass through.
 median_ms() {
-  local dir="$1"
-  "$dir/tools/fabric_profile" --fabric "$FABRIC" --nz "$NZ" --iters "$ITERS" \
-      --tolerance 0 --level off --reps "$REPS" \
+  local dir="$1" fabric="$2" iters="$3" reps="$4"; shift 4
+  "$dir/tools/fabric_profile" --fabric "$fabric" --nz "$NZ" --iters "$iters" \
+      --tolerance 0 --level off --reps "$reps" "$@" \
     | awk '/ms wall/ {print $3}' \
     | sort -n \
     | awk '{a[NR]=$1} END {print a[int((NR+1)/2)]}'
@@ -49,8 +60,8 @@ median_ms() {
 # Interleaving would be fairer under noisy CI neighbours, but one warm-up
 # pass per binary plus medians has proven stable enough.
 echo "== timing $FABRIC x$NZ CG, $ITERS iterations, $REPS reps per config"
-ON_MS="$(median_ms "$BUILD_ON")"
-OFF_MS="$(median_ms "$BUILD_OFF")"
+ON_MS="$(median_ms "$BUILD_ON" "$FABRIC" "$ITERS" "$REPS")"
+OFF_MS="$(median_ms "$BUILD_OFF" "$FABRIC" "$ITERS" "$REPS")"
 
 awk -v on="$ON_MS" -v off="$OFF_MS" -v max="$MAX_REGRESSION_PCT" 'BEGIN {
   pct = (on / off - 1) * 100
@@ -59,6 +70,34 @@ awk -v on="$ON_MS" -v off="$OFF_MS" -v max="$MAX_REGRESSION_PCT" 'BEGIN {
   if (pct > max) {
     printf "FAIL: disabled-telemetry overhead %.2f%% exceeds %s%% budget\n",
            pct, max
+    exit 1
+  }
+  printf "OK: within the %s%% budget\n", max
+}'
+
+# ---- host-profiler overhead gate ------------------------------------
+if [[ "$PROFILER_REPS" == "0" ]]; then
+  echo "== host-profiler overhead gate skipped (PROFILER_REPS=0)"
+  exit 0
+fi
+
+PROF_DIR="$(mktemp -d)"
+trap 'rm -rf "$PROF_DIR"' EXIT
+
+echo "== timing $PROFILER_FABRIC x$NZ CG, $PROFILER_ITERS iterations," \
+     "$PROFILER_REPS reps, $PROFILER_THREADS thread(s): --host vs plain"
+BASE_MS="$(median_ms "$BUILD_ON" "$PROFILER_FABRIC" "$PROFILER_ITERS" \
+  "$PROFILER_REPS" --sim-threads "$PROFILER_THREADS")"
+PROF_MS="$(median_ms "$BUILD_ON" "$PROFILER_FABRIC" "$PROFILER_ITERS" \
+  "$PROFILER_REPS" --sim-threads "$PROFILER_THREADS" --host --out "$PROF_DIR")"
+
+awk -v prof="$PROF_MS" -v base="$BASE_MS" \
+    -v max="$MAX_PROFILER_REGRESSION_PCT" 'BEGIN {
+  pct = (prof / base - 1) * 100
+  printf "median wall time: profiler-on %.1f ms, profiler-off %.1f ms (%+.2f%%)\n",
+         prof, base, pct
+  if (pct > max) {
+    printf "FAIL: host-profiler overhead %.2f%% exceeds %s%% budget\n", pct, max
     exit 1
   }
   printf "OK: within the %s%% budget\n", max

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Validate a host_profile.json document against schema and invariants.
+
+    scripts/validate_host_profile.py host_profile.json
+
+Checks (see docs/observability.md, "Host profiling"):
+  * schema tag is fvdf.telemetry.host_profile/1 and captured is true;
+  * every worker's intervals are sorted, non-overlapping and start at 0;
+  * every worker's per-state seconds sum to its accounted wall time
+    (which equals the run's wall time up to clock-read jitter);
+  * every shard's four stall bins sum to the run's round count;
+  * the critical-path bounds are >= 1, monotone in the thread count,
+    exactly 1 at one thread, and capped by the unbounded limit.
+
+Exits 0 when everything holds, 1 with a message otherwise. Standard
+library only.
+"""
+
+import json
+import sys
+
+TOLERANCE = 1e-6  # seconds; accumulated clock-read granularity
+
+
+def fail(message):
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    with open(sys.argv[1], "r", encoding="utf-8") as f:
+        doc = json.load(f)
+
+    if doc.get("schema") != "fvdf.telemetry.host_profile/1":
+        fail(f"unexpected schema tag {doc.get('schema')!r}")
+    if not doc.get("captured"):
+        fail("captured is false (profiler never saw a run)")
+
+    wall = doc["wall_seconds"]
+    rounds = doc["rounds"]
+    if wall <= 0 or rounds <= 0:
+        fail(f"empty run: wall {wall}, rounds {rounds}")
+
+    timelines = doc["worker_timelines"]
+    if len(timelines) != doc["workers"]:
+        fail("worker_timelines length != workers")
+    for tl in timelines:
+        w = tl["worker"]
+        accounted = sum(tl["seconds"].values())
+        if abs(accounted - tl["accounted_seconds"]) > TOLERANCE:
+            fail(f"worker {w}: per-state seconds sum {accounted} != "
+                 f"accounted_seconds {tl['accounted_seconds']}")
+        if abs(accounted - wall) > TOLERANCE:
+            fail(f"worker {w}: accounted {accounted} != wall {wall}")
+        cursor = 0.0
+        for state, begin, end in tl["intervals"]:
+            if begin < cursor - TOLERANCE or end <= begin:
+                fail(f"worker {w}: bad interval [{begin}, {end}) "
+                     f"({state}) after cursor {cursor}")
+            cursor = end
+        # Detail may be capped, but what is recorded must fit the wall.
+        if cursor > wall + TOLERANCE:
+            fail(f"worker {w}: intervals extend past wall ({cursor} > {wall})")
+        if tl["intervals_dropped"] == 0 and tl["intervals"] and \
+                abs(cursor - wall) > TOLERANCE:
+            fail(f"worker {w}: intervals end at {cursor}, wall is {wall}")
+
+    stalls = doc["shard_stalls"]
+    if len(stalls) != doc["shards"]:
+        fail("shard_stalls length != shards")
+    for s in stalls:
+        bins = (s["rounds_worked"] + s["rounds_window_limited"] +
+                s["rounds_backpressure"] + s["rounds_starved"])
+        if bins != rounds:
+            fail(f"shard {s['shard']}: stall bins sum to {bins}, "
+                 f"run has {rounds} rounds")
+
+    cp = doc["critical_path"]
+    unbounded = cp["max_speedup_unbounded"]
+    previous = 0.0
+    for row in cp["bounds"]:
+        bound = row["max_speedup"]
+        if bound < 1.0 - TOLERANCE:
+            fail(f"bound at {row['threads']} threads is {bound} < 1")
+        if row["threads"] == 1 and abs(bound - 1.0) > TOLERANCE:
+            fail(f"bound at 1 thread is {bound}, expected exactly 1")
+        if bound < previous - TOLERANCE:
+            fail(f"bounds not monotone at {row['threads']} threads")
+        if bound > unbounded + TOLERANCE:
+            fail(f"bound at {row['threads']} threads exceeds the "
+                 f"unbounded limit {unbounded}")
+        previous = bound
+
+    print(f"OK: {doc['workers']} worker(s), {doc['shards']} shard(s), "
+          f"{rounds} round(s), wall {wall:.4f} s, "
+          f"unbounded speedup limit {unbounded:.2f}x")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

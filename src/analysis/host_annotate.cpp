@@ -1,0 +1,107 @@
+#include "analysis/host_annotate.hpp"
+
+#include <deque>
+#include <string>
+
+#include "analysis/cfg.hpp"
+#include "telemetry/host_profiler.hpp"
+#include "telemetry/phase.hpp"
+#include "wse/bytecode.hpp"
+#include "wse/fabric.hpp"
+
+namespace fvdf::analysis {
+
+namespace {
+
+// Meet over the phase lattice: kPhaseInherited is bottom (no information),
+// kPhaseMixed is top, concrete phases are incomparable with each other.
+u8 meet(u8 a, u8 b) {
+  if (a == kPhaseInherited) return b;
+  if (b == kPhaseInherited) return a;
+  if (a == b) return a;
+  return kPhaseMixed;
+}
+
+} // namespace
+
+const char* phase_label(u8 value) {
+  if (value == kPhaseInherited) return "inherited";
+  if (value == kPhaseMixed) return "mixed";
+  if (value < telemetry::kNumPhases)
+    return telemetry::to_string(static_cast<telemetry::Phase>(value));
+  return "?";
+}
+
+std::vector<u8> bytecode_phase_map(const wse::bc::Program& program) {
+  std::vector<u8> per_pc(program.code.size(), kPhaseInherited);
+  if (program.code.empty()) return per_pc;
+  const Cfg cfg = build_cfg(program);
+  if (cfg.blocks.empty()) return per_pc;
+
+  std::vector<u8> block_in(cfg.blocks.size(), kPhaseInherited);
+  std::vector<bool> queued(cfg.blocks.size(), false);
+  std::deque<u32> worklist;
+  const auto enqueue = [&](u32 block) {
+    if (!queued[block]) {
+      queued[block] = true;
+      worklist.push_back(block);
+    }
+  };
+
+  // Entry seeds: program start runs under Setup until told otherwise;
+  // handler/continuation entries inherit whatever phase the previous
+  // activation left active (bottom here). Seeding is a meet so an entry
+  // block that is also a join target keeps both contributions.
+  for (const CfgEntry& entry : cfg.entries) {
+    if (entry.block == kNoBlock) continue;
+    if (entry.kind == CfgEntry::Kind::Start)
+      block_in[entry.block] =
+          meet(block_in[entry.block],
+               static_cast<u8>(telemetry::Phase::Setup));
+    enqueue(entry.block);
+  }
+
+  while (!worklist.empty()) {
+    const u32 id = worklist.front();
+    worklist.pop_front();
+    queued[id] = false;
+    const CfgBlock& block = cfg.blocks[id];
+    if (!block.reachable) continue;
+    u8 cur = block_in[id];
+    for (u32 pc = block.first; pc <= block.last; ++pc) {
+      const wse::bc::Instr& ins = program.code[pc];
+      // A PHASE instruction belongs to the phase it switches to.
+      if (ins.op == wse::bc::Op::PHASE &&
+          ins.a < telemetry::kNumPhases)
+        cur = ins.a;
+      per_pc[pc] = meet(per_pc[pc], cur);
+    }
+    for (u32 succ : block.succ) {
+      const u8 joined = meet(block_in[succ], cur);
+      if (joined != block_in[succ]) {
+        block_in[succ] = joined;
+        enqueue(succ);
+      }
+    }
+  }
+  return per_pc;
+}
+
+void annotate_host_profile(telemetry::HostProfiler& profiler,
+                           const wse::Fabric& fabric) {
+  if (!profiler.captured()) return;
+  for (const wse::bc::Program* program : fabric.distinct_bytecode_programs()) {
+    std::vector<std::string> ops;
+    ops.reserve(program->code.size());
+    for (const wse::bc::Instr& ins : program->code)
+      ops.emplace_back(wse::bc::to_string(ins.op));
+    const std::vector<u8> phases = bytecode_phase_map(*program);
+    std::vector<std::string> labels;
+    labels.reserve(phases.size());
+    for (u8 value : phases) labels.emplace_back(phase_label(value));
+    profiler.annotate_program(program, program->name, std::move(ops),
+                              std::move(labels));
+  }
+}
+
+} // namespace fvdf::analysis

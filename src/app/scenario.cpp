@@ -14,6 +14,7 @@
 #include "solver/blas.hpp"
 #include "solver/pressure_solve.hpp"
 #include "solver/transient.hpp"
+#include "telemetry/host_profiler.hpp"
 
 namespace fvdf::app {
 
@@ -40,6 +41,7 @@ const std::set<std::string> kKnownKeys = {
     "transient.enabled", "transient.dt", "transient.steps",
     "transient.porosity", "transient.compressibility",
     "output.vtk", "output.checkpoint", "output.heatmap",
+    "output.host_profile",
 };
 
 CellField<f64> build_permeability(const Config& config, const CartesianMesh3D& mesh) {
@@ -138,6 +140,10 @@ Scenario scenario_from_config(const Config& config) {
   scenario.vtk_path = config.get_string("output.vtk", "");
   scenario.checkpoint_path = config.get_string("output.checkpoint", "");
   scenario.heatmap = config.get_bool("output.heatmap", false);
+  scenario.host_profile_dir = config.get_string("output.host_profile", "");
+  FVDF_CHECK_MSG(scenario.host_profile_dir.empty() ||
+                     scenario.backend == Backend::Dataflow,
+                 "output.host_profile requires solver.backend = dataflow");
   return scenario;
 }
 
@@ -149,6 +155,8 @@ ScenarioOutcome run_scenario(const Scenario& scenario, std::ostream& log) {
       << (scenario.transient ? " (transient)" : " (steady)") << '\n';
 
   ScenarioOutcome outcome;
+  telemetry::HostProfiler host_profiler;
+  const bool profile_host = !scenario.host_profile_dir.empty();
   if (scenario.transient && scenario.backend == Backend::Dataflow) {
     core::DataflowConfig config;
     config.tolerance = static_cast<f32>(scenario.tolerance);
@@ -156,6 +164,7 @@ ScenarioOutcome run_scenario(const Scenario& scenario, std::ostream& log) {
     config.jacobi_precondition = true;
     config.sim_threads = scenario.sim_threads;
     config.verify_preflight = scenario.verify;
+    config.host_profiler = profile_host ? &host_profiler : nullptr;
     const auto result = core::solve_transient_dataflow(
         problem, scenario.dt, scenario.steps, scenario.porosity,
         scenario.compressibility, config);
@@ -182,6 +191,7 @@ ScenarioOutcome run_scenario(const Scenario& scenario, std::ostream& log) {
     config.max_iterations = scenario.max_iterations;
     config.sim_threads = scenario.sim_threads;
     config.verify_preflight = scenario.verify;
+    config.host_profiler = profile_host ? &host_profiler : nullptr;
     const auto result = core::solve_dataflow(problem, config);
     outcome.converged = result.converged;
     outcome.iterations = result.iterations;
@@ -224,6 +234,16 @@ ScenarioOutcome run_scenario(const Scenario& scenario, std::ostream& log) {
   }
   if (scenario.heatmap)
     log << "pressure, top layer:\n" << ascii_heatmap(top_layer(mesh, outcome.pressure));
+  if (profile_host) {
+    if (host_profiler.captured()) {
+      host_profiler.print_summary(log, scenario.sim_threads);
+      for (const std::string& path :
+           host_profiler.write(scenario.host_profile_dir))
+        log << "wrote " << path << '\n';
+    } else {
+      log << "host profile: nothing captured (built with -DFVDF_TELEMETRY=OFF?)\n";
+    }
+  }
   return outcome;
 }
 

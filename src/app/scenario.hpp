@@ -21,7 +21,10 @@
 //               before the run — see docs/static_verification.md)
 //   [transient] enabled (false), dt (1.0), steps (10),
 //               porosity (0.2), compressibility (1e-2)
-//   [output]    vtk (unset), checkpoint (unset), heatmap (false)
+//   [output]    vtk (unset), checkpoint (unset), heatmap (false),
+//               host_profile (unset; dataflow only: directory for the
+//               host-side profiler bundle — see docs/observability.md,
+//               "Host profiling")
 
 #include <iosfwd>
 #include <memory>
@@ -60,6 +63,11 @@ struct Scenario {
   std::string vtk_path;
   std::string checkpoint_path;
   bool heatmap = false;
+  // Dataflow backend only: attach the host-side execution profiler and
+  // write host_profile.json + host_trace.json into this directory. For
+  // transient runs the profile covers the last step's solve. Never changes
+  // results (docs/observability.md, "Host profiling").
+  std::string host_profile_dir;
 };
 
 /// Builds a scenario from a parsed config. Throws fvdf::Error with the

@@ -1,5 +1,6 @@
 #include "core/solver.hpp"
 
+#include "analysis/host_annotate.hpp"
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "core/bytecode_program.hpp"
@@ -266,9 +267,12 @@ DataflowResult solve_dataflow(const FlowProblem& problem, const DataflowConfig& 
   if (fabric.shard_count() > 1)
     fabric.set_channel_lookahead(fabric.plan_channel_lookahead(factory));
   attach_telemetry(fabric, config.telemetry);
+  fabric.set_host_profiler(config.host_profiler);
   fabric.load(factory);
 
   const auto run = fabric.run(config.max_cycles);
+  if (config.host_profiler != nullptr)
+    analysis::annotate_host_profile(*config.host_profiler, fabric);
   FVDF_CHECK_MSG(run.all_halted,
                  "dataflow solve did not complete: " << (run.hit_cycle_limit
                                                              ? "cycle limit hit"
@@ -351,9 +355,12 @@ DataflowResult solve_dataflow_chebyshev(const FlowProblem& problem,
   if (fabric.shard_count() > 1)
     fabric.set_channel_lookahead(fabric.plan_channel_lookahead(factory));
   attach_telemetry(fabric, config.telemetry);
+  fabric.set_host_profiler(config.host_profiler);
   fabric.load(factory);
 
   const auto run = fabric.run(config.max_cycles);
+  if (config.host_profiler != nullptr)
+    analysis::annotate_host_profile(*config.host_profiler, fabric);
   FVDF_CHECK_MSG(run.all_halted, "Chebyshev device solve did not complete");
   DataflowResult result =
       read_back(fabric, run, problem, sys, config.flux_mode, /*jacobi=*/false,

@@ -18,6 +18,7 @@
 
 namespace fvdf::telemetry {
 class Session;
+class HostProfiler;
 }
 
 namespace fvdf::core {
@@ -66,6 +67,13 @@ struct DataflowConfig {
   // caller owns it; nullptr (the default) costs one pointer test per
   // instrumentation site.
   telemetry::Session* telemetry = nullptr;
+  // Optional host-side execution profiler (telemetry/host_profiler.hpp):
+  // observes the *simulator* — worker timelines, shard stall attribution,
+  // bytecode pc hot spots, critical-path speedup bound — over wall-clock
+  // time. Caller owns it; attaching it never changes results or the
+  // deterministic telemetry bundle. solve_dataflow annotates the sampled
+  // programs (analysis::annotate_host_profile) before returning.
+  telemetry::HostProfiler* host_profiler = nullptr;
 };
 
 struct DataflowResult {
@@ -113,6 +121,7 @@ struct ChebyshevDeviceConfig {
   SimEngine engine = SimEngine::Bytecode; // see DataflowConfig::engine
   bool verify_preflight = false; // see DataflowConfig::verify_preflight
   telemetry::Session* telemetry = nullptr; // see DataflowConfig::telemetry
+  telemetry::HostProfiler* host_profiler = nullptr; // see DataflowConfig
 };
 
 DataflowResult solve_dataflow_chebyshev(const FlowProblem& problem,

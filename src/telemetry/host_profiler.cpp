@@ -1,0 +1,423 @@
+#include "telemetry/host_profiler.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "telemetry/json.hpp"
+
+namespace fvdf::telemetry {
+
+namespace {
+
+constexpr const char* kSchema = "fvdf.telemetry.host_profile/1";
+
+void write_file(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary);
+  FVDF_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  out.write(body.data(), static_cast<std::streamsize>(body.size()));
+  FVDF_CHECK_MSG(out.good(), "short write to " << path);
+}
+
+} // namespace
+
+void HostProfiler::begin_run(u32 workers, u32 shards, u32 threads_requested) {
+  timelines_.assign(workers, HostWorkerTimeline{});
+  shards_.assign(shards, HostShardStats{});
+  samplers_.assign(shards, HostPcSampler{});
+  for (HostPcSampler& s : samplers_) s.reset(config_.pc_sample_period);
+  lookahead_.clear();
+  annotations_.clear();
+  threads_requested_ = threads_requested;
+  rounds_ = 0;
+  wall_seconds_ = 0;
+  total_busy_seconds_ = 0;
+  crit_seconds_ = 0;
+  bound_seconds_.fill(0);
+  total_events_ = 0;
+  crit_events_ = 0;
+  bound_events_.fill(0);
+  began_ = true;
+  ended_ = false;
+  t0_ = std::chrono::steady_clock::now();
+  for (u32 w = 0; w < workers; ++w)
+    timelines_[w].reset(w == 0 ? HostState::Drive : HostState::Park,
+                        config_.max_intervals_per_worker);
+}
+
+void HostProfiler::end_run() {
+  if (!began_ || ended_) return;
+  ended_ = true;
+  wall_seconds_ = now();
+  // Workers > 0 are parked (or joining the final barrier the caller already
+  // passed through); closing their open Park interval from here is the
+  // single-writer hand-off the class comment documents.
+  for (HostWorkerTimeline& timeline : timelines_) timeline.close(wall_seconds_);
+}
+
+void HostProfiler::accumulate_round() {
+  ++rounds_;
+  f64 round_total = 0;
+  f64 round_max = 0;
+  f64 ev_total = 0;
+  f64 ev_max = 0;
+  for (HostShardStats& shard : shards_) {
+    round_total += shard.last_round_busy_seconds;
+    round_max = std::max(round_max, shard.last_round_busy_seconds);
+    const f64 ev = static_cast<f64>(shard.last_round_events);
+    ev_total += ev;
+    ev_max = std::max(ev_max, ev);
+    shard.last_round_busy_seconds = 0;
+    shard.last_round_events = 0;
+  }
+  total_busy_seconds_ += round_total;
+  crit_seconds_ += round_max;
+  total_events_ += ev_total;
+  crit_events_ += ev_max;
+  for (std::size_t i = 0; i < kBoundThreads.size(); ++i) {
+    const f64 t = static_cast<f64>(kBoundThreads[i]);
+    bound_seconds_[i] += std::max(round_max, round_total / t);
+    bound_events_[i] += std::max(ev_max, ev_total / t);
+  }
+}
+
+void HostProfiler::annotate_program(const void* key, std::string name,
+                                    std::vector<std::string> ops,
+                                    std::vector<std::string> phases) {
+  for (Annotation& a : annotations_)
+    if (a.key == key) {
+      a.name = std::move(name);
+      a.ops = std::move(ops);
+      a.phases = std::move(phases);
+      return;
+    }
+  annotations_.push_back(
+      Annotation{key, std::move(name), std::move(ops), std::move(phases)});
+}
+
+const HostProfiler::Annotation*
+HostProfiler::annotation_for(const void* key) const {
+  for (const Annotation& a : annotations_)
+    if (a.key == key) return &a;
+  return nullptr;
+}
+
+namespace {
+
+f64 bound_at(const std::array<f64, kBoundThreads.size()>& folded, f64 total,
+             u32 threads) {
+  if (total <= 0) return 1;
+  // Nearest ladder entry at or below `threads` (the fold is monotone in T,
+  // so clamping down stays a valid upper bound on achievable speedup).
+  std::size_t pick = 0;
+  for (std::size_t i = 0; i < kBoundThreads.size(); ++i)
+    if (kBoundThreads[i] <= threads) pick = i;
+  const f64 denom = folded[pick];
+  return denom > 0 ? total / denom : 1;
+}
+
+} // namespace
+
+f64 HostProfiler::max_speedup_bound(u32 threads) const {
+  return bound_at(bound_seconds_, total_busy_seconds_, threads);
+}
+
+f64 HostProfiler::max_event_speedup_bound(u32 threads) const {
+  return bound_at(bound_events_, total_events_, threads);
+}
+
+f64 HostProfiler::max_speedup_unbounded() const {
+  if (total_busy_seconds_ <= 0 || crit_seconds_ <= 0) return 1;
+  return total_busy_seconds_ / crit_seconds_;
+}
+
+std::string HostProfiler::host_profile_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", kSchema);
+  w.kv("captured", captured());
+  w.kv("workers", workers());
+  w.kv("shards", shards());
+  w.kv("threads_requested", threads_requested_);
+  w.kv("rounds", rounds_);
+  w.kv("wall_seconds", wall_seconds_);
+  w.kv("pc_sample_period", config_.pc_sample_period);
+
+  w.key("worker_timelines").begin_array();
+  for (u32 i = 0; i < workers(); ++i) {
+    const HostWorkerTimeline& t = timelines_[i];
+    w.begin_object();
+    w.kv("worker", i);
+    w.key("seconds").begin_object();
+    f64 accounted = 0;
+    for (u32 s = 0; s < kNumHostStates; ++s) {
+      w.kv(to_string(static_cast<HostState>(s)),
+           t.total(static_cast<HostState>(s)));
+      accounted += t.total(static_cast<HostState>(s));
+    }
+    w.end_object();
+    w.kv("accounted_seconds", accounted); // == wall_seconds by construction
+    const f64 busy = t.total(HostState::Run) + t.total(HostState::Merge) +
+                     t.total(HostState::Drive);
+    w.kv("utilization", wall_seconds_ > 0 ? busy / wall_seconds_ : 0.0);
+    w.kv("intervals_dropped", t.dropped());
+    w.key("intervals").begin_array();
+    for (const HostInterval& iv : t.intervals()) {
+      w.begin_array();
+      w.value(to_string(iv.state));
+      w.value(iv.begin);
+      w.value(iv.end);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("shard_stalls").begin_array();
+  for (u32 i = 0; i < shards(); ++i) {
+    const HostShardStats& s = shards_[i];
+    w.begin_object();
+    w.kv("shard", i);
+    w.kv("rounds_worked", s.rounds_worked);
+    w.kv("rounds_window_limited", s.rounds_window_limited);
+    w.kv("rounds_backpressure", s.rounds_backpressure);
+    w.kv("rounds_starved", s.rounds_starved);
+    w.kv("events", s.events);
+    w.kv("inbound_events", s.inbound_events);
+    w.kv("outbound_events", s.outbound_events);
+    w.kv("busy_seconds", s.busy_seconds);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("lookahead").begin_array();
+  for (std::size_t i = 0; i < lookahead_.size(); ++i) {
+    const HostLookaheadEdge& e = lookahead_[i];
+    w.begin_object();
+    w.kv("boundary", static_cast<u64>(i));
+    w.kv("south_crosses", e.south_crosses);
+    w.kv("south_min_batch_cycles", e.south_min_batch_cycles);
+    w.kv("north_crosses", e.north_crosses);
+    w.kv("north_min_batch_cycles", e.north_min_batch_cycles);
+    w.end_object();
+  }
+  w.end_array();
+
+  // Merge the per-shard samplers into one histogram per program key, then
+  // emit per-program sample totals and a top-32 hot-spot table joined with
+  // the analysis-layer annotations.
+  struct Merged {
+    const void* key = nullptr;
+    std::vector<u64> counts;
+    u64 total = 0;
+  };
+  std::vector<Merged> merged;
+  for (const HostPcSampler& sampler : samplers_) {
+    for (const HostPcSampler::ProgramCounts& p : sampler.programs()) {
+      Merged* m = nullptr;
+      for (Merged& cand : merged)
+        if (cand.key == p.key) m = &cand;
+      if (m == nullptr) {
+        merged.push_back(Merged{p.key, {}, 0});
+        m = &merged.back();
+      }
+      if (m->counts.size() < p.counts.size()) m->counts.resize(p.counts.size(), 0);
+      for (std::size_t pc = 0; pc < p.counts.size(); ++pc) {
+        m->counts[pc] += p.counts[pc];
+        m->total += p.counts[pc];
+      }
+    }
+  }
+  // Address order is allocation order and would flap run to run; name order
+  // keeps the document stable for humans and the schema check.
+  std::stable_sort(merged.begin(), merged.end(),
+                   [&](const Merged& a, const Merged& b) {
+                     const Annotation* an = annotation_for(a.key);
+                     const Annotation* bn = annotation_for(b.key);
+                     const std::string& na = an ? an->name : std::string{};
+                     const std::string& nb = bn ? bn->name : std::string{};
+                     if (na != nb) return na < nb;
+                     return a.total > b.total;
+                   });
+
+  w.key("programs").begin_array();
+  for (const Merged& m : merged) {
+    const Annotation* a = annotation_for(m.key);
+    w.begin_object();
+    w.kv("program", a != nullptr ? a->name.c_str() : "?");
+    w.kv("samples", m.total);
+    w.kv("code_words", static_cast<u64>(m.counts.size()));
+    w.end_object();
+  }
+  w.end_array();
+
+  struct Hot {
+    const Merged* program = nullptr;
+    u32 pc = 0;
+    u64 samples = 0;
+  };
+  std::vector<Hot> hot;
+  for (const Merged& m : merged)
+    for (std::size_t pc = 0; pc < m.counts.size(); ++pc)
+      if (m.counts[pc] > 0)
+        hot.push_back(Hot{&m, static_cast<u32>(pc), m.counts[pc]});
+  std::stable_sort(hot.begin(), hot.end(),
+                   [](const Hot& a, const Hot& b) { return a.samples > b.samples; });
+  if (hot.size() > 32) hot.resize(32);
+
+  w.key("hotspots").begin_array();
+  for (const Hot& h : hot) {
+    const Annotation* a = annotation_for(h.program->key);
+    const auto label = [&](const std::vector<std::string>& v) {
+      return a != nullptr && h.pc < v.size() ? v[h.pc].c_str() : "?";
+    };
+    w.begin_object();
+    w.kv("program", a != nullptr ? a->name.c_str() : "?");
+    w.kv("pc", h.pc);
+    w.kv("op", a != nullptr ? label(a->ops) : "?");
+    w.kv("phase", a != nullptr ? label(a->phases) : "?");
+    w.kv("samples", h.samples);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("critical_path").begin_object();
+  w.kv("total_busy_seconds", total_busy_seconds_);
+  w.kv("critical_path_seconds", crit_seconds_);
+  w.kv("max_speedup_unbounded", max_speedup_unbounded());
+  w.key("bounds").begin_array();
+  for (u32 threads : kBoundThreads) {
+    w.begin_object();
+    w.kv("threads", threads);
+    w.kv("max_speedup", max_speedup_bound(threads));
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("total_events", total_events_);
+  w.kv("critical_path_events", crit_events_);
+  w.key("event_bounds").begin_array();
+  for (u32 threads : kBoundThreads) {
+    w.begin_object();
+    w.kv("threads", threads);
+    w.kv("max_speedup", max_event_speedup_bound(threads));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  w.end_object();
+  return w.take();
+}
+
+std::string HostProfiler::chrome_trace_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  for (u32 i = 0; i < workers(); ++i) {
+    w.begin_object();
+    w.kv("name", "thread_name");
+    w.kv("ph", "M");
+    w.kv("pid", u64{1});
+    w.kv("tid", static_cast<u64>(i));
+    w.key("args").begin_object();
+    w.kv("name", i == 0 ? "worker 0 (driver)" : "worker");
+    w.end_object();
+    w.end_object();
+    for (const HostInterval& iv : timelines_[i].intervals()) {
+      if (iv.state == HostState::Park) continue; // idle gaps read themselves
+      w.begin_object();
+      w.kv("name", to_string(iv.state));
+      w.kv("ph", "X");
+      w.kv("pid", u64{1});
+      w.kv("tid", static_cast<u64>(i));
+      w.kv("ts", iv.begin * 1e6);
+      w.kv("dur", (iv.end - iv.begin) * 1e6);
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.kv("displayTimeUnit", "ms");
+  w.end_object();
+  return w.take();
+}
+
+std::vector<std::string> HostProfiler::write(const std::string& dir) const {
+  std::filesystem::create_directories(dir);
+  std::vector<std::string> paths;
+  const auto emit = [&](const char* file, const std::string& body) {
+    std::string path = dir + "/" + file;
+    write_file(path, body);
+    paths.push_back(std::move(path));
+  };
+  emit("host_profile.json", host_profile_json());
+  emit("host_trace.json", chrome_trace_json());
+  return paths;
+}
+
+void HostProfiler::print_summary(std::ostream& os,
+                                 u32 threads_of_interest) const {
+  if (!captured()) {
+    os << "host profile: nothing captured (profiler not attached to a run,"
+          " or telemetry hooks compiled out)\n";
+    return;
+  }
+  const u32 t_headline =
+      threads_of_interest != 0 ? threads_of_interest : workers();
+  os << "host profile: " << workers() << " worker(s) over " << shards()
+     << " shard(s), " << rounds_ << " round(s), wall "
+     << wall_seconds_ << " s\n";
+  const auto pct = [&](f64 seconds) {
+    return wall_seconds_ > 0 ? 100.0 * seconds / wall_seconds_ : 0.0;
+  };
+  for (u32 i = 0; i < workers(); ++i) {
+    const HostWorkerTimeline& t = timelines_[i];
+    os << "  worker " << i << ":";
+    for (u32 s = 0; s < kNumHostStates; ++s) {
+      const HostState state = static_cast<HostState>(s);
+      char buf[16];
+      std::snprintf(buf, sizeof buf, "%5.1f%%", pct(t.total(state)));
+      os << "  " << to_string(state) << " " << buf;
+    }
+    if (t.dropped() > 0) os << "  (+" << t.dropped() << " intervals dropped)";
+    os << "\n";
+  }
+  u64 worked = 0;
+  u64 limited = 0;
+  u64 backpressure = 0;
+  u64 starved = 0;
+  for (const HostShardStats& s : shards_) {
+    worked += s.rounds_worked;
+    limited += s.rounds_window_limited;
+    backpressure += s.rounds_backpressure;
+    starved += s.rounds_starved;
+  }
+  const f64 shard_rounds =
+      static_cast<f64>(worked + limited + backpressure + starved);
+  if (shard_rounds > 0) {
+    const auto spct = [&](u64 n) {
+      return 100.0 * static_cast<f64>(n) / shard_rounds;
+    };
+    char buf[128];
+    std::snprintf(buf, sizeof buf,
+                  "  stalls: worked %.1f%%  window-limited %.1f%%  "
+                  "backpressure %.1f%%  starved %.1f%% (of %.0f shard-rounds)",
+                  spct(worked), spct(limited), spct(backpressure),
+                  spct(starved), shard_rounds);
+    os << buf << "\n";
+  }
+  char bound[160];
+  std::snprintf(bound, sizeof bound,
+                "critical-path bound: max speedup %.2fx at %u threads "
+                "(%.2fx unbounded; work %.4f s, critical path %.4f s; "
+                "event-balance %.2fx at %u threads)",
+                max_speedup_bound(t_headline), t_headline,
+                max_speedup_unbounded(), total_busy_seconds_, crit_seconds_,
+                max_event_speedup_bound(t_headline), t_headline);
+  os << bound << "\n";
+}
+
+} // namespace fvdf::telemetry

@@ -1,0 +1,356 @@
+#pragma once
+// Host-side execution profiler for the parallel fabric engine.
+//
+// PR 3's telemetry observes the *simulated fabric* — deterministically, so
+// the bundle is bitwise identical at any thread count. This profiler
+// observes the *simulator*: where each worker thread's wall time went
+// (window processing / merge / barrier wait / futex park), why each shard's
+// rounds stalled (lookahead-window-limited vs work-starved vs cross-shard
+// backpressure, counted against the ChannelLookahead table actually
+// installed), which bytecode pcs the interpreter burned its time in, and —
+// from the per-round per-shard busy times — a critical-path bound on the
+// speedup any worker count could possibly achieve on this workload.
+//
+// Determinism contract: the profiler only ever *reads* host clocks and
+// writes to its own storage; it never feeds anything back into the engine.
+// Solve results, cycle counts, ledgers and the deterministic telemetry
+// bundle are bitwise identical with the profiler attached or not (tested in
+// tests/test_wse_parallel.cpp). Its own output is wall-clock data and is
+// intentionally NOT deterministic — it lives in a separate host_profile
+// bundle, never inside the device bundle.
+//
+// Threading contract (the lock-free part): every mutable slot has exactly
+// one writer between barriers —
+//   * WorkerTimeline w      written only by worker w, and only between its
+//                           wake and its final barrier arrival of a round;
+//   * ShardStats s          written only by the worker that owns shard s
+//                           (phase A classification, phase B resolution);
+//   * PcSampler s           written only by shard s's worker inside
+//                           process_window;
+//   * round accumulators    written only by the driver (worker 0) between
+//                           rounds.
+// The engine's sense-reversing round barrier orders every worker write
+// before every driver read (the same happens-before edge the trace merge
+// already relies on), so no atomics appear anywhere in this file. For
+// workers > 0 the trailing per-round barrier cannot be timed from inside
+// (the thread parks right after arriving), so it is folded into the next
+// Park interval; worker 0 returns through the barrier and accounts it
+// exactly.
+//
+// Everything in the engine hot path compiles out under -DFVDF_TELEMETRY=OFF
+// (the hooks sit behind FVDF_TELEMETRY_DISABLED in wse/); this class always
+// compiles, and captured() reports false when no engine ever called
+// begin_run().
+
+#include <array>
+#include <chrono>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fvdf::telemetry {
+
+/// What a worker thread is doing at an instant of host wall time.
+enum class HostState : u8 {
+  Park = 0, // parked on the pool futex between rounds (workers > 0; also
+            // absorbs those workers' trailing round barrier — see above)
+  Run,      // phase A: processing its shards' event windows
+  Barrier,  // waiting at a sense-reversing round barrier
+  Merge,    // phase B: draining inbound channels + recomputing bounds
+  Drive,    // between-round driver work on worker 0 (horizons, trace
+            // flush, round accumulation)
+  kCount
+};
+
+constexpr u32 kNumHostStates = static_cast<u32>(HostState::kCount);
+
+inline const char* to_string(HostState state) {
+  switch (state) {
+  case HostState::Park: return "park";
+  case HostState::Run: return "run";
+  case HostState::Barrier: return "barrier";
+  case HostState::Merge: return "merge";
+  case HostState::Drive: return "drive";
+  case HostState::kCount: break;
+  }
+  return "?";
+}
+
+/// One contiguous span of one worker's wall time. Seconds since the
+/// profiler's begin_run epoch.
+struct HostInterval {
+  f64 begin = 0;
+  f64 end = 0;
+  HostState state = HostState::Park;
+};
+
+/// Interval timeline of one worker thread. enter() is a state transition:
+/// it closes the current interval at `now` and opens the next, so by
+/// construction the recorded intervals are sorted, non-overlapping and
+/// gap-free from t0 to the final close(). Per-state totals stay exact even
+/// after the interval buffer hits its cap (long runs only lose detail,
+/// never attribution).
+class alignas(64) HostWorkerTimeline {
+public:
+  void reset(HostState initial, std::size_t max_intervals) {
+    state_ = initial;
+    cursor_ = 0;
+    intervals_.clear();
+    totals_.fill(0);
+    dropped_ = 0;
+    cap_ = max_intervals;
+  }
+
+  void enter(HostState next, f64 now) {
+    close(now);
+    state_ = next;
+  }
+
+  /// Closes the open interval at `now` without changing state.
+  void close(f64 now) {
+    if (now <= cursor_) return; // zero-width: nothing to record
+    totals_[static_cast<std::size_t>(state_)] += now - cursor_;
+    if (intervals_.size() < cap_)
+      intervals_.push_back(HostInterval{cursor_, now, state_});
+    else
+      ++dropped_;
+    cursor_ = now;
+  }
+
+  HostState state() const { return state_; }
+  const std::vector<HostInterval>& intervals() const { return intervals_; }
+  const std::array<f64, kNumHostStates>& totals() const { return totals_; }
+  f64 total(HostState s) const { return totals_[static_cast<std::size_t>(s)]; }
+  u64 dropped() const { return dropped_; }
+
+private:
+  HostState state_ = HostState::Park;
+  f64 cursor_ = 0;
+  std::vector<HostInterval> intervals_;
+  std::array<f64, kNumHostStates> totals_{};
+  u64 dropped_ = 0;
+  std::size_t cap_ = 0;
+};
+
+/// Per-shard stall attribution. Every engine round classifies every shard
+/// into exactly one of four bins, so the four round counters always sum to
+/// the run's round count:
+///   worked          the window admitted events and the shard processed them
+///   starved         the shard's event heap was empty (no local work exists)
+///   backpressure    the lookahead window closed the shard out, and inbound
+///                   cross-shard traffic did arrive at the merge — the shard
+///                   was genuinely waiting on its neighbor's channel
+///   window_limited  the window closed the shard out but nothing arrived —
+///                   the installed ChannelLookahead table was conservative
+struct alignas(64) HostShardStats {
+  u64 rounds_worked = 0;
+  u64 rounds_window_limited = 0;
+  u64 rounds_backpressure = 0;
+  u64 rounds_starved = 0;
+  u64 events = 0;          // events processed across all windows
+  u64 inbound_events = 0;  // merged in from neighbor channels
+  u64 outbound_events = 0; // published into neighbor channels
+  f64 busy_seconds = 0;    // wall spent inside process_window
+  // Phase-A scratch for the driver's round accumulation and the phase-B
+  // limited/backpressure resolution:
+  f64 last_round_busy_seconds = 0;
+  u64 last_round_events = 0;
+  bool pending_limited = false;
+
+  u64 rounds_total() const {
+    return rounds_worked + rounds_window_limited + rounds_backpressure +
+           rounds_starved;
+  }
+};
+
+/// Countdown pc sampler the bytecode interpreter ticks once per
+/// instruction (wse/bytecode_interp.hpp instantiates a sampling variant of
+/// the dispatch loop only when a profiler is attached). Programs are
+/// keyed by address — PEs with coinciding lowering sites share one
+/// immutable bc::Program, so a fabric holds only a handful of distinct
+/// keys; names and per-pc phase labels are joined in post-run annotation.
+class alignas(64) HostPcSampler {
+public:
+  struct ProgramCounts {
+    const void* key = nullptr;
+    std::vector<u64> counts; // per pc
+  };
+
+  u32 countdown = 0; // decremented by the interpreter; 0 disables
+  u32 period = 0;
+
+  void reset(u32 sample_period) {
+    // The interpreter pre-decrements, so 0 would wrap; clamp to every-instr.
+    period = sample_period == 0 ? 1 : sample_period;
+    countdown = period;
+    programs_.clear();
+    last_ = nullptr;
+  }
+
+  void record(const void* key, std::size_t code_size, u32 pc) {
+    if (last_ == nullptr || last_->key != key) {
+      last_ = nullptr;
+      for (ProgramCounts& p : programs_)
+        if (p.key == key) last_ = &p;
+      if (last_ == nullptr) {
+        programs_.push_back(ProgramCounts{key, std::vector<u64>(code_size, 0)});
+        last_ = &programs_.back();
+      }
+    }
+    if (pc < last_->counts.size()) ++last_->counts[pc];
+  }
+
+  const std::vector<ProgramCounts>& programs() const { return programs_; }
+
+private:
+  std::vector<ProgramCounts> programs_;
+  ProgramCounts* last_ = nullptr; // cache: tasks rarely switch programs
+};
+
+/// Static lookahead-table snapshot exported alongside the stall bins so the
+/// attribution can be read against the windows actually installed (mirrors
+/// wse::ChannelLookahead without depending on it — telemetry links below
+/// wse). One entry per internal shard boundary.
+struct HostLookaheadEdge {
+  bool south_crosses = true;
+  f64 south_min_batch_cycles = 0;
+  bool north_crosses = true;
+  f64 north_min_batch_cycles = 0;
+};
+
+struct HostProfilerConfig {
+  u32 pc_sample_period = 64;            // instructions per pc sample
+  std::size_t max_intervals_per_worker = 1u << 15; // detail cap (totals exact)
+};
+
+/// Thread counts the critical-path bound is evaluated at. The per-round
+/// accumulation max(longest shard, total/T) cannot be reconstructed for
+/// arbitrary T after the fact, so the interesting ladder is folded during
+/// the run; infinity (the pure critical path) is always available.
+constexpr std::array<u32, 6> kBoundThreads{1, 2, 4, 8, 16, 32};
+
+class HostProfiler {
+public:
+  explicit HostProfiler(HostProfilerConfig config = {}) : config_(config) {}
+
+  // --- engine-facing (wse::Fabric / wse::FabricWorkerPool) ---------------
+
+  /// Arms the profiler for one fabric run: resets all storage, sizes the
+  /// per-worker / per-shard slots and starts the wall clock. Worker 0
+  /// opens in Drive, workers > 0 in Park.
+  void begin_run(u32 workers, u32 shards, u32 threads_requested);
+
+  /// Stops the wall clock and closes every worker's open interval (safe:
+  /// workers write nothing while parked, and the caller holds the
+  /// round-barrier happens-before edge). Idempotent.
+  void end_run();
+
+  /// Seconds since begin_run on a monotonic clock.
+  f64 now() const {
+    return std::chrono::duration<f64>(std::chrono::steady_clock::now() - t0_)
+        .count();
+  }
+
+  HostWorkerTimeline& timeline(u32 worker) { return timelines_[worker]; }
+  HostShardStats& shard(u32 shard) { return shards_[shard]; }
+  HostPcSampler& pc_sampler(u32 shard) { return samplers_[shard]; }
+
+  void set_lookahead(std::vector<HostLookaheadEdge> edges) {
+    lookahead_ = std::move(edges);
+  }
+
+  /// Driver-only, once per engine round after the round's final barrier:
+  /// folds each shard's last_round busy time into the critical-path
+  /// accumulators.
+  void accumulate_round();
+
+  // --- post-run annotation (analysis layer) ------------------------------
+
+  /// Attaches name and per-pc labels to a sampled program key. `ops` and
+  /// `phases` are indexed by pc; short vectors read as "?" past the end.
+  void annotate_program(const void* key, std::string name,
+                        std::vector<std::string> ops,
+                        std::vector<std::string> phases);
+
+  // --- results -----------------------------------------------------------
+
+  bool captured() const { return began_; }
+  u32 workers() const { return static_cast<u32>(timelines_.size()); }
+  u32 shards() const { return static_cast<u32>(shards_.size()); }
+  u32 threads_requested() const { return threads_requested_; }
+  u64 rounds() const { return rounds_; }
+  f64 wall_seconds() const { return wall_seconds_; }
+  const HostWorkerTimeline& worker_timeline(u32 w) const {
+    return timelines_[w];
+  }
+  const HostShardStats& shard_stats(u32 s) const { return shards_[s]; }
+
+  f64 total_busy_seconds() const { return total_busy_seconds_; }
+  f64 critical_path_seconds() const { return crit_seconds_; }
+
+  /// Max achievable speedup at `threads` workers implied by the per-round
+  /// shard busy profile: total work over sum_r max(longest shard in round
+  /// r, round work / threads). Exact at the kBoundThreads ladder; other
+  /// values clamp to the nearest entry below. Returns 1 when nothing was
+  /// captured.
+  f64 max_speedup_bound(u32 threads) const;
+  /// Same bound computed over event counts instead of wall seconds — the
+  /// workload-intrinsic balance, independent of per-event host cost.
+  f64 max_event_speedup_bound(u32 threads) const;
+  /// total work / critical path: the T -> infinity limit.
+  f64 max_speedup_unbounded() const;
+
+  // --- export ------------------------------------------------------------
+
+  /// The host-profile document ("fvdf.telemetry.host_profile/1"):
+  /// worker timelines + per-state totals, per-shard stall attribution, the
+  /// lookahead table, the bytecode hot-spot table and the critical-path
+  /// bounds.
+  std::string host_profile_json() const;
+
+  /// Chrome trace-event document of the worker timelines (one tid per
+  /// worker), loadable in Perfetto next to the device trace.
+  std::string chrome_trace_json() const;
+
+  /// Writes host_profile.json + host_trace.json into `dir` (created if
+  /// absent); returns the paths written.
+  std::vector<std::string> write(const std::string& dir) const;
+
+  /// Human-readable utilization / stall / bound summary. `threads_of_interest`
+  /// picks the headline bound row (0 = the run's worker count).
+  void print_summary(std::ostream& os, u32 threads_of_interest = 0) const;
+
+private:
+  struct Annotation {
+    const void* key = nullptr;
+    std::string name;
+    std::vector<std::string> ops;
+    std::vector<std::string> phases;
+  };
+
+  const Annotation* annotation_for(const void* key) const;
+
+  HostProfilerConfig config_;
+  std::chrono::steady_clock::time_point t0_{};
+  std::vector<HostWorkerTimeline> timelines_;
+  std::vector<HostShardStats> shards_;
+  std::vector<HostPcSampler> samplers_;
+  std::vector<HostLookaheadEdge> lookahead_;
+  std::vector<Annotation> annotations_;
+  u32 threads_requested_ = 0;
+  u64 rounds_ = 0;
+  f64 wall_seconds_ = 0;
+  // Critical-path folds (driver-only writes):
+  f64 total_busy_seconds_ = 0;
+  f64 crit_seconds_ = 0;
+  std::array<f64, kBoundThreads.size()> bound_seconds_{};
+  f64 total_events_ = 0;
+  f64 crit_events_ = 0;
+  std::array<f64, kBoundThreads.size()> bound_events_{};
+  bool began_ = false;
+  bool ended_ = false;
+};
+
+} // namespace fvdf::telemetry

@@ -12,6 +12,9 @@
 // scheduled events — and therefore solver results — are bitwise equal
 // between the interpreter and the legacy dispatch path.
 
+#include <cstddef>
+#include <type_traits>
+
 #include "common/error.hpp"
 #include "wse/bytecode.hpp"
 
@@ -20,12 +23,26 @@ namespace fvdf::wse::bc {
 /// Interprets `program` starting at `pc` until RET (or a DECRET join
 /// that has not reached zero). Call with the handler pc for the task
 /// color being activated, or with `program.entry` at startup.
-template <typename Ctx>
-void run(Ctx& ctx, VmState& st, const Program& program, u16 pc) {
+///
+/// `Sampler` is the host profiler's pc-sampling hook (see
+/// telemetry/host_profiler.hpp): any type with `u32 countdown`, `u32
+/// period` and `record(const void* program, std::size_t code_size, u32
+/// pc)`. The default std::nullptr_t instantiation — the one every
+/// unprofiled call site gets — contains no sampling code at all, so the
+/// hot dispatch loop is unchanged unless a profiler is attached.
+template <typename Ctx, typename Sampler = std::nullptr_t>
+void run(Ctx& ctx, VmState& st, const Program& program, u16 pc,
+         Sampler* sampler = nullptr) {
   auto& e = ctx.dsd();
   const Instr* const code = program.code.data();
   const Dsd* const D = program.dsds.data();
   for (;;) {
+    if constexpr (!std::is_same_v<Sampler, std::nullptr_t>) {
+      if (sampler != nullptr && --sampler->countdown == 0) {
+        sampler->countdown = sampler->period;
+        sampler->record(&program, program.code.size(), pc);
+      }
+    }
     const Instr& ins = code[pc++];
     switch (ins.op) {
     case Op::VMOV: e.fmovs(D[ins.a], D[ins.b]); break;

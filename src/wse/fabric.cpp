@@ -10,6 +10,7 @@
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "telemetry/collector.hpp"
+#include "telemetry/host_profiler.hpp"
 #include "wse/bytecode_interp.hpp"
 
 // Telemetry hot-path hooks: a null-pointer test per site when compiled in,
@@ -22,6 +23,20 @@
   do {                                                                         \
     if (telemetry_ != nullptr) {                                               \
       telemetry::FabricCollector& collector = *telemetry_;                     \
+      stmt;                                                                    \
+    }                                                                          \
+  } while (0)
+#endif
+
+// Host-profiler hooks: same compile-out discipline as FVDF_TELEM. `stmt`
+// may use `hprof` (the attached telemetry::HostProfiler&).
+#ifdef FVDF_TELEMETRY_DISABLED
+#define FVDF_HPROF(stmt) ((void)0)
+#else
+#define FVDF_HPROF(stmt)                                                       \
+  do {                                                                         \
+    if (host_prof_ != nullptr) {                                               \
+      telemetry::HostProfiler& hprof = *host_prof_;                            \
       stmt;                                                                    \
     }                                                                          \
   } while (0)
@@ -176,6 +191,17 @@ void Fabric::set_telemetry(telemetry::FabricCollector* collector) {
   if (telemetry_ != nullptr) telemetry_->bind(width_, height_, shard_count());
 }
 
+std::vector<const bc::Program*> Fabric::distinct_bytecode_programs() const {
+  std::vector<const bc::Program*> programs;
+  for (const auto& pe : pes_) {
+    const bc::Program* program = pe->bc_prog;
+    if (program == nullptr) continue;
+    if (std::find(programs.begin(), programs.end(), program) == programs.end())
+      programs.push_back(program);
+  }
+  return programs;
+}
+
 void Fabric::load(const ProgramFactory& factory) {
   FVDF_CHECK_MSG(!loaded_, "fabric already loaded");
   loaded_ = true;
@@ -234,6 +260,24 @@ Fabric::RunResult Fabric::run(f64 max_cycles) {
                                   shard_count() * (w + 1) / workers);
   }
 
+#ifndef FVDF_TELEMETRY_DISABLED
+  // Arm the host profiler for this run: the wall clock starts here (worker
+  // 0 opens in Drive, covering the bound pass below), and the installed
+  // lookahead table is snapshotted so the stall attribution can be read
+  // against the windows actually in force.
+  if (host_prof_ != nullptr) {
+    host_prof_->begin_run(workers, shard_count(), threads_);
+    std::vector<telemetry::HostLookaheadEdge> edges;
+    edges.reserve(lookahead_.south.size());
+    for (std::size_t i = 0; i < lookahead_.south.size(); ++i)
+      edges.push_back(telemetry::HostLookaheadEdge{
+          lookahead_.south[i].crosses, lookahead_.south[i].min_batch_cycles,
+          lookahead_.north[i].crosses, lookahead_.north[i].min_batch_cycles});
+    host_prof_->set_lookahead(std::move(edges));
+  }
+  if (parallel) pool_->set_profiler(host_prof_);
+#endif
+
   last_run_rounds_ = 0;
   // Force a fresh bound pass: timing parameters and the lookahead table may
   // have changed since the cached bounds were computed.
@@ -268,18 +312,38 @@ Fabric::RunResult Fabric::run(f64 max_cycles) {
           }
         });
       } else {
+#ifndef FVDF_TELEMETRY_DISABLED
+        if (host_prof_ != nullptr) {
+          // Serial engine, same timeline taxonomy: phase A is Run, phase B
+          // is Merge, everything between rounds is Drive. No barriers, no
+          // parks.
+          telemetry::HostWorkerTimeline& timeline = host_prof_->timeline(0);
+          timeline.enter(telemetry::HostState::Run, host_prof_->now());
+          for (Shard& shard : shards_) round_phase_a(shard, max_cycles);
+          timeline.enter(telemetry::HostState::Merge, host_prof_->now());
+          for (Shard& shard : shards_) round_phase_b(shard);
+          timeline.enter(telemetry::HostState::Drive, host_prof_->now());
+        } else {
+          for (Shard& shard : shards_) round_phase_a(shard, max_cycles);
+          for (Shard& shard : shards_) round_phase_b(shard);
+        }
+#else
         for (Shard& shard : shards_) round_phase_a(shard, max_cycles);
         for (Shard& shard : shards_) round_phase_b(shard);
+#endif
       }
+      FVDF_HPROF(hprof.accumulate_round());
       if (trace_) flush_traces();
     }
   } catch (...) {
     // Surface whatever the window produced before the throw (kernel
     // FVDF_CHECKs propagate to the caller, as in the serial engine).
     if (trace_) flush_traces();
+    FVDF_HPROF(hprof.end_run());
     throw;
   }
   if (trace_) flush_traces();
+  FVDF_HPROF(hprof.end_run());
 
   stats_ = FabricStats{};
   now_ = 0;
@@ -360,14 +424,61 @@ void Fabric::compute_horizons(f64 tmin_global) {
 }
 
 void Fabric::round_phase_a(Shard& shard, f64 max_cycles) {
+#ifndef FVDF_TELEMETRY_DISABLED
+  if (host_prof_ != nullptr) {
+    // Stall classification: a shard either worked (window admitted events),
+    // was starved (heap empty — no local work exists), or was closed out by
+    // its lookahead window. The last case splits in phase B on whether
+    // inbound traffic actually arrived (backpressure) or the installed
+    // table was simply conservative (window-limited). Exactly one bin per
+    // shard per round, so the bins sum to the round count.
+    telemetry::HostShardStats& hs = host_prof_->shard(shard.id);
+    const bool starved = shard.events.empty();
+    const u64 before = shard.stats.events_processed;
+    const f64 t0 = host_prof_->now();
+    process_window(shard, shard.horizon, max_cycles);
+    const f64 busy = host_prof_->now() - t0;
+    const u64 delta = shard.stats.events_processed - before;
+    hs.last_round_busy_seconds = busy;
+    hs.last_round_events = delta;
+    hs.busy_seconds += busy;
+    hs.events += delta;
+    if (delta > 0)
+      ++hs.rounds_worked;
+    else if (starved)
+      ++hs.rounds_starved;
+    else
+      hs.pending_limited = true; // resolved against inbound in phase B
+    hs.outbound_events +=
+        shard.out_north.slots.size() + shard.out_south.slots.size();
+    shard.out_north.publish();
+    shard.out_south.publish();
+    return;
+  }
+#endif
   process_window(shard, shard.horizon, max_cycles);
   shard.out_north.publish();
   shard.out_south.publish();
 }
 
 void Fabric::round_phase_b(Shard& shard) {
-  merge_inbound(shard);
+  const u32 inbound = merge_inbound(shard);
   update_shard_bounds(shard);
+#ifndef FVDF_TELEMETRY_DISABLED
+  if (host_prof_ != nullptr) {
+    telemetry::HostShardStats& hs = host_prof_->shard(shard.id);
+    hs.inbound_events += inbound;
+    if (hs.pending_limited) {
+      hs.pending_limited = false;
+      if (inbound > 0)
+        ++hs.rounds_backpressure;
+      else
+        ++hs.rounds_window_limited;
+    }
+  }
+#else
+  (void)inbound;
+#endif
 }
 
 void Fabric::process_window(Shard& shard, f64 horizon, f64 max_cycles) {
@@ -389,7 +500,7 @@ void Fabric::process_window(Shard& shard, f64 horizon, f64 max_cycles) {
   if (any) shard.dirty = true;
 }
 
-void Fabric::merge_inbound(Shard& dest) {
+u32 Fabric::merge_inbound(Shard& dest) {
   SpscChannel* from_north =
       dest.id > 0 ? &shards_[dest.id - 1].out_south : nullptr;
   SpscChannel* from_south =
@@ -398,7 +509,7 @@ void Fabric::merge_inbound(Shard& dest) {
       from_north ? from_north->published.load(std::memory_order_acquire) : 0;
   const u32 n_south =
       from_south ? from_south->published.load(std::memory_order_acquire) : 0;
-  if (n_north + n_south == 0) return;
+  if (n_north + n_south == 0) return 0;
 
   // Gather source-major (each channel already in emission order), then
   // stable-sort by time: ties resolve to (source shard, emission index) — a
@@ -432,6 +543,7 @@ void Fabric::merge_inbound(Shard& dest) {
     from_south->slots.clear();
     from_south->published.store(0, std::memory_order_relaxed);
   }
+  return n_north + n_south;
 }
 
 void Fabric::update_shard_bounds(Shard& shard) {
@@ -687,7 +799,18 @@ void Fabric::run_task(Shard& shard, Pe& pe, Color color, f64 t) {
     const u16 pc = pe.bc_state->handler[color];
     FVDF_CHECK_MSG(pc != bc::kNoPc, "bytecode program: unexpected task color "
                                         << static_cast<int>(color));
+#ifndef FVDF_TELEMETRY_DISABLED
+    // Profiled runs dispatch through the sampling instantiation of the
+    // interpreter (one countdown decrement per instruction); unprofiled
+    // runs keep the default instantiation, which contains no sampling code.
+    if (host_prof_ != nullptr)
+      bc::run(ctx, *pe.bc_state, *pe.bc_prog, pc,
+              &host_prof_->pc_sampler(shard.id));
+    else
+      bc::run(ctx, *pe.bc_state, *pe.bc_prog, pc);
+#else
     bc::run(ctx, *pe.bc_state, *pe.bc_prog, pc);
+#endif
   } else {
     pe.program->on_task(ctx, color);
   }

@@ -54,6 +54,7 @@ struct VerifyReport;
 
 namespace fvdf::telemetry {
 class FabricCollector;
+class HostProfiler;
 }
 
 namespace fvdf::wse {
@@ -217,6 +218,37 @@ public:
   void set_telemetry(telemetry::FabricCollector* collector);
   telemetry::FabricCollector* telemetry_collector() const { return telemetry_; }
 
+  /// Attaches a host-side execution profiler (pass nullptr to detach) for
+  /// the next run(): per-worker wall-clock timelines, per-shard per-round
+  /// stall attribution, sampled bytecode pc histograms and the
+  /// critical-path speedup bound (see telemetry/host_profiler.hpp). Unlike
+  /// the telemetry collector this observes the *simulator*, not the
+  /// simulated fabric: its output is wall-clock data, never deterministic,
+  /// and it cannot perturb results — solve output, cycle counts and the
+  /// telemetry bundle stay bitwise identical with or without it. The
+  /// hooks compile out under -DFVDF_TELEMETRY=OFF (the profiler then
+  /// captures nothing; see host_profiling_compiled()).
+  void set_host_profiler(telemetry::HostProfiler* profiler) {
+    host_prof_ = profiler;
+  }
+  telemetry::HostProfiler* host_profiler() const { return host_prof_; }
+
+  /// Whether the host-profiler hooks are compiled into this build.
+  static constexpr bool host_profiling_compiled() {
+#ifdef FVDF_TELEMETRY_DISABLED
+    return false;
+#else
+    return true;
+#endif
+  }
+
+  /// The distinct bytecode programs the loaded PEs dispatch into (PEs with
+  /// coinciding lowering sites share one immutable program, so this is
+  /// small). Populated once on_start has run — i.e. after run() — which is
+  /// when the host profiler's pc histograms need names attached
+  /// (analysis::annotate_host_profile).
+  std::vector<const bc::Program*> distinct_bytecode_programs() const;
+
 private:
   friend class FabricPeContext;
 
@@ -373,8 +405,9 @@ private:
   void process_window(Shard& shard, f64 horizon, f64 max_cycles);
   /// Merge half of the barrier: drains the neighbors' channels toward
   /// `dest` in (t, source shard, emission index) order via a sorted
-  /// bulk-load into the event heap.
-  void merge_inbound(Shard& dest);
+  /// bulk-load into the event heap. Returns the number of events merged
+  /// (the host profiler's backpressure-vs-window-limited discriminator).
+  u32 merge_inbound(Shard& dest);
   void update_shard_bounds(Shard& shard);
   void flush_traces();
 
@@ -412,6 +445,7 @@ private:
   i64 height_;
   TraceSink trace_;
   telemetry::FabricCollector* telemetry_ = nullptr; // non-owning; null = off
+  telemetry::HostProfiler* host_prof_ = nullptr;    // non-owning; null = off
   FaultPlan faults_{};
   u64 injected_data_messages_ = 0;
   TimingParams timing_;

@@ -1,5 +1,9 @@
 #include "wse/worker_pool.hpp"
 
+#ifndef FVDF_TELEMETRY_DISABLED
+#include "telemetry/host_profiler.hpp"
+#endif
+
 namespace fvdf::wse {
 
 namespace {
@@ -86,18 +90,45 @@ void FabricWorkerPool::run_phases(u32 id) {
   // Both phases always reach both barriers, exception or not, so a throw
   // in one worker's window can never deadlock the others.
   const PhaseFn& fn = *fn_;
+#ifndef FVDF_TELEMETRY_DISABLED
+  // Timeline discipline (see HostProfiler's threading contract): worker w
+  // writes only its own timeline, and only between its wake and its final
+  // barrier arrival of the round. Worker 0's trailing enter(Drive) happens
+  // after the last barrier — safe, it is the driver.
+  telemetry::HostProfiler* const prof = profiler_;
+  if (prof != nullptr)
+    prof->timeline(id).enter(telemetry::HostState::Run, prof->now());
+#endif
   try {
     fn(id, 0);
   } catch (...) {
     record_error();
   }
+#ifndef FVDF_TELEMETRY_DISABLED
+  if (prof != nullptr)
+    prof->timeline(id).enter(telemetry::HostState::Barrier, prof->now());
+#endif
   barrier_.arrive_and_wait();
+#ifndef FVDF_TELEMETRY_DISABLED
+  if (prof != nullptr)
+    prof->timeline(id).enter(telemetry::HostState::Merge, prof->now());
+#endif
   try {
     fn(id, 1);
   } catch (...) {
     record_error();
   }
+#ifndef FVDF_TELEMETRY_DISABLED
+  if (prof != nullptr)
+    prof->timeline(id).enter(id == 0 ? telemetry::HostState::Barrier
+                                     : telemetry::HostState::Park,
+                             prof->now());
+#endif
   barrier_.arrive_and_wait();
+#ifndef FVDF_TELEMETRY_DISABLED
+  if (prof != nullptr && id == 0)
+    prof->timeline(0).enter(telemetry::HostState::Drive, prof->now());
+#endif
 }
 
 void FabricWorkerPool::record_error() {

@@ -27,6 +27,10 @@
 
 #include "common/types.hpp"
 
+namespace fvdf::telemetry {
+class HostProfiler;
+}
+
 namespace fvdf::wse {
 
 /// Sense-reversing barrier: spins briefly (skipped when the host is
@@ -67,6 +71,16 @@ public:
   /// exception.
   void run_round(const PhaseFn& fn);
 
+  /// Attaches a host profiler (nullptr to detach): each worker then records
+  /// its run / barrier / merge / park transitions into its own timeline
+  /// (telemetry/host_profiler.hpp). Call between rounds only — the pointer
+  /// is published to the workers by run_round()'s epoch release, like fn_.
+  /// Workers > 0 cannot time their trailing barrier from inside (they park
+  /// right after arriving), so it is folded into their next Park interval;
+  /// worker 0 accounts both barriers exactly. Compiled out (the hooks, not
+  /// the setter) under -DFVDF_TELEMETRY=OFF.
+  void set_profiler(telemetry::HostProfiler* profiler) { profiler_ = profiler; }
+
 private:
   void worker_loop(u32 id);
   void run_phases(u32 id);
@@ -76,6 +90,7 @@ private:
   std::atomic<u64> epoch_{0};
   std::atomic<bool> stop_{false};
   const PhaseFn* fn_ = nullptr; // valid for the duration of one round
+  telemetry::HostProfiler* profiler_ = nullptr; // null = no host profiling
   SpinBarrier barrier_;
   std::mutex error_mutex_;
   std::exception_ptr error_;

@@ -13,6 +13,8 @@
 
 #include "core/solver.hpp"
 #include "fv/problem.hpp"
+#include "telemetry/host_profiler.hpp"
+#include "telemetry/session.hpp"
 #include "wse/fabric.hpp"
 #include "wse/trace.hpp"
 
@@ -258,6 +260,141 @@ TEST(ParallelFabric, PartitionNeverCreatesEmptyShards) {
         << "height=" << h;
     EXPECT_LE(fabric.shard_count(), static_cast<u32>(h)) << "height=" << h;
   }
+}
+
+// ---- host profiler (telemetry/host_profiler.hpp) ----------------------
+//
+// The profiler's whole contract is "observe, never perturb": attaching it
+// must leave solve results, ledgers and the deterministic telemetry bundle
+// bitwise identical at every thread count, while its own timelines must
+// partition each worker's wall clock exactly.
+
+struct InstrumentedSolve {
+  core::DataflowResult result;
+  std::string metrics, trace, progress;
+};
+
+InstrumentedSolve solve_instrumented(u32 threads,
+                                     telemetry::HostProfiler* profiler) {
+  const auto problem = FlowProblem::homogeneous_column(10, 12, 6);
+  telemetry::TelemetryConfig tconfig;
+  tconfig.level = telemetry::Level::Trace;
+  telemetry::Session session(tconfig);
+  core::DataflowConfig config;
+  config.tolerance = 0.0f;
+  config.max_iterations = 25;
+  config.sim_threads = threads;
+  config.telemetry = &session;
+  config.host_profiler = profiler;
+  InstrumentedSolve out;
+  out.result = core::solve_dataflow(problem, config);
+  out.metrics = session.metrics_json();
+  out.trace = session.chrome_trace_json();
+  out.progress = session.progress_json();
+  return out;
+}
+
+TEST(HostProfiler, AttachingNeverPerturbsResultsOrTelemetry) {
+  // Worker pool park/wake and the sense-reversing barrier run with the
+  // profiler's timeline hooks live at 1 (serial path), even, odd and
+  // oversubscribed thread counts; everything observable must match the
+  // unprofiled threads=1 run bit for bit.
+  const InstrumentedSolve reference = solve_instrumented(1, nullptr);
+  for (u32 threads : {1u, 2u, 4u, 7u}) {
+    telemetry::HostProfiler profiler;
+    const InstrumentedSolve profiled = solve_instrumented(threads, &profiler);
+    EXPECT_TRUE(same_bits(profiled.result.delta, reference.result.delta))
+        << "delta differs with profiler at threads=" << threads;
+    EXPECT_TRUE(same_bits(profiled.result.pressure, reference.result.pressure))
+        << "pressure differs with profiler at threads=" << threads;
+    EXPECT_EQ(profiled.result.iterations, reference.result.iterations);
+    EXPECT_EQ(profiled.result.device_cycles, reference.result.device_cycles);
+    EXPECT_TRUE(profiled.result.fabric == reference.result.fabric)
+        << "FabricStats differ with profiler at threads=" << threads;
+    EXPECT_EQ(profiled.metrics, reference.metrics)
+        << "metrics.json differs with profiler at threads=" << threads;
+    EXPECT_EQ(profiled.trace, reference.trace)
+        << "trace.json differs with profiler at threads=" << threads;
+    EXPECT_EQ(profiled.progress, reference.progress)
+        << "progress.json differs with profiler at threads=" << threads;
+    if (Fabric::host_profiling_compiled()) {
+      EXPECT_TRUE(profiler.captured()) << "threads=" << threads;
+      EXPECT_GT(profiler.rounds(), 0u);
+    } else {
+      EXPECT_FALSE(profiler.captured());
+    }
+  }
+}
+
+TEST(HostProfiler, TimelinesPartitionEachWorkersWallClock) {
+  if (!Fabric::host_profiling_compiled())
+    GTEST_SKIP() << "built with -DFVDF_TELEMETRY=OFF";
+  telemetry::HostProfiler profiler;
+  solve_instrumented(4, &profiler);
+  ASSERT_TRUE(profiler.captured());
+  ASSERT_GT(profiler.workers(), 1u);
+  ASSERT_GT(profiler.shards(), 1u);
+  const f64 wall = profiler.wall_seconds();
+  ASSERT_GT(wall, 0.0);
+
+  for (u32 w = 0; w < profiler.workers(); ++w) {
+    const auto& timeline = profiler.worker_timeline(w);
+    // Per-state totals account for the full wall interval exactly (they
+    // stay exact even past the interval-detail cap).
+    f64 accounted = 0;
+    for (f64 seconds : timeline.totals()) accounted += seconds;
+    EXPECT_NEAR(accounted, wall, 1e-6) << "worker " << w;
+    // Recorded intervals are sorted, non-overlapping and gap-free from 0.
+    f64 cursor = 0;
+    for (const auto& interval : timeline.intervals()) {
+      EXPECT_DOUBLE_EQ(interval.begin, cursor)
+          << "gap or overlap at worker " << w;
+      EXPECT_GT(interval.end, interval.begin) << "worker " << w;
+      cursor = interval.end;
+    }
+    if (timeline.dropped() == 0) {
+      EXPECT_NEAR(cursor, wall, 1e-6);
+    }
+  }
+
+  // Stall attribution: every round classified every shard exactly once.
+  for (u32 s = 0; s < profiler.shards(); ++s)
+    EXPECT_EQ(profiler.shard_stats(s).rounds_total(), profiler.rounds())
+        << "shard " << s;
+
+  // Critical-path bound sanity: exactly 1 at one thread, monotone in the
+  // thread ladder, never past the unbounded limit.
+  EXPECT_NEAR(profiler.max_speedup_bound(1), 1.0, 1e-9);
+  EXPECT_NEAR(profiler.max_event_speedup_bound(1), 1.0, 1e-9);
+  f64 previous = 0;
+  for (u32 threads : telemetry::kBoundThreads) {
+    const f64 bound = profiler.max_speedup_bound(threads);
+    EXPECT_GE(bound, 1.0) << "threads=" << threads;
+    EXPECT_GE(bound, previous - 1e-12) << "threads=" << threads;
+    EXPECT_LE(bound, profiler.max_speedup_unbounded() + 1e-9)
+        << "threads=" << threads;
+    previous = bound;
+  }
+}
+
+TEST(HostProfiler, SurvivesReuseAcrossRuns) {
+  // One profiler handed to back-to-back solves (the fabric_profile --reps
+  // pattern): begin_run must re-arm cleanly after a parked pool wakes, and
+  // the last run's capture must stand on its own.
+  if (!Fabric::host_profiling_compiled())
+    GTEST_SKIP() << "built with -DFVDF_TELEMETRY=OFF";
+  telemetry::HostProfiler profiler;
+  const InstrumentedSolve first = solve_instrumented(7, &profiler);
+  const u64 first_rounds = profiler.rounds();
+  ASSERT_GT(first_rounds, 0u);
+  const InstrumentedSolve second = solve_instrumented(7, &profiler);
+  EXPECT_TRUE(same_bits(first.result.delta, second.result.delta));
+  EXPECT_EQ(profiler.rounds(), first_rounds);
+  for (u32 s = 0; s < profiler.shards(); ++s)
+    EXPECT_EQ(profiler.shard_stats(s).rounds_total(), profiler.rounds());
+  // Export stays self-consistent after reuse.
+  const std::string json = profiler.host_profile_json();
+  EXPECT_NE(json.find("fvdf.telemetry.host_profile/1"), std::string::npos);
 }
 
 TEST(ParallelFabric, ShardCountIsGeometryNotThreads) {

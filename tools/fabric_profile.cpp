@@ -11,18 +11,31 @@
 //   ./tools/fabric_profile --fabric 20x20 --nz 8 --out profile
 //   ./tools/fabric_profile --solver chebyshev --level metrics
 //   ./tools/fabric_profile --level off --reps 5     # timing mode, no bundle
+//   ./tools/fabric_profile --host --sim-threads 4   # + host-side profiler
 //
 // Every file is deterministic: the same scenario produces byte-identical
 // output at any --sim-threads value. At --level off no session is attached
-// and no bundle is written — only per-rep wall time is printed, which is
-// what the CI telemetry-overhead gate compares across build configs.
+// and no bundle is written — only per-rep wall time is printed (with a
+// min/median/stddev summary when --reps > 1), which is what the CI
+// telemetry-overhead gate compares across build configs.
+//
+// --host additionally attaches the host-side execution profiler
+// (docs/observability.md, "Host profiling"): worker timelines, per-shard
+// stall attribution, the bytecode hot-spot table and the critical-path
+// speedup bound, written as host_profile.json + host_trace.json into the
+// output directory (at any --level, including off — the host profile is
+// wall-clock data and lives outside the deterministic bundle). With
+// --reps > 1 the profile covers the last rep.
 //
 // Exit status: 0 on success, 2 on usage / setup errors.
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/cli.hpp"
 #include "common/error.hpp"
@@ -30,7 +43,9 @@
 #include "fv/operator.hpp"
 #include "fv/problem.hpp"
 #include "solver/chebyshev.hpp"
+#include "telemetry/host_profiler.hpp"
 #include "telemetry/session.hpp"
+#include "wse/fabric.hpp"
 
 using namespace fvdf;
 
@@ -61,6 +76,24 @@ void print_summary(const telemetry::Session& session,
   }
 }
 
+// min/median/mean/stddev over the per-rep wall times: a single mean hides
+// scheduler noise, and the overhead gates compare medians.
+void print_rep_stats(std::vector<f64> walls_ms) {
+  std::sort(walls_ms.begin(), walls_ms.end());
+  const std::size_t n = walls_ms.size();
+  const f64 min = walls_ms.front();
+  const f64 median = n % 2 == 1 ? walls_ms[n / 2]
+                                : 0.5 * (walls_ms[n / 2 - 1] + walls_ms[n / 2]);
+  f64 mean = 0;
+  for (f64 w : walls_ms) mean += w;
+  mean /= static_cast<f64>(n);
+  f64 var = 0;
+  for (f64 w : walls_ms) var += (w - mean) * (w - mean);
+  const f64 stddev = n > 1 ? std::sqrt(var / static_cast<f64>(n - 1)) : 0.0;
+  std::cout << "reps: " << n << "  min " << min << " ms  median " << median
+            << " ms  mean " << mean << " ms  stddev " << stddev << " ms\n";
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -74,6 +107,7 @@ int main(int argc, char** argv) {
   i64 event_sample = 1;
   i64 sim_threads = 1;
   i64 reps = 1;
+  bool host = false;
   std::string out = "fabric_profile_out";
 
   CliParser cli("fabric_profile",
@@ -89,6 +123,9 @@ int main(int argc, char** argv) {
   cli.add_i64("event-sample", &event_sample, "keep every Nth raw event at level trace");
   cli.add_i64("sim-threads", &sim_threads, "simulator worker threads (0 = hw)");
   cli.add_i64("reps", &reps, "solve repetitions; wall time printed per rep");
+  cli.add_flag("host", &host,
+               "attach the host-side profiler (worker timelines, stall "
+               "attribution, critical-path bound) and write host_profile.json");
   cli.add_string("out", &out, "output directory for the bundle");
 
   try {
@@ -126,7 +163,13 @@ int main(int argc, char** argv) {
     // hooks see a null collector, which is the configuration the CI
     // overhead gate times (scripts/check_telemetry_overhead.sh).
     std::optional<telemetry::Session> session;
+    telemetry::HostProfiler profiler;
+    if (host && !wse::Fabric::host_profiling_compiled())
+      std::cerr << "warning: --host requested but this build has "
+                   "-DFVDF_TELEMETRY=OFF; no host profile will be captured\n";
     core::DataflowResult result;
+    std::vector<f64> walls_ms;
+    walls_ms.reserve(static_cast<std::size_t>(reps));
     for (i64 rep = 0; rep < reps; ++rep) {
       if (!off) session.emplace(tconfig); // finalize() is once-per-run
       const auto t0 = std::chrono::steady_clock::now();
@@ -141,6 +184,7 @@ int main(int argc, char** argv) {
         config.tolerance = static_cast<f32>(tolerance);
         config.sim_threads = static_cast<u32>(sim_threads);
         config.telemetry = session ? &*session : nullptr;
+        config.host_profiler = host ? &profiler : nullptr;
         result = core::solve_dataflow_chebyshev(problem, config);
       } else {
         core::DataflowConfig config;
@@ -148,18 +192,27 @@ int main(int argc, char** argv) {
         config.tolerance = static_cast<f32>(tolerance);
         config.sim_threads = static_cast<u32>(sim_threads);
         config.telemetry = session ? &*session : nullptr;
+        config.host_profiler = host ? &profiler : nullptr;
         result = core::solve_dataflow(problem, config);
       }
       const auto t1 = std::chrono::steady_clock::now();
-      std::cout << "rep " << rep << ": "
-                << std::chrono::duration<f64, std::milli>(t1 - t0).count()
-                << " ms wall, " << result.iterations << " iterations\n";
+      const f64 ms = std::chrono::duration<f64, std::milli>(t1 - t0).count();
+      walls_ms.push_back(ms);
+      std::cout << "rep " << rep << ": " << ms << " ms wall, "
+                << result.iterations << " iterations\n";
     }
+    if (walls_ms.size() > 1) print_rep_stats(walls_ms);
 
     if (session) {
       print_summary(*session, result);
       const auto written = session->write_bundle(out);
       std::cout << "bundle (" << written.size() << " files):\n";
+      for (const std::string& path : written) std::cout << "  " << path << '\n';
+    }
+    if (host && profiler.captured()) {
+      profiler.print_summary(std::cout, static_cast<u32>(sim_threads));
+      const auto written = profiler.write(out);
+      std::cout << "host profile (" << written.size() << " files):\n";
       for (const std::string& path : written) std::cout << "  " << path << '\n';
     }
     return 0;

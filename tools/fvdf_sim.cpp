@@ -4,11 +4,15 @@
 //
 //   ./tools/fvdf_sim path/to/case.ini
 //   ./tools/fvdf_sim --sim-threads 4 path/to/case.ini
+//   ./tools/fvdf_sim --profile-host prof_out path/to/case.ini
 //   ./tools/fvdf_sim --print-template > case.ini
 //
 // See src/app/scenario.hpp for the full schema. `--sim-threads N` overrides
 // the config's solver.sim_threads (0 = hardware concurrency); it changes
-// wall-clock only, never results.
+// wall-clock only, never results. `--profile-host DIR` overrides
+// output.host_profile: with the dataflow backend it attaches the host-side
+// execution profiler and writes host_profile.json + host_trace.json into
+// DIR (docs/observability.md, "Host profiling").
 
 #include <cstdlib>
 #include <iostream>
@@ -50,7 +54,8 @@ heatmap = true
 )";
 
 void usage() {
-  std::cerr << "usage: fvdf_sim [--sim-threads N] <case.ini>  (or --print-template)\n";
+  std::cerr << "usage: fvdf_sim [--sim-threads N] [--profile-host DIR] "
+               "<case.ini>  (or --print-template)\n";
 }
 
 } // namespace
@@ -58,6 +63,7 @@ void usage() {
 int main(int argc, char** argv) {
   std::string case_path;
   long sim_threads = -1; // -1 = use the config's value
+  std::string host_profile_dir;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--print-template") {
@@ -76,6 +82,14 @@ int main(int argc, char** argv) {
       }
       continue;
     }
+    if (arg == "--profile-host") {
+      if (i + 1 >= argc) {
+        usage();
+        return 2;
+      }
+      host_profile_dir = argv[++i];
+      continue;
+    }
     if (!case_path.empty()) {
       usage();
       return 2;
@@ -91,6 +105,13 @@ int main(int argc, char** argv) {
     auto scenario = fvdf::app::scenario_from_config(config);
     if (sim_threads >= 0)
       scenario.sim_threads = static_cast<fvdf::u32>(sim_threads);
+    if (!host_profile_dir.empty()) {
+      if (scenario.backend != fvdf::app::Backend::Dataflow) {
+        std::cerr << "error: --profile-host requires solver.backend = dataflow\n";
+        return 2;
+      }
+      scenario.host_profile_dir = host_profile_dir;
+    }
     const auto outcome = fvdf::app::run_scenario(scenario, std::cout);
     return outcome.converged ? 0 : 1;
   } catch (const fvdf::Error& e) {
