@@ -1,7 +1,8 @@
 // Event-engine throughput: how fast does the fabric simulator itself run?
 //
-// Workloads — a 64x64x8 device CG solve (4,096 PEs, the standard row) and
-// an optional 128x128x8 solve (16,384 PEs, the scaling row), both
+// Workloads — a 64x64x8 device CG solve (4,096 PEs, the standard row), an
+// optional 128x128x8 solve (16,384 PEs, the scaling row) and an opt-in
+// 256x256x8 solve (65,536 PEs, the tile-sharding stress row), all
 // tolerance 0, 10 iterations — executed at several worker-thread counts.
 // For each run the bench reports host wall-clock, processed simulator
 // events and events/second, checks that every thread count reproduces the
@@ -12,17 +13,31 @@
 //   --out PATH            JSON output path (default BENCH_sim_throughput.json)
 //   --csv PATH            also write one CSV row per run
 //   --threads-sweep LIST  comma-separated thread counts (default 1,2,4,8),
-//                         honored by both workloads
+//                         honored by every workload
 //   --skip-large          measure only the 64x64x8 workload
+//   --xl                  also measure the 256x256x8 workload (expensive;
+//                         its rows land under "xl_workload" in the JSON)
 //   --engine NAME         device-program engine: bytecode (default) | legacy
+//   --layout RxC          force the shard grid (R tile rows x C tile cols;
+//                         0 lets the cost model pick that dimension; the
+//                         default is the full cost-model 2D choice)
+//   --check-layout-identity
+//                         additionally solve each workload under the auto
+//                         2D layout, forced 1D row strips and a serial
+//                         single shard and require bitwise-identical
+//                         results — the layout-invariance gate
+//                         scripts/check_scaling.sh runs on hosts too small
+//                         to measure scaling
 //   --reps N              repetitions per thread count; wall_seconds becomes
 //                         the min across reps and wall_median / wall_stddev /
 //                         reps columns are appended (after bitwise_identical,
 //                         so existing field positions are stable)
 //   --profile-host        attach the host-side profiler to every run and
-//                         report its critical-path max-speedup bound — lets
-//                         scripts/check_scaling.sh tell "engine overhead"
-//                         from "workload admits no parallelism"
+//                         report its critical-path max-speedup bound plus
+//                         per-tile stall attribution for the sweep's last
+//                         thread count — lets scripts/check_scaling.sh tell
+//                         "engine overhead" from "workload admits no
+//                         parallelism", and which tile is the bottleneck
 //
 // `seed_baseline` in the JSON is the 64x64x8 workload measured on the
 // pre-refactor serial engine (std::priority_queue, per-send payload
@@ -33,6 +48,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -84,15 +100,18 @@ struct Run {
 };
 
 core::SimEngine g_engine = core::SimEngine::Bytecode;
+wse::ShardGrid g_grid{}; // {0,0} = cost model; --layout overrides
 
 core::DataflowResult solve(const Workload& w, u32 threads,
-                           telemetry::HostProfiler* profiler) {
+                           telemetry::HostProfiler* profiler,
+                           wse::ShardGrid grid) {
   const auto problem = FlowProblem::homogeneous_column(w.nx, w.ny, w.nz);
   core::DataflowConfig config;
   config.tolerance = 0.0f;
   config.max_iterations = 10;
   config.sim_threads = threads;
   config.engine = g_engine;
+  config.shard_grid = grid;
   config.host_profiler = profiler;
   return core::solve_dataflow(problem, config);
 }
@@ -133,7 +152,7 @@ std::vector<Run> measure(const Workload& w, const std::vector<u32>& sweep,
     core::DataflowResult result;
     for (u32 rep = 0; rep < reps; ++rep) {
       const auto start = std::chrono::steady_clock::now();
-      result = solve(w, threads, profile_host ? &profiler : nullptr);
+      result = solve(w, threads, profile_host ? &profiler : nullptr, g_grid);
       const auto stop = std::chrono::steady_clock::now();
       walls.push_back(std::chrono::duration<f64>(stop - start).count());
     }
@@ -184,8 +203,64 @@ std::vector<Run> measure(const Workload& w, const std::vector<u32>& sweep,
       std::cout << "  critical-path bound: max speedup " << run.speedup_bound
                 << "x at " << threads << " threads ("
                 << run.speedup_bound_unbounded << "x unbounded)\n";
+    // Per-tile stall attribution for the sweep's last entry: which tile the
+    // gate should blame when the measured speedup misses the bound.
+    if (profiler.captured() && threads == sweep.back() &&
+        profiler.shards() > 1 && profiler.tile_cols() > 0) {
+      for (u32 s = 0; s < profiler.shards(); ++s) {
+        const telemetry::HostShardStats& st = profiler.shard_stats(s);
+        const f64 total = static_cast<f64>(st.rounds_total());
+        const auto pct = [&](u64 n) {
+          return total > 0 ? 100.0 * static_cast<f64>(n) / total : 0.0;
+        };
+        const auto& rects = profiler.tile_rects();
+        std::cout << "  tile (" << s / profiler.tile_cols() << ','
+                  << s % profiler.tile_cols() << ')';
+        if (s < rects.size())
+          std::cout << " rows " << rects[s].row_begin << ".."
+                    << rects[s].row_end - 1 << " cols " << rects[s].col_begin
+                    << ".." << rects[s].col_end - 1;
+        char bins[96];
+        std::snprintf(bins, sizeof bins,
+                      ": worked %5.1f%%  window %5.1f%%  backpr %5.1f%%  "
+                      "starved %5.1f%%",
+                      pct(st.rounds_worked), pct(st.rounds_window_limited),
+                      pct(st.rounds_backpressure), pct(st.rounds_starved));
+        std::cout << bins << "  events " << st.events << '\n';
+      }
+    }
   }
   return runs;
+}
+
+// The layout-invariance gate: the same workload solved under the auto 2D
+// tiling, forced 1D row strips and a serial single shard must agree bit
+// for bit (scripts/check_scaling.sh runs this on hosts that cannot
+// demonstrate scaling — correctness is checkable even where speed is not).
+bool check_layout_identity(const Workload& w, u32 threads) {
+  struct Named {
+    const char* name;
+    wse::ShardGrid grid;
+  };
+  const Named layouts[] = {
+      {"auto-2d", wse::ShardGrid{}},
+      {"1d-strips", wse::ShardGrid{0, 1}},
+      {"serial", wse::ShardGrid{1, 1}},
+  };
+  const auto reference = solve(w, 1, nullptr, layouts[2].grid);
+  bool ok = true;
+  for (const Named& layout : layouts) {
+    const auto result = solve(w, threads, nullptr, layout.grid);
+    const bool identical = same_bits(result.delta, reference.delta) &&
+                           same_bits(result.pressure, reference.pressure) &&
+                           result.fabric == reference.fabric &&
+                           result.iterations == reference.iterations;
+    std::cout << w.name << " layout " << layout.name << " threads=" << threads
+              << ": " << (identical ? "identical to serial" : "MISMATCH")
+              << '\n';
+    ok &= identical;
+  }
+  return ok;
 }
 
 void write_runs_json(std::ofstream& json, const std::vector<Run>& runs,
@@ -195,10 +270,12 @@ void write_runs_json(std::ofstream& json, const std::vector<Run>& runs,
     json << indent << "{\"threads\": " << run.threads
          << ", \"wall_seconds\": " << run.wall_seconds
          << ", \"events\": " << run.events
-         << ", \"events_per_sec\": " << run.events_per_sec
-         << ", \"speedup_vs_seed\": "
-         << run.events_per_sec / seed_events_per_sec
-         << ", \"speedup_vs_one_thread\": " << run.speedup_vs_one_thread
+         << ", \"events_per_sec\": " << run.events_per_sec;
+    // The xl workload has no pre-refactor measurement to compare against.
+    if (seed_events_per_sec > 0)
+      json << ", \"speedup_vs_seed\": "
+           << run.events_per_sec / seed_events_per_sec;
+    json << ", \"speedup_vs_one_thread\": " << run.speedup_vs_one_thread
          << ", \"bitwise_identical\": "
          << (run.bitwise_identical ? "true" : "false")
          << ", \"wall_median\": " << run.wall_median
@@ -218,6 +295,8 @@ int main(int argc, char** argv) {
   std::string csv_path;
   std::vector<u32> sweep = {1, 2, 4, 8};
   bool skip_large = false;
+  bool with_xl = false;
+  bool layout_identity = false;
   long reps = 1;
   bool profile_host = false;
   for (int i = 1; i < argc; ++i) {
@@ -229,6 +308,19 @@ int main(int argc, char** argv) {
       sweep = parse_sweep(argv[++i]);
     } else if (std::strcmp(argv[i], "--skip-large") == 0) {
       skip_large = true;
+    } else if (std::strcmp(argv[i], "--xl") == 0) {
+      with_xl = true;
+    } else if (std::strcmp(argv[i], "--check-layout-identity") == 0) {
+      layout_identity = true;
+    } else if (std::strcmp(argv[i], "--layout") == 0 && i + 1 < argc) {
+      unsigned rows = 0;
+      unsigned cols = 0;
+      if (std::sscanf(argv[++i], "%ux%u", &rows, &cols) != 2) {
+        std::cerr << "bad --layout (want RxC, e.g. 4x4 or 0x1): " << argv[i]
+                  << '\n';
+        return 2;
+      }
+      g_grid = wse::ShardGrid{static_cast<u32>(rows), static_cast<u32>(cols)};
     } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
       reps = std::strtol(argv[++i], nullptr, 10);
       if (reps < 1) {
@@ -249,8 +341,9 @@ int main(int argc, char** argv) {
       }
     } else {
       std::cerr << "usage: micro_sim_throughput [--out PATH] [--csv PATH]"
-                   " [--threads-sweep N,N,...] [--skip-large]"
-                   " [--engine bytecode|legacy] [--reps N] [--profile-host]\n";
+                   " [--threads-sweep N,N,...] [--skip-large] [--xl]"
+                   " [--engine bytecode|legacy] [--layout RxC]"
+                   " [--check-layout-identity] [--reps N] [--profile-host]\n";
       return 2;
     }
   }
@@ -264,16 +357,28 @@ int main(int argc, char** argv) {
 
   const Workload small{"64x64x8", 64, 64, 8};
   const Workload large{"128x128x8", 128, 128, 8};
+  const Workload xl{"256x256x8", 256, 256, 8};
 
   std::vector<Run> runs =
       measure(small, sweep, static_cast<u32>(reps), profile_host);
   std::vector<Run> large_runs;
   if (!skip_large)
     large_runs = measure(large, sweep, static_cast<u32>(reps), profile_host);
+  std::vector<Run> xl_runs;
+  if (with_xl)
+    xl_runs = measure(xl, sweep, static_cast<u32>(reps), profile_host);
 
   bool all_identical = true;
   for (const Run& run : runs) all_identical &= run.bitwise_identical;
   for (const Run& run : large_runs) all_identical &= run.bitwise_identical;
+  for (const Run& run : xl_runs) all_identical &= run.bitwise_identical;
+
+  if (layout_identity) {
+    std::cout << "\n--- layout identity (auto 2D vs 1D strips vs serial) ---\n";
+    all_identical &= check_layout_identity(small, sweep.back());
+    if (!skip_large) all_identical &= check_layout_identity(large, sweep.back());
+    if (with_xl) all_identical &= check_layout_identity(xl, sweep.back());
+  }
 
   std::ofstream json(out_path);
   json << "{\n"
@@ -303,6 +408,14 @@ int main(int argc, char** argv) {
     json << "    ]\n"
          << "  },\n";
   }
+  if (!xl_runs.empty()) {
+    json << "  \"xl_workload\": {\n"
+         << "    \"workload\": \"256x256x8 device CG, tolerance 0, 10 iterations\",\n"
+         << "    \"runs\": [\n";
+    write_runs_json(json, xl_runs, 0.0, "      ");
+    json << "    ]\n"
+         << "  },\n";
+  }
   json << "  \"all_thread_counts_bitwise_identical\": "
        << (all_identical ? "true" : "false") << "\n"
        << "}\n";
@@ -326,6 +439,7 @@ int main(int argc, char** argv) {
     };
     emit(runs);
     emit(large_runs);
+    emit(xl_runs);
     std::cout << "wrote " << csv_path << '\n';
   }
   return all_identical ? 0 : 1;

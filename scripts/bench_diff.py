@@ -5,15 +5,19 @@
 
 Rows are matched on (workload, threads); for each match the per-row wall
 time, events/sec and the candidate-over-baseline speedup are printed, plus
-rows only one file has. Intended as an informational CI step (compare a
-PR's bench output against the main-branch artifact); by default the exit
-status is always 0. With --fail-above PCT the script exits 1 if any
-matched row's wall time regresses by more than PCT percent.
+rows only one file has. By default the exit status is always 0
+(informational). With --fail-above PCT the script is a real gate: it exits
+1 if any matched row's wall time regresses by more than PCT percent, or if
+any candidate row is not bitwise identical — but only when both files
+record the same "hardware_threads". Wall times measured on different
+hardware are not comparable, so a hardware mismatch demotes the gate to
+informational (exit 0, with a note), which is what lets CI diff a bench
+snapshot against the committed baseline regardless of the runner's shape.
 
 Only the standard library is used; the JSON layout is the one
 bench/micro_sim_throughput.cpp writes (a top-level "runs" array for the
-64x64x8 workload and an optional "large_workload.runs" array for
-128x128x8).
+64x64x8 workload and optional "large_workload.runs" / "xl_workload.runs"
+arrays for 128x128x8 / 256x256x8).
 """
 
 import argparse
@@ -22,7 +26,7 @@ import sys
 
 
 def load_rows(path):
-    """-> {(workload, threads): run-dict} for one bench JSON file."""
+    """-> (hardware_threads, {(workload, threads): run-dict})."""
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
     rows = {}
@@ -33,7 +37,8 @@ def load_rows(path):
 
     take(doc.get("runs", []), "64x64x8")
     take(doc.get("large_workload", {}).get("runs", []), "128x128x8")
-    return rows
+    take(doc.get("xl_workload", {}).get("runs", []), "256x256x8")
+    return doc.get("hardware_threads"), rows
 
 
 def main():
@@ -43,11 +48,14 @@ def main():
     parser.add_argument("candidate")
     parser.add_argument("--fail-above", type=float, metavar="PCT", default=None,
                         help="exit 1 if any row's wall time regresses by more "
-                             "than PCT percent (default: informational only)")
+                             "than PCT percent or any candidate row is not "
+                             "bitwise identical; the timing gate only arms "
+                             "when both files record the same "
+                             "hardware_threads (default: informational only)")
     args = parser.parse_args()
 
-    base = load_rows(args.baseline)
-    cand = load_rows(args.candidate)
+    base_hw, base = load_rows(args.baseline)
+    cand_hw, cand = load_rows(args.candidate)
 
     header = (f"{'workload':>10} {'thr':>3} {'base wall':>11} {'cand wall':>11} "
               f"{'speedup':>8} {'Mev/s base':>11} {'Mev/s cand':>11}")
@@ -57,6 +65,7 @@ def main():
     print("-" * len(header))
 
     worst_regression_pct = 0.0
+    mismatched = False
     for key in sorted(set(base) | set(cand), key=lambda k: (k[0], k[1])):
         workload, threads = key
         b, c = base.get(key), cand.get(key)
@@ -69,13 +78,26 @@ def main():
         flags = ""
         if not c.get("bitwise_identical", True):
             flags = "  [candidate NOT bitwise identical]"
+            mismatched = True
         print(f"{workload:>10} {threads:>3} {b['wall_seconds']:>10.3f}s "
               f"{c['wall_seconds']:>10.3f}s {speedup:>7.2f}x "
               f"{b['events_per_sec'] / 1e6:>11.3f} "
               f"{c['events_per_sec'] / 1e6:>11.3f}{flags}")
 
     print(f"worst wall-time regression: {worst_regression_pct:+.2f}%")
-    if args.fail_above is not None and worst_regression_pct > args.fail_above:
+    if args.fail_above is None:
+        return 0
+    if mismatched:
+        print("FAIL: candidate rows are not bitwise identical across "
+              "thread counts", file=sys.stderr)
+        return 1
+    if base_hw != cand_hw or base_hw is None:
+        # Different machines (or an old file without the field): the wall
+        # times are not comparable, so the threshold cannot gate.
+        print(f"note: hardware_threads differ (baseline {base_hw}, "
+              f"candidate {cand_hw}); timing gate is informational only")
+        return 0
+    if worst_regression_pct > args.fail_above:
         print(f"FAIL: regression exceeds {args.fail_above}%", file=sys.stderr)
         return 1
     return 0

@@ -8,7 +8,13 @@
 # Hosts with fewer than 4 hardware threads cannot demonstrate scaling;
 # there the gate degrades to a no-regression check (4 workers on a small
 # core count must not be catastrophically slower than serial — the
-# worker pool parks on a futex and must not spin).
+# worker pool parks on a futex and must not spin) plus a layout-identity
+# gate: the auto 2D tiling, forced 1D row strips and a serial single
+# shard must produce bitwise-identical solves (correctness stays
+# checkable even where speed is not). With --profile-host the bench also
+# prints per-tile stall attribution (worked / window-limited /
+# backpressure / starved per tile) and the critical-path speedup bound,
+# so a failed or degraded gate names the bottleneck tile.
 #
 # A second, serial gate compares the bytecode device-program engine
 # (the default) against the legacy virtual-dispatch engine on the small
@@ -107,10 +113,21 @@ BOUND_LINE="$(awk '/^128x128x8 threads='"$THREADS"':/ { f = 1; next }
                    f && /critical-path bound/ { sub(/^ */, ""); print; exit }
                    f && /^[^ ]/ { f = 0 }' "$LOG")"
 
+# On hosts that cannot demonstrate scaling, demonstrate layout
+# invariance instead: 2D tiles vs 1D strips vs serial, bit for bit.
+check_layout_identity() {
+  echo "---- layout identity (auto 2D vs 1D strips vs serial, 64x64x8) ----"
+  "$BENCH" --skip-large --threads-sweep "$THREADS" --check-layout-identity \
+      --out "$JSON" --csv "$CSV" \
+    || { echo "FAIL: shard layouts are not bitwise identical" >&2; exit 1; }
+  echo "-------------------------------------------------------------------"
+}
+
 if [[ "$WALL4" == "none" ]]; then
   # Single-core host: the bench skips the multi-thread large row
   # entirely; only the serial engine gate below remains meaningful.
   echo "SKIP: host has no parallelism to measure; serial row recorded"
+  check_layout_identity
 elif [[ "$IDENT" != "true" ]]; then
   echo "FAIL: ${THREADS}-thread result not bitwise identical to 1-thread" >&2
   exit 1
@@ -135,6 +152,7 @@ else
   }' || { echo "FAIL: oversubscribed workers burn the core (spinning?)" >&2
           dump_host_profile
           exit 1; }
+  check_layout_identity
 fi
 
 # ---- serial engine gate: bytecode interpreter vs legacy dispatch ----

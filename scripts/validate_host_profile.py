@@ -4,11 +4,16 @@
     scripts/validate_host_profile.py host_profile.json
 
 Checks (see docs/observability.md, "Host profiling"):
-  * schema tag is fvdf.telemetry.host_profile/1 and captured is true;
+  * schema tag is fvdf.telemetry.host_profile/2 and captured is true;
   * every worker's intervals are sorted, non-overlapping and start at 0;
   * every worker's per-state seconds sum to its accounted wall time
     (which equals the run's wall time up to clock-read jitter);
   * every shard's four stall bins sum to the run's round count;
+  * the tile layout is self-consistent: tile_rows * tile_cols equals the
+    shard count, each shard's (tile_row, tile_col) matches its row-major
+    id, and each tile's PE rectangle is non-empty;
+  * every lookahead edge names valid shards, a cardinal direction in
+    0..3, and a positive window when it crosses a tile boundary;
   * the critical-path bounds are >= 1, monotone in the thread count,
     exactly 1 at one thread, and capped by the unbounded limit.
 
@@ -34,7 +39,7 @@ def main():
     with open(sys.argv[1], "r", encoding="utf-8") as f:
         doc = json.load(f)
 
-    if doc.get("schema") != "fvdf.telemetry.host_profile/1":
+    if doc.get("schema") != "fvdf.telemetry.host_profile/2":
         fail(f"unexpected schema tag {doc.get('schema')!r}")
     if not doc.get("captured"):
         fail("captured is false (profiler never saw a run)")
@@ -71,12 +76,36 @@ def main():
     stalls = doc["shard_stalls"]
     if len(stalls) != doc["shards"]:
         fail("shard_stalls length != shards")
+    tile_rows, tile_cols = doc["tile_rows"], doc["tile_cols"]
+    if tile_cols > 0 and tile_rows * tile_cols != doc["shards"]:
+        fail(f"tile grid {tile_rows}x{tile_cols} does not cover "
+             f"{doc['shards']} shards")
     for s in stalls:
         bins = (s["rounds_worked"] + s["rounds_window_limited"] +
                 s["rounds_backpressure"] + s["rounds_starved"])
         if bins != rounds:
             fail(f"shard {s['shard']}: stall bins sum to {bins}, "
                  f"run has {rounds} rounds")
+        if tile_cols > 0:
+            if (s.get("tile_row") != s["shard"] // tile_cols or
+                    s.get("tile_col") != s["shard"] % tile_cols):
+                fail(f"shard {s['shard']}: tile coordinates are not the "
+                     f"row-major id")
+        if "row_begin" in s and (s["row_end"] <= s["row_begin"] or
+                                 s["col_end"] <= s["col_begin"]):
+            fail(f"shard {s['shard']}: empty tile rectangle")
+
+    for e in doc.get("lookahead", []):
+        if not (0 <= e["from"] < doc["shards"] and
+                0 <= e["to"] < doc["shards"]):
+            fail(f"lookahead edge {e['from']}->{e['to']} names an "
+                 f"unknown shard")
+        if not 0 <= e["dir"] <= 3:
+            fail(f"lookahead edge {e['from']}->{e['to']}: direction "
+                 f"{e['dir']} out of range")
+        if e["crosses"] and e["min_batch_cycles"] <= 0:
+            fail(f"lookahead edge {e['from']}->{e['to']}: crossing edge "
+                 f"with non-positive window {e['min_batch_cycles']}")
 
     cp = doc["critical_path"]
     unbounded = cp["max_speedup_unbounded"]

@@ -49,10 +49,32 @@ struct InjectSummary {
   }
 };
 
-ChannelLookahead conservative_table(std::size_t edges) {
+/// Neighboring shard id across cardinal side `d`, or -1 at the tile-grid
+/// edge (mirrors Fabric::neighbor_shard for row-major tile ids).
+i64 tile_neighbor(u32 s, std::size_t d, u32 tile_rows, u32 tile_cols) {
+  const u32 r = s / tile_cols;
+  const u32 c = s % tile_cols;
+  switch (d) {
+  case wse::cardinal_index(wse::Dir::North):
+    return r > 0 ? static_cast<i64>(s - tile_cols) : -1;
+  case wse::cardinal_index(wse::Dir::East):
+    return c + 1 < tile_cols ? static_cast<i64>(s + 1) : -1;
+  case wse::cardinal_index(wse::Dir::South):
+    return r + 1 < tile_rows ? static_cast<i64>(s + tile_cols) : -1;
+  default:
+    return c > 0 ? static_cast<i64>(s - 1) : -1;
+  }
+}
+
+/// Every existing directed boundary crossing-capable at zero minimum
+/// batch; absent sides non-crossing. Always safe to install.
+ChannelLookahead conservative_table(u32 tile_rows, u32 tile_cols) {
   ChannelLookahead table;
-  table.south.assign(edges, {});
-  table.north.assign(edges, {});
+  table.out.assign(static_cast<std::size_t>(tile_rows) * tile_cols, {});
+  for (u32 s = 0; s < table.out.size(); ++s)
+    for (std::size_t d = 0; d < 4; ++d)
+      if (tile_neighbor(s, d, tile_rows, tile_cols) < 0)
+        table.out[s][d] = ChannelLookahead::Edge{false, 0};
   return table;
 }
 
@@ -60,14 +82,16 @@ ChannelLookahead conservative_table(std::size_t edges) {
 
 wse::ChannelLookahead
 plan_channel_lookahead(i64 width, i64 height,
-                       const std::vector<ShardBand>& shards,
-                       const wse::ProgramFactory& factory,
+                       const std::vector<ShardTile>& tiles, u32 tile_rows,
+                       u32 tile_cols, const wse::ProgramFactory& factory,
                        const wse::TimingParams& timing,
                        wse::PeMemoryParams mem, wse::LookaheadSource source) {
   FVDF_CHECK_MSG(width >= 1 && height >= 1, "fabric dims must be positive");
-  FVDF_CHECK_MSG(!shards.empty(), "empty shard layout");
-  const std::size_t edges = shards.size() - 1;
-  if (edges == 0) return conservative_table(0);
+  FVDF_CHECK_MSG(tile_rows >= 1 && tile_cols >= 1 &&
+                     tiles.size() ==
+                         static_cast<std::size_t>(tile_rows) * tile_cols,
+                 "tile layout does not match its grid dimensions");
+  if (tiles.size() == 1) return conservative_table(1, 1);
 
   // Instantiate every PE statically: real routers (for the crossing scan)
   // plus the injection summary from observed sends and either the
@@ -89,7 +113,7 @@ plan_channel_lookahead(i64 width, i64 height,
       StaticPeContext ctx(coord, width, height, router, memory, timing);
       try {
         std::unique_ptr<wse::PeProgram> program = factory(coord);
-        if (program == nullptr) return conservative_table(edges);
+        if (program == nullptr) return conservative_table(tile_rows, tile_cols);
         program->on_start(ctx);
         const wse::bc::Program* bytecode =
             source == wse::LookaheadSource::Bytecode ? program->bytecode()
@@ -112,52 +136,55 @@ plan_channel_lookahead(i64 width, i64 height,
       } catch (const Error&) {
         // A PE that cannot instantiate leaves its routes unknown; claim
         // nothing (load()/verify() report the actual failure).
-        return conservative_table(edges);
+        return conservative_table(tile_rows, tile_cols);
       }
     }
   }
 
-  // A wavelet crosses boundary b southward iff some router on the last row
-  // of shard b can transmit South on a color somebody injects (and
-  // mirrored for northward). The smallest possible crossing batch is the
-  // weakest word bound over those colors.
-  ChannelLookahead table;
-  table.south.assign(edges, ChannelLookahead::Edge{false, 0});
-  table.north.assign(edges, ChannelLookahead::Edge{false, 0});
+  // A wavelet leaves tile s through side d iff some router on the tile's
+  // boundary row/column for that side can transmit toward d on a color
+  // somebody injects. The smallest possible crossing batch is the weakest
+  // word bound over those colors.
+  ChannelLookahead table = conservative_table(tile_rows, tile_cols);
   const f64 wpc = timing.words_per_cycle_link;
-  for (std::size_t b = 0; b < edges; ++b) {
-    FVDF_CHECK_MSG(shards[b].row_end == shards[b + 1].row_begin &&
-                       shards[b].row_end > shards[b].row_begin,
-                   "shard layout is not a partition into row bands");
-    const i64 row_south = shards[b].row_end - 1; // last row of shard b
-    const i64 row_north = shards[b].row_end;     // first row of shard b+1
-    u32 min_words_south = std::numeric_limits<u32>::max();
-    u32 min_words_north = std::numeric_limits<u32>::max();
-    bool crosses_south = false;
-    bool crosses_north = false;
-    for (i64 x = 0; x < width; ++x) {
-      const wse::Router& south_tx =
-          routers[static_cast<std::size_t>(row_south * width + x)];
-      const wse::Router& north_tx =
-          routers[static_cast<std::size_t>(row_north * width + x)];
-      for (Color c = 0; c < wse::kNumRoutableColors; ++c) {
-        if (!wse::color_set_contains(injects.injected, c)) continue;
-        if (south_tx.may_transmit(c, wse::Dir::South)) {
-          crosses_south = true;
-          min_words_south = std::min(min_words_south, injects.min_words[c]);
-        }
-        if (north_tx.may_transmit(c, wse::Dir::North)) {
-          crosses_north = true;
-          min_words_north = std::min(min_words_north, injects.min_words[c]);
-        }
+  for (u32 s = 0; s < static_cast<u32>(tiles.size()); ++s) {
+    const ShardTile& tile = tiles[s];
+    FVDF_CHECK_MSG(tile.row_end > tile.row_begin &&
+                       tile.col_end > tile.col_begin,
+                   "empty tile " << s << " in shard layout");
+    for (std::size_t d = 0; d < 4; ++d) {
+      if (tile_neighbor(s, d, tile_rows, tile_cols) < 0) continue;
+      const wse::Dir dir = wse::kCardinalDirs[d];
+      // The strip of routers whose `dir` link crosses the boundary.
+      i64 r0 = tile.row_begin;
+      i64 r1 = tile.row_end;
+      i64 c0 = tile.col_begin;
+      i64 c1 = tile.col_end;
+      switch (d) {
+      case wse::cardinal_index(wse::Dir::North): r1 = r0 + 1; break;
+      case wse::cardinal_index(wse::Dir::South): r0 = r1 - 1; break;
+      case wse::cardinal_index(wse::Dir::East): c0 = c1 - 1; break;
+      default: c1 = c0 + 1; break; // West
       }
+      u32 min_words = std::numeric_limits<u32>::max();
+      bool crosses = false;
+      for (i64 y = r0; y < r1; ++y)
+        for (i64 x = c0; x < c1; ++x) {
+          const wse::Router& router =
+              routers[static_cast<std::size_t>(y * width + x)];
+          for (Color c = 0; c < wse::kNumRoutableColors; ++c) {
+            if (!wse::color_set_contains(injects.injected, c)) continue;
+            if (router.may_transmit(c, dir)) {
+              crosses = true;
+              min_words = std::min(min_words, injects.min_words[c]);
+            }
+          }
+        }
+      table.out[s][d] =
+          crosses ? ChannelLookahead::Edge{
+                        true, wpc > 0 ? static_cast<f64>(min_words) / wpc : 0}
+                  : ChannelLookahead::Edge{false, 0};
     }
-    if (crosses_south)
-      table.south[b] = ChannelLookahead::Edge{
-          true, wpc > 0 ? static_cast<f64>(min_words_south) / wpc : 0};
-    if (crosses_north)
-      table.north[b] = ChannelLookahead::Edge{
-          true, wpc > 0 ? static_cast<f64>(min_words_north) / wpc : 0};
   }
   return table;
 }
@@ -169,12 +196,14 @@ namespace fvdf::wse {
 ChannelLookahead
 Fabric::plan_channel_lookahead(const ProgramFactory& factory,
                                LookaheadSource source) const {
-  std::vector<analysis::ShardBand> bands;
-  bands.reserve(shards_.size());
+  std::vector<analysis::ShardTile> tiles;
+  tiles.reserve(shards_.size());
   for (const Shard& shard : shards_)
-    bands.push_back(analysis::ShardBand{shard.row_begin, shard.row_end});
-  return analysis::plan_channel_lookahead(width_, height_, bands, factory,
-                                          timing_, mem_params_, source);
+    tiles.push_back(analysis::ShardTile{shard.row_begin, shard.row_end,
+                                        shard.col_begin, shard.col_end});
+  return analysis::plan_channel_lookahead(width_, height_, tiles, tile_rows_,
+                                          tile_cols_, factory, timing_,
+                                          mem_params_, source);
 }
 
 } // namespace fvdf::wse

@@ -1,20 +1,21 @@
 #pragma once
 // Static channel-lookahead planner for the parallel fabric engine.
 //
-// The engine partitions the PE grid into horizontal shards and, each
+// The engine partitions the PE grid into rectangular tile shards and, each
 // window round, lets a shard run ahead of its neighbors up to the earliest
 // cycle a neighbor could place a wavelet across their shared boundary.
-// The dynamic half of that bound (per-event row distance x hop latency)
-// the engine computes itself; this pass supplies the static half: for
-// every internal shard boundary and direction, *can* any configured route
-// carry a wavelet across at all, and if so, what is the smallest link
-// batch any crossing message can occupy?
+// The dynamic half of that bound (per-event boundary distance x hop
+// latency) the engine computes itself; this pass supplies the static half:
+// for every *directed* tile boundary (shard s leaving through cardinal
+// side d), *can* any configured route carry a wavelet across at all, and
+// if so, what is the smallest link batch any crossing message can occupy?
 //
 // The pass instantiates every PE's routing configuration the same way the
 // verifier does — on_start runs against a recording context, never the
 // event loop — and combines three facts:
-//   1. which colors the boundary-row routers can transmit across the
-//      boundary (Router::may_transmit over all switch positions),
+//   1. which colors the boundary-row (or boundary-column) routers can
+//      transmit across the boundary (Router::may_transmit over all switch
+//      positions),
 //   2. which colors any PE ever injects (observed on_start sends plus the
 //      declared ProgramManifest), and
 //   3. the declared minimum words per injected color
@@ -38,15 +39,20 @@
 
 namespace fvdf::analysis {
 
-/// One shard's row band, [row_begin, row_end).
-struct ShardBand {
+/// One shard's PE rectangle, rows [row_begin, row_end) x cols
+/// [col_begin, col_end). Passed row-major in tile order (shard id
+/// r * tile_cols + c), matching Fabric's layout.
+struct ShardTile {
   i64 row_begin = 0;
   i64 row_end = 0;
+  i64 col_begin = 0;
+  i64 col_end = 0;
 };
 
-/// Computes the lookahead table for `factory` on the given shard layout.
-/// Falls back to the fully conservative table (every boundary crossing at
-/// zero minimum batch) if any PE fails to instantiate — the planner never
+/// Computes the lookahead table for `factory` on the given tile layout
+/// (`tiles.size() == tile_rows * tile_cols`, row-major). Falls back to the
+/// fully conservative table (every existing boundary crossing at zero
+/// minimum batch) if any PE fails to instantiate — the planner never
 /// throws for program bugs; load()/verify() surface those.
 ///
 /// With the default `source` (LookaheadSource::Bytecode), a program that
@@ -58,8 +64,8 @@ struct ShardBand {
 /// the manifest-derived one.
 wse::ChannelLookahead
 plan_channel_lookahead(i64 width, i64 height,
-                       const std::vector<ShardBand>& shards,
-                       const wse::ProgramFactory& factory,
+                       const std::vector<ShardTile>& tiles, u32 tile_rows,
+                       u32 tile_cols, const wse::ProgramFactory& factory,
                        const wse::TimingParams& timing,
                        wse::PeMemoryParams mem = {},
                        wse::LookaheadSource source =

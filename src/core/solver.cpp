@@ -256,7 +256,7 @@ DataflowResult solve_dataflow(const FlowProblem& problem, const DataflowConfig& 
   const auto& sys = setup.sys;
   const wse::ProgramFactory factory = cg_factory(problem, config, setup);
 
-  wse::Fabric fabric(nx, ny, config.timing, config.memory);
+  wse::Fabric fabric(nx, ny, config.timing, config.memory, config.shard_grid);
   fabric.set_threads(config.sim_threads);
   if (config.verify_preflight) {
     const analysis::VerifyReport report = fabric.verify(factory);
@@ -343,7 +343,8 @@ DataflowResult solve_dataflow_chebyshev(const FlowProblem& problem,
   const auto& sys = setup.sys;
   const wse::ProgramFactory factory = chebyshev_factory(problem, config, setup);
 
-  wse::Fabric fabric(mesh.nx(), mesh.ny(), config.timing, config.memory);
+  wse::Fabric fabric(mesh.nx(), mesh.ny(), config.timing, config.memory,
+                     config.shard_grid);
   fabric.set_threads(config.sim_threads);
   if (config.verify_preflight) {
     const analysis::VerifyReport report = fabric.verify(factory);
@@ -385,10 +386,13 @@ LookaheadPlan plan_dataflow_lookahead(const FlowProblem& problem,
   FVDF_CHECK_MSG(mesh.nz() <= 0xffff, "column depth exceeds u16 index range");
   const CgSetup setup = prepare_cg(problem, config);
   const wse::ProgramFactory factory = cg_factory(problem, config, setup);
-  wse::Fabric fabric(mesh.nx(), mesh.ny(), config.timing, config.memory);
+  wse::Fabric fabric(mesh.nx(), mesh.ny(), config.timing, config.memory,
+                     config.shard_grid);
   fabric.set_threads(config.sim_threads);
   LookaheadPlan plan;
   plan.shard_count = static_cast<u32>(fabric.shard_count());
+  plan.tile_rows = fabric.tile_rows();
+  plan.tile_cols = fabric.tile_cols();
   plan.bytecode =
       fabric.plan_channel_lookahead(factory, wse::LookaheadSource::Bytecode);
   plan.manifest = fabric.plan_channel_lookahead(

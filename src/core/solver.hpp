@@ -53,6 +53,11 @@ struct DataflowConfig {
   // Simulator worker threads (0 = hardware concurrency). Purely a host-side
   // execution knob: results are bitwise identical at any value.
   u32 sim_threads = 1;
+  // Simulator shard-layout override ({0,0} = the engine's cost model; see
+  // wse::ShardGrid — {0,1} forces the 1D row-strip layout, {1,1} a single
+  // serial shard). Host-side execution knob: results are bitwise identical
+  // under any layout (tested); benchmarks use it to compare layouts.
+  wse::ShardGrid shard_grid{};
   // Device-program implementation; see SimEngine. Host-side execution knob:
   // both engines produce bitwise-identical results.
   SimEngine engine = SimEngine::Bytecode;
@@ -118,6 +123,7 @@ struct ChebyshevDeviceConfig {
   wse::PeMemoryParams memory{};
   f64 max_cycles = 1e15;
   u32 sim_threads = 1;           // see DataflowConfig::sim_threads
+  wse::ShardGrid shard_grid{};   // see DataflowConfig::shard_grid
   SimEngine engine = SimEngine::Bytecode; // see DataflowConfig::engine
   bool verify_preflight = false; // see DataflowConfig::verify_preflight
   telemetry::Session* telemetry = nullptr; // see DataflowConfig::telemetry
@@ -139,13 +145,15 @@ analysis::VerifyReport verify_dataflow_chebyshev(
 /// Channel-lookahead tables for the CG device program a solve would load,
 /// computed both ways (see wse::LookaheadSource): from the bytecode's
 /// reachable SEND instructions and from the declared manifests alone.
-/// The shard layout is the one `config.sim_threads` would produce; with a
-/// single shard both tables are empty (no internal boundaries). Exposed
-/// for fabric_lint --lookahead and scripts/check_scaling.sh to show that
-/// the bytecode-derived windows are never looser than the manifest-derived
+/// The shard layout is the one `config.shard_grid` would produce; with a
+/// single shard the tables carry no crossing edges. Exposed for
+/// fabric_lint --lookahead and scripts/check_scaling.sh to show that the
+/// bytecode-derived windows are never looser than the manifest-derived
 /// ones.
 struct LookaheadPlan {
   u32 shard_count = 0;
+  u32 tile_rows = 1;
+  u32 tile_cols = 1;
   wse::ChannelLookahead bytecode;
   wse::ChannelLookahead manifest;
 };

@@ -13,7 +13,7 @@ namespace fvdf::telemetry {
 
 namespace {
 
-constexpr const char* kSchema = "fvdf.telemetry.host_profile/1";
+constexpr const char* kSchema = "fvdf.telemetry.host_profile/2";
 
 void write_file(const std::string& path, const std::string& body) {
   std::ofstream out(path, std::ios::binary);
@@ -30,6 +30,9 @@ void HostProfiler::begin_run(u32 workers, u32 shards, u32 threads_requested) {
   samplers_.assign(shards, HostPcSampler{});
   for (HostPcSampler& s : samplers_) s.reset(config_.pc_sample_period);
   lookahead_.clear();
+  tile_rows_ = 0;
+  tile_cols_ = 0;
+  tile_rects_.clear();
   annotations_.clear();
   threads_requested_ = threads_requested;
   rounds_ = 0;
@@ -145,6 +148,8 @@ std::string HostProfiler::host_profile_json() const {
   w.kv("rounds", rounds_);
   w.kv("wall_seconds", wall_seconds_);
   w.kv("pc_sample_period", config_.pc_sample_period);
+  w.kv("tile_rows", tile_rows_);
+  w.kv("tile_cols", tile_cols_);
 
   w.key("worker_timelines").begin_array();
   for (u32 i = 0; i < workers(); ++i) {
@@ -182,6 +187,17 @@ std::string HostProfiler::host_profile_json() const {
     const HostShardStats& s = shards_[i];
     w.begin_object();
     w.kv("shard", i);
+    if (tile_cols_ > 0) {
+      w.kv("tile_row", i / tile_cols_);
+      w.kv("tile_col", i % tile_cols_);
+    }
+    if (i < tile_rects_.size()) {
+      const HostTileRect& r = tile_rects_[i];
+      w.kv("row_begin", r.row_begin);
+      w.kv("row_end", r.row_end);
+      w.kv("col_begin", r.col_begin);
+      w.kv("col_end", r.col_end);
+    }
     w.kv("rounds_worked", s.rounds_worked);
     w.kv("rounds_window_limited", s.rounds_window_limited);
     w.kv("rounds_backpressure", s.rounds_backpressure);
@@ -195,14 +211,13 @@ std::string HostProfiler::host_profile_json() const {
   w.end_array();
 
   w.key("lookahead").begin_array();
-  for (std::size_t i = 0; i < lookahead_.size(); ++i) {
-    const HostLookaheadEdge& e = lookahead_[i];
+  for (const HostLookaheadEdge& e : lookahead_) {
     w.begin_object();
-    w.kv("boundary", static_cast<u64>(i));
-    w.kv("south_crosses", e.south_crosses);
-    w.kv("south_min_batch_cycles", e.south_min_batch_cycles);
-    w.kv("north_crosses", e.north_crosses);
-    w.kv("north_min_batch_cycles", e.north_min_batch_cycles);
+    w.kv("from", e.from);
+    w.kv("to", e.to);
+    w.kv("dir", static_cast<u32>(e.dir));
+    w.kv("crosses", e.crosses);
+    w.kv("min_batch_cycles", e.min_batch_cycles);
     w.end_object();
   }
   w.end_array();
@@ -408,6 +423,26 @@ void HostProfiler::print_summary(std::ostream& os,
                   spct(worked), spct(limited), spct(backpressure),
                   spct(starved), shard_rounds);
     os << buf << "\n";
+  }
+  // Per-tile breakdown (only meaningful once the engine reported its
+  // layout; a single tile repeats the aggregate line above).
+  if (tile_cols_ > 0 && shards() > 1) {
+    for (u32 i = 0; i < shards(); ++i) {
+      const HostShardStats& s = shards_[i];
+      const f64 total = static_cast<f64>(s.rounds_total());
+      const auto tpct = [&](u64 n) {
+        return total > 0 ? 100.0 * static_cast<f64>(n) / total : 0.0;
+      };
+      char row[192];
+      std::snprintf(row, sizeof row,
+                    "  tile (%u,%u): worked %5.1f%%  window %5.1f%%  "
+                    "backpr %5.1f%%  starved %5.1f%%  events %llu  busy %.4f s",
+                    i / tile_cols_, i % tile_cols_, tpct(s.rounds_worked),
+                    tpct(s.rounds_window_limited), tpct(s.rounds_backpressure),
+                    tpct(s.rounds_starved),
+                    static_cast<unsigned long long>(s.events), s.busy_seconds);
+      os << row << "\n";
+    }
   }
   char bound[160];
   std::snprintf(bound, sizeof bound,

@@ -212,12 +212,25 @@ private:
 /// Static lookahead-table snapshot exported alongside the stall bins so the
 /// attribution can be read against the windows actually installed (mirrors
 /// wse::ChannelLookahead without depending on it — telemetry links below
-/// wse). One entry per internal shard boundary.
+/// wse). One entry per *directed* tile-boundary edge: wavelets leaving
+/// shard `from` through cardinal side `dir` (N=0, E=1, S=2, W=3) into
+/// shard `to`.
 struct HostLookaheadEdge {
-  bool south_crosses = true;
-  f64 south_min_batch_cycles = 0;
-  bool north_crosses = true;
-  f64 north_min_batch_cycles = 0;
+  u32 from = 0;
+  u32 to = 0;
+  u8 dir = 0;
+  bool crosses = true;
+  f64 min_batch_cycles = 0;
+};
+
+/// The PE rectangle a tile shard owns — the engine's layout, exported so
+/// stall attribution can be printed per tile (mirrors Fabric::TileRect
+/// without depending on wse).
+struct HostTileRect {
+  i64 row_begin = 0;
+  i64 row_end = 0;
+  i64 col_begin = 0;
+  i64 col_end = 0;
 };
 
 struct HostProfilerConfig {
@@ -261,6 +274,15 @@ public:
     lookahead_ = std::move(edges);
   }
 
+  /// Records the engine's tile layout (tile grid dimensions and each
+  /// shard's PE rectangle, row-major shard ids) for per-tile attribution.
+  void set_layout(u32 tile_rows, u32 tile_cols,
+                  std::vector<HostTileRect> rects) {
+    tile_rows_ = tile_rows;
+    tile_cols_ = tile_cols;
+    tile_rects_ = std::move(rects);
+  }
+
   /// Driver-only, once per engine round after the round's final barrier:
   /// folds each shard's last_round busy time into the critical-path
   /// accumulators.
@@ -286,6 +308,9 @@ public:
     return timelines_[w];
   }
   const HostShardStats& shard_stats(u32 s) const { return shards_[s]; }
+  u32 tile_rows() const { return tile_rows_; }
+  u32 tile_cols() const { return tile_cols_; }
+  const std::vector<HostTileRect>& tile_rects() const { return tile_rects_; }
 
   f64 total_busy_seconds() const { return total_busy_seconds_; }
   f64 critical_path_seconds() const { return crit_seconds_; }
@@ -304,7 +329,7 @@ public:
 
   // --- export ------------------------------------------------------------
 
-  /// The host-profile document ("fvdf.telemetry.host_profile/1"):
+  /// The host-profile document ("fvdf.telemetry.host_profile/2"):
   /// worker timelines + per-state totals, per-shard stall attribution, the
   /// lookahead table, the bytecode hot-spot table and the critical-path
   /// bounds.
@@ -338,6 +363,9 @@ private:
   std::vector<HostShardStats> shards_;
   std::vector<HostPcSampler> samplers_;
   std::vector<HostLookaheadEdge> lookahead_;
+  u32 tile_rows_ = 0; // 0 until set_layout
+  u32 tile_cols_ = 0;
+  std::vector<HostTileRect> tile_rects_;
   std::vector<Annotation> annotations_;
   u32 threads_requested_ = 0;
   u64 rounds_ = 0;

@@ -12,6 +12,7 @@
 #include "telemetry/collector.hpp"
 #include "telemetry/host_profiler.hpp"
 #include "wse/bytecode_interp.hpp"
+#include "wse/placement.hpp"
 
 // Telemetry hot-path hooks: a null-pointer test per site when compiled in,
 // nothing at all under -DFVDF_TELEMETRY=OFF. `stmt` may use `collector`
@@ -46,12 +47,14 @@ namespace fvdf::wse {
 
 namespace {
 constexpr std::size_t link_slot(Dir dir) { return static_cast<std::size_t>(dir); }
-// Upper bound on the spatial decomposition. The shard count is a pure
-// function of the fabric geometry (never of the thread count) so that the
-// event schedule — and therefore every result — is identical at any
-// parallelism level.
-constexpr u32 kMaxShards = 16;
 constexpr f64 kInfCycles = std::numeric_limits<f64>::infinity();
+// Worker requests far beyond the hardware's parallelism lose more to
+// barrier latency than the extra shards can win back (measured: ~13% at 8
+// workers on one core, BENCH_sim_throughput.json); degrade to the best
+// smaller configuration. Up to this many workers the futex-parked pool's
+// overhead stays negligible even oversubscribed, which keeps multi-worker
+// engine paths exercised on small CI hosts.
+constexpr u32 kMaxOversubscribedWorkers = 4;
 } // namespace
 
 /// PeContext implementation handed to program handlers for the duration of
@@ -118,7 +121,8 @@ private:
   DsdEngine engine_;
 };
 
-Fabric::Fabric(i64 width, i64 height, TimingParams timing, PeMemoryParams mem)
+Fabric::Fabric(i64 width, i64 height, TimingParams timing, PeMemoryParams mem,
+               ShardGrid grid)
     : width_(width), height_(height), timing_(timing), mem_params_(mem) {
   FVDF_CHECK_MSG(width >= 1 && height >= 1, "fabric dims must be positive");
   pes_.reserve(static_cast<std::size_t>(width * height));
@@ -128,42 +132,48 @@ Fabric::Fabric(i64 width, i64 height, TimingParams timing, PeMemoryParams mem)
       pes_.back()->router.set_coord(PeCoord{x, y});
     }
 
-  // Horizontal strips of rows: with row-major PE indexing each shard owns a
-  // contiguous index range, and east-west traffic (the halo-heavy axis of
-  // the solver kernels) stays shard-local. Degenerate (empty) strips are
-  // collapsed at partition time — a shard that owns no rows would still
-  // join every window barrier and skew the lookahead table's boundary
-  // indexing.
-  const u32 target = static_cast<u32>(std::min<i64>(height_, kMaxShards));
-  std::vector<std::pair<i64, i64>> ranges;
-  ranges.reserve(target);
-  for (u32 s = 0; s < target; ++s) {
-    const i64 row_begin = height_ * s / target;
-    const i64 row_end = height_ * (s + 1) / target;
-    if (row_end > row_begin) ranges.emplace_back(row_begin, row_end);
-  }
-  FVDF_CHECK_MSG(!ranges.empty() && ranges.size() <= static_cast<std::size_t>(height_),
-                 "degenerate shard partition: " << ranges.size() << " shards for "
-                                                << height_ << " rows");
+  // Rectangular tile shards (wse/shard_layout.hpp): a tensor product of
+  // row and column bands chosen by the area/perimeter cost model (or the
+  // explicit override). Row-major tile ids, so a 1D row-strip layout is
+  // the degenerate tile_cols == 1 case with identical ids to the old
+  // engine.
+  const ShardLayout layout = choose_shard_layout(width_, height_, grid);
+  tile_rows_ = layout.tile_rows;
+  tile_cols_ = layout.tile_cols;
   // Shard holds atomics (SpscChannel) and is neither copyable nor movable:
   // size the vector once, never resize it.
-  shards_ = std::vector<Shard>(ranges.size());
-  row_shard_.resize(static_cast<std::size_t>(height_));
-  payload_pools_.reserve(ranges.size());
-  for (u32 s = 0; s < static_cast<u32>(ranges.size()); ++s) {
+  shards_ = std::vector<Shard>(layout.tiles());
+  row_tile_.resize(static_cast<std::size_t>(height_));
+  col_tile_.resize(static_cast<std::size_t>(width_));
+  for (u32 tr = 0; tr < tile_rows_; ++tr)
+    for (i64 row = layout.row_splits[tr]; row < layout.row_splits[tr + 1]; ++row)
+      row_tile_[static_cast<std::size_t>(row)] = tr;
+  for (u32 tc = 0; tc < tile_cols_; ++tc)
+    for (i64 col = layout.col_splits[tc]; col < layout.col_splits[tc + 1]; ++col)
+      col_tile_[static_cast<std::size_t>(col)] = tc;
+  payload_pools_.reserve(shards_.size());
+  for (u32 s = 0; s < static_cast<u32>(shards_.size()); ++s) {
     Shard& shard = shards_[s];
     shard.id = s;
-    shard.row_begin = ranges[s].first;
-    shard.row_end = ranges[s].second;
+    shard.tile_r = s / tile_cols_;
+    shard.tile_c = s % tile_cols_;
+    shard.row_begin = layout.row_splits[shard.tile_r];
+    shard.row_end = layout.row_splits[shard.tile_r + 1];
+    shard.col_begin = layout.col_splits[shard.tile_c];
+    shard.col_end = layout.col_splits[shard.tile_c + 1];
+    FVDF_CHECK_MSG(shard.row_end > shard.row_begin &&
+                       shard.col_end > shard.col_begin,
+                   "degenerate shard partition: empty tile " << s);
     payload_pools_.push_back(std::make_unique<PayloadPool>());
     shard.payloads = payload_pools_.back().get();
-    for (i64 row = shard.row_begin; row < shard.row_end; ++row)
-      row_shard_[static_cast<std::size_t>(row)] = s;
   }
-  // Default lookahead: every boundary crossing-capable, no minimum batch.
-  const std::size_t edges = shards_.size() - 1;
-  lookahead_.south.assign(edges, {});
-  lookahead_.north.assign(edges, {});
+  // Default lookahead: every existing boundary crossing-capable with no
+  // minimum batch; absent sides marked non-crossing.
+  lookahead_.out.assign(shards_.size(), {});
+  for (Shard& shard : shards_)
+    for (std::size_t side = 0; side < 4; ++side)
+      if (neighbor_shard(shard, side) < 0)
+        lookahead_.out[shard.id][side] = ChannelLookahead::Edge{false, 0};
 }
 
 Fabric::~Fabric() = default;
@@ -175,14 +185,19 @@ void Fabric::set_threads(u32 threads) {
 }
 
 void Fabric::set_channel_lookahead(ChannelLookahead table) {
-  const std::size_t edges = shards_.size() - 1;
-  FVDF_CHECK_MSG(table.south.size() == edges && table.north.size() == edges,
-                 "channel-lookahead table has " << table.south.size() << "/"
-                                                << table.north.size()
-                                                << " edges, fabric has " << edges);
-  for (const auto* side : {&table.south, &table.north})
-    for (const ChannelLookahead::Edge& edge : *side)
+  FVDF_CHECK_MSG(table.out.size() == shards_.size(),
+                 "channel-lookahead table has " << table.out.size()
+                                                << " shards, fabric has "
+                                                << shards_.size());
+  for (const Shard& shard : shards_)
+    for (std::size_t side = 0; side < 4; ++side) {
+      const ChannelLookahead::Edge& edge = table.out[shard.id][side];
       FVDF_CHECK_MSG(edge.min_batch_cycles >= 0, "negative channel lookahead");
+      if (neighbor_shard(shard, side) < 0)
+        FVDF_CHECK_MSG(!edge.crosses,
+                       "lookahead claims a crossing over the fabric edge of "
+                       "shard " << shard.id);
+    }
   lookahead_ = std::move(table);
 }
 
@@ -213,12 +228,12 @@ void Fabric::load(const ProgramFactory& factory) {
     event.pe_index = pe_index(pe->coord.x, pe->coord.y);
     event.color = kInvalidColor; // sentinel: on_start
     event.t = 0;
+    stamp(*pe, event);
     enqueue_local(shard_of(event.pe_index), std::move(event));
   }
 }
 
 void Fabric::enqueue_local(Shard& shard, Event&& event) {
-  event.seq = shard.next_seq++;
   shard.events.push(std::move(event));
 }
 
@@ -228,13 +243,21 @@ void Fabric::push_event(Shard& from, Event&& event) {
     enqueue_local(from, std::move(event));
     return;
   }
-  // Only link hops cross shards, and links connect adjacent rows, so every
-  // crossing lands in a neighboring shard; appending in emission order is
-  // what makes the merge's tie-break (source shard, emission index) exact.
-  FVDF_CHECK_MSG(dest.id == from.id + 1 || dest.id + 1 == from.id,
-                 "cross-shard event skipped a shard");
-  SpscChannel& channel = dest.id == from.id + 1 ? from.out_south : from.out_north;
-  channel.slots.push_back(std::move(event));
+  // Only link hops cross shards, and links connect cardinal neighbors, so
+  // every crossing lands in an edge-adjacent tile (one tile-coordinate
+  // step, never a diagonal); appending in emission order is what makes the
+  // merge's tie-break (source shard, emission index) exact.
+  std::size_t side;
+  if (dest.tile_c == from.tile_c)
+    side = dest.tile_r == from.tile_r + 1 ? cardinal_index(Dir::South)
+                                          : cardinal_index(Dir::North);
+  else
+    side = dest.tile_c == from.tile_c + 1 ? cardinal_index(Dir::East)
+                                          : cardinal_index(Dir::West);
+  FVDF_CHECK_MSG(neighbor_shard(from, side) == static_cast<i64>(dest.id),
+                 "cross-shard event skipped a tile: " << from.id << " -> "
+                                                      << dest.id);
+  from.out[side].slots.push_back(std::move(event));
 }
 
 Fabric::RunResult Fabric::run(f64 max_cycles) {
@@ -245,34 +268,70 @@ Fabric::RunResult Fabric::run(f64 max_cycles) {
   // run to one worker keeps that count order deterministic.
   const bool faults_active =
       faults_.drop_message_index != 0 || faults_.corrupt_message_index != 0;
-  // Workers beyond the shard count would own no shard; the clamp (like
-  // every scheduling decision here) is invisible in the results.
-  const u32 workers = faults_active
-                          ? 1
-                          : std::min<u32>(threads_, shard_count());
+  // Workers beyond the shard count would own no shard, and workers far
+  // beyond the hardware's parallelism cost more in barrier latency than
+  // they win (kMaxOversubscribedWorkers). The clamp (like every scheduling
+  // decision here) is invisible in the results.
+  const u32 hw = std::max(1u, std::thread::hardware_concurrency());
+  const u32 workers =
+      faults_active ? 1
+                    : std::min({threads_, shard_count(),
+                                std::max(hw, kMaxOversubscribedWorkers)});
   const bool parallel = workers > 1;
-  if (parallel) {
-    if (!pool_ || pool_->size() != workers)
-      pool_ = std::make_unique<FabricWorkerPool>(workers);
-    worker_shards_.clear();
-    for (u32 w = 0; w < workers; ++w)
-      worker_shards_.emplace_back(shard_count() * w / workers,
-                                  shard_count() * (w + 1) / workers);
+  if (parallel && (!pool_ || pool_->size() != workers ||
+                   pool_workers_ != workers)) {
+    // Topology-aware placement (wse/placement.hpp): workers own contiguous
+    // 2D blocks of the tile grid, pinned near each other NUMA-node by
+    // NUMA-node, and each worker first-touches its shards' payload arenas
+    // so the backing pages land on its node. Placement affects locality
+    // only — the round schedule, and therefore every result, is identical
+    // under any assignment.
+    worker_shards_ = assign_shard_blocks(tile_rows_, tile_cols_, workers);
+    const HostTopology topo = HostTopology::detect();
+    WorkerPlacement placement;
+    if (topo.nodes() > 1 || !topo.node_cpus[0].empty()) {
+      placement.worker_cpus.resize(workers);
+      for (u32 w = 0; w < workers; ++w)
+        placement.worker_cpus[w] =
+            topo.node_cpus[worker_numa_node(w, workers, topo.nodes())];
+    }
+    pool_ = std::make_unique<FabricWorkerPool>(workers, placement);
+    pool_workers_ = workers;
+    pool_->run_round([&](u32 worker, u32 phase) {
+      if (phase != 0) return;
+      for (u32 s : worker_shards_[worker]) {
+        // First-touch warmup: fault in a slab of each owned arena from the
+        // worker that will run the shard.
+        PayloadRef warm = shards_[s].payloads->acquire(4096);
+        warm.mutate().assign(4096, 0.0f);
+      }
+    });
   }
 
 #ifndef FVDF_TELEMETRY_DISABLED
   // Arm the host profiler for this run: the wall clock starts here (worker
-  // 0 opens in Drive, covering the bound pass below), and the installed
-  // lookahead table is snapshotted so the stall attribution can be read
-  // against the windows actually in force.
+  // 0 opens in Drive, covering the bound pass below), the shard layout is
+  // exported for per-tile attribution, and the installed lookahead table
+  // is snapshotted so the stall attribution can be read against the
+  // windows actually in force.
   if (host_prof_ != nullptr) {
     host_prof_->begin_run(workers, shard_count(), threads_);
+    std::vector<telemetry::HostTileRect> rects;
+    rects.reserve(shards_.size());
+    for (const Shard& shard : shards_)
+      rects.push_back(telemetry::HostTileRect{shard.row_begin, shard.row_end,
+                                              shard.col_begin, shard.col_end});
+    host_prof_->set_layout(tile_rows_, tile_cols_, std::move(rects));
     std::vector<telemetry::HostLookaheadEdge> edges;
-    edges.reserve(lookahead_.south.size());
-    for (std::size_t i = 0; i < lookahead_.south.size(); ++i)
-      edges.push_back(telemetry::HostLookaheadEdge{
-          lookahead_.south[i].crosses, lookahead_.south[i].min_batch_cycles,
-          lookahead_.north[i].crosses, lookahead_.north[i].min_batch_cycles});
+    for (const Shard& shard : shards_)
+      for (std::size_t side = 0; side < 4; ++side) {
+        const i64 nb = neighbor_shard(shard, side);
+        if (nb < 0) continue;
+        const ChannelLookahead::Edge& edge = lookahead_.out[shard.id][side];
+        edges.push_back(telemetry::HostLookaheadEdge{
+            shard.id, static_cast<u32>(nb),
+            static_cast<u8>(side), edge.crosses, edge.min_batch_cycles});
+      }
     host_prof_->set_lookahead(std::move(edges));
   }
   if (parallel) pool_->set_profiler(host_prof_);
@@ -281,6 +340,7 @@ Fabric::RunResult Fabric::run(f64 max_cycles) {
   last_run_rounds_ = 0;
   // Force a fresh bound pass: timing parameters and the lookahead table may
   // have changed since the cached bounds were computed.
+  horizons_valid_ = false;
   for (Shard& shard : shards_) {
     shard.dirty = true;
     update_shard_bounds(shard);
@@ -303,8 +363,7 @@ Fabric::RunResult Fabric::run(f64 max_cycles) {
 
       if (parallel) {
         pool_->run_round([&](u32 worker, u32 phase) {
-          const auto [begin, end] = worker_shards_[worker];
-          for (u32 s = begin; s < end; ++s) {
+          for (u32 s : worker_shards_[worker]) {
             if (phase == 0)
               round_phase_a(shards_[s], max_cycles);
             else
@@ -374,53 +433,111 @@ void Fabric::compute_horizons(f64 tmin_global) {
   // geometry and the lookahead table only — never of the worker count —
   // which is the determinism argument in one sentence.
   const std::size_t n = shards_.size();
-  const f64 hop = timing_.hop_latency_cycles;
-  // Per-shard emission bounds only see the shard's own heap, but causality
-  // chains hop shard to shard: an event two shards north can cross into
-  // this one after cascading through the neighbor. Propagate bounds
-  // transitively with a min-plus sweep in each direction — crossing into a
-  // shard and out the far side costs at least one hop per owned row plus
-  // the far boundary's minimum batch. Without this, a drained shard would
-  // report an infinite bound and let its far neighbor run ahead of a
-  // cascade that is still working its way down the chain (e.g. the
-  // all-reduce column walk, which empties every other shard).
-  south_reach_.assign(n, kInfCycles);
-  north_reach_.assign(n, kInfCycles);
-  for (std::size_t i = 0; i < n; ++i) {
-    const Shard& shard = shards_[i];
-    if (i + 1 == n) break;
-    if (!lookahead_.south[i].crosses) continue; // nothing can ever cross
-    const f64 transit = static_cast<f64>(shard.row_end - shard.row_begin) * hop +
-                        lookahead_.south[i].min_batch_cycles;
-    f64 reach = shard.bound_south;
-    if (i > 0) reach = std::min(reach, south_reach_[i - 1] + transit);
-    south_reach_[i] = reach;
+  // Quiet-neighborhood fast path: bounds are the only engine input that
+  // moves between rounds (geometry and the lookahead table are fixed for
+  // the duration of a run), so when no shard's tmin or bounds changed the
+  // stored horizons are still exactly right — skip the fixed point. Purely
+  // a recomputation saving: the reused values are bit-identical to what a
+  // full pass would produce, at any thread count.
+  bool any_changed = !horizons_valid_;
+  for (Shard& shard : shards_) {
+    any_changed |= shard.bounds_changed;
+    shard.bounds_changed = false;
   }
-  for (std::size_t i = n; i-- > 0;) {
-    const Shard& shard = shards_[i];
-    if (i == 0) break;
-    if (!lookahead_.north[i - 1].crosses) continue;
-    const f64 transit = static_cast<f64>(shard.row_end - shard.row_begin) * hop +
-                        lookahead_.north[i - 1].min_batch_cycles;
-    f64 reach = shard.bound_north;
-    if (i + 1 < n) reach = std::min(reach, north_reach_[i + 1] + transit);
-    north_reach_[i] = reach;
+  if (any_changed) {
+    const f64 hop = timing_.hop_latency_cycles;
+    // Per-shard emission bounds only see the shard's own heap, but
+    // causality chains hop tile to tile: an event two tiles away can cross
+    // into this one after cascading through a neighbor. Propagate bounds
+    // transitively over the directed tile-boundary graph with a min-plus
+    // fixed point: reach_[s][d] bounds when anything can next cross out of
+    // shard s through side d — either s's own pending work (the emission
+    // bound), or a cascade entering s through some other side e and
+    // traversing the tile (at least one hop per row or column spanned,
+    // plus the outgoing boundary's minimum batch). U-turns (e == d's
+    // opposite entry, i.e. re-crossing the same boundary back) are
+    // excluded: a wavelet that enters through side e cannot leave through
+    // e's own boundary edge without a reflection, which cardinal routing
+    // forbids within the window. Without the propagation, a drained tile
+    // would report an infinite bound and let its far neighbor run ahead of
+    // a cascade still working its way across the grid (e.g. the all-reduce
+    // column walk, which empties every other shard).
+    reach_.assign(n, {kInfCycles, kInfCycles, kInfCycles, kInfCycles});
+    for (std::size_t i = 0; i < n; ++i) {
+      const Shard& shard = shards_[i];
+      for (std::size_t d = 0; d < 4; ++d)
+        if (neighbor_shard(shard, d) >= 0 && lookahead_.out[i][d].crosses)
+          reach_[i][d] = shard.bound[d];
+    }
+    // Relaxation: Bellman-Ford over the directed boundary edges. Distances
+    // only decrease and every simple path has < 4n edges; the changed flag
+    // exits as soon as a sweep is a no-op (typically 2-3 sweeps).
+    for (std::size_t iter = 0; iter < 4 * n; ++iter) {
+      bool changed = false;
+      for (std::size_t i = 0; i < n; ++i) {
+        const Shard& shard = shards_[i];
+        for (std::size_t d = 0; d < 4; ++d) {
+          if (neighbor_shard(shard, d) < 0 || !lookahead_.out[i][d].crosses)
+            continue; // no such directed boundary edge
+          // Entering through side e (from neighbor nb's opposite boundary)
+          // and leaving through side d spans the tile's rows (vertical
+          // pass-through), its columns (horizontal), or a single boundary
+          // PE hop (perpendicular turn — and the U-turn echo, e == d: the
+          // router cannot reflect a wavelet, but an arrival's trailing
+          // control can release a parked flit pointed straight back across
+          // the boundary it came from, one hop away, with no task dispatch
+          // in between; excluding this path is exactly the cross-round echo
+          // that broke serial equivalence in the 1D engine).
+          for (std::size_t e = 0; e < 4; ++e) {
+            const i64 nb = neighbor_shard(shard, e);
+            if (nb < 0) continue;
+            const f64 inbound =
+                reach_[static_cast<std::size_t>(nb)][opposite_cardinal(e)];
+            if (inbound == kInfCycles) continue;
+            f64 span;
+            if (e == opposite_cardinal(d))
+              span = (d == cardinal_index(Dir::North) ||
+                      d == cardinal_index(Dir::South))
+                         ? static_cast<f64>(shard.row_end - shard.row_begin)
+                         : static_cast<f64>(shard.col_end - shard.col_begin);
+            else
+              span = 1; // perpendicular turn or U-turn echo: one hop
+            const f64 via =
+                inbound + span * hop + lookahead_.out[i][d].min_batch_cycles;
+            if (via < reach_[i][d]) {
+              reach_[i][d] = via;
+              changed = true;
+            }
+          }
+        }
+      }
+      if (!changed) break;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      Shard& shard = shards_[i];
+      f64 horizon = kInfCycles;
+      for (std::size_t e = 0; e < 4; ++e) {
+        const i64 nb = neighbor_shard(shard, e);
+        if (nb < 0) continue;
+        horizon = std::min(
+            horizon, reach_[static_cast<std::size_t>(nb)][opposite_cardinal(e)]);
+      }
+      shard.horizon = horizon;
+    }
+    horizons_valid_ = true;
   }
   bool progress = false;
-  for (std::size_t i = 0; i < n; ++i) {
-    f64 horizon = kInfCycles;
-    if (i > 0) horizon = std::min(horizon, south_reach_[i - 1]);
-    if (i + 1 < n) horizon = std::min(horizon, north_reach_[i + 1]);
-    shards_[i].horizon = horizon;
-    progress |= shards_[i].tmin < horizon;
-  }
+  for (const Shard& shard : shards_) progress |= shard.tmin < shard.horizon;
   if (progress) return;
   // Degenerate timing (zero hop latency) can pin every bound to the global
   // minimum. Processing the globally earliest event is always safe; open
   // the window a representable sliver for exactly the shards that hold it.
+  // The bump is a function of the event state alone (still deterministic),
+  // and it leaves the stored horizons stale — invalidate them.
   const f64 bumped = std::nextafter(tmin_global, kInfCycles);
   for (Shard& shard : shards_)
     if (shard.tmin == tmin_global) shard.horizon = std::max(shard.horizon, bumped);
+  horizons_valid_ = false;
 }
 
 void Fabric::round_phase_a(Shard& shard, f64 max_cycles) {
@@ -449,16 +566,15 @@ void Fabric::round_phase_a(Shard& shard, f64 max_cycles) {
       ++hs.rounds_starved;
     else
       hs.pending_limited = true; // resolved against inbound in phase B
-    hs.outbound_events +=
-        shard.out_north.slots.size() + shard.out_south.slots.size();
-    shard.out_north.publish();
-    shard.out_south.publish();
+    for (SpscChannel& channel : shard.out) {
+      hs.outbound_events += channel.slots.size();
+      channel.publish();
+    }
     return;
   }
 #endif
   process_window(shard, shard.horizon, max_cycles);
-  shard.out_north.publish();
-  shard.out_south.publish();
+  for (SpscChannel& channel : shard.out) channel.publish();
 }
 
 void Fabric::round_phase_b(Shard& shard) {
@@ -501,71 +617,83 @@ void Fabric::process_window(Shard& shard, f64 horizon, f64 max_cycles) {
 }
 
 u32 Fabric::merge_inbound(Shard& dest) {
-  SpscChannel* from_north =
-      dest.id > 0 ? &shards_[dest.id - 1].out_south : nullptr;
-  SpscChannel* from_south =
-      dest.id + 1 < shards_.size() ? &shards_[dest.id + 1].out_north : nullptr;
-  const u32 n_north =
-      from_north ? from_north->published.load(std::memory_order_acquire) : 0;
-  const u32 n_south =
-      from_south ? from_south->published.load(std::memory_order_acquire) : 0;
-  if (n_north + n_south == 0) return 0;
-
-  // Gather source-major (each channel already in emission order), then
-  // stable-sort by time: ties resolve to (source shard, emission index) — a
-  // total order independent of the thread count.
-  dest.merge_scratch.clear();
-  for (u32 i = 0; i < n_north; ++i)
-    dest.merge_scratch.push_back(&from_north->slots[i]);
-  for (u32 i = 0; i < n_south; ++i)
-    dest.merge_scratch.push_back(&from_south->slots[i]);
-  std::stable_sort(dest.merge_scratch.begin(), dest.merge_scratch.end(),
-                   [](const Event* a, const Event* b) { return a->t < b->t; });
-
-  // Sequence in merged order, then bulk-load: the staging buffer is sorted
-  // ascending under the heap's comparator, so an empty heap absorbs it with
-  // no sift work at all and a busy one with a single make_heap.
-  dest.merge_sorted.clear();
-  dest.merge_sorted.reserve(n_north + n_south);
-  for (Event* event : dest.merge_scratch) {
-    event->seq = dest.next_seq++;
-    dest.merge_sorted.push_back(std::move(*event));
+  // Gather order is irrelevant to results: the sort below uses the full
+  // (t, src, seq) key, which is unique per event and stamped at emission.
+  constexpr std::array<std::size_t, 4> kInboundSides = {
+      cardinal_index(Dir::North), cardinal_index(Dir::West),
+      cardinal_index(Dir::East), cardinal_index(Dir::South)};
+  std::array<SpscChannel*, 4> inbound{};
+  std::array<u32, 4> counts{};
+  u32 total = 0;
+  for (std::size_t k = 0; k < 4; ++k) {
+    const i64 nb = neighbor_shard(dest, kInboundSides[k]);
+    if (nb < 0) continue;
+    // The neighbor's channel pointing back at us: its side opposite ours.
+    SpscChannel& channel =
+        shards_[static_cast<std::size_t>(nb)]
+            .out[opposite_cardinal(kInboundSides[k])];
+    inbound[k] = &channel;
+    counts[k] = channel.published.load(std::memory_order_acquire);
+    total += counts[k];
   }
+  if (total == 0) return 0;
+
+  // Gather, then sort ascending under the engine's total event order
+  // (time, emitting PE, emission index) — independent of the thread count,
+  // the shard layout and the channel gather order.
+  dest.merge_scratch.clear();
+  for (std::size_t k = 0; k < 4; ++k)
+    for (u32 i = 0; i < counts[k]; ++i)
+      dest.merge_scratch.push_back(&inbound[k]->slots[i]);
+  std::sort(dest.merge_scratch.begin(), dest.merge_scratch.end(),
+            [](const Event* a, const Event* b) {
+              if (a->t != b->t) return a->t < b->t;
+              if (a->src != b->src) return a->src < b->src;
+              return a->seq < b->seq;
+            });
+
+  // Bulk-load: the staging buffer is sorted ascending under the heap's
+  // comparator, so an empty heap absorbs it with no sift work at all and a
+  // busy one with a single make_heap.
+  dest.merge_sorted.clear();
+  dest.merge_sorted.reserve(total);
+  for (Event* event : dest.merge_scratch)
+    dest.merge_sorted.push_back(std::move(*event));
   dest.events.bulk_push(std::make_move_iterator(dest.merge_sorted.begin()),
                         std::make_move_iterator(dest.merge_sorted.end()));
   dest.dirty = true;
 
-  if (from_north) {
-    from_north->slots.clear();
-    from_north->published.store(0, std::memory_order_relaxed);
+  for (std::size_t k = 0; k < 4; ++k) {
+    if (inbound[k] == nullptr || counts[k] == 0) continue;
+    inbound[k]->slots.clear();
+    inbound[k]->published.store(0, std::memory_order_relaxed);
   }
-  if (from_south) {
-    from_south->slots.clear();
-    from_south->published.store(0, std::memory_order_relaxed);
-  }
-  return n_north + n_south;
+  return total;
 }
 
 void Fabric::update_shard_bounds(Shard& shard) {
   if (!shard.dirty) return;
   shard.dirty = false;
+  const f64 old_tmin = shard.tmin;
+  const std::array<f64, 4> old_bound = shard.bound;
   shard.tmin = shard.events.empty() ? kInfCycles : shard.events.top().t;
 
-  const bool has_north = shard.id > 0;
-  const bool has_south = shard.id + 1 < shards_.size();
-  const ChannelLookahead::Edge edge_north =
-      has_north ? lookahead_.north[shard.id - 1] : ChannelLookahead::Edge{false, 0};
-  const ChannelLookahead::Edge edge_south =
-      has_south ? lookahead_.south[shard.id] : ChannelLookahead::Edge{false, 0};
-  f64 bound_north = kInfCycles;
-  f64 bound_south = kInfCycles;
-  if (!shard.events.empty() && (edge_north.crosses || edge_south.crosses)) {
+  std::array<ChannelLookahead::Edge, 4> edge;
+  bool any_crossing = false;
+  for (std::size_t d = 0; d < 4; ++d) {
+    edge[d] = neighbor_shard(shard, d) >= 0
+                  ? lookahead_.out[shard.id][d]
+                  : ChannelLookahead::Edge{false, 0};
+    any_crossing |= edge[d].crosses;
+  }
+  std::array<f64, 4> bound = {kInfCycles, kInfCycles, kInfCycles, kInfCycles};
+  if (!shard.events.empty() && any_crossing) {
     const f64 hop = timing_.hop_latency_cycles;
     const f64 dispatch = timing_.task_dispatch_cycles;
-    // Emission bound of one pending event toward a boundary `d` row-hops
+    // Emission bound of one pending event toward a boundary `d` link-hops
     // away whose slowest-possible crossing takes min_batch link cycles.
     // Every causal chain out of the event either re-forwards its own flit
-    // (one hop_latency + its own batch time per row), releases a parked
+    // (one hop_latency + its own batch time per hop), releases a parked
     // flit via its trailing control (batch unknown, but >= the boundary
     // minimum when it crosses), or passes through a task dispatch before
     // any new wavelet exists. Conservative in every case; see
@@ -578,34 +706,48 @@ void Fabric::update_shard_bounds(Shard& shard) {
       return c + std::min(std::max(d * own_batch - min_batch, 0.0), dispatch);
     };
     // No contribution can undercut the earliest event crossing the nearest
-    // row: once both bounds touch their floor the scan can stop.
-    const f64 floor_north = shard.tmin + hop + edge_north.min_batch_cycles;
-    const f64 floor_south = shard.tmin + hop + edge_south.min_batch_cycles;
-    bool want_north = edge_north.crosses;
-    bool want_south = edge_south.crosses;
+    // row or column: once every wanted bound touches its floor the scan
+    // can stop.
+    std::array<f64, 4> floor_at;
+    std::array<bool, 4> want;
+    u32 wanted = 0;
+    for (std::size_t d = 0; d < 4; ++d) {
+      floor_at[d] = shard.tmin + hop + edge[d].min_batch_cycles;
+      want[d] = edge[d].crosses;
+      wanted += want[d] ? 1u : 0u;
+    }
     for (const Event& e : shard.events.items()) {
-      if (!want_north && !want_south) break;
+      if (wanted == 0) break;
       const i64 row = e.pe_index / width_;
+      const i64 col = e.pe_index % width_;
       const f64 own_batch =
           e.kind == EventKind::FlitArrive && e.flit.data
               ? static_cast<f64>(e.flit.data->size()) / timing_.words_per_cycle_link
               : 0;
-      if (want_north) {
-        const f64 d = static_cast<f64>(row - shard.row_begin + 1);
-        bound_north = std::min(
-            bound_north, emission_bound(e, d, edge_north.min_batch_cycles, own_batch));
-        if (bound_north <= floor_north) want_north = false;
-      }
-      if (want_south) {
-        const f64 d = static_cast<f64>(shard.row_end - row);
-        bound_south = std::min(
-            bound_south, emission_bound(e, d, edge_south.min_batch_cycles, own_batch));
-        if (bound_south <= floor_south) want_south = false;
+      // Link hops from the event's PE to just across each boundary.
+      const std::array<f64, 4> dist = {
+          static_cast<f64>(row - shard.row_begin + 1), // North
+          static_cast<f64>(shard.col_end - col),       // East
+          static_cast<f64>(shard.row_end - row),       // South
+          static_cast<f64>(col - shard.col_begin + 1), // West
+      };
+      for (std::size_t d = 0; d < 4; ++d) {
+        if (!want[d]) continue;
+        bound[d] = std::min(
+            bound[d],
+            emission_bound(e, dist[d], edge[d].min_batch_cycles, own_batch));
+        if (bound[d] <= floor_at[d]) {
+          want[d] = false;
+          --wanted;
+        }
       }
     }
   }
-  shard.bound_north = bound_north;
-  shard.bound_south = bound_south;
+  shard.bound = bound;
+  // Feed the quiet-neighborhood detector (compute_horizons): a rescan that
+  // lands on identical values leaves the horizon inputs untouched.
+  if (shard.tmin != old_tmin || shard.bound != old_bound)
+    shard.bounds_changed = true;
 }
 
 void Fabric::flush_traces() {
@@ -696,6 +838,7 @@ void Fabric::dispatch_flit(Shard& shard, Pe& pe, Dir from, Flit&& flit, f64 t) {
     forward.from = arrival_side(dir);
     forward.flit = flit; // payload refcount bump, no copy of the words
     forward.t = start + timing_.hop_latency_cycles + batch_cycles;
+    stamp(pe, forward);
     push_event(shard, std::move(forward));
     ++shard.stats.wavelet_hops;
     shard.stats.word_hops += words;
@@ -763,6 +906,7 @@ void Fabric::feed_recv_descriptors(Shard& shard, Pe& pe, Color color, f64 t) {
       event.pe_index = pe_index(pe.coord.x, pe.coord.y);
       event.color = desc.completion;
       event.t = t;
+      stamp(pe, event);
       push_event(shard, std::move(event));
       queue.pop_front();
     } else {
@@ -777,6 +921,7 @@ void Fabric::handle_task_start(Shard& shard, const Event& event) {
   if (pe.busy_until > event.t) {
     Event retry = event;
     retry.t = pe.busy_until;
+    stamp(pe, retry); // a fresh emission: re-keyed at its new time
     push_event(shard, std::move(retry));
     return;
   }
@@ -885,6 +1030,7 @@ void Fabric::ctx_send(Shard& shard, Pe& pe, Color color, Dsd src,
   event.from = Dir::Ramp;
   event.flit = Flit{color, std::move(payload), advance_after};
   event.t = start + batch_cycles;
+  stamp(pe, event);
   push_event(shard, std::move(event));
   ++shard.stats.messages_sent;
   if (advance_after != 0) ++shard.stats.control_wavelets;
@@ -901,6 +1047,7 @@ void Fabric::ctx_send(Shard& shard, Pe& pe, Color color, Dsd src,
     done.pe_index = pe_index(pe.coord.x, pe.coord.y);
     done.color = completion;
     done.t = start + batch_cycles;
+    stamp(pe, done);
     push_event(shard, std::move(done));
   }
 }
@@ -920,6 +1067,7 @@ void Fabric::ctx_send_control(Shard& shard, Pe& pe, Color color, ColorMask advan
   event.from = Dir::Ramp;
   event.flit = Flit{color, PayloadRef{}, advance};
   event.t = start + 1.0;
+  stamp(pe, event);
   push_event(shard, std::move(event));
   ++shard.stats.messages_sent;
   FVDF_TELEM(++collector.activity(pe_index(pe.coord.x, pe.coord.y))
@@ -943,6 +1091,7 @@ void Fabric::ctx_activate(Shard& shard, Pe& pe, Color color, f64 cursor) {
   event.pe_index = pe_index(pe.coord.x, pe.coord.y);
   event.color = color;
   event.t = cursor;
+  stamp(pe, event);
   push_event(shard, std::move(event));
 }
 

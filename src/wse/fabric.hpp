@@ -13,20 +13,25 @@
 // while preserving per-word bandwidth accounting.
 //
 // Execution engine (docs/simulator.md, "Parallel execution model"): the PE
-// grid is partitioned into horizontal shards — a pure function of the
-// fabric geometry, never of the thread count — each owning the event
-// queue, payload arena, statistics and trace buffer of its rows. run() is
-// a conservative parallel DES in the Chandy–Misra channel-lookahead
-// family: each round every shard processes events below its own horizon,
-// derived from its neighbors' per-event emission bounds (earliest cycle a
-// neighbor's pending work could place a wavelet across the boundary) and
-// the static channel-lookahead table (which colors can cross each shard
-// boundary at all, see set_channel_lookahead). Boundary-crossing flits
-// travel through per-shard-pair SPSC channels and merge at a
-// deterministic barrier ordered by (time, source shard, emission index).
-// Results — memory contents, FabricStats, trace streams — are bitwise
-// identical at any thread count, including 1, because the round schedule
-// depends only on the event state, never on the worker count.
+// grid is partitioned into rectangular tile shards — a pure function of
+// the fabric geometry (wse/shard_layout.hpp cost model, or an explicit
+// ShardGrid override), never of the thread count — each owning the event
+// queue, payload arena, statistics and trace buffer of its rows x cols
+// rectangle. run() is a conservative parallel DES in the Chandy–Misra
+// channel-lookahead family: each round every shard processes events below
+// its own horizon, derived from its neighbors' per-event emission bounds
+// (earliest cycle a neighbor's pending work could place a wavelet across
+// the shared boundary) propagated min-plus over the tile adjacency graph,
+// and the static channel-lookahead table (which colors can cross each
+// directed tile boundary at all, see set_channel_lookahead).
+// Boundary-crossing flits travel through per-directed-boundary SPSC
+// channels and merge at a deterministic barrier under the engine's total
+// event order (time, emitting PE, per-PE emission index). Results —
+// memory contents, FabricStats, trace streams — are bitwise identical at
+// any thread count, including 1, because the round schedule depends only
+// on the event state, never on the worker count; and because the event
+// order is stamped at emission rather than at arrival, they are also
+// bitwise identical under any shard layout (2D tiles, 1D strips, serial).
 
 #include <array>
 #include <atomic>
@@ -44,6 +49,7 @@
 #include "wse/payload_pool.hpp"
 #include "wse/program.hpp"
 #include "wse/router.hpp"
+#include "wse/shard_layout.hpp"
 #include "wse/timing.hpp"
 #include "wse/trace.hpp"
 #include "wse/worker_pool.hpp"
@@ -78,24 +84,25 @@ struct PeMemoryParams {
   u64 reserved_bytes = 2048; // models program text + stack
 };
 
-/// Static per-boundary lookahead information for the parallel engine. One
-/// entry per internal shard boundary b (between shards b and b+1);
-/// `south[b]` covers wavelets crossing downward (shard b into b+1),
-/// `north[b]` upward (b+1 into b). `crosses = false` proves no configured
+/// Static per-directed-boundary lookahead information for the parallel
+/// engine. `out[s][d]` covers wavelets leaving shard s through cardinal
+/// side d (d indexes kCardinalDirs via cardinal_index: N=0, E=1, S=2,
+/// W=3) into the neighboring tile. `crosses = false` proves no configured
 /// route carries any color over that boundary in that direction, which
 /// decouples the two shards entirely (infinite lookahead);
 /// `min_batch_cycles` is a proven lower bound on the link-transfer time of
-/// any crossing wavelet (0 when unknown). The default table — every
-/// boundary crossing-capable with zero minimum batch — is always safe;
-/// Fabric::plan_channel_lookahead (src/analysis/) computes a tighter one
-/// from the program's static route set.
+/// any crossing wavelet (0 when unknown). Entries for sides with no
+/// neighboring shard are ignored (planners mark them non-crossing). The
+/// default table — every existing boundary crossing-capable with zero
+/// minimum batch — is always safe; Fabric::plan_channel_lookahead
+/// (src/analysis/) computes a tighter one from the program's static route
+/// set.
 struct ChannelLookahead {
   struct Edge {
     bool crosses = true;
     f64 min_batch_cycles = 0;
   };
-  std::vector<Edge> south; // size shard_count - 1
-  std::vector<Edge> north; // size shard_count - 1
+  std::vector<std::array<Edge, 4>> out; // size shard_count
 };
 
 /// Where the lookahead planner reads each program's injected colors and
@@ -110,7 +117,15 @@ enum class LookaheadSource : u8 { Bytecode, ManifestOnly };
 
 class Fabric {
 public:
-  Fabric(i64 width, i64 height, TimingParams timing = {}, PeMemoryParams mem = {});
+  /// `grid` optionally overrides the shard layout's tile grid (see
+  /// wse::ShardGrid; {0, 0} — the default — picks by the cost model).
+  /// Tests and benchmarks use it to force the 1D strip layout ({0, 1}), a
+  /// serial run ({1, 1}) or a specific tile grid; results are bitwise
+  /// independent of the choice for programs whose event schedule is
+  /// confluent (everything the solvers ship — tested), but round counts
+  /// and per-shard diagnostics follow the layout.
+  Fabric(i64 width, i64 height, TimingParams timing = {}, PeMemoryParams mem = {},
+         ShardGrid grid = {});
   ~Fabric();
 
   Fabric(const Fabric&) = delete;
@@ -163,17 +178,46 @@ public:
 
   /// Sets the number of worker threads run() may use (0 = hardware
   /// concurrency, 1 = serial; the default). Thread counts beyond
-  /// shard_count() are clamped — extra workers would own no shard. The
-  /// thread count never changes results: the round schedule depends only
-  /// on the fabric geometry and event state.
+  /// shard_count() are clamped — extra workers would own no shard — and
+  /// requests far beyond the hardware's parallelism degrade to the best
+  /// smaller configuration instead of paying barrier overhead for workers
+  /// with no core to run on (see run()). The thread count never changes
+  /// results: the round schedule depends only on the fabric geometry and
+  /// event state.
   void set_threads(u32 threads);
   u32 threads() const { return threads_; }
 
   /// Number of spatial shards the engine partitioned this fabric into — a
-  /// function of the grid, not of threads (for tests and diagnostics).
-  /// Never exceeds height(): degenerate empty shards are collapsed at
-  /// partition time.
+  /// function of the grid (and the constructor's ShardGrid override), not
+  /// of threads (for tests and diagnostics). This is the cost model's
+  /// *useful* shard count: tiles own at least kMinTilePes PEs unless an
+  /// explicit override forces more, so it also caps the worker count.
   u32 shard_count() const { return static_cast<u32>(shards_.size()); }
+
+  /// The tile grid of the shard layout: shard id s is tile
+  /// (s / tile_cols(), s % tile_cols()).
+  u32 tile_rows() const { return tile_rows_; }
+  u32 tile_cols() const { return tile_cols_; }
+
+  /// The PE rectangle tile shard `s` owns: rows [row_begin, row_end) x
+  /// cols [col_begin, col_end).
+  struct TileRect {
+    i64 row_begin = 0;
+    i64 row_end = 0;
+    i64 col_begin = 0;
+    i64 col_end = 0;
+  };
+  TileRect shard_rect(u32 s) const {
+    const Shard& shard = shards_[s];
+    return TileRect{shard.row_begin, shard.row_end, shard.col_begin,
+                    shard.col_end};
+  }
+
+  /// Shard id owning PE (x, y) (tests and diagnostics).
+  u32 shard_id_of(i64 x, i64 y) const {
+    return row_tile_[static_cast<std::size_t>(y)] * tile_cols_ +
+           col_tile_[static_cast<std::size_t>(x)];
+  }
 
   /// Window rounds (merge barriers) the last run() executed — a
   /// determinism-safe diagnostic: identical at any thread count. A fabric
@@ -311,6 +355,9 @@ private:
     std::array<std::deque<StalledFlit>, kNumRoutableColors> stalled;
     // Outbound link occupancy: [0]=ramp injection, [1..4]=N,E,S,W.
     std::array<f64, 5> link_free_at{};
+    // Emission counter for the layout-invariant event order (see Event):
+    // every event this PE emits is stamped (pe_index, emit_seq++).
+    u64 emit_seq = 0;
 
     Pe(PeCoord c, const PeMemoryParams& mem)
         : coord(c), memory(mem.capacity_bytes, mem.reserved_bytes) {}
@@ -318,9 +365,17 @@ private:
 
   enum class EventKind : u8 { FlitArrive, TaskStart };
 
+  /// Events are totally ordered by (t, src, seq): time first, ties broken
+  /// by the emitting PE and its per-PE emission counter. The tie-break is
+  /// stamped at emission and is a property of the simulated program alone
+  /// — each PE processes the same event sequence under any conservative
+  /// schedule, so it emits the same events with the same counters — which
+  /// is what makes results bitwise identical under ANY shard layout (2D
+  /// tiles, 1D strips, a single serial shard), not just any thread count.
   struct Event {
     f64 t = 0;
-    u64 seq = 0;
+    i64 src = 0; // emitting PE index
+    u64 seq = 0; // per-emitting-PE emission counter
     EventKind kind = EventKind::TaskStart;
     i64 pe_index = 0;
     Dir from = Dir::Ramp; // FlitArrive
@@ -331,7 +386,8 @@ private:
   struct EventOrder {
     bool operator()(const Event& a, const Event& b) const {
       if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq; // FIFO among simultaneous events
+      if (a.src != b.src) return a.src > b.src;
+      return a.seq > b.seq; // unique per (src, seq): a strict total order
     }
   };
 
@@ -353,40 +409,67 @@ private:
     }
   };
 
-  /// One spatial tile of the fabric: a contiguous band of PE rows with its
-  /// own event queue, sequence counter, statistics, payload arena,
-  /// outbound channels and trace buffer. Shards only ever touch their own
-  /// rows' state during a window; padding keeps neighboring shards' hot
-  /// counters off each other's cache lines.
+  /// One spatial tile of the fabric: a rectangle of PEs with its own event
+  /// queue, sequence counter, statistics, payload arena, outbound channels
+  /// (one per cardinal side with a neighboring tile) and trace buffer.
+  /// Shards only ever touch their own rectangle's state during a window;
+  /// padding keeps neighboring shards' hot counters off each other's cache
+  /// lines.
   struct alignas(64) Shard {
     u32 id = 0;
+    u32 tile_r = 0; // tile coordinates: id == tile_r * tile_cols_ + tile_c
+    u32 tile_c = 0;
     i64 row_begin = 0;
     i64 row_end = 0;
+    i64 col_begin = 0;
+    i64 col_end = 0;
     EventHeap<Event, EventOrder> events;
-    u64 next_seq = 0; // orders events within this shard
     f64 now = 0;
     i64 halted = 0;
     FabricStats stats;
     PayloadPool* payloads = nullptr;    // this shard's arena (see payload_pools_)
-    SpscChannel out_north;              // emissions into shard id-1 this window
-    SpscChannel out_south;              // emissions into shard id+1 this window
+    std::array<SpscChannel, 4> out;     // emissions per cardinal side this window
     std::vector<TraceRecord> trace;     // window-local
     std::vector<Event*> merge_scratch;  // merge-phase gather/sort buffer
     std::vector<Event> merge_sorted;    // merge-phase bulk-load staging
     // Engine scheduling state, recomputed after every merge:
-    f64 tmin = 0;        // earliest pending event time (+inf when drained)
-    f64 bound_north = 0; // earliest cycle pending work could reach shard id-1
-    f64 bound_south = 0; // ... shard id+1
+    f64 tmin = 0;            // earliest pending event time (+inf when drained)
+    std::array<f64, 4> bound{}; // earliest cycle pending work could cross side d
     f64 horizon = 0;     // this round's processing horizon (set by the driver)
     bool dirty = true;   // heap changed since bounds were last computed
+    bool bounds_changed = true; // tmin/bounds moved since the last horizon pass
   };
 
   i64 pe_index(i64 x, i64 y) const { return y * width_ + x; }
   Pe& at(i64 index) { return *pes_[static_cast<std::size_t>(index)]; }
   Shard& shard_of(i64 pe_idx) {
-    return shards_[row_shard_[static_cast<std::size_t>(pe_idx / width_)]];
+    return shards_[shard_id_of(pe_idx % width_, pe_idx / width_)];
+  }
+  /// Neighboring shard id across cardinal side `side` of `shard`, or -1
+  /// when the tile sits on that edge of the tile grid.
+  i64 neighbor_shard(const Shard& shard, std::size_t side) const {
+    switch (side) {
+    case cardinal_index(Dir::North):
+      return shard.tile_r > 0 ? static_cast<i64>(shard.id - tile_cols_) : -1;
+    case cardinal_index(Dir::East):
+      return shard.tile_c + 1 < tile_cols_ ? static_cast<i64>(shard.id + 1) : -1;
+    case cardinal_index(Dir::South):
+      return shard.tile_r + 1 < tile_rows_
+                 ? static_cast<i64>(shard.id + tile_cols_)
+                 : -1;
+    default:
+      return shard.tile_c > 0 ? static_cast<i64>(shard.id - 1) : -1;
+    }
   }
   void check_host_coord(i64 x, i64 y) const;
+
+  /// Stamps the layout-invariant event-order key (see Event): the emitting
+  /// PE's index and its next emission counter value. Every event enters the
+  /// engine through exactly one stamp.
+  void stamp(Pe& pe, Event& event) {
+    event.src = pe_index(pe.coord.x, pe.coord.y);
+    event.seq = pe.emit_seq++;
+  }
 
   /// Routes `event` from code running inside `from`: same-shard events
   /// enter the local queue immediately, boundary-crossing events park in
@@ -398,13 +481,16 @@ private:
   // every shard merges the traffic it received and refreshes its lookahead
   // bounds (phase B). compute_horizons runs between rounds on the driver
   // thread. All of it is deterministic — horizons are a function of the
-  // event state and the lookahead table only.
+  // event state and the lookahead table only. Rounds in which no shard's
+  // bounds moved (quiet neighborhoods) reuse the previous horizons
+  // verbatim — sound because the horizon is a pure function of exactly
+  // those inputs.
   void compute_horizons(f64 tmin_global);
   void round_phase_a(Shard& shard, f64 max_cycles);
   void round_phase_b(Shard& shard);
   void process_window(Shard& shard, f64 horizon, f64 max_cycles);
   /// Merge half of the barrier: drains the neighbors' channels toward
-  /// `dest` in (t, source shard, emission index) order via a sorted
+  /// `dest` in (t, emitting PE, emission index) order via a sorted
   /// bulk-load into the event heap. Returns the number of events merged
   /// (the host profiler's backpressure-vs-window-limited discriminator).
   u32 merge_inbound(Shard& dest);
@@ -454,17 +540,22 @@ private:
   // (PEs' parked flits, shard queues, channels): keep them declared first.
   std::vector<std::unique_ptr<PayloadPool>> payload_pools_;
   std::vector<std::unique_ptr<Pe>> pes_;
-  std::vector<u32> row_shard_; // PE row -> shard id
+  u32 tile_rows_ = 1; // shard layout: tile grid dimensions
+  u32 tile_cols_ = 1;
+  std::vector<u32> row_tile_; // PE row -> tile row
+  std::vector<u32> col_tile_; // PE col -> tile col
   std::vector<Shard> shards_;
   ChannelLookahead lookahead_;
-  std::vector<std::pair<u32, u32>> worker_shards_; // worker -> [begin, end)
+  std::vector<std::vector<u32>> worker_shards_; // worker -> owned shard ids
   // Transitively propagated emission bounds (compute_horizons scratch):
-  // south_reach_[i] bounds when anything can next cross boundary i -> i+1,
-  // accounting for cascades arriving from shards north of i (and mirrored).
-  std::vector<f64> south_reach_;
-  std::vector<f64> north_reach_;
+  // reach_[s][d] bounds when anything can next cross out of shard s
+  // through side d, accounting for cascades arriving from elsewhere in the
+  // tile graph (min-plus fixed point over directed boundary edges).
+  std::vector<std::array<f64, 4>> reach_;
+  bool horizons_valid_ = false; // stored horizons match the current bounds
   std::vector<TraceRecord> trace_scratch_;
   std::unique_ptr<FabricWorkerPool> pool_; // persists across run() calls
+  u32 pool_workers_ = 0; // worker count worker_shards_ was computed for
   u32 threads_ = 1;
   u64 last_run_rounds_ = 0;
   f64 now_ = 0;

@@ -27,6 +27,15 @@ const char* to_string(Dir dir);
 /// the neighboring router (East exit -> arrives from West).
 Dir arrival_side(Dir dir);
 
+/// Index of a cardinal direction in kCardinalDirs (N=0, E=1, S=2, W=3).
+/// Ramp has no cardinal index.
+constexpr std::size_t cardinal_index(Dir dir) {
+  return static_cast<std::size_t>(dir) - 1;
+}
+
+/// The opposite side, as a cardinal index (N <-> S, E <-> W).
+constexpr std::size_t opposite_cardinal(std::size_t side) { return side ^ 2u; }
+
 /// Bitmask over Dir used in switch positions (rx / tx sets).
 class DirMask {
 public:

@@ -1,0 +1,142 @@
+#include "wse/placement.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <string>
+
+#include "common/error.hpp"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace fvdf::wse {
+
+std::vector<int> parse_cpulist(const std::string& text) {
+  std::vector<int> cpus;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    if (text[pos] == ',' || text[pos] == '\n' || text[pos] == ' ') {
+      ++pos;
+      continue;
+    }
+    std::size_t used = 0;
+    int lo = 0;
+    try {
+      lo = std::stoi(text.substr(pos), &used);
+    } catch (...) {
+      return {};
+    }
+    if (used == 0 || lo < 0) return {};
+    pos += used;
+    int hi = lo;
+    if (pos < text.size() && text[pos] == '-') {
+      ++pos;
+      try {
+        hi = std::stoi(text.substr(pos), &used);
+      } catch (...) {
+        return {};
+      }
+      if (used == 0 || hi < lo) return {};
+      pos += used;
+    }
+    for (int cpu = lo; cpu <= hi; ++cpu) cpus.push_back(cpu);
+  }
+  return cpus;
+}
+
+HostTopology HostTopology::detect() {
+  HostTopology topo;
+#if defined(__linux__)
+  // node directories are dense from 0 on every kernel that exposes them;
+  // stop at the first gap. No <filesystem> directory scan: the path set is
+  // tiny and a plain ifstream probe cannot throw.
+  for (int node = 0; node < 64; ++node) {
+    const std::string path =
+        "/sys/devices/system/node/node" + std::to_string(node) + "/cpulist";
+    std::ifstream in(path);
+    if (!in.good()) break;
+    std::string text;
+    std::getline(in, text);
+    std::vector<int> cpus = parse_cpulist(text);
+    if (cpus.empty()) break;
+    topo.node_cpus.push_back(std::move(cpus));
+  }
+#endif
+  if (topo.node_cpus.empty()) topo.node_cpus.emplace_back(); // unknown host
+  return topo;
+}
+
+std::vector<std::vector<u32>> assign_shard_blocks(u32 tile_rows, u32 tile_cols,
+                                                  u32 workers) {
+  const u32 tiles = tile_rows * tile_cols;
+  FVDF_CHECK_MSG(workers >= 1 && workers <= tiles,
+                 "placement: " << workers << " workers for " << tiles
+                               << " tiles");
+  std::vector<std::vector<u32>> owned(workers);
+
+  // Worker grid: a (wr, wc) factorization of the worker count that fits
+  // the tile grid, minimizing the inter-worker cut (same objective as the
+  // tile layout itself). Prime worker counts on square grids often have no
+  // fitting factorization; fall back to contiguous row-major runs, which
+  // still keep most neighbors together.
+  u32 best_wr = 0;
+  u32 best_wc = 0;
+  i64 best_cut = 0;
+  for (u32 wr = 1; wr <= std::min(workers, tile_rows); ++wr) {
+    if (workers % wr != 0) continue;
+    const u32 wc = workers / wr;
+    if (wc > tile_cols) continue;
+    const i64 cut = static_cast<i64>(wr - 1) * tile_cols +
+                    static_cast<i64>(wc - 1) * tile_rows;
+    if (best_wr == 0 || cut < best_cut) {
+      best_wr = wr;
+      best_wc = wc;
+      best_cut = cut;
+    }
+  }
+  if (best_wr != 0) {
+    for (u32 a = 0; a < best_wr; ++a) {
+      const u32 r0 = tile_rows * a / best_wr;
+      const u32 r1 = tile_rows * (a + 1) / best_wr;
+      for (u32 b = 0; b < best_wc; ++b) {
+        const u32 c0 = tile_cols * b / best_wc;
+        const u32 c1 = tile_cols * (b + 1) / best_wc;
+        std::vector<u32>& mine = owned[a * best_wc + b];
+        for (u32 r = r0; r < r1; ++r)
+          for (u32 c = c0; c < c1; ++c) mine.push_back(r * tile_cols + c);
+      }
+    }
+  } else {
+    for (u32 w = 0; w < workers; ++w) {
+      const u32 begin = tiles * w / workers;
+      const u32 end = tiles * (w + 1) / workers;
+      for (u32 s = begin; s < end; ++s) owned[w].push_back(s);
+    }
+  }
+  return owned;
+}
+
+u32 worker_numa_node(u32 worker, u32 workers, u32 nodes) {
+  if (nodes <= 1 || workers == 0) return 0;
+  return static_cast<u32>(static_cast<u64>(worker) * nodes / workers);
+}
+
+bool pin_current_thread_to_cpus(const std::vector<int>& cpus) {
+#if defined(__linux__)
+  if (cpus.empty()) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (int cpu : cpus) {
+    if (cpu < 0 || cpu >= CPU_SETSIZE) return false;
+    CPU_SET(cpu, &set);
+  }
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpus;
+  return false;
+#endif
+}
+
+} // namespace fvdf::wse

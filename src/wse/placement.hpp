@@ -1,0 +1,63 @@
+#pragma once
+// Topology-aware shard -> worker placement for the parallel fabric engine.
+//
+// Two independent pieces, both host-side only — placement never affects
+// results (any assignment of shards to workers executes the same
+// deterministic round schedule), only locality:
+//
+//   1. assign_shard_blocks: which tiles each worker owns. Workers get
+//      contiguous 2D blocks of the tile grid (the worker grid is chosen by
+//      the same cut-minimizing rule as the tile grid), so a tile's
+//      neighbors are owned by the same worker or by an adjacent one, and a
+//      boundary channel's producer and consumer tend to share a cache
+//      hierarchy. When the worker count does not factor into the tile
+//      grid, the assignment falls back to contiguous row-major runs.
+//
+//   2. HostTopology: NUMA node -> cpu list detection via
+//      /sys/devices/system/node (graceful single-node fallback when the
+//      tree is absent — containers, non-Linux hosts). The worker pool uses
+//      it to pin workers of adjacent blocks onto the same node, and the
+//      fabric to first-touch each shard's payload arena from its owning
+//      worker so the pages land on that worker's node.
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fvdf::wse {
+
+/// Host NUMA topology: cpu ids per node. Always at least one node; a
+/// single node with an empty cpu list means "unknown — don't pin".
+struct HostTopology {
+  std::vector<std::vector<int>> node_cpus;
+
+  u32 nodes() const { return static_cast<u32>(node_cpus.size()); }
+
+  /// Reads /sys/devices/system/node/node*/cpulist. Falls back to a single
+  /// node covering everything (empty cpu list) when the tree is missing or
+  /// unreadable.
+  static HostTopology detect();
+};
+
+/// Parses a kernel cpulist string ("0-3,8,10-11") into cpu ids. Exposed
+/// for tests; returns an empty vector on malformed input.
+std::vector<int> parse_cpulist(const std::string& text);
+
+/// Assigns tiles of a tile_rows x tile_cols grid to `workers` workers as
+/// contiguous 2D blocks (see above). Every shard id appears exactly once
+/// across the result; every worker owns at least one tile. Requires
+/// 1 <= workers <= tile_rows * tile_cols.
+std::vector<std::vector<u32>> assign_shard_blocks(u32 tile_rows, u32 tile_cols,
+                                                  u32 workers);
+
+/// NUMA node for a worker: contiguous worker blocks per node, so workers
+/// with adjacent tile blocks share a node.
+u32 worker_numa_node(u32 worker, u32 workers, u32 nodes);
+
+/// Pins the calling thread to the given cpus. Best-effort: returns false
+/// (and changes nothing) on failure, an empty cpu list, or non-Linux
+/// hosts.
+bool pin_current_thread_to_cpus(const std::vector<int>& cpus);
+
+} // namespace fvdf::wse

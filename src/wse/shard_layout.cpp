@@ -1,0 +1,96 @@
+#include "wse/shard_layout.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace fvdf::wse {
+
+namespace {
+
+std::vector<i64> even_splits(i64 extent, u32 bands) {
+  std::vector<i64> splits(bands + 1);
+  for (u32 i = 0; i <= bands; ++i)
+    splits[i] = extent * static_cast<i64>(i) / static_cast<i64>(bands);
+  return splits;
+}
+
+/// Internal boundary cut of a (tr, tc) grid: tr-1 horizontal cuts of
+/// `width` links each plus tc-1 vertical cuts of `height` links each. The
+/// smaller the cut for a given tile count, the better the area/perimeter
+/// ratio of the tiles.
+i64 cut_links(u32 tr, u32 tc, i64 width, i64 height) {
+  return static_cast<i64>(tr - 1) * width + static_cast<i64>(tc - 1) * height;
+}
+
+} // namespace
+
+ShardLayout choose_shard_layout(i64 width, i64 height, ShardGrid grid) {
+  FVDF_CHECK_MSG(width >= 1 && height >= 1, "fabric dims must be positive");
+  const i64 area = width * height;
+  // Tile-count budget: enough PEs per tile to amortize the per-round
+  // bookkeeping, capped at kMaxShards. Explicit overrides may exceed it.
+  const u32 budget = static_cast<u32>(std::clamp<i64>(
+      area / kMinTilePes, 1, static_cast<i64>(kMaxShards)));
+
+  u32 tile_rows = 0;
+  u32 tile_cols = 0;
+  const u32 forced_rows =
+      grid.rows == 0 ? 0 : static_cast<u32>(std::min<i64>(grid.rows, height));
+  const u32 forced_cols =
+      grid.cols == 0 ? 0 : static_cast<u32>(std::min<i64>(grid.cols, width));
+  if (forced_rows != 0 && forced_cols != 0) {
+    tile_rows = forced_rows;
+    tile_cols = forced_cols;
+  } else if (forced_rows != 0 || forced_cols != 0) {
+    // One dimension pinned: give the free dimension the rest of the
+    // budget (parallelism first; the cut is fixed up to the free count).
+    const u32 forced = forced_rows != 0 ? forced_rows : forced_cols;
+    const i64 free_extent = forced_rows != 0 ? width : height;
+    const u32 free = static_cast<u32>(std::clamp<i64>(
+        budget / forced, 1, free_extent));
+    tile_rows = forced_rows != 0 ? forced_rows : free;
+    tile_cols = forced_cols != 0 ? forced_cols : free;
+  } else {
+    // Full cost model: maximize the tile count within the budget, then
+    // minimize the boundary cut; remaining ties prefer the squarer grid
+    // and finally the row-major (legacy strip) orientation.
+    u32 best_tiles = 0;
+    i64 best_cut = 0;
+    for (u32 tr = 1; tr <= std::min<i64>(height, budget); ++tr) {
+      for (u32 tc = 1; tc <= std::min<i64>(width, budget); ++tc) {
+        const u32 tiles = tr * tc;
+        if (tiles > budget) break;
+        const i64 cut = cut_links(tr, tc, width, height);
+        const bool better =
+            tiles > best_tiles ||
+            (tiles == best_tiles &&
+             (cut < best_cut ||
+              (cut == best_cut &&
+               (std::max(tr, tc) < std::max(tile_rows, tile_cols) ||
+                (std::max(tr, tc) == std::max(tile_rows, tile_cols) &&
+                 tr > tile_rows)))));
+        if (better) {
+          best_tiles = tiles;
+          best_cut = cut;
+          tile_rows = tr;
+          tile_cols = tc;
+        }
+      }
+    }
+  }
+
+  FVDF_CHECK_MSG(tile_rows >= 1 && static_cast<i64>(tile_rows) <= height &&
+                     tile_cols >= 1 && static_cast<i64>(tile_cols) <= width,
+                 "degenerate shard grid " << tile_rows << "x" << tile_cols
+                                          << " for " << width << "x" << height);
+
+  ShardLayout layout;
+  layout.tile_rows = tile_rows;
+  layout.tile_cols = tile_cols;
+  layout.row_splits = even_splits(height, tile_rows);
+  layout.col_splits = even_splits(width, tile_cols);
+  return layout;
+}
+
+} // namespace fvdf::wse

@@ -1,5 +1,7 @@
 #include "wse/worker_pool.hpp"
 
+#include "wse/placement.hpp"
+
 #ifndef FVDF_TELEMETRY_DISABLED
 #include "telemetry/host_profiler.hpp"
 #endif
@@ -46,8 +48,9 @@ void SpinBarrier::arrive_and_wait() {
   }
 }
 
-FabricWorkerPool::FabricWorkerPool(u32 workers)
-    : workers_(workers), barrier_(workers, pick_spin_iters(workers)) {
+FabricWorkerPool::FabricWorkerPool(u32 workers, WorkerPlacement placement)
+    : workers_(workers), placement_(std::move(placement)),
+      barrier_(workers, pick_spin_iters(workers)) {
   threads_.reserve(workers_ - 1);
   for (u32 id = 1; id < workers_; ++id)
     threads_.emplace_back([this, id] { worker_loop(id); });
@@ -73,6 +76,10 @@ void FabricWorkerPool::run_round(const PhaseFn& fn) {
 }
 
 void FabricWorkerPool::worker_loop(u32 id) {
+  // Best-effort NUMA pinning before the first round; a failed pin leaves
+  // the thread free-floating, which is always correct.
+  if (id < placement_.worker_cpus.size())
+    pin_current_thread_to_cpus(placement_.worker_cpus[id]);
   u64 seen = 0;
   for (;;) {
     u64 epoch = epoch_.load(std::memory_order_acquire);

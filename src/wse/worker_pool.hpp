@@ -33,6 +33,15 @@ class HostProfiler;
 
 namespace fvdf::wse {
 
+/// Optional NUMA placement for a pool's workers: worker w pins itself to
+/// worker_cpus[w] on startup (best-effort — pinning failure is ignored).
+/// An empty worker_cpus, or an empty list for a worker, means "don't pin".
+/// Worker 0 is the calling thread and is never pinned: the caller's
+/// affinity belongs to the application.
+struct WorkerPlacement {
+  std::vector<std::vector<int>> worker_cpus;
+};
+
 /// Sense-reversing barrier: spins briefly (skipped when the host is
 /// oversubscribed), then parks on the atomic. Reusable back-to-back —
 /// the sense is a monotonic counter, so a late waker that missed several
@@ -57,8 +66,10 @@ public:
   using PhaseFn = std::function<void(u32 worker, u32 phase)>;
 
   /// `workers` >= 2 total workers; the constructor spawns `workers - 1`
-  /// threads and run_round()'s caller acts as worker 0.
-  explicit FabricWorkerPool(u32 workers);
+  /// threads and run_round()'s caller acts as worker 0. `placement`
+  /// optionally pins each spawned worker near its shards' NUMA node (see
+  /// WorkerPlacement).
+  explicit FabricWorkerPool(u32 workers, WorkerPlacement placement = {});
   ~FabricWorkerPool();
 
   FabricWorkerPool(const FabricWorkerPool&) = delete;
@@ -87,6 +98,7 @@ private:
   void record_error();
 
   const u32 workers_;
+  const WorkerPlacement placement_;
   std::atomic<u64> epoch_{0};
   std::atomic<bool> stop_{false};
   const PhaseFn* fn_ = nullptr; // valid for the duration of one round

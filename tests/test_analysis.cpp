@@ -687,27 +687,23 @@ TEST(BytecodeLookahead, WindowsNoLooserThanManifestDerived) {
   config.sim_threads = 4;
   const auto plan = core::plan_dataflow_lookahead(problem, config);
   ASSERT_GT(plan.shard_count, 1u);
-  ASSERT_EQ(plan.bytecode.south.size(), plan.shard_count - 1);
-  ASSERT_EQ(plan.bytecode.north.size(), plan.shard_count - 1);
-  ASSERT_EQ(plan.manifest.south.size(), plan.shard_count - 1);
-  ASSERT_EQ(plan.manifest.north.size(), plan.shard_count - 1);
+  ASSERT_EQ(plan.tile_rows * plan.tile_cols, plan.shard_count);
+  ASSERT_EQ(plan.bytecode.out.size(), plan.shard_count);
+  ASSERT_EQ(plan.manifest.out.size(), plan.shard_count);
   bool positive_floor = false;
-  auto check_edges = [&](const std::vector<wse::ChannelLookahead::Edge>& bcode,
-                         const std::vector<wse::ChannelLookahead::Edge>& man,
-                         const char* dir) {
-    for (std::size_t i = 0; i < bcode.size(); ++i) {
+  for (u32 s = 0; s < plan.shard_count; ++s)
+    for (std::size_t d = 0; d < 4; ++d) {
+      const auto& bcode = plan.bytecode.out[s][d];
+      const auto& man = plan.manifest.out[s][d];
       // Tighter or equal: bytecode may prove a boundary silent or raise
       // the batch floor, never the reverse.
-      EXPECT_TRUE(man[i].crosses || !bcode[i].crosses)
-          << dir << " boundary " << i;
-      if (bcode[i].crosses && man[i].crosses)
-        EXPECT_GE(bcode[i].min_batch_cycles, man[i].min_batch_cycles)
-            << dir << " boundary " << i;
-      positive_floor |= bcode[i].crosses && bcode[i].min_batch_cycles > 0;
+      EXPECT_TRUE(man.crosses || !bcode.crosses)
+          << "shard " << s << " side " << d;
+      if (bcode.crosses && man.crosses)
+        EXPECT_GE(bcode.min_batch_cycles, man.min_batch_cycles)
+            << "shard " << s << " side " << d;
+      positive_floor |= bcode.crosses && bcode.min_batch_cycles > 0;
     }
-  };
-  check_edges(plan.bytecode.south, plan.manifest.south, "south");
-  check_edges(plan.bytecode.north, plan.manifest.north, "north");
   EXPECT_TRUE(positive_floor);
 }
 

@@ -16,6 +16,7 @@
 #include "telemetry/host_profiler.hpp"
 #include "telemetry/session.hpp"
 #include "wse/fabric.hpp"
+#include "wse/shard_layout.hpp"
 #include "wse/trace.hpp"
 
 namespace fvdf::wse {
@@ -47,8 +48,9 @@ bool same_bits(const std::vector<f32>& a, const std::vector<f32>& b) {
 }
 
 core::DataflowResult solve_with_threads(u32 threads) {
-  // 12 rows -> 12 shards; every north-south halo exchange crosses a shard
-  // boundary, so this exercises the merge barrier hard.
+  // 10x12 -> a (7,1) tile grid under the cost model; every north-south
+  // halo exchange near a tile boundary crosses it, so this exercises the
+  // merge barrier hard.
   const auto problem = FlowProblem::homogeneous_column(10, 12, 6);
   core::DataflowConfig config;
   config.tolerance = 0.0f;
@@ -60,7 +62,7 @@ core::DataflowResult solve_with_threads(u32 threads) {
 TEST(ParallelFabric, SolveIsBitwiseIdenticalAcrossThreadCounts) {
   const auto reference = solve_with_threads(1);
   // Odd counts leave workers with unequal shard ranges; 32 exceeds the
-  // shard count (12) and must be clamped invisibly.
+  // shard count (7) and must be clamped invisibly.
   std::vector<u32> counts = {2, 3, 4, 7, 32};
   const u32 hw = std::max(1u, std::thread::hardware_concurrency());
   if (std::find(counts.begin(), counts.end(), hw) == counts.end())
@@ -86,7 +88,7 @@ TEST(ParallelFabric, RepeatedRunsAreBitwiseIdentical) {
   EXPECT_TRUE(a.fabric == b.fabric);
 }
 
-// A 3x4 fabric (4 shards: one per row) where rows 0 and 2 send
+// A 3x4 fabric (forced to 4 shards: one per row) where rows 0 and 2 send
 // column-dependent payloads south across shard boundaries while burning
 // column-dependent compute time — plenty of same-cycle cross-shard events.
 void load_cross_shard_program(Fabric& fabric) {
@@ -126,7 +128,7 @@ void load_cross_shard_program(Fabric& fabric) {
 
 TEST(ParallelFabric, TraceStreamIsIdenticalAcrossThreadCounts) {
   auto traced_run = [](u32 threads) {
-    Fabric fabric(3, 4);
+    Fabric fabric(3, 4, {}, {}, ShardGrid{4, 1});
     EXPECT_EQ(fabric.shard_count(), 4u);
     fabric.set_threads(threads);
     TraceBuffer buffer;
@@ -157,12 +159,12 @@ TEST(ParallelFabric, TraceStreamIsIdenticalAcrossThreadCounts) {
 }
 
 TEST(ParallelFabric, BackpressureStallsAcrossShardBoundary) {
-  // Sender and receiver sit in different shards (1x2 fabric, one shard per
-  // row). The data flit crosses the boundary, parks on the receiver's
-  // rejecting switch position, and is released by a later control wavelet
-  // that also crossed the boundary.
+  // Sender and receiver sit in different shards (1x2 fabric forced to one
+  // shard per row). The data flit crosses the boundary, parks on the
+  // receiver's rejecting switch position, and is released by a later
+  // control wavelet that also crossed the boundary.
   auto run_once = [](u32 threads) {
-    Fabric fabric(1, 2);
+    Fabric fabric(1, 2, {}, {}, ShardGrid{2, 1});
     EXPECT_EQ(fabric.shard_count(), 2u);
     fabric.set_threads(threads);
     constexpr Color kData = 0;
@@ -225,7 +227,7 @@ TEST(ParallelFabric, LocalOnlyWorkloadFinishesInOneRound) {
   // the first round (the adaptive fast path — no merge, no rescan), so the
   // run drains in a single round at any thread count.
   auto run = [](u32 threads) {
-    Fabric fabric(2, 6);
+    Fabric fabric(2, 6, {}, {}, ShardGrid{6, 1});
     EXPECT_EQ(fabric.shard_count(), 6u);
     fabric.set_threads(threads);
     fabric.load([](PeCoord) {
@@ -250,16 +252,119 @@ TEST(ParallelFabric, LocalOnlyWorkloadFinishesInOneRound) {
 }
 
 TEST(ParallelFabric, PartitionNeverCreatesEmptyShards) {
-  // The partition collapses empty strips: shard_count() is exactly
-  // min(height, kMaxShards) and never exceeds the row count, so no shard
-  // joins the window barrier with nothing to ever do.
+  // Property sweep over the cost model: every band is non-empty, the
+  // splits tile the fabric exactly, and the tile count stays within the
+  // amortization budget — so no shard ever joins the window barrier with
+  // nothing to do.
+  for (i64 w : {1, 2, 3, 7, 10, 16, 40, 128}) {
+    for (i64 h : {1, 2, 5, 11, 16, 33, 128}) {
+      const ShardLayout layout = choose_shard_layout(w, h);
+      const i64 budget =
+          std::clamp<i64>(w * h / kMinTilePes, 1, static_cast<i64>(kMaxShards));
+      EXPECT_LE(static_cast<i64>(layout.tiles()), budget) << w << "x" << h;
+      ASSERT_EQ(layout.row_splits.size(), layout.tile_rows + 1u);
+      ASSERT_EQ(layout.col_splits.size(), layout.tile_cols + 1u);
+      EXPECT_EQ(layout.row_splits.front(), 0);
+      EXPECT_EQ(layout.row_splits.back(), h);
+      EXPECT_EQ(layout.col_splits.front(), 0);
+      EXPECT_EQ(layout.col_splits.back(), w);
+      for (u32 r = 0; r < layout.tile_rows; ++r)
+        EXPECT_LT(layout.row_splits[r], layout.row_splits[r + 1])
+            << w << "x" << h;
+      for (u32 c = 0; c < layout.tile_cols; ++c)
+        EXPECT_LT(layout.col_splits[c], layout.col_splits[c + 1])
+            << w << "x" << h;
+    }
+  }
+  // Worked examples: square fabrics get square-ish tiles, narrow fabrics
+  // degenerate to strips, tiny fabrics collapse to a single serial shard.
+  EXPECT_EQ(choose_shard_layout(128, 128).tile_rows, 4u);
+  EXPECT_EQ(choose_shard_layout(128, 128).tile_cols, 4u);
+  EXPECT_EQ(choose_shard_layout(8, 8).tile_rows, 2u);
+  EXPECT_EQ(choose_shard_layout(8, 8).tile_cols, 2u);
+  EXPECT_EQ(choose_shard_layout(4, 4).tiles(), 1u);
+  EXPECT_EQ(choose_shard_layout(1, 40).tile_rows, 2u);
+  EXPECT_EQ(choose_shard_layout(1, 40).tile_cols, 1u);
+  EXPECT_EQ(choose_shard_layout(40, 1).tile_rows, 1u);
+  EXPECT_EQ(choose_shard_layout(40, 1).tile_cols, 2u);
+  // The forced 1D row-strip layout ({0, 1}) never creates empty strips
+  // either: the free dimension takes the budget clamped to the extent.
   for (i64 h : {1, 2, 3, 5, 7, 11, 15, 16, 17, 33, 100}) {
-    Fabric fabric(2, h);
+    Fabric fabric(2, h, {}, {}, ShardGrid{0, 1});
+    const i64 budget =
+        std::clamp<i64>(2 * h / kMinTilePes, 1, static_cast<i64>(kMaxShards));
     EXPECT_EQ(fabric.shard_count(),
-              static_cast<u32>(std::min<i64>(h, 16)))
+              static_cast<u32>(std::min<i64>(budget, h)))
         << "height=" << h;
     EXPECT_LE(fabric.shard_count(), static_cast<u32>(h)) << "height=" << h;
   }
+}
+
+// The engine's central promise after the 2D generalization: results are
+// bitwise identical under ANY shard layout — 2D tiles, 1D strips, serial —
+// not just any thread count. The (t, emitting PE, emission index) event
+// order plus sound per-boundary horizons make the round schedule's shape
+// invisible.
+core::DataflowResult solve_with_layout(ShardGrid grid, u32 threads,
+                                       core::SimEngine engine) {
+  // Non-square, non-multiple extents: 11x7x5 forces ragged tile rects.
+  const auto problem = FlowProblem::quarter_five_spot(11, 7, 5, 9, 0.8);
+  core::DataflowConfig config;
+  config.tolerance = 0.0f;
+  config.max_iterations = 18;
+  config.sim_threads = threads;
+  config.shard_grid = grid;
+  config.engine = engine;
+  return core::solve_dataflow(problem, config);
+}
+
+TEST(ParallelFabric, SolveIsBitwiseIdenticalAcrossShardLayouts) {
+  for (core::SimEngine engine :
+       {core::SimEngine::Bytecode, core::SimEngine::Legacy}) {
+    const auto serial = solve_with_layout(ShardGrid{1, 1}, 1, engine);
+    const ShardGrid grids[] = {
+        {},     // cost model (the default 2D choice)
+        {0, 1}, // 1D row strips (the legacy layout)
+        {2, 2}, {3, 1}, {1, 3}, {2, 3},
+    };
+    for (const ShardGrid& grid : grids) {
+      for (u32 threads : {1u, 2u, 3u, 4u, 7u, 8u}) {
+        const auto result = solve_with_layout(grid, threads, engine);
+        EXPECT_TRUE(same_bits(result.delta, serial.delta))
+            << "delta differs: grid {" << grid.rows << "," << grid.cols
+            << "} threads=" << threads << " engine=" << static_cast<int>(engine);
+        EXPECT_TRUE(same_bits(result.pressure, serial.pressure));
+        EXPECT_EQ(result.iterations, serial.iterations);
+        EXPECT_EQ(result.device_cycles, serial.device_cycles);
+        EXPECT_TRUE(result.fabric == serial.fabric)
+            << "FabricStats differ: grid {" << grid.rows << "," << grid.cols
+            << "} threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(ParallelFabric, DegenerateFabricsCollapseToSerial) {
+  // Single-row, single-column and single-PE fabrics fall under the
+  // kMinTilePes budget, so the cost model hands back one shard and the
+  // engine takes the serial fast path — while still matching a forced
+  // multi-strip run bit for bit where one is possible.
+  for (auto [w, h] : {std::pair<i64, i64>{6, 1}, {1, 6}, {1, 1}}) {
+    Fabric fabric(static_cast<i64>(w), static_cast<i64>(h));
+    EXPECT_EQ(fabric.shard_count(), 1u) << w << "x" << h;
+  }
+  const auto problem = FlowProblem::homogeneous_column(1, 8, 4);
+  core::DataflowConfig config;
+  config.tolerance = 0.0f;
+  config.max_iterations = 10;
+  config.sim_threads = 1;
+  const auto serial = core::solve_dataflow(problem, config);
+  config.shard_grid = ShardGrid{8, 1};
+  config.sim_threads = 4;
+  const auto sharded = core::solve_dataflow(problem, config);
+  EXPECT_TRUE(same_bits(sharded.delta, serial.delta));
+  EXPECT_EQ(sharded.device_cycles, serial.device_cycles);
+  EXPECT_TRUE(sharded.fabric == serial.fabric);
 }
 
 // ---- host profiler (telemetry/host_profiler.hpp) ----------------------
@@ -394,21 +499,24 @@ TEST(HostProfiler, SurvivesReuseAcrossRuns) {
     EXPECT_EQ(profiler.shard_stats(s).rounds_total(), profiler.rounds());
   // Export stays self-consistent after reuse.
   const std::string json = profiler.host_profile_json();
-  EXPECT_NE(json.find("fvdf.telemetry.host_profile/1"), std::string::npos);
+  EXPECT_NE(json.find("fvdf.telemetry.host_profile/2"), std::string::npos);
 }
 
 TEST(ParallelFabric, ShardCountIsGeometryNotThreads) {
   Fabric tall(1, 40);
-  EXPECT_EQ(tall.shard_count(), 16u); // capped
+  EXPECT_EQ(tall.shard_count(), 2u); // budget 40/16 -> two row strips
   tall.set_threads(7);
-  EXPECT_EQ(tall.shard_count(), 16u);
+  EXPECT_EQ(tall.shard_count(), 2u);
   EXPECT_EQ(tall.threads(), 7u);
 
   Fabric flat(40, 1);
-  EXPECT_EQ(flat.shard_count(), 1u); // one row -> serial fast path
+  EXPECT_EQ(flat.shard_count(), 2u); // one row -> two column strips
 
   Fabric mid(4, 6);
-  EXPECT_EQ(mid.shard_count(), 6u);
+  EXPECT_EQ(mid.shard_count(), 1u); // 24 PEs < 2*kMinTilePes -> serial
+
+  Fabric forced(3, 4, {}, {}, ShardGrid{4, 1});
+  EXPECT_EQ(forced.shard_count(), 4u); // explicit override beats the budget
 
   Fabric any(2, 2);
   any.set_threads(0); // hardware concurrency

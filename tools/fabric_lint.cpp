@@ -391,22 +391,33 @@ int dump_programs(i64 width, i64 height, u32 nz, bool cfg) {
 
 // ---------- --lookahead: bytecode vs manifest batch floors ----------
 
-void print_lookahead_table(const char* label, const wse::ChannelLookahead& t) {
+void print_lookahead_table(const char* label, const wse::ChannelLookahead& t,
+                           u32 tile_rows, u32 tile_cols) {
+  static constexpr const char* kSideNames[4] = {"north", "east", "south",
+                                                "west"};
   std::cout << label << ":\n";
-  for (std::size_t b = 0; b < t.south.size(); ++b) {
-    std::cout << "  boundary " << b << ": south "
-              << (t.south[b].crosses
-                      ? "crosses, min batch " +
-                            std::to_string(t.south[b].min_batch_cycles) +
-                            " cycle(s)"
-                      : "decoupled")
-              << "; north "
-              << (t.north[b].crosses
-                      ? "crosses, min batch " +
-                            std::to_string(t.north[b].min_batch_cycles) +
-                            " cycle(s)"
-                      : "decoupled")
-              << '\n';
+  for (std::size_t s = 0; s < t.out.size(); ++s) {
+    std::cout << "  shard " << s << " (tile " << s / tile_cols << ","
+              << s % tile_cols << "):";
+    bool any = false;
+    for (std::size_t d = 0; d < 4; ++d) {
+      // Sides with no neighboring tile are omitted entirely.
+      const u32 r = static_cast<u32>(s) / tile_cols;
+      const u32 c = static_cast<u32>(s) % tile_cols;
+      const bool exists = (d == 0 && r > 0) || (d == 1 && c + 1 < tile_cols) ||
+                          (d == 2 && r + 1 < tile_rows) || (d == 3 && c > 0);
+      if (!exists) continue;
+      any = true;
+      std::cout << ' ' << kSideNames[d] << ' '
+                << (t.out[s][d].crosses
+                        ? "crosses(min batch " +
+                              std::to_string(t.out[s][d].min_batch_cycles) +
+                              " cyc)"
+                        : "decoupled")
+                << ';';
+    }
+    if (!any) std::cout << " no internal boundaries";
+    std::cout << '\n';
   }
 }
 
@@ -427,19 +438,20 @@ int lookahead_report(i64 width, i64 height, u32 nz, u32 sim_threads) {
   config.sim_threads = sim_threads;
   const auto plan = core::plan_dataflow_lookahead(problem, config);
   std::cout << "--- channel lookahead for CG on " << width << "x" << height
-            << " (nz " << nz << ", " << plan.shard_count << " shard(s)) ---\n";
+            << " (nz " << nz << ", " << plan.shard_count << " shard(s), "
+            << plan.tile_rows << "x" << plan.tile_cols << " tiles) ---\n";
   if (plan.shard_count <= 1) {
     std::cout << "single shard: no internal boundaries to plan\n";
     return 0;
   }
   print_lookahead_table("bytecode-derived (reachable SEND facts)",
-                        plan.bytecode);
-  print_lookahead_table("manifest-derived (declared bounds)", plan.manifest);
+                        plan.bytecode, plan.tile_rows, plan.tile_cols);
+  print_lookahead_table("manifest-derived (declared bounds)", plan.manifest,
+                        plan.tile_rows, plan.tile_cols);
   bool tight = true;
-  for (std::size_t b = 0; b < plan.bytecode.south.size(); ++b) {
-    tight &= edge_no_looser(plan.bytecode.south[b], plan.manifest.south[b]);
-    tight &= edge_no_looser(plan.bytecode.north[b], plan.manifest.north[b]);
-  }
+  for (std::size_t s = 0; s < plan.bytecode.out.size(); ++s)
+    for (std::size_t d = 0; d < 4; ++d)
+      tight &= edge_no_looser(plan.bytecode.out[s][d], plan.manifest.out[s][d]);
   std::cout << (tight ? "bytecode-derived windows are no looser than "
                         "manifest-derived windows\n"
                       : "UNEXPECTED: bytecode-derived table is looser than "
