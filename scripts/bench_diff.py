@@ -33,6 +33,13 @@ def load_rows(path):
 
     def take(runs, workload):
         for run in runs:
+            # Rows from other bench schemas (e.g. serve_qps keys runs on
+            # "clients") are warned about and skipped, not a KeyError.
+            if "threads" not in run:
+                print(f"warning: {path}: skipping a {workload!r} row without "
+                      f"a 'threads' field (keys: {sorted(run)})",
+                      file=sys.stderr)
+                continue
             rows[(workload, int(run["threads"]))] = run
 
     take(doc.get("runs", []), "64x64x8")
@@ -71,7 +78,12 @@ def main():
         b, c = base.get(key), cand.get(key)
         if b is None or c is None:
             side = "baseline" if c is None else "candidate"
-            print(f"{workload:>10} {threads:>3}   (only in {side})")
+            print(f"warning: {workload} threads={threads} is only in the "
+                  f"{side} file; skipping the comparison for this row")
+            continue
+        if "wall_seconds" not in b or "wall_seconds" not in c:
+            print(f"warning: {workload} threads={threads} lacks wall_seconds "
+                  f"in one file; skipping the comparison for this row")
             continue
         speedup = b["wall_seconds"] / c["wall_seconds"]
         worst_regression_pct = max(worst_regression_pct, (1 / speedup - 1) * 100)
@@ -81,8 +93,8 @@ def main():
             mismatched = True
         print(f"{workload:>10} {threads:>3} {b['wall_seconds']:>10.3f}s "
               f"{c['wall_seconds']:>10.3f}s {speedup:>7.2f}x "
-              f"{b['events_per_sec'] / 1e6:>11.3f} "
-              f"{c['events_per_sec'] / 1e6:>11.3f}{flags}")
+              f"{b.get('events_per_sec', 0.0) / 1e6:>11.3f} "
+              f"{c.get('events_per_sec', 0.0) / 1e6:>11.3f}{flags}")
 
     print(f"worst wall-time regression: {worst_regression_pct:+.2f}%")
     if args.fail_above is None:

@@ -1,6 +1,7 @@
 #include "app/scenario.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <ostream>
 #include <set>
 
@@ -39,7 +40,7 @@ const std::set<std::string> kKnownKeys = {
     "solver.backend", "solver.tolerance", "solver.max_iterations",
     "solver.sim_threads", "solver.verify",
     "transient.enabled", "transient.dt", "transient.steps",
-    "transient.porosity", "transient.compressibility",
+    "transient.porosity", "transient.compressibility", "transient.resume",
     "output.vtk", "output.checkpoint", "output.heatmap",
     "output.host_profile",
 };
@@ -72,12 +73,18 @@ ScalarImage top_layer(const CartesianMesh3D& mesh, const std::vector<f64>& field
   return image;
 }
 
+/// Shortest-round-trip decimal rendering, so canonical_case_text is a
+/// stable function of the parsed value, not of its spelling ("0.50",
+/// "5e-1" and "0.5" all canonicalize to "0.5").
+std::string fmt_f64(f64 value) {
+  char buffer[32];
+  const auto res = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  return std::string(buffer, res.ptr);
+}
+
 } // namespace
 
-Scenario scenario_from_config(const Config& config) {
-  for (const std::string& key : config.keys())
-    FVDF_CHECK_MSG(kKnownKeys.count(key) != 0, "unknown config key '" << key << "'");
-
+std::shared_ptr<const FlowProblem> problem_from_config(const Config& config) {
   CartesianMesh3D mesh(config.get_i64("mesh.nx", 8), config.get_i64("mesh.ny", 8),
                        config.get_i64("mesh.nz", 8), config.get_f64("mesh.dx", 1.0),
                        config.get_f64("mesh.dy", 1.0), config.get_f64("mesh.dz", 1.0));
@@ -85,30 +92,42 @@ Scenario scenario_from_config(const Config& config) {
   const std::string injector_kind =
       config.get_string("wells.injector_kind", "pressure");
 
-  Scenario scenario;
   if (injector_kind == "pressure") {
     auto bc = DirichletSet::injector_producer(
         mesh, config.get_f64("wells.injector_pressure", 1.0),
         config.get_f64("wells.producer_pressure", 0.0));
-    scenario.problem = std::make_unique<FlowProblem>(mesh, std::move(permeability),
-                                                     /*viscosity=*/1.0, std::move(bc));
-  } else if (injector_kind == "rate") {
+    return std::make_shared<FlowProblem>(mesh, std::move(permeability),
+                                         /*viscosity=*/1.0, std::move(bc));
+  }
+  if (injector_kind == "rate") {
     // Rate-controlled injector column at (0,0); only the producer column is
     // pressure-pinned. The total rate is distributed evenly over the column.
     DirichletSet bc;
     for (i64 z = 0; z < mesh.nz(); ++z)
       bc.pin(mesh, {mesh.nx() - 1, mesh.ny() - 1, z},
              config.get_f64("wells.producer_pressure", 0.0));
-    scenario.problem = std::make_unique<FlowProblem>(mesh, std::move(permeability),
-                                                     /*viscosity=*/1.0, std::move(bc));
+    auto problem = std::make_shared<FlowProblem>(mesh, std::move(permeability),
+                                                 /*viscosity=*/1.0, std::move(bc));
     const f64 rate = config.get_f64("wells.rate", 1.0);
     for (i64 z = 0; z < mesh.nz(); ++z)
-      scenario.problem->add_source(mesh.index(0, 0, z),
-                                   rate / static_cast<f64>(mesh.nz()));
-  } else {
-    throw Error("wells.injector_kind: expected 'pressure' or 'rate', got '" +
-                injector_kind + "'");
+      problem->add_source(mesh.index(0, 0, z), rate / static_cast<f64>(mesh.nz()));
+    return problem;
   }
+  throw Error("wells.injector_kind: expected 'pressure' or 'rate', got '" +
+              injector_kind + "'");
+}
+
+Scenario scenario_from_config(const Config& config) {
+  return scenario_from_config(config, nullptr);
+}
+
+Scenario scenario_from_config(const Config& config,
+                              std::shared_ptr<const FlowProblem> problem) {
+  for (const std::string& key : config.keys())
+    FVDF_CHECK_MSG(kKnownKeys.count(key) != 0, "unknown config key '" << key << "'");
+
+  Scenario scenario;
+  scenario.problem = problem ? std::move(problem) : problem_from_config(config);
 
   const std::string backend = config.get_string("solver.backend", "host-pcg");
   if (backend == "host") {
@@ -136,6 +155,9 @@ Scenario scenario_from_config(const Config& config) {
   scenario.compressibility = config.get_f64("transient.compressibility", 1e-2);
   FVDF_CHECK_MSG(!scenario.transient || (scenario.dt > 0 && scenario.steps >= 1),
                  "transient.dt/steps invalid");
+  scenario.resume_path = config.get_string("transient.resume", "");
+  FVDF_CHECK_MSG(scenario.resume_path.empty() || scenario.transient,
+                 "transient.resume requires transient.enabled = true");
 
   scenario.vtk_path = config.get_string("output.vtk", "");
   scenario.checkpoint_path = config.get_string("output.checkpoint", "");
@@ -147,55 +169,201 @@ Scenario scenario_from_config(const Config& config) {
   return scenario;
 }
 
-ScenarioOutcome run_scenario(const Scenario& scenario, std::ostream& log) {
+std::string canonical_case_text(const Config& config) {
+  // Validate the schema first so canonicalization never silently accepts
+  // a case scenario_from_config would reject.
+  for (const std::string& key : config.keys())
+    FVDF_CHECK_MSG(kKnownKeys.count(key) != 0, "unknown config key '" << key << "'");
+
+  std::string out = "fvdf-case-v1\n";
+  const auto emit_f64 = [&](const char* key, f64 fallback) {
+    out += key;
+    out += '=';
+    out += fmt_f64(config.get_f64(key, fallback));
+    out += '\n';
+  };
+  const auto emit_i64 = [&](const char* key, i64 fallback) {
+    out += key;
+    out += '=';
+    out += std::to_string(config.get_i64(key, fallback));
+    out += '\n';
+  };
+  const auto emit_str = [&](const char* key, const std::string& value) {
+    out += key;
+    out += '=';
+    out += value;
+    out += '\n';
+  };
+
+  emit_i64("mesh.nx", 8);
+  emit_i64("mesh.ny", 8);
+  emit_i64("mesh.nz", 8);
+  emit_f64("mesh.dx", 1.0);
+  emit_f64("mesh.dy", 1.0);
+  emit_f64("mesh.dz", 1.0);
+
+  // Only the parameters the chosen geomodel actually reads: an ignored
+  // key (perm.sigma with kind=homogeneous) must not split the cache.
+  const std::string kind = config.get_string("perm.kind", "homogeneous");
+  emit_str("perm.kind", kind);
+  if (kind == "homogeneous") {
+    emit_f64("perm.value", 1.0);
+  } else if (kind == "layered") {
+    emit_f64("perm.low", 1.0);
+    emit_f64("perm.high", 100.0);
+    emit_i64("perm.thickness", 2);
+  } else if (kind == "lognormal") {
+    emit_f64("perm.sigma", 1.0);
+    emit_i64("perm.seed", 1);
+    emit_i64("perm.smoothing", 2);
+  } else if (kind == "channelized") {
+    emit_f64("perm.background", 1.0);
+    emit_f64("perm.channel", 500.0);
+    emit_i64("perm.count", 3);
+    emit_i64("perm.seed", 1);
+  } else {
+    throw Error("perm.kind: unknown geomodel '" + kind + "'");
+  }
+
+  const std::string injector_kind =
+      config.get_string("wells.injector_kind", "pressure");
+  emit_str("wells.injector_kind", injector_kind);
+  if (injector_kind == "pressure") {
+    emit_f64("wells.injector_pressure", 1.0);
+    emit_f64("wells.producer_pressure", 0.0);
+  } else if (injector_kind == "rate") {
+    emit_f64("wells.producer_pressure", 0.0);
+    emit_f64("wells.rate", 1.0);
+  } else {
+    throw Error("wells.injector_kind: expected 'pressure' or 'rate', got '" +
+                injector_kind + "'");
+  }
+
+  emit_str("solver.backend", config.get_string("solver.backend", "host-pcg"));
+  emit_f64("solver.tolerance", 1e-18);
+  emit_i64("solver.max_iterations", 100'000);
+
+  const bool transient = config.get_bool("transient.enabled", false);
+  emit_str("transient.enabled", transient ? "true" : "false");
+  if (transient) {
+    emit_f64("transient.dt", 1.0);
+    emit_i64("transient.steps", 10);
+    emit_f64("transient.porosity", 0.2);
+    emit_f64("transient.compressibility", 1e-2);
+  }
+  return out;
+}
+
+std::string case_fingerprint(const Config& config) {
+  const std::string text = canonical_case_text(config);
+  return hash_hex(fnv1a64(text.data(), text.size()));
+}
+
+ScenarioOutcome run_scenario(const Scenario& scenario, std::ostream& log,
+                             const RunHooks* hooks) {
   FVDF_CHECK(scenario.problem != nullptr);
   const FlowProblem& problem = *scenario.problem;
   const auto& mesh = problem.mesh();
   log << "scenario: " << mesh.describe() << ", backend " << to_string(scenario.backend)
       << (scenario.transient ? " (transient)" : " (steady)") << '\n';
 
+  // Transient resume: continue from a prior run's checkpoint. The grid
+  // must match and the step counter tells us how many steps remain.
+  std::vector<f64> resume_state;
+  i64 start_step = 0;
+  if (scenario.transient && !scenario.resume_path.empty()) {
+    const FieldCheckpoint checkpoint = load_checkpoint(scenario.resume_path);
+    checkpoint.require_grid(mesh.nx(), mesh.ny(), mesh.nz(), "transient.resume");
+    resume_state = checkpoint.field("pressure");
+    const auto& step_field = checkpoint.field("transient_step");
+    FVDF_CHECK_MSG(step_field.size() == 1,
+                   "transient.resume: malformed transient_step field");
+    start_step = static_cast<i64>(step_field[0]);
+    FVDF_CHECK_MSG(start_step >= 0 && start_step <= scenario.steps,
+                   "transient.resume: checkpoint is at step "
+                       << start_step << " of a " << scenario.steps
+                       << "-step schedule");
+    log << "resuming from " << scenario.resume_path << " at step " << start_step
+        << '/' << scenario.steps << '\n';
+  }
+  const i64 remaining_steps = scenario.transient ? scenario.steps - start_step : 0;
+
   ScenarioOutcome outcome;
   telemetry::HostProfiler host_profiler;
   const bool profile_host = !scenario.host_profile_dir.empty();
-  if (scenario.transient && scenario.backend == Backend::Dataflow) {
+  const bool verify_preflight =
+      scenario.verify && !(hooks != nullptr && hooks->skip_verify);
+  if (scenario.transient && remaining_steps <= 0) {
+    // Resumed a finished run: nothing to step, report the stored state.
+    outcome.converged = true;
+    outcome.pressure = resume_state;
+    outcome.steps_completed = start_step;
+  } else if (scenario.transient && scenario.backend == Backend::Dataflow) {
     core::DataflowConfig config;
     config.tolerance = static_cast<f32>(scenario.tolerance);
     config.max_iterations = scenario.max_iterations;
     config.jacobi_precondition = true;
     config.sim_threads = scenario.sim_threads;
-    config.verify_preflight = scenario.verify;
+    config.verify_preflight = verify_preflight;
     config.host_profiler = profile_host ? &host_profiler : nullptr;
+    if (hooks != nullptr) config.artifacts = hooks->artifacts;
+    config.initial_field = std::move(resume_state);
+    core::TransientStepFn on_step;
+    if (hooks != nullptr && hooks->on_step) {
+      on_step = [&](i64 step, const core::DataflowResult& solve) {
+        std::vector<f64> state(solve.pressure.begin(), solve.pressure.end());
+        return hooks->on_step(start_step + step, scenario.steps,
+                              solve.iterations, state);
+      };
+    }
     const auto result = core::solve_transient_dataflow(
-        problem, scenario.dt, scenario.steps, scenario.porosity,
-        scenario.compressibility, config);
+        problem, scenario.dt, remaining_steps, scenario.porosity,
+        scenario.compressibility, config, on_step);
     outcome.converged = result.all_converged;
     for (u64 iters : result.iterations_per_step) outcome.iterations += iters;
     outcome.pressure.assign(result.pressure.begin(), result.pressure.end());
+    outcome.steps_completed = start_step + result.steps_completed;
+    outcome.interrupted = result.interrupted;
     log << "device time across steps: " << result.total_device_seconds << " s (simulated)\n";
   } else if (scenario.transient) {
     TransientOptions options;
     options.dt = scenario.dt;
-    options.steps = scenario.steps;
+    options.steps = remaining_steps;
     options.porosity = scenario.porosity;
     options.total_compressibility = scenario.compressibility;
     options.cg.tolerance = scenario.tolerance;
     options.cg.max_iterations = scenario.max_iterations;
     options.jacobi = scenario.backend == Backend::HostPcg;
-    const auto result = solve_transient_host(problem, options);
+    if (hooks != nullptr && hooks->on_step) {
+      options.on_step = [&](i64 step, u64 iterations,
+                            const std::vector<f64>& state) {
+        return hooks->on_step(start_step + step, scenario.steps, iterations,
+                              state);
+      };
+    }
+    const auto result =
+        solve_transient_host(problem, options, std::move(resume_state));
     outcome.converged = result.all_converged;
     for (u64 iters : result.iterations_per_step) outcome.iterations += iters;
     outcome.pressure = result.pressure;
+    outcome.steps_completed = start_step + result.steps_completed;
+    outcome.interrupted = result.interrupted;
   } else if (scenario.backend == Backend::Dataflow) {
     core::DataflowConfig config;
     config.tolerance = static_cast<f32>(scenario.tolerance);
     config.max_iterations = scenario.max_iterations;
     config.sim_threads = scenario.sim_threads;
-    config.verify_preflight = scenario.verify;
+    config.verify_preflight = verify_preflight;
     config.host_profiler = profile_host ? &host_profiler : nullptr;
+    if (hooks != nullptr) {
+      config.artifacts = hooks->artifacts;
+      config.telemetry = hooks->telemetry;
+    }
     const auto result = core::solve_dataflow(problem, config);
     outcome.converged = result.converged;
     outcome.iterations = result.iterations;
     outcome.pressure.assign(result.pressure.begin(), result.pressure.end());
+    outcome.residual_history = result.residual_history;
     log << "device: " << result.device_seconds << " s (simulated), "
         << result.fabric.messages_sent << " messages\n";
   } else {
@@ -215,6 +383,8 @@ ScenarioOutcome run_scenario(const Scenario& scenario, std::ostream& log) {
   outcome.residual_norm = blas::norm2(residual.data(), residual.size());
   log << "iterations: " << outcome.iterations << ", Eq.(3) residual norm "
       << outcome.residual_norm << (outcome.converged ? "" : "  [NOT CONVERGED]")
+      << (outcome.interrupted ? "  [INTERRUPTED at step " : "")
+      << (outcome.interrupted ? std::to_string(outcome.steps_completed) + "]" : "")
       << '\n';
 
   if (!scenario.vtk_path.empty()) {
@@ -229,6 +399,9 @@ ScenarioOutcome run_scenario(const Scenario& scenario, std::ostream& log) {
     checkpoint.ny = mesh.ny();
     checkpoint.nz = mesh.nz();
     checkpoint.fields["pressure"] = outcome.pressure;
+    if (scenario.transient)
+      checkpoint.fields["transient_step"] = {
+          static_cast<f64>(outcome.steps_completed)};
     save_checkpoint(scenario.checkpoint_path, checkpoint);
     log << "wrote " << scenario.checkpoint_path << '\n';
   }

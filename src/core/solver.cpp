@@ -213,13 +213,51 @@ CgSetup prepare_cg(const FlowProblem& problem, const DataflowConfig& config) {
   return setup;
 }
 
+/// The bytecode-program cache a solve's factory hands every PE: the
+/// caller's cross-solve CaseArtifacts cache when provided (created there
+/// on first use), else a fresh per-solve cache — either way all PEs of a
+/// solve share the handful of lowered programs (one per fabric-position
+/// shape).
+std::shared_ptr<ProgramCache>
+solve_program_cache(const std::shared_ptr<CaseArtifacts>& artifacts) {
+  if (!artifacts) return std::make_shared<ProgramCache>();
+  static std::mutex init_mutex;
+  std::lock_guard<std::mutex> lock(init_mutex);
+  if (!artifacts->programs) artifacts->programs = std::make_shared<ProgramCache>();
+  return artifacts->programs;
+}
+
+/// Lookahead planning with the CaseArtifacts memo: the realized tile grid
+/// is a function of geometry and the ShardGrid override only, and the
+/// planner is deterministic, so a cached table is byte-identical to a
+/// fresh plan for the same fabric.
+void install_lookahead(wse::Fabric& fabric, const wse::ProgramFactory& factory,
+                       const std::shared_ptr<CaseArtifacts>& artifacts) {
+  if (fabric.shard_count() <= 1) return;
+  if (!artifacts) {
+    fabric.set_channel_lookahead(fabric.plan_channel_lookahead(factory));
+    return;
+  }
+  const std::pair<u32, u32> key{fabric.tile_rows(), fabric.tile_cols()};
+  {
+    std::lock_guard<std::mutex> lock(artifacts->mutex);
+    const auto it = artifacts->lookahead.find(key);
+    if (it != artifacts->lookahead.end()) {
+      fabric.set_channel_lookahead(it->second);
+      return;
+    }
+  }
+  wse::ChannelLookahead table = fabric.plan_channel_lookahead(factory);
+  fabric.set_channel_lookahead(table);
+  std::lock_guard<std::mutex> lock(artifacts->mutex);
+  artifacts->lookahead.emplace(key, std::move(table));
+}
+
 wse::ProgramFactory cg_factory(const FlowProblem& problem,
                                const DataflowConfig& config,
                                const CgSetup& setup) {
-  // One bytecode cache per factory: all PEs of a solve share the handful
-  // of lowered programs (one per fabric-position shape).
   auto cache = config.engine == SimEngine::Bytecode
-                   ? std::make_shared<ProgramCache>()
+                   ? solve_program_cache(config.artifacts)
                    : nullptr;
   return [&problem, &config, &setup,
           cache = std::move(cache)](wse::PeCoord coord)
@@ -264,8 +302,7 @@ DataflowResult solve_dataflow(const FlowProblem& problem, const DataflowConfig& 
                    "static verification rejected the CG device program:\n"
                        << report.summary());
   }
-  if (fabric.shard_count() > 1)
-    fabric.set_channel_lookahead(fabric.plan_channel_lookahead(factory));
+  install_lookahead(fabric, factory, config.artifacts);
   attach_telemetry(fabric, config.telemetry);
   fabric.set_host_profiler(config.host_profiler);
   fabric.load(factory);
@@ -309,7 +346,7 @@ wse::ProgramFactory chebyshev_factory(const FlowProblem& problem,
                                       const ChebSetup& setup) {
   const DiscreteSystem<f32>& sys = setup.sys;
   auto cache = config.engine == SimEngine::Bytecode
-                   ? std::make_shared<ProgramCache>()
+                   ? solve_program_cache(config.artifacts)
                    : nullptr;
   return [&problem, &config, &sys, &setup,
           cache = std::move(cache)](wse::PeCoord coord)
@@ -353,8 +390,7 @@ DataflowResult solve_dataflow_chebyshev(const FlowProblem& problem,
         "static verification rejected the Chebyshev device program:\n"
             << report.summary());
   }
-  if (fabric.shard_count() > 1)
-    fabric.set_channel_lookahead(fabric.plan_channel_lookahead(factory));
+  install_lookahead(fabric, factory, config.artifacts);
   attach_telemetry(fabric, config.telemetry);
   fabric.set_host_profiler(config.host_profiler);
   fabric.load(factory);
@@ -413,12 +449,17 @@ analysis::VerifyReport verify_dataflow_chebyshev(
 DataflowTransientResult solve_transient_dataflow(const FlowProblem& problem,
                                                  f64 dt, i64 steps, f64 porosity,
                                                  f64 total_compressibility,
-                                                 DataflowConfig config) {
+                                                 DataflowConfig config,
+                                                 const TransientStepFn& on_step) {
   FVDF_CHECK(dt > 0 && steps >= 1);
   const f64 sigma =
       porosity * total_compressibility * problem.mesh().cell_volume() / dt;
   config.diagonal_shift = static_cast<f32>(sigma);
   config.jx_only = false;
+  // Every step solves the same lowered programs against a new initial
+  // field, so the steps of one run always share artifacts — the caller's
+  // cross-run cache when provided, else a run-local one.
+  if (!config.artifacts) config.artifacts = std::make_shared<CaseArtifacts>();
 
   DataflowTransientResult result;
   std::vector<f64> state = config.initial_field.empty()
@@ -433,6 +474,11 @@ DataflowTransientResult solve_transient_dataflow(const FlowProblem& problem,
     for (std::size_t i = 0; i < state.size(); ++i)
       state[i] = static_cast<f64>(solve.pressure[i]);
     result.pressure = solve.pressure;
+    result.steps_completed = step + 1;
+    if (on_step && !on_step(step, solve)) {
+      result.interrupted = step + 1 < steps;
+      break;
+    }
   }
   return result;
 }

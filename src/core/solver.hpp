@@ -6,6 +6,11 @@
 // schedules work on the CS-2 ("the server is only used to schedule the
 // workload", Sec. V-A).
 
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "analysis/verifier.hpp"
@@ -33,6 +38,34 @@ namespace fvdf::core {
 enum class SimEngine : u8 {
   Bytecode = 0,
   Legacy,
+};
+
+/// Cross-solve artifact reuse for long-lived callers (the serve daemon,
+/// transient step loops): one CaseArtifacts shared by every solve of one
+/// *identical* solver configuration memoizes the lowered bytecode
+/// programs and the planned channel-lookahead tables, so repeat solves
+/// skip lowering and lookahead planning. Reuse never changes results:
+/// lowering and planning are deterministic, so a cached artifact is
+/// byte-identical to the one a fresh solve would rebuild (tested).
+///
+/// Sharing across *different* scalar configs (tolerance, max_iterations,
+/// flux mode, jacobi, diagonal_shift, memory/timing params) is NOT safe —
+/// lowered programs embed them as immediates. DataflowConfig::initial_field
+/// is uploaded at on_start and never lowered, so solves that differ only
+/// in the initial field (the steps of one transient run, repeat service
+/// requests) may share artifacts freely.
+class ProgramCache; // core/bytecode_program.hpp
+
+struct CaseArtifacts {
+  /// Created on first use by solve_dataflow* (ProgramCache is an
+  /// implementation detail of the bytecode engine).
+  std::shared_ptr<ProgramCache> programs;
+
+  /// Planned lookahead tables keyed by the realized tile grid
+  /// (tile_rows, tile_cols) — the layout is a function of geometry and
+  /// the ShardGrid override only, so one entry per distinct layout.
+  std::mutex mutex;
+  std::map<std::pair<u32, u32>, wse::ChannelLookahead> lookahead;
 };
 
 struct DataflowConfig {
@@ -79,6 +112,10 @@ struct DataflowConfig {
   // deterministic telemetry bundle. solve_dataflow annotates the sampled
   // programs (analysis::annotate_host_profile) before returning.
   telemetry::HostProfiler* host_profiler = nullptr;
+  // Optional cross-solve artifact reuse; see CaseArtifacts for the
+  // sharing contract. nullptr = per-solve artifacts (the prior behavior).
+  // Never changes results.
+  std::shared_ptr<CaseArtifacts> artifacts;
 };
 
 struct DataflowResult {
@@ -128,6 +165,7 @@ struct ChebyshevDeviceConfig {
   bool verify_preflight = false; // see DataflowConfig::verify_preflight
   telemetry::Session* telemetry = nullptr; // see DataflowConfig::telemetry
   telemetry::HostProfiler* host_profiler = nullptr; // see DataflowConfig
+  std::shared_ptr<CaseArtifacts> artifacts; // see DataflowConfig::artifacts
 };
 
 DataflowResult solve_dataflow_chebyshev(const FlowProblem& problem,
@@ -171,12 +209,23 @@ struct DataflowTransientResult {
   std::vector<u64> iterations_per_step; // device CG iterations per step
   bool all_converged = true;
   f64 total_device_seconds = 0;
+  i64 steps_completed = 0; // == steps unless on_step stopped the run
+  bool interrupted = false;
 };
+
+/// Called after every completed transient step with the 0-based step
+/// index and that step's solve result (result.pressure is the state the
+/// next step starts from). Return false to stop stepping — the transient
+/// result then reports interrupted=true and carries the state so far.
+/// Long-running callers (the serve daemon, signal-aware drivers) use
+/// this for progress streaming, checkpointing and graceful interruption.
+using TransientStepFn = std::function<bool(i64 step, const DataflowResult&)>;
 
 DataflowTransientResult solve_transient_dataflow(const FlowProblem& problem,
                                                  f64 dt, i64 steps, f64 porosity,
                                                  f64 total_compressibility,
-                                                 DataflowConfig config = {});
+                                                 DataflowConfig config = {},
+                                                 const TransientStepFn& on_step = {});
 
 /// Builds the per-PE init data for PE (x, y) — exposed for tests. `minv`
 /// is the global inverse-diagonal array when Jacobi preconditioning is on

@@ -1,0 +1,136 @@
+#include "serve/client.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/error.hpp"
+#include "telemetry/json.hpp"
+
+namespace fvdf::serve {
+
+void Client::connect(const std::string& socket_path) {
+  close();
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  FVDF_CHECK_MSG(fd_ >= 0, "client: socket() failed: " << std::strerror(errno));
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  FVDF_CHECK_MSG(socket_path.size() < sizeof(addr.sun_path),
+                 "client: socket path too long: " << socket_path);
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    close();
+    throw Error("client: connect(" + socket_path +
+                ") failed: " + std::strerror(err));
+  }
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+void Client::send_line(std::string_view line) {
+  FVDF_CHECK_MSG(fd_ >= 0, "client: not connected");
+  std::string framed(line);
+  framed += '\n';
+  const char* data = framed.data();
+  std::size_t size = framed.size();
+  while (size > 0) {
+    const ssize_t sent = ::send(fd_, data, size, MSG_NOSIGNAL);
+    if (sent < 0 && errno == EINTR) continue;
+    FVDF_CHECK_MSG(sent > 0, "client: send failed: " << std::strerror(errno));
+    data += sent;
+    size -= static_cast<std::size_t>(sent);
+  }
+}
+
+bool Client::read_line(std::string* line) {
+  FVDF_CHECK_MSG(fd_ >= 0, "client: not connected");
+  char chunk[4096];
+  while (true) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      *line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return true;
+    }
+    const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (got < 0 && errno == EINTR) continue;
+    if (got == 0) {
+      FVDF_CHECK_MSG(buffer_.empty(),
+                     "client: connection closed mid-line ("
+                         << buffer_.size() << " bytes pending)");
+      return false;
+    }
+    FVDF_CHECK_MSG(got > 0, "client: recv failed: " << std::strerror(errno));
+    buffer_.append(chunk, static_cast<std::size_t>(got));
+  }
+}
+
+JsonValue Client::read_event() {
+  std::string line;
+  if (!read_line(&line)) return JsonValue{};
+  return JsonValue::parse(line);
+}
+
+void Client::solve(const SolveRequest& request) {
+  telemetry::JsonWriter writer;
+  writer.begin_object()
+      .kv("op", "solve")
+      .kv("id", request.id)
+      .kv("case", request.case_text)
+      .kv("priority", request.priority)
+      .kv("deadline_seconds", request.deadline_seconds)
+      .kv("sim_threads", request.sim_threads)
+      .kv("return_field", request.return_field)
+      .kv("stream_residuals", request.stream_residuals)
+      .end_object();
+  send_line(writer.take());
+}
+
+void Client::cancel(const std::string& id) {
+  telemetry::JsonWriter writer;
+  writer.begin_object().kv("op", "cancel").kv("id", id).end_object();
+  send_line(writer.take());
+}
+
+void Client::stats() {
+  telemetry::JsonWriter writer;
+  writer.begin_object().kv("op", "stats").end_object();
+  send_line(writer.take());
+}
+
+void Client::ping() {
+  telemetry::JsonWriter writer;
+  writer.begin_object().kv("op", "ping").end_object();
+  send_line(writer.take());
+}
+
+void Client::shutdown() {
+  telemetry::JsonWriter writer;
+  writer.begin_object().kv("op", "shutdown").end_object();
+  send_line(writer.take());
+}
+
+JsonValue Client::wait_result(const std::string& id) {
+  while (true) {
+    std::string line;
+    FVDF_CHECK_MSG(read_line(&line),
+                   "client: connection closed before a terminal event for job '"
+                       << id << "'");
+    JsonValue event = JsonValue::parse(line);
+    const std::string kind = event.get_string("event", "");
+    if (event.get_string("id", "") != id) continue;
+    if (kind == "result" || kind == "error") return event;
+  }
+}
+
+} // namespace fvdf::serve

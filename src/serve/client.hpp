@@ -1,0 +1,66 @@
+#pragma once
+// Blocking unix-socket NDJSON client for fvdf_serve — the building block
+// for bench/serve_qps, tests/test_serve and scripts/check_serve.sh's
+// batch driver. One connection, line-oriented: send a request object,
+// read response/event lines as parsed JsonValues.
+
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+#include "serve/json.hpp"
+
+namespace fvdf::serve {
+
+class Client {
+public:
+  Client() = default;
+  ~Client() { close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to the daemon's unix socket; throws fvdf::Error on failure.
+  void connect(const std::string& socket_path);
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Sends one NDJSON line (the newline is appended here).
+  void send_line(std::string_view line);
+
+  /// Reads the next line; returns false on clean EOF. Throws on a broken
+  /// connection mid-line.
+  bool read_line(std::string* line);
+
+  /// read_line + JsonValue::parse. Returns a Null-kind value on EOF.
+  JsonValue read_event();
+
+  // --- Request helpers (thin formatting over send_line). ---
+
+  struct SolveRequest {
+    std::string id;
+    std::string case_text;
+    i32 priority = 0;
+    f64 deadline_seconds = 0;
+    i32 sim_threads = -1;
+    bool return_field = false;
+    bool stream_residuals = false;
+  };
+
+  void solve(const SolveRequest& request);
+  void cancel(const std::string& id);
+  void stats();
+  void ping();
+  void shutdown();
+
+  /// Reads events until the terminal one for `id` (result, or error) and
+  /// returns it. Other jobs' events interleaved on this connection are
+  /// skipped. Throws on EOF before a terminal event.
+  JsonValue wait_result(const std::string& id);
+
+private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+} // namespace fvdf::serve

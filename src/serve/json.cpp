@@ -1,0 +1,307 @@
+#include "serve/json.hpp"
+
+#include <charconv>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace fvdf::serve {
+
+namespace {
+
+const char* kind_name(JsonValue::Kind kind) {
+  switch (kind) {
+  case JsonValue::Kind::Null: return "null";
+  case JsonValue::Kind::Bool: return "bool";
+  case JsonValue::Kind::Number: return "number";
+  case JsonValue::Kind::String: return "string";
+  case JsonValue::Kind::Array: return "array";
+  case JsonValue::Kind::Object: return "object";
+  }
+  return "?";
+}
+
+} // namespace
+
+struct JsonParser {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  [[noreturn]] void fail(const std::string& reason) const {
+    throw Error("json parse error at byte " + std::to_string(pos) + ": " + reason);
+  }
+
+  void skip_ws() {
+    while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t' ||
+                                 text[pos] == '\n' || text[pos] == '\r'))
+      ++pos;
+  }
+
+  char peek() {
+    if (pos >= text.size()) fail("unexpected end of input");
+    return text[pos];
+  }
+
+  void expect(char c) {
+    if (pos >= text.size() || text[pos] != c)
+      fail(std::string("expected '") + c + "'");
+    ++pos;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text.substr(pos, literal.size()) != literal) return false;
+    pos += literal.size();
+    return true;
+  }
+
+  void append_utf8(std::string& out, u32 cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xc0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xe0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    } else {
+      out += static_cast<char>(0xf0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    }
+  }
+
+  u32 hex4() {
+    u32 value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = peek();
+      ++pos;
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<u32>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<u32>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<u32>(c - 'A' + 10);
+      else fail("bad \\u escape digit");
+    }
+    return value;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos >= text.size()) fail("unterminated string");
+      const char c = text[pos];
+      if (c == '"') {
+        ++pos;
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        ++pos;
+        continue;
+      }
+      ++pos; // backslash
+      const char esc = peek();
+      ++pos;
+      switch (esc) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        u32 cp = hex4();
+        if (cp >= 0xd800 && cp <= 0xdbff) { // surrogate pair
+          if (!consume_literal("\\u")) fail("unpaired high surrogate");
+          const u32 low = hex4();
+          if (low < 0xdc00 || low > 0xdfff) fail("invalid low surrogate");
+          cp = 0x10000 + ((cp - 0xd800) << 10) + (low - 0xdc00);
+        } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+          fail("unpaired low surrogate");
+        }
+        append_utf8(out, cp);
+        break;
+      }
+      default: fail("bad escape character");
+      }
+    }
+  }
+
+  f64 parse_number() {
+    const std::size_t start = pos;
+    if (peek() == '-') ++pos;
+    if (peek() == '0') {
+      ++pos;
+    } else if (peek() >= '1' && peek() <= '9') {
+      while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') ++pos;
+    } else {
+      fail("bad number");
+    }
+    if (pos < text.size() && text[pos] == '.') {
+      ++pos;
+      if (pos >= text.size() || text[pos] < '0' || text[pos] > '9')
+        fail("digit required after decimal point");
+      while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') ++pos;
+    }
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+      if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      if (pos >= text.size() || text[pos] < '0' || text[pos] > '9')
+        fail("digit required in exponent");
+      while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') ++pos;
+    }
+    f64 value = 0;
+    const auto res =
+        std::from_chars(text.data() + start, text.data() + pos, value);
+    if (res.ec != std::errc() || res.ptr != text.data() + pos)
+      fail("unparseable number");
+    return value;
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > 64) fail("nesting too deep");
+    skip_ws();
+    JsonValue value;
+    const char c = peek();
+    if (c == '{') {
+      ++pos;
+      value.kind_ = JsonValue::Kind::Object;
+      skip_ws();
+      if (peek() == '}') {
+        ++pos;
+        return value;
+      }
+      while (true) {
+        skip_ws();
+        std::string key = parse_string();
+        skip_ws();
+        expect(':');
+        value.members_.emplace_back(std::move(key), parse_value(depth + 1));
+        skip_ws();
+        if (peek() == ',') {
+          ++pos;
+          continue;
+        }
+        expect('}');
+        return value;
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      value.kind_ = JsonValue::Kind::Array;
+      skip_ws();
+      if (peek() == ']') {
+        ++pos;
+        return value;
+      }
+      while (true) {
+        value.items_.push_back(parse_value(depth + 1));
+        skip_ws();
+        if (peek() == ',') {
+          ++pos;
+          continue;
+        }
+        expect(']');
+        return value;
+      }
+    }
+    if (c == '"') {
+      value.kind_ = JsonValue::Kind::String;
+      value.string_ = parse_string();
+      return value;
+    }
+    if (consume_literal("true")) {
+      value.kind_ = JsonValue::Kind::Bool;
+      value.bool_ = true;
+      return value;
+    }
+    if (consume_literal("false")) {
+      value.kind_ = JsonValue::Kind::Bool;
+      value.bool_ = false;
+      return value;
+    }
+    if (consume_literal("null")) {
+      value.kind_ = JsonValue::Kind::Null;
+      return value;
+    }
+    value.kind_ = JsonValue::Kind::Number;
+    value.number_ = parse_number();
+    return value;
+  }
+};
+
+JsonValue JsonValue::parse(std::string_view text) {
+  JsonParser parser{text};
+  JsonValue value = parser.parse_value(0);
+  parser.skip_ws();
+  if (parser.pos != text.size()) parser.fail("trailing content after value");
+  return value;
+}
+
+bool JsonValue::as_bool() const {
+  FVDF_CHECK_MSG(kind_ == Kind::Bool, "expected bool, got " << kind_name(kind_));
+  return bool_;
+}
+
+f64 JsonValue::as_f64() const {
+  FVDF_CHECK_MSG(kind_ == Kind::Number, "expected number, got " << kind_name(kind_));
+  return number_;
+}
+
+i64 JsonValue::as_i64() const {
+  const f64 value = as_f64();
+  const f64 truncated = std::trunc(value);
+  FVDF_CHECK_MSG(truncated == value && std::abs(value) < 9.2e18,
+                 "expected integer, got " << value);
+  return static_cast<i64>(truncated);
+}
+
+const std::string& JsonValue::as_string() const {
+  FVDF_CHECK_MSG(kind_ == Kind::String, "expected string, got " << kind_name(kind_));
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  FVDF_CHECK_MSG(kind_ == Kind::Array, "expected array, got " << kind_name(kind_));
+  return items_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members() const {
+  FVDF_CHECK_MSG(kind_ == Kind::Object, "expected object, got " << kind_name(kind_));
+  return members_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  for (const auto& [name, value] : members_)
+    if (name == key) return &value;
+  return nullptr;
+}
+
+std::string JsonValue::get_string(std::string_view key,
+                                  const std::string& fallback) const {
+  const JsonValue* value = find(key);
+  return value == nullptr ? fallback : value->as_string();
+}
+
+f64 JsonValue::get_f64(std::string_view key, f64 fallback) const {
+  const JsonValue* value = find(key);
+  return value == nullptr ? fallback : value->as_f64();
+}
+
+i64 JsonValue::get_i64(std::string_view key, i64 fallback) const {
+  const JsonValue* value = find(key);
+  return value == nullptr ? fallback : value->as_i64();
+}
+
+bool JsonValue::get_bool(std::string_view key, bool fallback) const {
+  const JsonValue* value = find(key);
+  return value == nullptr ? fallback : value->as_bool();
+}
+
+} // namespace fvdf::serve

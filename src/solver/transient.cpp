@@ -65,6 +65,12 @@ TransientResult solve_transient_host(const FlowProblem& problem,
 
     blas::axpy(1.0, delta.data(), result.pressure.data(), n);
     if (options.record_history) result.history.push_back(result.pressure);
+    result.steps_completed = step + 1;
+    if (options.on_step &&
+        !options.on_step(step, cg.iterations, result.pressure)) {
+      result.interrupted = step + 1 < options.steps;
+      break;
+    }
   }
   return result;
 }

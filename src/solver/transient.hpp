@@ -14,6 +14,7 @@
 //   (A + sigma I) delta = -A p^n,   p^{n+1} = p^n + delta.
 // sigma I only shifts interior rows; Dirichlet rows stay identity.
 
+#include <functional>
 #include <vector>
 
 #include "common/types.hpp"
@@ -31,6 +32,15 @@ struct TransientOptions {
   bool jacobi = true;             // Jacobi PCG per step
   bool record_history = false;    // keep every intermediate field
 
+  /// Called after every completed step with the 0-based step index, that
+  /// step's linear-iteration count and the updated field p^{step+1}.
+  /// Return false to stop stepping early — the result then reports
+  /// interrupted=true and carries the state so far. Used for progress
+  /// streaming, checkpointing and graceful interruption (serve daemon,
+  /// signal-aware drivers).
+  std::function<bool(i64 step, u64 iterations, const std::vector<f64>& state)>
+      on_step;
+
   /// Accumulation coefficient sigma = phi * c_t * V / dt.
   f64 sigma(const CartesianMesh3D& mesh) const {
     return porosity * total_compressibility * mesh.cell_volume() / dt;
@@ -42,6 +52,8 @@ struct TransientResult {
   std::vector<std::vector<f64>> history;       // p^0..p^N if recorded
   std::vector<u64> iterations_per_step;        // linear iterations per step
   bool all_converged = true;
+  i64 steps_completed = 0; // == options.steps unless on_step stopped the run
+  bool interrupted = false;
 };
 
 /// Runs `steps` backward-Euler steps on the host (f64). The initial field

@@ -532,6 +532,94 @@ TEST(Serialize, EmptyCheckpointIsValid) {
   std::filesystem::remove(path);
 }
 
+TEST(Serialize, DetectsSingleBitFlip) {
+  // The v2 payload checksum must catch a corruption that still parses
+  // structurally — flip one bit in the middle of a field's data and the
+  // load must throw with an actionable message, not return wrong values.
+  FieldCheckpoint checkpoint;
+  checkpoint.nx = 5;
+  checkpoint.ny = 5;
+  checkpoint.nz = 1;
+  checkpoint.fields["pressure"] = std::vector<f64>(25, 3.25);
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto path = (dir / "fvdf_ckpt_bitflip.bin").string();
+  save_checkpoint(path, checkpoint);
+
+  std::vector<char> bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign((std::istreambuf_iterator<char>(in)),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 64u);
+  bytes[bytes.size() / 2] ^= 0x10; // one bit, mid-payload
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  try {
+    load_checkpoint(path);
+    FAIL() << "bit-flipped checkpoint loaded silently";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("checksum"), std::string::npos) << what;
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, TruncationMessageNamesThePath) {
+  FieldCheckpoint checkpoint;
+  checkpoint.fields["x"] = std::vector<f64>(64, 2.0);
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto path = (dir / "fvdf_ckpt_truncmsg.bin").string();
+  save_checkpoint(path, checkpoint);
+  std::vector<char> bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign((std::istreambuf_iterator<char>(in)),
+                 std::istreambuf_iterator<char>());
+  }
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 7));
+  }
+  try {
+    load_checkpoint(path);
+    FAIL() << "truncated checkpoint loaded silently";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos) << e.what();
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, RequireGridRejectsMismatchedShape) {
+  FieldCheckpoint checkpoint;
+  checkpoint.nx = 8;
+  checkpoint.ny = 4;
+  checkpoint.nz = 2;
+  checkpoint.require_grid(8, 4, 2, "test"); // matching shape passes
+  try {
+    checkpoint.require_grid(16, 4, 2, "scenario resume");
+    FAIL() << "mismatched grid accepted";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    // The message must name both shapes and the consumer so the user can
+    // see which checkpoint went where.
+    EXPECT_NE(what.find("8x4x2"), std::string::npos) << what;
+    EXPECT_NE(what.find("16x4x2"), std::string::npos) << what;
+    EXPECT_NE(what.find("scenario resume"), std::string::npos) << what;
+  }
+}
+
+TEST(Serialize, Fnv1a64MatchesReferenceVectors) {
+  // Published FNV-1a test vectors (64-bit).
+  EXPECT_EQ(fnv1a64("", 0), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a64("a", 1), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64("foobar", 6), 0x85944171f73967e8ull);
+  EXPECT_EQ(hash_hex(0xcbf29ce484222325ull), "cbf29ce484222325");
+}
+
 // ---------- Error machinery ----------
 
 TEST(Check, ThrowsWithLocationAndMessage) {

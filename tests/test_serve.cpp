@@ -1,0 +1,499 @@
+// Serve subsystem tests: JSON parser strictness, content-addressed cache
+// key stability, concurrent-job determinism against single-shot runs,
+// cancellation / deadlines, spool-based restart, and the socket server
+// end to end.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <filesystem>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "app/scenario.hpp"
+#include "common/config.hpp"
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+#include "serve/cache.hpp"
+#include "serve/client.hpp"
+#include "serve/jobs.hpp"
+#include "serve/json.hpp"
+#include "serve/server.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/registry.hpp"
+
+namespace fvdf::serve {
+namespace {
+
+// ---------- JSON parser ----------
+
+TEST(ServeJson, ParsesScalarsAndContainers) {
+  const JsonValue v = JsonValue::parse(
+      R"({"a": 1.5, "b": [true, false, null], "c": {"d": "x\ny"}, "n": -3})");
+  EXPECT_TRUE(v.is_object());
+  EXPECT_DOUBLE_EQ(v.get_f64("a", 0), 1.5);
+  EXPECT_EQ(v.get_i64("n", 0), -3);
+  const JsonValue* b = v.find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_EQ(b->items().size(), 3u);
+  EXPECT_TRUE(b->items()[0].as_bool());
+  EXPECT_EQ(b->items()[2].kind(), JsonValue::Kind::Null);
+  const JsonValue* c = v.find("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->get_string("d", ""), "x\ny");
+}
+
+TEST(ServeJson, DecodesUnicodeEscapes) {
+  const JsonValue v = JsonValue::parse(R"(["\u0041\u00e9", "\ud83d\ude00"])");
+  EXPECT_EQ(v.items()[0].as_string(), "A\xc3\xa9");
+  EXPECT_EQ(v.items()[1].as_string(), "\xf0\x9f\x98\x80");
+}
+
+TEST(ServeJson, RejectsMalformedInput) {
+  EXPECT_THROW(JsonValue::parse(""), Error);
+  EXPECT_THROW(JsonValue::parse("{"), Error);
+  EXPECT_THROW(JsonValue::parse("{\"a\":1,}"), Error);
+  EXPECT_THROW(JsonValue::parse("[1 2]"), Error);
+  EXPECT_THROW(JsonValue::parse("01"), Error);
+  EXPECT_THROW(JsonValue::parse("1e"), Error);
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), Error);
+  EXPECT_THROW(JsonValue::parse("\"\\ud800\""), Error); // unpaired surrogate
+  EXPECT_THROW(JsonValue::parse("{} {}"), Error);       // trailing content
+  EXPECT_THROW(JsonValue::parse("nul"), Error);
+}
+
+TEST(ServeJson, TypedGettersThrowOnWrongKind) {
+  const JsonValue v = JsonValue::parse(R"({"s": "text", "n": 4})");
+  EXPECT_EQ(v.get_string("missing", "fallback"), "fallback");
+  EXPECT_THROW(v.get_i64("s", 0), Error); // present but wrong kind
+  EXPECT_THROW(v.get_string("n", ""), Error);
+  EXPECT_THROW(JsonValue::parse("2.5").as_i64(), Error); // not integral
+}
+
+TEST(ServeJson, RoundTripsWriterOutput) {
+  // The daemon parses what JsonWriter emits; prove the pair agrees on a
+  // case-text payload with newlines and quotes.
+  const std::string text = "[mesh]\nnx = 4\n# \"quoted\"\n";
+  telemetry::JsonWriter writer;
+  writer.begin_object().kv("case", text).end_object();
+  const JsonValue parsed = JsonValue::parse(writer.take());
+  EXPECT_EQ(parsed.get_string("case", ""), text);
+}
+
+// ---------- Case canonicalization / cache keys ----------
+
+constexpr const char* kBaseCase = R"(
+[mesh]
+nx = 8
+ny = 8
+nz = 2
+
+[perm]
+kind = lognormal
+sigma = 1.0
+seed = 7
+
+[solver]
+backend = dataflow
+tolerance = 1e-8
+)";
+
+TEST(ServeCacheKey, ExecutionKnobsDoNotChangeTheFingerprint) {
+  const Config base = Config::parse_string(kBaseCase);
+  const std::string fp = app::case_fingerprint(base);
+
+  // sim_threads, verify and output artifacts never change results, so
+  // they must not change the key either.
+  const Config variant = Config::parse_string(
+      std::string(kBaseCase) +
+      "sim_threads = 4\nverify = true\n\n[output]\nvtk = out.vtk\n");
+  EXPECT_EQ(app::case_fingerprint(variant), fp);
+
+  // Spelling defaults explicitly is also identity.
+  const Config spelled = Config::parse_string(
+      std::string(kBaseCase) + "max_iterations = 100000\n");
+  EXPECT_EQ(app::case_fingerprint(spelled), fp);
+}
+
+TEST(ServeCacheKey, PhysicsChangesChangeTheFingerprint) {
+  const Config base = Config::parse_string(kBaseCase);
+  const std::string fp = app::case_fingerprint(base);
+  const char* variants[] = {
+      "[mesh]\nnx = 9\nny = 8\nnz = 2\n[perm]\nkind = lognormal\nsigma = "
+      "1.0\nseed = 7\n[solver]\nbackend = dataflow\ntolerance = 1e-8\n",
+      "[mesh]\nnx = 8\nny = 8\nnz = 2\n[perm]\nkind = lognormal\nsigma = "
+      "1.0\nseed = 8\n[solver]\nbackend = dataflow\ntolerance = 1e-8\n",
+      "[mesh]\nnx = 8\nny = 8\nnz = 2\n[perm]\nkind = lognormal\nsigma = "
+      "1.0\nseed = 7\n[solver]\nbackend = dataflow\ntolerance = 1e-9\n",
+  };
+  for (const char* text : variants)
+    EXPECT_NE(app::case_fingerprint(Config::parse_string(text)), fp) << text;
+}
+
+TEST(ServeCache, CountsHitsMissesAndEvictions) {
+  telemetry::MetricsRegistry metrics(1);
+  ArtifactCache cache(2, &metrics);
+  const Config a = Config::parse_string(kBaseCase);
+  bool hit = true;
+  auto entry1 = cache.acquire(a, &hit);
+  EXPECT_FALSE(hit);
+  auto entry2 = cache.acquire(a, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(entry1.get(), entry2.get());
+  EXPECT_EQ(entry1->problem.get(), entry2->problem.get());
+
+  // Two more distinct cases overflow capacity 2 and evict the oldest.
+  const std::string text(kBaseCase);
+  cache.acquire(Config::parse_string(text + "max_iterations = 7\n"));
+  cache.acquire(Config::parse_string(text + "max_iterations = 9\n"));
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(metrics.counter_value(metrics.counter("serve.cache.hits")), 1u);
+  EXPECT_EQ(metrics.counter_value(metrics.counter("serve.cache.misses")), 3u);
+  EXPECT_EQ(metrics.counter_value(metrics.counter("serve.cache.evictions")),
+            1u);
+}
+
+// ---------- Job manager ----------
+
+struct EventLog {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<JsonValue> events;
+
+  EventSink sink() {
+    return [this](const std::string& line) {
+      JsonValue event = JsonValue::parse(line); // every event line is JSON
+      std::lock_guard<std::mutex> lock(mutex);
+      events.push_back(std::move(event));
+      cv.notify_all();
+    };
+  }
+
+  // Blocks until an event for `id` with kind `event` arrives; returns it.
+  JsonValue await(const std::string& id, const std::string& kind) {
+    std::unique_lock<std::mutex> lock(mutex);
+    JsonValue found;
+    cv.wait(lock, [&] {
+      for (const JsonValue& e : events)
+        if (e.get_string("id", "") == id && e.get_string("event", "") == kind) {
+          found = e;
+          return true;
+        }
+      return false;
+    });
+    return found;
+  }
+
+  i64 count(const std::string& id, const std::string& kind) {
+    std::lock_guard<std::mutex> lock(mutex);
+    i64 n = 0;
+    for (const JsonValue& e : events)
+      n += (e.get_string("id", "") == id && e.get_string("event", "") == kind);
+    return n;
+  }
+};
+
+std::string hash_of(const std::vector<f64>& values) {
+  return hash_hex(fnv1a64(values.data(), values.size() * sizeof(f64)));
+}
+
+TEST(ServeJobs, ConcurrentJobsMatchSingleShotBitwise) {
+  // Two distinct cases, several concurrent submissions each, two workers:
+  // every result hash must equal the single-shot run_scenario hash of the
+  // same case — concurrency and artifact reuse never change results.
+  const std::string case_a(kBaseCase);
+  const std::string case_b(std::string(kBaseCase) + "max_iterations = 50\n");
+
+  std::map<std::string, std::string> expected;
+  for (const auto& [name, text] :
+       {std::pair<std::string, std::string>{"a", case_a}, {"b", case_b}}) {
+    auto scenario = app::scenario_from_config(Config::parse_string(text));
+    std::ostringstream log;
+    expected[name] = hash_of(app::run_scenario(scenario, log).pressure);
+  }
+
+  auto cache = std::make_shared<ArtifactCache>(8);
+  JobManagerConfig config;
+  config.workers = 2;
+  EventLog log;
+  JobManager jobs(cache, config);
+  for (int i = 0; i < 3; ++i) {
+    for (const auto& [name, text] :
+         {std::pair<std::string, std::string>{"a", case_a}, {"b", case_b}}) {
+      JobSpec spec;
+      spec.id = name + std::to_string(i);
+      spec.case_text = text;
+      ASSERT_TRUE(jobs.submit(std::move(spec), log.sink()));
+    }
+  }
+  jobs.wait_idle();
+  for (int i = 0; i < 3; ++i) {
+    for (const char* name : {"a", "b"}) {
+      const JsonValue result = log.await(name + std::to_string(i), "result");
+      EXPECT_EQ(result.get_string("pressure_hash", ""), expected[name])
+          << name << i;
+      EXPECT_TRUE(result.get_bool("converged", false));
+    }
+  }
+  // 2 misses (first of each case), 4 hits.
+  EXPECT_EQ(cache->stats().misses, 2u);
+  EXPECT_EQ(cache->stats().hits, 4u);
+}
+
+TEST(ServeJobs, SimThreadsOverrideKeepsResultsIdentical) {
+  auto cache = std::make_shared<ArtifactCache>(4);
+  JobManagerConfig config;
+  config.workers = 1;
+  EventLog log;
+  JobManager jobs(cache, config);
+  std::string first_hash;
+  int index = 0;
+  for (const i32 threads : {1, 2, 4}) {
+    JobSpec spec;
+    spec.id = "t" + std::to_string(index++);
+    spec.case_text = kBaseCase;
+    spec.sim_threads = threads;
+    ASSERT_TRUE(jobs.submit(std::move(spec), log.sink()));
+  }
+  jobs.wait_idle();
+  for (int i = 0; i < index; ++i) {
+    const JsonValue result = log.await("t" + std::to_string(i), "result");
+    const std::string hash = result.get_string("pressure_hash", "");
+    if (first_hash.empty()) first_hash = hash;
+    EXPECT_EQ(hash, first_hash) << "sim_threads changed the result";
+  }
+}
+
+constexpr const char* kTransientCase = R"(
+[mesh]
+nx = 8
+ny = 8
+nz = 1
+
+[perm]
+kind = layered
+
+[solver]
+backend = dataflow
+tolerance = 1e-8
+
+[transient]
+enabled = true
+dt = 0.5
+steps = 12
+)";
+
+TEST(ServeJobs, RejectsBadSubmissions) {
+  auto cache = std::make_shared<ArtifactCache>(4);
+  JobManagerConfig config;
+  config.workers = 1;
+  config.queue_capacity = 1;
+  EventLog log;
+  JobManager jobs(cache, config);
+
+  std::string code;
+  JobSpec bad_id;
+  bad_id.id = "no spaces allowed";
+  bad_id.case_text = kBaseCase;
+  EXPECT_FALSE(jobs.submit(bad_id, log.sink(), &code));
+  EXPECT_EQ(code, "invalid_id");
+
+  // Fill the single queue slot behind a busy worker, then overflow it.
+  JobSpec running;
+  running.id = "busy";
+  running.case_text = kTransientCase;
+  ASSERT_TRUE(jobs.submit(running, log.sink()));
+  log.await("busy", "accepted");
+
+  JobSpec queued;
+  queued.id = "queued";
+  queued.case_text = kBaseCase;
+  JobSpec duplicate = queued;
+  JobSpec overflow;
+  overflow.id = "overflow";
+  overflow.case_text = kBaseCase;
+
+  // The busy job may briefly still be queued; poll until the slot frees.
+  while (!jobs.submit(queued, log.sink(), &code))
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(jobs.submit(duplicate, log.sink(), &code));
+  EXPECT_EQ(code, "duplicate_id");
+  EXPECT_FALSE(jobs.submit(overflow, log.sink(), &code));
+  EXPECT_EQ(code, "queue_full");
+  jobs.wait_idle();
+
+  // An unparseable case fails with an actionable invalid_case error.
+  JobSpec invalid;
+  invalid.id = "invalid";
+  invalid.case_text = "[mesh]\nnx = not_a_number\n";
+  ASSERT_TRUE(jobs.submit(invalid, log.sink()));
+  const JsonValue error = log.await("invalid", "error");
+  EXPECT_EQ(error.get_string("code", ""), "invalid_case");
+  EXPECT_FALSE(error.get_string("message", "").empty());
+}
+
+TEST(ServeJobs, CancelsQueuedAndRunningJobs) {
+  auto cache = std::make_shared<ArtifactCache>(4);
+  JobManagerConfig config;
+  config.workers = 1;
+  EventLog log;
+  JobManager jobs(cache, config);
+
+  // Occupy the worker with a streaming transient job, queue another.
+  JobSpec running;
+  running.id = "victim-running";
+  running.case_text = kTransientCase;
+  running.stream_residuals = true;
+  ASSERT_TRUE(jobs.submit(running, log.sink()));
+  JobSpec queued;
+  queued.id = "victim-queued";
+  queued.case_text = kBaseCase;
+  ASSERT_TRUE(jobs.submit(queued, log.sink()));
+
+  // Queued job dies immediately.
+  EXPECT_TRUE(jobs.cancel("victim-queued"));
+  const JsonValue queued_error = log.await("victim-queued", "error");
+  EXPECT_EQ(queued_error.get_string("code", ""), "cancelled");
+
+  // Running transient job stops at the next step boundary.
+  log.await("victim-running", "step");
+  EXPECT_TRUE(jobs.cancel("victim-running"));
+  const JsonValue running_error = log.await("victim-running", "error");
+  EXPECT_EQ(running_error.get_string("code", ""), "cancelled");
+  EXPECT_NE(running_error.get_string("message", "").find("step"),
+            std::string::npos);
+  jobs.wait_idle();
+  EXPECT_FALSE(jobs.cancel("victim-running")); // already terminal
+}
+
+TEST(ServeJobs, DeadlineExpiresLongTransientRuns) {
+  auto cache = std::make_shared<ArtifactCache>(4);
+  JobManagerConfig config;
+  config.workers = 1;
+  EventLog log;
+  JobManager jobs(cache, config);
+  JobSpec spec;
+  spec.id = "deadline";
+  spec.case_text = kTransientCase;
+  spec.deadline_seconds = 0.001; // expires during the first steps
+  ASSERT_TRUE(jobs.submit(std::move(spec), log.sink()));
+  const JsonValue error = log.await("deadline", "error");
+  EXPECT_EQ(error.get_string("code", ""), "deadline");
+  jobs.wait_idle();
+}
+
+TEST(ServeJobs, RestartFromSpoolResumesBitwiseIdentical) {
+  const auto spool =
+      std::filesystem::temp_directory_path() / "fvdf_serve_spool_test";
+  std::filesystem::remove_all(spool);
+
+  // Reference: the uninterrupted single-shot run.
+  auto scenario =
+      app::scenario_from_config(Config::parse_string(kTransientCase));
+  std::ostringstream ref_log;
+  const std::string expected =
+      hash_of(app::run_scenario(scenario, ref_log).pressure);
+
+  // First manager: start the job, drain mid-run (the graceful-shutdown
+  // path a SIGTERM takes), leaving the spool checkpoint behind.
+  {
+    auto cache = std::make_shared<ArtifactCache>(4);
+    JobManagerConfig config;
+    config.workers = 1;
+    config.spool_dir = spool.string();
+    EventLog log;
+    JobManager jobs(cache, config);
+    JobSpec spec;
+    spec.id = "restartable";
+    spec.case_text = kTransientCase;
+    spec.stream_residuals = true;
+    ASSERT_TRUE(jobs.submit(std::move(spec), log.sink()));
+    log.await("restartable", "step");
+    jobs.shutdown_graceful();
+    const JsonValue error = log.await("restartable", "error");
+    EXPECT_EQ(error.get_string("code", ""), "shutdown");
+  }
+  EXPECT_TRUE(std::filesystem::exists(spool / "restartable.case.ini"));
+  EXPECT_TRUE(std::filesystem::exists(spool / "restartable.ckpt"));
+
+  // Second manager: recover and finish; final state must match the
+  // uninterrupted run bitwise.
+  {
+    auto cache = std::make_shared<ArtifactCache>(4);
+    JobManagerConfig config;
+    config.workers = 1;
+    config.spool_dir = spool.string();
+    EventLog log;
+    JobManager jobs(cache, config);
+    EXPECT_EQ(jobs.recover(log.sink()), 1);
+    const JsonValue result = log.await("restartable", "result");
+    EXPECT_EQ(result.get_string("pressure_hash", ""), expected);
+    EXPECT_EQ(result.get_i64("steps_completed", 0), 12);
+    jobs.wait_idle();
+  }
+  // Terminal success cleans the spool.
+  EXPECT_FALSE(std::filesystem::exists(spool / "restartable.case.ini"));
+  EXPECT_FALSE(std::filesystem::exists(spool / "restartable.ckpt"));
+  std::filesystem::remove_all(spool);
+}
+
+// ---------- Socket server end to end ----------
+
+TEST(ServeServer, SolvesOverUnixSocketWithCacheHits) {
+  const std::string socket_path =
+      (std::filesystem::temp_directory_path() /
+       ("fvdf_serve_test_" + std::to_string(::getpid()) + ".sock"))
+          .string();
+  ServerConfig config;
+  config.socket_path = socket_path;
+  config.http_port = -1;
+  config.jobs.workers = 2;
+  Server server(std::move(config));
+  server.start();
+
+  auto scenario =
+      app::scenario_from_config(Config::parse_string(kBaseCase));
+  std::ostringstream ref_log;
+  const std::string expected =
+      hash_of(app::run_scenario(scenario, ref_log).pressure);
+
+  Client client;
+  client.connect(socket_path);
+  client.ping();
+  EXPECT_EQ(client.read_event().get_string("event", ""), "pong");
+
+  for (int i = 0; i < 2; ++i) {
+    Client::SolveRequest request;
+    request.id = "net" + std::to_string(i);
+    request.case_text = kBaseCase;
+    client.solve(request);
+    const JsonValue result = client.wait_result(request.id);
+    EXPECT_EQ(result.get_string("event", ""), "result");
+    EXPECT_EQ(result.get_string("pressure_hash", ""), expected);
+    EXPECT_EQ(result.get_string("cache", ""), i == 0 ? "miss" : "hit");
+  }
+
+  client.stats();
+  const JsonValue stats = client.read_event();
+  EXPECT_EQ(stats.get_string("event", ""), "stats");
+  const JsonValue* cache_stats = stats.find("cache");
+  ASSERT_NE(cache_stats, nullptr);
+  EXPECT_EQ(cache_stats->get_i64("hits", -1), 1);
+  EXPECT_EQ(cache_stats->get_i64("misses", -1), 1);
+
+  client.shutdown();
+  EXPECT_EQ(client.read_event().get_string("event", ""), "ok");
+  client.close();
+  server.wait();
+  EXPECT_FALSE(std::filesystem::exists(socket_path));
+}
+
+} // namespace
+} // namespace fvdf::serve

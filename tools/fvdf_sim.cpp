@@ -13,7 +13,15 @@
 // output.host_profile: with the dataflow backend it attaches the host-side
 // execution profiler and writes host_profile.json + host_trace.json into
 // DIR (docs/observability.md, "Host profiling").
+//
+// SIGINT/SIGTERM during a transient run stop it gracefully: the current
+// backward-Euler step finishes, artifacts (including output.checkpoint
+// with the step counter) are written, and the exit code is 3 — so a later
+// run with transient.resume continues from exactly that state. Steady
+// solves are single device/host runs and remain uninterruptible.
 
+#include <atomic>
+#include <csignal>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -22,6 +30,10 @@
 #include "common/error.hpp"
 
 namespace {
+
+std::atomic<bool> g_stop_requested{false};
+
+void on_signal(int) { g_stop_requested.store(true); }
 
 constexpr const char* kTemplate = R"(# fvdf_sim case file
 [mesh]
@@ -112,7 +124,23 @@ int main(int argc, char** argv) {
       }
       scenario.host_profile_dir = host_profile_dir;
     }
-    const auto outcome = fvdf::app::run_scenario(scenario, std::cout);
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    fvdf::app::RunHooks hooks;
+    hooks.on_step = [](fvdf::i64, fvdf::i64, fvdf::u64,
+                       const std::vector<fvdf::f64>&) {
+      return !g_stop_requested.load();
+    };
+    const auto outcome = fvdf::app::run_scenario(scenario, std::cout, &hooks);
+    if (outcome.interrupted) {
+      std::cout << "interrupted after step " << outcome.steps_completed << "/"
+                << scenario.steps;
+      if (!scenario.checkpoint_path.empty())
+        std::cout << "; resume with transient.resume = "
+                  << scenario.checkpoint_path;
+      std::cout << '\n';
+      return 3;
+    }
     return outcome.converged ? 0 : 1;
   } catch (const fvdf::Error& e) {
     std::cerr << "error: " << e.what() << '\n';
